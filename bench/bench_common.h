@@ -1,0 +1,218 @@
+/// @file bench_common.h
+/// @brief Shared machinery for the experiment-reproduction benchmarks: the
+/// optimization-ladder configurations of Figures 1/4/6, memory-measured
+/// partitioner runs, aggregation (geometric/harmonic means), and performance
+/// profiles [31].
+///
+/// Memory methodology: the paper measures process RSS on terabyte-scale
+/// runs; at this reproduction's scale the MemoryTracker provides exact,
+/// deterministic byte counts per data structure instead (see DESIGN.md). A
+/// measured run excludes the benchmark's own source-graph copy (category
+/// "bench/source"), so reported peaks cover the partitioner input graph plus
+/// all auxiliary structures — the same scope as the paper's plots.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/timer.h"
+#include "compression/parallel_compressor.h"
+#include "generators/benchmark_sets.h"
+#include "generators/generators.h"
+#include "parallel/thread_pool.h"
+#include "partition/partitioner.h"
+
+namespace terapart::bench {
+
+/// Copies a CSR graph under a new memory category (used to hand the
+/// partitioner its own input while the pristine source stays excluded).
+inline CsrGraph copy_graph(const CsrGraph &graph, std::string category = "graph") {
+  return CsrGraph(std::vector<EdgeID>(graph.raw_nodes().begin(), graph.raw_nodes().end()),
+                  std::vector<NodeID>(graph.raw_edges().begin(), graph.raw_edges().end()),
+                  std::vector<NodeWeight>(graph.raw_node_weights().begin(),
+                                          graph.raw_node_weights().end()),
+                  std::vector<EdgeWeight>(graph.raw_edge_weights().begin(),
+                                          graph.raw_edge_weights().end()),
+                  std::move(category));
+}
+
+struct RunMeasurement {
+  double seconds = 0;
+  std::uint64_t peak_bytes = 0;
+  EdgeWeight cut = 0;
+  bool balanced = false;
+  double imbalance = 0;
+};
+
+/// Runs the partitioner and measures wall time plus tracked peak memory
+/// (excluding `excluded_bytes`, typically the benchmark's source copy).
+template <typename Graph>
+RunMeasurement measured_partition(const Graph &input, const Context &ctx,
+                                  const std::uint64_t excluded_bytes) {
+  MemoryTracker::global().reset_peak();
+  Timer timer;
+  const PartitionResult result = partition_graph(input, ctx);
+  RunMeasurement out;
+  out.seconds = timer.elapsed_s();
+  const std::uint64_t peak = MemoryTracker::global().peak();
+  out.peak_bytes = peak > excluded_bytes ? peak - excluded_bytes : 0;
+  out.cut = result.cut;
+  out.balanced = result.balanced;
+  out.imbalance = result.imbalance;
+  return out;
+}
+
+/// The optimization ladder of Figures 1, 4 and 6. `step` selects how many
+/// optimizations are enabled:
+///   0 = KaMinPar baseline, 1 = +two-phase LP, 2 = +graph compression,
+///   3 = TeraPart (+one-pass contraction).
+inline constexpr int kLadderSteps = 4;
+
+inline const char *ladder_name(const int step) {
+  switch (step) {
+  case 0:
+    return "KaMinPar";
+  case 1:
+    return "+two-phase LP";
+  case 2:
+    return "+compression";
+  case 3:
+    return "TeraPart";
+  }
+  return "?";
+}
+
+inline Context ladder_context(const int step, const BlockID k, const std::uint64_t seed) {
+  Context ctx = kaminpar_context(k, seed);
+  ctx.name = ladder_name(step);
+  ctx.coarsening.lp.two_phase = step >= 1;
+  ctx.coarsening.contraction.one_pass = step >= 3;
+  return ctx;
+}
+
+inline bool ladder_uses_compression(const int step) { return step >= 2; }
+
+/// Runs one ladder step on `source` (compressing the input when the step
+/// calls for it) and returns the measurement.
+inline RunMeasurement run_ladder_step(const CsrGraph &source, const int step, const BlockID k,
+                                      const std::uint64_t seed) {
+  const Context ctx = ladder_context(step, k, seed);
+  const std::uint64_t excluded = MemoryTracker::global().current("bench/source");
+  if (ladder_uses_compression(step)) {
+    const CompressedGraph input = compress_graph_parallel(source, {}, "graph");
+    return measured_partition(input, ctx, excluded);
+  }
+  const CsrGraph input = copy_graph(source, "graph");
+  return measured_partition(input, ctx, excluded);
+}
+
+// ---------------------------------------------------------------- statistics
+
+inline double geometric_mean(const std::vector<double> &values) {
+  if (values.empty()) {
+    return 0;
+  }
+  double log_sum = 0;
+  for (const double value : values) {
+    log_sum += std::log(std::max(value, 1e-12));
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+inline double harmonic_mean(const std::vector<double> &values) {
+  if (values.empty()) {
+    return 0;
+  }
+  double reciprocal_sum = 0;
+  for (const double value : values) {
+    reciprocal_sum += 1.0 / std::max(value, 1e-12);
+  }
+  return static_cast<double>(values.size()) / reciprocal_sum;
+}
+
+inline double arithmetic_mean(const std::vector<double> &values) {
+  if (values.empty()) {
+    return 0;
+  }
+  double sum = 0;
+  for (const double value : values) {
+    sum += value;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+// ---------------------------------------------------- performance profiles
+
+/// cut_by_algorithm[name] = per-instance cuts (same instance order).
+/// Prints the fraction of instances within factor tau of the best, for a
+/// grid of tau values (Dolan-More profiles, as in Figures 4 and 7).
+inline void print_performance_profile(
+    const std::map<std::string, std::vector<double>> &cut_by_algorithm) {
+  if (cut_by_algorithm.empty()) {
+    return;
+  }
+  const std::size_t instances = cut_by_algorithm.begin()->second.size();
+  std::vector<double> best(instances, 1e300);
+  for (const auto &[name, cuts] : cut_by_algorithm) {
+    for (std::size_t i = 0; i < instances; ++i) {
+      best[i] = std::min(best[i], std::max(cuts[i], 1.0));
+    }
+  }
+  const double taus[] = {1.0, 1.01, 1.05, 1.10, 1.25, 1.50, 2.00, 5.00};
+  std::printf("%-16s", "tau");
+  for (const double tau : taus) {
+    std::printf(" %7.2f", tau);
+  }
+  std::printf("\n");
+  for (const auto &[name, cuts] : cut_by_algorithm) {
+    std::printf("%-16s", name.c_str());
+    for (const double tau : taus) {
+      std::size_t within = 0;
+      for (std::size_t i = 0; i < instances; ++i) {
+        if (std::max(cuts[i], 1.0) <= tau * best[i]) {
+          ++within;
+        }
+      }
+      std::printf(" %6.0f%%", 100.0 * static_cast<double>(within) /
+                                  static_cast<double>(instances));
+    }
+    std::printf("\n");
+  }
+}
+
+// ------------------------------------------------------------- formatting
+
+inline std::string format_bytes(const std::uint64_t bytes) {
+  char buffer[64];
+  if (bytes >= 1024ull * 1024 * 1024) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f GiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024 * 1024));
+  } else if (bytes >= 1024ull * 1024) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f MiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1f KiB", static_cast<double>(bytes) / 1024.0);
+  }
+  return buffer;
+}
+
+inline void print_header(const char *experiment, const char *paper_ref, const char *note) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n  reproduces: %s\n  %s\n", experiment, paper_ref, note);
+  std::printf("==============================================================================\n");
+}
+
+/// Benchmark thread count: the machine may have any core count; the paper's
+/// algorithms are thread-count agnostic, and TP_BENCH_THREADS overrides.
+inline int bench_threads() {
+  if (const char *env = std::getenv("TP_BENCH_THREADS")) {
+    return std::max(1, std::atoi(env));
+  }
+  return 4;
+}
+
+} // namespace terapart::bench

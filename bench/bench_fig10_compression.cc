@@ -1,0 +1,51 @@
+/// Reproduces **Figure 10** (appendix): per-graph compression ratios of all
+/// Benchmark Set A and Set B graphs — gap-only vs gap+interval encoding, and
+/// the extra effect of edge-weight compression on the weighted
+/// (text-compression analog) class.
+///
+/// Paper: ratios range from <1 (kmer_*) to 5.7 (FEM meshes) on Set A and
+/// 5-11+ on the Set B web crawls; interval encoding matters most on graphs
+/// with neighbor-ID locality.
+#include "bench_common.h"
+
+int main() {
+  using namespace terapart;
+  using namespace terapart::bench;
+
+  par::set_num_threads(bench_threads());
+  MemoryTracker::global().reset();
+
+  print_header("Figure 10 — per-graph compression ratios",
+               "Fig. 10 (Sets A and B) and Fig. 6 right",
+               "ratio = uncompressed CSR bytes / compressed bytes; higher is better");
+
+  const auto report = [](const gen::NamedGraph &named) {
+    const CsrGraph graph = named.build(1);
+    CompressionConfig gap_only;
+    gap_only.intervals = false;
+    const CompressedGraph gaps = compress_graph(graph, gap_only);
+    const CompressedGraph full = compress_graph(graph);
+    const double csr = static_cast<double>(full.uncompressed_csr_bytes());
+    std::printf("%-16s %-10s %10.2f %12.2f %12.2f %14.2f\n", named.name.c_str(),
+                named.family.c_str(), static_cast<double>(graph.m()) / 1e6,
+                csr / static_cast<double>(gaps.memory_bytes()),
+                csr / static_cast<double>(full.memory_bytes()),
+                static_cast<double>(full.used_bytes()) / static_cast<double>(graph.m()));
+  };
+
+  std::printf("%-16s %-10s %10s %12s %12s %14s\n", "graph", "family", "m [M]", "gap-only",
+              "gap+interval", "bytes/edge");
+  std::printf("--- Benchmark Set A ---\n");
+  for (const auto &named : gen::benchmark_set_a(gen::SuiteScale::kSmall)) {
+    report(named);
+  }
+  std::printf("--- Benchmark Set B ---\n");
+  for (const auto &named : gen::benchmark_set_b(gen::SuiteScale::kSmall)) {
+    report(named);
+  }
+
+  std::printf("\npaper shape: kmer-class ratios ~1 (incompressible), meshes/web the best;\n"
+              "interval encoding adds the most on locality-rich graphs; weighted graphs\n"
+              "(text class) compress worse per edge because weights share the stream.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+/// Reproduces **Figure 5**: self-relative speedups of TeraPart for growing
+/// thread counts, reported as cumulative harmonic-mean speedup over
+/// instances at least as expensive as a sequential-time threshold.
+///
+/// Paper: p in {12,24,48,96} on 96 cores -> speedups 8.7/13.0/16.5/17.3
+/// overall, 10.2/17.0/24.7/29.8 on instances with >=64 s sequential time.
+/// This machine exposes few physical cores, so absolute speedups are *not*
+/// reproducible (oversubscribed threads add overhead); the bench still
+/// exercises every parallel code path and reports the same cumulative
+/// statistic, plus the paper's trend that larger instances scale better.
+#include "bench_common.h"
+
+#include <algorithm>
+
+int main() {
+  using namespace terapart;
+  using namespace terapart::bench;
+
+  MemoryTracker::global().reset();
+  print_header("Figure 5 — self-relative speedups",
+               "Fig. 5 (Set A, p in {12,24,48,96}, k in {64, 30000})",
+               "cumulative harmonic-mean speedup by sequential-time threshold");
+
+  // A diverse subset of Set A keeps the sweep within the time budget; the
+  // cumulative-statistic methodology is unchanged.
+  auto suite = gen::benchmark_set_a(gen::SuiteScale::kSmall);
+  suite.resize(8);
+  const int thread_counts[] = {2, 4};
+  const BlockID ks[] = {16, 64};
+
+  struct Instance {
+    std::string name;
+    double sequential_seconds;
+    std::map<int, double> speedup;
+  };
+  std::vector<Instance> instances;
+
+  for (const auto &named : suite) {
+    const CsrGraph source = named.build(1);
+    for (const BlockID k : ks) {
+      Instance instance;
+      instance.name = named.name + "/k" + std::to_string(k);
+
+      par::set_num_threads(1);
+      Timer timer;
+      const Context ctx = terapart_context(k, 3);
+      (void)partition_graph(source, ctx);
+      instance.sequential_seconds = timer.elapsed_s();
+
+      for (const int p : thread_counts) {
+        par::set_num_threads(p);
+        Timer parallel_timer;
+        (void)partition_graph(source, ctx);
+        instance.speedup[p] = instance.sequential_seconds / parallel_timer.elapsed_s();
+      }
+      instances.push_back(std::move(instance));
+    }
+  }
+  par::set_num_threads(1);
+
+  std::sort(instances.begin(), instances.end(), [](const Instance &a, const Instance &b) {
+    return a.sequential_seconds < b.sequential_seconds;
+  });
+
+  std::printf("cumulative harmonic-mean speedup over instances with t_seq >= t:\n\n");
+  std::printf("%-12s %10s", "t threshold", "#inst");
+  for (const int p : thread_counts) {
+    std::printf("    p=%-3d", p);
+  }
+  std::printf("\n");
+
+  const double thresholds[] = {0.0, 0.01, 0.05, 0.1, 0.25};
+  for (const double threshold : thresholds) {
+    std::vector<double> per_p[8];
+    int count = 0;
+    for (const Instance &instance : instances) {
+      if (instance.sequential_seconds >= threshold) {
+        ++count;
+        int index = 0;
+        for (const int p : thread_counts) {
+          per_p[index++].push_back(instance.speedup.at(p));
+        }
+      }
+    }
+    if (count == 0) {
+      continue;
+    }
+    std::printf("%-12.2f %10d", threshold, count);
+    for (int index = 0; index < static_cast<int>(std::size(thread_counts)); ++index) {
+      std::printf("   %5.2fx", harmonic_mean(per_p[index]));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nslowest five instances (the paper's 'large graphs scale better' tail):\n");
+  for (std::size_t i = instances.size() >= 5 ? instances.size() - 5 : 0; i < instances.size();
+       ++i) {
+    const Instance &instance = instances[i];
+    std::printf("  %-24s t_seq=%6.3fs ", instance.name.c_str(),
+                instance.sequential_seconds);
+    for (const int p : thread_counts) {
+      std::printf(" p=%d: %5.2fx", p, instance.speedup.at(p));
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: speedups grow with p and with instance size; on a machine\n"
+              "with one physical core, values ~1x simply confirm correctness under\n"
+              "oversubscription (see DESIGN.md substitutions).\n");
+  return 0;
+}

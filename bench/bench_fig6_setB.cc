@@ -1,0 +1,74 @@
+/// Reproduces **Figure 6**: relative running time and peak memory of the
+/// optimization ladder on the huge web graphs of Benchmark Set B (left and
+/// middle), and compression ratios with gap-only vs gap+interval encoding
+/// (right, also Figure 10's Set-B entries).
+///
+/// Paper: on gsh-2015 / clueweb12 / uk-2014 / eu-2015 KaMinPar uses
+/// 12.9/12.5/15.7/15.7x more memory than TeraPart; compression ratios run
+/// from 5 (hyperlink) to >11 (eu-2015), and gap-only achieves just 2.7-3.4.
+#include "bench_common.h"
+
+int main() {
+  using namespace terapart;
+  using namespace terapart::bench;
+
+  par::set_num_threads(bench_threads());
+  MemoryTracker::global().reset();
+
+  print_header("Figure 6 — Benchmark Set B: ladder + compression ratios",
+               "Fig. 6 (web graphs, k=30000) and Fig. 10 (Set B)",
+               "per-graph relative time/memory for the ladder; gap vs gap+interval ratios");
+
+  const auto suite = gen::benchmark_set_b(gen::SuiteScale::kSmall);
+  // k scaled so n/k stays in a regime where the cluster-weight rule
+  // U = eps*W/k still permits real coarsening (see DESIGN.md on scale).
+  const BlockID k = 64;
+
+  for (const auto &named : suite) {
+    const CsrGraph source_raw = named.build(1);
+    const CsrGraph source = copy_graph(source_raw, "bench/source");
+    std::printf("\n--- %s: n=%u m=%llu ---\n", named.name.c_str(), source.n(),
+                static_cast<unsigned long long>(source.m()));
+
+    std::printf("%-16s %14s %12s %10s %12s\n", "configuration", "peak memory", "rel. mem",
+                "time [s]", "edge cut");
+    double baseline_bytes = 0;
+    double baseline_seconds = 0;
+    RunMeasurement terapart;
+    for (int step = 0; step < kLadderSteps; ++step) {
+      const RunMeasurement run = run_ladder_step(source, step, k, 5);
+      if (step == 0) {
+        baseline_bytes = static_cast<double>(run.peak_bytes);
+        baseline_seconds = run.seconds;
+      }
+      if (step == kLadderSteps - 1) {
+        terapart = run;
+      }
+      std::printf("%-16s %14s %11.2fx %10.2f %12lld\n", ladder_name(step),
+                  format_bytes(run.peak_bytes).c_str(),
+                  static_cast<double>(run.peak_bytes) / baseline_bytes, run.seconds,
+                  static_cast<long long>(run.cut));
+    }
+    std::printf("(KaMinPar / TeraPart memory factor: %.1fx; time factor: %.2fx)\n",
+                baseline_bytes / std::max<double>(1, static_cast<double>(terapart.peak_bytes)),
+                baseline_seconds / std::max(terapart.seconds, 1e-9));
+
+    // Compression ratios: gap-only vs gap+interval (Figure 6 right / 10).
+    CompressionConfig gap_only;
+    gap_only.intervals = false;
+    const CompressedGraph with_intervals = compress_graph_parallel(source, {}, "graph");
+    ParallelCompressionConfig gap_config;
+    gap_config.compression = gap_only;
+    const CompressedGraph gaps = compress_graph_parallel(source, gap_config, "graph");
+    const double csr_bytes = static_cast<double>(with_intervals.uncompressed_csr_bytes());
+    std::printf("compression: gap-only %.2fx, gap+interval %.2fx (%s -> %s)\n",
+                csr_bytes / static_cast<double>(gaps.memory_bytes()),
+                csr_bytes / static_cast<double>(with_intervals.memory_bytes()),
+                format_bytes(static_cast<std::uint64_t>(csr_bytes)).c_str(),
+                format_bytes(with_intervals.memory_bytes()).c_str());
+  }
+
+  std::printf("\npaper shape: interval encoding is crucial on web graphs (ratios 5-11 vs\n"
+              "2.7-3.4 gap-only); memory ladder mirrors Figure 1 per graph.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+/// Reproduces **Figure 7**: FM refinement with (a) no gain table, (b) the
+/// full O(nk) table, (c) the sparse O(m) table — relative running time,
+/// relative peak memory, and cut quality, on Benchmark Set A with
+/// k in {8, ..., 1000}.
+///
+/// Paper: sparse tables need 2.7x less memory than full tables (5.8x on
+/// graphs >8 GiB) at +1.6% running time; no-table is 2.7x slower on average;
+/// all three produce the same cuts; TeraPart-FM beats TeraPart-LP on 80% of
+/// instances.
+///
+/// Methodology: per instance we produce one TeraPart-LP partition, then run
+/// the *same* FM refinement pass from that partition with each gain-table
+/// variant — isolating exactly the component Figure 7 varies.
+#include "bench_common.h"
+
+#include "partition/metrics.h"
+#include "partition/partitioned_graph.h"
+#include "refinement/fm_refiner.h"
+
+int main() {
+  using namespace terapart;
+  using namespace terapart::bench;
+
+  par::set_num_threads(bench_threads());
+  MemoryTracker::global().reset();
+
+  print_header("Figure 7 — FM gain-table variants",
+               "Fig. 7 (Set A, k in {8..1000}, LP+FM refinement)",
+               "No Table vs Full Table vs sparse TeraPart-FM: time, memory, quality");
+
+  auto suite = gen::benchmark_set_a(gen::SuiteScale::kSmall);
+  suite.resize(8); // diverse subset; keeps the FM sweep within budget
+  // "Heavy" instances with high-degree boundary vertices — the regime where
+  // recomputing gains hurts most (the paper's >8 GiB subset, where no-table
+  // is an order of magnitude slower on 67/504 instances).
+  const std::size_t first_heavy = suite.size();
+  suite.push_back({"web-heavy", "web",
+                   [](const std::uint64_t seed) { return gen::weblike(40'000, 36, seed); }});
+  suite.push_back({"rhg-heavy", "social", [](const std::uint64_t seed) {
+                     return gen::rhg(40'000, 24, 2.5, seed);
+                   }});
+  const BlockID ks[] = {8, 64, 256};
+
+  struct Variant {
+    const char *name;
+    GainTableKind kind;
+  };
+  const Variant variants[] = {{"No Table", GainTableKind::kNone},
+                              {"Full Table", GainTableKind::kDense},
+                              {"TeraPart-FM", GainTableKind::kSparse}};
+
+  std::vector<double> rel_time[3];
+  std::vector<double> rel_time_heavy[3];
+  std::vector<double> rel_gain_memory[3];
+  std::map<std::string, std::vector<double>> cuts;
+  int fm_beats_lp = 0;
+  int instances = 0;
+
+  FmConfig fm_config;
+  fm_config.rounds = 3;
+
+  for (std::size_t graph_index = 0; graph_index < suite.size(); ++graph_index) {
+    const auto &named = suite[graph_index];
+    const bool heavy = graph_index >= first_heavy;
+    for (const BlockID k : ks) {
+      const CsrGraph graph = named.build(1);
+      ++instances;
+
+      // Common starting point: a TeraPart-LP partition.
+      const PartitionResult lp = partition_graph(graph, terapart_context(k, 3));
+      cuts["TeraPart-LP"].push_back(static_cast<double>(lp.cut));
+      const BlockWeight bound =
+          metrics::max_block_weight(graph.total_node_weight(), k, 0.03);
+
+      double full_table_seconds = 1e-9;
+      std::uint64_t full_table_bytes = 1;
+      EdgeWeight sparse_cut = 0;
+      for (int v = 0; v < 3; ++v) {
+        PartitionedGraph partitioned(graph, k, std::vector<BlockID>(lp.partition));
+        fm_config.gain_table = variants[v].kind;
+        MemoryTracker::global().reset_peak();
+        Timer timer;
+        (void)fm_refine(graph, partitioned, bound, fm_config, 17);
+        const double seconds = timer.elapsed_s();
+        const std::uint64_t gain_bytes = MemoryTracker::global().peak("fm/gain_table");
+        const EdgeWeight cut = metrics::edge_cut(graph, partitioned.partition());
+        if (variants[v].kind == GainTableKind::kDense) {
+          full_table_seconds = std::max(seconds, 1e-9);
+          full_table_bytes = std::max<std::uint64_t>(1, gain_bytes);
+        } else if (variants[v].kind == GainTableKind::kSparse) {
+          sparse_cut = cut;
+        }
+        cuts[variants[v].name].push_back(static_cast<double>(cut));
+        rel_time[v].push_back(seconds);
+        rel_gain_memory[v].push_back(static_cast<double>(gain_bytes));
+      }
+      for (int v = 0; v < 3; ++v) {
+        rel_time[v].back() /= full_table_seconds;
+        rel_gain_memory[v].back() /= static_cast<double>(full_table_bytes);
+        if (heavy) {
+          rel_time_heavy[v].push_back(rel_time[v].back());
+        }
+      }
+      if (sparse_cut < lp.cut) {
+        ++fm_beats_lp;
+      }
+    }
+  }
+
+  std::printf("instances: %d, p=%d (FM pass isolated; times relative to Full Table)\n\n",
+              instances, par::num_threads());
+  std::printf("%-14s %18s %18s %22s\n", "configuration", "rel. FM time (hm)",
+              "heavy instances", "rel. gain-table mem (gm)");
+  for (int v = 0; v < 3; ++v) {
+    std::printf("%-14s %17.2fx %17.2fx %21.3fx\n", variants[v].name,
+                harmonic_mean(rel_time[v]), harmonic_mean(rel_time_heavy[v]),
+                geometric_mean(rel_gain_memory[v]));
+  }
+  std::printf("\nTeraPart-FM improves on TeraPart-LP on %d/%d instances (paper: ~80%%)\n",
+              fm_beats_lp, instances);
+
+  std::printf("\nperformance profile:\n");
+  print_performance_profile(cuts);
+
+  std::printf("\npaper shape: sparse << full memory at ~equal time; no-table much slower\n"
+              "(2.7x on average in the paper); all FM variants produce equivalent cuts\n"
+              "and beat LP-only.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+/// Reproduces the **Section VI methodology experiment** on graph loading:
+/// on eu-2015 the paper measures 2905 s (sequential, compress-on-load) vs
+/// 572 s (sequential, raw) — a 5x overhead — but with 96 cores the times
+/// converge to 179 s vs 177 s: parallel packet compression hides the codec
+/// behind the I/O stream, which is why TeraPart can afford single-pass
+/// compressing input without a second disk pass.
+///
+/// Here: a TPG file on tmpfs-backed storage, loaded (a) raw, (b) compressed
+/// sequentially, (c) compressed with growing thread counts. The expected
+/// shape: sequential compression costs a multiple of the raw load; the
+/// parallel overhead shrinks toward the raw-load time as p grows (bounded
+/// on this machine by the single physical core, see DESIGN.md).
+#include "bench_common.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "graph/graph_io.h"
+
+int main() {
+  using namespace terapart;
+  using namespace terapart::bench;
+  namespace fs = std::filesystem;
+
+  MemoryTracker::global().reset();
+  print_header("Section VI (methodology) — single-pass compressing I/O",
+               "eu-2015 load: 2905 s/572 s sequential vs 179 s/177 s on 96 cores",
+               "raw load vs compress-on-load, sequential and parallel");
+
+  const CsrGraph graph = gen::weblike(200'000, 24, 1, 0.85, 128);
+  const fs::path path =
+      fs::temp_directory_path() / ("terapart_io_" + std::to_string(::getpid()) + ".tpg");
+  io::write_tpg(path, graph);
+  std::printf("graph: weblike n=%u m=%llu, file %s (%.1f MiB)\n\n", graph.n(),
+              static_cast<unsigned long long>(graph.m()), path.filename().c_str(),
+              static_cast<double>(fs::file_size(path)) / (1024.0 * 1024.0));
+
+  const int repetitions = 3;
+
+  // (a) Raw uncompressed load.
+  double raw_seconds = 1e300;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    Timer timer;
+    const CsrGraph loaded = io::read_tpg(path, "bench/io");
+    raw_seconds = std::min(raw_seconds, timer.elapsed_s());
+  }
+  std::printf("%-34s %8.3f s   1.00x\n", "raw load (CSR)", raw_seconds);
+
+  // (b, c) Compress-on-load at growing p.
+  for (const int threads : {1, 2, 4, 8}) {
+    par::set_num_threads(threads);
+    double seconds = 1e300;
+    std::uint64_t compressed_bytes = 0;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      Timer timer;
+      const CompressedGraph loaded = compress_tpg_single_pass(path, {}, "bench/io");
+      seconds = std::min(seconds, timer.elapsed_s());
+      compressed_bytes = loaded.memory_bytes();
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label), "compress-on-load, p=%d", threads);
+    std::printf("%-34s %8.3f s  %5.2fx   (-> %s in memory)\n", label, seconds,
+                seconds / raw_seconds, format_bytes(compressed_bytes).c_str());
+  }
+
+  // Put the codec cost in disk terms: if compression ingests bytes faster
+  // than the storage can deliver them, the parallel pipeline hides it
+  // entirely — the paper's 179 s vs 177 s result.
+  par::set_num_threads(bench_threads());
+  Timer throughput_timer;
+  const CompressedGraph loaded = compress_tpg_single_pass(path, {}, "bench/io");
+  const double seconds = throughput_timer.elapsed_s();
+  const double bytes_per_second = static_cast<double>(fs::file_size(path)) / seconds;
+  std::printf("\ncompression ingest rate: %.0f MiB/s of raw CSR (m = %.1f M edges/s);\n"
+              "a single NVMe stream delivers ~1-3 GiB/s, i.e. ~4-12 such threads hide\n"
+              "the codec behind the disk — the paper's convergence at p=96.\n",
+              bytes_per_second / (1024.0 * 1024.0),
+              static_cast<double>(loaded.m()) / seconds / 1e6);
+
+  fs::remove(path);
+  std::printf("\npaper shape: sequential compression costs a multiple of a raw *page-cache*\n"
+              "load (the raw numbers here are cache-bound, not disk-bound); against a real\n"
+              "disk the paper measures 5x sequentially and ~0 overhead at p=96. The\n"
+              "single-pass protocol (ordered packet commits into overcommitted memory) is\n"
+              "fully exercised either way.\n");
+  return 0;
+}

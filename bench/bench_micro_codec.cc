@@ -1,0 +1,123 @@
+/// Microbenchmarks (google-benchmark) for the compression codec: VarInt
+/// encode/decode, neighborhood encode/decode across graph classes and
+/// configurations, and decode throughput relative to raw CSR iteration.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "common/varint.h"
+#include "compression/parallel_compressor.h"
+#include "generators/generators.h"
+
+namespace {
+
+using namespace terapart;
+
+void BM_VarIntEncode(benchmark::State &state) {
+  Random rng(1);
+  std::vector<std::uint64_t> values(4096);
+  for (auto &value : values) {
+    value = rng() >> rng.next_bounded(56);
+  }
+  std::vector<std::uint8_t> buffer(values.size() * 10);
+  for (auto _ : state) {
+    std::size_t pos = 0;
+    for (const std::uint64_t value : values) {
+      pos += varint_encode(value, buffer.data() + pos);
+    }
+    benchmark::DoNotOptimize(pos);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * values.size());
+}
+BENCHMARK(BM_VarIntEncode);
+
+void BM_VarIntDecode(benchmark::State &state) {
+  Random rng(1);
+  std::vector<std::uint64_t> values(4096);
+  for (auto &value : values) {
+    value = rng() >> rng.next_bounded(56);
+  }
+  std::vector<std::uint8_t> buffer(values.size() * 10);
+  std::size_t bytes = 0;
+  for (const std::uint64_t value : values) {
+    bytes += varint_encode(value, buffer.data() + bytes);
+  }
+  for (auto _ : state) {
+    const std::uint8_t *ptr = buffer.data();
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      sum += varint_decode<std::uint64_t>(ptr);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * values.size());
+}
+BENCHMARK(BM_VarIntDecode);
+
+const CsrGraph &codec_graph(const int kind) {
+  static const CsrGraph web = gen::weblike(20'000, 20, 1);
+  static const CsrGraph mesh = gen::rgg2d(20'000, 16, 1);
+  static const CsrGraph kmer = gen::kmer_like(20'000, 8, 1);
+  switch (kind) {
+  case 0:
+    return web;
+  case 1:
+    return mesh;
+  default:
+    return kmer;
+  }
+}
+
+void BM_CompressGraph(benchmark::State &state) {
+  const CsrGraph &graph = codec_graph(static_cast<int>(state.range(0)));
+  CompressionConfig config;
+  config.intervals = state.range(1) != 0;
+  for (auto _ : state) {
+    const CompressedGraph compressed = compress_graph(graph, config);
+    benchmark::DoNotOptimize(compressed.used_bytes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.m()));
+  const CompressedGraph compressed = compress_graph(graph, config);
+  state.counters["bytes_per_edge"] =
+      static_cast<double>(compressed.used_bytes()) / static_cast<double>(graph.m());
+}
+BENCHMARK(BM_CompressGraph)
+    ->ArgsProduct({{0, 1, 2}, {0, 1}})
+    ->ArgNames({"class(0=web,1=mesh,2=kmer)", "intervals"});
+
+void BM_DecodeNeighborhoods(benchmark::State &state) {
+  const CsrGraph &graph = codec_graph(static_cast<int>(state.range(0)));
+  const CompressedGraph compressed = compress_graph(graph);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (NodeID u = 0; u < compressed.n(); ++u) {
+      compressed.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+        sum += v + static_cast<std::uint64_t>(w);
+      });
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.m()));
+}
+BENCHMARK(BM_DecodeNeighborhoods)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_IterateCsrReference(benchmark::State &state) {
+  const CsrGraph &graph = codec_graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (NodeID u = 0; u < graph.n(); ++u) {
+      graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+        sum += v + static_cast<std::uint64_t>(w);
+      });
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.m()));
+}
+BENCHMARK(BM_IterateCsrReference)->Arg(0)->Arg(1)->Arg(2);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,154 @@
+/// Microbenchmarks (google-benchmark) for the core data structures: rating
+/// maps (fixed hash vs sparse array), the dual counter vs two plain atomics,
+/// and gain-table query/update throughput (dense vs sparse).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "coarsening/rating_map.h"
+#include "common/random.h"
+#include "generators/generators.h"
+#include "parallel/dual_counter.h"
+#include "partition/partitioned_graph.h"
+#include "refinement/dense_gain_table.h"
+#include "refinement/sparse_gain_table.h"
+
+namespace {
+
+using namespace terapart;
+
+void BM_FixedHashMapAggregate(benchmark::State &state) {
+  const auto distinct = static_cast<std::uint32_t>(state.range(0));
+  Random rng(1);
+  std::vector<std::uint32_t> keys(1024);
+  for (auto &key : keys) {
+    key = static_cast<std::uint32_t>(rng.next_bounded(distinct));
+  }
+  FixedHashMap<std::uint32_t, EdgeWeight> map(distinct);
+  for (auto _ : state) {
+    map.clear();
+    for (const std::uint32_t key : keys) {
+      benchmark::DoNotOptimize(map.add(key, 1));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_FixedHashMapAggregate)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_SparseRatingMapAggregate(benchmark::State &state) {
+  const auto distinct = static_cast<std::uint32_t>(state.range(0));
+  Random rng(1);
+  std::vector<std::uint32_t> keys(1024);
+  for (auto &key : keys) {
+    key = static_cast<std::uint32_t>(rng.next_bounded(distinct));
+  }
+  SparseRatingMap map(1 << 20, "bench"); // n-sized array, the classic layout
+  for (auto _ : state) {
+    map.clear();
+    for (const std::uint32_t key : keys) {
+      map.add(key, 1);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_SparseRatingMapAggregate)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_DualCounterFetchAdd(benchmark::State &state) {
+  par::DualCounter counter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.fetch_add(7, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DualCounterFetchAdd);
+
+void BM_TwoPlainAtomicsReference(benchmark::State &state) {
+  std::atomic<std::uint64_t> d{0};
+  std::atomic<std::uint64_t> s{0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.fetch_add(7, std::memory_order_relaxed));
+    benchmark::DoNotOptimize(s.fetch_add(1, std::memory_order_relaxed));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TwoPlainAtomicsReference);
+
+struct GainBenchFixture {
+  CsrGraph graph = gen::rhg(10'000, 16, 3.0, 1);
+  BlockID k;
+  PartitionedGraph partitioned;
+  std::vector<NodeID> queries;
+
+  explicit GainBenchFixture(const BlockID k_in) : k(k_in) {
+    std::vector<BlockID> partition(graph.n());
+    Random rng(2);
+    for (auto &b : partition) {
+      b = static_cast<BlockID>(rng.next_bounded(k));
+    }
+    partitioned = PartitionedGraph(graph, k, std::move(partition));
+    queries.resize(4096);
+    for (auto &u : queries) {
+      u = static_cast<NodeID>(rng.next_bounded(graph.n()));
+    }
+  }
+};
+
+void BM_DenseGainTableQueries(benchmark::State &state) {
+  GainBenchFixture fixture(static_cast<BlockID>(state.range(0)));
+  DenseGainTable table(fixture.graph.n(), fixture.k);
+  table.init(fixture.graph, fixture.partitioned);
+  BlockID b = 0;
+  for (auto _ : state) {
+    EdgeWeight sum = 0;
+    for (const NodeID u : fixture.queries) {
+      sum += table.connection(fixture.graph, u, b);
+      b = (b + 1) % fixture.k;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+  state.counters["table_MiB"] =
+      static_cast<double>(table.memory_bytes()) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_DenseGainTableQueries)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_SparseGainTableQueries(benchmark::State &state) {
+  GainBenchFixture fixture(static_cast<BlockID>(state.range(0)));
+  SparseGainTable table(fixture.graph, fixture.k);
+  table.init(fixture.graph, fixture.partitioned);
+  BlockID b = 0;
+  for (auto _ : state) {
+    EdgeWeight sum = 0;
+    for (const NodeID u : fixture.queries) {
+      sum += table.connection(fixture.graph, u, b);
+      b = (b + 1) % fixture.k;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+  state.counters["table_MiB"] =
+      static_cast<double>(table.memory_bytes()) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_SparseGainTableQueries)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_SparseGainTableMoves(benchmark::State &state) {
+  GainBenchFixture fixture(static_cast<BlockID>(state.range(0)));
+  SparseGainTable table(fixture.graph, fixture.k);
+  table.init(fixture.graph, fixture.partitioned);
+  Random rng(5);
+  for (auto _ : state) {
+    const NodeID u = fixture.queries[rng.next_bounded(fixture.queries.size())];
+    const BlockID from = fixture.partitioned.block(u);
+    const auto to = static_cast<BlockID>(rng.next_bounded(fixture.k));
+    if (from != to) {
+      fixture.partitioned.force_move(u, fixture.graph.node_weight(u), to);
+      table.notify_move(fixture.graph, u, from, to);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SparseGainTableMoves)->Arg(8)->Arg(256);
+
+} // namespace
+
+BENCHMARK_MAIN();

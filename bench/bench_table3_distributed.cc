@@ -1,0 +1,87 @@
+/// Reproduces **Table III + Figure 8 (left/middle)**: XTeraPart vs
+/// dKaMinPar, the ParMETIS proxy, and the XtraPuLP proxy on growing rgg2D
+/// and rhg graphs with a fixed number of (simulated) compute nodes.
+///
+/// Paper: on 8 nodes, XTeraPart handles graphs up to 2^40 edges; plain
+/// dKaMinPar is limited to graphs 8x smaller (4.5-4.8x more memory per
+/// rank); ParMETIS/XtraPuLP fail 64x earlier, and XtraPuLP's cuts are
+/// 5.6x-68x worse. Here the graph sizes double across a feasible range and
+/// the per-rank memory model + cut ratios reproduce the ordering.
+#include "bench_common.h"
+
+#include "baselines/metis_like.h"
+#include "baselines/xtrapulp_like.h"
+#include "distributed/dist_partitioner.h"
+
+int main() {
+  using namespace terapart;
+  using namespace terapart::bench;
+
+  par::set_num_threads(bench_threads());
+  MemoryTracker::global().reset();
+
+  print_header("Table III / Figure 8 (left, middle) — distributed comparison",
+               "Table III + Fig. 8 (rgg2D / rhg, 8 nodes, k=64)",
+               "XTeraPart vs dKaMinPar vs ParMETIS* vs XtraPuLP* on doubling graph sizes");
+
+  const int num_ranks = 8;
+  const BlockID k = 64;
+  const Context ctx = terapart_context(k, 3);
+
+  struct Family {
+    const char *name;
+    CsrGraph (*build)(NodeID, std::uint64_t);
+  };
+  const Family families[] = {
+      {"rgg2D", [](const NodeID n, const std::uint64_t seed) { return gen::rgg2d(n, 16, seed); }},
+      {"rhg", [](const NodeID n, const std::uint64_t seed) {
+         return gen::rhg(n, 16, 3.0, seed);
+       }}};
+
+  for (const auto &family : families) {
+    std::printf("\n--- %s family, %d simulated ranks ---\n", family.name, num_ranks);
+    std::printf("%-10s %-12s %10s %10s %10s %14s\n", "n", "algorithm", "cut/m", "rel. XTP",
+                "time [s]", "max rank mem");
+    for (const NodeID n : {4'000u, 8'000u, 16'000u, 32'000u}) {
+      const CsrGraph graph = family.build(n, 5);
+      const double undirected_m = static_cast<double>(graph.m()) / 2.0;
+
+      Timer xt_timer;
+      const auto xterapart = dist::dist_partition(graph, num_ranks, ctx, /*compress=*/true);
+      const double xt_seconds = xt_timer.elapsed_s();
+
+      Timer dk_timer;
+      const auto dkaminpar = dist::dist_partition(graph, num_ranks, ctx, /*compress=*/false);
+      const double dk_seconds = dk_timer.elapsed_s();
+
+      Timer pm_timer;
+      const auto parmetis = baselines::metis_like_partition(graph, k, 0.03, 5);
+      const double pm_seconds = pm_timer.elapsed_s();
+
+      Timer xp_timer;
+      const auto xtrapulp = baselines::xtrapulp_like_partition(graph, k, 0.03, 5);
+      const double xp_seconds = xp_timer.elapsed_s();
+
+      std::printf("%-10u %-12s %9.2f%% %10s %10.2f %14s\n", n, "XTeraPart",
+                  100.0 * static_cast<double>(xterapart.cut) / undirected_m, "1.00x",
+                  xt_seconds, format_bytes(xterapart.max_rank_memory).c_str());
+      const auto rel = [&](const EdgeWeight cut) {
+        return static_cast<double>(cut) / std::max<double>(1, xterapart.cut);
+      };
+      std::printf("%-10s %-12s %10s %9.2fx %10.2f %14s\n", "", "dKaMinPar", "",
+                  rel(dkaminpar.cut), dk_seconds,
+                  format_bytes(dkaminpar.max_rank_memory).c_str());
+      std::printf("%-10s %-12s %10s %9.2fx %10.2f %14s%s\n", "", "ParMETIS*", "",
+                  rel(parmetis.cut), pm_seconds, "-",
+                  parmetis.balanced ? "" : "  (imbalanced)");
+      std::printf("%-10s %-12s %10s %9.2fx %10.2f %14s%s\n", "", "XtraPuLP*", "",
+                  rel(xtrapulp.cut), xp_seconds, "-",
+                  xtrapulp.balanced ? "" : "  (imbalanced)");
+    }
+  }
+
+  std::printf("\npaper shape: XTeraPart needs ~4.5-4.8x less rank memory than dKaMinPar at\n"
+              "matching cuts; ParMETIS ~1x cut where it runs; XtraPuLP 5.6x-68x worse\n"
+              "cuts (worst on rhg). Cut/m decreases with graph size on both families.\n");
+  return 0;
+}

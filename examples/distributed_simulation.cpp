@@ -1,0 +1,42 @@
+/// @file distributed_simulation.cpp
+/// @brief XTeraPart (Section VI-C) in action: partition one graph across a
+/// growing number of simulated compute nodes, with and without graph
+/// compression, and watch the per-rank memory budget and message volume.
+///
+/// Run: ./distributed_simulation [n] [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "distributed/dist_partitioner.h"
+#include "generators/generators.h"
+#include "parallel/thread_pool.h"
+
+int main(int argc, char **argv) {
+  using namespace terapart;
+
+  const NodeID n = argc > 1 ? static_cast<NodeID>(std::atol(argv[1])) : 40'000;
+  par::set_num_threads(argc > 2 ? std::atoi(argv[2]) : 4);
+
+  const CsrGraph graph = gen::rgg2d(n, 16, /*seed=*/3);
+  const Context ctx = terapart_context(/*k=*/64, /*seed=*/7);
+  std::printf("graph: n=%u m=%llu, k=64\n\n", graph.n(),
+              static_cast<unsigned long long>(graph.m()));
+
+  std::printf("%6s %-11s %10s %10s %16s %14s %11s\n", "ranks", "variant", "cut", "balanced",
+              "max rank memory", "messages", "supersteps");
+  for (const int ranks : {2, 4, 8}) {
+    for (const bool compress : {false, true}) {
+      const auto result = dist::dist_partition(graph, ranks, ctx, compress);
+      std::printf("%6d %-11s %10lld %10s %13.2f MiB %14llu %11llu\n", ranks,
+                  compress ? "XTeraPart" : "dKaMinPar",
+                  static_cast<long long>(result.cut), result.balanced ? "yes" : "NO",
+                  static_cast<double>(result.max_rank_memory) / (1024.0 * 1024.0),
+                  static_cast<unsigned long long>(result.comm.messages),
+                  static_cast<unsigned long long>(result.comm.supersteps));
+    }
+  }
+
+  std::printf("\nXTeraPart = dKaMinPar + compressed local graphs: same cuts, smaller\n"
+              "per-rank footprint — the paper's route to 2^44 edges on 128 nodes.\n");
+  return 0;
+}

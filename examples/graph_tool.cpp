@@ -1,0 +1,185 @@
+/// @file graph_tool.cpp
+/// @brief Graph utility CLI: format conversion (METIS <-> TPG binary),
+/// structural statistics, compression estimation, and partition validation —
+/// the companion tool for preparing inputs and checking outputs of
+/// terapart_cli.
+///
+/// Usage:
+///   graph_tool stats    <graph>                 structural summary
+///   graph_tool convert  <in> <out>              .metis <-> .tpg by extension
+///   graph_tool compress <graph>                 compression report
+///   graph_tool check    <graph> <partition> <k> validate a partition file
+///
+/// <graph> is a .metis / .tpg file or gen:SPEC.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "terapart.h"
+
+namespace {
+
+using namespace terapart;
+
+CsrGraph load(const std::string &arg) {
+  if (arg.rfind("gen:", 0) == 0) {
+    return gen::by_spec(arg.substr(4), 1);
+  }
+  if (arg.size() > 4 && arg.substr(arg.size() - 4) == ".tpg") {
+    return io::read_tpg(arg);
+  }
+  return io::read_metis(arg);
+}
+
+int cmd_stats(const std::string &arg) {
+  const CsrGraph graph = load(arg);
+  std::printf("n                 %u\n", graph.n());
+  std::printf("m (undirected)    %llu\n", static_cast<unsigned long long>(graph.m() / 2));
+  std::printf("average degree    %.2f\n",
+              graph.n() > 0 ? static_cast<double>(graph.m()) / graph.n() : 0.0);
+  std::printf("max degree        %u\n", graph.max_degree());
+  std::printf("node weighted     %s (total %lld, max %lld)\n",
+              graph.is_node_weighted() ? "yes" : "no",
+              static_cast<long long>(graph.total_node_weight()),
+              static_cast<long long>(graph.max_node_weight()));
+  std::printf("edge weighted     %s (total %lld)\n", graph.is_edge_weighted() ? "yes" : "no",
+              static_cast<long long>(graph.total_edge_weight()));
+  std::printf("components        %u\n", count_connected_components(graph));
+  std::printf("CSR size          %.2f MiB\n",
+              static_cast<double>(graph.memory_bytes()) / (1024.0 * 1024.0));
+
+  const auto histogram = degree_histogram(graph);
+  std::printf("degree histogram (power-of-two buckets):\n");
+  for (std::size_t bucket = 0; bucket < histogram.size(); ++bucket) {
+    if (histogram[bucket] == 0) {
+      continue;
+    }
+    const std::uint64_t low = bucket == 0 ? 0 : (1ULL << (bucket - 1));
+    const std::uint64_t high = bucket == 0 ? 0 : (1ULL << bucket) - 1;
+    std::printf("  [%6llu, %6llu]  %10llu\n", static_cast<unsigned long long>(low),
+                static_cast<unsigned long long>(high),
+                static_cast<unsigned long long>(histogram[bucket]));
+  }
+
+  const GraphValidationResult validation = validate_graph(graph);
+  std::printf("canonical form    %s%s\n", validation.ok ? "valid" : "INVALID: ",
+              validation.ok ? "" : validation.message.c_str());
+  return validation.ok ? 0 : 2;
+}
+
+int cmd_convert(const std::string &in, const std::string &out) {
+  const CsrGraph graph = load(in);
+  if (out.size() > 4 && out.substr(out.size() - 4) == ".tpg") {
+    io::write_tpg(out, graph);
+  } else {
+    io::write_metis(out, graph);
+  }
+  std::printf("wrote %s: n=%u m=%llu\n", out.c_str(), graph.n(),
+              static_cast<unsigned long long>(graph.m() / 2));
+  return 0;
+}
+
+int cmd_compress(const std::string &arg) {
+  const CsrGraph graph = load(arg);
+  CompressionConfig gap_only;
+  gap_only.intervals = false;
+  const CompressedGraph gaps = compress_graph(graph, gap_only);
+  const CompressedGraph full = compress_graph_parallel(graph);
+  const double csr = static_cast<double>(full.uncompressed_csr_bytes());
+  std::printf("uncompressed CSR      %.2f MiB (%.2f bytes/edge)\n", csr / (1024.0 * 1024.0),
+              csr / static_cast<double>(std::max<EdgeID>(1, graph.m())));
+  std::printf("gap encoding only     %.2f MiB  ratio %.2fx\n",
+              static_cast<double>(gaps.memory_bytes()) / (1024.0 * 1024.0),
+              csr / static_cast<double>(gaps.memory_bytes()));
+  std::printf("gap + interval        %.2f MiB  ratio %.2fx (%.2f bytes/edge)\n",
+              static_cast<double>(full.memory_bytes()) / (1024.0 * 1024.0),
+              csr / static_cast<double>(full.memory_bytes()),
+              static_cast<double>(full.used_bytes()) /
+                  static_cast<double>(std::max<EdgeID>(1, graph.m())));
+  return 0;
+}
+
+int cmd_check(const std::string &graph_arg, const std::string &partition_file,
+              const BlockID k) {
+  const CsrGraph graph = load(graph_arg);
+  std::ifstream in(partition_file);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", partition_file.c_str());
+    return 1;
+  }
+  std::vector<BlockID> partition;
+  partition.reserve(graph.n());
+  BlockID block = 0;
+  while (in >> block) {
+    partition.push_back(block);
+  }
+  if (partition.size() != graph.n()) {
+    std::fprintf(stderr, "partition has %zu entries, graph has %u vertices\n",
+                 partition.size(), graph.n());
+    return 2;
+  }
+  for (const BlockID b : partition) {
+    if (b >= k) {
+      std::fprintf(stderr, "block id %u out of range for k=%u\n", b, k);
+      return 2;
+    }
+  }
+  const EdgeWeight cut = metrics::edge_cut(graph, partition);
+  const auto weights = metrics::block_weights(graph, partition, k);
+  const double imbalance = metrics::imbalance(weights, graph.total_node_weight());
+  std::printf("cut        %lld (%.3f%% of edges)\n", static_cast<long long>(cut),
+              100.0 * static_cast<double>(cut) /
+                  static_cast<double>(std::max<EdgeID>(1, graph.m() / 2)));
+  std::printf("imbalance  %.4f (%s at eps=0.03)\n", imbalance,
+              metrics::is_balanced(weights, graph.total_node_weight(), k, 0.03)
+                  ? "balanced"
+                  : "IMBALANCED");
+  BlockWeight lightest = weights[0];
+  BlockWeight heaviest = weights[0];
+  for (const BlockWeight w : weights) {
+    lightest = std::min(lightest, w);
+    heaviest = std::max(heaviest, w);
+  }
+  std::printf("block weights: min %lld, max %lld\n", static_cast<long long>(lightest),
+              static_cast<long long>(heaviest));
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr, "usage: graph_tool stats|convert|compress|check <args...>\n"
+                       "  stats    <graph>\n"
+                       "  convert  <in> <out>\n"
+                       "  compress <graph>\n"
+                       "  check    <graph> <partition-file> <k>\n"
+                       "<graph> = file.metis | file.tpg | gen:SPEC\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 3) {
+    usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "stats") {
+      return cmd_stats(argv[2]);
+    }
+    if (command == "convert" && argc >= 4) {
+      return cmd_convert(argv[2], argv[3]);
+    }
+    if (command == "compress") {
+      return cmd_compress(argv[2]);
+    }
+    if (command == "check" && argc >= 5) {
+      return cmd_check(argv[2], argv[3], static_cast<terapart::BlockID>(std::atoi(argv[4])));
+    }
+  } catch (const std::exception &error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  usage();
+  return 1;
+}

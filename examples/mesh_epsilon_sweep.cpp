@@ -1,0 +1,64 @@
+/// @file mesh_epsilon_sweep.cpp
+/// @brief Domain scenario: partitioning a finite-element-style mesh for a
+/// scientific-computing simulation. Sweeps the balance parameter epsilon to
+/// expose the classic trade-off — tighter balance costs edge cut (more halo
+/// communication per step), looser balance costs load imbalance (stragglers
+/// per step) — and prints the level-by-level hierarchy the multilevel
+/// scheme built.
+///
+/// Run: ./mesh_epsilon_sweep [side] [k] [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "terapart.h"
+
+int main(int argc, char **argv) {
+  using namespace terapart;
+
+  const NodeID side = argc > 1 ? static_cast<NodeID>(std::atol(argv[1])) : 300;
+  const BlockID k = argc > 2 ? static_cast<BlockID>(std::atoi(argv[2])) : 16;
+  par::set_num_threads(argc > 3 ? std::atoi(argv[3]) : 4);
+
+  // A 2D mesh with mildly non-uniform edge weights (heterogeneous element
+  // coupling, as in adaptive FEM).
+  const CsrGraph mesh = gen::with_random_edge_weights(gen::grid2d(side, side), 8, 7);
+  const double undirected_m = static_cast<double>(mesh.m()) / 2.0;
+  std::printf("mesh: %ux%u grid, %u cells, %.0f couplings, k=%u ranks\n\n", side, side,
+              mesh.n(), undirected_m, k);
+
+  std::printf("%8s %12s %12s %14s %14s\n", "epsilon", "cut", "cut %", "max load", "est. step cost");
+  PartitionResult last;
+  for (const double epsilon : {0.001, 0.01, 0.03, 0.10, 0.30}) {
+    Context ctx = terapart_fm_context(k, 1);
+    ctx.epsilon = epsilon;
+    const PartitionResult result = partition_graph(mesh, ctx);
+    const auto weights = metrics::block_weights(mesh, result.partition, k);
+    BlockWeight max_load = 0;
+    for (const BlockWeight w : weights) {
+      max_load = std::max(max_load, w);
+    }
+    // Toy cost model: per-step time ~ compute on the heaviest rank plus
+    // halo exchange proportional to the cut.
+    const double step_cost =
+        static_cast<double>(max_load) + 0.25 * static_cast<double>(result.cut);
+    std::printf("%8.3f %12lld %11.2f%% %14lld %14.0f%s\n", epsilon,
+                static_cast<long long>(result.cut),
+                100.0 * static_cast<double>(result.cut) / undirected_m,
+                static_cast<long long>(max_load), step_cost,
+                result.balanced ? "" : "  (!)");
+    last = std::move(result);
+  }
+
+  std::printf("\nmultilevel hierarchy of the last run (input first, coarsest last):\n");
+  std::printf("%8s %10s %12s %10s %12s\n", "level", "n", "m", "max deg", "memory");
+  for (std::size_t level = 0; level < last.levels.size(); ++level) {
+    const LevelStats &stats = last.levels[level];
+    std::printf("%8zu %10u %12llu %10u %9.2f MiB\n", level, stats.n,
+                static_cast<unsigned long long>(stats.m), stats.max_degree,
+                static_cast<double>(stats.memory_bytes) / (1024.0 * 1024.0));
+  }
+
+  std::printf("\nTakeaway: tightening epsilon below ~1%% buys little load balance on a\n"
+              "regular mesh but costs cut; the sweet spot sits near the paper's 3%%.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+/// @file social_network_kway.cpp
+/// @brief Domain scenario: sharding a social network (power-law graph) for a
+/// distributed system — sweep the shard count k and compare the two
+/// refinement stacks (LP vs LP+FM with the space-efficient gain table),
+/// reporting the metric that matters downstream: the fraction of
+/// relationships crossing shards.
+///
+/// Run: ./social_network_kway [n] [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "generators/generators.h"
+#include "parallel/thread_pool.h"
+#include "partition/partitioner.h"
+
+int main(int argc, char **argv) {
+  using namespace terapart;
+
+  const NodeID n = argc > 1 ? static_cast<NodeID>(std::atol(argv[1])) : 80'000;
+  par::set_num_threads(argc > 2 ? std::atoi(argv[2]) : 4);
+
+  // A hyperbolic-like social network: skewed power-law degrees (celebrity
+  // hubs) plus locality — the rhg family of the paper's tera-scale runs.
+  const CsrGraph graph = gen::rhg(n, /*avg_degree=*/24, /*gamma=*/2.8, /*seed=*/5);
+  const double undirected_m = static_cast<double>(graph.m()) / 2.0;
+  std::printf("social network: n=%u, %0.f relationships, max degree %u\n", graph.n(),
+              undirected_m, graph.max_degree());
+  std::printf("\n%6s %18s %18s %12s\n", "shards", "cross-shard (LP)", "cross-shard (FM)",
+              "FM gain");
+
+  for (const BlockID k : {4, 16, 64, 256}) {
+    const PartitionResult lp = partition_graph(graph, terapart_context(k, 1));
+    const PartitionResult fm = partition_graph(graph, terapart_fm_context(k, 1));
+    const double lp_frac = 100.0 * static_cast<double>(lp.cut) / undirected_m;
+    const double fm_frac = 100.0 * static_cast<double>(fm.cut) / undirected_m;
+    std::printf("%6u %17.2f%% %17.2f%% %11.1f%%\n", k, lp_frac, fm_frac,
+                100.0 * (1.0 - static_cast<double>(fm.cut) /
+                                   std::max<double>(1, lp.cut)));
+  }
+
+  std::printf("\nEvery partition satisfies the 3%% balance constraint, so shard load\n"
+              "stays even while cross-shard traffic is minimized.\n");
+  return 0;
+}

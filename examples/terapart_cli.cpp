@@ -1,0 +1,141 @@
+/// @file terapart_cli.cpp
+/// @brief Command-line partitioner: the tool a downstream user runs.
+///
+/// Usage:
+///   terapart_cli --graph <file.metis|file.tpg | gen:<spec>> --k <k>
+///                [--epsilon 0.03] [--threads 4] [--seed 1]
+///                [--preset kaminpar|terapart|terapart-fm]
+///                [--no-compress] [--output partition.txt]
+///
+/// Examples:
+///   terapart_cli --graph mygraph.metis --k 32
+///   terapart_cli --graph gen:rhg:n=100000,deg=16 --k 64 --preset terapart-fm
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "compression/parallel_compressor.h"
+#include "generators/generators.h"
+#include "graph/graph_io.h"
+#include "common/logging.h"
+#include "common/memory_tracker.h"
+#include "parallel/thread_pool.h"
+#include "partition/partitioner.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: terapart_cli --graph <file.metis|file.tpg|gen:SPEC> --k K\n"
+               "  [--epsilon E] [--threads P] [--seed S]\n"
+               "  [--preset kaminpar|terapart|terapart-fm] [--no-compress]\n"
+               "  [--output FILE]\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  using namespace terapart;
+
+  std::string graph_arg;
+  std::string preset = "terapart";
+  std::string output;
+  BlockID k = 0;
+  double epsilon = 0.03;
+  int threads = 4;
+  std::uint64_t seed = 1;
+  bool compress = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char * {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--graph") {
+      graph_arg = next();
+    } else if (arg == "--k") {
+      k = static_cast<BlockID>(std::atoi(next()));
+    } else if (arg == "--epsilon") {
+      epsilon = std::atof(next());
+    } else if (arg == "--threads") {
+      threads = std::atoi(next());
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--preset") {
+      preset = next();
+    } else if (arg == "--no-compress") {
+      compress = false;
+    } else if (arg == "--output") {
+      output = next();
+    } else {
+      usage();
+      return 1;
+    }
+  }
+  if (graph_arg.empty() || k == 0) {
+    usage();
+    return 1;
+  }
+
+  par::set_num_threads(threads);
+  log_level() = LogLevel::kInfo;
+
+  // --- Load or generate the graph ---
+  CsrGraph graph;
+  try {
+    if (graph_arg.rfind("gen:", 0) == 0) {
+      graph = gen::by_spec(graph_arg.substr(4), seed);
+    } else if (graph_arg.size() > 4 && graph_arg.substr(graph_arg.size() - 4) == ".tpg") {
+      graph = io::read_tpg(graph_arg);
+    } else {
+      graph = io::read_metis(graph_arg);
+    }
+  } catch (const std::exception &error) {
+    std::fprintf(stderr, "failed to load graph: %s\n", error.what());
+    return 1;
+  }
+  std::printf("graph: n=%u m=%llu (%s)\n", graph.n(),
+              static_cast<unsigned long long>(graph.m() / 2), graph_arg.c_str());
+
+  Context ctx = preset == "kaminpar"      ? kaminpar_context(k, seed)
+                : preset == "terapart-fm" ? terapart_fm_context(k, seed)
+                                          : terapart_context(k, seed);
+  ctx.epsilon = epsilon;
+
+  // --- Partition ---
+  Timer timer;
+  PartitionResult result;
+  if (compress && preset != "kaminpar") {
+    const CompressedGraph input = compress_graph_parallel(graph);
+    std::printf("compressed input: %.2f bytes/edge (ratio %.1fx)\n",
+                static_cast<double>(input.used_bytes()) / static_cast<double>(graph.m()),
+                static_cast<double>(input.uncompressed_csr_bytes()) /
+                    static_cast<double>(input.memory_bytes()));
+    result = partition_graph(input, ctx);
+  } else {
+    result = partition_graph(graph, ctx);
+  }
+
+  std::printf("cut=%lld (%.3f%% of edges)  imbalance=%.4f  %s  time=%.2fs  peak=%.1f MiB\n",
+              static_cast<long long>(result.cut),
+              100.0 * static_cast<double>(result.cut) /
+                  static_cast<double>(std::max<EdgeID>(1, graph.m() / 2)),
+              result.imbalance, result.balanced ? "balanced" : "IMBALANCED",
+              timer.elapsed_s(),
+              static_cast<double>(MemoryTracker::global().peak()) / (1024.0 * 1024.0));
+
+  if (!output.empty()) {
+    std::ofstream out(output);
+    for (const BlockID block : result.partition) {
+      out << block << '\n';
+    }
+    std::printf("partition written to %s (one block id per line)\n", output.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "baselines/heistream_like.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "partition/metrics.h"
+
+namespace terapart::baselines {
+
+PartitionResult heistream_like_partition(const CsrGraph &graph, const BlockID k,
+                                         const double epsilon, const std::uint64_t seed,
+                                         const HeiStreamLikeConfig &config) {
+  PartitionResult result;
+  Timer timer;
+  const NodeID n = graph.n();
+
+  std::vector<BlockID> partition(n, kInvalidBlockID);
+  std::vector<BlockWeight> block_weight(k, 0);
+  const BlockWeight max_block_weight =
+      metrics::max_block_weight(graph.total_node_weight(), k, epsilon);
+
+  // Fennel parameters: alpha scaled so the penalty is comparable to edge
+  // connectivity on the given graph.
+  const double m_undirected = static_cast<double>(graph.m()) / 2.0;
+  const double alpha = std::sqrt(static_cast<double>(k)) * m_undirected /
+                       std::pow(static_cast<double>(std::max<NodeID>(n, 2)), config.gamma);
+
+  Random rng(seed);
+  std::vector<EdgeWeight> connectivity(k, 0);
+  std::vector<BlockID> touched;
+
+  for (NodeID buffer_begin = 0; buffer_begin < n; buffer_begin += config.buffer_size) {
+    const NodeID buffer_end = std::min<NodeID>(n, buffer_begin + config.buffer_size);
+    // A few passes over the buffer: later vertices see the (tentative)
+    // assignments of earlier ones, which is the "buffered model" advantage
+    // of HeiStream over purely one-shot streaming.
+    for (int pass = 0; pass < config.buffer_passes; ++pass) {
+      for (NodeID u = buffer_begin; u < buffer_end; ++u) {
+        const BlockID previous = partition[u];
+        if (previous != kInvalidBlockID) {
+          block_weight[previous] -= graph.node_weight(u);
+        }
+
+        graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+          const BlockID b = partition[v];
+          if (b == kInvalidBlockID) {
+            return;
+          }
+          if (connectivity[b] == 0) {
+            touched.push_back(b);
+          }
+          connectivity[b] += w;
+        });
+
+        // Fennel objective: connectivity - alpha * gamma * load^(gamma-1);
+        // hard-capped at the balance bound.
+        BlockID best = kInvalidBlockID;
+        double best_score = -1e300;
+        const NodeWeight u_weight = graph.node_weight(u);
+        const auto consider = [&](const BlockID b) {
+          if (block_weight[b] + u_weight > max_block_weight) {
+            return;
+          }
+          const double load_penalty =
+              alpha * config.gamma *
+              std::pow(static_cast<double>(block_weight[b]), config.gamma - 1.0);
+          const double score = static_cast<double>(connectivity[b]) - load_penalty;
+          if (score > best_score) {
+            best = b;
+            best_score = score;
+          }
+        };
+        for (const BlockID b : touched) {
+          consider(b);
+        }
+        // Also consider a random light block (exploration / empty start).
+        consider(static_cast<BlockID>(rng.next_bounded(k)));
+        if (best == kInvalidBlockID) {
+          // Everything adjacent is full: lightest block overall.
+          BlockWeight lightest = block_weight[0];
+          best = 0;
+          for (BlockID b = 1; b < k; ++b) {
+            if (block_weight[b] < lightest) {
+              lightest = block_weight[b];
+              best = b;
+            }
+          }
+        }
+
+        partition[u] = best;
+        block_weight[best] += u_weight;
+        for (const BlockID b : touched) {
+          connectivity[b] = 0;
+        }
+        touched.clear();
+      }
+    }
+  }
+
+  result.partition = std::move(partition);
+  result.cut = metrics::edge_cut(graph, result.partition);
+  const auto weights = metrics::block_weights(graph, result.partition, k);
+  result.imbalance = metrics::imbalance(weights, graph.total_node_weight());
+  result.balanced = metrics::is_balanced(weights, graph.total_node_weight(), k, epsilon);
+  result.num_levels = 0;
+  result.timers.add("total", timer.elapsed_s());
+  return result;
+}
+
+} // namespace terapart::baselines

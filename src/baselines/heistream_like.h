@@ -1,0 +1,27 @@
+/// @file heistream_like.h
+/// @brief HeiStream proxy (Section VII): *buffered streaming* partitioning
+/// [34]. Vertices arrive in order; a buffer of B vertices is collected,
+/// every buffered vertex is assigned greedily by a Fennel-style objective
+/// (connectivity to already-assigned blocks minus a load penalty), and the
+/// buffer is flushed. One pass over the graph, O(buffer + k) memory beyond
+/// the partition vector — and, as the paper notes, markedly worse cuts than
+/// any multilevel method (3.1x - 14.8x on the tera-scale families).
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace terapart::baselines {
+
+struct HeiStreamLikeConfig {
+  NodeID buffer_size = 4096;
+  /// Fennel load-penalty exponent and multiplier.
+  double gamma = 1.5;
+  /// Passes inside a buffer (HeiStream refines the buffer model a few times).
+  int buffer_passes = 2;
+};
+
+[[nodiscard]] PartitionResult heistream_like_partition(const CsrGraph &graph, BlockID k,
+                                                       double epsilon, std::uint64_t seed,
+                                                       const HeiStreamLikeConfig &config = {});
+
+} // namespace terapart::baselines

@@ -1,0 +1,163 @@
+#include "baselines/metis_like.h"
+
+#include <numeric>
+
+#include "coarsening/contraction.h"
+#include "coarsening/rating_map.h"
+#include "common/random.h"
+#include "initial/initial_partitioner.h"
+#include "partition/metrics.h"
+#include "partition/partitioned_graph.h"
+
+namespace terapart::baselines {
+
+std::vector<ClusterID> heavy_edge_matching(const CsrGraph &graph, const std::uint64_t seed) {
+  const NodeID n = graph.n();
+  std::vector<ClusterID> match(n);
+  std::iota(match.begin(), match.end(), ClusterID{0});
+  std::vector<std::uint8_t> matched(n, 0);
+
+  std::vector<NodeID> order(n);
+  std::iota(order.begin(), order.end(), NodeID{0});
+  Random rng(seed);
+  rng.shuffle(order);
+
+  // Sequential HEM (deterministic per seed); METIS parallelizes this with
+  // fine-grained locking, which does not change the outcome class.
+  for (const NodeID u : order) {
+    if (matched[u] != 0) {
+      continue;
+    }
+    NodeID best = kInvalidNodeID;
+    EdgeWeight best_weight = -1;
+    graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+      if (matched[v] == 0 && v != u && w > best_weight) {
+        best = v;
+        best_weight = w;
+      }
+    });
+    if (best != kInvalidNodeID) {
+      matched[u] = 1;
+      matched[best] = 1;
+      match[best] = u;
+    }
+  }
+  return match;
+}
+
+namespace {
+
+/// Greedy boundary refinement, METIS-style: positive-gain moves only, soft
+/// balance bound.
+void greedy_refine(const CsrGraph &graph, PartitionedGraph &partitioned,
+                   const BlockWeight soft_bound, const int passes) {
+  const BlockID k = partitioned.k();
+  SparseRatingMap ratings(k, "baseline/metis_aux");
+  for (int pass = 0; pass < passes; ++pass) {
+    std::uint64_t moves = 0;
+    for (NodeID u = 0; u < graph.n(); ++u) {
+      const BlockID from = partitioned.block(u);
+      bool boundary = false;
+      graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+        ratings.add(partitioned.block(v), w);
+        boundary = boundary || partitioned.block(v) != from;
+      });
+      if (!boundary) {
+        ratings.clear();
+        continue;
+      }
+      const EdgeWeight internal = ratings.get(from);
+      BlockID best = from;
+      EdgeWeight best_rating = internal;
+      ratings.for_each([&](const BlockID b, const EdgeWeight rating) {
+        if (b != from && rating > best_rating) {
+          best = b;
+          best_rating = rating;
+        }
+      });
+      ratings.clear();
+      if (best != from &&
+          partitioned.try_move(u, graph.node_weight(u), best, soft_bound)) {
+        ++moves;
+      }
+    }
+    if (moves == 0) {
+      break;
+    }
+  }
+}
+
+} // namespace
+
+PartitionResult metis_like_partition(const CsrGraph &graph, const BlockID k,
+                                     const double epsilon, const std::uint64_t seed,
+                                     const MetisLikeConfig &config) {
+  PartitionResult result;
+  Timer timer;
+
+  // --- Matching-based coarsening: each level shrinks by at most 2x. ---
+  std::vector<CsrGraph> hierarchy;
+  std::vector<std::vector<NodeID>> mappings;
+  const CsrGraph *current = &graph;
+  const NodeID target_n = 64 * std::max<BlockID>(2, k);
+  ContractionConfig contraction;
+  contraction.one_pass = false; // METIS also materializes the coarse graph twice
+  int level = 0;
+  while (current->n() > target_n && level < 48) {
+    const std::vector<ClusterID> matching = heavy_edge_matching(*current, seed + level);
+    ContractionResult contracted = contract_clustering(*current, matching, contraction);
+    if (contracted.graph.n() >= current->n()) {
+      break;
+    }
+    const bool converged =
+        contracted.graph.n() > static_cast<NodeID>(0.98 * current->n());
+    hierarchy.push_back(std::move(contracted.graph));
+    mappings.push_back(std::move(contracted.mapping));
+    current = &hierarchy.back();
+    ++level;
+    if (converged) {
+      break;
+    }
+  }
+
+  // --- Initial partitioning (recursive bisection, like METIS). ---
+  InitialPartitioningConfig initial;
+  std::vector<BlockID> partition = initial_partition(*current, k, epsilon, initial, seed);
+
+  // --- Uncoarsening with greedy refinement under the soft bound. ---
+  const BlockWeight soft_bound =
+      metrics::max_block_weight(graph.total_node_weight(), k, config.balance_slack);
+  for (std::size_t i = hierarchy.size(); i-- > 0;) {
+    const CsrGraph &level_graph = hierarchy[i];
+    PartitionedGraph partitioned(level_graph, k, std::move(partition));
+    greedy_refine(level_graph, partitioned,
+                  std::max<BlockWeight>(soft_bound, level_graph.max_node_weight()),
+                  config.refinement_passes);
+    partition = partitioned.take_partition();
+
+    // Project to the next finer level.
+    const std::vector<NodeID> &mapping = mappings[i];
+    const NodeID finer_n = i > 0 ? hierarchy[i - 1].n() : graph.n();
+    std::vector<BlockID> finer(finer_n);
+    for (NodeID u = 0; u < finer_n; ++u) {
+      finer[u] = partition[mapping[u]];
+    }
+    partition = std::move(finer);
+  }
+  {
+    PartitionedGraph partitioned(graph, k, std::move(partition));
+    greedy_refine(graph, partitioned, soft_bound, config.refinement_passes);
+    partition = partitioned.take_partition();
+  }
+
+  result.partition = std::move(partition);
+  result.cut = metrics::edge_cut(graph, result.partition);
+  const auto weights = metrics::block_weights(graph, result.partition, k);
+  result.imbalance = metrics::imbalance(weights, graph.total_node_weight());
+  result.balanced = metrics::is_balanced(weights, graph.total_node_weight(), k, epsilon);
+  result.num_levels = static_cast<int>(hierarchy.size());
+  result.timers.add("total", timer.elapsed_s());
+  return result;
+}
+
+} // namespace terapart::baselines

@@ -1,0 +1,31 @@
+/// @file metis_like.h
+/// @brief MT-METIS / ParMETIS proxy (see DESIGN.md substitutions): a
+/// multilevel partitioner in the METIS style — heavy-edge *matching*
+/// coarsening (pairwise, so many more levels than LP clustering), recursive
+/// bisection initial partitioning, and greedy boundary refinement with a
+/// *soft* balance constraint. The soft constraint reproduces the paper's
+/// observation that MT-METIS returns imbalanced partitions on many
+/// instances; the matching-based coarsening reproduces its higher running
+/// time and memory footprint relative to KaMinPar.
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace terapart::baselines {
+
+struct MetisLikeConfig {
+  int refinement_passes = 4;
+  /// Soft balance: refinement accepts up to (1 + slack) * perfect weight,
+  /// looser than the epsilon the caller asked for.
+  double balance_slack = 0.06;
+};
+
+[[nodiscard]] PartitionResult metis_like_partition(const CsrGraph &graph, BlockID k,
+                                                   double epsilon, std::uint64_t seed,
+                                                   const MetisLikeConfig &config = {});
+
+/// Exposed for tests: heavy-edge matching as a clustering (pairs + singletons).
+[[nodiscard]] std::vector<ClusterID> heavy_edge_matching(const CsrGraph &graph,
+                                                         std::uint64_t seed);
+
+} // namespace terapart::baselines

@@ -1,0 +1,225 @@
+#include "baselines/semi_external.h"
+
+#include <numeric>
+
+#include "common/fixed_hash_map.h"
+#include "common/math.h"
+#include "common/memory_tracker.h"
+#include "common/random.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "partition/context.h"
+#include "partition/metrics.h"
+
+namespace terapart::baselines {
+
+namespace {
+
+/// Streams all vertices of the file once, invoking
+/// fn(u, node_weight, targets, edge_weights) per vertex.
+template <typename Fn>
+void stream_vertices(io::TpgStreamReader &reader, const std::size_t buffer_edges, Fn &&fn) {
+  reader.rewind();
+  io::TpgStreamReader::Packet packet;
+  (void)buffer_edges;
+  while (reader.next_packet(packet)) {
+    std::size_t cursor = 0;
+    for (NodeID i = 0; i < packet.num_nodes; ++i) {
+      const NodeID u = packet.first_node + i;
+      const NodeID degree = packet.degrees[i];
+      const NodeWeight weight = packet.node_weights.empty() ? 1 : packet.node_weights[i];
+      fn(u, weight, packet.targets.subspan(cursor, degree),
+         packet.edge_weights.empty() ? std::span<const EdgeWeight>{}
+                                     : packet.edge_weights.subspan(cursor, degree));
+      cursor += degree;
+    }
+  }
+}
+
+} // namespace
+
+SemiExternalResult semi_external_partition(const std::filesystem::path &path, const BlockID k,
+                                           const double epsilon, const std::uint64_t seed,
+                                           const SemiExternalConfig &config) {
+  SemiExternalResult out;
+  Timer timer;
+
+  io::TpgStreamReader reader(path, config.buffer_edges);
+  const auto n = static_cast<NodeID>(reader.header().n);
+
+  // O(n) internal state: labels + cluster weights (+ the final partition).
+  std::vector<ClusterID> labels(n);
+  std::iota(labels.begin(), labels.end(), ClusterID{0});
+  std::vector<NodeWeight> cluster_weights(n, 0);
+  TrackedAlloc tracked("sem/arrays",
+                       n * (sizeof(ClusterID) + sizeof(NodeWeight) + sizeof(BlockID)));
+
+  NodeWeight total_weight = 0;
+  stream_vertices(reader, config.buffer_edges,
+                  [&](const NodeID u, const NodeWeight w, auto, auto) {
+                    cluster_weights[u] = w;
+                    total_weight += w;
+                  });
+  ++out.graph_passes;
+
+  const NodeWeight max_cluster_weight = std::max<NodeWeight>(
+      1, math::div_ceil(total_weight, static_cast<NodeWeight>(128) * std::max<BlockID>(2, k)));
+
+  // --- Semi-external LP clustering: one streaming pass per round. ---
+  Random rng(seed);
+  FixedHashMap<ClusterID, EdgeWeight> ratings(config.rating_map_capacity);
+  for (int pass = 0; pass < config.clustering_passes; ++pass) {
+    stream_vertices(
+        reader, config.buffer_edges,
+        [&](const NodeID u, const NodeWeight u_weight, std::span<const NodeID> targets,
+            std::span<const EdgeWeight> edge_weights) {
+          if (targets.empty()) {
+            return;
+          }
+          ratings.clear();
+          for (std::size_t i = 0; i < targets.size(); ++i) {
+            (void)ratings.add(labels[targets[i]],
+                              edge_weights.empty() ? 1 : edge_weights[i]);
+          }
+          const ClusterID current = labels[u];
+          ClusterID best = current;
+          EdgeWeight best_rating = 0;
+          ratings.for_each([&](const ClusterID c, const EdgeWeight rating) {
+            if (c == current) {
+              if (rating > best_rating) {
+                best = current;
+                best_rating = rating;
+              }
+              return;
+            }
+            if (rating < best_rating || (rating == best_rating && !rng.next_bool())) {
+              return;
+            }
+            if (cluster_weights[c] + u_weight > max_cluster_weight) {
+              return;
+            }
+            best = c;
+            best_rating = rating;
+          });
+          if (best != current) {
+            cluster_weights[best] += u_weight;
+            cluster_weights[current] -= u_weight;
+            labels[u] = best;
+          }
+        });
+    ++out.graph_passes;
+  }
+
+  // --- Contraction: one streaming pass builds the (small) coarse graph. ---
+  std::vector<NodeID> coarse_id(n, kInvalidNodeID);
+  NodeID coarse_n = 0;
+  for (NodeID u = 0; u < n; ++u) {
+    if (coarse_id[labels[u]] == kInvalidNodeID) {
+      coarse_id[labels[u]] = coarse_n++;
+    }
+  }
+  std::vector<NodeWeight> coarse_weights(coarse_n, 0);
+  GraphBuilder builder(coarse_n);
+  {
+    std::unordered_map<std::uint64_t, EdgeWeight> aggregated;
+    stream_vertices(reader, config.buffer_edges,
+                    [&](const NodeID u, const NodeWeight w, std::span<const NodeID> targets,
+                        std::span<const EdgeWeight> edge_weights) {
+                      const NodeID cu = coarse_id[labels[u]];
+                      coarse_weights[cu] += w;
+                      for (std::size_t i = 0; i < targets.size(); ++i) {
+                        const NodeID cv = coarse_id[labels[targets[i]]];
+                        if (cu != cv) {
+                          aggregated[(static_cast<std::uint64_t>(cu) << 32) | cv] +=
+                              edge_weights.empty() ? 1 : edge_weights[i];
+                        }
+                      }
+                    });
+    ++out.graph_passes;
+    for (const auto &[key, weight] : aggregated) {
+      builder.add_half_edge(static_cast<NodeID>(key >> 32), static_cast<NodeID>(key), weight);
+    }
+  }
+  builder.set_node_weights(std::move(coarse_weights));
+  const CsrGraph coarse = builder.build(/*symmetrize=*/false, /*edge_weighted=*/true,
+                                        "sem/coarse_graph");
+
+  // --- Internal multilevel partitioning of the coarse graph. ---
+  Context ctx = terapart_context(k, seed);
+  ctx.epsilon = epsilon;
+  const PartitionResult coarse_result = partition_graph(coarse, ctx);
+
+  // --- Project and polish with semi-external LP refinement. ---
+  std::vector<BlockID> partition(n);
+  for (NodeID u = 0; u < n; ++u) {
+    partition[u] = coarse_result.partition[coarse_id[labels[u]]];
+  }
+  // Block weights from node weights (one streaming pass).
+  std::vector<BlockWeight> block_weights(k, 0);
+  stream_vertices(reader, config.buffer_edges,
+                  [&](const NodeID u, const NodeWeight w, auto, auto) {
+                    block_weights[partition[u]] += w;
+                  });
+  ++out.graph_passes;
+
+  const BlockWeight max_block_weight = metrics::max_block_weight(total_weight, k, epsilon);
+  FixedHashMap<BlockID, EdgeWeight> block_ratings(std::min<NodeID>(k, 4096));
+  for (int pass = 0; pass < config.refinement_passes; ++pass) {
+    stream_vertices(
+        reader, config.buffer_edges,
+        [&](const NodeID u, const NodeWeight u_weight, std::span<const NodeID> targets,
+            std::span<const EdgeWeight> edge_weights) {
+          if (targets.empty()) {
+            return;
+          }
+          block_ratings.clear();
+          for (std::size_t i = 0; i < targets.size(); ++i) {
+            (void)block_ratings.add(partition[targets[i]],
+                                    edge_weights.empty() ? 1 : edge_weights[i]);
+          }
+          const BlockID current = partition[u];
+          BlockID best = current;
+          EdgeWeight best_rating = block_ratings.get(current);
+          block_ratings.for_each([&](const BlockID b, const EdgeWeight rating) {
+            if (b == current || rating <= best_rating) {
+              return;
+            }
+            if (block_weights[b] + u_weight > max_block_weight) {
+              return;
+            }
+            best = b;
+            best_rating = rating;
+          });
+          if (best != current) {
+            block_weights[best] += u_weight;
+            block_weights[current] -= u_weight;
+            partition[u] = best;
+          }
+        });
+    ++out.graph_passes;
+  }
+
+  // --- Final metrics: computed from one more streaming pass. ---
+  EdgeWeight doubled_cut = 0;
+  stream_vertices(reader, config.buffer_edges,
+                  [&](const NodeID u, NodeWeight, std::span<const NodeID> targets,
+                      std::span<const EdgeWeight> edge_weights) {
+                    for (std::size_t i = 0; i < targets.size(); ++i) {
+                      if (partition[u] != partition[targets[i]]) {
+                        doubled_cut += edge_weights.empty() ? 1 : edge_weights[i];
+                      }
+                    }
+                  });
+  ++out.graph_passes;
+
+  out.result.partition = std::move(partition);
+  out.result.cut = doubled_cut / 2;
+  out.result.imbalance = metrics::imbalance(block_weights, total_weight);
+  out.result.balanced =
+      metrics::is_balanced(block_weights, total_weight, k, epsilon);
+  out.result.num_levels = 1 + coarse_result.num_levels;
+  out.result.timers.add("total", timer.elapsed_s());
+  return out;
+}
+
+} // namespace terapart::baselines

@@ -1,0 +1,38 @@
+/// @file semi_external.h
+/// @brief Semi-external memory partitioner in the style of Akhremtsev et
+/// al. [35] (Table IV): the graph lives on disk; only O(n) arrays (labels,
+/// weights, partition) plus a bounded streaming buffer reside in RAM.
+///
+/// Pipeline: several passes of semi-external label propagation clustering
+/// over the on-disk graph -> the (much smaller) contracted graph is built
+/// in memory from one more streaming pass -> internal multilevel
+/// partitioning -> the partition is projected through the clustering and
+/// polished with semi-external LP refinement passes.
+#pragma once
+
+#include <filesystem>
+
+#include "partition/partitioner.h"
+
+namespace terapart::baselines {
+
+struct SemiExternalConfig {
+  int clustering_passes = 5;
+  int refinement_passes = 3;
+  /// Streaming buffer capacity in edges (the semi-external memory budget).
+  std::size_t buffer_edges = 1 << 18;
+  NodeID rating_map_capacity = 4096;
+};
+
+struct SemiExternalResult {
+  PartitionResult result;
+  std::uint64_t graph_passes = 0; ///< full streaming passes over the file
+};
+
+/// Partitions the TPG graph file at `path` into k blocks.
+[[nodiscard]] SemiExternalResult semi_external_partition(const std::filesystem::path &path,
+                                                         BlockID k, double epsilon,
+                                                         std::uint64_t seed,
+                                                         const SemiExternalConfig &config = {});
+
+} // namespace terapart::baselines

@@ -1,0 +1,57 @@
+#include "baselines/xtrapulp_like.h"
+
+#include <numeric>
+
+#include "common/random.h"
+#include "partition/metrics.h"
+#include "partition/partitioned_graph.h"
+#include "refinement/lp_refiner.h"
+#include "refinement/rebalancer.h"
+
+namespace terapart::baselines {
+
+PartitionResult xtrapulp_like_partition(const CsrGraph &graph, const BlockID k,
+                                        const double epsilon, const std::uint64_t seed,
+                                        const XtraPulpLikeConfig &config) {
+  PartitionResult result;
+  Timer timer;
+  const NodeID n = graph.n();
+
+  // Random balanced initialization (PuLP starts from random blocks).
+  std::vector<BlockID> partition(n);
+  {
+    std::vector<NodeID> order(n);
+    std::iota(order.begin(), order.end(), NodeID{0});
+    Random rng(seed);
+    rng.shuffle(order);
+    for (NodeID i = 0; i < n; ++i) {
+      partition[order[i]] = static_cast<BlockID>(i % k);
+    }
+  }
+
+  const BlockWeight max_block_weight =
+      metrics::max_block_weight(graph.total_node_weight(), k, epsilon);
+  PartitionedGraph partitioned(graph, k, std::move(partition));
+
+  // Alternating LP + rebalance sweeps. There is deliberately no coarsening:
+  // single-level LP only sees one-hop structure, which is the source of the
+  // quality gap versus multilevel methods.
+  LpRefinementConfig lp;
+  lp.rounds = config.lp_rounds_per_iteration;
+  for (int iteration = 0; iteration < config.outer_iterations; ++iteration) {
+    lp_refine(graph, partitioned, max_block_weight, lp,
+              seed + static_cast<std::uint64_t>(iteration));
+    rebalance(graph, partitioned, max_block_weight);
+  }
+
+  result.partition = partitioned.take_partition();
+  result.cut = metrics::edge_cut(graph, result.partition);
+  const auto weights = metrics::block_weights(graph, result.partition, k);
+  result.imbalance = metrics::imbalance(weights, graph.total_node_weight());
+  result.balanced = metrics::is_balanced(weights, graph.total_node_weight(), k, epsilon);
+  result.num_levels = 0;
+  result.timers.add("total", timer.elapsed_s());
+  return result;
+}
+
+} // namespace terapart::baselines

@@ -1,0 +1,23 @@
+/// @file xtrapulp_like.h
+/// @brief XtraPuLP proxy (see DESIGN.md): *single-level* balanced label
+/// propagation partitioning [33]. No multilevel hierarchy — which is exactly
+/// why its cuts are 5x-68x worse than XTeraPart's in Table III; this proxy
+/// reproduces that gap's cause. The algorithm: random balanced
+/// initialization, then alternating LP phases that maximize connectivity
+/// under a (progressively tightened) balance constraint, plus rebalancing.
+#pragma once
+
+#include "partition/partitioner.h"
+
+namespace terapart::baselines {
+
+struct XtraPulpLikeConfig {
+  int outer_iterations = 3;
+  int lp_rounds_per_iteration = 5;
+};
+
+[[nodiscard]] PartitionResult xtrapulp_like_partition(const CsrGraph &graph, BlockID k,
+                                                      double epsilon, std::uint64_t seed,
+                                                      const XtraPulpLikeConfig &config = {});
+
+} // namespace terapart::baselines

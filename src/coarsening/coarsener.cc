@@ -1,0 +1,86 @@
+#include "coarsening/coarsener.h"
+
+#include "common/logging.h"
+#include "common/math.h"
+#include "compression/compressed_graph.h"
+
+namespace terapart {
+
+namespace {
+
+/// U = epsilon * W / k [3]: any k-way assignment of clusters this light can
+/// be balanced to within epsilon.
+NodeWeight max_cluster_weight_for(const NodeWeight total_node_weight, const BlockID k,
+                                  const double epsilon) {
+  return std::max<NodeWeight>(
+      1, static_cast<NodeWeight>(epsilon * static_cast<double>(total_node_weight) /
+                                 static_cast<double>(std::max<BlockID>(k, 2))));
+}
+
+} // namespace
+
+template <typename Graph>
+GraphHierarchy coarsen(const Graph &finest, const CoarseningConfig &config, const BlockID k,
+                       const std::uint64_t seed) {
+  GraphHierarchy hierarchy;
+  const NodeID target_n =
+      std::min<NodeID>(config.contraction_limit_factor * std::max<BlockID>(2, k),
+                       std::max<NodeID>(config.min_coarsest_n, 2 * k));
+
+  NodeID current_n = finest.n();
+  int level = 0;
+
+  const auto step = [&](const auto &graph) -> bool {
+    if (graph.n() <= target_n || level >= config.max_levels) {
+      return false;
+    }
+    LpClusteringStats stats;
+    const NodeWeight max_cluster_weight =
+        max_cluster_weight_for(graph.total_node_weight(), k, config.epsilon);
+    const std::vector<ClusterID> clustering =
+        lp_cluster(graph, config.lp, max_cluster_weight, seed + static_cast<std::uint64_t>(level),
+                   &stats);
+    hierarchy.clustering_stats.bumped_vertices += stats.bumped_vertices;
+    hierarchy.clustering_stats.moves += stats.moves;
+
+    ContractionResult result = contract_clustering(graph, clustering, config.contraction);
+    const NodeID coarse_n = result.graph.n();
+    LOG_DEBUG << "coarsening level " << level << ": " << graph.n() << " -> " << coarse_n
+              << " vertices, " << result.graph.m() << " edges";
+    if (coarse_n >= static_cast<NodeID>(config.convergence_threshold * graph.n())) {
+      // Converged: keep the level only if it still shrank at all.
+      if (coarse_n >= graph.n()) {
+        return false;
+      }
+      hierarchy.graphs.push_back(std::move(result.graph));
+      hierarchy.mappings.push_back(std::move(result.mapping));
+      ++level;
+      current_n = coarse_n;
+      return false;
+    }
+    hierarchy.graphs.push_back(std::move(result.graph));
+    hierarchy.mappings.push_back(std::move(result.mapping));
+    ++level;
+    current_n = coarse_n;
+    return true;
+  };
+
+  if (step(finest)) {
+    while (step(hierarchy.graphs.back())) {
+      // The loop body re-reads the most recent coarse graph. Note that step()
+      // pushes onto hierarchy.graphs, so the reference must be re-taken each
+      // iteration — hence the call inside the condition.
+    }
+  }
+
+  (void)current_n;
+  return hierarchy;
+}
+
+template GraphHierarchy coarsen<CsrGraph>(const CsrGraph &, const CoarseningConfig &, BlockID,
+                                          std::uint64_t);
+template GraphHierarchy coarsen<CompressedGraph>(const CompressedGraph &,
+                                                 const CoarseningConfig &, BlockID,
+                                                 std::uint64_t);
+
+} // namespace terapart

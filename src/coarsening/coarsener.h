@@ -1,0 +1,54 @@
+/// @file coarsener.h
+/// @brief Multilevel coarsening driver: repeatedly cluster (label
+/// propagation) and contract until the graph is small enough for initial
+/// partitioning, collecting the hierarchy for the uncoarsening phase.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coarsening/contraction.h"
+#include "coarsening/lp_clustering.h"
+#include "graph/csr_graph.h"
+
+namespace terapart {
+
+struct CoarseningConfig {
+  LpClusteringConfig lp;
+  ContractionConfig contraction;
+  /// Coarsening target: stop once n <= min(contraction_limit_factor * k,
+  /// max(min_coarsest_n, 2k)). The second term keeps coarsening active for
+  /// very large k (the paper's k = 30000 runs), where factor * k would
+  /// exceed n and disable the hierarchy entirely.
+  NodeID contraction_limit_factor = 128;
+  NodeID min_coarsest_n = 1024;
+  /// Imbalance parameter used for the maximum cluster weight
+  /// U = epsilon * W / k (KaMinPar's rule): clusters stay light enough that
+  /// the coarsest level admits an epsilon-balanced k-way partition.
+  double epsilon = 0.03;
+  /// Hard cap on hierarchy depth.
+  int max_levels = 64;
+  /// Stop early if a level shrinks by less than this factor (converged).
+  double convergence_threshold = 0.95;
+};
+
+/// The coarse side of the multilevel hierarchy. Level 0 is the first coarse
+/// graph; the finest (input) graph lives outside (it may be compressed).
+/// mappings[0] maps finest-graph vertices to level-0 vertices; mappings[i]
+/// (i > 0) maps level-(i-1) vertices to level-i vertices.
+struct GraphHierarchy {
+  std::vector<CsrGraph> graphs;
+  std::vector<std::vector<NodeID>> mappings;
+  LpClusteringStats clustering_stats; ///< accumulated over all levels
+
+  [[nodiscard]] std::size_t num_levels() const { return graphs.size(); }
+  [[nodiscard]] bool empty() const { return graphs.empty(); }
+  [[nodiscard]] const CsrGraph &coarsest() const { return graphs.back(); }
+};
+
+/// Runs the coarsening phase for a k-way partitioning call.
+template <typename Graph>
+[[nodiscard]] GraphHierarchy coarsen(const Graph &finest, const CoarseningConfig &config,
+                                     BlockID k, std::uint64_t seed);
+
+} // namespace terapart

@@ -1,0 +1,378 @@
+#include "coarsening/contraction.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "coarsening/rating_map.h"
+#include "common/overcommit.h"
+#include "compression/compressed_graph.h"
+#include "parallel/dual_counter.h"
+#include "parallel/parallel_for.h"
+#include "parallel/prefix_sum.h"
+
+namespace terapart {
+
+namespace {
+
+/// Member buckets: for each cluster label c, the list of vertices with
+/// C[u] == c (the paper's C^{-1}).
+struct ClusterBuckets {
+  std::vector<ClusterID> leaders;  ///< labels of non-empty clusters, ascending
+  std::vector<EdgeID> offsets;     ///< indexed by label; members of c are
+                                   ///< members[offsets[c] .. offsets[c]+size]
+  std::vector<NodeID> members;     ///< size n
+  std::vector<NodeID> sizes;       ///< indexed by label
+
+  [[nodiscard]] std::span<const NodeID> of(const ClusterID c) const {
+    return {members.data() + offsets[c], sizes[c]};
+  }
+};
+
+ClusterBuckets build_buckets(const NodeID n, std::span<const ClusterID> clustering) {
+  ClusterBuckets buckets;
+  buckets.sizes.assign(n, 0);
+  par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
+    std::atomic_ref(buckets.sizes[clustering[u]]).fetch_add(1, std::memory_order_relaxed);
+  });
+
+  buckets.offsets.resize(static_cast<std::size_t>(n) + 1);
+  par::prefix_sum_exclusive<NodeID, EdgeID>(buckets.sizes,
+                                            std::span(buckets.offsets).first(n));
+  buckets.offsets[n] = n;
+
+  buckets.leaders.reserve(n / 2);
+  for (ClusterID c = 0; c < n; ++c) {
+    if (buckets.sizes[c] > 0) {
+      buckets.leaders.push_back(c);
+    }
+  }
+
+  buckets.members.resize(n);
+  std::vector<EdgeID> cursor(buckets.offsets.begin(), buckets.offsets.end() - 1);
+  par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
+    const EdgeID pos =
+        std::atomic_ref(cursor[clustering[u]]).fetch_add(1, std::memory_order_relaxed);
+    buckets.members[pos] = u;
+  });
+  return buckets;
+}
+
+/// Sorts each coarse neighborhood by target (canonical form). Targets and
+/// weights are permuted together.
+void sort_neighborhoods(std::span<const EdgeID> nodes, std::span<NodeID> targets,
+                        std::span<EdgeWeight> weights) {
+  const auto n = static_cast<NodeID>(nodes.size() - 1);
+  par::parallel_for_each<NodeID>(0, n, [&](const NodeID v) {
+    const EdgeID begin = nodes[v];
+    const EdgeID end = nodes[v + 1];
+    thread_local std::vector<std::pair<NodeID, EdgeWeight>> scratch;
+    scratch.clear();
+    for (EdgeID e = begin; e < end; ++e) {
+      scratch.emplace_back(targets[e], weights[e]);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    for (EdgeID e = begin; e < end; ++e) {
+      targets[e] = scratch[e - begin].first;
+      weights[e] = scratch[e - begin].second;
+    }
+  });
+}
+
+// --------------------------------------------------------------------------
+// Buffered baseline
+// --------------------------------------------------------------------------
+
+template <typename Graph>
+ContractionResult contract_buffered(const Graph &graph, std::span<const ClusterID> clustering,
+                                    const ContractionConfig &config) {
+  (void)config;
+  const NodeID n = graph.n();
+  const ClusterBuckets buckets = build_buckets(n, clustering);
+  const auto num_coarse = static_cast<NodeID>(buckets.leaders.size());
+
+  // Relabel cluster labels -> consecutive coarse IDs, in ascending label
+  // order (deterministic).
+  std::vector<NodeID> coarse_id(n, kInvalidNodeID);
+  for (NodeID i = 0; i < num_coarse; ++i) {
+    coarse_id[buckets.leaders[i]] = i;
+  }
+  std::vector<NodeID> mapping(n);
+  par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
+    mapping[u] = coarse_id[clustering[u]];
+  });
+
+  std::vector<NodeWeight> coarse_weights(num_coarse, 0);
+  std::vector<EdgeID> degrees(num_coarse, 0);
+
+  // Per-thread aggregation buffers: this *is* the duplicated coarse graph the
+  // one-pass algorithm eliminates.
+  struct ThreadBuffer {
+    std::vector<NodeID> owners; ///< coarse vertex of each buffered range
+    std::vector<EdgeID> range_begin;
+    std::vector<NodeID> targets;
+    std::vector<EdgeWeight> weights;
+    std::unique_ptr<SparseRatingMap> map;
+    TrackedAlloc tracked;
+  };
+  par::ThreadLocal<ThreadBuffer> thread_buffers([&] {
+    ThreadBuffer buffer;
+    buffer.map = std::make_unique<SparseRatingMap>(num_coarse, "contraction/rating_maps");
+    return buffer;
+  });
+
+  par::parallel_for_each<NodeID>(0, num_coarse, [&](const NodeID cu) {
+    const ClusterID leader = buckets.leaders[cu];
+    ThreadBuffer &buffer = thread_buffers.local();
+    SparseRatingMap &map = *buffer.map;
+    NodeWeight weight = 0;
+    for (const NodeID u : buckets.of(leader)) {
+      weight += graph.node_weight(u);
+      graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+        const NodeID cv = mapping[v];
+        if (cv != cu) {
+          map.add(cv, w);
+        }
+      });
+    }
+    coarse_weights[cu] = weight;
+    degrees[cu] = map.touched().size();
+    buffer.owners.push_back(cu);
+    buffer.range_begin.push_back(buffer.targets.size());
+    map.for_each([&](const ClusterID cv, const EdgeWeight w) {
+      buffer.targets.push_back(cv);
+      buffer.weights.push_back(w);
+    });
+    map.clear();
+  });
+
+  // Account the buffered copy of the coarse edges.
+  thread_buffers.for_each([](ThreadBuffer &buffer) {
+    buffer.tracked = TrackedAlloc("contraction/buffers",
+                                  buffer.targets.capacity() * sizeof(NodeID) +
+                                      buffer.weights.capacity() * sizeof(EdgeWeight) +
+                                      buffer.owners.capacity() *
+                                          (sizeof(NodeID) + sizeof(EdgeID)));
+  });
+
+  // Offsets + copy (the "second representation" pass).
+  std::vector<EdgeID> nodes(static_cast<std::size_t>(num_coarse) + 1, 0);
+  const EdgeID coarse_m = par::prefix_sum_exclusive<EdgeID, EdgeID>(
+      degrees, std::span(nodes).first(num_coarse));
+  nodes[num_coarse] = coarse_m;
+
+  std::vector<NodeID> targets(coarse_m);
+  std::vector<EdgeWeight> weights(coarse_m);
+  thread_buffers.for_each([&](ThreadBuffer &buffer) {
+    for (std::size_t i = 0; i < buffer.owners.size(); ++i) {
+      const NodeID cu = buffer.owners[i];
+      const EdgeID src_begin = buffer.range_begin[i];
+      const EdgeID src_end =
+          i + 1 < buffer.owners.size() ? buffer.range_begin[i + 1] : buffer.targets.size();
+      std::copy(buffer.targets.begin() + src_begin, buffer.targets.begin() + src_end,
+                targets.begin() + nodes[cu]);
+      std::copy(buffer.weights.begin() + src_begin, buffer.weights.begin() + src_end,
+                weights.begin() + nodes[cu]);
+    }
+  });
+
+  sort_neighborhoods(nodes, targets, weights);
+
+  return {CsrGraph(std::move(nodes), std::move(targets), std::move(coarse_weights),
+                   std::move(weights), "graph/coarse"),
+          std::move(mapping)};
+}
+
+// --------------------------------------------------------------------------
+// One-pass contraction
+// --------------------------------------------------------------------------
+
+template <typename Graph>
+ContractionResult contract_one_pass(const Graph &graph, std::span<const ClusterID> clustering,
+                                    const ContractionConfig &config) {
+  const NodeID n = graph.n();
+  const EdgeID m = graph.m();
+  const ClusterBuckets buckets = build_buckets(n, clustering);
+  const auto num_coarse = static_cast<NodeID>(buckets.leaders.size());
+
+  // Overcommitted coarse edge arrays: capacity m (the coarse graph can never
+  // have more directed edges than the fine one); only the used pages are
+  // physically backed.
+  OvercommitArray<NodeID> targets(m);
+  OvercommitArray<EdgeWeight> weights(m);
+
+  std::vector<EdgeID> offsets(static_cast<std::size_t>(num_coarse) + 1, 0);
+  std::vector<NodeWeight> coarse_weights(num_coarse, 0);
+  std::vector<NodeID> new_id(n, kInvalidNodeID);
+  TrackedAlloc aux_tracked("contraction/aux",
+                           offsets.size() * sizeof(EdgeID) +
+                               coarse_weights.size() * sizeof(NodeWeight) +
+                               new_id.size() * sizeof(NodeID));
+
+  par::DualCounter dual;
+
+  // Per-thread batch: coarse neighborhoods accumulated between two
+  // dual-counter transactions.
+  struct Batch {
+    std::vector<NodeID> targets;
+    std::vector<EdgeWeight> weights;
+    struct Vertex {
+      ClusterID leader;
+      EdgeID degree;
+      NodeWeight weight;
+    };
+    std::vector<Vertex> vertices;
+  };
+  par::ThreadLocal<Batch> batches;
+  par::ThreadLocal<FixedHashMap<ClusterID, EdgeWeight>> maps(
+      [&] { return FixedHashMap<ClusterID, EdgeWeight>(config.bump_threshold); });
+  par::ThreadLocal<std::vector<ClusterID>> bumped_lists;
+
+  const auto flush_batch = [&](Batch &batch) {
+    if (batch.vertices.empty()) {
+      return;
+    }
+    const auto reservation = dual.fetch_add(batch.targets.size(), batch.vertices.size());
+    EdgeID edge_cursor = reservation.edge_begin;
+    for (std::size_t i = 0; i < batch.vertices.size(); ++i) {
+      const auto coarse = static_cast<NodeID>(reservation.vertex_begin + i);
+      const typename Batch::Vertex &vertex = batch.vertices[i];
+      offsets[coarse] = edge_cursor;
+      coarse_weights[coarse] = vertex.weight;
+      new_id[vertex.leader] = coarse;
+      edge_cursor += vertex.degree;
+    }
+    if (!batch.targets.empty()) {
+      std::memcpy(targets.data() + reservation.edge_begin, batch.targets.data(),
+                  batch.targets.size() * sizeof(NodeID));
+      std::memcpy(weights.data() + reservation.edge_begin, batch.weights.data(),
+                  batch.weights.size() * sizeof(EdgeWeight));
+    }
+    batch.targets.clear();
+    batch.weights.clear();
+    batch.vertices.clear();
+  };
+
+  // --- First phase: coarse vertices in parallel, small hash tables. ---
+  par::parallel_for_each<NodeID>(0, num_coarse, [&](const NodeID index) {
+    const ClusterID leader = buckets.leaders[index];
+    FixedHashMap<ClusterID, EdgeWeight> &map = maps.local();
+    map.clear();
+    NodeWeight weight = 0;
+    bool bumped = false;
+    for (const NodeID u : buckets.of(leader)) {
+      weight += graph.node_weight(u);
+      if (bumped) {
+        continue; // weight still accumulates; edges re-done in phase two
+      }
+      graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+        const ClusterID cv = clustering[v];
+        if (!bumped && cv != leader && !map.add(cv, w)) {
+          bumped = true;
+        }
+      });
+    }
+    if (bumped) {
+      bumped_lists.local().push_back(leader);
+      return;
+    }
+
+    Batch &batch = batches.local();
+    batch.vertices.push_back({leader, map.size(), weight});
+    map.for_each([&](const ClusterID cv, const EdgeWeight w) {
+      batch.targets.push_back(cv);
+      batch.weights.push_back(w);
+    });
+    if (batch.targets.size() >= config.batch_edges) {
+      flush_batch(batch);
+    }
+  });
+  batches.for_each(flush_batch);
+
+  // --- Second phase: bumped (high-degree) coarse vertices, one at a time,
+  // with parallelism over their members and the shared atomic sparse array.
+  std::vector<ClusterID> bumped;
+  bumped_lists.for_each([&](std::vector<ClusterID> &list) {
+    bumped.insert(bumped.end(), list.begin(), list.end());
+    list.clear();
+  });
+  if (!bumped.empty()) {
+    SharedSparseAggregator aggregator(n, config.bump_threshold, "contraction/sparse_array");
+    for (const ClusterID leader : bumped) {
+      const auto members = buckets.of(leader);
+      NodeWeight weight = 0;
+      for (const NodeID u : members) {
+        weight += graph.node_weight(u);
+      }
+      par::parallel_for_each<std::size_t>(0, members.size(), [&](const std::size_t i) {
+        const NodeID u = members[i];
+        graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+          const ClusterID cv = clustering[v];
+          if (cv != leader) {
+            aggregator.add(cv, w);
+          }
+        });
+      });
+      aggregator.flush_all();
+
+      EdgeID degree = 0;
+      aggregator.for_each([&](ClusterID, EdgeWeight) { ++degree; });
+      // Phase one is over; the dual counter still provides the (now
+      // uncontended) transaction.
+      const auto reservation = dual.fetch_add(degree, 1);
+      const auto coarse = static_cast<NodeID>(reservation.vertex_begin);
+      offsets[coarse] = reservation.edge_begin;
+      coarse_weights[coarse] = weight;
+      new_id[leader] = coarse;
+      EdgeID cursor = reservation.edge_begin;
+      aggregator.for_each([&](const ClusterID cv, const EdgeWeight w) {
+        targets[cursor] = cv;
+        weights[cursor] = w;
+        ++cursor;
+      });
+      aggregator.clear();
+    }
+  }
+
+  const auto totals = dual.load();
+  TP_ASSERT(totals.vertex_begin == num_coarse);
+  const EdgeID coarse_m = totals.edge_begin;
+  offsets[num_coarse] = coarse_m;
+
+  // Remap coarse edge endpoints from cluster labels to coarse IDs; the
+  // neighborhoods themselves stay where they were appended.
+  par::parallel_for_each<EdgeID>(0, coarse_m, [&](const EdgeID e) {
+    targets[e] = new_id[targets[e]];
+  });
+
+  sort_neighborhoods(offsets, {targets.data(), coarse_m}, {weights.data(), coarse_m});
+
+  std::vector<NodeID> mapping(n);
+  par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
+    mapping[u] = new_id[clustering[u]];
+  });
+
+  return {CsrGraph(std::move(offsets), Buffer<NodeID>(std::move(targets), coarse_m),
+                   std::move(coarse_weights), Buffer<EdgeWeight>(std::move(weights), coarse_m),
+                   "graph/coarse"),
+          std::move(mapping)};
+}
+
+} // namespace
+
+template <typename Graph>
+ContractionResult contract_clustering(const Graph &graph, std::span<const ClusterID> clustering,
+                                      const ContractionConfig &config) {
+  TP_ASSERT(clustering.size() == graph.n());
+  return config.one_pass ? contract_one_pass(graph, clustering, config)
+                         : contract_buffered(graph, clustering, config);
+}
+
+template ContractionResult contract_clustering<CsrGraph>(const CsrGraph &,
+                                                         std::span<const ClusterID>,
+                                                         const ContractionConfig &);
+template ContractionResult contract_clustering<CompressedGraph>(const CompressedGraph &,
+                                                                std::span<const ClusterID>,
+                                                                const ContractionConfig &);
+
+} // namespace terapart

@@ -1,0 +1,56 @@
+/// @file contraction.h
+/// @brief Parallel cluster contraction (Section IV-B of the paper).
+///
+/// Given a clustering C, builds the coarse graph G' whose vertices are the
+/// non-empty clusters; the weight of coarse edge (a, b) is the sum of fine
+/// edge weights between clusters a and b; intra-cluster edges vanish; coarse
+/// node weights are the cluster weights.
+///
+/// Two algorithms:
+///  - **buffered** (baseline KaMinPar): per-thread O(n') sparse rating maps
+///    aggregate coarse neighborhoods into per-thread edge buffers; degrees
+///    are prefix-summed into the offsets, then the buffers are copied into
+///    the final CSR arrays — the coarse graph exists *twice* in memory.
+///  - **one-pass** (Section IV-B.2): coarse edges are appended directly into
+///    an overcommitted edge array. A 128-bit dual counter (d, s) reserves
+///    edge-array space and consecutive coarse vertex IDs in one double-width
+///    CAS; per-thread batches amortize the CAS over many coarse vertices.
+///    Aggregation uses the two-phase (bump) scheme of Section IV-A, with
+///    high-degree coarse vertices processed in a second phase against a
+///    single shared atomic sparse array. Endpoints are remapped to the new
+///    consecutive IDs at the end, avoiding any shuffling of E'.
+///
+/// Both variants produce canonical graphs (sorted neighborhoods), and —
+/// given the same clustering — identical coarse graphs up to the coarse
+/// vertex numbering, which tests verify through the returned mapping.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace terapart {
+
+struct ContractionConfig {
+  /// false = buffered baseline (coarse graph materialized twice).
+  bool one_pass = true;
+  /// T_bump for the coarse-neighborhood aggregation hash tables.
+  NodeID bump_threshold = 10'000;
+  /// Edges buffered per thread before one dual-counter transaction.
+  EdgeID batch_edges = 4'096;
+};
+
+struct ContractionResult {
+  CsrGraph graph;              ///< coarse graph (node- and edge-weighted)
+  std::vector<NodeID> mapping; ///< fine vertex -> coarse vertex
+};
+
+/// Contracts `clustering` (labels as produced by lp_cluster: arbitrary values
+/// in [0, n), one label per cluster).
+template <typename Graph>
+[[nodiscard]] ContractionResult contract_clustering(const Graph &graph,
+                                                    std::span<const ClusterID> clustering,
+                                                    const ContractionConfig &config = {});
+
+} // namespace terapart

@@ -1,0 +1,309 @@
+#include "coarsening/lp_clustering.h"
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+
+#include "coarsening/rating_map.h"
+#include "common/random.h"
+#include "compression/compressed_graph.h"
+#include "parallel/atomic_utils.h"
+#include "parallel/parallel_for.h"
+
+namespace terapart {
+
+namespace {
+
+/// Shared mutable state of one clustering run.
+struct LpState {
+  std::vector<ClusterID> clusters;                  // C (accessed via atomic_ref)
+  std::vector<std::atomic<NodeWeight>> cluster_weights;
+  NodeWeight max_cluster_weight;
+  std::atomic<std::uint64_t> moves{0};
+  std::atomic<std::uint64_t> bumped_total{0};
+};
+
+/// Selects the best cluster among the aggregated ratings and applies the
+/// move. `ratings` is any structure with for_each(fn(cluster, rating)).
+/// Relaxed atomic view of a cluster label; concurrent label propagation reads
+/// stale labels by design (asynchronous LP), but the accesses must still be
+/// data-race free.
+ClusterID load_cluster(LpState &state, const NodeID u) {
+  return std::atomic_ref(state.clusters[u]).load(std::memory_order_relaxed);
+}
+
+void store_cluster(LpState &state, const NodeID u, const ClusterID cluster) {
+  std::atomic_ref(state.clusters[u]).store(cluster, std::memory_order_relaxed);
+}
+
+template <typename Ratings>
+void select_and_move(LpState &state, const NodeID u, const NodeWeight u_weight,
+                     const Ratings &ratings, Random &rng) {
+  const ClusterID current = load_cluster(state, u);
+  ClusterID best = current;
+  EdgeWeight best_rating = 0;
+  ratings.for_each([&](const ClusterID cluster, const EdgeWeight rating) {
+    if (cluster == current) {
+      // Rating of the current cluster sets the bar for leaving it; staying
+      // wins whenever it rates strictly higher than the best candidate so far.
+      if (rating > best_rating) {
+        best_rating = rating;
+        best = current;
+      }
+      return;
+    }
+    if (rating < best_rating || (rating == best_rating && !rng.next_bool())) {
+      return;
+    }
+    // Feasibility: the target cluster must have room for u. This is a racy
+    // pre-check; the authoritative check is the CAS below.
+    if (state.cluster_weights[cluster].load(std::memory_order_relaxed) + u_weight >
+        state.max_cluster_weight) {
+      return;
+    }
+    best = cluster;
+    best_rating = rating;
+  });
+
+  if (best != current) {
+    if (par::atomic_add_if_leq(state.cluster_weights[best], u_weight,
+                               state.max_cluster_weight)) {
+      state.cluster_weights[current].fetch_sub(u_weight, std::memory_order_relaxed);
+      store_cluster(state, u, best);
+      state.moves.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+/// Classic round (Algorithm 1): per-thread O(n) sparse rating maps.
+template <typename Graph>
+void classic_round(const Graph &graph, LpState &state, std::span<const NodeID> order,
+                   par::ThreadLocal<std::unique_ptr<SparseRatingMap>> &maps,
+                   par::ThreadLocal<Random> &rngs) {
+  par::parallel_for_each<NodeID>(0, graph.n(), [&](const NodeID i) {
+    const NodeID u = order[i];
+    if (graph.degree(u) == 0) {
+      return;
+    }
+    SparseRatingMap &map = *maps.local();
+    graph.for_each_neighbor(
+        u, [&](const NodeID v, const EdgeWeight w) { map.add(load_cluster(state, v), w); });
+    select_and_move(state, u, graph.node_weight(u), map, rngs.local());
+    map.clear();
+  });
+}
+
+/// Two-phase round (Algorithm 2).
+template <typename Graph>
+void two_phase_round(const Graph &graph, const LpClusteringConfig &config, LpState &state,
+                     std::span<const NodeID> order,
+                     par::ThreadLocal<FixedHashMap<ClusterID, EdgeWeight>> &small_maps,
+                     par::ThreadLocal<Random> &rngs,
+                     std::unique_ptr<SharedSparseAggregator> &aggregator,
+                     par::ThreadLocal<std::vector<NodeID>> &bumped_lists) {
+  // --- First phase: all vertices, small fixed-capacity hash tables. ---
+  par::parallel_for_each<NodeID>(0, graph.n(), [&](const NodeID i) {
+    const NodeID u = order[i];
+    if (graph.degree(u) == 0) {
+      return;
+    }
+    FixedHashMap<ClusterID, EdgeWeight> &map = small_maps.local();
+    map.clear();
+    bool bumped = false;
+    graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+      // Once bumped we skip the remaining neighbors cheaply; the vertex is
+      // fully re-aggregated in the second phase. (The graph visitors have no
+      // early exit; the flag keeps the residual cost at one branch per edge.)
+      if (!bumped && !map.add(load_cluster(state, v), w)) {
+        bumped = true;
+      }
+    });
+    if (bumped) {
+      bumped_lists.local().push_back(u);
+      return;
+    }
+    select_and_move(state, u, graph.node_weight(u), map, rngs.local());
+  });
+
+  // --- Second phase: bumped vertices sequentially, parallel over edges. ---
+  std::vector<NodeID> bumped;
+  bumped_lists.for_each([&](std::vector<NodeID> &list) {
+    bumped.insert(bumped.end(), list.begin(), list.end());
+    list.clear();
+  });
+  if (bumped.empty()) {
+    return;
+  }
+  state.bumped_total.fetch_add(bumped.size(), std::memory_order_relaxed);
+
+  if (!aggregator) {
+    // Allocated lazily: the single O(n) array exists only if the graph has
+    // high-nc vertices at all.
+    aggregator = std::make_unique<SharedSparseAggregator>(graph.n(), config.bump_threshold);
+  }
+  for (const NodeID u : bumped) {
+    graph.for_each_neighbor_parallel(
+        u, [&](const NodeID v, const EdgeWeight w) { aggregator->add(load_cluster(state, v), w); });
+    aggregator->flush_all();
+    select_and_move(state, u, graph.node_weight(u), *aggregator, rngs.get(0));
+    aggregator->clear();
+  }
+}
+
+/// Two-hop matching: singleton clusters that favor the same neighbor cluster
+/// are merged pairwise, restoring coarsening progress on irregular graphs.
+template <typename Graph>
+void two_hop_matching(const Graph &graph, const LpClusteringConfig &config, LpState &state,
+                      par::ThreadLocal<FixedHashMap<ClusterID, EdgeWeight>> &small_maps) {
+  std::vector<std::atomic<NodeID>> slots(graph.n());
+  for (auto &slot : slots) {
+    slot.store(kInvalidNodeID, std::memory_order_relaxed);
+  }
+
+  const auto is_singleton = [&](const NodeID u) {
+    return load_cluster(state, u) == u &&
+           state.cluster_weights[u].load(std::memory_order_relaxed) == graph.node_weight(u);
+  };
+
+  par::parallel_for_each<NodeID>(0, graph.n(), [&](const NodeID u) {
+    if (!is_singleton(u) || graph.degree(u) == 0) {
+      return;
+    }
+    // Favored cluster: best-rated neighbor cluster *ignoring* the weight
+    // bound (that bound is exactly why the vertex is still singleton).
+    FixedHashMap<ClusterID, EdgeWeight> &map = small_maps.local();
+    map.clear();
+    graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+      (void)map.add(load_cluster(state, v), w); // capped at T_bump candidates
+    });
+    ClusterID favored = kInvalidClusterID;
+    EdgeWeight favored_rating = 0;
+    map.for_each([&](const ClusterID cluster, const EdgeWeight rating) {
+      if (cluster != u && rating > favored_rating) {
+        favored = cluster;
+        favored_rating = rating;
+      }
+    });
+    if (favored == kInvalidClusterID) {
+      return;
+    }
+
+    // Pair up via the slot of the favored cluster.
+    NodeID expected = slots[favored].load(std::memory_order_relaxed);
+    while (true) {
+      if (expected == kInvalidNodeID) {
+        if (slots[favored].compare_exchange_weak(expected, u, std::memory_order_acq_rel)) {
+          return; // parked; a later singleton will pick us up
+        }
+      } else {
+        const NodeID partner = expected;
+        if (graph.node_weight(u) +
+                state.cluster_weights[partner].load(std::memory_order_relaxed) >
+            state.max_cluster_weight) {
+          return; // combined weight would violate the bound
+        }
+        if (slots[favored].compare_exchange_weak(expected, kInvalidNodeID,
+                                                 std::memory_order_acq_rel)) {
+          // Joining a parked *singleton leader*: C[partner] == partner, so
+          // the label stays a direct (chain-free) cluster ID.
+          store_cluster(state, u, partner);
+          state.cluster_weights[partner].fetch_add(graph.node_weight(u),
+                                                   std::memory_order_relaxed);
+          state.cluster_weights[u].fetch_sub(graph.node_weight(u), std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  });
+
+  // Isolated vertices: chain-match them pairwise so they contract 2:1.
+  (void)config;
+  NodeID previous = kInvalidNodeID;
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    if (graph.degree(u) != 0 || !is_singleton(u)) {
+      continue;
+    }
+    if (previous == kInvalidNodeID) {
+      previous = u;
+    } else if (graph.node_weight(previous) + graph.node_weight(u) <=
+               state.max_cluster_weight) {
+      store_cluster(state, u, previous);
+      previous = kInvalidNodeID;
+    } else {
+      previous = u;
+    }
+  }
+}
+
+} // namespace
+
+template <typename Graph>
+std::vector<ClusterID> lp_cluster(const Graph &graph, const LpClusteringConfig &config,
+                                  const NodeWeight max_cluster_weight, const std::uint64_t seed,
+                                  LpClusteringStats *stats) {
+  const NodeID n = graph.n();
+
+  LpState state;
+  state.clusters.resize(n);
+  state.max_cluster_weight = std::max<NodeWeight>(max_cluster_weight, graph.max_node_weight());
+  std::vector<std::atomic<NodeWeight>> weights(n);
+  state.cluster_weights = std::move(weights);
+  par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
+    state.clusters[u] = u;
+    state.cluster_weights[u].store(graph.node_weight(u), std::memory_order_relaxed);
+  });
+  TrackedAlloc aux_tracked("lp/aux", n * (sizeof(ClusterID) + sizeof(NodeWeight) + sizeof(NodeID)));
+
+  // Randomized visit order, reshuffled every round.
+  std::vector<NodeID> order(n);
+  std::iota(order.begin(), order.end(), NodeID{0});
+  Random order_rng = Random::stream(seed, 0xbeef);
+
+  par::ThreadLocal<Random> rngs([&, t = 0]() mutable { return Random::stream(seed, t++); });
+
+  par::ThreadLocal<std::unique_ptr<SparseRatingMap>> classic_maps([&] {
+    return config.two_phase ? nullptr : std::make_unique<SparseRatingMap>(n);
+  });
+  par::ThreadLocal<FixedHashMap<ClusterID, EdgeWeight>> small_maps(
+      [&] { return FixedHashMap<ClusterID, EdgeWeight>(config.bump_threshold); });
+  par::ThreadLocal<std::vector<NodeID>> bumped_lists;
+  std::unique_ptr<SharedSparseAggregator> aggregator;
+
+  for (int round = 0; round < config.num_rounds; ++round) {
+    order_rng.shuffle(order);
+    if (config.two_phase) {
+      two_phase_round(graph, config, state, order, small_maps, rngs, aggregator, bumped_lists);
+    } else {
+      classic_round(graph, state, order, classic_maps, rngs);
+    }
+  }
+
+  if (config.two_hop) {
+    two_hop_matching(graph, config, state, small_maps);
+  }
+
+  if (stats != nullptr) {
+    stats->bumped_vertices = state.bumped_total.load(std::memory_order_relaxed);
+    stats->moves = state.moves.load(std::memory_order_relaxed);
+    std::vector<std::uint8_t> seen(n, 0);
+    NodeID count = 0;
+    for (NodeID u = 0; u < n; ++u) {
+      if (seen[state.clusters[u]] == 0) {
+        seen[state.clusters[u]] = 1;
+        ++count;
+      }
+    }
+    stats->num_clusters = count;
+  }
+
+  return std::move(state.clusters);
+}
+
+template std::vector<ClusterID> lp_cluster<CsrGraph>(const CsrGraph &, const LpClusteringConfig &,
+                                                     NodeWeight, std::uint64_t,
+                                                     LpClusteringStats *);
+template std::vector<ClusterID>
+lp_cluster<CompressedGraph>(const CompressedGraph &, const LpClusteringConfig &, NodeWeight,
+                            std::uint64_t, LpClusteringStats *);
+
+} // namespace terapart

@@ -1,0 +1,58 @@
+/// @file lp_clustering.h
+/// @brief Label propagation clustering for the coarsening phase
+/// (Section IV-A, Algorithms 1 and 2).
+///
+/// Two modes share one code path:
+///  - **classic** (`two_phase = false`): every thread owns an O(n) sparse
+///    rating map — the O(np) auxiliary-memory baseline of KaMinPar
+///    (Algorithm 1),
+///  - **two-phase** (`two_phase = true`): the first phase processes all
+///    vertices with small fixed-capacity hash tables and *bumps* vertices
+///    whose neighborhood touches >= T_bump distinct clusters; the second
+///    phase re-processes the bumped vertices one at a time with parallelism
+///    over their edges, aggregating into a single shared atomic sparse array
+///    (Algorithm 2). Auxiliary memory: O(n + p * T_bump) instead of O(n * p).
+///
+/// After the rounds, optional *two-hop matching* merges clusters that stayed
+/// singleton through a commonly favored cluster, which keeps coarsening
+/// progressing on irregular graphs (stars: all leaves favor the full hub
+/// cluster).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/csr_graph.h"
+
+namespace terapart {
+
+struct LpClusteringConfig {
+  /// Label propagation rounds before contracting (paper: 5).
+  int num_rounds = 5;
+  /// T_bump: vertices whose rating map reaches this many distinct clusters
+  /// are deferred to the second phase (paper: 10 000).
+  NodeID bump_threshold = 10'000;
+  /// false = classic O(np) per-thread sparse arrays (baseline KaMinPar).
+  bool two_phase = true;
+  /// Merge leftover singleton clusters via two-hop matching.
+  bool two_hop = true;
+};
+
+/// Statistics of one clustering run (used by tests and benches).
+struct LpClusteringStats {
+  std::uint64_t bumped_vertices = 0; ///< total over all rounds
+  std::uint64_t moves = 0;           ///< accepted moves over all rounds
+  NodeID num_clusters = 0;           ///< distinct labels after the run
+};
+
+/// Computes a clustering of `graph`: returns C with C[u] = representative
+/// vertex of u's cluster. Every cluster's total node weight is at most
+/// `max_cluster_weight`. Deterministic per (seed, thread count) pair.
+template <typename Graph>
+[[nodiscard]] std::vector<ClusterID> lp_cluster(const Graph &graph,
+                                                const LpClusteringConfig &config,
+                                                NodeWeight max_cluster_weight, std::uint64_t seed,
+                                                LpClusteringStats *stats = nullptr);
+
+} // namespace terapart

@@ -1,0 +1,155 @@
+/// @file rating_map.h
+/// @brief Rating-map data structures for label propagation and contraction
+/// (Section IV-A of the paper).
+///
+/// Three flavors:
+///  - FixedHashMap (common/fixed_hash_map.h): the small fixed-capacity
+///    per-thread table of the two-phase first pass,
+///  - SparseRatingMap: the classic O(n)-per-thread sparse array (array `A` of
+///    size n plus a list `L` of touched entries) — this is the structure
+///    whose per-thread replication causes the O(np) memory peak of baseline
+///    KaMinPar; kept as the measured baseline,
+///  - SharedSparseAggregator: the *single* shared sparse array of the second
+///    phase, updated with atomic fetch-add, with per-thread first-setter
+///    lists and per-thread hash tables acting as contention buffers
+///    (Algorithm 2, lines 9-16).
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "common/fixed_hash_map.h"
+#include "common/memory_tracker.h"
+#include "common/types.h"
+#include "parallel/thread_local_storage.h"
+
+namespace terapart {
+
+/// Classic per-thread rating map: O(n) memory per instance.
+class SparseRatingMap {
+public:
+  explicit SparseRatingMap(const std::size_t size, std::string category = "lp/rating_maps")
+      : _ratings(size, 0),
+        _tracked(std::move(category), size * sizeof(EdgeWeight)) {}
+
+  void add(const ClusterID cluster, const EdgeWeight weight) {
+    TP_ASSERT(cluster < _ratings.size());
+    if (_ratings[cluster] == 0) {
+      _touched.push_back(cluster);
+    }
+    _ratings[cluster] += weight;
+  }
+
+  [[nodiscard]] EdgeWeight get(const ClusterID cluster) const { return _ratings[cluster]; }
+  [[nodiscard]] const std::vector<ClusterID> &touched() const { return _touched; }
+
+  template <typename Fn> void for_each(Fn &&fn) const {
+    for (const ClusterID cluster : _touched) {
+      fn(cluster, _ratings[cluster]);
+    }
+  }
+
+  void clear() {
+    for (const ClusterID cluster : _touched) {
+      _ratings[cluster] = 0;
+    }
+    _touched.clear();
+  }
+
+private:
+  std::vector<EdgeWeight> _ratings;
+  std::vector<ClusterID> _touched;
+  TrackedAlloc _tracked;
+};
+
+/// The shared second-phase aggregation structure: one atomic array of size n
+/// for *all* threads plus thread-local first-setter lists. Per-thread
+/// fixed-capacity hash tables buffer updates to reduce atomic contention.
+class SharedSparseAggregator {
+public:
+  SharedSparseAggregator(const std::size_t size, const std::size_t buffer_capacity,
+                         std::string category = "lp/sparse_array")
+      : _ratings(size), _buffers([buffer_capacity] {
+          return FixedHashMap<ClusterID, EdgeWeight>(buffer_capacity);
+        }),
+        _setters([] { return std::vector<ClusterID>{}; }),
+        _tracked(std::move(category), size * sizeof(std::atomic<EdgeWeight>)) {
+    // Overcommit-free: zero-initialize once; clear() resets only touched
+    // entries afterwards.
+    for (auto &rating : _ratings) {
+      rating.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Buffered accumulation from any pool thread; flushes the thread's buffer
+  /// to the shared array when it fills up.
+  void add(const ClusterID cluster, const EdgeWeight weight) {
+    auto &buffer = _buffers.local();
+    if (!buffer.add(cluster, weight)) {
+      flush_local();
+      const bool ok = buffer.add(cluster, weight);
+      TP_ASSERT(ok);
+    }
+  }
+
+  /// Flushes the calling thread's buffer (FlushRatingMap in Algorithm 2):
+  /// atomic fetch-add per entry; the thread that raises a rating from zero
+  /// records the cluster in its first-setter list.
+  void flush_local() {
+    auto &buffer = _buffers.local();
+    auto &setters = _setters.local();
+    buffer.for_each([&](const ClusterID cluster, const EdgeWeight weight) {
+      const EdgeWeight previous =
+          _ratings[cluster].fetch_add(weight, std::memory_order_relaxed);
+      if (previous == 0) {
+        setters.push_back(cluster);
+      }
+    });
+    buffer.clear();
+  }
+
+  /// Flushes every thread's buffer; call after the parallel edge loop
+  /// finished (single-threaded context).
+  void flush_all() {
+    for (std::size_t t = 0; t < _buffers.size(); ++t) {
+      auto &buffer = _buffers.get(static_cast<int>(t));
+      auto &setters = _setters.get(static_cast<int>(t));
+      buffer.for_each([&](const ClusterID cluster, const EdgeWeight weight) {
+        const EdgeWeight previous =
+            _ratings[cluster].fetch_add(weight, std::memory_order_relaxed);
+        if (previous == 0) {
+          setters.push_back(cluster);
+        }
+      });
+      buffer.clear();
+    }
+  }
+
+  /// Iterates the union of first-setter lists (distinct clusters) with their
+  /// aggregated ratings. Single-threaded context.
+  template <typename Fn> void for_each(Fn &&fn) const {
+    _setters.for_each([&](const std::vector<ClusterID> &setters) {
+      for (const ClusterID cluster : setters) {
+        fn(cluster, _ratings[cluster].load(std::memory_order_relaxed));
+      }
+    });
+  }
+
+  /// Resets the touched entries and the setter lists. Single-threaded.
+  void clear() {
+    _setters.for_each([&](std::vector<ClusterID> &setters) {
+      for (const ClusterID cluster : setters) {
+        _ratings[cluster].store(0, std::memory_order_relaxed);
+      }
+      setters.clear();
+    });
+  }
+
+private:
+  std::vector<std::atomic<EdgeWeight>> _ratings;
+  par::ThreadLocal<FixedHashMap<ClusterID, EdgeWeight>> _buffers;
+  par::ThreadLocal<std::vector<ClusterID>> _setters;
+  TrackedAlloc _tracked;
+};
+
+} // namespace terapart

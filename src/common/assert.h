@@ -1,0 +1,37 @@
+/// @file assert.h
+/// @brief Assertion macros in the spirit of the Core Guidelines'
+/// Expects/Ensures: always-on cheap contract checks (`TP_ASSERT`) and
+/// heavyweight debug-only checks (`TP_HEAVY_ASSERT`) that may be O(n).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace terapart::debug {
+
+[[noreturn]] inline void assertion_failed(const char *expr, const char *file, int line,
+                                          const char *msg) {
+  std::fprintf(stderr, "[terapart] assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+} // namespace terapart::debug
+
+#define TP_ASSERT_MSG(expr, msg)                                                                  \
+  do {                                                                                            \
+    if (!(expr)) [[unlikely]] {                                                                   \
+      ::terapart::debug::assertion_failed(#expr, __FILE__, __LINE__, msg);                        \
+    }                                                                                             \
+  } while (false)
+
+#define TP_ASSERT(expr) TP_ASSERT_MSG(expr, nullptr)
+
+#ifdef TP_ENABLE_HEAVY_ASSERTIONS
+#define TP_HEAVY_ASSERT(expr) TP_ASSERT(expr)
+#else
+#define TP_HEAVY_ASSERT(expr)                                                                     \
+  do {                                                                                            \
+  } while (false)
+#endif

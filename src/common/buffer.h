@@ -1,0 +1,65 @@
+/// @file buffer.h
+/// @brief Owning array that is either a std::vector or an overcommitted
+/// mmap region.
+///
+/// One-pass contraction (Section IV-B.2) writes the coarse edge array
+/// directly into overcommitted memory; copying it into a std::vector
+/// afterwards would materialize the coarse graph twice — exactly what the
+/// algorithm exists to avoid. CsrGraph therefore stores its arrays as
+/// Buffer<T>, which adopts either representation without copying.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/overcommit.h"
+
+namespace terapart {
+
+template <typename T> class Buffer {
+public:
+  Buffer() = default;
+
+  /// Adopts a vector.
+  Buffer(std::vector<T> vec) : _vec(std::move(vec)), _size(_vec.size()) {} // NOLINT(google-explicit-constructor)
+
+  /// Adopts an overcommitted array holding `size` used elements; the unused
+  /// tail is returned to the OS.
+  Buffer(OvercommitArray<T> array, const std::size_t size)
+      : _overcommit(std::move(array)), _size(size), _is_overcommit(true) {
+    TP_ASSERT(size <= _overcommit.capacity());
+    _overcommit.shrink_to(size);
+  }
+
+  [[nodiscard]] std::size_t size() const { return _size; }
+  [[nodiscard]] bool empty() const { return _size == 0; }
+
+  [[nodiscard]] const T *data() const { return _is_overcommit ? _overcommit.data() : _vec.data(); }
+  [[nodiscard]] T *data() { return _is_overcommit ? _overcommit.data() : _vec.data(); }
+
+  [[nodiscard]] const T &operator[](const std::size_t i) const {
+    TP_ASSERT(i < _size);
+    return data()[i];
+  }
+  [[nodiscard]] T &operator[](const std::size_t i) {
+    TP_ASSERT(i < _size);
+    return data()[i];
+  }
+
+  [[nodiscard]] std::span<const T> span() const { return {data(), _size}; }
+  [[nodiscard]] std::span<T> span() { return {data(), _size}; }
+
+  [[nodiscard]] const T &back() const {
+    TP_ASSERT(_size > 0);
+    return data()[_size - 1];
+  }
+
+private:
+  std::vector<T> _vec;
+  OvercommitArray<T> _overcommit;
+  std::size_t _size = 0;
+  bool _is_overcommit = false;
+};
+
+} // namespace terapart

@@ -1,0 +1,132 @@
+/// @file fixed_hash_map.h
+/// @brief Fixed-capacity open-addressing hash map with value aggregation.
+///
+/// This is the first-phase rating map of two-phase label propagation
+/// (Algorithm 2) and of the one-pass contraction: capacity is fixed at
+/// construction (no dynamic growth), keys are aggregated with +=, and the
+/// caller bumps the current vertex to the second phase once `size()` reaches
+/// the bump threshold. Iteration and clearing are O(size) via a dense list of
+/// occupied slots.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/math.h"
+
+namespace terapart {
+
+template <std::unsigned_integral Key, typename Value> class FixedHashMap {
+public:
+  struct Entry {
+    Key key;
+    Value value;
+  };
+
+  /// @param max_distinct_keys the map accepts up to this many distinct keys;
+  /// slot count is the next power of two of twice that, keeping the load
+  /// factor <= 0.5 so probe sequences stay short.
+  explicit FixedHashMap(const std::size_t max_distinct_keys)
+      : _mask(math::ceil_pow2(std::max<std::size_t>(4, 2 * max_distinct_keys)) - 1),
+        _max_keys(max_distinct_keys), _slots(_mask + 1, Entry{kEmpty, Value{}}) {
+    _used.reserve(max_distinct_keys);
+  }
+
+  /// Adds `delta` to the value of `key`. Returns false (map unchanged) if the
+  /// key is new and the map is already at capacity.
+  bool add(const Key key, const Value delta) {
+    TP_ASSERT(key != kEmpty);
+    std::size_t slot = hash(key) & _mask;
+    while (true) {
+      Entry &entry = _slots[slot];
+      if (entry.key == key) {
+        entry.value += delta;
+        return true;
+      }
+      if (entry.key == kEmpty) {
+        if (_used.size() >= _max_keys) {
+          return false;
+        }
+        entry.key = key;
+        entry.value = delta;
+        _used.push_back(static_cast<std::uint32_t>(slot));
+        return true;
+      }
+      slot = (slot + 1) & _mask;
+    }
+  }
+
+  /// Value of `key`, or Value{} if absent.
+  [[nodiscard]] Value get(const Key key) const {
+    std::size_t slot = hash(key) & _mask;
+    while (true) {
+      const Entry &entry = _slots[slot];
+      if (entry.key == key) {
+        return entry.value;
+      }
+      if (entry.key == kEmpty) {
+        return Value{};
+      }
+      slot = (slot + 1) & _mask;
+    }
+  }
+
+  [[nodiscard]] bool contains(const Key key) const {
+    std::size_t slot = hash(key) & _mask;
+    while (true) {
+      const Entry &entry = _slots[slot];
+      if (entry.key == key) {
+        return true;
+      }
+      if (entry.key == kEmpty) {
+        return false;
+      }
+      slot = (slot + 1) & _mask;
+    }
+  }
+
+  /// Number of distinct keys currently stored.
+  [[nodiscard]] std::size_t size() const { return _used.size(); }
+  [[nodiscard]] bool empty() const { return _used.empty(); }
+  [[nodiscard]] std::size_t max_keys() const { return _max_keys; }
+  [[nodiscard]] bool full() const { return _used.size() >= _max_keys; }
+
+  /// Invokes `fn(key, value)` for each stored entry, in insertion order.
+  template <typename Fn> void for_each(Fn &&fn) const {
+    for (const std::uint32_t slot : _used) {
+      const Entry &entry = _slots[slot];
+      fn(entry.key, entry.value);
+    }
+  }
+
+  /// O(size) reset.
+  void clear() {
+    for (const std::uint32_t slot : _used) {
+      _slots[slot].key = kEmpty;
+    }
+    _used.clear();
+  }
+
+  /// Accounted heap footprint in bytes (for MemoryTracker registration).
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    return _slots.capacity() * sizeof(Entry) + _used.capacity() * sizeof(std::uint32_t);
+  }
+
+private:
+  static constexpr Key kEmpty = static_cast<Key>(-1);
+
+  [[nodiscard]] static std::size_t hash(const Key key) {
+    // Fibonacci hashing: cheap and adequate for IDs.
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ULL >> 32);
+  }
+
+  std::size_t _mask;
+  std::size_t _max_keys;
+  std::vector<Entry> _slots;
+  std::vector<std::uint32_t> _used;
+};
+
+} // namespace terapart

@@ -1,0 +1,10 @@
+#include "common/logging.h"
+
+namespace terapart {
+
+LogLevel &log_level() {
+  static LogLevel level = LogLevel::kQuiet;
+  return level;
+}
+
+} // namespace terapart

@@ -1,0 +1,47 @@
+/// @file logging.h
+/// @brief Minimal leveled logging. Quiet by default so that test and
+/// benchmark output stays parseable; verbosity is raised by the CLI examples.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace terapart {
+
+enum class LogLevel : int { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+/// Global log level; plain (non-atomic) because it is set once at startup.
+LogLevel &log_level();
+
+/// Stream-style logger: `LOG_INFO << "coarsened to " << n << " vertices";`
+/// The message is buffered and emitted atomically with a trailing newline.
+class LogLine {
+public:
+  explicit LogLine(const LogLevel level) : _enabled(level <= log_level()) {}
+  LogLine(const LogLine &) = delete;
+  LogLine &operator=(const LogLine &) = delete;
+
+  ~LogLine() {
+    if (_enabled) {
+      _buffer << '\n';
+      std::cout << _buffer.str() << std::flush;
+    }
+  }
+
+  template <typename T> LogLine &operator<<(const T &value) {
+    if (_enabled) {
+      _buffer << value;
+    }
+    return *this;
+  }
+
+private:
+  bool _enabled;
+  std::ostringstream _buffer;
+};
+
+} // namespace terapart
+
+#define LOG_INFO ::terapart::LogLine(::terapart::LogLevel::kInfo)
+#define LOG_DEBUG ::terapart::LogLine(::terapart::LogLevel::kDebug)

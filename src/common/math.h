@@ -1,0 +1,54 @@
+/// @file math.h
+/// @brief Small integer math helpers shared across the code base.
+#pragma once
+
+#include <bit>
+#include <concepts>
+#include <cstdint>
+
+#include "common/assert.h"
+
+namespace terapart::math {
+
+/// Ceiling division for non-negative integers.
+template <std::integral T> [[nodiscard]] constexpr T div_ceil(const T a, const T b) {
+  TP_ASSERT(b > 0);
+  return (a + b - 1) / b;
+}
+
+/// Smallest power of two >= x (x >= 1).
+template <std::unsigned_integral T> [[nodiscard]] constexpr T ceil_pow2(const T x) {
+  return x <= 1 ? T{1} : std::bit_ceil(x);
+}
+
+/// floor(log2(x)) for x >= 1.
+template <std::unsigned_integral T> [[nodiscard]] constexpr int floor_log2(const T x) {
+  TP_ASSERT(x >= 1);
+  return std::bit_width(x) - 1;
+}
+
+/// ceil(log2(x)) for x >= 1.
+template <std::unsigned_integral T> [[nodiscard]] constexpr int ceil_log2(const T x) {
+  TP_ASSERT(x >= 1);
+  return std::bit_width(x - 1);
+}
+
+/// Splits the range [0, n) into `chunks` consecutive chunks whose sizes differ
+/// by at most one; returns the [begin, end) bounds of chunk `i`.
+template <std::unsigned_integral T>
+[[nodiscard]] constexpr std::pair<T, T> chunk_bounds(const T n, const T chunks, const T i) {
+  TP_ASSERT(chunks > 0 && i < chunks);
+  const T base = n / chunks;
+  const T rem = n % chunks;
+  const T begin = i * base + (i < rem ? i : rem);
+  const T size = base + (i < rem ? 1 : 0);
+  return {begin, begin + size};
+}
+
+/// True if a + b would overflow the (signed or unsigned) type of a.
+template <std::integral T> [[nodiscard]] constexpr bool add_overflows(const T a, const T b) {
+  T out;
+  return __builtin_add_overflow(a, b, &out);
+}
+
+} // namespace terapart::math

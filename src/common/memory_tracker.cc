@@ -1,0 +1,70 @@
+#include "common/memory_tracker.h"
+
+namespace terapart {
+
+MemoryTracker &MemoryTracker::global() {
+  static MemoryTracker tracker;
+  return tracker;
+}
+
+void MemoryTracker::acquire(const std::string &category, const std::uint64_t bytes) {
+  {
+    std::lock_guard lock(_mutex);
+    Category &entry = _categories[category];
+    entry.current += bytes;
+    entry.peak = std::max(entry.peak, entry.current);
+  }
+  const std::uint64_t now = _current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::uint64_t prev_peak = _peak.load(std::memory_order_relaxed);
+  while (now > prev_peak &&
+         !_peak.compare_exchange_weak(prev_peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::release(const std::string &category, const std::uint64_t bytes) {
+  {
+    std::lock_guard lock(_mutex);
+    Category &entry = _categories[category];
+    entry.current = entry.current >= bytes ? entry.current - bytes : 0;
+  }
+  _current.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t MemoryTracker::current(const std::string &category) const {
+  std::lock_guard lock(_mutex);
+  const auto it = _categories.find(category);
+  return it == _categories.end() ? 0 : it->second.current;
+}
+
+std::uint64_t MemoryTracker::peak(const std::string &category) const {
+  std::lock_guard lock(_mutex);
+  const auto it = _categories.find(category);
+  return it == _categories.end() ? 0 : it->second.peak;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MemoryTracker::snapshot() const {
+  std::lock_guard lock(_mutex);
+  std::vector<std::pair<std::string, std::uint64_t>> result;
+  result.reserve(_categories.size());
+  for (const auto &[name, entry] : _categories) {
+    result.emplace_back(name, entry.current);
+  }
+  return result;
+}
+
+void MemoryTracker::reset() {
+  std::lock_guard lock(_mutex);
+  _categories.clear();
+  _current.store(0, std::memory_order_relaxed);
+  _peak.store(0, std::memory_order_relaxed);
+}
+
+void MemoryTracker::reset_peak() {
+  std::lock_guard lock(_mutex);
+  for (auto &[name, entry] : _categories) {
+    entry.peak = entry.current;
+  }
+  _peak.store(_current.load(std::memory_order_relaxed), std::memory_order_relaxed);
+}
+
+} // namespace terapart

@@ -1,0 +1,51 @@
+#include "common/overcommit.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <new>
+
+namespace terapart {
+
+OvercommitStorage::OvercommitStorage(const std::size_t capacity_bytes) {
+  if (capacity_bytes == 0) {
+    return;
+  }
+  // MAP_NORESERVE: do not reserve swap; pages are physically backed only when
+  // first touched. Anonymous mappings are zero-filled, so integral element
+  // types start out value-initialized for free.
+  void *ptr = ::mmap(nullptr, capacity_bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (ptr == MAP_FAILED) {
+    throw std::bad_alloc();
+  }
+  _data = ptr;
+  _capacity = capacity_bytes;
+}
+
+OvercommitStorage::~OvercommitStorage() { release(); }
+
+void OvercommitStorage::release() {
+  if (_data != nullptr) {
+    ::munmap(_data, _capacity);
+    _data = nullptr;
+    _capacity = 0;
+  }
+}
+
+void OvercommitStorage::shrink_to(const std::size_t used_bytes) {
+  TP_ASSERT(used_bytes <= _capacity);
+  const std::size_t page = page_size();
+  const std::size_t keep = ((used_bytes + page - 1) / page) * page;
+  if (keep < _capacity && _data != nullptr) {
+    ::munmap(static_cast<char *>(_data) + keep, _capacity - keep);
+    _capacity = keep;
+  }
+}
+
+std::size_t OvercommitStorage::page_size() {
+  static const std::size_t size = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+} // namespace terapart

@@ -1,0 +1,105 @@
+/// @file overcommit.h
+/// @brief Virtual-memory overcommitted arrays (Section III-B / IV-B.2).
+///
+/// When the final size of an output array is unknown until it has been
+/// produced (compressed edge bytes, coarse CSR edges), TeraPart requests an
+/// upper bound of *virtual* address space with `mmap(MAP_NORESERVE)` and
+/// relies on the OS to back only the pages that are actually touched. The
+/// array therefore physically occupies `used bytes + at most one page`,
+/// while avoiding a second pass or reallocation-with-copy.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace terapart {
+
+/// Non-template backing store: reserves `capacity_bytes` of virtual memory.
+class OvercommitStorage {
+public:
+  OvercommitStorage() = default;
+  explicit OvercommitStorage(std::size_t capacity_bytes);
+  ~OvercommitStorage();
+
+  OvercommitStorage(const OvercommitStorage &) = delete;
+  OvercommitStorage &operator=(const OvercommitStorage &) = delete;
+
+  OvercommitStorage(OvercommitStorage &&other) noexcept
+      : _data(std::exchange(other._data, nullptr)),
+        _capacity(std::exchange(other._capacity, 0)) {}
+
+  OvercommitStorage &operator=(OvercommitStorage &&other) noexcept {
+    if (this != &other) {
+      release();
+      _data = std::exchange(other._data, nullptr);
+      _capacity = std::exchange(other._capacity, 0);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] void *data() const { return _data; }
+  [[nodiscard]] std::size_t capacity_bytes() const { return _capacity; }
+  [[nodiscard]] bool valid() const { return _data != nullptr; }
+
+  /// Rounds down the reservation to `used_bytes` (page granularity), returning
+  /// the unused virtual range to the OS. Called once the true size is known.
+  void shrink_to(std::size_t used_bytes);
+
+  void release();
+
+  /// System page size (cached).
+  [[nodiscard]] static std::size_t page_size();
+
+private:
+  void *_data = nullptr;
+  std::size_t _capacity = 0;
+};
+
+/// Typed overcommitted array of trivially-destructible elements. Elements are
+/// *not* constructed: the memory is zero pages provided by the kernel, which
+/// is a valid representation for the integral types we store.
+template <typename T> class OvercommitArray {
+  static_assert(std::is_trivially_destructible_v<T> && std::is_trivially_copyable_v<T>);
+
+public:
+  OvercommitArray() = default;
+  explicit OvercommitArray(const std::size_t capacity)
+      : _storage(capacity * sizeof(T)), _capacity(capacity) {}
+
+  [[nodiscard]] T *data() { return static_cast<T *>(_storage.data()); }
+  [[nodiscard]] const T *data() const { return static_cast<const T *>(_storage.data()); }
+
+  [[nodiscard]] T &operator[](const std::size_t i) {
+    TP_ASSERT(i < _capacity);
+    return data()[i];
+  }
+  [[nodiscard]] const T &operator[](const std::size_t i) const {
+    TP_ASSERT(i < _capacity);
+    return data()[i];
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return _capacity; }
+  [[nodiscard]] bool valid() const { return _storage.valid(); }
+
+  [[nodiscard]] std::span<T> span(const std::size_t begin, const std::size_t end) {
+    TP_ASSERT(begin <= end && end <= _capacity);
+    return {data() + begin, end - begin};
+  }
+
+  /// Returns the unused tail of the reservation to the OS; the array remains
+  /// valid for indices < used.
+  void shrink_to(const std::size_t used) {
+    TP_ASSERT(used <= _capacity);
+    _storage.shrink_to(used * sizeof(T));
+    _capacity = used;
+  }
+
+private:
+  OvercommitStorage _storage;
+  std::size_t _capacity = 0;
+};
+
+} // namespace terapart

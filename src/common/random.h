@@ -1,0 +1,108 @@
+/// @file random.h
+/// @brief Deterministic, seedable pseudo-random number generation.
+///
+/// All randomized components of TeraPart (label propagation visit order,
+/// tie-breaking, initial partitioning seeds, graph generators) draw from
+/// instances of this generator so that runs are reproducible given a seed.
+/// The generator is xoshiro256** — fast, high quality, and trivially
+/// splittable into independent per-thread streams via jump-free reseeding
+/// with SplitMix64.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace terapart {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t &state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** pseudo-random generator. Satisfies
+/// std::uniform_random_bit_generator.
+class Random {
+public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Random(std::uint64_t seed = 1) { this->seed(seed); }
+
+  constexpr void seed(std::uint64_t seed) {
+    for (auto &word : _state) {
+      word = splitmix64(seed);
+    }
+  }
+
+  /// Derives an independent stream for (seed, stream_id) pairs; used to give
+  /// each thread / repetition its own generator.
+  [[nodiscard]] static constexpr Random stream(const std::uint64_t seed,
+                                               const std::uint64_t stream_id) {
+    std::uint64_t mix = seed;
+    (void)splitmix64(mix);
+    mix ^= 0x9e3779b97f4a7c15ULL * (stream_id + 1);
+    return Random{mix};
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+    const std::uint64_t t = _state[1] << 17;
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's multiply-shift rejection-free
+  /// approximation is fine for our purposes (bound << 2^64).
+  [[nodiscard]] constexpr std::uint64_t next_bounded(const std::uint64_t bound) {
+    TP_ASSERT(bound > 0);
+    return static_cast<std::uint64_t>((static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi].
+  [[nodiscard]] constexpr std::uint64_t next_in_range(const std::uint64_t lo,
+                                                      const std::uint64_t hi) {
+    TP_ASSERT(lo <= hi);
+    return lo + next_bounded(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] constexpr double next_double() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `probability`.
+  [[nodiscard]] constexpr bool next_bool(const double probability = 0.5) {
+    return next_double() < probability;
+  }
+
+  /// Fisher-Yates shuffle of a random-access range.
+  template <typename RandomAccessRange> constexpr void shuffle(RandomAccessRange &&range) {
+    const auto n = static_cast<std::uint64_t>(range.size());
+    for (std::uint64_t i = n; i > 1; --i) {
+      const std::uint64_t j = next_bounded(i);
+      using std::swap;
+      swap(range[i - 1], range[j]);
+    }
+  }
+
+private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(const std::uint64_t x, const int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t _state[4];
+};
+
+} // namespace terapart

@@ -1,0 +1,35 @@
+/// @file spinlock.h
+/// @brief Tiny test-and-test-and-set spinlock. Used to guard the per-vertex
+/// hash tables of the sparse gain table (Section V): critical sections are a
+/// handful of instructions, so spinning beats a mutex and a full std::mutex
+/// per vertex would defeat the purpose of a *space*-efficient structure.
+#pragma once
+
+#include <atomic>
+
+namespace terapart {
+
+class Spinlock {
+public:
+  void lock() {
+    while (true) {
+      if (!_flag.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      while (_flag.load(std::memory_order_relaxed)) {
+        // spin on read to avoid cache-line ping-pong
+      }
+    }
+  }
+
+  [[nodiscard]] bool try_lock() { return !_flag.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { _flag.store(false, std::memory_order_release); }
+
+private:
+  std::atomic<bool> _flag{false};
+};
+
+static_assert(sizeof(Spinlock) == 1, "one byte per vertex");
+
+} // namespace terapart

@@ -1,0 +1,82 @@
+/// @file timer.h
+/// @brief Wall-clock timers and a hierarchical phase timer used by the
+/// partitioner driver and the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace terapart {
+
+/// Simple wall-clock stopwatch.
+class Timer {
+public:
+  Timer() : _start(clock::now()) {}
+
+  void restart() { _start = clock::now(); }
+
+  /// Elapsed seconds since construction / last restart.
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - _start).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point _start;
+};
+
+/// Accumulates named timings, e.g. per multilevel phase. Not thread-safe by
+/// design: only the driver thread records phases.
+class PhaseTimer {
+public:
+  /// RAII scope that adds its lifetime to the named phase.
+  class Scope {
+  public:
+    Scope(PhaseTimer &timer, std::string name) : _timer(timer), _name(std::move(name)) {}
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+    ~Scope() { _timer.add(_name, _watch.elapsed_s()); }
+
+  private:
+    PhaseTimer &_timer;
+    std::string _name;
+    Timer _watch;
+  };
+
+  void add(const std::string &name, const double seconds) {
+    auto [it, inserted] = _index.try_emplace(name, _entries.size());
+    if (inserted) {
+      _entries.emplace_back(name, seconds);
+    } else {
+      _entries[it->second].second += seconds;
+    }
+  }
+
+  [[nodiscard]] Scope scope(std::string name) { return Scope(*this, std::move(name)); }
+
+  [[nodiscard]] double total(const std::string &name) const {
+    const auto it = _index.find(name);
+    return it == _index.end() ? 0.0 : _entries[it->second].second;
+  }
+
+  /// Phases in first-recorded order.
+  [[nodiscard]] const std::vector<std::pair<std::string, double>> &entries() const {
+    return _entries;
+  }
+
+  void clear() {
+    _index.clear();
+    _entries.clear();
+  }
+
+private:
+  std::map<std::string, std::size_t> _index;
+  std::vector<std::pair<std::string, double>> _entries;
+};
+
+} // namespace terapart

@@ -1,0 +1,41 @@
+/// @file types.h
+/// @brief Fundamental integer types used throughout TeraPart.
+///
+/// We follow the KaMinPar convention: 32-bit vertex IDs (sufficient for the
+/// scaled-down graphs of this reproduction; the design is templated nowhere,
+/// so switching to 64-bit IDs is a one-line change here), 64-bit edge IDs
+/// (edge counts exceed 2^32 long before vertex counts do), and signed 64-bit
+/// weights so that gain computations (differences of weights) never overflow
+/// or wrap.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace terapart {
+
+/// Identifier of a vertex (a.k.a. node) of a graph.
+using NodeID = std::uint32_t;
+/// Identifier of a (directed half of an undirected) edge.
+using EdgeID = std::uint64_t;
+/// Weight of a vertex. Coarse vertices aggregate weights, hence 64 bits.
+using NodeWeight = std::int64_t;
+/// Weight of an edge. Coarse edges aggregate weights, hence 64 bits.
+using EdgeWeight = std::int64_t;
+/// Identifier of a block of a partition.
+using BlockID = std::uint32_t;
+/// Weight of a block (sum of contained node weights).
+using BlockWeight = std::int64_t;
+/// Identifier of a cluster during coarsening. Clusters are identified by a
+/// representative vertex, hence the same width as NodeID.
+using ClusterID = NodeID;
+
+inline constexpr NodeID kInvalidNodeID = std::numeric_limits<NodeID>::max();
+inline constexpr EdgeID kInvalidEdgeID = std::numeric_limits<EdgeID>::max();
+inline constexpr BlockID kInvalidBlockID = std::numeric_limits<BlockID>::max();
+inline constexpr ClusterID kInvalidClusterID = std::numeric_limits<ClusterID>::max();
+
+inline constexpr NodeWeight kMaxNodeWeight = std::numeric_limits<NodeWeight>::max();
+inline constexpr EdgeWeight kMaxEdgeWeight = std::numeric_limits<EdgeWeight>::max();
+
+} // namespace terapart

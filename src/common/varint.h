@@ -1,0 +1,85 @@
+/// @file varint.h
+/// @brief Variable-length integer (VarInt) codec plus zigzag mapping for
+/// signed values. This is the byte-level substrate of the compressed graph
+/// representation (Section III-A of the paper): 7 payload bits per byte, the
+/// high bit is the continuation bit.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "common/assert.h"
+
+namespace terapart {
+
+/// Maximum encoded size of a T in bytes (ceil(bits / 7)).
+template <std::unsigned_integral T> inline constexpr std::size_t kMaxVarIntLength =
+    (sizeof(T) * 8 + 6) / 7;
+
+/// Encodes `value` at `dest`; returns the number of bytes written.
+template <std::unsigned_integral T>
+inline std::size_t varint_encode(T value, std::uint8_t *dest) {
+  std::size_t written = 0;
+  while (value >= 0x80) {
+    dest[written++] = static_cast<std::uint8_t>(value) | 0x80;
+    value >>= 7;
+  }
+  dest[written++] = static_cast<std::uint8_t>(value);
+  return written;
+}
+
+/// Returns the number of bytes varint_encode would write for `value`.
+template <std::unsigned_integral T> [[nodiscard]] inline std::size_t varint_length(T value) {
+  std::size_t length = 1;
+  while (value >= 0x80) {
+    ++length;
+    value >>= 7;
+  }
+  return length;
+}
+
+/// Decodes a value starting at `src`, advancing `src` past the encoded bytes.
+template <std::unsigned_integral T> [[nodiscard]] inline T varint_decode(const std::uint8_t *&src) {
+  T value = 0;
+  int shift = 0;
+  while (true) {
+    const std::uint8_t byte = *src++;
+    value |= static_cast<T>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      return value;
+    }
+    shift += 7;
+    TP_ASSERT_MSG(shift < static_cast<int>(sizeof(T) * 8 + 7), "varint overlong for type");
+  }
+}
+
+/// Zigzag mapping: interleaves negative and non-negative values so that small
+/// magnitudes encode to few bytes. Used for (signed) edge weight gaps; this is
+/// the "additional sign bit" of the paper.
+template <std::signed_integral S> [[nodiscard]] constexpr auto zigzag_encode(const S value) {
+  using U = std::make_unsigned_t<S>;
+  return static_cast<U>((static_cast<U>(value) << 1) ^ static_cast<U>(value >> (sizeof(S) * 8 - 1)));
+}
+
+template <std::unsigned_integral U> [[nodiscard]] constexpr auto zigzag_decode(const U value) {
+  using S = std::make_signed_t<U>;
+  return static_cast<S>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+/// Convenience: encode a signed value with zigzag + varint.
+template <std::signed_integral S>
+inline std::size_t signed_varint_encode(const S value, std::uint8_t *dest) {
+  return varint_encode(zigzag_encode(value), dest);
+}
+
+template <std::signed_integral S> [[nodiscard]] inline std::size_t signed_varint_length(const S value) {
+  return varint_length(zigzag_encode(value));
+}
+
+template <std::signed_integral S>
+[[nodiscard]] inline S signed_varint_decode(const std::uint8_t *&src) {
+  using U = std::make_unsigned_t<S>;
+  return zigzag_decode(varint_decode<U>(src));
+}
+
+} // namespace terapart

@@ -1,0 +1,79 @@
+#include "compression/compressed_graph.h"
+
+#include <algorithm>
+
+#include "graph/csr_graph.h"
+
+namespace terapart {
+
+CompressedGraph::CompressedGraph(const NodeID n, const EdgeID m, const CompressionConfig config,
+                                 std::vector<std::uint64_t> node_byte_offsets,
+                                 OvercommitArray<std::uint8_t> bytes,
+                                 const std::uint64_t used_bytes, const bool has_edge_weights,
+                                 std::vector<NodeWeight> node_weights,
+                                 const EdgeWeight total_edge_weight, const NodeID max_degree,
+                                 std::string memory_category)
+    : _n(n), _m(m), _config(config), _has_edge_weights(has_edge_weights),
+      _node_offsets(std::move(node_byte_offsets)), _bytes(std::move(bytes)),
+      _used_bytes(used_bytes), _node_weights(std::move(node_weights)),
+      _total_edge_weight(total_edge_weight), _max_degree(max_degree) {
+  TP_ASSERT(_node_offsets.size() == static_cast<std::size_t>(_n) + 1);
+  TP_ASSERT(_node_weights.empty() || _node_weights.size() == _n);
+
+  // Return the untouched tail of the overcommitted reservation to the OS: the
+  // physically backed size is now `used_bytes` rounded up to one page.
+  _bytes.shrink_to(_used_bytes);
+
+  if (_node_weights.empty()) {
+    _total_node_weight = static_cast<NodeWeight>(_n);
+    _max_node_weight = 1;
+  } else {
+    _total_node_weight = 0;
+    for (const NodeWeight w : _node_weights) {
+      _total_node_weight += w;
+      _max_node_weight = std::max(_max_node_weight, w);
+    }
+  }
+
+  _tracked = TrackedAlloc(std::move(memory_category), memory_bytes());
+}
+
+std::vector<std::pair<NodeID, EdgeWeight>> CompressedGraph::decode_sorted(const NodeID u) const {
+  std::vector<std::pair<NodeID, EdgeWeight>> result;
+  result.reserve(degree(u));
+  for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) { result.emplace_back(v, w); });
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+CsrGraph decompress_graph(const CompressedGraph &graph, std::string memory_category) {
+  const NodeID n = graph.n();
+  std::vector<EdgeID> nodes(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeID u = 0; u < n; ++u) {
+    nodes[u + 1] = nodes[u] + graph.degree(u);
+  }
+  std::vector<NodeID> edges(graph.m());
+  std::vector<EdgeWeight> weights(graph.is_edge_weighted() ? graph.m() : 0);
+  par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
+    const auto sorted = graph.decode_sorted(u);
+    EdgeID out = nodes[u];
+    for (const auto &[v, w] : sorted) {
+      edges[out] = v;
+      if (!weights.empty()) {
+        weights[out] = w;
+      }
+      ++out;
+    }
+  });
+  std::vector<NodeWeight> node_weights;
+  if (graph.is_node_weighted()) {
+    node_weights.resize(n);
+    for (NodeID u = 0; u < n; ++u) {
+      node_weights[u] = graph.node_weight(u);
+    }
+  }
+  return CsrGraph(std::move(nodes), std::move(edges), std::move(node_weights),
+                  std::move(weights), std::move(memory_category));
+}
+
+} // namespace terapart

@@ -1,0 +1,276 @@
+/// @file compressed_graph.h
+/// @brief Compressed graph representation (Section III-A of the paper).
+///
+/// Neighborhoods are stored as a byte stream combining:
+///  - **gap encoding**: neighborhoods are sorted by ID; only differences are
+///    stored (the first target relative to the source vertex, signed),
+///  - **VarInt**: 7 payload bits per byte + continuation bit,
+///  - **interval encoding**: runs {x, x+1, ..., x+l-1} with l >= 3 are stored
+///    as (x, l) instead of l unit gaps — the optimization that pushes web
+///    graphs below one byte per edge,
+///  - **interleaved edge weights**: gap-encoded with a sign bit (zigzag),
+///    stored directly after the structural token they belong to,
+///  - **high-degree chunking**: neighborhoods with degree >= a threshold
+///    (paper: 10 000) are split into fixed-size chunks (paper: 1 000) that are
+///    encoded and decoded independently, enabling parallel iteration over a
+///    single huge neighborhood,
+///  - **first-edge-ID header**: because byte offsets no longer encode
+///    degrees, each neighborhood starts with its first edge ID as a VarInt;
+///    the degree of u is recovered as firstEdgeID(u+1) - firstEdgeID(u), and
+///    edge IDs are available during iteration.
+///
+/// The class exposes the same visitor API as CsrGraph so all multilevel
+/// algorithms run on either representation. Decoding emits interval targets
+/// before residual targets (each group sorted); algorithms are
+/// order-independent, and tests canonicalize by sorting.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/memory_tracker.h"
+#include "common/overcommit.h"
+#include "common/types.h"
+#include "common/varint.h"
+#include "parallel/parallel_for.h"
+
+namespace terapart {
+
+/// Parameters of the compression scheme. The decoder needs the same values
+/// as the encoder, so they are stored with the graph.
+struct CompressionConfig {
+  /// Neighborhoods with at least this many edges use the chunked layout.
+  NodeID high_degree_threshold = 10'000;
+  /// Number of targets per independently decodable chunk.
+  NodeID chunk_size = 1'000;
+  /// Enable interval encoding (disable to measure gap-only ratios, Fig. 10).
+  bool intervals = true;
+  /// Minimum run length stored as an interval.
+  NodeID min_interval_length = 3;
+};
+
+class CompressedGraph {
+public:
+  CompressedGraph() = default;
+
+  /// Assembled by the encoders; see encoder.h / parallel_compressor.h.
+  CompressedGraph(NodeID n, EdgeID m, CompressionConfig config,
+                  std::vector<std::uint64_t> node_byte_offsets, OvercommitArray<std::uint8_t> bytes,
+                  std::uint64_t used_bytes, bool has_edge_weights,
+                  std::vector<NodeWeight> node_weights, EdgeWeight total_edge_weight,
+                  NodeID max_degree, std::string memory_category = "graph");
+
+  [[nodiscard]] NodeID n() const { return _n; }
+  [[nodiscard]] EdgeID m() const { return _m; }
+
+  [[nodiscard]] NodeID degree(const NodeID u) const {
+    TP_ASSERT(u < _n);
+    return static_cast<NodeID>(next_first_edge(u) - first_edge(u));
+  }
+
+  /// Global ID of the first edge of u's neighborhood (decoded from the
+  /// header).
+  [[nodiscard]] EdgeID first_edge(const NodeID u) const {
+    TP_ASSERT(u < _n);
+    const std::uint8_t *ptr = _bytes.data() + _node_offsets[u];
+    return varint_decode<EdgeID>(ptr);
+  }
+
+  [[nodiscard]] NodeWeight node_weight(const NodeID u) const {
+    TP_ASSERT(u < _n);
+    return _node_weights.empty() ? 1 : _node_weights[u];
+  }
+
+  [[nodiscard]] bool is_node_weighted() const { return !_node_weights.empty(); }
+  [[nodiscard]] bool is_edge_weighted() const { return _has_edge_weights; }
+  [[nodiscard]] static constexpr bool is_compressed() { return true; }
+
+  [[nodiscard]] NodeWeight total_node_weight() const { return _total_node_weight; }
+  [[nodiscard]] EdgeWeight total_edge_weight() const { return _total_edge_weight; }
+  [[nodiscard]] NodeWeight max_node_weight() const { return _max_node_weight; }
+  [[nodiscard]] NodeID max_degree() const { return _max_degree; }
+
+  [[nodiscard]] const CompressionConfig &config() const { return _config; }
+
+  /// Compressed size of the edge stream in bytes.
+  [[nodiscard]] std::uint64_t used_bytes() const { return _used_bytes; }
+
+  /// Total footprint: byte stream + offsets + node weights.
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    return _used_bytes + _node_offsets.size() * sizeof(std::uint64_t) +
+           _node_weights.size() * sizeof(NodeWeight);
+  }
+
+  /// Size the same graph would occupy as uncompressed CSR (for ratios).
+  [[nodiscard]] std::uint64_t uncompressed_csr_bytes() const {
+    return (static_cast<std::uint64_t>(_n) + 1) * sizeof(EdgeID) +
+           static_cast<std::uint64_t>(_m) * sizeof(NodeID) +
+           (_has_edge_weights ? static_cast<std::uint64_t>(_m) * sizeof(EdgeWeight) : 0) +
+           _node_weights.size() * sizeof(NodeWeight);
+  }
+
+  /// Invokes fn(v, w) for each neighbor (on-the-fly decoding).
+  template <typename Fn> void for_each_neighbor(const NodeID u, Fn &&fn) const {
+    decode_neighborhood(u, [&](EdgeID, const NodeID v, const EdgeWeight w) { fn(v, w); });
+  }
+
+  /// Invokes fn(e, v, w) with the global edge ID.
+  template <typename Fn> void for_each_neighbor_with_id(const NodeID u, Fn &&fn) const {
+    decode_neighborhood(u, std::forward<Fn>(fn));
+  }
+
+  /// Parallel iteration over one neighborhood. Chunked (high-degree)
+  /// neighborhoods decode their chunks concurrently; small neighborhoods fall
+  /// back to sequential decoding (they are below the bump threshold anyway).
+  template <typename Fn> void for_each_neighbor_parallel(const NodeID u, Fn &&fn) const {
+    const EdgeID first_id = first_edge(u);
+    const auto deg = static_cast<NodeID>(next_first_edge(u) - first_id);
+    if (deg < _config.high_degree_threshold) {
+      for_each_neighbor(u, std::forward<Fn>(fn));
+      return;
+    }
+    const NodeID num_chunks = (deg + _config.chunk_size - 1) / _config.chunk_size;
+    const std::uint8_t *base = _bytes.data() + _node_offsets[u];
+    (void)varint_decode<EdgeID>(base); // skip header
+    const auto *chunk_offsets = reinterpret_cast<const std::uint32_t *>(base);
+    const std::uint8_t *chunk_data = base + num_chunks * sizeof(std::uint32_t);
+
+    par::parallel_for_each<NodeID>(0, num_chunks, [&](const NodeID c) {
+      std::uint32_t offset;
+      std::memcpy(&offset, &chunk_offsets[c], sizeof(offset)); // alignment-safe
+      const std::uint8_t *ptr = chunk_data + offset;
+      const NodeID chunk_deg =
+          c + 1 < num_chunks ? _config.chunk_size : deg - c * _config.chunk_size;
+      decode_subneighborhood(u, chunk_deg, ptr,
+                             [&](const NodeID v, const EdgeWeight w) { fn(v, w); });
+    });
+  }
+
+  /// Test helper: fully decodes u's neighborhood, sorted by target.
+  [[nodiscard]] std::vector<std::pair<NodeID, EdgeWeight>> decode_sorted(NodeID u) const;
+
+  [[nodiscard]] std::span<const std::uint64_t> raw_node_offsets() const { return _node_offsets; }
+  [[nodiscard]] std::span<const std::uint8_t> raw_bytes() const {
+    return {_bytes.data(), _used_bytes};
+  }
+
+private:
+  [[nodiscard]] EdgeID next_first_edge(const NodeID u) const {
+    if (u + 1 == _n) {
+      return _m;
+    }
+    const std::uint8_t *ptr = _bytes.data() + _node_offsets[u + 1];
+    return varint_decode<EdgeID>(ptr);
+  }
+
+  /// Decodes the full neighborhood of u, dispatching on the chunked layout.
+  template <typename Fn> void decode_neighborhood(const NodeID u, Fn &&fn) const {
+    const std::uint8_t *ptr = _bytes.data() + _node_offsets[u];
+    const EdgeID first_id = varint_decode<EdgeID>(ptr);
+    const auto deg = static_cast<NodeID>(next_first_edge(u) - first_id);
+    if (deg == 0) {
+      return;
+    }
+
+    if (deg >= _config.high_degree_threshold) {
+      const NodeID num_chunks = (deg + _config.chunk_size - 1) / _config.chunk_size;
+      const auto *chunk_offsets = reinterpret_cast<const std::uint32_t *>(ptr);
+      const std::uint8_t *chunk_data = ptr + num_chunks * sizeof(std::uint32_t);
+      for (NodeID c = 0; c < num_chunks; ++c) {
+        std::uint32_t offset;
+        std::memcpy(&offset, &chunk_offsets[c], sizeof(offset));
+        const std::uint8_t *chunk_ptr = chunk_data + offset;
+        const NodeID chunk_deg =
+            c + 1 < num_chunks ? _config.chunk_size : deg - c * _config.chunk_size;
+        EdgeID edge_id = first_id + static_cast<EdgeID>(c) * _config.chunk_size;
+        decode_subneighborhood(u, chunk_deg, chunk_ptr,
+                               [&](const NodeID v, const EdgeWeight w) { fn(edge_id++, v, w); });
+      }
+      return;
+    }
+
+    EdgeID edge_id = first_id;
+    decode_subneighborhood(u, deg, ptr,
+                           [&](const NodeID v, const EdgeWeight w) { fn(edge_id++, v, w); });
+  }
+
+  /// Decodes `count` targets of a (sub)neighborhood of u starting at `ptr`.
+  /// Emits interval targets first, then residuals; fn(v, w).
+  template <typename Fn>
+  void decode_subneighborhood(const NodeID u, const NodeID count, const std::uint8_t *ptr,
+                              Fn &&fn) const {
+    const bool weighted = _has_edge_weights;
+    EdgeWeight prev_weight = 0;
+    NodeID emitted = 0;
+
+    if (_config.intervals) {
+      const auto num_intervals = varint_decode<NodeID>(ptr);
+      std::uint64_t prev_right = 0;
+      for (NodeID i = 0; i < num_intervals; ++i) {
+        std::uint64_t left;
+        if (i == 0) {
+          left = static_cast<std::uint64_t>(static_cast<std::int64_t>(u) +
+                                            signed_varint_decode<std::int64_t>(ptr));
+        } else {
+          left = prev_right + 2 + varint_decode<std::uint64_t>(ptr);
+        }
+        const NodeID length = _config.min_interval_length + varint_decode<NodeID>(ptr);
+        for (NodeID j = 0; j < length; ++j) {
+          EdgeWeight weight = 1;
+          if (weighted) {
+            prev_weight += signed_varint_decode<EdgeWeight>(ptr);
+            weight = prev_weight;
+          }
+          fn(static_cast<NodeID>(left + j), weight);
+        }
+        emitted += length;
+        prev_right = left + length - 1;
+      }
+    }
+
+    const NodeID residuals = count - emitted;
+    std::uint64_t prev_target = 0;
+    for (NodeID r = 0; r < residuals; ++r) {
+      if (r == 0) {
+        prev_target = static_cast<std::uint64_t>(static_cast<std::int64_t>(u) +
+                                                 signed_varint_decode<std::int64_t>(ptr));
+      } else {
+        prev_target += 1 + varint_decode<std::uint64_t>(ptr);
+      }
+      EdgeWeight weight = 1;
+      if (weighted) {
+        prev_weight += signed_varint_decode<EdgeWeight>(ptr);
+        weight = prev_weight;
+      }
+      fn(static_cast<NodeID>(prev_target), weight);
+    }
+  }
+
+  NodeID _n = 0;
+  EdgeID _m = 0;
+  CompressionConfig _config;
+  bool _has_edge_weights = false;
+
+  std::vector<std::uint64_t> _node_offsets; ///< byte offset of each neighborhood; [n] = used
+  OvercommitArray<std::uint8_t> _bytes;
+  std::uint64_t _used_bytes = 0;
+
+  std::vector<NodeWeight> _node_weights;
+  NodeWeight _total_node_weight = 0;
+  EdgeWeight _total_edge_weight = 0;
+  NodeWeight _max_node_weight = 1;
+  NodeID _max_degree = 0;
+
+  TrackedAlloc _tracked;
+};
+
+/// Materializes the compressed graph back into uncompressed CSR form
+/// (sorted neighborhoods). Used when the multilevel hierarchy is empty and
+/// sequential initial partitioning must run on the input itself.
+class CsrGraph;
+[[nodiscard]] CsrGraph decompress_graph(const CompressedGraph &graph,
+                                        std::string memory_category = "graph");
+
+} // namespace terapart

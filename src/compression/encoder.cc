@@ -1,0 +1,183 @@
+#include "compression/encoder.h"
+
+#include <cstring>
+
+namespace terapart {
+
+namespace {
+
+void append_varint(std::vector<std::uint8_t> &out, const std::uint64_t value) {
+  std::uint8_t buffer[kMaxVarIntLength<std::uint64_t>];
+  const std::size_t length = varint_encode(value, buffer);
+  out.insert(out.end(), buffer, buffer + length);
+}
+
+void append_signed_varint(std::vector<std::uint8_t> &out, const std::int64_t value) {
+  append_varint(out, zigzag_encode(value));
+}
+
+/// A maximal run of consecutive target IDs, as indices into the target slice.
+struct Interval {
+  NodeID begin_index;
+  NodeID length;
+};
+
+/// Encodes one chunk (or an entire small neighborhood). Weight gaps are
+/// interleaved directly after the structural token they belong to; the weight
+/// chain resets at each (sub)neighborhood so chunks stay independently
+/// decodable.
+void encode_subneighborhood(const NodeID u, std::span<const NodeID> targets,
+                            std::span<const EdgeWeight> weights, const CompressionConfig &config,
+                            std::vector<std::uint8_t> &out) {
+  const auto count = static_cast<NodeID>(targets.size());
+  const bool weighted = !weights.empty();
+  EdgeWeight prev_weight = 0;
+
+  std::vector<Interval> intervals;
+  if (config.intervals) {
+    for (NodeID i = 0; i < count;) {
+      NodeID j = i + 1;
+      while (j < count && targets[j] == targets[j - 1] + 1) {
+        ++j;
+      }
+      if (j - i >= config.min_interval_length) {
+        intervals.push_back({i, j - i});
+      }
+      i = j;
+    }
+
+    append_varint(out, intervals.size());
+    std::uint64_t prev_right = 0;
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+      const Interval &interval = intervals[i];
+      const std::uint64_t left = targets[interval.begin_index];
+      if (i == 0) {
+        append_signed_varint(out, static_cast<std::int64_t>(left) - static_cast<std::int64_t>(u));
+      } else {
+        TP_ASSERT(left >= prev_right + 2);
+        append_varint(out, left - prev_right - 2);
+      }
+      append_varint(out, interval.length - config.min_interval_length);
+      if (weighted) {
+        for (NodeID j = 0; j < interval.length; ++j) {
+          const EdgeWeight weight = weights[interval.begin_index + j];
+          append_signed_varint(out, weight - prev_weight);
+          prev_weight = weight;
+        }
+      }
+      prev_right = left + interval.length - 1;
+    }
+  }
+
+  // Residuals: all targets not covered by an interval, in sorted order.
+  std::size_t next_interval = 0;
+  bool first_residual = true;
+  std::uint64_t prev_target = 0;
+  for (NodeID i = 0; i < count;) {
+    if (next_interval < intervals.size() && intervals[next_interval].begin_index == i) {
+      i += intervals[next_interval].length;
+      ++next_interval;
+      continue;
+    }
+    const std::uint64_t target = targets[i];
+    if (first_residual) {
+      append_signed_varint(out,
+                           static_cast<std::int64_t>(target) - static_cast<std::int64_t>(u));
+      first_residual = false;
+    } else {
+      TP_ASSERT(target >= prev_target + 1);
+      append_varint(out, target - prev_target - 1);
+    }
+    if (weighted) {
+      const EdgeWeight weight = weights[i];
+      append_signed_varint(out, weight - prev_weight);
+      prev_weight = weight;
+    }
+    prev_target = target;
+    ++i;
+  }
+}
+
+} // namespace
+
+void encode_neighborhood(const NodeID u, const EdgeID first_edge_id,
+                         std::span<const NodeID> targets, std::span<const EdgeWeight> weights,
+                         const CompressionConfig &config, std::vector<std::uint8_t> &out) {
+  append_varint(out, first_edge_id);
+  const auto deg = static_cast<NodeID>(targets.size());
+  if (deg == 0) {
+    return;
+  }
+
+  if (deg < config.high_degree_threshold) {
+    encode_subneighborhood(u, targets, weights, config, out);
+    return;
+  }
+
+  // Chunked layout: a fixed-width offset directory enables random (and thus
+  // parallel) access to the chunks, which are encoded independently.
+  const NodeID num_chunks = (deg + config.chunk_size - 1) / config.chunk_size;
+  const std::size_t directory_pos = out.size();
+  out.resize(out.size() + static_cast<std::size_t>(num_chunks) * sizeof(std::uint32_t));
+  const std::size_t chunk_data_pos = out.size();
+
+  for (NodeID c = 0; c < num_chunks; ++c) {
+    const std::uint32_t offset = static_cast<std::uint32_t>(out.size() - chunk_data_pos);
+    std::memcpy(out.data() + directory_pos + static_cast<std::size_t>(c) * sizeof(std::uint32_t),
+                &offset, sizeof(offset));
+    const NodeID begin = c * config.chunk_size;
+    const NodeID end = std::min<NodeID>(deg, begin + config.chunk_size);
+    encode_subneighborhood(u, targets.subspan(begin, end - begin),
+                           weights.empty() ? weights : weights.subspan(begin, end - begin), config,
+                           out);
+  }
+}
+
+std::uint64_t compressed_size_upper_bound(const NodeID n, const EdgeID m,
+                                          const bool has_edge_weights,
+                                          const CompressionConfig &config) {
+  // Per vertex: header (<=10 B) + interval count (<=5 B) + chunk directory
+  // amortized below. Per edge: one gap varint (<=10 B) plus one weight varint
+  // (<=10 B). Intervals only shrink the structural stream (one interval costs
+  // <=15 B and replaces >= 3 gap bytes). Chunk directories add 4 B per chunk.
+  const std::uint64_t per_vertex = 16;
+  const std::uint64_t per_edge = 10 + (has_edge_weights ? 10 : 0);
+  const std::uint64_t chunk_overhead =
+      (m / std::max<NodeID>(1, config.chunk_size) + n + 1) * (sizeof(std::uint32_t) + 5);
+  return per_vertex * (static_cast<std::uint64_t>(n) + 1) + per_edge * m + chunk_overhead + 64;
+}
+
+CompressedGraph compress_graph(const CsrGraph &graph, const CompressionConfig &config,
+                               std::string memory_category) {
+  const NodeID n = graph.n();
+  const EdgeID m = graph.m();
+  const bool weighted = graph.is_edge_weighted();
+
+  OvercommitArray<std::uint8_t> bytes(compressed_size_upper_bound(n, m, weighted, config));
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+
+  std::vector<std::uint8_t> scratch;
+  std::uint64_t cursor = 0;
+  for (NodeID u = 0; u < n; ++u) {
+    offsets[u] = cursor;
+    scratch.clear();
+    const EdgeID begin = graph.raw_nodes()[u];
+    const EdgeID end = graph.raw_nodes()[u + 1];
+    encode_neighborhood(u, begin, graph.raw_edges().subspan(begin, end - begin),
+                        weighted ? graph.raw_edge_weights().subspan(begin, end - begin)
+                                 : std::span<const EdgeWeight>{},
+                        config, scratch);
+    std::memcpy(bytes.data() + cursor, scratch.data(), scratch.size());
+    cursor += scratch.size();
+  }
+  offsets[n] = cursor;
+
+  std::vector<NodeWeight> node_weights(graph.raw_node_weights().begin(),
+                                       graph.raw_node_weights().end());
+
+  return CompressedGraph(n, m, config, std::move(offsets), std::move(bytes), cursor, weighted,
+                         std::move(node_weights), graph.total_edge_weight(), graph.max_degree(),
+                         std::move(memory_category));
+}
+
+} // namespace terapart

@@ -1,0 +1,33 @@
+/// @file encoder.h
+/// @brief Neighborhood encoder shared by the sequential reference compressor
+/// and the parallel single-pass compressor.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "compression/compressed_graph.h"
+#include "graph/csr_graph.h"
+
+namespace terapart {
+
+/// Appends the encoding of u's neighborhood (header + structure + weights) to
+/// `out`. `targets` must be sorted ascending; `weights` is empty for
+/// unweighted graphs and otherwise parallel to `targets`.
+void encode_neighborhood(NodeID u, EdgeID first_edge_id, std::span<const NodeID> targets,
+                         std::span<const EdgeWeight> weights, const CompressionConfig &config,
+                         std::vector<std::uint8_t> &out);
+
+/// Upper bound on the encoded size of the whole edge stream; used to size the
+/// overcommitted output array (Section III-B).
+[[nodiscard]] std::uint64_t compressed_size_upper_bound(NodeID n, EdgeID m, bool has_edge_weights,
+                                                        const CompressionConfig &config);
+
+/// Sequential reference compressor: encodes the CSR graph neighborhood by
+/// neighborhood. The parallel compressor must produce byte-identical output
+/// (tested).
+[[nodiscard]] CompressedGraph compress_graph(const CsrGraph &graph,
+                                             const CompressionConfig &config = {},
+                                             std::string memory_category = "graph");
+
+} // namespace terapart

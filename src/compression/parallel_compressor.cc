@@ -1,0 +1,223 @@
+#include "compression/parallel_compressor.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "parallel/atomic_utils.h"
+#include "parallel/parallel_for.h"
+
+namespace terapart {
+
+namespace {
+
+/// Ordered commit of compressed packets into the overcommitted byte array.
+/// Thread-safe for any number of concurrent producers as long as packet
+/// indices are claimed in increasing order (they are: a shared fetch-add
+/// hands them out).
+class PacketCommitter {
+public:
+  PacketCommitter(OvercommitArray<std::uint8_t> &bytes, std::span<std::uint64_t> node_offsets)
+      : _bytes(bytes), _node_offsets(node_offsets) {}
+
+  /// Blocks until all packets < `packet_index` have claimed their range, then
+  /// claims [base, base + buffer.size()), publishes the byte offset of every
+  /// vertex in the packet and returns `base`. The caller performs the copy
+  /// *after* this returns, outside the ordered section.
+  std::uint64_t commit(const std::uint64_t packet_index, const NodeID first_node,
+                       std::span<const std::uint64_t> local_vertex_offsets,
+                       const std::uint64_t buffer_size) {
+    while (_committed.load(std::memory_order_acquire) != packet_index) {
+      std::this_thread::yield();
+    }
+    const std::uint64_t base = _write_pos;
+    for (std::size_t i = 0; i < local_vertex_offsets.size(); ++i) {
+      _node_offsets[first_node + i] = base + local_vertex_offsets[i];
+    }
+    _write_pos = base + buffer_size;
+    _committed.store(packet_index + 1, std::memory_order_release);
+    return base;
+  }
+
+  /// Total bytes written; valid once all packets are committed.
+  [[nodiscard]] std::uint64_t total_bytes() const { return _write_pos; }
+
+private:
+  OvercommitArray<std::uint8_t> &_bytes;
+  std::span<std::uint64_t> _node_offsets;
+  std::atomic<std::uint64_t> _committed{0};
+  // Mutated only by the current ticket holder; the acquire/release pair on
+  // _committed orders accesses across holders.
+  std::uint64_t _write_pos = 0;
+};
+
+} // namespace
+
+CompressedGraph compress_graph_parallel(const CsrGraph &graph,
+                                        const ParallelCompressionConfig &config,
+                                        std::string memory_category) {
+  const NodeID n = graph.n();
+  const EdgeID m = graph.m();
+  const bool weighted = graph.is_edge_weighted();
+
+  // Packet boundaries: consecutive vertices with ~packet_edges edges each.
+  std::vector<NodeID> packet_start{0};
+  {
+    EdgeID edges_in_packet = 0;
+    for (NodeID u = 0; u < n; ++u) {
+      edges_in_packet += graph.degree(u);
+      if (edges_in_packet >= config.packet_edges && u + 1 < n) {
+        packet_start.push_back(u + 1);
+        edges_in_packet = 0;
+      }
+    }
+  }
+  packet_start.push_back(n);
+  const std::size_t num_packets = packet_start.size() - 1;
+
+  OvercommitArray<std::uint8_t> bytes(
+      compressed_size_upper_bound(n, m, weighted, config.compression));
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  PacketCommitter committer(bytes, offsets);
+
+  std::atomic<std::size_t> next_packet{0};
+  par::ThreadPool::global().run_on_all([&](int) {
+    std::vector<std::uint8_t> buffer;
+    std::vector<std::uint64_t> local_offsets;
+    while (true) {
+      const std::size_t packet = next_packet.fetch_add(1, std::memory_order_relaxed);
+      if (packet >= num_packets) {
+        return;
+      }
+      const NodeID begin = packet_start[packet];
+      const NodeID end = packet_start[packet + 1];
+      buffer.clear();
+      local_offsets.clear();
+      for (NodeID u = begin; u < end; ++u) {
+        local_offsets.push_back(buffer.size());
+        const EdgeID first = graph.raw_nodes()[u];
+        const EdgeID last = graph.raw_nodes()[u + 1];
+        encode_neighborhood(u, first, graph.raw_edges().subspan(first, last - first),
+                            weighted ? graph.raw_edge_weights().subspan(first, last - first)
+                                     : std::span<const EdgeWeight>{},
+                            config.compression, buffer);
+      }
+      const std::uint64_t base = committer.commit(packet, begin, local_offsets, buffer.size());
+      std::memcpy(bytes.data() + base, buffer.data(), buffer.size());
+    }
+  });
+
+  offsets[n] = committer.total_bytes();
+
+  std::vector<NodeWeight> node_weights(graph.raw_node_weights().begin(),
+                                       graph.raw_node_weights().end());
+  return CompressedGraph(n, m, config.compression, std::move(offsets), std::move(bytes),
+                         offsets[n], weighted, std::move(node_weights),
+                         graph.total_edge_weight(), graph.max_degree(),
+                         std::move(memory_category));
+}
+
+CompressedGraph compress_tpg_single_pass(const std::filesystem::path &path,
+                                         const ParallelCompressionConfig &config,
+                                         std::string memory_category) {
+  io::TpgStreamReader reader(path, config.packet_edges);
+  const io::TpgHeader &header = reader.header();
+  const auto n = static_cast<NodeID>(header.n);
+  const auto m = static_cast<EdgeID>(header.m);
+  const bool weighted = header.has_edge_weights != 0;
+
+  OvercommitArray<std::uint8_t> bytes(
+      compressed_size_upper_bound(n, m, weighted, config.compression));
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<NodeWeight> node_weights(header.has_node_weights != 0 ? n : 0);
+  PacketCommitter committer(bytes, offsets);
+
+  // Workers pull packets from the shared reader under a mutex (disk I/O is
+  // serial anyway) and compress + commit concurrently.
+  std::mutex reader_mutex;
+  std::uint64_t next_packet_index = 0;
+  std::uint64_t next_edge_id = 0;
+  bool exhausted = false;
+
+  std::atomic<EdgeWeight> total_edge_weight{0};
+  std::atomic<NodeID> max_degree{0};
+
+  par::ThreadPool::global().run_on_all([&](int) {
+    std::vector<std::uint8_t> buffer;
+    std::vector<std::uint64_t> local_offsets;
+    // Thread-local copies of the reader's packet views (the reader reuses its
+    // buffers between packets).
+    std::vector<NodeID> degrees;
+    std::vector<NodeID> targets;
+    std::vector<EdgeWeight> edge_weights;
+
+    while (true) {
+      NodeID first_node = 0;
+      std::uint64_t packet_index = 0;
+      std::uint64_t first_edge = 0;
+      {
+        std::lock_guard lock(reader_mutex);
+        if (exhausted) {
+          return;
+        }
+        io::TpgStreamReader::Packet packet;
+        if (!reader.next_packet(packet)) {
+          exhausted = true;
+          return;
+        }
+        packet_index = next_packet_index++;
+        first_node = packet.first_node;
+        first_edge = next_edge_id;
+        degrees.assign(packet.degrees.begin(), packet.degrees.end());
+        targets.assign(packet.targets.begin(), packet.targets.end());
+        edge_weights.assign(packet.edge_weights.begin(), packet.edge_weights.end());
+        for (std::size_t i = 0; i < packet.node_weights.size(); ++i) {
+          node_weights[first_node + i] = packet.node_weights[i];
+        }
+        next_edge_id += targets.size();
+      }
+
+      buffer.clear();
+      local_offsets.clear();
+      EdgeWeight local_weight_sum = 0;
+      NodeID local_max_degree = 0;
+      std::uint64_t edge_cursor = 0;
+      for (std::size_t i = 0; i < degrees.size(); ++i) {
+        const NodeID u = first_node + static_cast<NodeID>(i);
+        const NodeID deg = degrees[i];
+        local_offsets.push_back(buffer.size());
+        const std::span<const NodeID> vertex_targets{targets.data() + edge_cursor, deg};
+        std::span<const EdgeWeight> vertex_weights;
+        if (weighted) {
+          vertex_weights = {edge_weights.data() + edge_cursor, deg};
+          for (const EdgeWeight w : vertex_weights) {
+            local_weight_sum += w;
+          }
+        }
+        encode_neighborhood(u, first_edge + edge_cursor, vertex_targets, vertex_weights,
+                            config.compression, buffer);
+        local_max_degree = std::max(local_max_degree, deg);
+        edge_cursor += deg;
+      }
+      if (!weighted) {
+        local_weight_sum = static_cast<EdgeWeight>(edge_cursor);
+      }
+      total_edge_weight.fetch_add(local_weight_sum, std::memory_order_relaxed);
+      par::atomic_max(max_degree, local_max_degree);
+
+      const std::uint64_t base =
+          committer.commit(packet_index, first_node, local_offsets, buffer.size());
+      std::memcpy(bytes.data() + base, buffer.data(), buffer.size());
+    }
+  });
+
+  offsets[n] = committer.total_bytes();
+
+  return CompressedGraph(n, m, config.compression, std::move(offsets), std::move(bytes),
+                         offsets[n], weighted, std::move(node_weights),
+                         total_edge_weight.load(std::memory_order_relaxed),
+                         max_degree.load(std::memory_order_relaxed), std::move(memory_category));
+}
+
+} // namespace terapart

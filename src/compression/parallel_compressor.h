@@ -1,0 +1,48 @@
+/// @file parallel_compressor.h
+/// @brief Parallel compression and single-pass compressing I/O
+/// (Section III-B of the paper).
+///
+/// The size of the compressed edge stream is only known after compressing,
+/// so the output array is *overcommitted* (see overcommit.h) and packets of
+/// consecutive vertices are compressed into thread-local buffers. A packet
+/// that finishes waits until all preceding packets have claimed their output
+/// range ("found their memory requirement"), claims its own range by
+/// advancing the shared write position, publishes its per-vertex byte
+/// offsets, releases the ticket, and only then copies its buffer — so the
+/// copy of packet i+1 overlaps with the compression of later packets.
+///
+/// Two entry points share this machinery:
+///  - compress_graph_parallel: compresses an in-memory CSR graph,
+///  - compress_tpg_single_pass: streams a TPG file from disk and compresses
+///    during the (single) I/O pass; the uncompressed graph never exists in
+///    memory.
+#pragma once
+
+#include <filesystem>
+
+#include "compression/encoder.h"
+#include "graph/graph_io.h"
+
+namespace terapart {
+
+struct ParallelCompressionConfig {
+  CompressionConfig compression;
+  /// Target number of edges per packet (packets contain at least 1 vertex).
+  EdgeID packet_edges = 1 << 16;
+};
+
+/// Parallel compression of an in-memory CSR graph. Produces byte-identical
+/// output to the sequential compress_graph (tested for all thread counts).
+[[nodiscard]] CompressedGraph compress_graph_parallel(const CsrGraph &graph,
+                                                      const ParallelCompressionConfig &config = {},
+                                                      std::string memory_category = "graph");
+
+/// Single-pass compressing load: streams the TPG file once, compressing
+/// packets in parallel while reading. Peak auxiliary memory is
+/// O(p * packet size); the uncompressed edge array is never materialized.
+[[nodiscard]] CompressedGraph
+compress_tpg_single_pass(const std::filesystem::path &path,
+                         const ParallelCompressionConfig &config = {},
+                         std::string memory_category = "graph");
+
+} // namespace terapart

@@ -1,0 +1,2 @@
+// The mailbox is header-only (templated); this TU anchors the module.
+#include "distributed/comm.h"

@@ -1,0 +1,27 @@
+/// @file dist_contraction.h
+/// @brief Distributed cluster contraction: the coarse graph is assembled by
+/// the owners of the cluster leaders. Each rank aggregates the coarse edges
+/// of its owned fine vertices locally, then ships them to the owner of the
+/// coarse source vertex; owners merge duplicates and build their local CSR
+/// with ghosts. Coarse vertices are numbered contiguously per owner rank.
+#pragma once
+
+#include "distributed/comm.h"
+#include "distributed/dist_graph.h"
+#include "distributed/dist_lp.h"
+
+namespace terapart::dist {
+
+struct DistContractionResult {
+  std::vector<DistGraph> coarse;
+  /// Per rank: owned fine local vertex -> coarse *global* vertex.
+  std::vector<std::vector<NodeID>> mapping;
+  NodeID coarse_global_n = 0;
+  EdgeID coarse_global_m = 0;
+};
+
+[[nodiscard]] DistContractionResult dist_contract(const std::vector<DistGraph> &parts,
+                                                  const std::vector<RankLabels> &labels,
+                                                  CommStats &stats);
+
+} // namespace terapart::dist

@@ -1,0 +1,185 @@
+#include "distributed/dist_graph.h"
+
+#include <algorithm>
+
+#include "common/math.h"
+#include "graph/graph_builder.h"
+
+namespace terapart::dist {
+
+std::uint64_t DistGraph::memory_bytes() const {
+  const std::uint64_t graph_bytes =
+      with_local([](const auto &graph) { return graph.memory_bytes(); });
+  std::uint64_t ghosted = 0;
+  for (const auto &ranks : ghosted_by) {
+    ghosted += ranks.size() * sizeof(std::int32_t);
+  }
+  // Hash map estimated at ~2x entry payload (buckets + nodes).
+  const std::uint64_t mapping_bytes =
+      ghost_global.size() * sizeof(NodeID) +
+      2 * global_to_ghost.size() * (sizeof(NodeID) * 2 + sizeof(void *));
+  return graph_bytes + mapping_bytes + ghosted + ghosted_by.size() * sizeof(void *);
+}
+
+std::vector<DistGraph> distribute_graph(const CsrGraph &graph, const int num_ranks,
+                                        const DistributeConfig &config) {
+  TP_ASSERT(num_ranks >= 1);
+  const NodeID n = graph.n();
+  std::vector<DistGraph> parts(static_cast<std::size_t>(num_ranks));
+
+  auto offsets = std::make_shared<std::vector<NodeID>>();
+  offsets->reserve(static_cast<std::size_t>(num_ranks) + 1);
+  for (int r = 0; r <= num_ranks; ++r) {
+    offsets->push_back(
+        r == num_ranks
+            ? n
+            : math::chunk_bounds<NodeID>(n, static_cast<NodeID>(num_ranks), static_cast<NodeID>(r))
+                  .first);
+  }
+
+  for (int r = 0; r < num_ranks; ++r) {
+    DistGraph &part = parts[static_cast<std::size_t>(r)];
+    part.rank = r;
+    part.num_ranks = num_ranks;
+    part.global_n = n;
+    part.global_m = graph.m();
+    const auto [begin, end] =
+        math::chunk_bounds<NodeID>(n, static_cast<NodeID>(num_ranks), static_cast<NodeID>(r));
+    part.first_global = begin;
+    part.local_n = end - begin;
+    part.range_offsets = offsets;
+
+    // Pass 1: discover ghosts; assign ghost indices in ascending global ID
+    // order (deterministic, and keeps ghost ranges cache-friendly).
+    for (NodeID u = begin; u < end; ++u) {
+      graph.for_each_neighbor(u, [&](const NodeID v, EdgeWeight) {
+        if (v >= begin && v < end) {
+          return;
+        }
+        if (part.global_to_ghost.emplace(v, 0).second) {
+          part.ghost_global.push_back(v);
+        }
+      });
+    }
+    std::sort(part.ghost_global.begin(), part.ghost_global.end());
+    for (NodeID g = 0; g < part.num_ghosts(); ++g) {
+      part.global_to_ghost[part.ghost_global[g]] = g;
+    }
+
+    // Pass 2: build the local CSR over owned + ghost local IDs.
+    const NodeID local_size = part.local_n + part.num_ghosts();
+    std::vector<EdgeID> nodes(static_cast<std::size_t>(local_size) + 1, 0);
+    for (NodeID u = begin; u < end; ++u) {
+      nodes[u - begin + 1] = nodes[u - begin] + graph.degree(u);
+    }
+    for (NodeID g = part.local_n; g < local_size; ++g) {
+      nodes[g + 1] = nodes[g]; // ghosts have no outgoing edges
+    }
+    const EdgeID local_m = nodes[part.local_n];
+    std::vector<NodeID> targets(local_m);
+    std::vector<EdgeWeight> edge_weights(graph.is_edge_weighted() ? local_m : 0);
+    EdgeID cursor = 0;
+    for (NodeID u = begin; u < end; ++u) {
+      graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+        targets[cursor] = (v >= begin && v < end)
+                              ? v - begin
+                              : part.local_n + part.global_to_ghost.at(v);
+        if (!edge_weights.empty()) {
+          edge_weights[cursor] = w;
+        }
+        ++cursor;
+      });
+    }
+    // Node weights for owned and ghost vertices (ghosts carry their true
+    // weight; dKaMinPar needs it for cluster weight estimates).
+    std::vector<NodeWeight> node_weights;
+    if (graph.is_node_weighted()) {
+      node_weights.resize(local_size);
+      for (NodeID u = 0; u < part.local_n; ++u) {
+        node_weights[u] = graph.node_weight(begin + u);
+      }
+      for (NodeID g = 0; g < part.num_ghosts(); ++g) {
+        node_weights[part.local_n + g] = graph.node_weight(part.ghost_global[g]);
+      }
+    }
+
+    // Sort each local neighborhood: the global->local remap is not monotone
+    // (ghost IDs live above the owned range), and the canonical-form
+    // invariant — which compression depends on — requires sorted targets.
+    for (NodeID u = 0; u < part.local_n; ++u) {
+      const EdgeID e_begin = nodes[u];
+      const EdgeID e_end = nodes[u + 1];
+      std::vector<std::pair<NodeID, EdgeWeight>> scratch;
+      scratch.reserve(e_end - e_begin);
+      for (EdgeID e = e_begin; e < e_end; ++e) {
+        scratch.emplace_back(targets[e], edge_weights.empty() ? 1 : edge_weights[e]);
+      }
+      std::sort(scratch.begin(), scratch.end());
+      for (EdgeID e = e_begin; e < e_end; ++e) {
+        targets[e] = scratch[e - e_begin].first;
+        if (!edge_weights.empty()) {
+          edge_weights[e] = scratch[e - e_begin].second;
+        }
+      }
+    }
+
+    CsrGraph local(std::move(nodes), std::move(targets), std::move(node_weights),
+                   std::move(edge_weights), "dist/graph");
+
+    // Ghost notification lists: ranks owning any neighbor of an owned vertex.
+    part.ghosted_by.resize(part.local_n);
+    for (NodeID u = 0; u < part.local_n; ++u) {
+      auto &ranks = part.ghosted_by[u];
+      local.for_each_neighbor(u, [&](const NodeID v, EdgeWeight) {
+        if (v >= part.local_n) {
+          ranks.push_back(part.owner_of_global(part.ghost_global[v - part.local_n]));
+        }
+      });
+      std::sort(ranks.begin(), ranks.end());
+      ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+    }
+
+    if (config.compress) {
+      part.local = compress_graph(local, config.compression, "dist/graph");
+    } else {
+      part.local = std::move(local);
+    }
+  }
+  return parts;
+}
+
+CsrGraph gather_graph(const std::vector<DistGraph> &parts) {
+  TP_ASSERT(!parts.empty());
+  const NodeID n = parts.front().global_n;
+  GraphBuilder builder(n);
+  bool weighted = false;
+  for (const DistGraph &part : parts) {
+    weighted = weighted ||
+               part.with_local([](const auto &graph) { return graph.is_edge_weighted(); });
+  }
+  std::vector<NodeWeight> node_weights;
+  const bool node_weighted =
+      parts.front().with_local([](const auto &graph) { return graph.is_node_weighted(); });
+  if (node_weighted) {
+    node_weights.resize(n);
+  }
+  for (const DistGraph &part : parts) {
+    part.with_local([&](const auto &graph) {
+      for (NodeID u = 0; u < part.local_n; ++u) {
+        const NodeID global_u = part.first_global + u;
+        graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+          builder.add_half_edge(global_u, part.to_global(v), w);
+        });
+        if (node_weighted) {
+          node_weights[global_u] = graph.node_weight(u);
+        }
+      }
+    });
+  }
+  if (node_weighted) {
+    builder.set_node_weights(std::move(node_weights));
+  }
+  return builder.build(/*symmetrize=*/false, weighted, "dist/gathered");
+}
+
+} // namespace terapart::dist

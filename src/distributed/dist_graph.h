@@ -1,0 +1,118 @@
+/// @file dist_graph.h
+/// @brief Distributed graph with ghost vertices (Section II-B).
+///
+/// Vertices are assigned to ranks in contiguous ranges; edges live with the
+/// rank owning their source. A target owned by another rank is replicated as
+/// a *ghost* vertex: it appears as an edge target (local IDs >= local_n) but
+/// has no outgoing edges. Each rank keeps the mapping between its ghosts and
+/// their global IDs, plus — for each owned vertex — the set of ranks that
+/// ghost it (the notification list for label updates).
+///
+/// XTeraPart = dKaMinPar + graph compression: the local edge structure is
+/// either a CsrGraph or a CompressedGraph, selected per run.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "compression/encoder.h"
+#include "graph/csr_graph.h"
+
+namespace terapart::dist {
+
+class DistGraph {
+public:
+  int rank = 0;
+  int num_ranks = 1;
+  NodeID global_n = 0;
+  EdgeID global_m = 0;
+  NodeID first_global = 0; ///< owned range: [first_global, first_global + local_n)
+  NodeID local_n = 0;
+
+  /// Local structure over local IDs: owned vertices [0, local_n), ghosts
+  /// [local_n, local_n + num_ghosts). Ghosts have degree 0.
+  std::variant<CsrGraph, CompressedGraph> local;
+
+  /// Shared ownership range table: rank r owns global IDs
+  /// [(*range_offsets)[r], (*range_offsets)[r+1]). Coarse graphs have uneven
+  /// ranges (one per original owner), so ownership is a binary search here
+  /// rather than the closed-form block formula.
+  std::shared_ptr<const std::vector<NodeID>> range_offsets;
+
+  std::vector<NodeID> ghost_global;                   ///< ghost index -> global ID
+  std::unordered_map<NodeID, NodeID> global_to_ghost; ///< global ID -> ghost index
+  /// For each owned vertex, ranks that hold it as a ghost (sorted, unique).
+  std::vector<std::vector<std::int32_t>> ghosted_by;
+
+  [[nodiscard]] NodeID num_ghosts() const { return static_cast<NodeID>(ghost_global.size()); }
+
+  /// Owner rank of any global vertex.
+  [[nodiscard]] int owner_of_global(const NodeID global) const {
+    TP_ASSERT(range_offsets && global < global_n);
+    const auto &offsets = *range_offsets;
+    int lo = 0;
+    int hi = num_ranks;
+    while (hi - lo > 1) {
+      const int mid = lo + (hi - lo) / 2;
+      if (offsets[static_cast<std::size_t>(mid)] <= global) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+  [[nodiscard]] NodeID local_size() const { return local_n + num_ghosts(); }
+
+  [[nodiscard]] bool owns_global(const NodeID global) const {
+    return global >= first_global && global < first_global + local_n;
+  }
+
+  /// Global ID of a local vertex (owned or ghost).
+  [[nodiscard]] NodeID to_global(const NodeID local_id) const {
+    return local_id < local_n ? first_global + local_id
+                              : ghost_global[local_id - local_n];
+  }
+
+  /// Local ID of a global vertex; must be owned or ghosted here.
+  [[nodiscard]] NodeID to_local(const NodeID global) const {
+    if (owns_global(global)) {
+      return global - first_global;
+    }
+    const auto it = global_to_ghost.find(global);
+    TP_ASSERT(it != global_to_ghost.end());
+    return local_n + it->second;
+  }
+
+  template <typename Fn> decltype(auto) with_local(Fn &&fn) const {
+    return std::visit(std::forward<Fn>(fn), local);
+  }
+
+  [[nodiscard]] NodeWeight node_weight(const NodeID local_id) const {
+    return with_local([&](const auto &graph) { return graph.node_weight(local_id); });
+  }
+
+  [[nodiscard]] NodeID degree(const NodeID local_id) const {
+    return with_local([&](const auto &graph) { return graph.degree(local_id); });
+  }
+
+  /// Per-rank memory footprint (graph + ghost mappings), for the Table III /
+  /// Figure 8 memory model.
+  [[nodiscard]] std::uint64_t memory_bytes() const;
+};
+
+struct DistributeConfig {
+  bool compress = false; ///< XTeraPart: store local graphs compressed
+  CompressionConfig compression;
+};
+
+/// Splits `graph` into `num_ranks` local graphs with ghost vertices.
+[[nodiscard]] std::vector<DistGraph> distribute_graph(const CsrGraph &graph, int num_ranks,
+                                                      const DistributeConfig &config = {});
+
+/// Test helper: reassembles the global graph from the distributed parts.
+[[nodiscard]] CsrGraph gather_graph(const std::vector<DistGraph> &parts);
+
+} // namespace terapart::dist

@@ -1,0 +1,336 @@
+#include "distributed/dist_lp.h"
+
+#include <atomic>
+
+#include "common/fixed_hash_map.h"
+#include "common/random.h"
+#include "parallel/atomic_utils.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_local_storage.h"
+
+namespace terapart::dist {
+
+namespace {
+
+/// Label (or block) change of an owned vertex, broadcast to ghosting ranks.
+struct Update {
+  NodeID global;
+  std::uint32_t value;
+};
+
+/// Applies queued ghost updates on every rank.
+template <typename Value>
+void apply_ghost_updates(const std::vector<DistGraph> &parts, Mailbox<Update> &mailbox,
+                         std::vector<std::vector<Value>> &state) {
+  mailbox.exchange();
+  for (const DistGraph &part : parts) {
+    auto &local_state = state[static_cast<std::size_t>(part.rank)];
+    mailbox.for_each_received(part.rank, [&](int, const Update &update) {
+      const auto it = part.global_to_ghost.find(update.global);
+      TP_ASSERT(it != part.global_to_ghost.end());
+      local_state[part.local_n + it->second] = static_cast<Value>(update.value);
+    });
+  }
+}
+
+/// Sends the new value of owned vertex `u` to every rank that ghosts it.
+void notify_ghosting_ranks(const DistGraph &part, Mailbox<Update> &mailbox, const NodeID u,
+                           const std::uint32_t value) {
+  const NodeID global = part.first_global + u;
+  for (const std::int32_t dst : part.ghosted_by[u]) {
+    mailbox.send(part.rank, dst, {global, value});
+  }
+}
+
+} // namespace
+
+std::vector<RankLabels> dist_lp_cluster(const std::vector<DistGraph> &parts,
+                                        const DistLpConfig &config,
+                                        const NodeWeight max_cluster_weight,
+                                        const std::uint64_t seed, CommStats &stats) {
+  TP_ASSERT(!parts.empty());
+  const auto num_ranks = static_cast<int>(parts.size());
+  const NodeID global_n = parts.front().global_n;
+
+  // Labels: every vertex starts in its own (global) cluster.
+  std::vector<RankLabels> labels(parts.size());
+  for (const DistGraph &part : parts) {
+    auto &local = labels[static_cast<std::size_t>(part.rank)];
+    local.resize(part.local_size());
+    for (NodeID u = 0; u < part.local_size(); ++u) {
+      local[u] = part.to_global(u);
+    }
+  }
+
+  // Cluster weight tracker: stands in for dKaMinPar's owner-synchronized
+  // approximate cluster weights (the array is indexed by global cluster ID;
+  // see DESIGN.md for why the simulation centralizes this protocol state).
+  std::vector<std::atomic<NodeWeight>> cluster_weights(global_n);
+  for (const DistGraph &part : parts) {
+    for (NodeID u = 0; u < part.local_n; ++u) {
+      cluster_weights[part.first_global + u].store(part.node_weight(u),
+                                                   std::memory_order_relaxed);
+    }
+  }
+
+  Mailbox<Update> mailbox(num_ranks);
+  const NodeWeight bound = max_cluster_weight;
+
+  for (int round = 0; round < config.rounds; ++round) {
+    for (int batch = 0; batch < config.batches_per_round; ++batch) {
+      for (const DistGraph &part : parts) {
+        auto &local = labels[static_cast<std::size_t>(part.rank)];
+        // Collected sequentially per rank after the parallel sweep to keep
+        // the mailbox single-writer.
+        par::ThreadLocal<std::vector<NodeID>> changed_lists;
+        par::ThreadLocal<FixedHashMap<ClusterID, EdgeWeight>> maps(
+            [&] { return FixedHashMap<ClusterID, EdgeWeight>(config.bump_threshold); });
+        par::ThreadLocal<Random> rngs([&, t = 0]() mutable {
+          return Random::stream(seed + static_cast<std::uint64_t>(round * 131 + batch),
+                                static_cast<std::uint64_t>(part.rank * 97 + t++));
+        });
+
+        part.with_local([&](const auto &graph) {
+          par::parallel_for_each<NodeID>(0, part.local_n, [&](const NodeID u) {
+            if (u % static_cast<NodeID>(config.batches_per_round) !=
+                    static_cast<NodeID>(batch) ||
+                graph.degree(u) == 0) {
+              return;
+            }
+            auto &map = maps.local();
+            map.clear();
+            bool overflow = false;
+            graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+              if (!overflow && !map.add(local[v], w)) {
+                overflow = true; // extremely high-nc vertex: keep partial view
+              }
+            });
+
+            const ClusterID current = local[u];
+            const NodeWeight u_weight = graph.node_weight(u);
+            ClusterID best = current;
+            EdgeWeight best_rating = 0;
+            Random &rng = rngs.local();
+            map.for_each([&](const ClusterID cluster, const EdgeWeight rating) {
+              if (cluster == current) {
+                if (rating > best_rating) {
+                  best_rating = rating;
+                  best = current;
+                }
+                return;
+              }
+              if (rating < best_rating || (rating == best_rating && !rng.next_bool())) {
+                return;
+              }
+              if (cluster_weights[cluster].load(std::memory_order_relaxed) + u_weight > bound) {
+                return;
+              }
+              best = cluster;
+              best_rating = rating;
+            });
+
+            if (best != current &&
+                par::atomic_add_if_leq(cluster_weights[best], u_weight, bound)) {
+              cluster_weights[current].fetch_sub(u_weight, std::memory_order_relaxed);
+              local[u] = best;
+              changed_lists.local().push_back(u);
+            }
+          });
+        });
+
+        changed_lists.for_each([&](const std::vector<NodeID> &changed) {
+          for (const NodeID u : changed) {
+            notify_ghosting_ranks(part, mailbox, u, local[u]);
+          }
+        });
+      }
+
+      apply_ghost_updates(parts, mailbox, labels);
+      ++stats.supersteps;
+    }
+  }
+
+  stats.messages = mailbox.messages_delivered();
+  stats.bytes += mailbox.bytes_delivered();
+  return labels;
+}
+
+std::uint64_t dist_lp_refine(const std::vector<DistGraph> &parts,
+                             std::vector<std::vector<BlockID>> &blocks, const BlockID k,
+                             const BlockWeight max_block_weight, const DistLpConfig &config,
+                             const std::uint64_t seed, CommStats &stats) {
+  const auto num_ranks = static_cast<int>(parts.size());
+
+  // Replicated block weights (k values per rank in the real system; the
+  // shared array simulates the per-superstep all-reduce).
+  std::vector<std::atomic<BlockWeight>> block_weights(k);
+  for (auto &weight : block_weights) {
+    weight.store(0, std::memory_order_relaxed);
+  }
+  for (const DistGraph &part : parts) {
+    const auto &local = blocks[static_cast<std::size_t>(part.rank)];
+    for (NodeID u = 0; u < part.local_n; ++u) {
+      block_weights[local[u]].fetch_add(part.node_weight(u), std::memory_order_relaxed);
+    }
+  }
+
+  Mailbox<Update> mailbox(num_ranks);
+  std::atomic<std::uint64_t> moves{0};
+
+  for (int round = 0; round < config.rounds; ++round) {
+    for (int batch = 0; batch < config.batches_per_round; ++batch) {
+      for (const DistGraph &part : parts) {
+        auto &local = blocks[static_cast<std::size_t>(part.rank)];
+        par::ThreadLocal<std::vector<NodeID>> changed_lists;
+        par::ThreadLocal<FixedHashMap<BlockID, EdgeWeight>> maps(
+            [&] { return FixedHashMap<BlockID, EdgeWeight>(std::min<NodeID>(k, 4096)); });
+        par::ThreadLocal<Random> rngs([&, t = 0]() mutable {
+          return Random::stream(seed + static_cast<std::uint64_t>(round * 17 + batch),
+                                static_cast<std::uint64_t>(part.rank * 31 + t++));
+        });
+
+        part.with_local([&](const auto &graph) {
+          par::parallel_for_each<NodeID>(0, part.local_n, [&](const NodeID u) {
+            if (u % static_cast<NodeID>(config.batches_per_round) !=
+                    static_cast<NodeID>(batch) ||
+                graph.degree(u) == 0) {
+              return;
+            }
+            auto &map = maps.local();
+            map.clear();
+            graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+              (void)map.add(local[v], w);
+            });
+
+            const BlockID current = local[u];
+            const NodeWeight u_weight = graph.node_weight(u);
+            BlockID best = current;
+            EdgeWeight best_rating = map.get(current);
+            Random &rng = rngs.local();
+            map.for_each([&](const BlockID b, const EdgeWeight rating) {
+              if (b == current || rating < best_rating ||
+                  (rating == best_rating && (best != current || !rng.next_bool()))) {
+                return;
+              }
+              if (block_weights[b].load(std::memory_order_relaxed) + u_weight >
+                  max_block_weight) {
+                return;
+              }
+              best = b;
+              best_rating = rating;
+            });
+
+            if (best != current &&
+                par::atomic_add_if_leq(block_weights[best], static_cast<BlockWeight>(u_weight),
+                                       max_block_weight)) {
+              block_weights[current].fetch_sub(u_weight, std::memory_order_relaxed);
+              local[u] = best;
+              moves.fetch_add(1, std::memory_order_relaxed);
+              changed_lists.local().push_back(u);
+            }
+          });
+        });
+
+        changed_lists.for_each([&](const std::vector<NodeID> &changed) {
+          for (const NodeID u : changed) {
+            notify_ghosting_ranks(part, mailbox, u, local[u]);
+          }
+        });
+      }
+      apply_ghost_updates(parts, mailbox, blocks);
+      ++stats.supersteps;
+    }
+  }
+
+  stats.messages += mailbox.messages_delivered();
+  stats.bytes += mailbox.bytes_delivered();
+  return moves.load(std::memory_order_relaxed);
+}
+
+std::uint64_t dist_rebalance(const std::vector<DistGraph> &parts,
+                             std::vector<std::vector<BlockID>> &blocks, const BlockID k,
+                             const BlockWeight max_block_weight, CommStats &stats) {
+  const auto num_ranks = static_cast<int>(parts.size());
+  std::vector<std::atomic<BlockWeight>> block_weights(k);
+  for (auto &weight : block_weights) {
+    weight.store(0, std::memory_order_relaxed);
+  }
+  for (const DistGraph &part : parts) {
+    const auto &local = blocks[static_cast<std::size_t>(part.rank)];
+    for (NodeID u = 0; u < part.local_n; ++u) {
+      block_weights[local[u]].fetch_add(part.node_weight(u), std::memory_order_relaxed);
+    }
+  }
+
+  Mailbox<Update> mailbox(num_ranks);
+  std::uint64_t moves = 0;
+
+  for (int pass = 0; pass < 8; ++pass) {
+    bool any_overweight = false;
+    for (BlockID b = 0; b < k; ++b) {
+      if (block_weights[b].load(std::memory_order_relaxed) > max_block_weight) {
+        any_overweight = true;
+        break;
+      }
+    }
+    if (!any_overweight) {
+      break;
+    }
+
+    for (const DistGraph &part : parts) {
+      auto &local = blocks[static_cast<std::size_t>(part.rank)];
+      part.with_local([&](const auto &graph) {
+        FixedHashMap<BlockID, EdgeWeight> ratings(std::min<NodeID>(k, 4096));
+        for (NodeID u = 0; u < part.local_n; ++u) {
+          const BlockID from = local[u];
+          if (block_weights[from].load(std::memory_order_relaxed) <= max_block_weight) {
+            continue;
+          }
+          ratings.clear();
+          graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+            (void)ratings.add(local[v], w);
+          });
+          const NodeWeight u_weight = graph.node_weight(u);
+          BlockID best = kInvalidBlockID;
+          EdgeWeight best_rating = -1;
+          ratings.for_each([&](const BlockID b, const EdgeWeight rating) {
+            if (b != from && rating > best_rating &&
+                block_weights[b].load(std::memory_order_relaxed) + u_weight <=
+                    max_block_weight) {
+              best = b;
+              best_rating = rating;
+            }
+          });
+          if (best == kInvalidBlockID) {
+            // No adjacent block has room: use the globally lightest.
+            BlockWeight lightest = max_block_weight;
+            for (BlockID b = 0; b < k; ++b) {
+              const BlockWeight candidate =
+                  block_weights[b].load(std::memory_order_relaxed) + u_weight;
+              if (b != from && candidate <= lightest) {
+                lightest = candidate;
+                best = b;
+              }
+            }
+          }
+          if (best != kInvalidBlockID &&
+              par::atomic_add_if_leq(block_weights[best], static_cast<BlockWeight>(u_weight),
+                                     max_block_weight)) {
+            block_weights[from].fetch_sub(u_weight, std::memory_order_relaxed);
+            local[u] = best;
+            notify_ghosting_ranks(part, mailbox, u, best);
+            ++moves;
+          }
+        }
+      });
+    }
+    apply_ghost_updates(parts, mailbox, blocks);
+    ++stats.supersteps;
+  }
+
+  stats.messages += mailbox.messages_delivered();
+  stats.bytes += mailbox.bytes_delivered();
+  return moves;
+}
+
+} // namespace terapart::dist

@@ -1,0 +1,54 @@
+/// @file dist_lp.h
+/// @brief Distributed label propagation (Section II-B): clustering for the
+/// coarsening phase and size-constrained refinement for the uncoarsening
+/// phase. Vertices are processed in synchronous batches; label changes of
+/// owned vertices are sent to the ranks that ghost them at every superstep
+/// boundary, and balance violations are repaired by a subsequent rebalancing
+/// step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "distributed/comm.h"
+#include "distributed/dist_graph.h"
+
+namespace terapart::dist {
+
+struct DistLpConfig {
+  int rounds = 3;
+  /// Supersteps per round: each round is split into batches so that label
+  /// information propagates within a round, like dKaMinPar's batched LP.
+  int batches_per_round = 4;
+  NodeID bump_threshold = 10'000; ///< rating-map capacity per vertex
+};
+
+/// Per-rank label state: labels for owned vertices followed by ghosts, as
+/// *global* cluster IDs.
+using RankLabels = std::vector<ClusterID>;
+
+/// Distributed LP clustering. `max_cluster_weight` bounds every cluster's
+/// total node weight. Cluster weights are maintained in a shared
+/// weight-tracking array standing in for dKaMinPar's owner-synchronized
+/// approximate weights (see DESIGN.md); labels move only via messages.
+[[nodiscard]] std::vector<RankLabels> dist_lp_cluster(const std::vector<DistGraph> &parts,
+                                                      const DistLpConfig &config,
+                                                      NodeWeight max_cluster_weight,
+                                                      std::uint64_t seed, CommStats &stats);
+
+/// Distributed size-constrained LP refinement of a k-way partition
+/// (`blocks[r]` holds owned + ghost block IDs of rank r). Returns the number
+/// of moves applied. Block weights are replicated per rank and synchronized
+/// at every superstep (they are only k values).
+std::uint64_t dist_lp_refine(const std::vector<DistGraph> &parts,
+                             std::vector<std::vector<BlockID>> &blocks, BlockID k,
+                             BlockWeight max_block_weight, const DistLpConfig &config,
+                             std::uint64_t seed, CommStats &stats);
+
+/// Greedy distributed rebalancing: while blocks exceed the bound, every rank
+/// moves its cheapest boundary vertices out of overweight blocks.
+std::uint64_t dist_rebalance(const std::vector<DistGraph> &parts,
+                             std::vector<std::vector<BlockID>> &blocks, BlockID k,
+                             BlockWeight max_block_weight, CommStats &stats);
+
+} // namespace terapart::dist

@@ -1,0 +1,38 @@
+/// @file dist_partitioner.h
+/// @brief The distributed multilevel driver: dKaMinPar with optional graph
+/// compression (= XTeraPart, Section VI-C).
+///
+/// Pipeline: distribute -> distributed LP coarsening + contraction until the
+/// coarse graph is small -> every rank obtains a full copy of the coarsest
+/// graph and partitions it with the shared-memory code (different seeds; the
+/// best cut wins) -> uncoarsen with distributed LP refinement and
+/// rebalancing.
+#pragma once
+
+#include "distributed/comm.h"
+#include "distributed/dist_graph.h"
+#include "distributed/dist_lp.h"
+#include "partition/context.h"
+#include "partition/partitioner.h"
+
+namespace terapart::dist {
+
+struct DistPartitionResult {
+  std::vector<BlockID> partition; ///< global block assignment
+  EdgeWeight cut = 0;
+  double imbalance = 0.0;
+  bool balanced = false;
+  int num_levels = 0;
+  CommStats comm;
+  /// Maximum over ranks of (graph + ghost mapping) bytes, summed over the
+  /// levels alive at the peak — the per-rank memory model of Table III.
+  std::uint64_t max_rank_memory = 0;
+};
+
+/// Partitions the (globally known) input graph using `num_ranks` simulated
+/// ranks. `compress` selects XTeraPart (compressed local graphs) vs
+/// dKaMinPar (uncompressed).
+[[nodiscard]] DistPartitionResult dist_partition(const CsrGraph &graph, int num_ranks,
+                                                 const Context &ctx, bool compress);
+
+} // namespace terapart::dist

@@ -1,0 +1,107 @@
+#include "generators/benchmark_sets.h"
+
+#include "generators/generators.h"
+
+namespace terapart::gen {
+
+namespace {
+
+NodeID scaled(const SuiteScale scale, const NodeID base) {
+  return base * static_cast<NodeID>(scale);
+}
+
+} // namespace
+
+std::vector<NamedGraph> benchmark_set_a(const SuiteScale scale) {
+  std::vector<NamedGraph> graphs;
+  const auto add = [&](std::string name, std::string family,
+                       std::function<CsrGraph(std::uint64_t)> build) {
+    graphs.push_back({std::move(name), std::move(family), std::move(build)});
+  };
+
+  // Meshes / finite-element-like (best compression class in the paper).
+  add("grid-small", "mesh", [=](std::uint64_t) {
+    const NodeID side = scaled(scale, 40);
+    return grid2d(side, side);
+  });
+  add("torus-large", "mesh", [=](std::uint64_t) {
+    const NodeID side = scaled(scale, 64);
+    return grid2d(side, side, /*wrap=*/true);
+  });
+
+  // Geometric.
+  add("rgg2d-small", "geometric",
+      [=](const std::uint64_t seed) { return rgg2d(scaled(scale, 2'000), 12, seed); });
+  add("rgg2d-large", "geometric",
+      [=](const std::uint64_t seed) { return rgg2d(scaled(scale, 6'000), 16, seed); });
+
+  // Power-law / social.
+  add("rhg-small", "social",
+      [=](const std::uint64_t seed) { return rhg(scaled(scale, 2'000), 16, 3.0, seed); });
+  add("rhg-large", "social",
+      [=](const std::uint64_t seed) { return rhg(scaled(scale, 6'000), 24, 2.6, seed); });
+  add("ba", "social",
+      [=](const std::uint64_t seed) { return barabasi_albert(scaled(scale, 3'000), 8, seed); });
+
+  // Web-like.
+  add("web-small", "web",
+      [=](const std::uint64_t seed) { return weblike(scaled(scale, 3'000), 20, seed); });
+
+  // Community-structured skew (RMAT); scale exponent grows with the suite.
+  add("rmat", "social", [=](const std::uint64_t seed) {
+    const NodeID rmat_scale = scale == SuiteScale::kTiny    ? 11
+                              : scale == SuiteScale::kSmall ? 13
+                                                            : 15;
+    return rmat(rmat_scale, 8, seed);
+  });
+
+  // Unstructured random.
+  add("gnm", "random", [=](const std::uint64_t seed) {
+    const NodeID n = scaled(scale, 2'000);
+    return gnm(n, static_cast<EdgeID>(n) * 8, seed);
+  });
+
+  // Near-incompressible (kmer_* analog).
+  add("kmer", "kmer",
+      [=](const std::uint64_t seed) { return kmer_like(scaled(scale, 4'000), 4, seed); });
+
+  // Weighted graphs (text-compression class analog: non-uniform weights).
+  add("weighted-grid", "text", [=](const std::uint64_t seed) {
+    const NodeID side = scaled(scale, 32);
+    return with_random_edge_weights(grid2d(side, side), 1'000, seed);
+  });
+  add("weighted-rhg", "text", [=](const std::uint64_t seed) {
+    return with_random_edge_weights(rhg(scaled(scale, 2'000), 12, 3.0, seed), 100, seed + 1);
+  });
+
+  return graphs;
+}
+
+std::vector<NamedGraph> benchmark_set_b(const SuiteScale scale) {
+  // The five Set-B web graphs, with Table I's relative ordering: hyperlink is
+  // the largest, eu-2015 the densest, gsh-2015 the sparsest of the crawls.
+  std::vector<NamedGraph> graphs;
+  const auto add = [&](std::string name, std::function<CsrGraph(std::uint64_t)> build) {
+    graphs.push_back({std::move(name), "web", std::move(build)});
+  };
+
+  add("gsh-2015-mini", [=](const std::uint64_t seed) {
+    return weblike(scaled(scale, 10'000), 12, seed, 0.65, 48);
+  });
+  add("clueweb12-mini", [=](const std::uint64_t seed) {
+    return weblike(scaled(scale, 10'000), 18, seed, 0.70, 64);
+  });
+  add("uk-2014-mini", [=](const std::uint64_t seed) {
+    return weblike(scaled(scale, 8'000), 26, seed, 0.80, 96);
+  });
+  add("eu-2015-mini", [=](const std::uint64_t seed) {
+    return weblike(scaled(scale, 11'000), 36, seed, 0.85, 128);
+  });
+  add("hyperlink-mini", [=](const std::uint64_t seed) {
+    return weblike(scaled(scale, 36'000), 16, seed, 0.60, 40);
+  });
+
+  return graphs;
+}
+
+} // namespace terapart::gen

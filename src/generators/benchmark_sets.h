@@ -1,0 +1,35 @@
+/// @file benchmark_sets.h
+/// @brief Named benchmark instance suites mirroring the paper's Benchmark
+/// Set A (72 medium graphs of mixed provenance) and Set B (5 huge web
+/// graphs), scaled to this machine. See DESIGN.md for the substitution
+/// rationale.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace terapart::gen {
+
+struct NamedGraph {
+  std::string name;
+  std::string family; ///< generator class (for grouping in reports)
+  std::function<CsrGraph(std::uint64_t seed)> build;
+};
+
+/// Size multiplier for the suites: tests use kTiny, benchmarks kSmall or
+/// kMedium depending on their time budget.
+enum class SuiteScale { kTiny = 1, kSmall = 4, kMedium = 16 };
+
+/// Mixed-class suite standing in for Benchmark Set A: meshes, geometric,
+/// power-law, web-like, random, and incompressible graphs of varied size.
+[[nodiscard]] std::vector<NamedGraph> benchmark_set_a(SuiteScale scale);
+
+/// Web-graph suite standing in for Benchmark Set B (gsh-2015, clueweb12,
+/// uk-2014, eu-2015, hyperlink): five weblike/power-law graphs with
+/// increasing size and the relative size ordering of the paper's table I.
+[[nodiscard]] std::vector<NamedGraph> benchmark_set_b(SuiteScale scale);
+
+} // namespace terapart::gen

@@ -1,0 +1,461 @@
+#include "generators/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/math.h"
+#include "common/random.h"
+#include "graph/graph_builder.h"
+
+namespace terapart::gen {
+
+namespace {
+
+/// Weighted discrete sampling in O(1): Walker's alias method.
+class AliasTable {
+public:
+  explicit AliasTable(const std::vector<double> &weights) : _n(weights.size()) {
+    TP_ASSERT(_n > 0);
+    double total = 0;
+    for (const double w : weights) {
+      total += w;
+    }
+    _prob.resize(_n);
+    _alias.resize(_n);
+    std::vector<double> scaled(_n);
+    std::vector<std::size_t> small;
+    std::vector<std::size_t> large;
+    for (std::size_t i = 0; i < _n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(_n) / total;
+      (scaled[i] < 1.0 ? small : large).push_back(i);
+    }
+    while (!small.empty() && !large.empty()) {
+      const std::size_t s = small.back();
+      small.pop_back();
+      const std::size_t l = large.back();
+      large.pop_back();
+      _prob[s] = scaled[s];
+      _alias[s] = l;
+      scaled[l] = scaled[l] + scaled[s] - 1.0;
+      (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    for (const std::size_t i : small) {
+      _prob[i] = 1.0;
+      _alias[i] = i;
+    }
+    for (const std::size_t i : large) {
+      _prob[i] = 1.0;
+      _alias[i] = i;
+    }
+  }
+
+  [[nodiscard]] std::size_t sample(Random &rng) const {
+    const std::size_t slot = static_cast<std::size_t>(rng.next_bounded(_n));
+    return rng.next_double() < _prob[slot] ? slot : _alias[slot];
+  }
+
+private:
+  std::size_t _n;
+  std::vector<double> _prob;
+  std::vector<std::size_t> _alias;
+};
+
+} // namespace
+
+CsrGraph rgg2d(const NodeID n, const double avg_degree, const std::uint64_t seed) {
+  TP_ASSERT(n > 0 && avg_degree > 0);
+  // Expected degree of a point is n * pi * r^2.
+  const double radius = std::sqrt(avg_degree / (M_PI * static_cast<double>(n)));
+  const auto cells_per_dim =
+      std::max<NodeID>(1, static_cast<NodeID>(std::floor(1.0 / radius)));
+  const double cell_size = 1.0 / static_cast<double>(cells_per_dim);
+
+  struct Point {
+    double x;
+    double y;
+  };
+  std::vector<Point> points(n);
+  Random rng(seed);
+  for (NodeID i = 0; i < n; ++i) {
+    points[i] = {rng.next_double(), rng.next_double()};
+  }
+
+  // Sort points by row-major cell index: spatially close points get close
+  // vertex IDs, the property that makes meshes compress well.
+  const auto cell_of = [&](const Point &p) -> std::uint64_t {
+    const auto cx = std::min<NodeID>(cells_per_dim - 1, static_cast<NodeID>(p.x / cell_size));
+    const auto cy = std::min<NodeID>(cells_per_dim - 1, static_cast<NodeID>(p.y / cell_size));
+    return static_cast<std::uint64_t>(cy) * cells_per_dim + cx;
+  };
+  std::sort(points.begin(), points.end(),
+            [&](const Point &a, const Point &b) { return cell_of(a) < cell_of(b); });
+
+  // Cell index: first point of each cell (points sorted by cell).
+  std::vector<NodeID> cell_begin(static_cast<std::size_t>(cells_per_dim) * cells_per_dim + 1, 0);
+  for (const Point &p : points) {
+    ++cell_begin[cell_of(p) + 1];
+  }
+  for (std::size_t c = 1; c < cell_begin.size(); ++c) {
+    cell_begin[c] += cell_begin[c - 1];
+  }
+
+  GraphBuilder builder(n);
+  const double radius_sq = radius * radius;
+  for (NodeID u = 0; u < n; ++u) {
+    const Point &p = points[u];
+    const auto cx = std::min<NodeID>(cells_per_dim - 1, static_cast<NodeID>(p.x / cell_size));
+    const auto cy = std::min<NodeID>(cells_per_dim - 1, static_cast<NodeID>(p.y / cell_size));
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const auto ncx = static_cast<std::int64_t>(cx) + dx;
+        const auto ncy = static_cast<std::int64_t>(cy) + dy;
+        if (ncx < 0 || ncy < 0 || ncx >= cells_per_dim || ncy >= cells_per_dim) {
+          continue;
+        }
+        const std::uint64_t cell = static_cast<std::uint64_t>(ncy) * cells_per_dim + ncx;
+        for (NodeID v = cell_begin[cell]; v < cell_begin[cell + 1]; ++v) {
+          if (v <= u) {
+            continue; // each pair once
+          }
+          const double ddx = points[v].x - p.x;
+          const double ddy = points[v].y - p.y;
+          if (ddx * ddx + ddy * ddy <= radius_sq) {
+            builder.add_edge(u, v);
+          }
+        }
+      }
+    }
+  }
+  return builder.build();
+}
+
+CsrGraph rhg(const NodeID n, const double avg_degree, const double gamma,
+             const std::uint64_t seed, const double locality) {
+  TP_ASSERT(n > 1 && avg_degree > 0 && gamma > 2.0);
+  // Power-law expected degrees (Pareto with exponent gamma), scaled to the
+  // requested average. Edges are sampled Chung-Lu style; a `locality`
+  // fraction of endpoints is displaced geometrically around the source to
+  // model the angular locality of true hyperbolic graphs (see DESIGN.md).
+  Random rng(seed);
+  std::vector<double> weights(n);
+  const double exponent = -1.0 / (gamma - 1.0);
+  double total = 0;
+  for (NodeID i = 0; i < n; ++i) {
+    const double uniform = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+    weights[i] = std::pow(uniform, exponent); // descending: hubs get low IDs
+    total += weights[i];
+  }
+  const double scale = avg_degree * static_cast<double>(n) / total;
+  for (double &w : weights) {
+    w *= scale;
+  }
+
+  AliasTable sampler(weights);
+  const auto target_edges = static_cast<EdgeID>(avg_degree * static_cast<double>(n) / 2.0);
+
+  GraphBuilder builder(n);
+  builder.reserve(2 * target_edges);
+  for (EdgeID e = 0; e < target_edges; ++e) {
+    const auto u = static_cast<NodeID>(sampler.sample(rng));
+    NodeID v;
+    if (rng.next_double() < locality) {
+      // Angular locality: most edges stay within a small ring window whose
+      // width grows with the endpoint's weight (hubs reach further, like
+      // low-radius vertices in a true RHG).
+      const auto base_span = std::max<std::uint64_t>(
+          2, static_cast<std::uint64_t>(2.0 * avg_degree + weights[u]));
+      const auto offset = static_cast<std::int64_t>(rng.next_bounded(2 * base_span)) -
+                          static_cast<std::int64_t>(base_span);
+      const auto raw = static_cast<std::int64_t>(u) + offset;
+      v = static_cast<NodeID>(((raw % n) + n) % n);
+    } else {
+      v = static_cast<NodeID>(sampler.sample(rng));
+    }
+    if (u != v) {
+      builder.add_edge(u, v);
+    }
+  }
+  return builder.build();
+}
+
+CsrGraph weblike(const NodeID n, const double avg_degree, const std::uint64_t seed,
+                 const double intra_fraction, const NodeID mean_host_size) {
+  TP_ASSERT(n > 1 && avg_degree > 0 && mean_host_size >= 2);
+  Random rng(seed);
+
+  // Hosts: consecutive ID ranges with geometric sizes.
+  std::vector<NodeID> host_begin{0};
+  while (host_begin.back() < n) {
+    NodeID size = 1;
+    while (size < 8 * mean_host_size &&
+           rng.next_double() > 1.0 / static_cast<double>(mean_host_size)) {
+      ++size;
+    }
+    host_begin.push_back(std::min<NodeID>(n, host_begin.back() + std::max<NodeID>(2, size)));
+  }
+  const auto num_hosts = static_cast<NodeID>(host_begin.size() - 1);
+  std::vector<NodeID> host_of(n);
+  for (NodeID h = 0; h < num_hosts; ++h) {
+    for (NodeID u = host_begin[h]; u < host_begin[h + 1]; ++u) {
+      host_of[u] = h;
+    }
+  }
+
+  const auto target_edges = static_cast<EdgeID>(avg_degree * static_cast<double>(n) / 2.0);
+  GraphBuilder builder(n);
+  builder.reserve(2 * target_edges + n);
+
+  EdgeID produced = 0;
+  for (NodeID u = 0; u < n && produced < target_edges; ++u) {
+    // Zipf-ish out-degree so some pages are huge hubs.
+    const double z = rng.next_double();
+    auto out_degree = static_cast<NodeID>(avg_degree / 2.0 / std::sqrt(1.0 - z));
+    out_degree = std::min<NodeID>(out_degree, n / 4 + 1);
+    const NodeID h = host_of[u];
+    const NodeID hb = host_begin[h];
+    const NodeID he = host_begin[h + 1];
+
+    NodeID emitted = 0;
+    while (emitted < out_degree) {
+      if (rng.next_double() < intra_fraction && he - hb > 2) {
+        // Navigation bar: a run of consecutive pages inside the host. These
+        // runs are what interval encoding compresses to a few bytes. Most
+        // pages of a host share the same boilerplate runs (menus, footers),
+        // so run starts are drawn from a few per-host anchors — recurring
+        // *identical* intervals are what push web crawls below one byte per
+        // edge.
+        const NodeID run_length =
+            std::min<NodeID>(out_degree - emitted,
+                             4 + static_cast<NodeID>(rng.next_bounded(16)));
+        const NodeID max_start = he - hb > run_length ? he - run_length : hb;
+        NodeID start;
+        if (rng.next_double() < 0.75) {
+          const std::uint64_t anchor = rng.next_bounded(4);
+          std::uint64_t mix = (static_cast<std::uint64_t>(h) << 3) | anchor;
+          start = hb + static_cast<NodeID>(splitmix64(mix) %
+                                           std::max<NodeID>(1, max_start - hb + 1));
+        } else {
+          start =
+              hb + static_cast<NodeID>(rng.next_bounded(std::max<NodeID>(1, max_start - hb)));
+        }
+        for (NodeID v = start; v < std::min<NodeID>(he, start + run_length); ++v) {
+          if (v != u) {
+            builder.add_half_edge(u, v);
+            ++produced;
+          }
+          ++emitted;
+        }
+      } else {
+        // Cross-host link, biased to low IDs (hubs) by squaring the uniform.
+        const double x = rng.next_double();
+        const auto v = static_cast<NodeID>(x * x * static_cast<double>(n));
+        if (v != u && v < n) {
+          builder.add_half_edge(u, v);
+          ++produced;
+        }
+        ++emitted;
+      }
+    }
+  }
+  return builder.build(/*symmetrize=*/true);
+}
+
+CsrGraph grid2d(const NodeID rows, const NodeID cols, const bool wrap) {
+  TP_ASSERT(rows >= 1 && cols >= 1);
+  const NodeID n = rows * cols;
+  GraphBuilder builder(n);
+  const auto id = [cols](const NodeID r, const NodeID c) { return r * cols + c; };
+  for (NodeID r = 0; r < rows; ++r) {
+    for (NodeID c = 0; c < cols; ++c) {
+      const NodeID u = id(r, c);
+      if (c + 1 < cols) {
+        builder.add_edge(u, id(r, c + 1));
+      } else if (wrap && cols > 2) {
+        builder.add_edge(u, id(r, 0));
+      }
+      if (r + 1 < rows) {
+        builder.add_edge(u, id(r + 1, c));
+      } else if (wrap && rows > 2) {
+        builder.add_edge(u, id(0, c));
+      }
+    }
+  }
+  return builder.build();
+}
+
+CsrGraph gnm(const NodeID n, const EdgeID m_undirected, const std::uint64_t seed) {
+  TP_ASSERT(n > 1);
+  Random rng(seed);
+  GraphBuilder builder(n);
+  builder.reserve(2 * m_undirected);
+  for (EdgeID e = 0; e < m_undirected; ++e) {
+    const auto u = static_cast<NodeID>(rng.next_bounded(n));
+    const auto v = static_cast<NodeID>(rng.next_bounded(n));
+    if (u != v) {
+      builder.add_edge(u, v);
+    }
+  }
+  return builder.build();
+}
+
+CsrGraph barabasi_albert(const NodeID n, const NodeID attach, const std::uint64_t seed) {
+  TP_ASSERT(n > attach && attach >= 1);
+  Random rng(seed);
+  // Endpoint list trick: picking a uniform element of the endpoint list is
+  // picking a vertex proportional to its degree.
+  std::vector<NodeID> endpoints;
+  endpoints.reserve(2 * static_cast<std::size_t>(n) * attach);
+  GraphBuilder builder(n);
+  for (NodeID u = 0; u < n; ++u) {
+    for (NodeID j = 0; j < attach; ++j) {
+      NodeID v;
+      if (endpoints.empty() || u == 0) {
+        v = static_cast<NodeID>(rng.next_bounded(std::max<NodeID>(1, u)));
+        if (u == 0) {
+          continue;
+        }
+      } else {
+        v = endpoints[rng.next_bounded(endpoints.size())];
+      }
+      if (v == u) {
+        continue;
+      }
+      builder.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return builder.build();
+}
+
+CsrGraph rmat(const NodeID scale, const NodeID edge_factor, const std::uint64_t seed,
+              const double a, const double b, const double c) {
+  TP_ASSERT(scale >= 2 && scale < 31);
+  const NodeID n = NodeID{1} << scale;
+  const EdgeID target = static_cast<EdgeID>(n) * edge_factor;
+  Random rng(seed);
+  GraphBuilder builder(n);
+  builder.reserve(2 * target);
+  for (EdgeID e = 0; e < target; ++e) {
+    NodeID u = 0;
+    NodeID v = 0;
+    for (NodeID bit = 0; bit < scale; ++bit) {
+      const double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left: nothing
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) {
+      builder.add_half_edge(u, v);
+    }
+  }
+  return builder.build(/*symmetrize=*/true);
+}
+
+CsrGraph kmer_like(const NodeID n, const double avg_degree, const std::uint64_t seed) {
+  TP_ASSERT(n > 1);
+  Random rng(seed);
+  GraphBuilder builder(n);
+  const auto target = static_cast<EdgeID>(avg_degree * static_cast<double>(n) / 2.0);
+  builder.reserve(2 * target);
+  for (EdgeID e = 0; e < target; ++e) {
+    // Hash-scattered endpoints: successive edges share no locality at all.
+    const auto u = static_cast<NodeID>(rng.next_bounded(n));
+    std::uint64_t mix = u * 0x9e3779b97f4a7c15ULL + e;
+    const auto v = static_cast<NodeID>(splitmix64(mix) % n);
+    if (u != v) {
+      builder.add_edge(u, v);
+    }
+  }
+  return builder.build();
+}
+
+CsrGraph with_random_edge_weights(const CsrGraph &graph, const EdgeWeight max_weight,
+                                  const std::uint64_t seed) {
+  TP_ASSERT(max_weight >= 1);
+  GraphBuilder builder(graph.n());
+  builder.reserve(graph.m());
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    graph.for_each_neighbor(u, [&](const NodeID v, EdgeWeight) {
+      if (u < v) {
+        // Deterministic weight from the (seeded) edge identity.
+        std::uint64_t mix = seed ^ (static_cast<std::uint64_t>(u) << 32 | v);
+        const auto w = static_cast<EdgeWeight>(splitmix64(mix) %
+                                               static_cast<std::uint64_t>(max_weight)) +
+                       1;
+        builder.add_edge(u, v, w);
+      }
+    });
+  }
+  if (graph.is_node_weighted()) {
+    std::vector<NodeWeight> node_weights(graph.raw_node_weights().begin(),
+                                         graph.raw_node_weights().end());
+    builder.set_node_weights(std::move(node_weights));
+  }
+  return builder.build(/*symmetrize=*/false, /*edge_weighted=*/true);
+}
+
+CsrGraph by_spec(const std::string &spec, const std::uint64_t seed) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  std::map<std::string, double> params;
+  if (colon != std::string::npos) {
+    std::istringstream rest(spec.substr(colon + 1));
+    std::string token;
+    while (std::getline(rest, token, ',')) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("bad generator parameter: " + token);
+      }
+      params[token.substr(0, eq)] = std::stod(token.substr(eq + 1));
+    }
+  }
+  const auto get = [&](const std::string &key, const double fallback) {
+    const auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+  };
+
+  const auto n = static_cast<NodeID>(get("n", 10'000));
+  if (kind == "rgg2d") {
+    return rgg2d(n, get("deg", 16), seed);
+  }
+  if (kind == "rhg") {
+    return rhg(n, get("deg", 16), get("gamma", 3.0), seed, get("locality", 0.5));
+  }
+  if (kind == "weblike") {
+    return weblike(n, get("deg", 24), seed, get("intra", 0.75),
+                   static_cast<NodeID>(get("host", 64)));
+  }
+  if (kind == "grid2d") {
+    const auto rows = static_cast<NodeID>(get("rows", std::sqrt(n)));
+    return grid2d(rows, static_cast<NodeID>(get("cols", rows)), get("wrap", 0) != 0);
+  }
+  if (kind == "gnm") {
+    return gnm(n, static_cast<EdgeID>(get("m", 8.0 * n)), seed);
+  }
+  if (kind == "ba") {
+    return barabasi_albert(n, static_cast<NodeID>(get("attach", 8)), seed);
+  }
+  if (kind == "rmat") {
+    return rmat(static_cast<NodeID>(get("scale", 14)), static_cast<NodeID>(get("factor", 8)),
+                seed);
+  }
+  if (kind == "kmer") {
+    return kmer_like(n, get("deg", 4), seed);
+  }
+  throw std::invalid_argument("unknown generator: " + kind);
+}
+
+} // namespace terapart::gen

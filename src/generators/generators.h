@@ -1,0 +1,79 @@
+/// @file generators.h
+/// @brief Deterministic synthetic graph generators standing in for KaGen and
+/// the paper's benchmark graphs (see DESIGN.md, substitutions).
+///
+/// Every generator is seeded and deterministic. All graphs are undirected,
+/// loop-free, duplicate-free, with sorted neighborhoods (canonical form via
+/// GraphBuilder).
+///
+/// Classes and what they exercise:
+///  - rgg2d   — random geometric graph in the unit square, row-major cell
+///              ordering: mesh-like, no high-degree vertices, high ID
+///              locality (the paper's rgg2D family).
+///  - rhg     — power-law graph with locality-mixed targets, standing in for
+///              the random hyperbolic family: skewed degrees (exercises the
+///              bump phase and chunked compression), small relative cuts.
+///  - weblike — host-structured web-crawl model: long consecutive-ID runs
+///              (interval encoding shines, like eu-2015) plus hub-biased
+///              cross-host links and very high maximum degree.
+///  - grid2d  — regular 2D mesh/torus (finite-element-like; best compression
+///              of the gap codec).
+///  - gnm     — Erdős–Rényi G(n, m): no structure, baseline for everything.
+///  - ba      — Barabási–Albert preferential attachment: power-law.
+///  - rmat    — Kronecker-style RMAT: skew plus community structure.
+///  - kmer    — low-degree, hash-random targets: the near-incompressible
+///              class (paper: kmer_* graphs compress to ratio < 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr_graph.h"
+
+namespace terapart::gen {
+
+/// Random geometric graph: n points in the unit square, edges within radius
+/// chosen so the expected average degree is `avg_degree`. Vertex IDs follow
+/// the row-major order of the spatial grid cells.
+[[nodiscard]] CsrGraph rgg2d(NodeID n, double avg_degree, std::uint64_t seed);
+
+/// Power-law ("random hyperbolic"-like) graph with exponent `gamma` and the
+/// given average degree. A `locality` fraction of the endpoints is drawn near
+/// the source ID to model the angular locality of true RHGs.
+[[nodiscard]] CsrGraph rhg(NodeID n, double avg_degree, double gamma, std::uint64_t seed,
+                           double locality = 0.985);
+
+/// Web-crawl model: vertices grouped into hosts of consecutive IDs;
+/// `intra_fraction` of links go to consecutive-ID runs within the host, the
+/// rest to hub-biased random pages.
+[[nodiscard]] CsrGraph weblike(NodeID n, double avg_degree, std::uint64_t seed,
+                               double intra_fraction = 0.75, NodeID mean_host_size = 64);
+
+/// 2D grid (torus if wrap) with unit weights; IDs are row-major.
+[[nodiscard]] CsrGraph grid2d(NodeID rows, NodeID cols, bool wrap = false);
+
+/// Erdős–Rényi G(n, m): exactly <= m_undirected distinct random edges.
+[[nodiscard]] CsrGraph gnm(NodeID n, EdgeID m_undirected, std::uint64_t seed);
+
+/// Barabási–Albert: each new vertex attaches to `attach` existing vertices
+/// with probability proportional to degree.
+[[nodiscard]] CsrGraph barabasi_albert(NodeID n, NodeID attach, std::uint64_t seed);
+
+/// RMAT with 2^scale vertices and edge_factor * 2^scale undirected edges.
+[[nodiscard]] CsrGraph rmat(NodeID scale, NodeID edge_factor, std::uint64_t seed, double a = 0.57,
+                            double b = 0.19, double c = 0.19);
+
+/// Near-incompressible k-mer-graph model: degree ~ `avg_degree` (small),
+/// targets pseudo-random with no locality.
+[[nodiscard]] CsrGraph kmer_like(NodeID n, double avg_degree, std::uint64_t seed);
+
+/// Random edge weights in [1, max_weight] added to an unweighted graph
+/// (deterministic per seed); models the paper's text-compression class.
+[[nodiscard]] CsrGraph with_random_edge_weights(const CsrGraph &graph, EdgeWeight max_weight,
+                                                std::uint64_t seed);
+
+/// Parses a spec like "rgg2d:n=10000,deg=16" or "rhg:n=4096,deg=32,gamma=3.0"
+/// and builds the graph. Used by the CLI examples.
+[[nodiscard]] CsrGraph by_spec(const std::string &spec, std::uint64_t seed);
+
+} // namespace terapart::gen

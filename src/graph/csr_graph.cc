@@ -1,0 +1,49 @@
+#include "graph/csr_graph.h"
+
+#include <utility>
+
+namespace terapart {
+
+CsrGraph::CsrGraph(Buffer<EdgeID> nodes, Buffer<NodeID> edges, Buffer<NodeWeight> node_weights,
+                   Buffer<EdgeWeight> edge_weights, std::string memory_category)
+    : _n(nodes.empty() ? 0 : static_cast<NodeID>(nodes.size() - 1)),
+      _m(static_cast<EdgeID>(edges.size())), _nodes(std::move(nodes)), _edges(std::move(edges)),
+      _node_weights(std::move(node_weights)), _edge_weights(std::move(edge_weights)) {
+  TP_ASSERT_MSG(_nodes.empty() || _nodes.back() == _m, "offset array inconsistent with edges");
+  TP_ASSERT(_node_weights.empty() || _node_weights.size() == _n);
+  TP_ASSERT(_edge_weights.empty() || _edge_weights.size() == _m);
+  if (_nodes.empty()) {
+    _nodes = Buffer<EdgeID>(std::vector<EdgeID>{0}); // canonical empty graph
+  }
+  init_aggregates();
+  _tracked = TrackedAlloc(std::move(memory_category), memory_bytes());
+}
+
+void CsrGraph::init_aggregates() {
+  if (_node_weights.empty()) {
+    _total_node_weight = static_cast<NodeWeight>(_n);
+    _max_node_weight = 1;
+  } else {
+    _total_node_weight = par::parallel_sum<NodeID>(
+        0, _n, [&](const NodeID u) { return _node_weights[u]; });
+    _max_node_weight = par::parallel_max<NodeID>(
+        0, _n, NodeWeight{0}, [&](const NodeID u) { return _node_weights[u]; });
+  }
+
+  if (_edge_weights.empty()) {
+    _total_edge_weight = static_cast<EdgeWeight>(_m);
+  } else {
+    _total_edge_weight = par::parallel_sum<EdgeID>(
+        0, _m, [&](const EdgeID e) { return _edge_weights[e]; });
+  }
+
+  _max_degree =
+      par::parallel_max<NodeID>(0, _n, NodeID{0}, [&](const NodeID u) { return degree(u); });
+}
+
+std::uint64_t CsrGraph::memory_bytes() const {
+  return _nodes.size() * sizeof(EdgeID) + _edges.size() * sizeof(NodeID) +
+         _node_weights.size() * sizeof(NodeWeight) + _edge_weights.size() * sizeof(EdgeWeight);
+}
+
+} // namespace terapart

@@ -1,0 +1,145 @@
+/// @file csr_graph.h
+/// @brief Uncompressed graph in compressed-sparse-row (CSR) layout
+/// (Section III of the paper).
+///
+/// Conventions used throughout TeraPart:
+///  - Graphs are undirected and stored as both directed halves; `m()` returns
+///    the number of *directed* edges (2x the undirected count).
+///  - Neighborhoods are sorted by target ID (required by gap encoding and by
+///    deterministic algorithms) and contain no self-loops.
+///  - Unit node/edge weights are represented by empty weight arrays so that
+///    unweighted graphs cost no weight storage.
+///
+/// All graph classes expose the same neighborhood-visitor API, so the
+/// multilevel algorithms are templated on the graph type and run unchanged on
+/// `CsrGraph` and `CompressedGraph`:
+///   - `for_each_neighbor(u, fn(v, w))`
+///   - `for_each_neighbor_with_id(u, fn(e, v, w))`
+///   - `for_each_neighbor_parallel(u, fn(v, w))`  (parallelism over the edges
+///     of a single high-degree vertex; used by the second "bumped" phase)
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/buffer.h"
+#include "common/memory_tracker.h"
+#include "common/types.h"
+#include "parallel/parallel_for.h"
+
+namespace terapart {
+
+class CsrGraph {
+public:
+  CsrGraph() = default;
+
+  /// Takes ownership of the CSR arrays. `nodes` has n+1 entries with
+  /// nodes[n] == edges.size(). Empty weight buffers mean unit weights.
+  /// Buffers adopt either std::vector storage or overcommitted mmap regions
+  /// (the latter produced by one-pass contraction) without copying.
+  CsrGraph(Buffer<EdgeID> nodes, Buffer<NodeID> edges, Buffer<NodeWeight> node_weights = {},
+           Buffer<EdgeWeight> edge_weights = {}, std::string memory_category = "graph");
+
+  [[nodiscard]] NodeID n() const { return _n; }
+  [[nodiscard]] EdgeID m() const { return _m; }
+
+  [[nodiscard]] EdgeID first_edge(const NodeID u) const {
+    TP_ASSERT(u < _n);
+    return _nodes[u];
+  }
+
+  [[nodiscard]] NodeID degree(const NodeID u) const {
+    TP_ASSERT(u < _n);
+    return static_cast<NodeID>(_nodes[u + 1] - _nodes[u]);
+  }
+
+  [[nodiscard]] NodeWeight node_weight(const NodeID u) const {
+    TP_ASSERT(u < _n);
+    return _node_weights.empty() ? 1 : _node_weights[u];
+  }
+
+  [[nodiscard]] EdgeWeight edge_weight(const EdgeID e) const {
+    TP_ASSERT(e < _m);
+    return _edge_weights.empty() ? 1 : _edge_weights[e];
+  }
+
+  [[nodiscard]] NodeID edge_target(const EdgeID e) const {
+    TP_ASSERT(e < _m);
+    return _edges[e];
+  }
+
+  [[nodiscard]] bool is_node_weighted() const { return !_node_weights.empty(); }
+  [[nodiscard]] bool is_edge_weighted() const { return !_edge_weights.empty(); }
+  [[nodiscard]] static constexpr bool is_compressed() { return false; }
+
+  [[nodiscard]] NodeWeight total_node_weight() const { return _total_node_weight; }
+  [[nodiscard]] EdgeWeight total_edge_weight() const { return _total_edge_weight; }
+  [[nodiscard]] NodeWeight max_node_weight() const { return _max_node_weight; }
+  [[nodiscard]] NodeID max_degree() const { return _max_degree; }
+
+  /// Invokes fn(v, w) for each neighbor v with edge weight w, sorted by v.
+  template <typename Fn> void for_each_neighbor(const NodeID u, Fn &&fn) const {
+    const EdgeID begin = _nodes[u];
+    const EdgeID end = _nodes[u + 1];
+    if (_edge_weights.empty()) {
+      for (EdgeID e = begin; e < end; ++e) {
+        fn(_edges[e], EdgeWeight{1});
+      }
+    } else {
+      for (EdgeID e = begin; e < end; ++e) {
+        fn(_edges[e], _edge_weights[e]);
+      }
+    }
+  }
+
+  /// Invokes fn(e, v, w) with the global edge ID e.
+  template <typename Fn> void for_each_neighbor_with_id(const NodeID u, Fn &&fn) const {
+    const EdgeID begin = _nodes[u];
+    const EdgeID end = _nodes[u + 1];
+    for (EdgeID e = begin; e < end; ++e) {
+      fn(e, _edges[e], _edge_weights.empty() ? EdgeWeight{1} : _edge_weights[e]);
+    }
+  }
+
+  /// Parallel iteration over the neighborhood of one (high-degree) vertex:
+  /// fn(v, w) may run concurrently from multiple pool threads.
+  template <typename Fn> void for_each_neighbor_parallel(const NodeID u, Fn &&fn) const {
+    const EdgeID begin = _nodes[u];
+    const EdgeID end = _nodes[u + 1];
+    par::parallel_for(begin, end, [&](const EdgeID chunk_begin, const EdgeID chunk_end) {
+      for (EdgeID e = chunk_begin; e < chunk_end; ++e) {
+        fn(_edges[e], _edge_weights.empty() ? EdgeWeight{1} : _edge_weights[e]);
+      }
+    });
+  }
+
+  /// Raw array access (I/O, compression, tests).
+  [[nodiscard]] std::span<const EdgeID> raw_nodes() const { return _nodes.span(); }
+  [[nodiscard]] std::span<const NodeID> raw_edges() const { return _edges.span(); }
+  [[nodiscard]] std::span<const NodeWeight> raw_node_weights() const { return _node_weights.span(); }
+  [[nodiscard]] std::span<const EdgeWeight> raw_edge_weights() const { return _edge_weights.span(); }
+
+  /// Exact CSR footprint in bytes (tracked under the memory category given at
+  /// construction).
+  [[nodiscard]] std::uint64_t memory_bytes() const;
+
+private:
+  void init_aggregates();
+
+  NodeID _n = 0;
+  EdgeID _m = 0;
+  Buffer<EdgeID> _nodes;       // size n+1
+  Buffer<NodeID> _edges;       // size m
+  Buffer<NodeWeight> _node_weights; // size n or empty (unit)
+  Buffer<EdgeWeight> _edge_weights; // size m or empty (unit)
+
+  NodeWeight _total_node_weight = 0;
+  EdgeWeight _total_edge_weight = 0;
+  NodeWeight _max_node_weight = 1;
+  NodeID _max_degree = 0;
+
+  TrackedAlloc _tracked;
+};
+
+} // namespace terapart

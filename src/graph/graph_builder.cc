@@ -1,0 +1,113 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "parallel/prefix_sum.h"
+
+namespace terapart {
+
+namespace {
+
+/// Sorts by (source, target) and merges duplicate directed edges by summing
+/// their weights. Returns the new size.
+std::size_t sort_and_merge(std::vector<EdgeListEdge> &edges) {
+  std::sort(edges.begin(), edges.end(), [](const EdgeListEdge &a, const EdgeListEdge &b) {
+    return a.source != b.source ? a.source < b.source : a.target < b.target;
+  });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < edges.size();) {
+    EdgeListEdge merged = edges[i];
+    std::size_t j = i + 1;
+    while (j < edges.size() && edges[j].source == merged.source &&
+           edges[j].target == merged.target) {
+      merged.weight += edges[j].weight;
+      ++j;
+    }
+    edges[out++] = merged;
+    i = j;
+  }
+  edges.resize(out);
+  return out;
+}
+
+} // namespace
+
+CsrGraph GraphBuilder::build(const bool symmetrize, const bool edge_weighted,
+                             std::string memory_category) {
+  std::vector<EdgeListEdge> edges = std::move(_edges);
+
+  if (symmetrize) {
+    // Canonicalize to (min, max), merge, then emit both directions. This sums
+    // the weights of all recorded occurrences of {u, v} in either direction,
+    // which is the conversion the paper applies to directed web crawls.
+    for (auto &edge : edges) {
+      if (edge.source > edge.target) {
+        std::swap(edge.source, edge.target);
+      }
+    }
+    sort_and_merge(edges);
+    const std::size_t half = edges.size();
+    edges.reserve(2 * half);
+    for (std::size_t i = 0; i < half; ++i) {
+      edges.push_back({edges[i].target, edges[i].source, edges[i].weight});
+    }
+  }
+  sort_and_merge(edges);
+
+  const EdgeID m = static_cast<EdgeID>(edges.size());
+  std::vector<EdgeID> nodes(static_cast<std::size_t>(_n) + 1, 0);
+  for (const EdgeListEdge &edge : edges) {
+    ++nodes[edge.source + 1];
+  }
+  for (NodeID u = 0; u < _n; ++u) {
+    nodes[u + 1] += nodes[u];
+  }
+
+  std::vector<NodeID> targets(m);
+  std::vector<EdgeWeight> weights;
+  if (edge_weighted) {
+    weights.resize(m);
+  }
+  for (EdgeID e = 0; e < m; ++e) {
+    targets[e] = edges[e].target;
+    if (edge_weighted) {
+      weights[e] = edges[e].weight;
+    }
+  }
+
+  return CsrGraph(std::move(nodes), std::move(targets), std::move(_node_weights),
+                  std::move(weights), std::move(memory_category));
+}
+
+CsrGraph graph_from_adjacency(
+    const std::vector<std::vector<std::pair<NodeID, EdgeWeight>>> &adjacency,
+    std::vector<NodeWeight> node_weights) {
+  const auto n = static_cast<NodeID>(adjacency.size());
+  GraphBuilder builder(n);
+  for (NodeID u = 0; u < n; ++u) {
+    for (const auto &[v, w] : adjacency[u]) {
+      if (u <= v) { // deduplicate: expect each undirected edge listed once per side
+        builder.add_edge(u, v, w);
+      }
+    }
+  }
+  if (!node_weights.empty()) {
+    builder.set_node_weights(std::move(node_weights));
+  }
+  return builder.build(/*symmetrize=*/false, /*edge_weighted=*/true);
+}
+
+CsrGraph graph_from_adjacency_unweighted(const std::vector<std::vector<NodeID>> &adjacency) {
+  const auto n = static_cast<NodeID>(adjacency.size());
+  GraphBuilder builder(n);
+  for (NodeID u = 0; u < n; ++u) {
+    for (const NodeID v : adjacency[u]) {
+      if (u <= v) {
+        builder.add_edge(u, v);
+      }
+    }
+  }
+  return builder.build();
+}
+
+} // namespace terapart

@@ -1,0 +1,78 @@
+/// @file graph_builder.h
+/// @brief Construction of canonical CsrGraphs from edge lists or adjacency
+/// lists: symmetrization, self-loop removal, duplicate merging (weights
+/// summed), neighborhood sorting. Generators and I/O funnel through here so
+/// every graph in the system satisfies the CSR invariants.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/csr_graph.h"
+
+namespace terapart {
+
+/// One directed edge of an edge list under construction.
+struct EdgeListEdge {
+  NodeID source;
+  NodeID target;
+  EdgeWeight weight;
+};
+
+class GraphBuilder {
+public:
+  explicit GraphBuilder(NodeID n) : _n(n) {}
+
+  /// Records the undirected edge {u, v}; both directed halves are added.
+  /// Self-loops are dropped silently.
+  void add_edge(const NodeID u, const NodeID v, const EdgeWeight weight = 1) {
+    TP_ASSERT(u < _n && v < _n);
+    if (u == v) {
+      return;
+    }
+    _edges.push_back({u, v, weight});
+    _edges.push_back({v, u, weight});
+  }
+
+  /// Records only the directed edge (u, v); the caller promises to add the
+  /// reverse half as well (or to call build(symmetrize=true)).
+  void add_half_edge(const NodeID u, const NodeID v, const EdgeWeight weight = 1) {
+    TP_ASSERT(u < _n && v < _n);
+    if (u == v) {
+      return;
+    }
+    _edges.push_back({u, v, weight});
+  }
+
+  void set_node_weights(std::vector<NodeWeight> weights) {
+    TP_ASSERT(weights.size() == _n);
+    _node_weights = std::move(weights);
+  }
+
+  [[nodiscard]] std::size_t num_recorded_edges() const { return _edges.size(); }
+  void reserve(const std::size_t directed_edges) { _edges.reserve(directed_edges); }
+
+  /// Builds the canonical CSR graph. If `symmetrize` is true, any missing
+  /// reverse edges are inserted first (the paper's treatment of the directed
+  /// web crawls). Duplicate parallel edges are merged by summing weights.
+  /// The builder's edge buffer is consumed.
+  [[nodiscard]] CsrGraph build(bool symmetrize = false, bool edge_weighted = false,
+                               std::string memory_category = "graph");
+
+private:
+  NodeID _n;
+  std::vector<EdgeListEdge> _edges;
+  std::vector<NodeWeight> _node_weights;
+};
+
+/// Convenience for tests: builds a graph from an adjacency list of
+/// (target, weight) pairs; missing reverse edges are added automatically.
+[[nodiscard]] CsrGraph graph_from_adjacency(
+    const std::vector<std::vector<std::pair<NodeID, EdgeWeight>>> &adjacency,
+    std::vector<NodeWeight> node_weights = {});
+
+/// Convenience for tests: unweighted graph from an adjacency list.
+[[nodiscard]] CsrGraph
+graph_from_adjacency_unweighted(const std::vector<std::vector<NodeID>> &adjacency);
+
+} // namespace terapart

@@ -1,0 +1,293 @@
+#include "graph/graph_io.h"
+
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/assert.h"
+
+namespace terapart::io {
+
+namespace {
+
+void write_exact(std::FILE *file, const void *data, const std::size_t bytes) {
+  if (bytes > 0 && std::fwrite(data, 1, bytes, file) != bytes) {
+    throw std::runtime_error("short write");
+  }
+}
+
+void read_exact(std::FILE *file, void *data, const std::size_t bytes) {
+  if (bytes > 0 && std::fread(data, 1, bytes, file) != bytes) {
+    throw std::runtime_error("short read");
+  }
+}
+
+void seek_to(std::FILE *file, const std::uint64_t pos) {
+  if (std::fseek(file, static_cast<long>(pos), SEEK_SET) != 0) {
+    throw std::runtime_error("seek failed");
+  }
+}
+
+struct FileCloser {
+  void operator()(std::FILE *file) const {
+    if (file != nullptr) {
+      std::fclose(file);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_file(const std::filesystem::path &path, const char *mode) {
+  std::FILE *file = std::fopen(path.c_str(), mode);
+  if (file == nullptr) {
+    throw std::runtime_error("cannot open " + path.string());
+  }
+  return FilePtr(file);
+}
+
+} // namespace
+
+void write_tpg(const std::filesystem::path &path, const CsrGraph &graph) {
+  FilePtr file = open_file(path, "wb");
+  const TpgHeader header{kTpgMagic, graph.n(), graph.m(),
+                         graph.is_node_weighted() ? 1u : 0u,
+                         graph.is_edge_weighted() ? 1u : 0u};
+  write_exact(file.get(), &header, sizeof(header));
+  write_exact(file.get(), graph.raw_nodes().data(), graph.raw_nodes().size() * sizeof(EdgeID));
+  write_exact(file.get(), graph.raw_edges().data(), graph.raw_edges().size() * sizeof(NodeID));
+  write_exact(file.get(), graph.raw_node_weights().data(),
+              graph.raw_node_weights().size() * sizeof(NodeWeight));
+  write_exact(file.get(), graph.raw_edge_weights().data(),
+              graph.raw_edge_weights().size() * sizeof(EdgeWeight));
+}
+
+TpgHeader read_tpg_header(const std::filesystem::path &path) {
+  FilePtr file = open_file(path, "rb");
+  TpgHeader header;
+  read_exact(file.get(), &header, sizeof(header));
+  if (header.magic != kTpgMagic) {
+    throw std::runtime_error("not a TPG file: " + path.string());
+  }
+  return header;
+}
+
+CsrGraph read_tpg(const std::filesystem::path &path, std::string memory_category) {
+  FilePtr file = open_file(path, "rb");
+  TpgHeader header;
+  read_exact(file.get(), &header, sizeof(header));
+  if (header.magic != kTpgMagic) {
+    throw std::runtime_error("not a TPG file: " + path.string());
+  }
+
+  std::vector<EdgeID> nodes(header.n + 1);
+  std::vector<NodeID> edges(header.m);
+  std::vector<NodeWeight> node_weights(header.has_node_weights != 0 ? header.n : 0);
+  std::vector<EdgeWeight> edge_weights(header.has_edge_weights != 0 ? header.m : 0);
+
+  read_exact(file.get(), nodes.data(), nodes.size() * sizeof(EdgeID));
+  read_exact(file.get(), edges.data(), edges.size() * sizeof(NodeID));
+  read_exact(file.get(), node_weights.data(), node_weights.size() * sizeof(NodeWeight));
+  read_exact(file.get(), edge_weights.data(), edge_weights.size() * sizeof(EdgeWeight));
+
+  return CsrGraph(std::move(nodes), std::move(edges), std::move(node_weights),
+                  std::move(edge_weights), std::move(memory_category));
+}
+
+TpgStreamReader::TpgStreamReader(const std::filesystem::path &path,
+                                 const std::size_t buffer_edges)
+    : _buffer_edges(std::max<std::size_t>(1, buffer_edges)) {
+  _file = std::fopen(path.c_str(), "rb");
+  if (_file == nullptr) {
+    throw std::runtime_error("cannot open " + path.string());
+  }
+  read_exact(_file, &_header, sizeof(_header));
+  if (_header.magic != kTpgMagic) {
+    std::fclose(_file);
+    _file = nullptr;
+    throw std::runtime_error("not a TPG file: " + path.string());
+  }
+  _offsets_pos = sizeof(TpgHeader);
+  _targets_pos = _offsets_pos + (_header.n + 1) * sizeof(EdgeID);
+  _node_weights_pos = _targets_pos + _header.m * sizeof(NodeID);
+  _edge_weights_pos =
+      _node_weights_pos + (_header.has_node_weights != 0 ? _header.n * sizeof(NodeWeight) : 0);
+}
+
+TpgStreamReader::~TpgStreamReader() {
+  if (_file != nullptr) {
+    std::fclose(_file);
+  }
+}
+
+void TpgStreamReader::rewind() { _next_node = 0; }
+
+bool TpgStreamReader::next_packet(Packet &packet) {
+  if (_next_node >= _header.n) {
+    return false;
+  }
+
+  // Stage offsets: P[first .. first + count] where count is chosen so the
+  // packet holds ~buffer_edges edges (always at least one vertex).
+  const NodeID first = _next_node;
+  const std::uint64_t remaining = _header.n - first;
+  // Read offsets in slabs; grow until the edge budget is exhausted.
+  std::uint64_t count = 0;
+  _offsets.clear();
+  _offsets.resize(1);
+  seek_to(_file, _offsets_pos + static_cast<std::uint64_t>(first) * sizeof(EdgeID));
+  read_exact(_file, _offsets.data(), sizeof(EdgeID));
+  const EdgeID first_edge = _offsets[0];
+  while (count < remaining) {
+    const std::uint64_t slab = std::min<std::uint64_t>(remaining - count, 4096);
+    const std::size_t old_size = _offsets.size();
+    _offsets.resize(old_size + slab);
+    read_exact(_file, _offsets.data() + old_size, slab * sizeof(EdgeID));
+    // Accept vertices from this slab while within budget.
+    std::uint64_t accepted = 0;
+    while (accepted < slab) {
+      const EdgeID end = _offsets[old_size + accepted];
+      if (count + accepted > 0 && end - first_edge > _buffer_edges) {
+        break;
+      }
+      ++accepted;
+    }
+    count += accepted;
+    if (accepted < slab) {
+      _offsets.resize(old_size + accepted);
+      break;
+    }
+    if (_offsets.back() - first_edge > _buffer_edges) {
+      break;
+    }
+  }
+  TP_ASSERT(count >= 1);
+
+  const EdgeID last_edge = _offsets.back();
+  const std::uint64_t num_edges = last_edge - first_edge;
+
+  _degrees.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    _degrees[i] = static_cast<NodeID>(_offsets[i + 1] - _offsets[i]);
+  }
+
+  _targets.resize(num_edges);
+  seek_to(_file, _targets_pos + first_edge * sizeof(NodeID));
+  read_exact(_file, _targets.data(), num_edges * sizeof(NodeID));
+
+  if (_header.has_node_weights != 0) {
+    _node_weights.resize(count);
+    seek_to(_file, _node_weights_pos + static_cast<std::uint64_t>(first) * sizeof(NodeWeight));
+    read_exact(_file, _node_weights.data(), count * sizeof(NodeWeight));
+  } else {
+    _node_weights.clear();
+  }
+
+  if (_header.has_edge_weights != 0) {
+    _edge_weights.resize(num_edges);
+    seek_to(_file, _edge_weights_pos + first_edge * sizeof(EdgeWeight));
+    read_exact(_file, _edge_weights.data(), num_edges * sizeof(EdgeWeight));
+  } else {
+    _edge_weights.clear();
+  }
+
+  packet.first_node = first;
+  packet.num_nodes = static_cast<NodeID>(count);
+  packet.degrees = _degrees;
+  packet.node_weights = _node_weights;
+  packet.targets = _targets;
+  packet.edge_weights = _edge_weights;
+
+  _next_node = first + static_cast<NodeID>(count);
+  return true;
+}
+
+void write_metis(const std::filesystem::path &path, const CsrGraph &graph) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path.string());
+  }
+  const int fmt = (graph.is_node_weighted() ? 10 : 0) + (graph.is_edge_weighted() ? 1 : 0);
+  out << graph.n() << ' ' << graph.m() / 2;
+  if (fmt != 0) {
+    out << ' ' << (fmt < 10 ? "0" : "") << fmt;
+  }
+  out << '\n';
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    bool first = true;
+    if (graph.is_node_weighted()) {
+      out << graph.node_weight(u);
+      first = false;
+    }
+    graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+      if (!first) {
+        out << ' ';
+      }
+      first = false;
+      out << (v + 1);
+      if (graph.is_edge_weighted()) {
+        out << ' ' << w;
+      }
+    });
+    out << '\n';
+  }
+}
+
+CsrGraph read_metis(const std::filesystem::path &path, std::string memory_category) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path.string());
+  }
+  std::string line;
+  // Skip comments.
+  while (std::getline(in, line) && !line.empty() && line[0] == '%') {
+  }
+  std::istringstream header(line);
+  std::uint64_t n = 0;
+  std::uint64_t undirected_m = 0;
+  std::string fmt = "0";
+  header >> n >> undirected_m;
+  if (!(header >> fmt)) {
+    fmt = "0";
+  }
+  const bool has_node_weights = fmt.size() >= 2 && fmt[fmt.size() - 2] == '1';
+  const bool has_edge_weights = !fmt.empty() && fmt.back() == '1';
+
+  std::vector<EdgeID> nodes(n + 1, 0);
+  std::vector<NodeID> edges;
+  edges.reserve(2 * undirected_m);
+  std::vector<NodeWeight> node_weights(has_node_weights ? n : 0);
+  std::vector<EdgeWeight> edge_weights;
+  if (has_edge_weights) {
+    edge_weights.reserve(2 * undirected_m);
+  }
+
+  for (std::uint64_t u = 0; u < n; ++u) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("unexpected end of METIS file");
+    }
+    if (!line.empty() && line[0] == '%') {
+      --u;
+      continue;
+    }
+    std::istringstream tokens(line);
+    if (has_node_weights) {
+      tokens >> node_weights[u];
+    }
+    std::uint64_t v = 0;
+    while (tokens >> v) {
+      edges.push_back(static_cast<NodeID>(v - 1));
+      if (has_edge_weights) {
+        EdgeWeight w = 1;
+        tokens >> w;
+        edge_weights.push_back(w);
+      }
+    }
+    nodes[u + 1] = edges.size();
+  }
+
+  return CsrGraph(std::move(nodes), std::move(edges), std::move(node_weights),
+                  std::move(edge_weights), std::move(memory_category));
+}
+
+} // namespace terapart::io

@@ -1,0 +1,105 @@
+/// @file graph_io.h
+/// @brief Graph file I/O.
+///
+/// Two formats:
+///  - **TPG binary** — the "uncompressed binary format" the paper stores its
+///    benchmark graphs in: a small header followed by the raw CSR arrays.
+///    Supports whole-file load/store and *streamed* reading (neighborhood
+///    packets), which feeds the single-pass parallel compressor
+///    (Section III-B) and the semi-external baseline (Section VII).
+///  - **METIS text** — interoperability with the classic partitioning tools
+///    (this is what MT-METIS parses; the paper notes the parsing overhead).
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "graph/csr_graph.h"
+
+namespace terapart::io {
+
+inline constexpr std::uint64_t kTpgMagic = 0x5452504731ULL; // "TRPG1"
+
+struct TpgHeader {
+  std::uint64_t magic = kTpgMagic;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0; ///< number of directed edges
+  std::uint64_t has_node_weights = 0;
+  std::uint64_t has_edge_weights = 0;
+};
+
+/// Writes `graph` in TPG binary format.
+void write_tpg(const std::filesystem::path &path, const CsrGraph &graph);
+
+/// Loads a TPG binary file entirely into memory as an uncompressed CsrGraph.
+[[nodiscard]] CsrGraph read_tpg(const std::filesystem::path &path,
+                                std::string memory_category = "graph");
+
+/// Reads only the header (cheap; used to size overcommit buffers).
+[[nodiscard]] TpgHeader read_tpg_header(const std::filesystem::path &path);
+
+/// Streaming reader over a TPG file: yields consecutive vertices together
+/// with their neighborhoods without ever materializing the full edge array.
+/// The reader holds an internal buffer of at most `buffer_edges` edges; this
+/// bounds its memory at O(buffer) + O(1), which is what makes single-pass
+/// compression and the semi-external algorithms possible.
+class TpgStreamReader {
+public:
+  explicit TpgStreamReader(const std::filesystem::path &path, std::size_t buffer_edges = 1 << 20);
+  ~TpgStreamReader();
+
+  TpgStreamReader(const TpgStreamReader &) = delete;
+  TpgStreamReader &operator=(const TpgStreamReader &) = delete;
+
+  [[nodiscard]] const TpgHeader &header() const { return _header; }
+
+  /// One streamed vertex: its ID, weight, and neighborhood views. The spans
+  /// are valid only until the next call to next_packet().
+  struct Packet {
+    NodeID first_node = 0;
+    NodeID num_nodes = 0;
+    /// degrees[i] = degree of vertex first_node + i
+    std::span<const NodeID> degrees;
+    std::span<const NodeWeight> node_weights; ///< empty if unweighted
+    /// Concatenated neighborhoods of the packet's vertices.
+    std::span<const NodeID> targets;
+    std::span<const EdgeWeight> edge_weights; ///< empty if unweighted
+  };
+
+  /// Reads the next packet of consecutive vertices totalling roughly the
+  /// buffer capacity in edges. Returns false at end of file.
+  [[nodiscard]] bool next_packet(Packet &packet);
+
+  /// Restarts streaming from the first vertex (semi-external algorithms make
+  /// several passes).
+  void rewind();
+
+private:
+  std::FILE *_file = nullptr;
+  TpgHeader _header;
+  NodeID _next_node = 0;
+  std::size_t _buffer_edges;
+
+  std::vector<EdgeID> _offsets;      // staged offsets for the current packet
+  std::vector<NodeID> _degrees;
+  std::vector<NodeWeight> _node_weights;
+  std::vector<NodeID> _targets;
+  std::vector<EdgeWeight> _edge_weights;
+
+  std::uint64_t _offsets_pos = 0;     // file offset of the P array
+  std::uint64_t _targets_pos = 0;     // file offset of the E array
+  std::uint64_t _node_weights_pos = 0;
+  std::uint64_t _edge_weights_pos = 0;
+};
+
+/// Writes `graph` in METIS text format (1-indexed).
+void write_metis(const std::filesystem::path &path, const CsrGraph &graph);
+
+/// Parses a METIS text file.
+[[nodiscard]] CsrGraph read_metis(const std::filesystem::path &path,
+                                  std::string memory_category = "graph");
+
+} // namespace terapart::io

@@ -1,0 +1,144 @@
+#include "graph/graph_utils.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/math.h"
+
+namespace terapart {
+
+Subgraph extract_subgraph(const CsrGraph &graph, std::span<const std::uint8_t> selector) {
+  TP_ASSERT(selector.size() == graph.n());
+
+  std::vector<NodeID> to_parent;
+  std::vector<NodeID> to_sub(graph.n(), kInvalidNodeID);
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    if (selector[u] != 0) {
+      to_sub[u] = static_cast<NodeID>(to_parent.size());
+      to_parent.push_back(u);
+    }
+  }
+
+  const auto sub_n = static_cast<NodeID>(to_parent.size());
+  std::vector<EdgeID> nodes(static_cast<std::size_t>(sub_n) + 1, 0);
+  for (NodeID s = 0; s < sub_n; ++s) {
+    NodeID kept = 0;
+    graph.for_each_neighbor(to_parent[s], [&](const NodeID v, EdgeWeight) {
+      kept += (to_sub[v] != kInvalidNodeID) ? 1 : 0;
+    });
+    nodes[s + 1] = nodes[s] + kept;
+  }
+
+  std::vector<NodeID> edges(nodes[sub_n]);
+  std::vector<EdgeWeight> edge_weights(graph.is_edge_weighted() ? nodes[sub_n] : 0);
+  std::vector<NodeWeight> node_weights(graph.is_node_weighted() ? sub_n : 0);
+  for (NodeID s = 0; s < sub_n; ++s) {
+    EdgeID out = nodes[s];
+    graph.for_each_neighbor(to_parent[s], [&](const NodeID v, const EdgeWeight w) {
+      const NodeID sv = to_sub[v];
+      if (sv != kInvalidNodeID) {
+        edges[out] = sv;
+        if (!edge_weights.empty()) {
+          edge_weights[out] = w;
+        }
+        ++out;
+      }
+    });
+    // Relabeling by a monotone map keeps neighborhoods sorted only if the
+    // selector preserves order — it does (to_sub is monotone on selected
+    // vertices), so no re-sort is needed.
+    if (!node_weights.empty()) {
+      node_weights[s] = graph.node_weight(to_parent[s]);
+    }
+  }
+
+  return Subgraph{CsrGraph(std::move(nodes), std::move(edges), std::move(node_weights),
+                           std::move(edge_weights), "graph/subgraph"),
+                  std::move(to_parent)};
+}
+
+CsrGraph permute_graph(const CsrGraph &graph, std::span<const NodeID> permutation) {
+  TP_ASSERT(permutation.size() == graph.n());
+  const NodeID n = graph.n();
+
+  std::vector<EdgeID> nodes(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeID u = 0; u < n; ++u) {
+    nodes[permutation[u] + 1] = graph.degree(u);
+  }
+  for (NodeID v = 0; v < n; ++v) {
+    nodes[v + 1] += nodes[v];
+  }
+
+  struct Neighbor {
+    NodeID target;
+    EdgeWeight weight;
+  };
+  std::vector<NodeID> edges(graph.m());
+  std::vector<EdgeWeight> edge_weights(graph.is_edge_weighted() ? graph.m() : 0);
+  std::vector<NodeWeight> node_weights(graph.is_node_weighted() ? n : 0);
+
+  std::vector<Neighbor> scratch;
+  for (NodeID u = 0; u < n; ++u) {
+    const NodeID nu = permutation[u];
+    scratch.clear();
+    graph.for_each_neighbor(
+        u, [&](const NodeID v, const EdgeWeight w) { scratch.push_back({permutation[v], w}); });
+    std::sort(scratch.begin(), scratch.end(),
+              [](const Neighbor &a, const Neighbor &b) { return a.target < b.target; });
+    EdgeID out = nodes[nu];
+    for (const Neighbor &neighbor : scratch) {
+      edges[out] = neighbor.target;
+      if (!edge_weights.empty()) {
+        edge_weights[out] = neighbor.weight;
+      }
+      ++out;
+    }
+    if (!node_weights.empty()) {
+      node_weights[nu] = graph.node_weight(u);
+    }
+  }
+
+  return CsrGraph(std::move(nodes), std::move(edges), std::move(node_weights),
+                  std::move(edge_weights), "graph/permuted");
+}
+
+std::vector<std::uint64_t> degree_histogram(const CsrGraph &graph) {
+  std::vector<std::uint64_t> histogram;
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    const NodeID degree = graph.degree(u);
+    const std::size_t bucket =
+        degree == 0 ? 0 : static_cast<std::size_t>(math::floor_log2<std::uint64_t>(degree)) + 1;
+    if (bucket >= histogram.size()) {
+      histogram.resize(bucket + 1, 0);
+    }
+    ++histogram[bucket];
+  }
+  return histogram;
+}
+
+NodeID count_connected_components(const CsrGraph &graph) {
+  std::vector<std::uint8_t> visited(graph.n(), 0);
+  std::vector<NodeID> queue;
+  NodeID components = 0;
+  for (NodeID start = 0; start < graph.n(); ++start) {
+    if (visited[start] != 0) {
+      continue;
+    }
+    ++components;
+    visited[start] = 1;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const NodeID u = queue.back();
+      queue.pop_back();
+      graph.for_each_neighbor(u, [&](const NodeID v, EdgeWeight) {
+        if (visited[v] == 0) {
+          visited[v] = 1;
+          queue.push_back(v);
+        }
+      });
+    }
+  }
+  return components;
+}
+
+} // namespace terapart

@@ -1,0 +1,37 @@
+/// @file graph_utils.h
+/// @brief Graph transformations used by initial partitioning and tests:
+/// vertex-subset-induced subgraphs, permutations, and simple statistics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace terapart {
+
+/// An induced subgraph together with the mapping back to the parent graph.
+struct Subgraph {
+  CsrGraph graph;
+  /// subgraph vertex id -> parent vertex id
+  std::vector<NodeID> to_parent;
+};
+
+/// Extracts the subgraph induced by the vertices u with selector[u] == true.
+/// Edges leaving the subset are dropped. Preserves node and edge weights.
+[[nodiscard]] Subgraph extract_subgraph(const CsrGraph &graph,
+                                        std::span<const std::uint8_t> selector);
+
+/// Returns the graph with vertices relabeled by `permutation`
+/// (new_id = permutation[old_id]); neighborhoods are re-sorted.
+[[nodiscard]] CsrGraph permute_graph(const CsrGraph &graph,
+                                     std::span<const NodeID> permutation);
+
+/// Degree histogram with power-of-two buckets: result[i] counts vertices with
+/// degree in [2^i, 2^(i+1)).
+[[nodiscard]] std::vector<std::uint64_t> degree_histogram(const CsrGraph &graph);
+
+/// Number of connected components (BFS; test/diagnostic use).
+[[nodiscard]] NodeID count_connected_components(const CsrGraph &graph);
+
+} // namespace terapart

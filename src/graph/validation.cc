@@ -1,0 +1,94 @@
+#include "graph/validation.h"
+
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace terapart {
+
+namespace {
+
+/// Binary search for v in u's (sorted) neighborhood; returns its weight or 0.
+EdgeWeight find_edge_weight(const CsrGraph &graph, const NodeID u, const NodeID v) {
+  const auto edges = graph.raw_edges();
+  EdgeID lo = graph.raw_nodes()[u];
+  EdgeID hi = graph.raw_nodes()[u + 1];
+  while (lo < hi) {
+    const EdgeID mid = lo + (hi - lo) / 2;
+    if (edges[mid] < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < graph.raw_nodes()[u + 1] && edges[lo] == v) {
+    return graph.edge_weight(lo);
+  }
+  return 0;
+}
+
+} // namespace
+
+GraphValidationResult validate_graph(const CsrGraph &graph) {
+  std::ostringstream error;
+  const auto fail = [&](auto &&...parts) {
+    (error << ... << parts);
+    return GraphValidationResult{false, error.str()};
+  };
+
+  const auto nodes = graph.raw_nodes();
+  const auto edges = graph.raw_edges();
+
+  if (nodes.size() != static_cast<std::size_t>(graph.n()) + 1) {
+    return fail("offset array has ", nodes.size(), " entries, expected n+1");
+  }
+  if (nodes.back() != graph.m()) {
+    return fail("last offset ", nodes.back(), " != m ", graph.m());
+  }
+
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    if (nodes[u] > nodes[u + 1]) {
+      return fail("offsets not monotone at vertex ", u);
+    }
+    NodeID prev = kInvalidNodeID;
+    for (EdgeID e = nodes[u]; e < nodes[u + 1]; ++e) {
+      const NodeID v = edges[e];
+      if (v >= graph.n()) {
+        return fail("edge target ", v, " out of range at vertex ", u);
+      }
+      if (v == u) {
+        return fail("self-loop at vertex ", u);
+      }
+      if (prev != kInvalidNodeID && v <= prev) {
+        return fail("neighborhood of ", u, " not strictly sorted (", prev, " then ", v, ")");
+      }
+      if (graph.edge_weight(e) <= 0) {
+        return fail("non-positive edge weight at vertex ", u);
+      }
+      prev = v;
+    }
+    if (graph.node_weight(u) <= 0) {
+      return fail("non-positive node weight at vertex ", u);
+    }
+  }
+
+  // Symmetry: every directed edge must have a reverse with equal weight.
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    for (EdgeID e = nodes[u]; e < nodes[u + 1]; ++e) {
+      const NodeID v = edges[e];
+      const EdgeWeight reverse = find_edge_weight(graph, v, u);
+      if (reverse != graph.edge_weight(e)) {
+        return fail("asymmetric edge {", u, ",", v, "}: ", graph.edge_weight(e), " vs ", reverse);
+      }
+    }
+  }
+
+  return {true, {}};
+}
+
+void expect_valid_graph(const CsrGraph &graph) {
+  const GraphValidationResult result = validate_graph(graph);
+  TP_ASSERT_MSG(result.ok, result.message.c_str());
+}
+
+} // namespace terapart

@@ -1,0 +1,28 @@
+/// @file validation.h
+/// @brief Structural invariant checks for graphs. Used by tests and by
+/// TP_HEAVY_ASSERT call sites; O(m log m) worst case, never on hot paths.
+#pragma once
+
+#include <string>
+
+#include "graph/csr_graph.h"
+
+namespace terapart {
+
+struct GraphValidationResult {
+  bool ok = true;
+  std::string message;
+};
+
+/// Checks the canonical-graph invariants:
+///  - offsets are monotone and consistent,
+///  - targets are in range and sorted within each neighborhood,
+///  - no self-loops, no duplicate targets,
+///  - the graph is symmetric with matching weights in both directions,
+///  - weights are positive.
+[[nodiscard]] GraphValidationResult validate_graph(const CsrGraph &graph);
+
+/// Like validate_graph but aborts with a message on failure (test helper).
+void expect_valid_graph(const CsrGraph &graph);
+
+} // namespace terapart

@@ -1,0 +1,99 @@
+#include "initial/bipartitioner.h"
+
+#include <numeric>
+#include <queue>
+
+namespace terapart {
+
+Bipartition greedy_graph_growing(const CsrGraph &graph, const NodeWeight target_block0_weight,
+                                 Random &rng) {
+  const NodeID n = graph.n();
+  Bipartition result;
+  result.partition.assign(n, 1);
+  if (n == 0) {
+    return result;
+  }
+
+  // Max-heap of (gain, vertex); stale entries are skipped on pop.
+  using Entry = std::pair<EdgeWeight, NodeID>;
+  std::priority_queue<Entry> frontier;
+  std::vector<EdgeWeight> gain(n, 0);
+  std::vector<std::uint8_t> in_region(n, 0);
+  std::vector<std::uint8_t> in_frontier(n, 0);
+
+  NodeWeight grown = 0;
+  NodeID scan_start = static_cast<NodeID>(rng.next_bounded(n));
+
+  while (grown < target_block0_weight) {
+    if (frontier.empty()) {
+      // Start (or restart, for disconnected graphs) from an unassigned seed.
+      NodeID seed = kInvalidNodeID;
+      for (NodeID probe = 0; probe < n; ++probe) {
+        const NodeID u = static_cast<NodeID>((scan_start + probe) % n);
+        if (in_region[u] == 0) {
+          seed = u;
+          break;
+        }
+      }
+      if (seed == kInvalidNodeID) {
+        break;
+      }
+      scan_start = seed + 1;
+      gain[seed] = 0;
+      in_frontier[seed] = 1;
+      frontier.push({0, seed});
+    }
+
+    const auto [entry_gain, u] = frontier.top();
+    frontier.pop();
+    if (in_region[u] != 0 || entry_gain != gain[u]) {
+      continue; // stale heap entry
+    }
+    in_region[u] = 1;
+    result.partition[u] = 0;
+    grown += graph.node_weight(u);
+
+    graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+      if (in_region[v] != 0) {
+        return;
+      }
+      if (in_frontier[v] == 0) {
+        // First contact: gain = w into region - (deg weight - w) out of it.
+        EdgeWeight total = 0;
+        graph.for_each_neighbor(v, [&](NodeID, const EdgeWeight wv) { total += wv; });
+        gain[v] = 2 * w - total;
+        in_frontier[v] = 1;
+      } else {
+        gain[v] += 2 * w;
+      }
+      frontier.push({gain[v], v});
+    });
+  }
+
+  result.block0_weight = grown;
+  return result;
+}
+
+Bipartition random_bipartition(const CsrGraph &graph, const NodeWeight target_block0_weight,
+                               Random &rng) {
+  const NodeID n = graph.n();
+  Bipartition result;
+  result.partition.assign(n, 1);
+
+  std::vector<NodeID> order(n);
+  std::iota(order.begin(), order.end(), NodeID{0});
+  rng.shuffle(order);
+
+  NodeWeight grown = 0;
+  for (const NodeID u : order) {
+    if (grown >= target_block0_weight) {
+      break;
+    }
+    result.partition[u] = 0;
+    grown += graph.node_weight(u);
+  }
+  result.block0_weight = grown;
+  return result;
+}
+
+} // namespace terapart

@@ -1,0 +1,33 @@
+/// @file bipartitioner.h
+/// @brief Initial 2-way partitioners used on the coarsest graph
+/// (Section II-B: "a portfolio of randomized sequential greedy graph growing
+/// heuristics and 2-way FM").
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "graph/csr_graph.h"
+
+namespace terapart {
+
+/// A 2-way split: blocks 0 and 1, with the weight that ended up in block 0.
+struct Bipartition {
+  std::vector<BlockID> partition;
+  NodeWeight block0_weight = 0;
+};
+
+/// Greedy graph growing: starts a BFS-like region from a random seed vertex,
+/// repeatedly absorbing the frontier vertex with the highest gain (edge
+/// weight into the region minus edge weight out of it) until the region holds
+/// ~`target_block0_weight`. Everything else is block 1.
+[[nodiscard]] Bipartition greedy_graph_growing(const CsrGraph &graph,
+                                               NodeWeight target_block0_weight, Random &rng);
+
+/// Random balanced split: vertices are shuffled and assigned to block 0 until
+/// the target weight is reached.
+[[nodiscard]] Bipartition random_bipartition(const CsrGraph &graph,
+                                             NodeWeight target_block0_weight, Random &rng);
+
+} // namespace terapart

@@ -1,0 +1,117 @@
+#include "initial/fm2way.h"
+
+#include <queue>
+
+#include "common/assert.h"
+
+namespace terapart {
+
+namespace {
+
+/// Gain of moving u to the other side: external - internal edge weight.
+EdgeWeight move_gain(const CsrGraph &graph, std::span<const BlockID> partition, const NodeID u) {
+  EdgeWeight gain = 0;
+  graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+    gain += partition[v] == partition[u] ? -w : w;
+  });
+  return gain;
+}
+
+} // namespace
+
+EdgeWeight fm2way_refine(const CsrGraph &graph, std::span<BlockID> partition,
+                         const std::array<BlockWeight, 2> max_block_weights,
+                         const Fm2WayConfig &config, Random &rng) {
+  const NodeID n = graph.n();
+  TP_ASSERT(partition.size() == n);
+
+  BlockWeight block_weight[2] = {0, 0};
+  for (NodeID u = 0; u < n; ++u) {
+    block_weight[partition[u]] += graph.node_weight(u);
+  }
+
+  std::vector<EdgeWeight> gain(n, 0);
+  std::vector<std::uint8_t> locked(n, 0);
+  EdgeWeight total_improvement = 0;
+
+  using Entry = std::pair<EdgeWeight, NodeID>;
+
+  for (int pass = 0; pass < config.max_passes; ++pass) {
+    std::fill(locked.begin(), locked.end(), std::uint8_t{0});
+    std::priority_queue<Entry> queue;
+    for (NodeID u = 0; u < n; ++u) {
+      gain[u] = move_gain(graph, partition, u);
+      // Tiny random perturbation via insertion order is unnecessary: ties are
+      // broken by vertex ID inside the heap; randomness comes from the
+      // portfolio seeds.
+      queue.push({gain[u], u});
+    }
+
+    // Move log for rollback: (vertex, gain at move time).
+    std::vector<NodeID> moved;
+    EdgeWeight pass_gain = 0;
+    EdgeWeight best_gain = 0;
+    std::size_t best_prefix = 0;
+    NodeID since_best = 0;
+
+    while (!queue.empty() && since_best < config.stop_after) {
+      const auto [entry_gain, u] = queue.top();
+      queue.pop();
+      if (locked[u] != 0 || entry_gain != gain[u]) {
+        continue;
+      }
+      const BlockID from = partition[u];
+      const BlockID to = 1 - from;
+      const NodeWeight weight = graph.node_weight(u);
+      if (block_weight[to] + weight > max_block_weights[to]) {
+        continue; // infeasible now; may become feasible later, but FM locks it
+      }
+
+      // Apply the move.
+      locked[u] = 1;
+      partition[u] = to;
+      block_weight[from] -= weight;
+      block_weight[to] += weight;
+      pass_gain += entry_gain;
+      moved.push_back(u);
+
+      if (pass_gain > best_gain) {
+        best_gain = pass_gain;
+        best_prefix = moved.size();
+        since_best = 0;
+      } else {
+        ++since_best;
+      }
+
+      graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+        if (locked[v] != 0) {
+          return;
+        }
+        // u switched sides: edges to u flip their contribution by 2w.
+        gain[v] += partition[v] == to ? -2 * w : 2 * w;
+        queue.push({gain[v], v});
+      });
+    }
+
+    // Roll back to the best prefix.
+    for (std::size_t i = moved.size(); i > best_prefix; --i) {
+      const NodeID u = moved[i - 1];
+      const BlockID from = partition[u];
+      const BlockID to = 1 - from;
+      partition[u] = to;
+      const NodeWeight weight = graph.node_weight(u);
+      block_weight[from] -= weight;
+      block_weight[to] += weight;
+    }
+
+    total_improvement += best_gain;
+    if (best_gain == 0) {
+      break;
+    }
+  }
+
+  (void)rng;
+  return total_improvement;
+}
+
+} // namespace terapart

@@ -1,0 +1,30 @@
+/// @file fm2way.h
+/// @brief Sequential 2-way Fiduccia–Mattheyses local search [1] used by the
+/// initial partitioning portfolio: passes of single-vertex moves with
+/// rollback to the best prefix.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "graph/csr_graph.h"
+
+namespace terapart {
+
+struct Fm2WayConfig {
+  int max_passes = 5;
+  /// A pass aborts after this many consecutive non-improving moves.
+  NodeID stop_after = 128;
+};
+
+/// Refines the 2-way `partition` in place; block b may not exceed
+/// max_block_weights[b] (the bounds differ when a bisection splits k into
+/// unequal halves). Returns the total cut improvement (>= 0).
+EdgeWeight fm2way_refine(const CsrGraph &graph, std::span<BlockID> partition,
+                         std::array<BlockWeight, 2> max_block_weights,
+                         const Fm2WayConfig &config, Random &rng);
+
+} // namespace terapart

@@ -1,0 +1,114 @@
+#include "initial/initial_partitioner.h"
+
+#include <cmath>
+
+#include "common/math.h"
+#include "graph/graph_utils.h"
+#include "initial/bipartitioner.h"
+#include "partition/metrics.h"
+
+namespace terapart {
+
+namespace {
+
+struct Bisector {
+  const InitialPartitioningConfig &config;
+  /// Per-bisection imbalance factor: (1 + eps_bisect)^depth ~= (1 + eps).
+  double bisect_factor;
+  Random rng;
+
+  /// Splits `graph` into blocks [block_offset, block_offset + k) of `out`
+  /// (indexed through to_parent-style identity: out is the full partition
+  /// vector of the *current* graph).
+  void run(const CsrGraph &graph, const BlockID k, const BlockID block_offset,
+           std::vector<BlockID> &out) {
+    TP_ASSERT(out.size() == graph.n());
+    if (k == 1 || graph.n() == 0) {
+      std::fill(out.begin(), out.end(), block_offset);
+      return;
+    }
+
+    const BlockID k0 = math::div_ceil(k, BlockID{2});
+    const BlockID k1 = k - k0;
+    const NodeWeight total = graph.total_node_weight();
+    const auto target0 = static_cast<NodeWeight>(
+        static_cast<double>(total) * static_cast<double>(k0) / static_cast<double>(k));
+    const std::array<BlockWeight, 2> max_weights = {
+        static_cast<BlockWeight>(bisect_factor * static_cast<double>(target0)) +
+            graph.max_node_weight(),
+        static_cast<BlockWeight>(bisect_factor * static_cast<double>(total - target0)) +
+            graph.max_node_weight()};
+
+    // Portfolio: alternate greedy growing and random splits; keep the best
+    // (feasible-first, then lowest cut).
+    Bipartition best;
+    EdgeWeight best_cut = 0;
+    bool best_feasible = false;
+    bool have_best = false;
+    for (int rep = 0; rep < std::max(1, config.repetitions); ++rep) {
+      Bipartition candidate = (rep % 2 == 0)
+                                  ? greedy_graph_growing(graph, target0, rng)
+                                  : random_bipartition(graph, target0, rng);
+      if (config.use_fm) {
+        fm2way_refine(graph, candidate.partition, max_weights, config.fm, rng);
+      }
+      const EdgeWeight cut = metrics::edge_cut(graph, candidate.partition);
+      NodeWeight w0 = 0;
+      for (NodeID u = 0; u < graph.n(); ++u) {
+        if (candidate.partition[u] == 0) {
+          w0 += graph.node_weight(u);
+        }
+      }
+      const bool feasible = static_cast<BlockWeight>(w0) <= max_weights[0] &&
+                            static_cast<BlockWeight>(total - w0) <= max_weights[1];
+      if (!have_best || (feasible && !best_feasible) ||
+          (feasible == best_feasible && cut < best_cut)) {
+        best = std::move(candidate);
+        best_cut = cut;
+        best_feasible = feasible;
+        have_best = true;
+      }
+    }
+
+    if (k == 2) {
+      for (NodeID u = 0; u < graph.n(); ++u) {
+        out[u] = block_offset + best.partition[u];
+      }
+      return;
+    }
+
+    // Recurse on the two induced subgraphs.
+    std::vector<std::uint8_t> selector(graph.n());
+    for (BlockID side = 0; side < 2; ++side) {
+      for (NodeID u = 0; u < graph.n(); ++u) {
+        selector[u] = best.partition[u] == side ? 1 : 0;
+      }
+      Subgraph sub = extract_subgraph(graph, selector);
+      std::vector<BlockID> sub_out(sub.graph.n());
+      run(sub.graph, side == 0 ? k0 : k1, side == 0 ? block_offset : block_offset + k0,
+          sub_out);
+      for (NodeID s = 0; s < sub.graph.n(); ++s) {
+        out[sub.to_parent[s]] = sub_out[s];
+      }
+    }
+  }
+};
+
+} // namespace
+
+std::vector<BlockID> initial_partition(const CsrGraph &graph, const BlockID k,
+                                       const double epsilon,
+                                       const InitialPartitioningConfig &config,
+                                       const std::uint64_t seed) {
+  TP_ASSERT(k >= 1);
+  const int depth = k > 1 ? math::ceil_log2(static_cast<std::uint32_t>(k)) : 1;
+  // Distribute the imbalance budget multiplicatively over the bisection tree.
+  const double bisect_factor = std::pow(1.0 + epsilon, 1.0 / static_cast<double>(depth));
+
+  Bisector bisector{config, bisect_factor, Random::stream(seed, 0x1217)};
+  std::vector<BlockID> partition(graph.n(), 0);
+  bisector.run(graph, k, 0, partition);
+  return partition;
+}
+
+} // namespace terapart

@@ -1,0 +1,30 @@
+/// @file initial_partitioner.h
+/// @brief k-way initial partitioning of the coarsest graph via recursive
+/// bisection over a randomized portfolio (greedy graph growing + random
+/// splits, each polished with 2-way FM; the best feasible candidate wins).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "initial/fm2way.h"
+
+namespace terapart {
+
+struct InitialPartitioningConfig {
+  /// Portfolio candidates per bisection (half greedy growing, half random).
+  int repetitions = 4;
+  bool use_fm = true;
+  Fm2WayConfig fm;
+};
+
+/// Partitions `graph` into k blocks with imbalance budget `epsilon`
+/// (distributed multiplicatively over the ~log2(k) bisection levels).
+/// Sequential; intended for the coarsest graph of the hierarchy.
+[[nodiscard]] std::vector<BlockID> initial_partition(const CsrGraph &graph, BlockID k,
+                                                     double epsilon,
+                                                     const InitialPartitioningConfig &config,
+                                                     std::uint64_t seed);
+
+} // namespace terapart

@@ -1,0 +1,38 @@
+/// @file atomic_utils.h
+/// @brief Small atomic helpers shared by the clustering / refinement code.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+
+namespace terapart::par {
+
+/// Atomically sets *target = max(*target, value).
+template <typename T> void atomic_max(std::atomic<T> &target, const T value) {
+  T seen = target.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !target.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Atomically adds `delta` to `target` iff the result stays <= `bound`.
+/// Returns true on success. This is the size-constrained move primitive of
+/// label propagation: a vertex may join a cluster/block only while its weight
+/// budget allows it.
+template <typename T>
+[[nodiscard]] bool atomic_add_if_leq(std::atomic<T> &target, const T delta, const T bound) {
+  T seen = target.load(std::memory_order_relaxed);
+  while (seen + delta <= bound) {
+    if (target.compare_exchange_weak(seen, seen + delta, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Relaxed fetch-add on a plain atomic; named for readability at call sites.
+template <typename T> T fetch_add_relaxed(std::atomic<T> &target, const T delta) {
+  return target.fetch_add(delta, std::memory_order_relaxed);
+}
+
+} // namespace terapart::par

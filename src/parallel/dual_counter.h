@@ -1,0 +1,57 @@
+/// @file dual_counter.h
+/// @brief The 128-bit dual counter of one-pass contraction (Section IV-B.2).
+///
+/// One-pass contraction must reserve, in a single transaction, (1) a range of
+/// `d` slots in the coarse edge array and (2) `s` consecutive coarse vertex
+/// IDs, so that neighborhoods of consecutively numbered coarse vertices land
+/// consecutively in the edge array. The two counters are packed into one
+/// 128-bit word — edges in the low 64 bits, vertices in the high 64 bits —
+/// and advanced with a double-width compare-and-swap loop (`cmpxchg16b` on
+/// x86-64, compiled with -mcx16; non-lock-free fallbacks via libatomic remain
+/// correct).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace terapart::par {
+
+class DualCounter {
+public:
+  struct Reservation {
+    std::uint64_t edge_begin;   ///< value of d before the transaction
+    std::uint64_t vertex_begin; ///< value of s before the transaction
+  };
+
+  DualCounter() = default;
+
+  /// Atomically performs { d += num_edges; s += num_vertices; } and returns
+  /// the pre-transaction values.
+  Reservation fetch_add(const std::uint64_t num_edges, const std::uint64_t num_vertices) {
+    const Packed delta = (static_cast<Packed>(num_vertices) << 64) | num_edges;
+    Packed seen = _packed.load(std::memory_order_relaxed);
+    while (!_packed.compare_exchange_weak(seen, seen + delta, std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+    }
+    return unpack(seen);
+  }
+
+  /// Current (d, s) — only meaningful once all writers finished.
+  [[nodiscard]] Reservation load() const {
+    return unpack(_packed.load(std::memory_order_acquire));
+  }
+
+  void reset() { _packed.store(0, std::memory_order_relaxed); }
+
+private:
+  using Packed = unsigned __int128;
+
+  [[nodiscard]] static Reservation unpack(const Packed packed) {
+    return {static_cast<std::uint64_t>(packed),
+            static_cast<std::uint64_t>(packed >> 64)};
+  }
+
+  alignas(16) std::atomic<Packed> _packed{0};
+};
+
+} // namespace terapart::par

@@ -1,0 +1,122 @@
+/// @file parallel_for.h
+/// @brief Data-parallel loop primitives built on the thread pool, mirroring
+/// OpenMP's `parallel for` with static and dynamic scheduling.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+
+#include "common/math.h"
+#include "parallel/thread_pool.h"
+
+namespace terapart::par {
+
+/// Dynamic scheduling: threads repeatedly grab chunks of ~`grain` iterations
+/// from a shared counter and invoke `fn(chunk_begin, chunk_end)`. Use for
+/// loops with irregular per-iteration cost (vertex loops over skewed-degree
+/// graphs).
+template <std::unsigned_integral Index, typename Fn>
+void parallel_for_chunked(const Index begin, const Index end, const Index grain, Fn &&fn) {
+  if (begin >= end) {
+    return;
+  }
+  const Index n = end - begin;
+  const int p = num_threads();
+  if (p == 1 || n <= grain) {
+    fn(begin, end);
+    return;
+  }
+
+  std::atomic<Index> next{begin};
+  ThreadPool::global().run_on_all([&](int) {
+    while (true) {
+      const Index chunk_begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (chunk_begin >= end) {
+        return;
+      }
+      const Index chunk_end = chunk_begin + grain < end ? chunk_begin + grain : end;
+      fn(chunk_begin, chunk_end);
+    }
+  });
+}
+
+/// Dynamic scheduling with a default grain that yields ~8 chunks per thread.
+template <std::unsigned_integral Index, typename Fn>
+void parallel_for(const Index begin, const Index end, Fn &&fn) {
+  if (begin >= end) {
+    return;
+  }
+  const Index n = end - begin;
+  const auto p = static_cast<Index>(num_threads());
+  const Index grain = std::max<Index>(1, n / (8 * p));
+  parallel_for_chunked(begin, end, grain, std::forward<Fn>(fn));
+}
+
+/// Per-element convenience wrapper: `fn(i)` for i in [begin, end).
+template <std::unsigned_integral Index, typename Fn>
+void parallel_for_each(const Index begin, const Index end, Fn &&fn) {
+  parallel_for(begin, end, [&](const Index chunk_begin, const Index chunk_end) {
+    for (Index i = chunk_begin; i < chunk_end; ++i) {
+      fn(i);
+    }
+  });
+}
+
+/// Static scheduling: the range is split into exactly p equal chunks and
+/// `fn(thread_id, chunk_begin, chunk_end)` runs once per thread. Use when the
+/// caller needs a stable iteration->thread mapping (e.g. per-thread buffers
+/// that are combined in thread order).
+template <std::unsigned_integral Index, typename Fn>
+void parallel_for_static(const Index begin, const Index end, Fn &&fn) {
+  const auto p = static_cast<Index>(num_threads());
+  const Index n = end - begin;
+  if (n == 0) {
+    return;
+  }
+  ThreadPool::global().run_on_all([&](const int t) {
+    const auto [rel_begin, rel_end] =
+        math::chunk_bounds<Index>(n, p, static_cast<Index>(t));
+    if (rel_begin < rel_end) {
+      fn(t, begin + rel_begin, begin + rel_end);
+    }
+  });
+}
+
+/// Parallel sum reduction of `fn(i)` over [begin, end).
+template <std::unsigned_integral Index, typename Fn>
+[[nodiscard]] auto parallel_sum(const Index begin, const Index end, Fn &&fn) {
+  using Value = decltype(fn(begin));
+  std::atomic<Value> total{Value{}};
+  parallel_for(begin, end, [&](const Index chunk_begin, const Index chunk_end) {
+    Value local{};
+    for (Index i = chunk_begin; i < chunk_end; ++i) {
+      local += fn(i);
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+  });
+  return total.load(std::memory_order_relaxed);
+}
+
+/// Parallel max reduction of `fn(i)` over [begin, end); returns `identity`
+/// for an empty range.
+template <std::unsigned_integral Index, typename Fn, typename Value>
+[[nodiscard]] Value parallel_max(const Index begin, const Index end, const Value identity,
+                                 Fn &&fn) {
+  std::atomic<Value> result{identity};
+  parallel_for(begin, end, [&](const Index chunk_begin, const Index chunk_end) {
+    Value local = identity;
+    for (Index i = chunk_begin; i < chunk_end; ++i) {
+      const Value value = fn(i);
+      if (value > local) {
+        local = value;
+      }
+    }
+    Value seen = result.load(std::memory_order_relaxed);
+    while (local > seen &&
+           !result.compare_exchange_weak(seen, local, std::memory_order_relaxed)) {
+    }
+  });
+  return result.load(std::memory_order_relaxed);
+}
+
+} // namespace terapart::par

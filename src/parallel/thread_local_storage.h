@@ -1,0 +1,68 @@
+/// @file thread_local_storage.h
+/// @brief Per-thread object storage indexed by pool thread id.
+///
+/// This is how the O(np) auxiliary memory of classic label propagation
+/// manifests: one rating map per thread. The two-phase variants replace most
+/// uses of this class with shared O(n) structures; where per-thread state
+/// remains (fixed-capacity hash tables, first-setter lists), the objects are
+/// cache-line padded to prevent false sharing.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/assert.h"
+#include "parallel/thread_pool.h"
+
+namespace terapart::par {
+
+template <typename T> class ThreadLocal {
+public:
+  /// Constructs one T per pool thread via `factory()`.
+  template <typename Factory> explicit ThreadLocal(Factory &&factory) {
+    const int p = num_threads();
+    _slots.reserve(static_cast<std::size_t>(p));
+    for (int t = 0; t < p; ++t) {
+      _slots.emplace_back(std::make_unique<Padded>(factory()));
+    }
+  }
+
+  /// Default-constructs one T per pool thread.
+  ThreadLocal() : ThreadLocal([] { return T{}; }) {}
+
+  /// The calling pool thread's instance.
+  [[nodiscard]] T &local() { return get(ThreadPool::this_thread_id()); }
+
+  [[nodiscard]] T &get(const int thread_id) {
+    TP_ASSERT(thread_id >= 0 && static_cast<std::size_t>(thread_id) < _slots.size());
+    return _slots[static_cast<std::size_t>(thread_id)]->value;
+  }
+
+  [[nodiscard]] std::size_t size() const { return _slots.size(); }
+
+  /// Invokes `fn(instance)` for every per-thread instance (sequentially, on
+  /// the calling thread) — the combine step of a reduction.
+  template <typename Fn> void for_each(Fn &&fn) {
+    for (auto &slot : _slots) {
+      fn(slot->value);
+    }
+  }
+
+  template <typename Fn> void for_each(Fn &&fn) const {
+    for (const auto &slot : _slots) {
+      fn(slot->value);
+    }
+  }
+
+private:
+  struct alignas(64) Padded {
+    explicit Padded(T &&init) : value(std::move(init)) {}
+    explicit Padded(const T &init) : value(init) {}
+    T value;
+  };
+
+  std::vector<std::unique_ptr<Padded>> _slots;
+};
+
+} // namespace terapart::par

@@ -1,0 +1,124 @@
+#include "parallel/thread_pool.h"
+
+#include "common/assert.h"
+
+namespace terapart::par {
+
+namespace {
+thread_local int t_thread_id = 0;
+thread_local bool t_in_parallel = false;
+} // namespace
+
+ThreadPool &ThreadPool::global() {
+  static ThreadPool pool(1);
+  return pool;
+}
+
+ThreadPool::ThreadPool(const int num_threads) : _num_threads(std::max(1, num_threads)) {
+  start_workers();
+}
+
+ThreadPool::~ThreadPool() { stop_workers(); }
+
+void ThreadPool::start_workers() {
+  _workers.reserve(static_cast<std::size_t>(_num_threads) - 1);
+  for (int id = 1; id < _num_threads; ++id) {
+    _workers.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+void ThreadPool::stop_workers() {
+  {
+    std::lock_guard lock(_mutex);
+    _shutdown = true;
+  }
+  _work_ready.notify_all();
+  for (auto &worker : _workers) {
+    worker.join();
+  }
+  _workers.clear();
+  _shutdown = false;
+  // All workers are joined: safe to rewind the generation counter so that
+  // freshly spawned workers (which start at seen == 0) cannot race with a
+  // run_on_all that fires before their first wait. (A worker that reads the
+  // generation itself at startup could instead observe a *bumped* value and
+  // sleep through its first job.)
+  _generation = 0;
+  _pending = 0;
+}
+
+void ThreadPool::resize(const int num_threads) {
+  TP_ASSERT_MSG(!t_in_parallel, "cannot resize the pool from inside a parallel region");
+  stop_workers();
+  _num_threads = std::max(1, num_threads);
+  start_workers();
+}
+
+void ThreadPool::worker_loop(const int id) {
+  t_thread_id = id;
+  // Generation 0 is the freshly-(re)started pool state; see stop_workers().
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(int)> *job = nullptr;
+    {
+      std::unique_lock lock(_mutex);
+      _work_ready.wait(lock, [&] { return _shutdown || _generation != seen_generation; });
+      if (_shutdown) {
+        return;
+      }
+      seen_generation = _generation;
+      job = _job;
+    }
+    t_in_parallel = true;
+    (*job)(id);
+    t_in_parallel = false;
+    {
+      std::lock_guard lock(_mutex);
+      if (--_pending == 0) {
+        _work_done.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(int)> &job) {
+  if (t_in_parallel || _num_threads == 1) {
+    // Nested (or single-threaded) region: run sequentially on this thread.
+    const bool was_nested = t_in_parallel;
+    t_in_parallel = true;
+    job(t_thread_id);
+    t_in_parallel = was_nested;
+    return;
+  }
+
+  {
+    std::lock_guard lock(_mutex);
+    TP_ASSERT_MSG(!_in_parallel, "concurrent run_on_all from multiple external threads");
+    _in_parallel = true;
+    _job = &job;
+    _pending = _num_threads - 1;
+    ++_generation;
+  }
+  _work_ready.notify_all();
+
+  // The caller participates as thread 0.
+  t_thread_id = 0;
+  t_in_parallel = true;
+  job(0);
+  t_in_parallel = false;
+
+  {
+    std::unique_lock lock(_mutex);
+    _work_done.wait(lock, [&] { return _pending == 0; });
+    _job = nullptr;
+    _in_parallel = false;
+  }
+}
+
+int ThreadPool::this_thread_id() { return t_thread_id; }
+
+void set_num_threads(const int p) { ThreadPool::global().resize(p); }
+
+int num_threads() { return ThreadPool::global().num_threads(); }
+
+} // namespace terapart::par

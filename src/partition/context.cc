@@ -1,0 +1,33 @@
+#include "partition/context.h"
+
+namespace terapart {
+
+Context kaminpar_context(const BlockID k, const std::uint64_t seed) {
+  Context ctx;
+  ctx.name = "kaminpar";
+  ctx.k = k;
+  ctx.seed = seed;
+  ctx.coarsening.lp.two_phase = false;
+  ctx.coarsening.contraction.one_pass = false;
+  return ctx;
+}
+
+Context terapart_context(const BlockID k, const std::uint64_t seed) {
+  Context ctx;
+  ctx.name = "terapart";
+  ctx.k = k;
+  ctx.seed = seed;
+  ctx.coarsening.lp.two_phase = true;
+  ctx.coarsening.contraction.one_pass = true;
+  return ctx;
+}
+
+Context terapart_fm_context(const BlockID k, const std::uint64_t seed) {
+  Context ctx = terapart_context(k, seed);
+  ctx.name = "terapart-fm";
+  ctx.use_fm = true;
+  ctx.fm.gain_table = GainTableKind::kSparse;
+  return ctx;
+}
+
+} // namespace terapart

@@ -1,0 +1,52 @@
+/// @file context.h
+/// @brief Full configuration of a partitioning run plus the named presets
+/// used throughout the paper's experiments.
+///
+/// The optimization ladder of Figures 1/4/6 corresponds to toggles here:
+///   kaminpar()                 — classic LP (O(np)), buffered contraction
+///   + two-phase LP             — coarsening.lp.two_phase = true
+///   + graph compression        — callers pass a CompressedGraph input
+///   + one-pass contraction     — coarsening.contraction.one_pass = true
+///   = terapart()
+///   terapart_fm()              — + parallel FM with the sparse gain table
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "coarsening/coarsener.h"
+#include "initial/initial_partitioner.h"
+#include "refinement/fm_refiner.h"
+#include "refinement/lp_refiner.h"
+
+namespace terapart {
+
+struct Context {
+  std::string name = "custom";
+
+  BlockID k = 2;
+  /// Balance constraint: |V_i| <= (1 + epsilon) * ceil(W / k).
+  double epsilon = 0.03;
+  std::uint64_t seed = 1;
+
+  CoarseningConfig coarsening;
+  InitialPartitioningConfig initial;
+  LpRefinementConfig lp_refinement;
+
+  /// Optional FM refinement stage (Section VI-B).
+  bool use_fm = false;
+  FmConfig fm;
+};
+
+/// Baseline KaMinPar: classic label propagation (per-thread O(n) rating
+/// maps) and buffered contraction.
+[[nodiscard]] Context kaminpar_context(BlockID k, std::uint64_t seed = 1);
+
+/// TeraPart: two-phase label propagation + one-pass contraction. (Graph
+/// compression is a property of the *input graph*: pass a CompressedGraph.)
+[[nodiscard]] Context terapart_context(BlockID k, std::uint64_t seed = 1);
+
+/// TeraPart-FM: TeraPart plus parallel k-way FM with the sparse gain table.
+[[nodiscard]] Context terapart_fm_context(BlockID k, std::uint64_t seed = 1);
+
+} // namespace terapart

@@ -1,0 +1,37 @@
+#include "partition/metrics.h"
+
+#include "common/math.h"
+
+namespace terapart::metrics {
+
+BlockWeight max_block_weight(const NodeWeight total_node_weight, const BlockID k,
+                             const double epsilon) {
+  TP_ASSERT(k > 0);
+  const NodeWeight perfect = math::div_ceil(total_node_weight, static_cast<NodeWeight>(k));
+  return static_cast<BlockWeight>((1.0 + epsilon) * static_cast<double>(perfect));
+}
+
+double imbalance(std::span<const BlockWeight> weights, const NodeWeight total_node_weight) {
+  TP_ASSERT(!weights.empty());
+  const NodeWeight perfect =
+      math::div_ceil(total_node_weight, static_cast<NodeWeight>(weights.size()));
+  BlockWeight max = 0;
+  for (const BlockWeight weight : weights) {
+    max = std::max(max, weight);
+  }
+  return perfect == 0 ? 0.0
+                      : static_cast<double>(max) / static_cast<double>(perfect) - 1.0;
+}
+
+bool is_balanced(std::span<const BlockWeight> weights, const NodeWeight total_node_weight,
+                 const BlockID k, const double epsilon) {
+  const BlockWeight bound = max_block_weight(total_node_weight, k, epsilon);
+  for (const BlockWeight weight : weights) {
+    if (weight > bound) {
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace terapart::metrics

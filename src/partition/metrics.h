@@ -1,0 +1,56 @@
+/// @file metrics.h
+/// @brief Partition quality metrics: edge cut, balance, and the derived
+/// maximum block weight L_max = (1 + eps) * ceil(W / k).
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+#include "graph/csr_graph.h"
+
+namespace terapart::metrics {
+
+/// Sum of weights of edges crossing blocks (each undirected edge counted
+/// once).
+template <typename Graph>
+[[nodiscard]] EdgeWeight edge_cut(const Graph &graph, std::span<const BlockID> partition) {
+  TP_ASSERT(partition.size() == graph.n());
+  EdgeWeight doubled = par::parallel_sum<NodeID>(0, graph.n(), [&](const NodeID u) {
+    EdgeWeight local = 0;
+    graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+      if (partition[u] != partition[v]) {
+        local += w;
+      }
+    });
+    return local;
+  });
+  return doubled / 2;
+}
+
+/// L_max as defined by the balance constraint.
+[[nodiscard]] BlockWeight max_block_weight(NodeWeight total_node_weight, BlockID k,
+                                           double epsilon);
+
+/// Block weights of a partition.
+template <typename Graph>
+[[nodiscard]] std::vector<BlockWeight> block_weights(const Graph &graph,
+                                                     std::span<const BlockID> partition,
+                                                     const BlockID k) {
+  std::vector<BlockWeight> weights(k, 0);
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    TP_ASSERT(partition[u] < k);
+    weights[partition[u]] += graph.node_weight(u);
+  }
+  return weights;
+}
+
+/// Relative imbalance: max_b weight(b) / ceil(W / k) - 1. A partition is
+/// balanced for epsilon iff imbalance <= epsilon (up to rounding).
+[[nodiscard]] double imbalance(std::span<const BlockWeight> weights,
+                               NodeWeight total_node_weight);
+
+/// True iff every block respects L_max.
+[[nodiscard]] bool is_balanced(std::span<const BlockWeight> weights,
+                               NodeWeight total_node_weight, BlockID k, double epsilon);
+
+} // namespace terapart::metrics

@@ -1,0 +1,3 @@
+// PartitionedGraph is header-only (templated constructor); this TU exists to
+// give the header a home in the library and catch ODR/compile issues early.
+#include "partition/partitioned_graph.h"

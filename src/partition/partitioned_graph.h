@@ -1,0 +1,107 @@
+/// @file partitioned_graph.h
+/// @brief A k-way partition overlay: block assignment per vertex plus
+/// atomically maintained block weights. Graph-representation agnostic — the
+/// graph is passed to the constructor only to read node weights.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+#include "parallel/atomic_utils.h"
+#include "parallel/parallel_for.h"
+
+namespace terapart {
+
+class PartitionedGraph {
+public:
+  PartitionedGraph() = default;
+
+  /// Adopts `partition` (one block per vertex, all < k) and computes block
+  /// weights from the graph's node weights.
+  template <typename Graph>
+  PartitionedGraph(const Graph &graph, const BlockID k, std::vector<BlockID> partition)
+      : _k(k), _partition(std::move(partition)), _block_weights(k) {
+    TP_ASSERT(_partition.size() == graph.n());
+    for (auto &weight : _block_weights) {
+      weight.store(0, std::memory_order_relaxed);
+    }
+    // Sequentialized per block via atomics; cheap relative to partitioning.
+    par::parallel_for_each<NodeID>(0, graph.n(), [&](const NodeID u) {
+      TP_ASSERT(_partition[u] < k);
+      _block_weights[_partition[u]].fetch_add(graph.node_weight(u), std::memory_order_relaxed);
+    });
+  }
+
+  [[nodiscard]] BlockID k() const { return _k; }
+  [[nodiscard]] NodeID n() const { return static_cast<NodeID>(_partition.size()); }
+
+  [[nodiscard]] BlockID block(const NodeID u) const {
+    return std::atomic_ref(const_cast<BlockID &>(_partition[u]))
+        .load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] BlockWeight block_weight(const BlockID b) const {
+    return _block_weights[b].load(std::memory_order_relaxed);
+  }
+
+  /// Attempts to move u to `to`, honoring the max block weight; returns false
+  /// (state unchanged) if the target block lacks room or u is already there.
+  bool try_move(const NodeID u, const NodeWeight u_weight, const BlockID to,
+                const BlockWeight max_block_weight) {
+    const BlockID from = block(u);
+    if (from == to) {
+      return false;
+    }
+    if (!par::atomic_add_if_leq(_block_weights[to], static_cast<BlockWeight>(u_weight),
+                                max_block_weight)) {
+      return false;
+    }
+    _block_weights[from].fetch_sub(u_weight, std::memory_order_relaxed);
+    set_block(u, to);
+    return true;
+  }
+
+  /// Unconditional move (FM rollback, rebalancing): block weights may
+  /// temporarily exceed the bound; callers restore balance afterwards.
+  void force_move(const NodeID u, const NodeWeight u_weight, const BlockID to) {
+    const BlockID from = block(u);
+    if (from == to) {
+      return;
+    }
+    _block_weights[to].fetch_add(u_weight, std::memory_order_relaxed);
+    _block_weights[from].fetch_sub(u_weight, std::memory_order_relaxed);
+    set_block(u, to);
+  }
+
+  [[nodiscard]] const std::vector<BlockID> &partition() const { return _partition; }
+  [[nodiscard]] std::vector<BlockID> take_partition() { return std::move(_partition); }
+
+  [[nodiscard]] BlockWeight max_block_weight_actual() const {
+    BlockWeight max = 0;
+    for (const auto &weight : _block_weights) {
+      max = std::max(max, weight.load(std::memory_order_relaxed));
+    }
+    return max;
+  }
+
+  [[nodiscard]] BlockWeight total_weight() const {
+    BlockWeight total = 0;
+    for (const auto &weight : _block_weights) {
+      total += weight.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+private:
+  void set_block(const NodeID u, const BlockID b) {
+    std::atomic_ref(_partition[u]).store(b, std::memory_order_relaxed);
+  }
+
+  BlockID _k = 0;
+  std::vector<BlockID> _partition;
+  std::vector<std::atomic<BlockWeight>> _block_weights;
+};
+
+} // namespace terapart

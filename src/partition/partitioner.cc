@@ -1,0 +1,132 @@
+#include "partition/partitioner.h"
+
+#include "common/logging.h"
+#include "partition/metrics.h"
+#include "partition/partitioned_graph.h"
+#include "refinement/fm_refiner.h"
+#include "refinement/lp_refiner.h"
+#include "refinement/rebalancer.h"
+
+namespace terapart {
+
+namespace {
+
+/// Refinement applied at every level: size-constrained LP, then (optionally)
+/// FM + rebalancing, mirroring KaMinPar's stage order.
+template <typename Graph>
+void refine_level(const Graph &graph, PartitionedGraph &partitioned, const Context &ctx,
+                  const BlockWeight level_max_block_weight, const std::uint64_t seed) {
+  lp_refine(graph, partitioned, level_max_block_weight, ctx.lp_refinement, seed);
+  if (ctx.use_fm) {
+    fm_refine(graph, partitioned, level_max_block_weight, ctx.fm, seed + 1);
+    rebalance(graph, partitioned, level_max_block_weight);
+  }
+}
+
+/// The balance bound at a level must admit the level's heaviest vertex,
+/// otherwise coarse-level refinement could wedge.
+template <typename Graph>
+BlockWeight level_bound(const Graph &graph, const BlockWeight max_block_weight) {
+  return std::max<BlockWeight>(max_block_weight, graph.max_node_weight());
+}
+
+} // namespace
+
+template <typename Graph>
+PartitionResult partition_graph(const Graph &graph, const Context &ctx) {
+  PartitionResult result;
+  const BlockID k = std::max<BlockID>(1, ctx.k);
+
+  if (graph.n() == 0 || k == 1) {
+    result.partition.assign(graph.n(), 0);
+    result.balanced = true;
+    return result;
+  }
+
+  const BlockWeight max_block_weight =
+      metrics::max_block_weight(graph.total_node_weight(), k, ctx.epsilon);
+
+  // --- Coarsening ---
+  GraphHierarchy hierarchy;
+  {
+    auto scope = result.timers.scope("coarsening");
+    hierarchy = coarsen(graph, ctx.coarsening, k, ctx.seed);
+  }
+  result.num_levels = static_cast<int>(hierarchy.num_levels());
+  result.levels.push_back({graph.n(), graph.m(), graph.max_degree(), graph.memory_bytes()});
+  for (const CsrGraph &level : hierarchy.graphs) {
+    result.levels.push_back({level.n(), level.m(), level.max_degree(), level.memory_bytes()});
+  }
+
+  // --- Initial partitioning (sequential, on the coarsest graph) ---
+  std::vector<BlockID> coarse_partition;
+  {
+    auto scope = result.timers.scope("initial_partitioning");
+    if (!hierarchy.empty()) {
+      coarse_partition =
+          initial_partition(hierarchy.coarsest(), k, ctx.epsilon, ctx.initial, ctx.seed);
+    } else if constexpr (Graph::is_compressed()) {
+      // No hierarchy and a compressed input: materialize CSR once for the
+      // sequential initial partitioner (small by definition of "no
+      // hierarchy"; see DESIGN.md).
+      const CsrGraph materialized = decompress_graph(graph, "graph/initial");
+      coarse_partition = initial_partition(materialized, k, ctx.epsilon, ctx.initial, ctx.seed);
+    } else {
+      coarse_partition = initial_partition(graph, k, ctx.epsilon, ctx.initial, ctx.seed);
+    }
+  }
+
+  // --- Uncoarsening: refine, project, repeat ---
+  {
+    auto scope = result.timers.scope("refinement");
+    if (!hierarchy.empty()) {
+      PartitionedGraph partitioned(hierarchy.coarsest(), k, std::move(coarse_partition));
+      refine_level(hierarchy.coarsest(), partitioned, ctx,
+                   level_bound(hierarchy.coarsest(), max_block_weight), ctx.seed + 13);
+      coarse_partition = partitioned.take_partition();
+
+      for (std::size_t level = hierarchy.num_levels(); level-- > 1;) {
+        // Project level -> level-1.
+        const std::vector<NodeID> &mapping = hierarchy.mappings[level];
+        const CsrGraph &finer = hierarchy.graphs[level - 1];
+        std::vector<BlockID> finer_partition(finer.n());
+        par::parallel_for_each<NodeID>(0, finer.n(), [&](const NodeID u) {
+          finer_partition[u] = coarse_partition[mapping[u]];
+        });
+        PartitionedGraph level_partitioned(finer, k, std::move(finer_partition));
+        refine_level(finer, level_partitioned, ctx, level_bound(finer, max_block_weight),
+                     ctx.seed + 13 + level);
+        coarse_partition = level_partitioned.take_partition();
+      }
+
+      // Project level 0 -> finest input graph.
+      const std::vector<NodeID> &mapping = hierarchy.mappings[0];
+      std::vector<BlockID> finest_partition(graph.n());
+      par::parallel_for_each<NodeID>(0, graph.n(), [&](const NodeID u) {
+        finest_partition[u] = coarse_partition[mapping[u]];
+      });
+      coarse_partition = std::move(finest_partition);
+    }
+
+    PartitionedGraph partitioned(graph, k, std::move(coarse_partition));
+    refine_level(graph, partitioned, ctx, max_block_weight, ctx.seed + 99);
+    // Balance is mandatory on the finest level: repair any residue before
+    // reporting.
+    rebalance(graph, partitioned, max_block_weight);
+    result.partition = partitioned.take_partition();
+  }
+
+  result.cut = metrics::edge_cut(graph, result.partition);
+  const auto weights = metrics::block_weights(graph, result.partition, k);
+  result.imbalance = metrics::imbalance(weights, graph.total_node_weight());
+  result.balanced = metrics::is_balanced(weights, graph.total_node_weight(), k, ctx.epsilon);
+  LOG_INFO << "partitioned n=" << graph.n() << " into k=" << k << ": cut=" << result.cut
+           << " imbalance=" << result.imbalance << " levels=" << result.num_levels;
+  return result;
+}
+
+template PartitionResult partition_graph<CsrGraph>(const CsrGraph &, const Context &);
+template PartitionResult partition_graph<CompressedGraph>(const CompressedGraph &,
+                                                          const Context &);
+
+} // namespace terapart

@@ -1,0 +1,40 @@
+/// @file partitioner.h
+/// @brief The multilevel partitioning driver (the public entry point of the
+/// library): coarsening -> initial partitioning -> uncoarsening with
+/// refinement, per Section II.
+#pragma once
+
+#include <vector>
+
+#include "common/timer.h"
+#include "compression/compressed_graph.h"
+#include "graph/csr_graph.h"
+#include "partition/context.h"
+
+namespace terapart {
+
+/// Shape of one level of the multilevel hierarchy (diagnostics / reports).
+struct LevelStats {
+  NodeID n = 0;
+  EdgeID m = 0;
+  NodeID max_degree = 0;
+  std::uint64_t memory_bytes = 0;
+};
+
+struct PartitionResult {
+  std::vector<BlockID> partition; ///< block per vertex of the input graph
+  EdgeWeight cut = 0;             ///< achieved edge cut
+  double imbalance = 0.0;         ///< max block weight / perfect weight - 1
+  bool balanced = false;          ///< imbalance within epsilon
+  int num_levels = 0;             ///< hierarchy depth used
+  PhaseTimer timers;              ///< coarsening / initial / refinement
+  /// Input graph followed by every coarse level, coarsest last.
+  std::vector<LevelStats> levels;
+};
+
+/// Partitions `graph` into ctx.k blocks. Works on CsrGraph and
+/// CompressedGraph inputs; all coarse levels are CSR.
+template <typename Graph>
+[[nodiscard]] PartitionResult partition_graph(const Graph &graph, const Context &ctx);
+
+} // namespace terapart

@@ -1,0 +1,2 @@
+// DenseGainTable is header-only; this TU anchors it in the build.
+#include "refinement/dense_gain_table.h"

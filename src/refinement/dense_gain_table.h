@@ -1,0 +1,62 @@
+/// @file dense_gain_table.h
+/// @brief The standard gain table: k affinity entries per vertex, O(nk)
+/// memory, lock-free atomic updates. This is the baseline that Section V's
+/// sparse table replaces.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/types.h"
+#include "partition/partitioned_graph.h"
+
+namespace terapart {
+
+class DenseGainTable {
+public:
+  DenseGainTable(const NodeID n, const BlockID k)
+      : _n(n), _k(k), _table(static_cast<std::size_t>(n) * k),
+        _tracked("fm/gain_table", static_cast<std::uint64_t>(n) * k * sizeof(EdgeWeight)) {}
+
+  template <typename Graph> void init(const Graph &graph, const PartitionedGraph &partitioned) {
+    par::parallel_for_each<NodeID>(0, _n, [&](const NodeID u) {
+      const std::size_t row = static_cast<std::size_t>(u) * _k;
+      for (BlockID b = 0; b < _k; ++b) {
+        _table[row + b].store(0, std::memory_order_relaxed);
+      }
+      graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+        // u's own row: no other thread writes it during init.
+        const EdgeWeight old =
+            _table[row + partitioned.block(v)].load(std::memory_order_relaxed);
+        _table[row + partitioned.block(v)].store(old + w, std::memory_order_relaxed);
+      });
+    });
+  }
+
+  template <typename Graph>
+  [[nodiscard]] EdgeWeight connection(const Graph &, const NodeID u, const BlockID b) const {
+    return _table[static_cast<std::size_t>(u) * _k + b].load(std::memory_order_relaxed);
+  }
+
+  template <typename Graph>
+  void notify_move(const Graph &graph, const NodeID u, const BlockID from, const BlockID to) {
+    graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+      const std::size_t row = static_cast<std::size_t>(v) * _k;
+      _table[row + from].fetch_sub(w, std::memory_order_relaxed);
+      _table[row + to].fetch_add(w, std::memory_order_relaxed);
+    });
+  }
+
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(_n) * _k * sizeof(EdgeWeight);
+  }
+
+private:
+  NodeID _n;
+  BlockID _k;
+  std::vector<std::atomic<EdgeWeight>> _table;
+  TrackedAlloc _tracked;
+};
+
+} // namespace terapart

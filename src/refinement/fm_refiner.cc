@@ -1,0 +1,263 @@
+#include "refinement/fm_refiner.h"
+
+#include <atomic>
+#include <queue>
+
+#include "common/memory_tracker.h"
+#include "common/random.h"
+#include "compression/compressed_graph.h"
+#include "graph/csr_graph.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_local_storage.h"
+#include "refinement/dense_gain_table.h"
+#include "refinement/on_the_fly_gains.h"
+#include "refinement/sparse_gain_table.h"
+
+namespace terapart {
+
+namespace {
+
+struct Move {
+  NodeID node;
+  BlockID from;
+  BlockID to;
+  EdgeWeight gain;
+};
+
+/// One localized search, run by a single thread.
+template <typename Graph, typename Table> struct LocalSearch {
+  LocalSearch(const Graph &graph, PartitionedGraph &partitioned, Table &table,
+              const FmConfig &config, const BlockWeight max_block_weight,
+              std::vector<std::atomic<std::uint8_t>> &claimed,
+              std::atomic<std::uint64_t> &gain_queries)
+      : graph(graph), partitioned(partitioned), table(table), config(config),
+        max_block_weight(max_block_weight), claimed(claimed), gain_queries(gain_queries) {}
+
+  const Graph &graph;
+  PartitionedGraph &partitioned;
+  Table &table;
+  const FmConfig &config;
+  BlockWeight max_block_weight;
+  std::vector<std::atomic<std::uint8_t>> &claimed;
+  std::atomic<std::uint64_t> &gain_queries;
+
+  using Entry = std::pair<EdgeWeight, NodeID>;
+  std::priority_queue<Entry> queue;
+  std::vector<Move> log;
+  std::uint64_t total_rollbacks = 0;
+
+  /// Best move for u among the blocks of its neighbors.
+  [[nodiscard]] std::pair<BlockID, EdgeWeight> best_move(const NodeID u) {
+    const BlockID from = partitioned.block(u);
+    const EdgeWeight internal = table.connection(graph, u, from);
+    gain_queries.fetch_add(1, std::memory_order_relaxed);
+
+    BlockID best = from;
+    EdgeWeight best_gain = 0;
+    bool first = true;
+    // Distinct adjacent blocks via a small stack-local scan; duplicates only
+    // cost a redundant (cached) connection query.
+    BlockID recent[4] = {from, from, from, from};
+    int recent_pos = 0;
+    graph.for_each_neighbor(u, [&](const NodeID v, EdgeWeight) {
+      const BlockID b = partitioned.block(v);
+      if (b == from || b == recent[0] || b == recent[1] || b == recent[2] || b == recent[3]) {
+        return;
+      }
+      recent[recent_pos] = b;
+      recent_pos = (recent_pos + 1) % 4;
+      const EdgeWeight gain = table.connection(graph, u, b) - internal;
+      gain_queries.fetch_add(1, std::memory_order_relaxed);
+      if (first || gain > best_gain) {
+        best = b;
+        best_gain = gain;
+        first = false;
+      }
+    });
+    return {best, first ? EdgeWeight{0} : best_gain};
+  }
+
+  /// Claims u for this search; a vertex belongs to at most one search per
+  /// round.
+  bool claim(const NodeID u) {
+    std::uint8_t expected = 0;
+    return claimed[u].compare_exchange_strong(expected, 1, std::memory_order_acq_rel);
+  }
+
+  /// Runs one search from `seed_vertex` (must already be claimed). Returns
+  /// the kept improvement.
+  EdgeWeight run(const NodeID seed_vertex) {
+    log.clear();
+    while (!queue.empty()) {
+      queue.pop();
+    }
+
+    {
+      const auto [to, gain] = best_move(seed_vertex);
+      if (to == partitioned.block(seed_vertex)) {
+        return 0;
+      }
+      queue.push({gain, seed_vertex});
+    }
+
+    EdgeWeight total_gain = 0;
+    EdgeWeight best_total = 0;
+    std::size_t best_prefix = 0;
+    NodeID since_best = 0;
+
+    while (!queue.empty() && log.size() < config.max_moves_per_search &&
+           since_best < config.stop_after) {
+      const auto [stale_gain, u] = queue.top();
+      queue.pop();
+
+      const auto [to, gain] = best_move(u);
+      const BlockID from = partitioned.block(u);
+      if (to == from) {
+        continue;
+      }
+      if (gain < stale_gain && !queue.empty() && gain < queue.top().first) {
+        // Stale: someone moved a neighbor; re-enqueue with the fresh gain.
+        queue.push({gain, u});
+        continue;
+      }
+
+      if (!partitioned.try_move(u, graph.node_weight(u), to, max_block_weight)) {
+        continue; // balance forbids it (for now); drop from this search
+      }
+      table.notify_move(graph, u, from, to);
+      log.push_back({u, from, to, gain});
+      total_gain += gain;
+      if (total_gain > best_total) {
+        best_total = total_gain;
+        best_prefix = log.size();
+        since_best = 0;
+      } else {
+        ++since_best;
+      }
+
+      // Expand: pull unclaimed neighbors into this search.
+      graph.for_each_neighbor(u, [&](const NodeID v, EdgeWeight) {
+        if (claimed[v].load(std::memory_order_relaxed) != 0 || !claim(v)) {
+          return;
+        }
+        const auto [vto, vgain] = best_move(v);
+        if (vto != partitioned.block(v)) {
+          queue.push({vgain, v});
+        }
+      });
+    }
+
+    // Roll back the non-improving suffix (reverse order).
+    for (std::size_t i = log.size(); i > best_prefix; --i) {
+      const Move &move = log[i - 1];
+      partitioned.force_move(move.node, graph.node_weight(move.node), move.from);
+      table.notify_move(graph, move.node, move.to, move.from);
+    }
+    total_rollbacks += log.size() - best_prefix;
+    log.resize(best_prefix);
+    return best_total;
+  }
+};
+
+template <typename Graph, typename Table>
+FmStats run_fm(const Graph &graph, PartitionedGraph &partitioned,
+               const BlockWeight max_block_weight, const FmConfig &config,
+               const std::uint64_t seed, Table &table) {
+  const NodeID n = graph.n();
+  FmStats stats;
+
+  table.init(graph, partitioned);
+
+  std::vector<std::atomic<std::uint8_t>> claimed(n);
+  TrackedAlloc aux_tracked("fm/aux", n * sizeof(std::uint8_t));
+  std::atomic<std::uint64_t> gain_queries{0};
+  std::atomic<EdgeWeight> improvement{0};
+  std::atomic<std::uint64_t> kept_moves{0};
+  std::atomic<std::uint64_t> rollbacks{0};
+
+  for (int round = 0; round < config.rounds; ++round) {
+    // Boundary vertices are the seeds.
+    par::ThreadLocal<std::vector<NodeID>> boundary_lists;
+    par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
+      claimed[u].store(0, std::memory_order_relaxed);
+      const BlockID b = partitioned.block(u);
+      bool is_boundary = false;
+      graph.for_each_neighbor(u, [&](const NodeID v, EdgeWeight) {
+        is_boundary = is_boundary || partitioned.block(v) != b;
+      });
+      if (is_boundary) {
+        boundary_lists.local().push_back(u);
+      }
+    });
+    std::vector<NodeID> boundary;
+    boundary_lists.for_each([&](std::vector<NodeID> &list) {
+      boundary.insert(boundary.end(), list.begin(), list.end());
+    });
+    if (boundary.empty()) {
+      break;
+    }
+    Random::stream(seed, static_cast<std::uint64_t>(round)).shuffle(boundary);
+
+    std::atomic<std::size_t> next_seed{0};
+    std::atomic<EdgeWeight> round_gain{0};
+    par::ThreadPool::global().run_on_all([&](int) {
+      LocalSearch<Graph, Table> search(graph, partitioned, table, config, max_block_weight,
+                                       claimed, gain_queries);
+      while (true) {
+        const std::size_t i = next_seed.fetch_add(1, std::memory_order_relaxed);
+        if (i >= boundary.size()) {
+          break;
+        }
+        const NodeID u = boundary[i];
+        if (!search.claim(u)) {
+          continue;
+        }
+        const EdgeWeight gain = search.run(u);
+        round_gain.fetch_add(gain, std::memory_order_relaxed);
+        kept_moves.fetch_add(search.log.size(), std::memory_order_relaxed);
+      }
+      rollbacks.fetch_add(search.total_rollbacks, std::memory_order_relaxed);
+    });
+    improvement.fetch_add(round_gain.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    if (round_gain.load(std::memory_order_relaxed) <= 0) {
+      break;
+    }
+  }
+
+  stats.improvement = improvement.load(std::memory_order_relaxed);
+  stats.moves = kept_moves.load(std::memory_order_relaxed);
+  stats.rollbacks = rollbacks.load(std::memory_order_relaxed);
+  stats.gain_queries = gain_queries.load(std::memory_order_relaxed);
+  return stats;
+}
+
+} // namespace
+
+template <typename Graph>
+FmStats fm_refine(const Graph &graph, PartitionedGraph &partitioned,
+                  const BlockWeight max_block_weight, const FmConfig &config,
+                  const std::uint64_t seed) {
+  switch (config.gain_table) {
+  case GainTableKind::kNone: {
+    OnTheFlyGains table(graph.n(), partitioned.k());
+    return run_fm(graph, partitioned, max_block_weight, config, seed, table);
+  }
+  case GainTableKind::kDense: {
+    DenseGainTable table(graph.n(), partitioned.k());
+    return run_fm(graph, partitioned, max_block_weight, config, seed, table);
+  }
+  case GainTableKind::kSparse: {
+    SparseGainTable table(graph, partitioned.k());
+    return run_fm(graph, partitioned, max_block_weight, config, seed, table);
+  }
+  }
+  return {};
+}
+
+template FmStats fm_refine<CsrGraph>(const CsrGraph &, PartitionedGraph &, BlockWeight,
+                                     const FmConfig &, std::uint64_t);
+template FmStats fm_refine<CompressedGraph>(const CompressedGraph &, PartitionedGraph &,
+                                            BlockWeight, const FmConfig &, std::uint64_t);
+
+} // namespace terapart

@@ -1,0 +1,49 @@
+/// @file fm_refiner.h
+/// @brief Shared-memory parallel localized k-way FM refinement [4], [15]
+/// (Section II-B / V of the paper).
+///
+/// Each thread grows localized searches from boundary seed vertices: it
+/// claims vertices (CAS on a shared ownership array), keeps a local priority
+/// queue of candidate moves ordered by gain, applies moves globally (atomic
+/// block weights), and finally rolls back the suffix of its move sequence
+/// after the best prefix — negative-gain excursions are kept only if they
+/// lead to an overall improvement.
+///
+/// Gains are answered by a gain table (Section V): dense O(nk), sparse O(m),
+/// or recomputed on the fly ("No Table"); the choice is the experiment of
+/// Figure 7.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "partition/partitioned_graph.h"
+#include "refinement/gain_table.h"
+
+namespace terapart {
+
+struct FmConfig {
+  GainTableKind gain_table = GainTableKind::kSparse;
+  /// Global FM rounds (each round re-seeds from the current boundary).
+  int rounds = 2;
+  /// Hard cap on moves per localized search.
+  NodeID max_moves_per_search = 256;
+  /// A search stops after this many moves without a new best prefix.
+  NodeID stop_after = 16;
+};
+
+struct FmStats {
+  EdgeWeight improvement = 0;   ///< total cut reduction
+  std::uint64_t moves = 0;      ///< applied (kept) moves
+  std::uint64_t rollbacks = 0;  ///< reverted moves
+  std::uint64_t gain_queries = 0;
+};
+
+/// Refines `partitioned` in place; returns statistics (improvement >= 0 up to
+/// concurrency noise). Rebalancing is the caller's responsibility (the
+/// partitioner runs the rebalancer + LP after FM, as KaMinPar does).
+template <typename Graph>
+FmStats fm_refine(const Graph &graph, PartitionedGraph &partitioned,
+                  BlockWeight max_block_weight, const FmConfig &config, std::uint64_t seed);
+
+} // namespace terapart

@@ -1,0 +1,40 @@
+/// @file gain_table.h
+/// @brief Common definitions for the FM gain (affinity) tables (Section V).
+///
+/// A gain table caches, for vertex u and block b, the affinity
+/// omega(u, b) = sum of weights of edges from u into b. The gain of moving u
+/// from block s to block t is then connection(u, t) - connection(u, s). After
+/// a move of u, the affinities of u's *neighbors* are updated.
+///
+/// Three implementations share the same (duck-typed) interface, so the FM
+/// refiner is templated on the table type:
+///   template <typename Graph> void init(const Graph&, const PartitionedGraph&);
+///   EdgeWeight connection(const Graph&, NodeID u, BlockID b) const;
+///   template <typename Graph> void notify_move(const Graph&, NodeID u,
+///                                              BlockID from, BlockID to);
+///   std::uint64_t memory_bytes() const;
+#pragma once
+
+#include <cstdint>
+
+namespace terapart {
+
+enum class GainTableKind {
+  kNone,  ///< recompute gains from the adjacency on every query (no memory)
+  kDense, ///< the standard O(nk) table
+  kSparse ///< the paper's O(m) space-efficient table
+};
+
+[[nodiscard]] constexpr const char *gain_table_name(const GainTableKind kind) {
+  switch (kind) {
+  case GainTableKind::kNone:
+    return "none";
+  case GainTableKind::kDense:
+    return "dense";
+  case GainTableKind::kSparse:
+    return "sparse";
+  }
+  return "?";
+}
+
+} // namespace terapart

@@ -1,0 +1,76 @@
+#include "refinement/lp_refiner.h"
+
+#include <atomic>
+
+#include "coarsening/rating_map.h"
+#include "common/random.h"
+#include "compression/compressed_graph.h"
+#include "graph/csr_graph.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_local_storage.h"
+
+namespace terapart {
+
+template <typename Graph>
+std::uint64_t lp_refine(const Graph &graph, PartitionedGraph &partitioned,
+                        const BlockWeight max_block_weight, const LpRefinementConfig &config,
+                        const std::uint64_t seed) {
+  const NodeID n = graph.n();
+  const BlockID k = partitioned.k();
+
+  // Rating maps over *blocks*: k entries per thread — O(pk), independent of n.
+  par::ThreadLocal<SparseRatingMap> maps([&] { return SparseRatingMap(k, "refinement/aux"); });
+  par::ThreadLocal<Random> rngs([&, t = 0]() mutable { return Random::stream(seed, 77 + t++); });
+
+  std::atomic<std::uint64_t> total_moves{0};
+  for (int round = 0; round < config.rounds; ++round) {
+    std::atomic<std::uint64_t> round_moves{0};
+    par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
+      if (graph.degree(u) == 0) {
+        return;
+      }
+      SparseRatingMap &map = maps.local();
+      graph.for_each_neighbor(
+          u, [&](const NodeID v, const EdgeWeight w) { map.add(partitioned.block(v), w); });
+
+      const BlockID current = partitioned.block(u);
+      Random &rng = rngs.local();
+      BlockID best = current;
+      EdgeWeight best_rating = map.get(current);
+      const NodeWeight u_weight = graph.node_weight(u);
+      map.for_each([&](const BlockID b, const EdgeWeight rating) {
+        if (b == current) {
+          return;
+        }
+        if (rating < best_rating ||
+            (rating == best_rating && (best != current || !rng.next_bool()))) {
+          return;
+        }
+        if (partitioned.block_weight(b) + u_weight > max_block_weight) {
+          return;
+        }
+        best = b;
+        best_rating = rating;
+      });
+      map.clear();
+
+      if (best != current && partitioned.try_move(u, u_weight, best, max_block_weight)) {
+        round_moves.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    total_moves.fetch_add(round_moves.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    if (round_moves.load(std::memory_order_relaxed) == 0) {
+      break;
+    }
+  }
+  return total_moves.load(std::memory_order_relaxed);
+}
+
+template std::uint64_t lp_refine<CsrGraph>(const CsrGraph &, PartitionedGraph &, BlockWeight,
+                                           const LpRefinementConfig &, std::uint64_t);
+template std::uint64_t lp_refine<CompressedGraph>(const CompressedGraph &, PartitionedGraph &,
+                                                  BlockWeight, const LpRefinementConfig &,
+                                                  std::uint64_t);
+
+} // namespace terapart

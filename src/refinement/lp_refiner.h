@@ -1,0 +1,25 @@
+/// @file lp_refiner.h
+/// @brief Size-constrained label propagation refinement [14]: vertices move
+/// to the adjacent block with the strongest connection, subject to the max
+/// block weight. Auxiliary memory is proportional to k (per thread), which
+/// the paper notes is negligible — this is TeraPart's default refiner.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "partition/partitioned_graph.h"
+
+namespace terapart {
+
+struct LpRefinementConfig {
+  int rounds = 5;
+};
+
+/// Refines `partitioned` in place. Returns the number of applied moves.
+template <typename Graph>
+std::uint64_t lp_refine(const Graph &graph, PartitionedGraph &partitioned,
+                        BlockWeight max_block_weight, const LpRefinementConfig &config,
+                        std::uint64_t seed);
+
+} // namespace terapart

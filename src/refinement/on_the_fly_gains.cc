@@ -1,0 +1,2 @@
+// OnTheFlyGains is header-only; this TU anchors it in the build.
+#include "refinement/on_the_fly_gains.h"

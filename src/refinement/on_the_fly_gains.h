@@ -1,0 +1,42 @@
+/// @file on_the_fly_gains.h
+/// @brief The "No Table" configuration of Figure 7: affinities are recomputed
+/// from the adjacency on every query. Zero memory, but gains are inspected
+/// far more often than moves are performed, so FM becomes ~2.7x slower on
+/// average (paper) — the benchmark reproduces that shape.
+#pragma once
+
+#include "common/types.h"
+#include "partition/partitioned_graph.h"
+
+namespace terapart {
+
+class OnTheFlyGains {
+public:
+  OnTheFlyGains(const NodeID, const BlockID) {}
+
+  template <typename Graph> void init(const Graph &, const PartitionedGraph &partitioned) {
+    _partitioned = &partitioned;
+  }
+
+  template <typename Graph>
+  [[nodiscard]] EdgeWeight connection(const Graph &graph, const NodeID u, const BlockID b) const {
+    EdgeWeight total = 0;
+    graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+      if (_partitioned->block(v) == b) {
+        total += w;
+      }
+    });
+    return total;
+  }
+
+  template <typename Graph> void notify_move(const Graph &, NodeID, BlockID, BlockID) {
+    // Nothing cached, nothing to update.
+  }
+
+  [[nodiscard]] static std::uint64_t memory_bytes() { return 0; }
+
+private:
+  const PartitionedGraph *_partitioned = nullptr;
+};
+
+} // namespace terapart

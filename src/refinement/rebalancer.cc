@@ -1,0 +1,113 @@
+#include "refinement/rebalancer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "coarsening/rating_map.h"
+#include "compression/compressed_graph.h"
+#include "graph/csr_graph.h"
+
+namespace terapart {
+
+namespace {
+
+struct Candidate {
+  NodeID node;
+  double relative_loss; ///< (internal - best external connection) / weight
+};
+
+} // namespace
+
+template <typename Graph>
+std::uint64_t rebalance(const Graph &graph, PartitionedGraph &partitioned,
+                        const BlockWeight max_block_weight) {
+  const BlockID k = partitioned.k();
+  std::uint64_t moves = 0;
+
+  // Sequential: rebalancing is rare and touches few vertices; determinism
+  // here simplifies the tests.
+  for (int pass = 0; pass < 8; ++pass) {
+    std::vector<std::uint8_t> overweight(k, 0);
+    bool any = false;
+    for (BlockID b = 0; b < k; ++b) {
+      if (partitioned.block_weight(b) > max_block_weight) {
+        overweight[b] = 1;
+        any = true;
+      }
+    }
+    if (!any) {
+      return moves;
+    }
+
+    // Collect candidates in overweight blocks, cheapest-to-move first.
+    std::vector<Candidate> candidates;
+    SparseRatingMap ratings(k, "refinement/aux");
+    for (NodeID u = 0; u < graph.n(); ++u) {
+      const BlockID from = partitioned.block(u);
+      if (overweight[from] == 0) {
+        continue;
+      }
+      graph.for_each_neighbor(
+          u, [&](const NodeID v, const EdgeWeight w) { ratings.add(partitioned.block(v), w); });
+      const EdgeWeight internal = ratings.get(from);
+      EdgeWeight best_external = 0;
+      ratings.for_each([&](const BlockID b, const EdgeWeight rating) {
+        if (b != from && rating > best_external) {
+          best_external = rating;
+        }
+      });
+      ratings.clear();
+      const auto weight = static_cast<double>(std::max<NodeWeight>(1, graph.node_weight(u)));
+      candidates.push_back({u, static_cast<double>(internal - best_external) / weight});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                return a.relative_loss < b.relative_loss;
+              });
+
+    for (const Candidate &candidate : candidates) {
+      const NodeID u = candidate.node;
+      const BlockID from = partitioned.block(u);
+      if (partitioned.block_weight(from) <= max_block_weight) {
+        continue; // block got light enough already
+      }
+      // Prefer the adjacent block with the strongest connection that has
+      // room; fall back to the globally lightest block.
+      graph.for_each_neighbor(
+          u, [&](const NodeID v, const EdgeWeight w) { ratings.add(partitioned.block(v), w); });
+      BlockID best = kInvalidBlockID;
+      EdgeWeight best_rating = -1;
+      const NodeWeight u_weight = graph.node_weight(u);
+      ratings.for_each([&](const BlockID b, const EdgeWeight rating) {
+        if (b == from || partitioned.block_weight(b) + u_weight > max_block_weight) {
+          return;
+        }
+        if (rating > best_rating) {
+          best = b;
+          best_rating = rating;
+        }
+      });
+      ratings.clear();
+      if (best == kInvalidBlockID) {
+        BlockWeight lightest = max_block_weight;
+        for (BlockID b = 0; b < k; ++b) {
+          if (b != from && partitioned.block_weight(b) + u_weight <= lightest) {
+            lightest = partitioned.block_weight(b) + u_weight;
+            best = b;
+          }
+        }
+      }
+      if (best != kInvalidBlockID &&
+          partitioned.try_move(u, u_weight, best, max_block_weight)) {
+        ++moves;
+      }
+    }
+  }
+  return moves;
+}
+
+template std::uint64_t rebalance<CsrGraph>(const CsrGraph &, PartitionedGraph &, BlockWeight);
+template std::uint64_t rebalance<CompressedGraph>(const CompressedGraph &, PartitionedGraph &,
+                                                  BlockWeight);
+
+} // namespace terapart

@@ -1,0 +1,20 @@
+/// @file rebalancer.h
+/// @brief Greedy rebalancing: after FM rollbacks or projection to a finer
+/// level, blocks can exceed L_max; the rebalancer moves minimum-loss vertices
+/// out of overweight blocks until the partition is feasible again (the
+/// "subsequent rebalancing step" of Section II-B).
+#pragma once
+
+#include "common/types.h"
+#include "partition/partitioned_graph.h"
+
+namespace terapart {
+
+/// Moves vertices out of overweight blocks; returns the number of moves.
+/// The loss of a move is connection(current) - connection(target); vertices
+/// with the smallest loss per unit weight move first.
+template <typename Graph>
+std::uint64_t rebalance(const Graph &graph, PartitionedGraph &partitioned,
+                        BlockWeight max_block_weight);
+
+} // namespace terapart

@@ -1,0 +1,2 @@
+// SparseGainTable is header-only; this TU anchors it in the build.
+#include "refinement/sparse_gain_table.h"

@@ -1,0 +1,268 @@
+/// @file sparse_gain_table.h
+/// @brief The space-efficient gain table of Section V: O(m) memory instead
+/// of O(nk).
+///
+/// Per-vertex storage:
+///  - vertices with deg(v) >= k keep a standard dense row of k entries
+///    (keyless),
+///  - vertices with deg(v) < k keep a tiny linear-probing hash table with
+///    fixed capacity Theta(deg(v)) — a vertex can be adjacent to at most
+///    deg(v) distinct blocks, and zero affinities are not stored,
+///  - the entry *value width* is chosen per vertex as the smallest
+///    w in {8, 16, 32, 64} bits with 2^w > U, where U is the vertex's total
+///    incident edge weight (an upper bound on any affinity),
+///  - all slices live in one contiguous byte arena; per vertex we keep the
+///    arena offset, the width code, and a dense/hash flag.
+///
+/// Deletions (affinity dropping to zero) move up subsequent elements to close
+/// the probing gap [Sanders et al., Basic Toolbox], so slot positions are
+/// unstable and every table is protected by a one-byte spinlock.
+///
+/// Total memory: O(sum_v min(deg(v), k)) ⊂ O(m).
+#pragma once
+
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "common/math.h"
+#include "common/memory_tracker.h"
+#include "common/spinlock.h"
+#include "common/types.h"
+#include "partition/partitioned_graph.h"
+
+namespace terapart {
+
+class SparseGainTable {
+public:
+  /// Builds the layout (offsets, widths, arena) from the degree / incident
+  /// weight structure of `graph`; affinities are filled by init().
+  template <typename Graph> SparseGainTable(const Graph &graph, const BlockID k) : _k(k) {
+    const NodeID n = graph.n();
+    _offsets.resize(n);
+    _meta.resize(n);
+    _locks = std::vector<Spinlock>(n);
+
+    std::uint64_t arena_bytes = 0;
+    for (NodeID u = 0; u < n; ++u) {
+      const NodeID degree = graph.degree(u);
+      EdgeWeight incident = 0;
+      graph.for_each_neighbor(u, [&](NodeID, const EdgeWeight w) { incident += w; });
+      const std::uint8_t width_code = width_code_for(incident);
+      const bool dense = degree >= k;
+      const std::uint32_t capacity =
+          dense ? k : math::ceil_pow2(2 * std::min<std::uint32_t>(std::max<NodeID>(degree, 1), k));
+      _offsets[u] = arena_bytes;
+      _meta[u] = static_cast<std::uint8_t>((dense ? 1 : 0) | (width_code << 1));
+      const std::uint64_t slot_bytes =
+          dense ? value_bytes(width_code) : sizeof(BlockID) + value_bytes(width_code);
+      arena_bytes += static_cast<std::uint64_t>(capacity) * slot_bytes;
+    }
+    _arena.assign(arena_bytes, 0);
+    // Hash slots need an explicit empty-key marker.
+    for (NodeID u = 0; u < n; ++u) {
+      if (!is_dense(u)) {
+        clear_hash_slots(u, hash_capacity(graph.degree(u)));
+      }
+      _capacity.push_back(is_dense(u) ? _k : hash_capacity(graph.degree(u)));
+    }
+
+    _tracked = TrackedAlloc("fm/gain_table", memory_bytes());
+  }
+
+  template <typename Graph> void init(const Graph &graph, const PartitionedGraph &partitioned) {
+    par::parallel_for_each<NodeID>(0, graph.n(), [&](const NodeID u) {
+      // u's slice is touched only by this thread during init.
+      graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+        add_unlocked(u, partitioned.block(v), w);
+      });
+    });
+  }
+
+  template <typename Graph>
+  [[nodiscard]] EdgeWeight connection(const Graph &, const NodeID u, const BlockID b) const {
+    std::lock_guard guard(_locks[u]);
+    return get_unlocked(u, b);
+  }
+
+  template <typename Graph>
+  void notify_move(const Graph &graph, const NodeID u, const BlockID from, const BlockID to) {
+    graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+      std::lock_guard guard(_locks[v]);
+      add_unlocked(v, from, -w);
+      add_unlocked(v, to, w);
+    });
+  }
+
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    return _arena.size() + _offsets.size() * sizeof(std::uint64_t) + _meta.size() +
+           _locks.size() + _capacity.size() * sizeof(std::uint32_t);
+  }
+
+  /// Test hook: affinity without the Graph parameter.
+  [[nodiscard]] EdgeWeight affinity(const NodeID u, const BlockID b) const {
+    std::lock_guard guard(_locks[u]);
+    return get_unlocked(u, b);
+  }
+
+private:
+  static constexpr BlockID kEmptyKey = kInvalidBlockID;
+
+  [[nodiscard]] static std::uint8_t width_code_for(const EdgeWeight incident) {
+    // Smallest width whose unsigned range can hold any affinity (<= incident).
+    const auto value = static_cast<std::uint64_t>(std::max<EdgeWeight>(incident, 1));
+    if (value < (1ULL << 8)) {
+      return 0;
+    }
+    if (value < (1ULL << 16)) {
+      return 1;
+    }
+    if (value < (1ULL << 32)) {
+      return 2;
+    }
+    return 3;
+  }
+
+  [[nodiscard]] static std::uint32_t value_bytes(const std::uint8_t width_code) {
+    return 1u << width_code;
+  }
+
+  [[nodiscard]] bool is_dense(const NodeID u) const { return (_meta[u] & 1) != 0; }
+  [[nodiscard]] std::uint8_t width_code(const NodeID u) const { return _meta[u] >> 1; }
+
+  [[nodiscard]] std::uint32_t hash_capacity(const NodeID degree) const {
+    return math::ceil_pow2(2 * std::min<std::uint32_t>(std::max<NodeID>(degree, 1), _k));
+  }
+
+  [[nodiscard]] std::uint64_t read_value(const std::uint8_t *ptr,
+                                         const std::uint8_t width_code) const {
+    std::uint64_t value = 0;
+    std::memcpy(&value, ptr, value_bytes(width_code));
+    return value;
+  }
+
+  void write_value(std::uint8_t *ptr, const std::uint8_t width_code, const std::uint64_t value) {
+    std::memcpy(ptr, &value, value_bytes(width_code));
+  }
+
+  [[nodiscard]] BlockID read_key(const std::uint8_t *slot) const {
+    BlockID key;
+    std::memcpy(&key, slot, sizeof(BlockID));
+    return key;
+  }
+
+  void write_key(std::uint8_t *slot, const BlockID key) {
+    std::memcpy(slot, &key, sizeof(BlockID));
+  }
+
+  void clear_hash_slots(const NodeID u, const std::uint32_t capacity) {
+    const std::uint32_t slot_bytes = sizeof(BlockID) + value_bytes(width_code(u));
+    std::uint8_t *base = _arena.data() + _offsets[u];
+    for (std::uint32_t s = 0; s < capacity; ++s) {
+      write_key(base + static_cast<std::uint64_t>(s) * slot_bytes, kEmptyKey);
+    }
+  }
+
+  [[nodiscard]] static std::uint32_t hash_block(const BlockID b) {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(b) * 0x9e3779b97f4a7c15ULL) >> 32);
+  }
+
+  [[nodiscard]] EdgeWeight get_unlocked(const NodeID u, const BlockID b) const {
+    const std::uint8_t code = width_code(u);
+    const std::uint8_t *base = _arena.data() + _offsets[u];
+    if (is_dense(u)) {
+      return static_cast<EdgeWeight>(
+          read_value(base + static_cast<std::uint64_t>(b) * value_bytes(code), code));
+    }
+    const std::uint32_t capacity = _capacity[u];
+    const std::uint32_t mask = capacity - 1;
+    const std::uint32_t slot_bytes = sizeof(BlockID) + value_bytes(code);
+    std::uint32_t slot = hash_block(b) & mask;
+    while (true) {
+      const std::uint8_t *ptr = base + static_cast<std::uint64_t>(slot) * slot_bytes;
+      const BlockID key = read_key(ptr);
+      if (key == b) {
+        return static_cast<EdgeWeight>(read_value(ptr + sizeof(BlockID), code));
+      }
+      if (key == kEmptyKey) {
+        return 0; // absent blocks have affinity zero (not stored)
+      }
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  void add_unlocked(const NodeID u, const BlockID b, const EdgeWeight delta) {
+    const std::uint8_t code = width_code(u);
+    std::uint8_t *base = _arena.data() + _offsets[u];
+    if (is_dense(u)) {
+      std::uint8_t *ptr = base + static_cast<std::uint64_t>(b) * value_bytes(code);
+      const auto current = static_cast<EdgeWeight>(read_value(ptr, code));
+      TP_ASSERT(current + delta >= 0);
+      write_value(ptr, code, static_cast<std::uint64_t>(current + delta));
+      return;
+    }
+
+    const std::uint32_t capacity = _capacity[u];
+    const std::uint32_t mask = capacity - 1;
+    const std::uint32_t slot_bytes = sizeof(BlockID) + value_bytes(code);
+    std::uint32_t slot = hash_block(b) & mask;
+    while (true) {
+      std::uint8_t *ptr = base + static_cast<std::uint64_t>(slot) * slot_bytes;
+      const BlockID key = read_key(ptr);
+      if (key == b) {
+        const auto current = static_cast<EdgeWeight>(read_value(ptr + sizeof(BlockID), code));
+        const EdgeWeight updated = current + delta;
+        TP_ASSERT(updated >= 0);
+        if (updated == 0) {
+          erase_slot(base, slot, mask, slot_bytes);
+        } else {
+          write_value(ptr + sizeof(BlockID), code, static_cast<std::uint64_t>(updated));
+        }
+        return;
+      }
+      if (key == kEmptyKey) {
+        TP_ASSERT_MSG(delta > 0, "decrement of an absent affinity");
+        write_key(ptr, b);
+        write_value(ptr + sizeof(BlockID), code, static_cast<std::uint64_t>(delta));
+        return;
+      }
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  /// Backward-shift deletion: moves up elements to close the probing gap, so
+  /// lookups never need tombstones.
+  void erase_slot(std::uint8_t *base, std::uint32_t slot, const std::uint32_t mask,
+                  const std::uint32_t slot_bytes) {
+    std::uint32_t hole = slot;
+    std::uint32_t probe = (slot + 1) & mask;
+    while (true) {
+      std::uint8_t *probe_ptr = base + static_cast<std::uint64_t>(probe) * slot_bytes;
+      const BlockID key = read_key(probe_ptr);
+      if (key == kEmptyKey) {
+        break;
+      }
+      const std::uint32_t home = hash_block(key) & mask;
+      // The element may move into the hole iff its home position does not lie
+      // (cyclically) strictly between the hole and its current slot.
+      const bool movable = ((probe - home) & mask) >= ((probe - hole) & mask);
+      if (movable) {
+        std::memcpy(base + static_cast<std::uint64_t>(hole) * slot_bytes, probe_ptr, slot_bytes);
+        hole = probe;
+      }
+      probe = (probe + 1) & mask;
+    }
+    write_key(base + static_cast<std::uint64_t>(hole) * slot_bytes, kEmptyKey);
+  }
+
+  BlockID _k = 0;
+  std::vector<std::uint64_t> _offsets;  ///< arena byte offset per vertex
+  std::vector<std::uint8_t> _meta;      ///< bit 0: dense; bits 1..2: width code
+  std::vector<std::uint32_t> _capacity; ///< slots per vertex
+  std::vector<std::uint8_t> _arena;
+  mutable std::vector<Spinlock> _locks;
+  TrackedAlloc _tracked;
+};
+
+} // namespace terapart

@@ -1,0 +1,50 @@
+/// @file terapart.h
+/// @brief Umbrella header: everything a library user needs.
+///
+/// Typical use:
+/// @code
+///   #include "terapart.h"
+///   using namespace terapart;
+///
+///   CsrGraph graph = io::read_metis("graph.metis");        // or gen::..., io::read_tpg
+///   CompressedGraph input = compress_graph_parallel(graph); // optional
+///   PartitionResult result = partition_graph(input, terapart_fm_context(/*k=*/32));
+/// @endcode
+#pragma once
+
+#include "common/types.h"
+
+#include "graph/csr_graph.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/graph_utils.h"
+#include "graph/validation.h"
+
+#include "compression/compressed_graph.h"
+#include "compression/encoder.h"
+#include "compression/parallel_compressor.h"
+
+#include "generators/benchmark_sets.h"
+#include "generators/generators.h"
+
+#include "partition/context.h"
+#include "partition/metrics.h"
+#include "partition/partitioned_graph.h"
+#include "partition/partitioner.h"
+
+#include "distributed/dist_graph.h"
+#include "distributed/dist_partitioner.h"
+
+#include "baselines/heistream_like.h"
+#include "baselines/metis_like.h"
+#include "baselines/semi_external.h"
+#include "baselines/xtrapulp_like.h"
+
+#include "refinement/dense_gain_table.h"
+#include "refinement/fm_refiner.h"
+#include "refinement/lp_refiner.h"
+#include "refinement/on_the_fly_gains.h"
+#include "refinement/rebalancer.h"
+#include "refinement/sparse_gain_table.h"
+
+#include "parallel/thread_pool.h"

@@ -1,0 +1,84 @@
+// Tests for the multilevel coarsening driver.
+#include <gtest/gtest.h>
+
+#include "coarsening/coarsener.h"
+#include "compression/encoder.h"
+#include "generators/generators.h"
+#include "graph/validation.h"
+#include "parallel/thread_pool.h"
+
+namespace terapart {
+namespace {
+
+TEST(Coarsener, BuildsAShrinkingHierarchy) {
+  const CsrGraph graph = gen::rgg2d(8000, 12, 3);
+  CoarseningConfig config;
+  config.contraction_limit_factor = 32;
+  const GraphHierarchy hierarchy = coarsen(graph, config, /*k=*/4, 7);
+  ASSERT_FALSE(hierarchy.empty());
+  NodeID previous = graph.n();
+  for (std::size_t level = 0; level < hierarchy.num_levels(); ++level) {
+    const CsrGraph &coarse = hierarchy.graphs[level];
+    expect_valid_graph(coarse);
+    EXPECT_LT(coarse.n(), previous);
+    EXPECT_EQ(coarse.total_node_weight(), graph.total_node_weight());
+    previous = coarse.n();
+  }
+  // The coarsest level reached the target (or converged close to it).
+  EXPECT_LT(hierarchy.coarsest().n(), graph.n() / 4);
+}
+
+TEST(Coarsener, MappingsComposeToTheFinestGraph) {
+  const CsrGraph graph = gen::rhg(4000, 12, 3.0, 9);
+  CoarseningConfig config;
+  config.contraction_limit_factor = 16;
+  const GraphHierarchy hierarchy = coarsen(graph, config, 2, 5);
+  ASSERT_FALSE(hierarchy.empty());
+
+  ASSERT_EQ(hierarchy.mappings.size(), hierarchy.num_levels());
+  ASSERT_EQ(hierarchy.mappings[0].size(), graph.n());
+  for (std::size_t level = 1; level < hierarchy.num_levels(); ++level) {
+    ASSERT_EQ(hierarchy.mappings[level].size(), hierarchy.graphs[level - 1].n());
+  }
+  // Composition lands in range of the coarsest graph.
+  for (NodeID u = 0; u < graph.n(); u += 97) {
+    NodeID image = hierarchy.mappings[0][u];
+    for (std::size_t level = 1; level < hierarchy.num_levels(); ++level) {
+      image = hierarchy.mappings[level][image];
+    }
+    ASSERT_LT(image, hierarchy.coarsest().n());
+  }
+}
+
+TEST(Coarsener, NoHierarchyForSmallGraphs) {
+  const CsrGraph graph = gen::grid2d(8, 8);
+  CoarseningConfig config;
+  config.contraction_limit_factor = 128;
+  const GraphHierarchy hierarchy = coarsen(graph, config, 8, 1);
+  EXPECT_TRUE(hierarchy.empty());
+}
+
+TEST(Coarsener, RespectsMaxLevels) {
+  const CsrGraph graph = gen::rgg2d(8000, 12, 3);
+  CoarseningConfig config;
+  config.contraction_limit_factor = 2;
+  config.max_levels = 2;
+  const GraphHierarchy hierarchy = coarsen(graph, config, 2, 3);
+  EXPECT_LE(hierarchy.num_levels(), 2u);
+}
+
+TEST(Coarsener, WorksOnCompressedInput) {
+  par::set_num_threads(4);
+  const CsrGraph graph = gen::weblike(6000, 16, 11);
+  const CompressedGraph compressed = compress_graph(graph);
+  CoarseningConfig config;
+  config.contraction_limit_factor = 32;
+  const GraphHierarchy hierarchy = coarsen(compressed, config, 4, 13);
+  ASSERT_FALSE(hierarchy.empty());
+  EXPECT_EQ(hierarchy.graphs[0].total_node_weight(), graph.total_node_weight());
+  expect_valid_graph(hierarchy.coarsest());
+  par::set_num_threads(1);
+}
+
+} // namespace
+} // namespace terapart

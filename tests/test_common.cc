@@ -1,0 +1,351 @@
+// Unit tests for the common substrate: varint codec, math helpers, RNG,
+// fixed hash map, memory tracker, overcommit arrays, buffers.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "common/buffer.h"
+#include "common/fixed_hash_map.h"
+#include "common/math.h"
+#include "common/memory_tracker.h"
+#include "common/overcommit.h"
+#include "common/random.h"
+#include "common/spinlock.h"
+#include "common/varint.h"
+
+namespace terapart {
+namespace {
+
+// ---------------------------------------------------------------- varint ---
+
+TEST(VarInt, RoundTripSmallValues) {
+  std::uint8_t buffer[16];
+  for (std::uint64_t value = 0; value < 1000; ++value) {
+    const std::size_t written = varint_encode(value, buffer);
+    EXPECT_EQ(written, varint_length(value));
+    const std::uint8_t *ptr = buffer;
+    EXPECT_EQ(varint_decode<std::uint64_t>(ptr), value);
+    EXPECT_EQ(ptr, buffer + written);
+  }
+}
+
+TEST(VarInt, RoundTripBoundaryValues) {
+  std::uint8_t buffer[16];
+  const std::uint64_t boundaries[] = {0,       127,        128,        16383,      16384,
+                                      1 << 21, (1u << 28), 1ULL << 35, 1ULL << 63, ~0ULL};
+  for (const std::uint64_t value : boundaries) {
+    const std::size_t written = varint_encode(value, buffer);
+    const std::uint8_t *ptr = buffer;
+    EXPECT_EQ(varint_decode<std::uint64_t>(ptr), value) << value;
+    EXPECT_LE(written, kMaxVarIntLength<std::uint64_t>);
+  }
+}
+
+TEST(VarInt, LengthMatchesSevenBitGroups) {
+  EXPECT_EQ(varint_length<std::uint64_t>(0), 1u);
+  EXPECT_EQ(varint_length<std::uint64_t>(127), 1u);
+  EXPECT_EQ(varint_length<std::uint64_t>(128), 2u);
+  EXPECT_EQ(varint_length<std::uint64_t>(16383), 2u);
+  EXPECT_EQ(varint_length<std::uint64_t>(16384), 3u);
+  EXPECT_EQ(varint_length<std::uint64_t>(~0ULL), 10u);
+}
+
+TEST(VarInt, ZigzagRoundTrip) {
+  for (std::int64_t value : {0L, 1L, -1L, 63L, -64L, 1000000L, -1000000L,
+                             std::numeric_limits<std::int64_t>::max(),
+                             std::numeric_limits<std::int64_t>::min()}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(value)), value);
+  }
+}
+
+TEST(VarInt, ZigzagSmallMagnitudesEncodeSmall) {
+  // |x| <= 63 must fit one byte.
+  for (std::int64_t value = -63; value <= 63; ++value) {
+    EXPECT_EQ(signed_varint_length(value), 1u) << value;
+  }
+  EXPECT_EQ(signed_varint_length<std::int64_t>(64), 2u);
+  EXPECT_EQ(signed_varint_length<std::int64_t>(-64), 1u);
+}
+
+TEST(VarInt, SignedRoundTrip) {
+  std::uint8_t buffer[16];
+  for (std::int64_t value : {0L, 5L, -5L, 123456L, -123456L}) {
+    signed_varint_encode(value, buffer);
+    const std::uint8_t *ptr = buffer;
+    EXPECT_EQ(signed_varint_decode<std::int64_t>(ptr), value);
+  }
+}
+
+TEST(VarInt, ConcatenatedStreamDecodes) {
+  std::vector<std::uint8_t> stream;
+  std::vector<std::uint64_t> values;
+  Random rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t value = rng() >> (rng.next_bounded(60));
+    values.push_back(value);
+    std::uint8_t buffer[16];
+    const std::size_t written = varint_encode(value, buffer);
+    stream.insert(stream.end(), buffer, buffer + written);
+  }
+  const std::uint8_t *ptr = stream.data();
+  for (const std::uint64_t value : values) {
+    EXPECT_EQ(varint_decode<std::uint64_t>(ptr), value);
+  }
+  EXPECT_EQ(ptr, stream.data() + stream.size());
+}
+
+// ------------------------------------------------------------------ math ---
+
+TEST(Math, DivCeil) {
+  EXPECT_EQ(math::div_ceil(10, 3), 4);
+  EXPECT_EQ(math::div_ceil(9, 3), 3);
+  EXPECT_EQ(math::div_ceil(0, 3), 0);
+  EXPECT_EQ(math::div_ceil(1, 1), 1);
+}
+
+TEST(Math, CeilPow2) {
+  EXPECT_EQ(math::ceil_pow2(0u), 1u);
+  EXPECT_EQ(math::ceil_pow2(1u), 1u);
+  EXPECT_EQ(math::ceil_pow2(3u), 4u);
+  EXPECT_EQ(math::ceil_pow2(1024u), 1024u);
+  EXPECT_EQ(math::ceil_pow2(1025u), 2048u);
+}
+
+TEST(Math, Logs) {
+  EXPECT_EQ(math::floor_log2(1u), 0);
+  EXPECT_EQ(math::floor_log2(7u), 2);
+  EXPECT_EQ(math::floor_log2(8u), 3);
+  EXPECT_EQ(math::ceil_log2(1u), 0);
+  EXPECT_EQ(math::ceil_log2(7u), 3);
+  EXPECT_EQ(math::ceil_log2(8u), 3);
+}
+
+TEST(Math, ChunkBoundsPartitionTheRange) {
+  for (unsigned n : {0u, 1u, 7u, 100u, 101u}) {
+    for (unsigned chunks : {1u, 2u, 3u, 7u, 32u}) {
+      unsigned expected_begin = 0;
+      for (unsigned i = 0; i < chunks; ++i) {
+        const auto [begin, end] = math::chunk_bounds(n, chunks, i);
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_LE(end - begin, n / chunks + 1);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, n);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- random ---
+
+TEST(Random, DeterministicPerSeed) {
+  Random a(42);
+  Random b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Random, StreamsAreIndependent) {
+  Random a = Random::stream(42, 0);
+  Random b = Random::stream(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a() == b() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Random, BoundedStaysInBounds) {
+  Random rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Random, DoubleInUnitInterval) {
+  Random rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Random, ShuffleIsAPermutation) {
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  Random rng(9);
+  rng.shuffle(values);
+  std::set<int> distinct(values.begin(), values.end());
+  EXPECT_EQ(distinct.size(), 100u);
+  EXPECT_NE(values[0] * 100 + values[1], 0 * 100 + 1); // moved with overwhelming probability
+}
+
+// ----------------------------------------------------------- FixedHashMap ---
+
+TEST(FixedHashMap, AggregatesValues) {
+  FixedHashMap<std::uint32_t, std::int64_t> map(8);
+  EXPECT_TRUE(map.add(5, 10));
+  EXPECT_TRUE(map.add(5, 7));
+  EXPECT_TRUE(map.add(9, 1));
+  EXPECT_EQ(map.get(5), 17);
+  EXPECT_EQ(map.get(9), 1);
+  EXPECT_EQ(map.get(1), 0);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FixedHashMap, RejectsNewKeysWhenFull) {
+  FixedHashMap<std::uint32_t, std::int64_t> map(3);
+  EXPECT_TRUE(map.add(1, 1));
+  EXPECT_TRUE(map.add(2, 1));
+  EXPECT_TRUE(map.add(3, 1));
+  EXPECT_TRUE(map.full());
+  EXPECT_FALSE(map.add(4, 1)); // new key rejected
+  EXPECT_TRUE(map.add(2, 5));  // existing key still aggregates
+  EXPECT_EQ(map.get(2), 6);
+}
+
+TEST(FixedHashMap, ClearResets) {
+  FixedHashMap<std::uint32_t, std::int64_t> map(4);
+  map.add(1, 1);
+  map.add(2, 2);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.get(1), 0);
+  EXPECT_TRUE(map.add(3, 3));
+  EXPECT_EQ(map.get(3), 3);
+}
+
+TEST(FixedHashMap, ForEachVisitsAllEntriesOnce) {
+  FixedHashMap<std::uint32_t, std::int64_t> map(64);
+  std::int64_t expected_sum = 0;
+  for (std::uint32_t key = 0; key < 64; ++key) {
+    map.add(key * 1000003u, key);
+    expected_sum += key;
+  }
+  std::int64_t sum = 0;
+  std::size_t count = 0;
+  map.for_each([&](std::uint32_t, const std::int64_t value) {
+    sum += value;
+    ++count;
+  });
+  EXPECT_EQ(sum, expected_sum);
+  EXPECT_EQ(count, 64u);
+}
+
+TEST(FixedHashMap, StressAgainstReference) {
+  FixedHashMap<std::uint32_t, std::int64_t> map(256);
+  std::map<std::uint32_t, std::int64_t> reference;
+  Random rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const auto key = static_cast<std::uint32_t>(rng.next_bounded(200));
+    const auto delta = static_cast<std::int64_t>(rng.next_bounded(50)) + 1;
+    EXPECT_TRUE(map.add(key, delta));
+    reference[key] += delta;
+  }
+  for (const auto &[key, value] : reference) {
+    EXPECT_EQ(map.get(key), value);
+  }
+  EXPECT_EQ(map.size(), reference.size());
+}
+
+// ----------------------------------------------------------- MemoryTracker ---
+
+TEST(MemoryTracker, TracksPeakAndCategories) {
+  MemoryTracker &tracker = MemoryTracker::global();
+  tracker.reset();
+  tracker.acquire("a", 100);
+  tracker.acquire("b", 50);
+  EXPECT_EQ(tracker.current(), 150u);
+  tracker.release("a", 100);
+  EXPECT_EQ(tracker.current(), 50u);
+  EXPECT_EQ(tracker.peak(), 150u);
+  EXPECT_EQ(tracker.current("b"), 50u);
+  EXPECT_EQ(tracker.peak("a"), 100u);
+  tracker.reset();
+  EXPECT_EQ(tracker.peak(), 0u);
+}
+
+TEST(MemoryTracker, TrackedAllocRaii) {
+  MemoryTracker &tracker = MemoryTracker::global();
+  tracker.reset();
+  {
+    TrackedAlloc alloc("scope", 42);
+    EXPECT_EQ(tracker.current("scope"), 42u);
+    TrackedAlloc moved = std::move(alloc);
+    EXPECT_EQ(tracker.current("scope"), 42u);
+    moved.resize(100);
+    EXPECT_EQ(tracker.current("scope"), 100u);
+  }
+  EXPECT_EQ(tracker.current("scope"), 0u);
+  EXPECT_EQ(tracker.peak("scope"), 100u);
+}
+
+TEST(MemoryTracker, ResetPeakKeepsCurrent) {
+  MemoryTracker &tracker = MemoryTracker::global();
+  tracker.reset();
+  tracker.acquire("x", 10);
+  tracker.acquire("x", 90);
+  tracker.release("x", 90);
+  tracker.reset_peak();
+  EXPECT_EQ(tracker.peak(), 10u);
+  tracker.reset();
+}
+
+// --------------------------------------------------------------- overcommit ---
+
+TEST(Overcommit, AllocatesAndTouchesSparsely) {
+  // Reserve 1 GiB of address space; touch only a little.
+  OvercommitArray<std::uint64_t> array(128 * 1024 * 1024);
+  ASSERT_TRUE(array.valid());
+  array[0] = 1;
+  array[1000] = 2;
+  array[10'000'000] = 3;
+  EXPECT_EQ(array[0], 1u);
+  EXPECT_EQ(array[1000], 2u);
+  EXPECT_EQ(array[10'000'000], 3u);
+  EXPECT_EQ(array[5], 0u); // anonymous pages are zero-filled
+}
+
+TEST(Overcommit, ShrinkKeepsPrefix) {
+  OvercommitArray<std::uint32_t> array(1 << 20);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    array[i] = static_cast<std::uint32_t>(i);
+  }
+  array.shrink_to(1000);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(array[i], i);
+  }
+  EXPECT_EQ(array.capacity(), 1000u);
+}
+
+TEST(Buffer, AdoptsVectorAndOvercommit) {
+  Buffer<int> from_vector(std::vector<int>{1, 2, 3});
+  EXPECT_EQ(from_vector.size(), 3u);
+  EXPECT_EQ(from_vector[2], 3);
+
+  OvercommitArray<int> array(4096);
+  array[0] = 7;
+  array[1] = 8;
+  Buffer<int> from_overcommit(std::move(array), 2);
+  EXPECT_EQ(from_overcommit.size(), 2u);
+  EXPECT_EQ(from_overcommit[0], 7);
+  EXPECT_EQ(from_overcommit.back(), 8);
+}
+
+TEST(Spinlock, MutualExclusionSmoke) {
+  Spinlock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+} // namespace
+} // namespace terapart

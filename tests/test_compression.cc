@@ -1,0 +1,248 @@
+// Tests for the compressed graph representation and the parallel single-pass
+// compressor (Sections III-A and III-B).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "compression/parallel_compressor.h"
+#include "generators/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "parallel/thread_pool.h"
+
+namespace terapart {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Checks that decoding reproduces the exact (sorted) adjacency of the source.
+void expect_decodes_to(const CsrGraph &source, const CompressedGraph &compressed) {
+  ASSERT_EQ(compressed.n(), source.n());
+  ASSERT_EQ(compressed.m(), source.m());
+  EXPECT_EQ(compressed.total_edge_weight(), source.total_edge_weight());
+  EXPECT_EQ(compressed.total_node_weight(), source.total_node_weight());
+  EXPECT_EQ(compressed.max_degree(), source.max_degree());
+  for (NodeID u = 0; u < source.n(); ++u) {
+    ASSERT_EQ(compressed.degree(u), source.degree(u)) << "vertex " << u;
+    ASSERT_EQ(compressed.first_edge(u), source.first_edge(u)) << "vertex " << u;
+    const auto decoded = compressed.decode_sorted(u);
+    std::vector<std::pair<NodeID, EdgeWeight>> expected;
+    source.for_each_neighbor(
+        u, [&](const NodeID v, const EdgeWeight w) { expected.emplace_back(v, w); });
+    ASSERT_EQ(decoded, expected) << "vertex " << u;
+  }
+}
+
+struct CompressionCase {
+  std::string name;
+  std::string spec;
+  CompressionConfig config;
+};
+
+class CompressionRoundTrip : public ::testing::TestWithParam<CompressionCase> {};
+
+std::vector<CompressionCase> roundtrip_cases() {
+  std::vector<CompressionCase> cases;
+  CompressionConfig defaults;
+  CompressionConfig no_intervals;
+  no_intervals.intervals = false;
+  CompressionConfig tiny_chunks; // forces the chunked high-degree layout
+  tiny_chunks.high_degree_threshold = 8;
+  tiny_chunks.chunk_size = 3;
+  CompressionConfig chunky_intervals;
+  chunky_intervals.high_degree_threshold = 16;
+  chunky_intervals.chunk_size = 5;
+  chunky_intervals.intervals = true;
+
+  for (const auto &spec :
+       {"grid2d:rows=20,cols=20", "rgg2d:n=600,deg=10", "rhg:n=800,deg=12,gamma=2.8",
+        "weblike:n=700,deg=16", "gnm:n=500,m=3000", "ba:n=400,attach=6", "kmer:n=600,deg=4",
+        "rmat:scale=9,factor=6"}) {
+    cases.push_back({std::string(spec) + "/default", spec, defaults});
+    cases.push_back({std::string(spec) + "/no_intervals", spec, no_intervals});
+    cases.push_back({std::string(spec) + "/tiny_chunks", spec, tiny_chunks});
+    cases.push_back({std::string(spec) + "/chunky_intervals", spec, chunky_intervals});
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<CompressionCase> &info) {
+  std::string name = info.param.name;
+  for (char &c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, CompressionRoundTrip,
+                         ::testing::ValuesIn(roundtrip_cases()), case_name);
+
+TEST_P(CompressionRoundTrip, UnweightedRoundTrip) {
+  const CsrGraph graph = gen::by_spec(GetParam().spec, 12345);
+  const CompressedGraph compressed = compress_graph(graph, GetParam().config);
+  expect_decodes_to(graph, compressed);
+}
+
+TEST_P(CompressionRoundTrip, WeightedRoundTrip) {
+  const CsrGraph graph =
+      gen::with_random_edge_weights(gen::by_spec(GetParam().spec, 999), 1000, 4);
+  const CompressedGraph compressed = compress_graph(graph, GetParam().config);
+  EXPECT_TRUE(compressed.is_edge_weighted());
+  expect_decodes_to(graph, compressed);
+}
+
+TEST_P(CompressionRoundTrip, ParallelCompressorIsByteIdentical) {
+  const CsrGraph graph = gen::by_spec(GetParam().spec, 777);
+  const CompressedGraph sequential = compress_graph(graph, GetParam().config);
+  for (const int threads : {1, 4}) {
+    par::set_num_threads(threads);
+    ParallelCompressionConfig parallel_config;
+    parallel_config.compression = GetParam().config;
+    parallel_config.packet_edges = 64; // many packets -> exercises the commit protocol
+    const CompressedGraph parallel = compress_graph_parallel(graph, parallel_config);
+    ASSERT_EQ(parallel.used_bytes(), sequential.used_bytes());
+    ASSERT_TRUE(std::equal(parallel.raw_bytes().begin(), parallel.raw_bytes().end(),
+                           sequential.raw_bytes().begin()));
+    ASSERT_TRUE(std::equal(parallel.raw_node_offsets().begin(),
+                           parallel.raw_node_offsets().end(),
+                           sequential.raw_node_offsets().begin()));
+  }
+  par::set_num_threads(1);
+}
+
+TEST(Compression, EmptyAndTinyGraphs) {
+  const CsrGraph empty = graph_from_adjacency_unweighted({});
+  const CompressedGraph compressed_empty = compress_graph(empty);
+  EXPECT_EQ(compressed_empty.n(), 0u);
+
+  const CsrGraph single = graph_from_adjacency_unweighted({{}});
+  const CompressedGraph compressed_single = compress_graph(single);
+  EXPECT_EQ(compressed_single.n(), 1u);
+  EXPECT_EQ(compressed_single.degree(0), 0u);
+
+  const CsrGraph pair = graph_from_adjacency_unweighted({{1}, {0}});
+  expect_decodes_to(pair, compress_graph(pair));
+}
+
+TEST(Compression, StarGraphUsesChunkedLayout) {
+  // One hub with degree 100 >> threshold 16: chunked encoding + parallel
+  // iteration must agree with sequential.
+  std::vector<std::vector<NodeID>> adjacency(101);
+  for (NodeID leaf = 1; leaf <= 100; ++leaf) {
+    adjacency[0].push_back(leaf);
+    adjacency[leaf].push_back(0);
+  }
+  const CsrGraph graph = graph_from_adjacency_unweighted(adjacency);
+  CompressionConfig config;
+  config.high_degree_threshold = 16;
+  config.chunk_size = 7;
+  const CompressedGraph compressed = compress_graph(graph, config);
+  expect_decodes_to(graph, compressed);
+
+  par::set_num_threads(4);
+  std::vector<std::atomic<std::uint8_t>> seen(101);
+  compressed.for_each_neighbor_parallel(0, [&](const NodeID v, EdgeWeight) {
+    seen[v].fetch_add(1);
+  });
+  for (NodeID leaf = 1; leaf <= 100; ++leaf) {
+    ASSERT_EQ(seen[leaf].load(), 1u) << leaf;
+  }
+  par::set_num_threads(1);
+}
+
+TEST(Compression, IntervalEncodingBeatsGapOnlyOnConsecutiveIds) {
+  // A graph full of consecutive runs (weblike navigation bars).
+  const CsrGraph graph = gen::weblike(4000, 24, 5, 0.9, 128);
+  CompressionConfig with_intervals;
+  CompressionConfig gap_only;
+  gap_only.intervals = false;
+  const auto interval_bytes = compress_graph(graph, with_intervals).used_bytes();
+  const auto gap_bytes = compress_graph(graph, gap_only).used_bytes();
+  EXPECT_LT(interval_bytes, gap_bytes);
+}
+
+TEST(Compression, CompressionRatioOrderingByGraphClass) {
+  // Web-like graphs compress far better than hash-random kmer graphs
+  // (Figure 10's spread).
+  const CsrGraph web = gen::weblike(3000, 20, 11, 0.85, 128);
+  const CsrGraph kmer = gen::kmer_like(3000, 8, 11);
+  const CompressedGraph cweb = compress_graph(web);
+  const CompressedGraph ckmer = compress_graph(kmer);
+  const double web_ratio = static_cast<double>(cweb.uncompressed_csr_bytes()) /
+                           static_cast<double>(cweb.memory_bytes());
+  const double kmer_ratio = static_cast<double>(ckmer.uncompressed_csr_bytes()) /
+                            static_cast<double>(ckmer.memory_bytes());
+  EXPECT_GT(web_ratio, kmer_ratio);
+  EXPECT_GT(web_ratio, 2.0);
+}
+
+TEST(Compression, EdgeIdsAreContiguousPerNeighborhood) {
+  const CsrGraph graph = gen::rgg2d(300, 8, 21);
+  const CompressedGraph compressed = compress_graph(graph);
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    std::vector<EdgeID> ids;
+    compressed.for_each_neighbor_with_id(
+        u, [&](const EdgeID e, NodeID, EdgeWeight) { ids.push_back(e); });
+    ASSERT_EQ(ids.size(), graph.degree(u));
+    std::sort(ids.begin(), ids.end());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ASSERT_EQ(ids[i], graph.first_edge(u) + i);
+    }
+  }
+}
+
+TEST(Compression, DecompressRoundTrip) {
+  const CsrGraph graph = gen::with_random_edge_weights(gen::rhg(500, 10, 3.0, 2), 30, 8);
+  const CompressedGraph compressed = compress_graph(graph);
+  const CsrGraph restored = decompress_graph(compressed);
+  ASSERT_EQ(restored.n(), graph.n());
+  ASSERT_EQ(restored.m(), graph.m());
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    std::vector<std::pair<NodeID, EdgeWeight>> a;
+    std::vector<std::pair<NodeID, EdgeWeight>> b;
+    graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) { a.emplace_back(v, w); });
+    restored.for_each_neighbor(
+        u, [&](const NodeID v, const EdgeWeight w) { b.emplace_back(v, w); });
+    ASSERT_EQ(a, b);
+  }
+}
+
+TEST(Compression, SinglePassFromFileMatchesInMemory) {
+  const fs::path path = fs::temp_directory_path() /
+                        ("terapart_sp_" + std::to_string(::getpid()) + ".tpg");
+  const CsrGraph graph = gen::weblike(2000, 18, 31);
+  io::write_tpg(path, graph);
+
+  for (const int threads : {1, 4}) {
+    par::set_num_threads(threads);
+    ParallelCompressionConfig config;
+    config.packet_edges = 128;
+    const CompressedGraph from_file = compress_tpg_single_pass(path, config);
+    const CompressedGraph from_memory = compress_graph(graph, config.compression);
+    ASSERT_EQ(from_file.used_bytes(), from_memory.used_bytes());
+    ASSERT_TRUE(std::equal(from_file.raw_bytes().begin(), from_file.raw_bytes().end(),
+                           from_memory.raw_bytes().begin()));
+    EXPECT_EQ(from_file.total_edge_weight(), graph.total_edge_weight());
+    EXPECT_EQ(from_file.max_degree(), graph.max_degree());
+    expect_decodes_to(graph, from_file);
+  }
+  par::set_num_threads(1);
+  fs::remove(path);
+}
+
+TEST(Compression, UpperBoundHolds) {
+  for (const auto &spec : {"weblike:n=500,deg=20", "kmer:n=500,deg=6"}) {
+    const CsrGraph graph = gen::by_spec(spec, 3);
+    const CompressionConfig config;
+    const CompressedGraph compressed = compress_graph(graph, config);
+    EXPECT_LE(compressed.used_bytes(),
+              compressed_size_upper_bound(graph.n(), graph.m(), false, config));
+  }
+}
+
+} // namespace
+} // namespace terapart

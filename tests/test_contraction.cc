@@ -1,0 +1,227 @@
+// Tests for cluster contraction (Section IV-B): correctness of the coarse
+// graph and equivalence of the one-pass algorithm with the buffered baseline.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "coarsening/contraction.h"
+#include "coarsening/lp_clustering.h"
+#include "compression/encoder.h"
+#include "generators/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/validation.h"
+#include "parallel/thread_pool.h"
+
+namespace terapart {
+namespace {
+
+/// Reference contraction: O(n + m) maps, trivially correct.
+struct ReferenceCoarse {
+  std::map<std::pair<NodeID, NodeID>, EdgeWeight> edges; // coarse (a<b) -> weight
+  std::map<NodeID, NodeWeight> node_weights;             // coarse id -> weight
+};
+
+ReferenceCoarse reference_contract(const CsrGraph &graph, std::span<const ClusterID> clustering,
+                                   std::span<const NodeID> mapping) {
+  ReferenceCoarse result;
+  (void)clustering;
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    result.node_weights[mapping[u]] += graph.node_weight(u);
+    graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+      const NodeID cu = mapping[u];
+      const NodeID cv = mapping[v];
+      if (cu < cv) {
+        result.edges[{cu, cv}] += w;
+      }
+    });
+  }
+  return result;
+}
+
+/// Checks `result` against the reference built from its own mapping.
+void expect_correct_contraction(const CsrGraph &graph, std::span<const ClusterID> clustering,
+                                const ContractionResult &result) {
+  ASSERT_EQ(result.mapping.size(), graph.n());
+  const CsrGraph &coarse = result.graph;
+  expect_valid_graph(coarse);
+
+  // Mapping consistency: same cluster -> same coarse vertex, and vice versa.
+  std::map<ClusterID, NodeID> cluster_to_coarse;
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    ASSERT_LT(result.mapping[u], coarse.n());
+    const auto [it, inserted] =
+        cluster_to_coarse.emplace(clustering[u], result.mapping[u]);
+    ASSERT_EQ(it->second, result.mapping[u]) << "cluster split across coarse vertices";
+    (void)inserted;
+  }
+  ASSERT_EQ(cluster_to_coarse.size(), coarse.n());
+
+  const ReferenceCoarse reference = reference_contract(graph, clustering, result.mapping);
+
+  // Node weights.
+  NodeWeight total_coarse_weight = 0;
+  for (NodeID c = 0; c < coarse.n(); ++c) {
+    ASSERT_EQ(coarse.node_weight(c), reference.node_weights.at(c)) << "coarse vertex " << c;
+    total_coarse_weight += coarse.node_weight(c);
+  }
+  EXPECT_EQ(total_coarse_weight, graph.total_node_weight());
+
+  // Edge multiset with weights.
+  std::map<std::pair<NodeID, NodeID>, EdgeWeight> actual;
+  for (NodeID c = 0; c < coarse.n(); ++c) {
+    coarse.for_each_neighbor(c, [&](const NodeID d, const EdgeWeight w) {
+      ASSERT_NE(c, d) << "coarse self-loop";
+      if (c < d) {
+        actual[{c, d}] += w;
+      }
+    });
+  }
+  ASSERT_EQ(actual.size(), reference.edges.size());
+  for (const auto &[key, weight] : reference.edges) {
+    ASSERT_EQ(actual.at(key), weight) << key.first << "-" << key.second;
+  }
+}
+
+struct ContractionCase {
+  std::string name;
+  bool one_pass;
+  int threads;
+  NodeID bump_threshold;
+  EdgeID batch_edges;
+};
+
+class ContractionTest : public ::testing::TestWithParam<ContractionCase> {
+protected:
+  void SetUp() override { par::set_num_threads(GetParam().threads); }
+  void TearDown() override { par::set_num_threads(1); }
+
+  [[nodiscard]] ContractionConfig config() const {
+    ContractionConfig cfg;
+    cfg.one_pass = GetParam().one_pass;
+    cfg.bump_threshold = GetParam().bump_threshold;
+    cfg.batch_edges = GetParam().batch_edges;
+    return cfg;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ContractionTest,
+    ::testing::Values(ContractionCase{"buffered_p1", false, 1, 10000, 4096},
+                      ContractionCase{"buffered_p4", false, 4, 10000, 4096},
+                      ContractionCase{"one_pass_p1", true, 1, 10000, 4096},
+                      ContractionCase{"one_pass_p4", true, 4, 10000, 4096},
+                      // Tiny bump threshold: every nontrivial coarse vertex
+                      // goes through the second phase.
+                      ContractionCase{"one_pass_bumpy", true, 4, 6, 4096},
+                      // Tiny batches: many dual-counter transactions.
+                      ContractionCase{"one_pass_tiny_batches", true, 4, 10000, 8}),
+    [](const auto &info) { return info.param.name; });
+
+TEST_P(ContractionTest, CorrectOnLpClusterings) {
+  for (const auto &spec : {"rgg2d:n=1200,deg=10", "rhg:n=1200,deg=12,gamma=2.8",
+                           "weblike:n=1000,deg=16", "grid2d:rows=30,cols=30"}) {
+    const CsrGraph graph = gen::by_spec(spec, 8);
+    LpClusteringConfig lp;
+    const auto clustering =
+        lp_cluster(graph, lp, std::max<NodeWeight>(1, graph.total_node_weight() / 32), 21);
+    const ContractionResult result = contract_clustering(graph, clustering, config());
+    expect_correct_contraction(graph, clustering, result);
+    EXPECT_LT(result.graph.n(), graph.n());
+  }
+}
+
+TEST_P(ContractionTest, IdentityClusteringReproducesTheGraph) {
+  const CsrGraph graph = gen::with_random_edge_weights(gen::gnm(300, 1200, 5), 9, 6);
+  std::vector<ClusterID> identity(graph.n());
+  std::iota(identity.begin(), identity.end(), ClusterID{0});
+  const ContractionResult result = contract_clustering(graph, identity, config());
+  ASSERT_EQ(result.graph.n(), graph.n());
+  ASSERT_EQ(result.graph.m(), graph.m());
+  EXPECT_EQ(result.graph.total_edge_weight(), graph.total_edge_weight());
+  expect_correct_contraction(graph, identity, result);
+}
+
+TEST_P(ContractionTest, SingleClusterCollapsesToOneVertex) {
+  const CsrGraph graph = gen::grid2d(12, 12);
+  const std::vector<ClusterID> all_zero(graph.n(), 0);
+  const ContractionResult result = contract_clustering(graph, all_zero, config());
+  EXPECT_EQ(result.graph.n(), 1u);
+  EXPECT_EQ(result.graph.m(), 0u);
+  EXPECT_EQ(result.graph.node_weight(0), graph.total_node_weight());
+}
+
+TEST_P(ContractionTest, PairClusteringHalvesTheGraph) {
+  // Pair up 2i and 2i+1 on a path: classic matching contraction.
+  const NodeID n = 64;
+  std::vector<std::vector<NodeID>> adjacency(n);
+  for (NodeID u = 0; u + 1 < n; ++u) {
+    adjacency[u].push_back(u + 1);
+    adjacency[u + 1].push_back(u);
+  }
+  const CsrGraph graph = graph_from_adjacency_unweighted(adjacency);
+  std::vector<ClusterID> clustering(n);
+  for (NodeID u = 0; u < n; ++u) {
+    clustering[u] = u - (u % 2);
+  }
+  const ContractionResult result = contract_clustering(graph, clustering, config());
+  EXPECT_EQ(result.graph.n(), n / 2);
+  EXPECT_EQ(result.graph.m(), n - 2); // path of n/2 vertices
+  expect_correct_contraction(graph, clustering, result);
+}
+
+TEST_P(ContractionTest, WeightConservation) {
+  const CsrGraph graph = gen::with_random_edge_weights(gen::rhg(800, 12, 3.0, 4), 20, 2);
+  LpClusteringConfig lp;
+  const auto clustering = lp_cluster(graph, lp, graph.total_node_weight() / 16, 3);
+  const ContractionResult result = contract_clustering(graph, clustering, config());
+
+  // Total coarse edge weight = total fine weight minus intra-cluster weight.
+  EdgeWeight intra = 0;
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+      if (clustering[u] == clustering[v]) {
+        intra += w;
+      }
+    });
+  }
+  EXPECT_EQ(result.graph.total_edge_weight(), graph.total_edge_weight() - intra);
+}
+
+TEST_P(ContractionTest, WorksOnCompressedInput) {
+  const CsrGraph graph = gen::weblike(900, 14, 10);
+  const CompressedGraph compressed = compress_graph(graph);
+  LpClusteringConfig lp;
+  const auto clustering = lp_cluster(compressed, lp, graph.total_node_weight() / 32, 11);
+  const ContractionResult result = contract_clustering(compressed, clustering, config());
+  expect_correct_contraction(graph, clustering, result);
+}
+
+TEST(Contraction, OnePassAndBufferedAgreeUpToRenumbering) {
+  par::set_num_threads(4);
+  const CsrGraph graph = gen::rgg2d(1000, 12, 5);
+  LpClusteringConfig lp;
+  const auto clustering = lp_cluster(graph, lp, graph.total_node_weight() / 32, 2);
+
+  ContractionConfig buffered;
+  buffered.one_pass = false;
+  ContractionConfig one_pass;
+  one_pass.one_pass = true;
+  const ContractionResult a = contract_clustering(graph, clustering, buffered);
+  const ContractionResult b = contract_clustering(graph, clustering, one_pass);
+
+  ASSERT_EQ(a.graph.n(), b.graph.n());
+  ASSERT_EQ(a.graph.m(), b.graph.m());
+  EXPECT_EQ(a.graph.total_edge_weight(), b.graph.total_edge_weight());
+  EXPECT_EQ(a.graph.total_node_weight(), b.graph.total_node_weight());
+
+  // Same coarse graph up to the coarse-vertex numbering: compare through the
+  // mappings per fine edge.
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    ASSERT_EQ(a.graph.node_weight(a.mapping[u]), b.graph.node_weight(b.mapping[u]));
+  }
+  par::set_num_threads(1);
+}
+
+} // namespace
+} // namespace terapart

@@ -1,0 +1,232 @@
+// Tests for the simulated distributed layer: graph distribution with ghosts,
+// the mailbox, distributed LP + contraction, and the full dKaMinPar /
+// XTeraPart driver.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "distributed/dist_contraction.h"
+#include "distributed/dist_partitioner.h"
+#include "generators/generators.h"
+#include "graph/validation.h"
+#include "partition/metrics.h"
+
+namespace terapart::dist {
+namespace {
+
+class DistributeTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistributeTest, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST_P(DistributeTest, GatherReassemblesTheGraph) {
+  const CsrGraph graph = gen::with_random_edge_weights(gen::rhg(600, 10, 3.0, 3), 9, 4);
+  const auto parts = distribute_graph(graph, GetParam());
+  ASSERT_EQ(parts.size(), static_cast<std::size_t>(GetParam()));
+  const CsrGraph gathered = gather_graph(parts);
+  ASSERT_EQ(gathered.n(), graph.n());
+  ASSERT_EQ(gathered.m(), graph.m());
+  EXPECT_EQ(gathered.total_edge_weight(), graph.total_edge_weight());
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    std::vector<std::pair<NodeID, EdgeWeight>> a;
+    std::vector<std::pair<NodeID, EdgeWeight>> b;
+    graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) { a.emplace_back(v, w); });
+    gathered.for_each_neighbor(
+        u, [&](const NodeID v, const EdgeWeight w) { b.emplace_back(v, w); });
+    ASSERT_EQ(a, b) << "vertex " << u;
+  }
+}
+
+TEST_P(DistributeTest, OwnershipAndGhostsAreConsistent) {
+  const CsrGraph graph = gen::rgg2d(500, 10, 7);
+  const auto parts = distribute_graph(graph, GetParam());
+
+  NodeID covered = 0;
+  for (const DistGraph &part : parts) {
+    covered += part.local_n;
+    // Every ghost refers to a vertex owned by another rank.
+    for (const NodeID global : part.ghost_global) {
+      EXPECT_FALSE(part.owns_global(global));
+      EXPECT_EQ(part.to_global(part.to_local(global)), global);
+    }
+    // Ghosted-by lists point at real ghost holders.
+    for (NodeID u = 0; u < part.local_n; ++u) {
+      for (const std::int32_t r : part.ghosted_by[u]) {
+        const DistGraph &other = parts[static_cast<std::size_t>(r)];
+        EXPECT_TRUE(other.global_to_ghost.count(part.first_global + u) > 0)
+            << "rank " << r << " should ghost " << part.first_global + u;
+      }
+    }
+    // Owner lookup matches the range table.
+    for (NodeID g = 0; g < graph.n(); g += 37) {
+      const int owner = part.owner_of_global(g);
+      EXPECT_TRUE(parts[static_cast<std::size_t>(owner)].owns_global(g));
+    }
+  }
+  EXPECT_EQ(covered, graph.n());
+}
+
+TEST_P(DistributeTest, CompressedLocalsDecodeIdentically) {
+  const CsrGraph graph = gen::weblike(800, 14, 5);
+  DistributeConfig config;
+  config.compress = true;
+  const auto compressed_parts = distribute_graph(graph, GetParam(), config);
+  const auto plain_parts = distribute_graph(graph, GetParam());
+  const CsrGraph a = gather_graph(compressed_parts);
+  const CsrGraph b = gather_graph(plain_parts);
+  ASSERT_EQ(a.m(), b.m());
+  EXPECT_TRUE(std::equal(a.raw_edges().begin(), a.raw_edges().end(), b.raw_edges().begin()));
+  // Compression must shrink the per-rank footprint on web-like graphs.
+  EXPECT_LT(compressed_parts[0].memory_bytes(), plain_parts[0].memory_bytes());
+}
+
+TEST(Mailbox, DeliversAllToAll) {
+  Mailbox<int> mailbox(3);
+  for (int src = 0; src < 3; ++src) {
+    for (int dst = 0; dst < 3; ++dst) {
+      mailbox.send(src, dst, src * 10 + dst);
+    }
+  }
+  mailbox.exchange();
+  for (int dst = 0; dst < 3; ++dst) {
+    int received = 0;
+    mailbox.for_each_received(dst, [&](const int src, const int message) {
+      EXPECT_EQ(message, src * 10 + dst);
+      ++received;
+    });
+    EXPECT_EQ(received, 3);
+  }
+  EXPECT_EQ(mailbox.messages_delivered(), 9u);
+}
+
+TEST(Mailbox, ExchangeClearsOutboxes) {
+  Mailbox<int> mailbox(2);
+  mailbox.send(0, 1, 42);
+  mailbox.exchange();
+  mailbox.exchange(); // second exchange delivers nothing
+  int received = 0;
+  mailbox.for_each_received(1, [&](int, int) { ++received; });
+  EXPECT_EQ(received, 0);
+}
+
+TEST(DistLp, ClusteringIsConsistentAcrossRanks) {
+  const CsrGraph graph = gen::rgg2d(800, 10, 3);
+  const auto parts = distribute_graph(graph, 4);
+  DistLpConfig config;
+  CommStats stats;
+  const NodeWeight bound = graph.total_node_weight() / 32;
+  const auto labels = dist_lp_cluster(parts, config, bound, 5, stats);
+
+  // Ghost copies must agree with the owner's label after the final exchange.
+  for (const DistGraph &part : parts) {
+    const auto &local = labels[static_cast<std::size_t>(part.rank)];
+    for (NodeID g = 0; g < part.num_ghosts(); ++g) {
+      const NodeID global = part.ghost_global[g];
+      const DistGraph &owner = parts[static_cast<std::size_t>(part.owner_of_global(global))];
+      const auto &owner_labels = labels[static_cast<std::size_t>(owner.rank)];
+      ASSERT_EQ(local[part.local_n + g], owner_labels[global - owner.first_global])
+          << "stale ghost label for " << global;
+    }
+  }
+
+  // Cluster weights respect the bound (recomputed globally).
+  std::map<ClusterID, NodeWeight> weights;
+  for (const DistGraph &part : parts) {
+    const auto &local = labels[static_cast<std::size_t>(part.rank)];
+    for (NodeID u = 0; u < part.local_n; ++u) {
+      weights[local[u]] += part.node_weight(u);
+    }
+  }
+  for (const auto &[cluster, weight] : weights) {
+    ASSERT_LE(weight, bound) << "cluster " << cluster;
+  }
+  EXPECT_GT(stats.supersteps, 0u);
+  EXPECT_LT(weights.size(), graph.n()); // it actually clustered something
+}
+
+TEST(DistContraction, MatchesAReferenceContraction) {
+  const CsrGraph graph = gen::rhg(600, 10, 3.0, 7);
+  const auto parts = distribute_graph(graph, 4);
+  DistLpConfig config;
+  CommStats stats;
+  const auto labels =
+      dist_lp_cluster(parts, config, graph.total_node_weight() / 16, 3, stats);
+  const DistContractionResult result = dist_contract(parts, labels, stats);
+
+  // Assemble the global clustering (owner labels are authoritative).
+  std::vector<ClusterID> global_labels(graph.n());
+  for (const DistGraph &part : parts) {
+    const auto &local = labels[static_cast<std::size_t>(part.rank)];
+    for (NodeID u = 0; u < part.local_n; ++u) {
+      global_labels[part.first_global + u] = local[u];
+    }
+  }
+
+  // Distinct labels == coarse vertex count.
+  const std::set<ClusterID> distinct(global_labels.begin(), global_labels.end());
+  EXPECT_EQ(result.coarse_global_n, static_cast<NodeID>(distinct.size()));
+
+  // The gathered coarse graph must equal a reference aggregation.
+  const CsrGraph coarse = gather_graph(result.coarse);
+  expect_valid_graph(coarse);
+  EXPECT_EQ(coarse.n(), result.coarse_global_n);
+  EXPECT_EQ(coarse.total_node_weight(), graph.total_node_weight());
+
+  // Edge weight conservation minus intra-cluster weight.
+  EdgeWeight intra = 0;
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    graph.for_each_neighbor(u, [&](const NodeID v, EdgeWeight w) {
+      if (global_labels[u] == global_labels[v]) {
+        intra += w;
+      }
+    });
+  }
+  EXPECT_EQ(coarse.total_edge_weight(), graph.total_edge_weight() - intra);
+
+  // Mapping consistency: fine vertices with equal labels share a coarse id.
+  std::map<ClusterID, NodeID> seen;
+  for (const DistGraph &part : parts) {
+    const auto &mapping = result.mapping[static_cast<std::size_t>(part.rank)];
+    for (NodeID u = 0; u < part.local_n; ++u) {
+      const auto [it, inserted] =
+          seen.emplace(global_labels[part.first_global + u], mapping[u]);
+      ASSERT_EQ(it->second, mapping[u]);
+      (void)inserted;
+    }
+  }
+}
+
+class DistPartitionTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistPartitionTest, ::testing::Values(1, 2, 4, 8));
+
+TEST_P(DistPartitionTest, EndToEndBalancedWithReasonableCut) {
+  const CsrGraph graph = gen::rgg2d(3000, 12, 3);
+  const Context ctx = terapart_context(8, 7);
+  const DistPartitionResult result = dist_partition(graph, GetParam(), ctx, false);
+
+  ASSERT_EQ(result.partition.size(), graph.n());
+  EXPECT_EQ(result.cut, metrics::edge_cut(graph, result.partition));
+  EXPECT_TRUE(result.balanced) << "imbalance " << result.imbalance;
+  // Multilevel quality: far better than a random assignment would be.
+  const double fraction =
+      static_cast<double>(result.cut) / static_cast<double>(graph.m() / 2);
+  EXPECT_LT(fraction, 0.25);
+  if (GetParam() > 1) {
+    EXPECT_GT(result.comm.messages, 0u);
+  }
+}
+
+TEST_P(DistPartitionTest, CompressedVariantMatchesQualityClass) {
+  const CsrGraph graph = gen::weblike(2500, 14, 9);
+  const Context ctx = terapart_context(4, 3);
+  const DistPartitionResult plain = dist_partition(graph, GetParam(), ctx, false);
+  const DistPartitionResult compressed = dist_partition(graph, GetParam(), ctx, true);
+  EXPECT_TRUE(compressed.balanced);
+  // XTeraPart == dKaMinPar + compression: quality must be in the same class.
+  EXPECT_LT(compressed.cut, 3 * plain.cut + 100);
+  // ... while the per-rank memory goes down on compressible graphs.
+  EXPECT_LT(compressed.max_rank_memory, plain.max_rank_memory);
+}
+
+} // namespace
+} // namespace terapart::dist

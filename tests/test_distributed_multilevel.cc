@@ -1,0 +1,131 @@
+// Deeper distributed-layer tests: multi-level distributed hierarchies
+// (repeated cluster + contract), cross-checks against the shared-memory
+// pipeline, degenerate rank counts, and message-volume sanity.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "distributed/dist_contraction.h"
+#include "distributed/dist_partitioner.h"
+#include "generators/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/validation.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+
+namespace terapart::dist {
+namespace {
+
+TEST(DistMultiLevel, TwoLevelsOfDistributedCoarsening) {
+  const CsrGraph graph = gen::rgg2d(3000, 12, 3);
+  auto parts = distribute_graph(graph, 4);
+  CommStats stats;
+  DistLpConfig config;
+
+  // Level 0.
+  const auto labels0 =
+      dist_lp_cluster(parts, config, graph.total_node_weight() / 32, 1, stats);
+  DistContractionResult level0 = dist_contract(parts, labels0, stats);
+  ASSERT_LT(level0.coarse_global_n, graph.n());
+
+  // Level 1: cluster and contract the *coarse distributed* graph.
+  const CsrGraph coarse0 = gather_graph(level0.coarse);
+  const auto labels1 =
+      dist_lp_cluster(level0.coarse, config, graph.total_node_weight() / 8, 2, stats);
+  DistContractionResult level1 = dist_contract(level0.coarse, labels1, stats);
+  ASSERT_LE(level1.coarse_global_n, level0.coarse_global_n);
+
+  // Weight conservation holds through both levels.
+  const CsrGraph coarse1 = gather_graph(level1.coarse);
+  expect_valid_graph(coarse1);
+  EXPECT_EQ(coarse1.total_node_weight(), graph.total_node_weight());
+  EXPECT_EQ(coarse0.total_node_weight(), graph.total_node_weight());
+
+  // Composed mappings land in range.
+  for (const DistGraph &part : parts) {
+    const auto &mapping0 = level0.mapping[static_cast<std::size_t>(part.rank)];
+    for (NodeID u = 0; u < part.local_n; ++u) {
+      const NodeID c0 = mapping0[u];
+      ASSERT_LT(c0, level0.coarse_global_n);
+      // Find c0's owner at level 0 and map through level 1.
+      const DistGraph &owner =
+          level0.coarse[static_cast<std::size_t>(level0.coarse.front().owner_of_global(c0))];
+      const auto &mapping1 = level1.mapping[static_cast<std::size_t>(owner.rank)];
+      const NodeID c1 = mapping1[c0 - owner.first_global];
+      ASSERT_LT(c1, level1.coarse_global_n);
+    }
+  }
+}
+
+TEST(DistMultiLevel, SingleRankMatchesSharedMemoryQualityClass) {
+  // p=1 distributed runs the same multilevel structure without communication;
+  // its quality must track the shared-memory partitioner.
+  const CsrGraph graph = gen::rgg2d(4000, 12, 7);
+  const Context ctx = terapart_context(8, 3);
+  const DistPartitionResult dist = dist_partition(graph, 1, ctx, false);
+  const PartitionResult shared = partition_graph(graph, ctx);
+  EXPECT_TRUE(dist.balanced);
+  EXPECT_LT(dist.cut, 2 * shared.cut + 100);
+  // With one rank all mailbox traffic is rank-0-to-rank-0 (owner aggregation
+  // during contraction); like an MPI self-send it still counts as a message,
+  // but no *ghost* label updates exist because there are no ghosts.
+  EXPECT_EQ(dist.comm.supersteps > 0, true);
+}
+
+TEST(DistMultiLevel, ManyRanksOnATinyGraph) {
+  // More ranks than "natural" work: some ranks own few vertices, exchange
+  // still terminates and stays correct.
+  const CsrGraph graph = gen::grid2d(12, 12);
+  const Context ctx = terapart_context(4, 1);
+  const DistPartitionResult result = dist_partition(graph, 8, ctx, false);
+  ASSERT_EQ(result.partition.size(), graph.n());
+  EXPECT_EQ(result.cut, metrics::edge_cut(graph, result.partition));
+  EXPECT_TRUE(result.balanced);
+}
+
+TEST(DistMultiLevel, MessageVolumeGrowsWithRankCount) {
+  const CsrGraph graph = gen::rhg(4000, 14, 3.0, 5);
+  const Context ctx = terapart_context(8, 3);
+  const DistPartitionResult two = dist_partition(graph, 2, ctx, false);
+  const DistPartitionResult eight = dist_partition(graph, 8, ctx, false);
+  // More ranks => more ghost boundaries => more label traffic.
+  EXPECT_GT(eight.comm.messages, two.comm.messages);
+}
+
+TEST(DistMultiLevel, WeakScalingKeepsCutFractionStable) {
+  // The Figure 8 property in miniature: growing graph with growing ranks
+  // keeps the relative cut in the same band.
+  const Context ctx = terapart_context(8, 3);
+  double fractions[2];
+  int index = 0;
+  for (const int ranks : {2, 8}) {
+    const CsrGraph graph = gen::rgg2d(1500 * static_cast<NodeID>(ranks), 12, 5);
+    const DistPartitionResult result = dist_partition(graph, ranks, ctx, true);
+    EXPECT_TRUE(result.balanced);
+    fractions[index++] = static_cast<double>(result.cut) /
+                         (static_cast<double>(graph.m()) / 2.0);
+  }
+  EXPECT_LT(fractions[1], 3 * fractions[0] + 0.05);
+}
+
+TEST(DistMultiLevel, GhostFreeGraphNeedsNoMessages) {
+  // A graph whose components align with rank ranges has no ghosts at all.
+  const int ranks = 4;
+  const NodeID per_rank = 100;
+  std::vector<std::vector<NodeID>> adjacency(per_rank * ranks);
+  for (int r = 0; r < ranks; ++r) {
+    const NodeID base = static_cast<NodeID>(r) * per_rank;
+    for (NodeID i = 0; i + 1 < per_rank; ++i) {
+      adjacency[base + i].push_back(base + i + 1);
+      adjacency[base + i + 1].push_back(base + i);
+    }
+  }
+  const CsrGraph graph = graph_from_adjacency_unweighted(adjacency);
+  const auto parts = distribute_graph(graph, ranks);
+  for (const DistGraph &part : parts) {
+    EXPECT_EQ(part.num_ghosts(), 0u);
+  }
+}
+
+} // namespace
+} // namespace terapart::dist

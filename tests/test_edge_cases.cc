@@ -1,0 +1,178 @@
+// Cross-cutting edge-case tests: gain-table value-width boundaries,
+// truncated/corrupt input files, hierarchy statistics, and a validity sweep
+// over the entire Benchmark Set A suite.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "terapart.h"
+
+namespace terapart {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------- width boundaries ---
+
+/// The sparse gain table picks 8/16/32/64-bit value slots from the vertex's
+/// incident weight; exercise weights straddling every boundary.
+TEST(SparseGainTableWidths, AllWidthCodesStoreExactValues) {
+  const EdgeWeight boundary_weights[] = {
+      1,          254,          255,         256,            // 8 <-> 16 bit
+      65'534,     65'535,       65'536,                      // 16 <-> 32 bit
+      (1LL << 32) - 2, (1LL << 32) - 1, (1LL << 32), (1LL << 40)}; // 32 <-> 64 bit
+
+  for (const EdgeWeight weight : boundary_weights) {
+    // Path u - v with one heavy edge; u's incident weight == `weight`.
+    GraphBuilder builder(3);
+    builder.add_edge(0, 1, weight);
+    builder.add_edge(1, 2, 1);
+    const CsrGraph graph = builder.build(false, true);
+
+    const BlockID k = 8;
+    PartitionedGraph partitioned(graph, k, std::vector<BlockID>{0, 3, 5});
+    SparseGainTable table(graph, k);
+    table.init(graph, partitioned);
+
+    EXPECT_EQ(table.affinity(0, 3), weight) << "weight " << weight;
+    EXPECT_EQ(table.affinity(1, 0), weight) << "weight " << weight;
+    EXPECT_EQ(table.affinity(1, 5), 1) << "weight " << weight;
+
+    // A move must update the heavy affinity exactly (no truncation).
+    partitioned.force_move(1, graph.node_weight(1), 7);
+    table.notify_move(graph, 1, 3, 7);
+    EXPECT_EQ(table.affinity(0, 3), 0) << "weight " << weight;
+    EXPECT_EQ(table.affinity(0, 7), weight) << "weight " << weight;
+  }
+}
+
+TEST(SparseGainTableWidths, MixedWidthVerticesCoexist) {
+  // Star whose spokes have wildly different weights: each leaf gets its own
+  // width class, the hub gets the widest.
+  GraphBuilder builder(5);
+  builder.add_edge(0, 1, 3);            // 8-bit leaf
+  builder.add_edge(0, 2, 1'000);        // 16-bit leaf
+  builder.add_edge(0, 3, 1'000'000);    // 32-bit leaf
+  builder.add_edge(0, 4, 1LL << 40);    // 64-bit leaf
+  const CsrGraph graph = builder.build(false, true);
+  PartitionedGraph partitioned(graph, 4, std::vector<BlockID>{0, 1, 2, 3, 1});
+  SparseGainTable table(graph, 4);
+  table.init(graph, partitioned);
+  EXPECT_EQ(table.affinity(0, 1), 3 + (1LL << 40));
+  EXPECT_EQ(table.affinity(0, 2), 1'000);
+  EXPECT_EQ(table.affinity(0, 3), 1'000'000);
+  EXPECT_EQ(table.affinity(1, 0), 3);
+  EXPECT_EQ(table.affinity(4, 0), 1LL << 40);
+}
+
+// ----------------------------------------------------------- broken files ---
+
+class TempFile {
+public:
+  TempFile() {
+    static int counter = 0;
+    _path = fs::temp_directory_path() / ("terapart_edge_" + std::to_string(::getpid()) + "_" +
+                                         std::to_string(counter++));
+  }
+  ~TempFile() { fs::remove(_path); }
+  [[nodiscard]] const fs::path &path() const { return _path; }
+
+private:
+  fs::path _path;
+};
+
+TEST(BrokenFiles, TruncatedTpgThrows) {
+  TempFile file;
+  const CsrGraph graph = gen::grid2d(10, 10);
+  io::write_tpg(file.path(), graph);
+  // Truncate in the middle of the edge array.
+  fs::resize_file(file.path(), fs::file_size(file.path()) / 2);
+  EXPECT_THROW((void)io::read_tpg(file.path()), std::runtime_error);
+}
+
+TEST(BrokenFiles, TruncatedTpgStreamThrows) {
+  TempFile file;
+  const CsrGraph graph = gen::grid2d(20, 20);
+  io::write_tpg(file.path(), graph);
+  fs::resize_file(file.path(), fs::file_size(file.path()) * 2 / 3);
+  io::TpgStreamReader reader(file.path(), 64);
+  io::TpgStreamReader::Packet packet;
+  EXPECT_THROW(
+      {
+        while (reader.next_packet(packet)) {
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(BrokenFiles, MissingFileThrows) {
+  EXPECT_THROW((void)io::read_tpg("/nonexistent/path/graph.tpg"), std::runtime_error);
+  EXPECT_THROW((void)io::read_metis("/nonexistent/path/graph.metis"), std::runtime_error);
+  EXPECT_THROW(io::TpgStreamReader("/nonexistent/path/graph.tpg"), std::runtime_error);
+}
+
+TEST(BrokenFiles, MetisWithTooFewLinesThrows) {
+  TempFile file;
+  {
+    std::ofstream out(file.path());
+    out << "5 4\n1 2\n"; // promises 5 vertices, delivers 1 line
+  }
+  EXPECT_THROW((void)io::read_metis(file.path()), std::runtime_error);
+}
+
+// ------------------------------------------------------------ level stats ---
+
+TEST(LevelStats, ReportedForEveryLevel) {
+  const CsrGraph graph = gen::rgg2d(6000, 12, 3);
+  const PartitionResult result = partition_graph(graph, terapart_context(4, 1));
+  ASSERT_EQ(result.levels.size(), static_cast<std::size_t>(result.num_levels) + 1);
+  EXPECT_EQ(result.levels.front().n, graph.n());
+  EXPECT_EQ(result.levels.front().m, graph.m());
+  for (std::size_t level = 1; level < result.levels.size(); ++level) {
+    EXPECT_LT(result.levels[level].n, result.levels[level - 1].n);
+    EXPECT_GT(result.levels[level].memory_bytes, 0u);
+  }
+}
+
+// ---------------------------------------------------------- full-suite sweep ---
+
+class SuiteSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(SetA, SuiteSweep, ::testing::Range(0, 13));
+
+TEST_P(SuiteSweep, TerapartIsValidOnEverySetAGraph) {
+  const auto suite = gen::benchmark_set_a(gen::SuiteScale::kTiny);
+  const auto index = static_cast<std::size_t>(GetParam());
+  if (index >= suite.size()) {
+    GTEST_SKIP() << "suite has " << suite.size() << " graphs";
+  }
+  const CsrGraph graph = suite[index].build(7);
+  const Context ctx = terapart_context(8, 3);
+  const PartitionResult result = partition_graph(graph, ctx);
+  EXPECT_TRUE(result.balanced) << suite[index].name << " imbalance " << result.imbalance;
+  EXPECT_EQ(result.cut, metrics::edge_cut(graph, result.partition)) << suite[index].name;
+}
+
+TEST_P(SuiteSweep, CompressionRoundTripsOnEverySetAGraph) {
+  const auto suite = gen::benchmark_set_a(gen::SuiteScale::kTiny);
+  const auto index = static_cast<std::size_t>(GetParam());
+  if (index >= suite.size()) {
+    GTEST_SKIP();
+  }
+  const CsrGraph graph = suite[index].build(7);
+  const CompressedGraph compressed = compress_graph(graph);
+  ASSERT_EQ(compressed.m(), graph.m()) << suite[index].name;
+  ASSERT_EQ(compressed.total_edge_weight(), graph.total_edge_weight());
+  for (NodeID u = 0; u < graph.n(); u += 17) { // sampled, suites are broad
+    std::vector<std::pair<NodeID, EdgeWeight>> expected;
+    graph.for_each_neighbor(
+        u, [&](const NodeID v, const EdgeWeight w) { expected.emplace_back(v, w); });
+    ASSERT_EQ(compressed.decode_sorted(u), expected) << suite[index].name << " vertex " << u;
+  }
+}
+
+} // namespace
+} // namespace terapart

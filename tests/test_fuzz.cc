@@ -1,0 +1,174 @@
+// Randomized property fuzzing across module boundaries: adversarial
+// neighborhoods through the compression codec, random graphs through the
+// full partitioning pipeline, and random clusterings through both
+// contraction algorithms. Complements the per-module tests with
+// no-assumption inputs.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "coarsening/contraction.h"
+#include "compression/encoder.h"
+#include "generators/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/validation.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+#include "parallel/thread_pool.h"
+#include "terapart.h" // umbrella header must stay self-contained
+
+namespace terapart {
+namespace {
+
+/// Random canonical graph: n vertices, density and weight style randomized.
+CsrGraph random_graph(Random &rng, const NodeID max_n) {
+  const auto n = static_cast<NodeID>(2 + rng.next_bounded(max_n - 1));
+  const auto edges = static_cast<EdgeID>(rng.next_bounded(4 * static_cast<EdgeID>(n)) + 1);
+  const bool weighted = rng.next_bool();
+  GraphBuilder builder(n);
+  for (EdgeID e = 0; e < edges; ++e) {
+    const auto u = static_cast<NodeID>(rng.next_bounded(n));
+    const auto v = static_cast<NodeID>(rng.next_bounded(n));
+    if (u != v) {
+      builder.add_edge(u, v, weighted ? static_cast<EdgeWeight>(1 + rng.next_bounded(100)) : 1);
+    }
+  }
+  if (rng.next_bool(0.3)) {
+    std::vector<NodeWeight> node_weights(n);
+    for (auto &w : node_weights) {
+      w = static_cast<NodeWeight>(1 + rng.next_bounded(10));
+    }
+    builder.set_node_weights(std::move(node_weights));
+  }
+  return builder.build(false, weighted);
+}
+
+TEST(Fuzz, CompressionRoundTripOnRandomGraphs) {
+  Random rng(0xf00d);
+  for (int trial = 0; trial < 40; ++trial) {
+    const CsrGraph graph = random_graph(rng, 300);
+    CompressionConfig config;
+    config.high_degree_threshold = static_cast<NodeID>(4 + rng.next_bounded(64));
+    config.chunk_size = static_cast<NodeID>(2 + rng.next_bounded(16));
+    config.intervals = rng.next_bool();
+    const CompressedGraph compressed = compress_graph(graph, config);
+    ASSERT_EQ(compressed.m(), graph.m()) << "trial " << trial;
+    for (NodeID u = 0; u < graph.n(); ++u) {
+      ASSERT_EQ(compressed.degree(u), graph.degree(u)) << "trial " << trial;
+      const auto decoded = compressed.decode_sorted(u);
+      std::vector<std::pair<NodeID, EdgeWeight>> expected;
+      graph.for_each_neighbor(
+          u, [&](const NodeID v, const EdgeWeight w) { expected.emplace_back(v, w); });
+      ASSERT_EQ(decoded, expected) << "trial " << trial << " vertex " << u;
+    }
+  }
+}
+
+TEST(Fuzz, CompressionAdversarialNeighborhoods) {
+  // Hand-crafted worst cases: pure runs, alternating parity (no intervals),
+  // maximal gaps, and a chunk-boundary-straddling star.
+  std::vector<std::vector<NodeID>> adjacency(1000);
+  // Vertex 0: a pure run of 200 consecutive IDs.
+  for (NodeID v = 100; v < 300; ++v) {
+    adjacency[0].push_back(v);
+    adjacency[v].push_back(0);
+  }
+  // Vertex 1: every second ID (interval encoding must not trigger).
+  for (NodeID v = 400; v < 700; v += 2) {
+    adjacency[1].push_back(v);
+    adjacency[v].push_back(1);
+  }
+  // Vertex 2: extreme gaps.
+  for (const NodeID v : {3u, 501u, 999u}) {
+    adjacency[2].push_back(v);
+    adjacency[v].push_back(2);
+  }
+  const CsrGraph graph = graph_from_adjacency_unweighted(adjacency);
+  for (const NodeID threshold : {4u, 150u, 100'000u}) {
+    CompressionConfig config;
+    config.high_degree_threshold = threshold;
+    config.chunk_size = 7; // forces run-splitting across chunk boundaries
+    const CompressedGraph compressed = compress_graph(graph, config);
+    for (const NodeID u : {0u, 1u, 2u}) {
+      const auto decoded = compressed.decode_sorted(u);
+      std::vector<std::pair<NodeID, EdgeWeight>> expected;
+      graph.for_each_neighbor(
+          u, [&](const NodeID v, const EdgeWeight w) { expected.emplace_back(v, w); });
+      ASSERT_EQ(decoded, expected) << "threshold " << threshold << " vertex " << u;
+    }
+  }
+}
+
+TEST(Fuzz, ContractionAlgorithmsAgreeOnRandomClusterings) {
+  Random rng(0xcafe);
+  for (int trial = 0; trial < 25; ++trial) {
+    const CsrGraph graph = random_graph(rng, 250);
+    // Random (not LP-produced) clustering: arbitrary label values.
+    std::vector<ClusterID> clustering(graph.n());
+    const auto num_labels = static_cast<NodeID>(1 + rng.next_bounded(graph.n()));
+    for (auto &label : clustering) {
+      label = static_cast<ClusterID>(rng.next_bounded(num_labels));
+    }
+
+    ContractionConfig buffered;
+    buffered.one_pass = false;
+    ContractionConfig one_pass;
+    one_pass.one_pass = true;
+    one_pass.bump_threshold = static_cast<NodeID>(2 + rng.next_bounded(32));
+    one_pass.batch_edges = 1 + rng.next_bounded(64);
+
+    const ContractionResult a = contract_clustering(graph, clustering, buffered);
+    const ContractionResult b = contract_clustering(graph, clustering, one_pass);
+    ASSERT_EQ(a.graph.n(), b.graph.n()) << "trial " << trial;
+    ASSERT_EQ(a.graph.m(), b.graph.m()) << "trial " << trial;
+    ASSERT_EQ(a.graph.total_edge_weight(), b.graph.total_edge_weight());
+    ASSERT_EQ(a.graph.total_node_weight(), b.graph.total_node_weight());
+    for (NodeID u = 0; u < graph.n(); ++u) {
+      ASSERT_EQ(a.graph.node_weight(a.mapping[u]), b.graph.node_weight(b.mapping[u]));
+    }
+    expect_valid_graph(b.graph);
+  }
+}
+
+TEST(Fuzz, PartitionerInvariantsOnRandomGraphs) {
+  Random rng(0xdead);
+  par::set_num_threads(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CsrGraph graph = random_graph(rng, 600);
+    const auto k = static_cast<BlockID>(2 + rng.next_bounded(12));
+    Context ctx = rng.next_bool() ? terapart_context(k, rng()) : kaminpar_context(k, rng());
+    ctx.use_fm = rng.next_bool(0.3);
+    const PartitionResult result = partition_graph(graph, ctx);
+
+    ASSERT_EQ(result.partition.size(), graph.n()) << "trial " << trial;
+    for (const BlockID b : result.partition) {
+      ASSERT_LT(b, k);
+    }
+    ASSERT_EQ(result.cut, metrics::edge_cut(graph, result.partition)) << "trial " << trial;
+    const auto weights = metrics::block_weights(graph, result.partition, k);
+    ASSERT_EQ(result.balanced,
+              metrics::is_balanced(weights, graph.total_node_weight(), k, ctx.epsilon));
+    // Weighted random graphs can be unbalanceable in corner cases (one heavy
+    // vertex); unweighted ones with n >= k must balance.
+    if (!graph.is_node_weighted() && graph.n() >= 4 * k) {
+      ASSERT_TRUE(result.balanced) << "trial " << trial << " imbalance " << result.imbalance;
+    }
+  }
+  par::set_num_threads(1);
+}
+
+TEST(Fuzz, MetricsConsistencyAcrossRepresentations) {
+  Random rng(0xbead);
+  for (int trial = 0; trial < 15; ++trial) {
+    const CsrGraph graph = random_graph(rng, 400);
+    const CompressedGraph compressed = compress_graph(graph);
+    std::vector<BlockID> partition(graph.n());
+    const BlockID k = 5;
+    for (auto &b : partition) {
+      b = static_cast<BlockID>(rng.next_bounded(k));
+    }
+    ASSERT_EQ(metrics::edge_cut(graph, partition), metrics::edge_cut(compressed, partition));
+  }
+}
+
+} // namespace
+} // namespace terapart

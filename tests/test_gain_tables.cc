@@ -1,0 +1,221 @@
+// Tests for the gain tables (Section V): the dense O(nk) table, the sparse
+// O(m) table, and the no-table recomputation must all agree with each other
+// — initially and after arbitrary move sequences (property fuzzing).
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "generators/generators.h"
+#include "graph/graph_builder.h"
+#include "partition/metrics.h"
+#include "refinement/dense_gain_table.h"
+#include "refinement/on_the_fly_gains.h"
+#include "refinement/sparse_gain_table.h"
+
+namespace terapart {
+namespace {
+
+std::vector<BlockID> random_partition(const NodeID n, const BlockID k, const std::uint64_t seed) {
+  std::vector<BlockID> partition(n);
+  Random rng(seed);
+  for (auto &b : partition) {
+    b = static_cast<BlockID>(rng.next_bounded(k));
+  }
+  return partition;
+}
+
+/// Checks dense/sparse/on-the-fly agreement on every (u, adjacent-block)
+/// pair plus a sample of absent blocks.
+void expect_tables_agree(const CsrGraph &graph, const PartitionedGraph &partitioned,
+                         const DenseGainTable &dense, const SparseGainTable &sparse,
+                         const OnTheFlyGains &reference) {
+  const BlockID k = partitioned.k();
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    for (BlockID b = 0; b < k; ++b) {
+      const EdgeWeight expected = reference.connection(graph, u, b);
+      ASSERT_EQ(dense.connection(graph, u, b), expected) << "dense u=" << u << " b=" << b;
+      ASSERT_EQ(sparse.connection(graph, u, b), expected) << "sparse u=" << u << " b=" << b;
+    }
+  }
+}
+
+struct TableCase {
+  std::string name;
+  std::string spec;
+  BlockID k;
+  EdgeWeight max_weight; ///< 0 = unweighted
+};
+
+class GainTableAgreement : public ::testing::TestWithParam<TableCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GainTableAgreement,
+    ::testing::Values(
+        TableCase{"grid_k4", "grid2d:rows=12,cols=12", 4, 0},
+        TableCase{"grid_k16", "grid2d:rows=10,cols=10", 16, 0},
+        // k=32 > max degree: every vertex uses the tiny hash layout.
+        TableCase{"rgg_k32", "rgg2d:n=250,deg=8", 32, 0},
+        // k=2 <= degrees: most vertices use the dense-row layout.
+        TableCase{"rgg_k2", "rgg2d:n=250,deg=8", 2, 0},
+        TableCase{"rhg_k8_weighted", "rhg:n=300,deg=10,gamma=3.0", 8, 100},
+        // Heavy weights force 32/64-bit value widths.
+        TableCase{"grid_heavy", "grid2d:rows=8,cols=8", 4, 1'000'000}),
+    [](const auto &info) { return info.param.name; });
+
+TEST_P(GainTableAgreement, InitialAffinitiesMatch) {
+  CsrGraph graph = gen::by_spec(GetParam().spec, 31);
+  if (GetParam().max_weight > 0) {
+    graph = gen::with_random_edge_weights(graph, GetParam().max_weight, 32);
+  }
+  const BlockID k = GetParam().k;
+  PartitionedGraph partitioned(graph, k, random_partition(graph.n(), k, 33));
+
+  DenseGainTable dense(graph.n(), k);
+  dense.init(graph, partitioned);
+  SparseGainTable sparse(graph, k);
+  sparse.init(graph, partitioned);
+  OnTheFlyGains reference(graph.n(), k);
+  reference.init(graph, partitioned);
+
+  expect_tables_agree(graph, partitioned, dense, sparse, reference);
+}
+
+TEST_P(GainTableAgreement, AgreementSurvivesRandomMoveSequences) {
+  CsrGraph graph = gen::by_spec(GetParam().spec, 41);
+  if (GetParam().max_weight > 0) {
+    graph = gen::with_random_edge_weights(graph, GetParam().max_weight, 42);
+  }
+  const BlockID k = GetParam().k;
+  PartitionedGraph partitioned(graph, k, random_partition(graph.n(), k, 43));
+
+  DenseGainTable dense(graph.n(), k);
+  dense.init(graph, partitioned);
+  SparseGainTable sparse(graph, k);
+  sparse.init(graph, partitioned);
+  OnTheFlyGains reference(graph.n(), k);
+  reference.init(graph, partitioned);
+
+  // Property fuzz: 500 random moves, tables updated incrementally, reference
+  // recomputed from scratch at each check point.
+  Random rng(44);
+  for (int step = 0; step < 500; ++step) {
+    const auto u = static_cast<NodeID>(rng.next_bounded(graph.n()));
+    const BlockID from = partitioned.block(u);
+    const auto to = static_cast<BlockID>(rng.next_bounded(k));
+    if (from == to) {
+      continue;
+    }
+    partitioned.force_move(u, graph.node_weight(u), to);
+    dense.notify_move(graph, u, from, to);
+    sparse.notify_move(graph, u, from, to);
+
+    if (step % 50 == 0) {
+      expect_tables_agree(graph, partitioned, dense, sparse, reference);
+    }
+  }
+  expect_tables_agree(graph, partitioned, dense, sparse, reference);
+}
+
+TEST(SparseGainTable, DeletionClosesProbeGaps) {
+  // A vertex adjacent to many blocks; cycle affinities to zero repeatedly to
+  // exercise backward-shift deletion in its tiny hash table.
+  std::vector<std::vector<NodeID>> adjacency(9);
+  for (NodeID v = 1; v <= 8; ++v) {
+    adjacency[0].push_back(v);
+    adjacency[v].push_back(0);
+  }
+  const CsrGraph graph = graph_from_adjacency_unweighted(adjacency);
+  const BlockID k = 64; // deg << k: hash layout with capacity ~16
+  std::vector<BlockID> partition(9, 0);
+  for (NodeID v = 1; v <= 8; ++v) {
+    partition[v] = v; // neighbors spread over blocks 1..8
+  }
+  PartitionedGraph partitioned(graph, k, std::move(partition));
+  SparseGainTable table(graph, k);
+  table.init(graph, partitioned);
+
+  for (BlockID b = 1; b <= 8; ++b) {
+    EXPECT_EQ(table.affinity(0, b), 1);
+  }
+  // Move each neighbor through several blocks; vertex 0's affinities must
+  // track exactly (insertions + deletions to zero).
+  Random rng(5);
+  OnTheFlyGains reference(graph.n(), k);
+  reference.init(graph, partitioned);
+  for (int step = 0; step < 200; ++step) {
+    const auto v = static_cast<NodeID>(1 + rng.next_bounded(8));
+    const BlockID from = partitioned.block(v);
+    const auto to = static_cast<BlockID>(rng.next_bounded(k));
+    if (from == to) {
+      continue;
+    }
+    partitioned.force_move(v, 1, to);
+    table.notify_move(graph, v, from, to);
+    for (BlockID b = 0; b < k; ++b) {
+      ASSERT_EQ(table.affinity(0, b), reference.connection(graph, 0, b))
+          << "step " << step << " block " << b;
+    }
+  }
+}
+
+TEST(SparseGainTable, UsesLessMemoryThanDenseForLargeK) {
+  const CsrGraph graph = gen::rgg2d(2000, 10, 3);
+  const BlockID k = 512;
+  const SparseGainTable sparse(graph, k);
+  const DenseGainTable dense(graph.n(), k);
+  // O(m) vs O(nk): the gap must be at least an order of magnitude here.
+  EXPECT_LT(sparse.memory_bytes() * 10, dense.memory_bytes());
+}
+
+TEST(SparseGainTable, DenseRowsForHighDegreeVertices) {
+  // Hub with degree 64 >= k = 8 gets a dense row; all k affinities must work.
+  std::vector<std::vector<NodeID>> adjacency(65);
+  for (NodeID v = 1; v <= 64; ++v) {
+    adjacency[0].push_back(v);
+    adjacency[v].push_back(0);
+  }
+  const CsrGraph graph = graph_from_adjacency_unweighted(adjacency);
+  const BlockID k = 8;
+  std::vector<BlockID> partition(65);
+  for (NodeID v = 0; v <= 64; ++v) {
+    partition[v] = static_cast<BlockID>(v % k);
+  }
+  PartitionedGraph partitioned(graph, k, std::move(partition));
+  SparseGainTable table(graph, k);
+  table.init(graph, partitioned);
+  OnTheFlyGains reference(graph.n(), k);
+  reference.init(graph, partitioned);
+  for (BlockID b = 0; b < k; ++b) {
+    EXPECT_EQ(table.affinity(0, b), reference.connection(graph, 0, b));
+  }
+}
+
+TEST(GainTables, GainFormulaMatchesCutDelta) {
+  // gain(u, from, to) = conn(to) - conn(from) must equal the actual cut
+  // change when the move is applied.
+  const CsrGraph graph = gen::rgg2d(200, 8, 51);
+  const BlockID k = 4;
+  PartitionedGraph partitioned(graph, k, random_partition(graph.n(), k, 52));
+  SparseGainTable table(graph, k);
+  table.init(graph, partitioned);
+
+  Random rng(53);
+  std::vector<BlockID> snapshot = partitioned.partition();
+  for (int step = 0; step < 100; ++step) {
+    const auto u = static_cast<NodeID>(rng.next_bounded(graph.n()));
+    const BlockID from = partitioned.block(u);
+    const auto to = static_cast<BlockID>(rng.next_bounded(k));
+    if (from == to) {
+      continue;
+    }
+    const EdgeWeight cut_before = metrics::edge_cut(graph, partitioned.partition());
+    const EdgeWeight gain =
+        table.connection(graph, u, to) - table.connection(graph, u, from);
+    partitioned.force_move(u, graph.node_weight(u), to);
+    table.notify_move(graph, u, from, to);
+    const EdgeWeight cut_after = metrics::edge_cut(graph, partitioned.partition());
+    ASSERT_EQ(cut_before - cut_after, gain) << "step " << step;
+  }
+}
+
+} // namespace
+} // namespace terapart

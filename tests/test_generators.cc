@@ -1,0 +1,153 @@
+// Tests for the synthetic graph generators: canonical-form validity,
+// determinism, and the structural properties each class is supposed to have.
+#include <gtest/gtest.h>
+
+#include "generators/benchmark_sets.h"
+#include "generators/generators.h"
+#include "graph/validation.h"
+
+namespace terapart {
+namespace {
+
+class GeneratorValidity : public ::testing::TestWithParam<const char *> {};
+
+INSTANTIATE_TEST_SUITE_P(Specs, GeneratorValidity,
+                         ::testing::Values("rgg2d:n=500,deg=10", "rhg:n=500,deg=12,gamma=3.0",
+                                           "weblike:n=500,deg=14", "grid2d:rows=22,cols=23",
+                                           "gnm:n=400,m=1600", "ba:n=300,attach=5",
+                                           "rmat:scale=8,factor=6", "kmer:n=500,deg=4"));
+
+TEST_P(GeneratorValidity, ProducesCanonicalGraph) {
+  const CsrGraph graph = gen::by_spec(GetParam(), 42);
+  expect_valid_graph(graph);
+  EXPECT_GT(graph.n(), 0u);
+  EXPECT_GT(graph.m(), 0u);
+}
+
+TEST_P(GeneratorValidity, DeterministicPerSeed) {
+  const CsrGraph a = gen::by_spec(GetParam(), 42);
+  const CsrGraph b = gen::by_spec(GetParam(), 42);
+  ASSERT_EQ(a.n(), b.n());
+  ASSERT_EQ(a.m(), b.m());
+  EXPECT_TRUE(std::equal(a.raw_edges().begin(), a.raw_edges().end(), b.raw_edges().begin()));
+}
+
+TEST_P(GeneratorValidity, DifferentSeedsDiffer) {
+  if (std::string(GetParam()).rfind("grid2d", 0) == 0) {
+    GTEST_SKIP() << "grid is deterministic by construction";
+  }
+  const CsrGraph a = gen::by_spec(GetParam(), 1);
+  const CsrGraph b = gen::by_spec(GetParam(), 2);
+  const bool same = a.m() == b.m() &&
+                    std::equal(a.raw_edges().begin(), a.raw_edges().end(),
+                               b.raw_edges().begin());
+  EXPECT_FALSE(same);
+}
+
+TEST(Generators, GridStructureIsExact) {
+  const CsrGraph graph = gen::grid2d(4, 5);
+  EXPECT_EQ(graph.n(), 20u);
+  // 4x5 grid: horizontal edges 4*4, vertical 3*5 -> 31 undirected.
+  EXPECT_EQ(graph.m(), 2u * 31u);
+  EXPECT_EQ(graph.max_degree(), 4u);
+  // Corner vertex 0 has exactly neighbors 1 and 5.
+  std::vector<NodeID> corner;
+  graph.for_each_neighbor(0, [&](const NodeID v, EdgeWeight) { corner.push_back(v); });
+  EXPECT_EQ(corner, (std::vector<NodeID>{1, 5}));
+}
+
+TEST(Generators, TorusIsRegular) {
+  const CsrGraph graph = gen::grid2d(8, 8, /*wrap=*/true);
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    ASSERT_EQ(graph.degree(u), 4u) << u;
+  }
+}
+
+TEST(Generators, RggHasNoHighDegreeOutliers) {
+  const CsrGraph graph = gen::rgg2d(3000, 16, 7);
+  const double average = static_cast<double>(graph.m()) / graph.n();
+  EXPECT_GT(average, 8.0);
+  EXPECT_LT(graph.max_degree(), 12 * static_cast<NodeID>(average) + 24);
+}
+
+TEST(Generators, RhgHasSkewedDegrees) {
+  const CsrGraph graph = gen::rhg(3000, 16, 2.6, 7);
+  const double average = static_cast<double>(graph.m()) / graph.n();
+  // Power-law: the hub degree dwarfs the average.
+  EXPECT_GT(graph.max_degree(), 10 * average);
+}
+
+TEST(Generators, WeblikeHasHubsAndRuns) {
+  const CsrGraph graph = gen::weblike(2000, 20, 9);
+  const double average = static_cast<double>(graph.m()) / graph.n();
+  EXPECT_GT(graph.max_degree(), 5 * average);
+  // Consecutive-ID runs: count adjacent-target pairs; web graphs have many.
+  std::uint64_t consecutive = 0;
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    NodeID previous = kInvalidNodeID;
+    graph.for_each_neighbor(u, [&](const NodeID v, EdgeWeight) {
+      consecutive += (previous != kInvalidNodeID && v == previous + 1) ? 1 : 0;
+      previous = v;
+    });
+  }
+  EXPECT_GT(consecutive, graph.m() / 8);
+}
+
+TEST(Generators, GnmEdgeCountApproximatelyRequested) {
+  const CsrGraph graph = gen::gnm(1000, 5000, 3);
+  // Duplicates/self-loops shave a little off.
+  EXPECT_GT(graph.m(), 2u * 4500u);
+  EXPECT_LE(graph.m(), 2u * 5000u);
+}
+
+TEST(Generators, BarabasiAlbertDegreeSum) {
+  const CsrGraph graph = gen::barabasi_albert(500, 4, 5);
+  EXPECT_GT(graph.m(), 2u * 400u * 4u / 2u);
+  const double average = static_cast<double>(graph.m()) / graph.n();
+  EXPECT_GT(graph.max_degree(), 4 * average); // preferential attachment skew
+}
+
+TEST(Generators, RandomEdgeWeightsAreDeterministicAndBounded) {
+  const CsrGraph base = gen::grid2d(10, 10);
+  const CsrGraph a = gen::with_random_edge_weights(base, 50, 7);
+  const CsrGraph b = gen::with_random_edge_weights(base, 50, 7);
+  ASSERT_TRUE(a.is_edge_weighted());
+  EXPECT_TRUE(std::equal(a.raw_edge_weights().begin(), a.raw_edge_weights().end(),
+                         b.raw_edge_weights().begin()));
+  for (EdgeID e = 0; e < a.m(); ++e) {
+    ASSERT_GE(a.edge_weight(e), 1);
+    ASSERT_LE(a.edge_weight(e), 50);
+  }
+  expect_valid_graph(a);
+}
+
+TEST(Generators, BySpecRejectsUnknown) {
+  EXPECT_THROW((void)gen::by_spec("nosuchthing:n=10", 1), std::invalid_argument);
+  EXPECT_THROW((void)gen::by_spec("rgg2d:broken", 1), std::invalid_argument);
+}
+
+TEST(BenchmarkSets, SetABuildsAtTinyScale) {
+  const auto graphs = gen::benchmark_set_a(gen::SuiteScale::kTiny);
+  EXPECT_GE(graphs.size(), 10u);
+  for (const auto &named : graphs) {
+    const CsrGraph graph = named.build(1);
+    expect_valid_graph(graph);
+    EXPECT_GT(graph.m(), 0u) << named.name;
+  }
+}
+
+TEST(BenchmarkSets, SetBBuildsAtTinyScaleWithPaperOrdering) {
+  const auto graphs = gen::benchmark_set_b(gen::SuiteScale::kTiny);
+  ASSERT_EQ(graphs.size(), 5u);
+  std::vector<EdgeID> sizes;
+  for (const auto &named : graphs) {
+    const CsrGraph graph = named.build(1);
+    expect_valid_graph(graph);
+    sizes.push_back(graph.m());
+  }
+  // hyperlink analog is the largest, as in Table I.
+  EXPECT_EQ(*std::max_element(sizes.begin(), sizes.end()), sizes.back());
+}
+
+} // namespace
+} // namespace terapart

@@ -1,0 +1,187 @@
+// Tests for the graph substrate: CSR construction, builder canonicalization,
+// validation, transformations.
+#include <gtest/gtest.h>
+
+#include "graph/csr_graph.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_utils.h"
+#include "graph/validation.h"
+
+namespace terapart {
+namespace {
+
+CsrGraph triangle() {
+  return graph_from_adjacency_unweighted({{1, 2}, {0, 2}, {0, 1}});
+}
+
+TEST(CsrGraph, BasicAccessors) {
+  const CsrGraph graph = triangle();
+  EXPECT_EQ(graph.n(), 3u);
+  EXPECT_EQ(graph.m(), 6u);
+  EXPECT_EQ(graph.degree(0), 2u);
+  EXPECT_EQ(graph.node_weight(0), 1);
+  EXPECT_EQ(graph.total_node_weight(), 3);
+  EXPECT_EQ(graph.total_edge_weight(), 6);
+  EXPECT_EQ(graph.max_degree(), 2u);
+  EXPECT_FALSE(graph.is_edge_weighted());
+  EXPECT_FALSE(CsrGraph::is_compressed());
+}
+
+TEST(CsrGraph, NeighborIteration) {
+  const CsrGraph graph = triangle();
+  std::vector<NodeID> neighbors;
+  graph.for_each_neighbor(1, [&](const NodeID v, const EdgeWeight w) {
+    neighbors.push_back(v);
+    EXPECT_EQ(w, 1);
+  });
+  EXPECT_EQ(neighbors, (std::vector<NodeID>{0, 2}));
+}
+
+TEST(CsrGraph, NeighborIterationWithIds) {
+  const CsrGraph graph = triangle();
+  std::vector<EdgeID> ids;
+  graph.for_each_neighbor_with_id(2, [&](const EdgeID e, NodeID, EdgeWeight) {
+    ids.push_back(e);
+  });
+  EXPECT_EQ(ids, (std::vector<EdgeID>{4, 5}));
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph graph;
+  EXPECT_EQ(graph.n(), 0u);
+  EXPECT_EQ(graph.m(), 0u);
+}
+
+TEST(CsrGraph, IsolatedVertices) {
+  const CsrGraph graph = graph_from_adjacency_unweighted({{}, {2}, {1}, {}});
+  EXPECT_EQ(graph.n(), 4u);
+  EXPECT_EQ(graph.m(), 2u);
+  EXPECT_EQ(graph.degree(0), 0u);
+  EXPECT_EQ(graph.degree(3), 0u);
+  expect_valid_graph(graph);
+}
+
+TEST(GraphBuilder, MergesDuplicateEdges) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1, 2);
+  builder.add_edge(0, 1, 3); // duplicate: weights sum
+  builder.add_edge(1, 2, 1);
+  const CsrGraph graph = builder.build(false, true);
+  EXPECT_EQ(graph.m(), 4u);
+  bool found = false;
+  graph.for_each_neighbor(0, [&](const NodeID v, const EdgeWeight w) {
+    if (v == 1) {
+      EXPECT_EQ(w, 5);
+      found = true;
+    }
+  });
+  EXPECT_TRUE(found);
+  expect_valid_graph(graph);
+}
+
+TEST(GraphBuilder, DropsSelfLoops) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 0);
+  builder.add_edge(0, 1);
+  const CsrGraph graph = builder.build();
+  EXPECT_EQ(graph.m(), 2u);
+  expect_valid_graph(graph);
+}
+
+TEST(GraphBuilder, SymmetrizeAddsMissingReverseEdges) {
+  GraphBuilder builder(3);
+  builder.add_half_edge(0, 1, 4);
+  builder.add_half_edge(2, 0, 1);
+  const CsrGraph graph = builder.build(/*symmetrize=*/true, /*edge_weighted=*/true);
+  EXPECT_EQ(graph.m(), 4u);
+  expect_valid_graph(graph); // validation asserts symmetry with equal weights
+}
+
+TEST(GraphBuilder, SymmetrizeSumsBothDirections) {
+  GraphBuilder builder(2);
+  builder.add_half_edge(0, 1, 3);
+  builder.add_half_edge(1, 0, 4);
+  const CsrGraph graph = builder.build(true, true);
+  graph.for_each_neighbor(0, [&](NodeID, const EdgeWeight w) { EXPECT_EQ(w, 7); });
+}
+
+TEST(GraphBuilder, NodeWeights) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 1);
+  builder.set_node_weights({5, 7});
+  const CsrGraph graph = builder.build();
+  EXPECT_EQ(graph.node_weight(0), 5);
+  EXPECT_EQ(graph.total_node_weight(), 12);
+  EXPECT_EQ(graph.max_node_weight(), 7);
+}
+
+TEST(Validation, DetectsAsymmetry) {
+  // Hand-build a broken graph: edge 0->1 without 1->0.
+  CsrGraph graph(std::vector<EdgeID>{0, 1, 1}, std::vector<NodeID>{1});
+  EXPECT_FALSE(validate_graph(graph).ok);
+}
+
+TEST(Validation, DetectsUnsortedNeighborhood) {
+  CsrGraph graph(std::vector<EdgeID>{0, 2, 3, 4}, std::vector<NodeID>{2, 1, 0, 0});
+  EXPECT_FALSE(validate_graph(graph).ok);
+}
+
+TEST(Validation, AcceptsCanonicalGraph) {
+  EXPECT_TRUE(validate_graph(triangle()).ok);
+}
+
+TEST(GraphUtils, ExtractSubgraph) {
+  // Path 0-1-2-3; select {1, 2, 3}.
+  const CsrGraph graph = graph_from_adjacency_unweighted({{1}, {0, 2}, {1, 3}, {2}});
+  const std::vector<std::uint8_t> selector = {0, 1, 1, 1};
+  const Subgraph sub = extract_subgraph(graph, selector);
+  EXPECT_EQ(sub.graph.n(), 3u);
+  EXPECT_EQ(sub.graph.m(), 4u); // edges 1-2 and 2-3 survive
+  EXPECT_EQ(sub.to_parent, (std::vector<NodeID>{1, 2, 3}));
+  expect_valid_graph(sub.graph);
+}
+
+TEST(GraphUtils, ExtractEmptySubgraph) {
+  const CsrGraph graph = triangle();
+  const std::vector<std::uint8_t> selector = {0, 0, 0};
+  const Subgraph sub = extract_subgraph(graph, selector);
+  EXPECT_EQ(sub.graph.n(), 0u);
+}
+
+TEST(GraphUtils, PermutePreservesStructure) {
+  const CsrGraph graph = graph_from_adjacency({{{1, 5}}, {{0, 5}, {2, 7}}, {{1, 7}}});
+  const std::vector<NodeID> permutation = {2, 0, 1};
+  const CsrGraph permuted = permute_graph(graph, permutation);
+  expect_valid_graph(permuted);
+  EXPECT_EQ(permuted.n(), graph.n());
+  EXPECT_EQ(permuted.m(), graph.m());
+  EXPECT_EQ(permuted.total_edge_weight(), graph.total_edge_weight());
+  // Edge {1,2} weight 7 becomes {0,1} weight 7.
+  bool found = false;
+  permuted.for_each_neighbor(0, [&](const NodeID v, const EdgeWeight w) {
+    if (v == 1) {
+      EXPECT_EQ(w, 7);
+      found = true;
+    }
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(GraphUtils, ConnectedComponents) {
+  const CsrGraph graph = graph_from_adjacency_unweighted({{1}, {0}, {3}, {2}, {}});
+  EXPECT_EQ(count_connected_components(graph), 3u);
+  EXPECT_EQ(count_connected_components(triangle()), 1u);
+}
+
+TEST(GraphUtils, DegreeHistogram) {
+  const CsrGraph graph = graph_from_adjacency_unweighted({{}, {2}, {1, 3}, {2}});
+  const auto histogram = degree_histogram(graph);
+  // degree 0: one vertex; degree 1: two; degree 2: one.
+  ASSERT_GE(histogram.size(), 3u);
+  EXPECT_EQ(histogram[0], 1u);
+  EXPECT_EQ(histogram[1], 2u);
+  EXPECT_EQ(histogram[2], 1u);
+}
+
+} // namespace
+} // namespace terapart

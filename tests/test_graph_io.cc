@@ -1,0 +1,177 @@
+// Tests for graph file I/O: TPG binary round trips, streamed packet reading,
+// and METIS text interop.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "generators/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/validation.h"
+
+namespace terapart {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+public:
+  TempDir() {
+    _path = fs::temp_directory_path() /
+            ("terapart_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter()++));
+    fs::create_directories(_path);
+  }
+  ~TempDir() { fs::remove_all(_path); }
+  [[nodiscard]] fs::path file(const std::string &name) const { return _path / name; }
+
+private:
+  static int &counter() {
+    static int value = 0;
+    return value;
+  }
+  fs::path _path;
+};
+
+void expect_same_graph(const CsrGraph &a, const CsrGraph &b) {
+  ASSERT_EQ(a.n(), b.n());
+  ASSERT_EQ(a.m(), b.m());
+  EXPECT_EQ(a.total_edge_weight(), b.total_edge_weight());
+  EXPECT_EQ(a.total_node_weight(), b.total_node_weight());
+  for (NodeID u = 0; u < a.n(); ++u) {
+    ASSERT_EQ(a.degree(u), b.degree(u)) << "vertex " << u;
+    ASSERT_EQ(a.node_weight(u), b.node_weight(u));
+    std::vector<std::pair<NodeID, EdgeWeight>> na;
+    std::vector<std::pair<NodeID, EdgeWeight>> nb;
+    a.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) { na.emplace_back(v, w); });
+    b.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) { nb.emplace_back(v, w); });
+    ASSERT_EQ(na, nb) << "vertex " << u;
+  }
+}
+
+TEST(TpgIo, RoundTripUnweighted) {
+  TempDir dir;
+  const CsrGraph graph = gen::gnm(500, 2000, 1);
+  io::write_tpg(dir.file("g.tpg"), graph);
+  const CsrGraph loaded = io::read_tpg(dir.file("g.tpg"));
+  expect_same_graph(graph, loaded);
+}
+
+TEST(TpgIo, RoundTripWeighted) {
+  TempDir dir;
+  const CsrGraph graph = gen::with_random_edge_weights(gen::grid2d(20, 20), 100, 3);
+  io::write_tpg(dir.file("g.tpg"), graph);
+  const CsrGraph loaded = io::read_tpg(dir.file("g.tpg"));
+  EXPECT_TRUE(loaded.is_edge_weighted());
+  expect_same_graph(graph, loaded);
+}
+
+TEST(TpgIo, HeaderOnly) {
+  TempDir dir;
+  const CsrGraph graph = gen::grid2d(10, 10);
+  io::write_tpg(dir.file("g.tpg"), graph);
+  const io::TpgHeader header = io::read_tpg_header(dir.file("g.tpg"));
+  EXPECT_EQ(header.n, graph.n());
+  EXPECT_EQ(header.m, graph.m());
+  EXPECT_EQ(header.has_edge_weights, 0u);
+}
+
+TEST(TpgIo, RejectsGarbage) {
+  TempDir dir;
+  {
+    std::FILE *f = std::fopen(dir.file("junk").c_str(), "wb");
+    std::fputs("this is not a graph file at all, padding padding padding", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)io::read_tpg(dir.file("junk")), std::runtime_error);
+}
+
+class TpgStreamTest : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(BufferSizes, TpgStreamTest,
+                         ::testing::Values(1, 16, 257, 4096, 1 << 20));
+
+TEST_P(TpgStreamTest, PacketsReassembleTheGraph) {
+  TempDir dir;
+  const CsrGraph graph = gen::with_random_edge_weights(gen::rhg(400, 10, 3.0, 7), 50, 9);
+  io::write_tpg(dir.file("g.tpg"), graph);
+
+  io::TpgStreamReader reader(dir.file("g.tpg"), GetParam());
+  io::TpgStreamReader::Packet packet;
+  NodeID next = 0;
+  EdgeID edges_seen = 0;
+  while (reader.next_packet(packet)) {
+    ASSERT_EQ(packet.first_node, next);
+    std::size_t cursor = 0;
+    for (NodeID i = 0; i < packet.num_nodes; ++i) {
+      const NodeID u = packet.first_node + i;
+      ASSERT_EQ(packet.degrees[i], graph.degree(u));
+      EdgeID e = graph.raw_nodes()[u];
+      for (NodeID d = 0; d < packet.degrees[i]; ++d, ++e) {
+        ASSERT_EQ(packet.targets[cursor], graph.raw_edges()[e]);
+        ASSERT_EQ(packet.edge_weights[cursor], graph.edge_weight(e));
+        ++cursor;
+      }
+    }
+    edges_seen += cursor;
+    next += packet.num_nodes;
+  }
+  EXPECT_EQ(next, graph.n());
+  EXPECT_EQ(edges_seen, graph.m());
+}
+
+TEST_P(TpgStreamTest, RewindRestarts) {
+  TempDir dir;
+  const CsrGraph graph = gen::grid2d(15, 15);
+  io::write_tpg(dir.file("g.tpg"), graph);
+  io::TpgStreamReader reader(dir.file("g.tpg"), GetParam());
+  io::TpgStreamReader::Packet packet;
+  NodeID count_a = 0;
+  while (reader.next_packet(packet)) {
+    count_a += packet.num_nodes;
+  }
+  reader.rewind();
+  NodeID count_b = 0;
+  while (reader.next_packet(packet)) {
+    count_b += packet.num_nodes;
+  }
+  EXPECT_EQ(count_a, graph.n());
+  EXPECT_EQ(count_b, graph.n());
+}
+
+TEST(MetisIo, RoundTripUnweighted) {
+  TempDir dir;
+  const CsrGraph graph = gen::gnm(200, 600, 5);
+  io::write_metis(dir.file("g.metis"), graph);
+  const CsrGraph loaded = io::read_metis(dir.file("g.metis"));
+  expect_same_graph(graph, loaded);
+}
+
+TEST(MetisIo, RoundTripFullyWeighted) {
+  TempDir dir;
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1, 3);
+  builder.add_edge(1, 2, 2);
+  builder.add_edge(2, 3, 9);
+  builder.set_node_weights({1, 2, 3, 4});
+  const CsrGraph graph = builder.build(false, true);
+  io::write_metis(dir.file("g.metis"), graph);
+  const CsrGraph loaded = io::read_metis(dir.file("g.metis"));
+  EXPECT_TRUE(loaded.is_edge_weighted());
+  EXPECT_TRUE(loaded.is_node_weighted());
+  expect_same_graph(graph, loaded);
+}
+
+TEST(MetisIo, GraphWithIsolatedVertices) {
+  TempDir dir;
+  const CsrGraph graph = graph_from_adjacency_unweighted({{}, {2}, {1}, {}});
+  io::write_metis(dir.file("g.metis"), graph);
+  const CsrGraph loaded = io::read_metis(dir.file("g.metis"));
+  expect_same_graph(graph, loaded);
+}
+
+} // namespace
+} // namespace terapart

@@ -1,0 +1,166 @@
+// Tests for initial partitioning: greedy graph growing, 2-way FM, and the
+// recursive-bisection k-way portfolio.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/math.h"
+#include "generators/generators.h"
+#include "graph/graph_builder.h"
+#include "initial/bipartitioner.h"
+#include "initial/fm2way.h"
+#include "initial/initial_partitioner.h"
+#include "partition/metrics.h"
+
+namespace terapart {
+namespace {
+
+TEST(GreedyGraphGrowing, HitsTheTargetWeight) {
+  const CsrGraph graph = gen::grid2d(20, 20);
+  Random rng(1);
+  const Bipartition result = greedy_graph_growing(graph, 200, rng);
+  EXPECT_GE(result.block0_weight, 200);
+  EXPECT_LE(result.block0_weight, 200 + graph.max_node_weight());
+  for (const BlockID b : result.partition) {
+    ASSERT_LE(b, 1u);
+  }
+}
+
+TEST(GreedyGraphGrowing, GrowsAConnectedRegionOnAGrid) {
+  // On a grid, greedy growing yields a far better cut than a random split.
+  const CsrGraph graph = gen::grid2d(24, 24);
+  Random rng(3);
+  const Bipartition grown = greedy_graph_growing(graph, graph.n() / 2, rng);
+  const Bipartition random = random_bipartition(graph, graph.n() / 2, rng);
+  EXPECT_LT(metrics::edge_cut(graph, grown.partition),
+            metrics::edge_cut(graph, random.partition) / 2);
+}
+
+TEST(GreedyGraphGrowing, HandlesDisconnectedGraphs) {
+  // Two disjoint triangles; target weight 3 = one triangle.
+  const CsrGraph graph =
+      graph_from_adjacency_unweighted({{1, 2}, {0, 2}, {0, 1}, {4, 5}, {3, 5}, {3, 4}});
+  Random rng(5);
+  const Bipartition result = greedy_graph_growing(graph, 3, rng);
+  EXPECT_EQ(result.block0_weight, 3);
+  EXPECT_EQ(metrics::edge_cut(graph, result.partition), 0);
+}
+
+TEST(RandomBipartition, RespectsTarget) {
+  const CsrGraph graph = gen::gnm(500, 2000, 2);
+  Random rng(7);
+  const Bipartition result = random_bipartition(graph, 123, rng);
+  EXPECT_GE(result.block0_weight, 123);
+  EXPECT_LE(result.block0_weight, 124);
+}
+
+TEST(Fm2Way, NeverWorsensTheCut) {
+  Random rng(11);
+  for (const auto &spec : {"grid2d:rows=16,cols=16", "rgg2d:n=400,deg=10",
+                           "rhg:n=400,deg=10,gamma=3.0"}) {
+    const CsrGraph graph = gen::by_spec(spec, 13);
+    Bipartition split = random_bipartition(graph, graph.total_node_weight() / 2, rng);
+    const EdgeWeight before = metrics::edge_cut(graph, split.partition);
+    const std::array<BlockWeight, 2> bounds = {
+        static_cast<BlockWeight>(graph.total_node_weight()),
+        static_cast<BlockWeight>(graph.total_node_weight())};
+    const EdgeWeight improvement =
+        fm2way_refine(graph, split.partition, bounds, Fm2WayConfig{}, rng);
+    const EdgeWeight after = metrics::edge_cut(graph, split.partition);
+    EXPECT_EQ(before - after, improvement) << spec;
+    EXPECT_LE(after, before) << spec;
+  }
+}
+
+TEST(Fm2Way, RespectsBlockWeightBounds) {
+  const CsrGraph graph = gen::grid2d(16, 16);
+  Random rng(17);
+  Bipartition split = random_bipartition(graph, graph.n() / 2, rng);
+  const BlockWeight bound = graph.total_node_weight() / 2 + 8;
+  fm2way_refine(graph, split.partition, {bound, bound}, Fm2WayConfig{}, rng);
+  BlockWeight weights[2] = {0, 0};
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    weights[split.partition[u]] += graph.node_weight(u);
+  }
+  EXPECT_LE(weights[0], bound);
+  EXPECT_LE(weights[1], bound);
+}
+
+TEST(Fm2Way, FixesAnObviouslyBadSplit) {
+  // Interleaved columns on a grid: FM should drastically reduce the cut.
+  const CsrGraph graph = gen::grid2d(12, 12);
+  std::vector<BlockID> partition(graph.n());
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    partition[u] = (u % 12) % 2;
+  }
+  const EdgeWeight before = metrics::edge_cut(graph, partition);
+  Random rng(19);
+  const BlockWeight bound = graph.total_node_weight() / 2 + 12;
+  fm2way_refine(graph, partition, {bound, bound}, Fm2WayConfig{}, rng);
+  const EdgeWeight after = metrics::edge_cut(graph, partition);
+  EXPECT_LT(after, before / 2);
+}
+
+class InitialPartitionTest : public ::testing::TestWithParam<BlockID> {};
+
+INSTANTIATE_TEST_SUITE_P(Ks, InitialPartitionTest, ::testing::Values(2, 3, 4, 5, 8, 13, 16));
+
+TEST_P(InitialPartitionTest, ProducesBalancedKWayPartitions) {
+  const BlockID k = GetParam();
+  const double epsilon = 0.05;
+  for (const auto &spec : {"grid2d:rows=24,cols=24", "rhg:n=800,deg=12,gamma=3.0"}) {
+    const CsrGraph graph = gen::by_spec(spec, 23);
+    InitialPartitioningConfig config;
+    const auto partition = initial_partition(graph, k, epsilon, config, 3);
+    ASSERT_EQ(partition.size(), graph.n());
+    for (const BlockID b : partition) {
+      ASSERT_LT(b, k);
+    }
+    const auto weights = metrics::block_weights(graph, partition, k);
+    // The recursive scheme distributes epsilon across levels; allow slack of
+    // one max node weight per level on these small graphs.
+    const BlockWeight bound =
+        metrics::max_block_weight(graph.total_node_weight(), k, epsilon) +
+        static_cast<BlockWeight>(math::ceil_log2(static_cast<std::uint32_t>(k)) + 1) *
+            graph.max_node_weight();
+    for (BlockID b = 0; b < k; ++b) {
+      ASSERT_LE(weights[b], bound) << spec << " block " << b;
+    }
+  }
+}
+
+TEST_P(InitialPartitionTest, BeatsARandomPartitionOnStructuredGraphs) {
+  const BlockID k = GetParam();
+  const CsrGraph graph = gen::grid2d(30, 30);
+  InitialPartitioningConfig config;
+  const auto partition = initial_partition(graph, k, 0.05, config, 3);
+
+  std::vector<BlockID> random_partition(graph.n());
+  Random rng(3);
+  for (auto &b : random_partition) {
+    b = static_cast<BlockID>(rng.next_bounded(k));
+  }
+  EXPECT_LT(metrics::edge_cut(graph, partition),
+            metrics::edge_cut(graph, random_partition));
+}
+
+TEST(InitialPartition, KEqualsOne) {
+  const CsrGraph graph = gen::grid2d(10, 10);
+  InitialPartitioningConfig config;
+  const auto partition = initial_partition(graph, 1, 0.03, config, 1);
+  for (const BlockID b : partition) {
+    ASSERT_EQ(b, 0u);
+  }
+}
+
+TEST(InitialPartition, MoreBlocksThanVertices) {
+  const CsrGraph graph = gen::grid2d(3, 3); // 9 vertices
+  InitialPartitioningConfig config;
+  const auto partition = initial_partition(graph, 16, 0.03, config, 1);
+  for (const BlockID b : partition) {
+    ASSERT_LT(b, 16u);
+  }
+}
+
+} // namespace
+} // namespace terapart

@@ -1,0 +1,168 @@
+// Tests for label propagation clustering (Section IV-A): validity of the
+// produced clusterings, the weight constraint, the two-phase bump machinery,
+// and two-hop matching.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "coarsening/lp_clustering.h"
+#include "compression/encoder.h"
+#include "generators/generators.h"
+#include "graph/graph_builder.h"
+#include "parallel/thread_pool.h"
+
+namespace terapart {
+namespace {
+
+/// Recomputes cluster weights and checks the bound + label range.
+void expect_valid_clustering(const CsrGraph &graph, const std::vector<ClusterID> &clustering,
+                             const NodeWeight max_cluster_weight) {
+  ASSERT_EQ(clustering.size(), graph.n());
+  std::map<ClusterID, NodeWeight> weights;
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    ASSERT_LT(clustering[u], graph.n());
+    weights[clustering[u]] += graph.node_weight(u);
+  }
+  const NodeWeight bound = std::max(max_cluster_weight, graph.max_node_weight());
+  for (const auto &[cluster, weight] : weights) {
+    ASSERT_LE(weight, bound) << "cluster " << cluster;
+  }
+}
+
+NodeID count_clusters(const std::vector<ClusterID> &clustering) {
+  std::set<ClusterID> distinct(clustering.begin(), clustering.end());
+  return static_cast<NodeID>(distinct.size());
+}
+
+struct LpCase {
+  std::string name;
+  bool two_phase;
+  int threads;
+};
+
+class LpClusteringTest : public ::testing::TestWithParam<LpCase> {
+protected:
+  void SetUp() override { par::set_num_threads(GetParam().threads); }
+  void TearDown() override { par::set_num_threads(1); }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, LpClusteringTest,
+    ::testing::Values(LpCase{"classic_p1", false, 1}, LpCase{"classic_p4", false, 4},
+                      LpCase{"two_phase_p1", true, 1}, LpCase{"two_phase_p4", true, 4}),
+    [](const auto &info) { return info.param.name; });
+
+TEST_P(LpClusteringTest, ValidClusteringOnMixedGraphs) {
+  for (const auto &spec : {"rgg2d:n=1500,deg=12", "rhg:n=1500,deg=14,gamma=2.8",
+                           "weblike:n=1200,deg=16", "grid2d:rows=40,cols=40"}) {
+    const CsrGraph graph = gen::by_spec(spec, 5);
+    LpClusteringConfig config;
+    config.two_phase = GetParam().two_phase;
+    const NodeWeight bound = std::max<NodeWeight>(1, graph.total_node_weight() / 64);
+    const auto clustering = lp_cluster(graph, config, bound, 99);
+    expect_valid_clustering(graph, clustering, bound);
+    // LP must shrink such graphs substantially.
+    EXPECT_LT(count_clusters(clustering), graph.n() / 2) << spec;
+  }
+}
+
+TEST_P(LpClusteringTest, RespectsTightWeightBound) {
+  const CsrGraph graph = gen::rgg2d(800, 10, 3);
+  LpClusteringConfig config;
+  config.two_phase = GetParam().two_phase;
+  const NodeWeight bound = 3; // at most 3 unit vertices per cluster
+  const auto clustering = lp_cluster(graph, config, bound, 1);
+  expect_valid_clustering(graph, clustering, bound);
+}
+
+TEST_P(LpClusteringTest, SingletonBoundKeepsEveryoneApart) {
+  const CsrGraph graph = gen::grid2d(20, 20);
+  LpClusteringConfig config;
+  config.two_phase = GetParam().two_phase;
+  config.two_hop = false;
+  const auto clustering = lp_cluster(graph, config, /*max_cluster_weight=*/1, 1);
+  EXPECT_EQ(count_clusters(clustering), graph.n());
+}
+
+TEST(LpClustering, TwoPhaseBumpsHighNcVertices) {
+  // A hub adjacent to 200 mutually non-adjacent leaves: with T_bump = 16 the
+  // hub must take the second phase (its rating map sees up to 200 clusters).
+  std::vector<std::vector<NodeID>> adjacency(201);
+  for (NodeID leaf = 1; leaf <= 200; ++leaf) {
+    adjacency[0].push_back(leaf);
+    adjacency[leaf].push_back(0);
+  }
+  const CsrGraph graph = graph_from_adjacency_unweighted(adjacency);
+  LpClusteringConfig config;
+  config.two_phase = true;
+  config.bump_threshold = 16;
+  config.two_hop = false;
+  LpClusteringStats stats;
+  const auto clustering =
+      lp_cluster(graph, config, graph.total_node_weight(), 7, &stats);
+  EXPECT_GT(stats.bumped_vertices, 0u);
+  expect_valid_clustering(graph, clustering, graph.total_node_weight());
+}
+
+TEST(LpClustering, TwoHopMatchingMergesStarLeaves) {
+  // Star with a tight bound: the hub cluster fills up instantly; leaves stay
+  // singleton without two-hop matching, and get pair-matched with it.
+  std::vector<std::vector<NodeID>> adjacency(101);
+  for (NodeID leaf = 1; leaf <= 100; ++leaf) {
+    adjacency[0].push_back(leaf);
+    adjacency[leaf].push_back(0);
+  }
+  const CsrGraph graph = graph_from_adjacency_unweighted(adjacency);
+  const NodeWeight bound = 2;
+
+  LpClusteringConfig without;
+  without.two_hop = false;
+  LpClusteringConfig with;
+  with.two_hop = true;
+
+  const NodeID clusters_without = count_clusters(lp_cluster(graph, without, bound, 3));
+  const NodeID clusters_with = count_clusters(lp_cluster(graph, with, bound, 3));
+  EXPECT_LT(clusters_with, clusters_without);
+  // Pairing should roughly halve the leaf clusters.
+  EXPECT_LE(clusters_with, clusters_without / 2 + 10);
+}
+
+TEST(LpClustering, IsolatedVerticesGetChainMatched) {
+  const CsrGraph graph = graph_from_adjacency_unweighted({{}, {}, {}, {}, {}, {}});
+  LpClusteringConfig config;
+  const auto clustering = lp_cluster(graph, config, 2, 1);
+  EXPECT_LE(count_clusters(clustering), 3u);
+}
+
+TEST(LpClustering, CompressedGraphYieldsValidClustering) {
+  const CsrGraph graph = gen::weblike(1500, 18, 13);
+  const CompressedGraph compressed = compress_graph(graph);
+  LpClusteringConfig config;
+  const NodeWeight bound = std::max<NodeWeight>(1, graph.total_node_weight() / 64);
+  const auto clustering = lp_cluster(compressed, config, bound, 5);
+  expect_valid_clustering(graph, clustering, bound);
+  EXPECT_LT(count_clusters(clustering), graph.n());
+}
+
+TEST(LpClustering, DeterministicSingleThreaded) {
+  par::set_num_threads(1);
+  const CsrGraph graph = gen::rgg2d(600, 10, 17);
+  LpClusteringConfig config;
+  const auto a = lp_cluster(graph, config, 50, 123);
+  const auto b = lp_cluster(graph, config, 50, 123);
+  EXPECT_EQ(a, b);
+  const auto c = lp_cluster(graph, config, 50, 124);
+  EXPECT_NE(a, c);
+}
+
+TEST(LpClustering, StatsAreReported) {
+  const CsrGraph graph = gen::rgg2d(500, 10, 4);
+  LpClusteringConfig config;
+  LpClusteringStats stats;
+  const auto clustering = lp_cluster(graph, config, 100, 5, &stats);
+  EXPECT_GT(stats.moves, 0u);
+  EXPECT_EQ(stats.num_clusters, count_clusters(clustering));
+}
+
+} // namespace
+} // namespace terapart

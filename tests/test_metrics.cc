@@ -1,0 +1,71 @@
+// Tests for the partition metrics.
+#include <gtest/gtest.h>
+
+#include "compression/encoder.h"
+#include "generators/generators.h"
+#include "graph/graph_builder.h"
+#include "partition/metrics.h"
+
+namespace terapart {
+namespace {
+
+TEST(Metrics, EdgeCutHandComputed) {
+  // Path 0-1-2-3 split as {0,1} | {2,3}: exactly edge 1-2 is cut.
+  const CsrGraph graph = graph_from_adjacency_unweighted({{1}, {0, 2}, {1, 3}, {2}});
+  const std::vector<BlockID> partition = {0, 0, 1, 1};
+  EXPECT_EQ(metrics::edge_cut(graph, partition), 1);
+
+  const std::vector<BlockID> all_same = {0, 0, 0, 0};
+  EXPECT_EQ(metrics::edge_cut(graph, all_same), 0);
+
+  const std::vector<BlockID> alternating = {0, 1, 0, 1};
+  EXPECT_EQ(metrics::edge_cut(graph, alternating), 3);
+}
+
+TEST(Metrics, EdgeCutWeighted) {
+  const CsrGraph graph = graph_from_adjacency({{{1, 5}}, {{0, 5}, {2, 7}}, {{1, 7}}});
+  const std::vector<BlockID> partition = {0, 0, 1};
+  EXPECT_EQ(metrics::edge_cut(graph, partition), 7);
+}
+
+TEST(Metrics, EdgeCutOnCompressedMatchesCsr) {
+  const CsrGraph graph = gen::rgg2d(500, 10, 3);
+  const CompressedGraph compressed = compress_graph(graph);
+  std::vector<BlockID> partition(graph.n());
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    partition[u] = u % 3;
+  }
+  EXPECT_EQ(metrics::edge_cut(graph, partition), metrics::edge_cut(compressed, partition));
+}
+
+TEST(Metrics, MaxBlockWeight) {
+  EXPECT_EQ(metrics::max_block_weight(100, 4, 0.0), 25);
+  EXPECT_EQ(metrics::max_block_weight(100, 4, 0.04), 26);
+  EXPECT_EQ(metrics::max_block_weight(101, 4, 0.0), 26); // ceil
+}
+
+TEST(Metrics, ImbalanceAndBalanced) {
+  const std::vector<BlockWeight> perfect = {25, 25, 25, 25};
+  EXPECT_DOUBLE_EQ(metrics::imbalance(perfect, 100), 0.0);
+  EXPECT_TRUE(metrics::is_balanced(perfect, 100, 4, 0.0));
+
+  const std::vector<BlockWeight> skewed = {30, 24, 23, 23};
+  EXPECT_NEAR(metrics::imbalance(skewed, 100), 0.2, 1e-9);
+  EXPECT_FALSE(metrics::is_balanced(skewed, 100, 4, 0.03));
+  EXPECT_TRUE(metrics::is_balanced(skewed, 100, 4, 0.25));
+}
+
+TEST(Metrics, BlockWeightsRespectNodeWeights) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.set_node_weights({10, 20, 30});
+  const CsrGraph graph = builder.build();
+  const std::vector<BlockID> partition = {0, 1, 0};
+  const auto weights = metrics::block_weights(graph, partition, 2);
+  EXPECT_EQ(weights[0], 40);
+  EXPECT_EQ(weights[1], 20);
+}
+
+} // namespace
+} // namespace terapart

@@ -1,0 +1,232 @@
+// Tests for the parallel substrate: thread pool, loops, prefix sums,
+// per-thread storage, atomic helpers, and the 128-bit dual counter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "common/random.h"
+#include "parallel/atomic_utils.h"
+#include "parallel/dual_counter.h"
+#include "parallel/parallel_for.h"
+#include "parallel/prefix_sum.h"
+#include "parallel/thread_local_storage.h"
+#include "parallel/thread_pool.h"
+
+namespace terapart::par {
+namespace {
+
+class ParallelTest : public ::testing::TestWithParam<int> {
+protected:
+  void SetUp() override { set_num_threads(GetParam()); }
+  void TearDown() override { set_num_threads(1); }
+};
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelTest, ::testing::Values(1, 2, 4, 8));
+
+TEST_P(ParallelTest, RunOnAllRunsEveryThreadOnce) {
+  const int p = num_threads();
+  std::vector<std::atomic<int>> counters(static_cast<std::size_t>(p));
+  ThreadPool::global().run_on_all([&](const int t) {
+    counters[static_cast<std::size_t>(t)].fetch_add(1);
+  });
+  for (int t = 0; t < p; ++t) {
+    EXPECT_EQ(counters[static_cast<std::size_t>(t)].load(), 1) << "thread " << t;
+  }
+}
+
+TEST_P(ParallelTest, NestedParallelismDegradesToSequential) {
+  std::atomic<int> calls{0};
+  ThreadPool::global().run_on_all([&](int) {
+    ThreadPool::global().run_on_all([&](int) { calls.fetch_add(1); });
+  });
+  EXPECT_EQ(calls.load(), num_threads());
+}
+
+TEST_P(ParallelTest, ParallelForEachCoversRangeExactlyOnce) {
+  constexpr std::uint32_t kN = 100'000;
+  std::vector<std::atomic<std::uint8_t>> seen(kN);
+  parallel_for_each<std::uint32_t>(0, kN, [&](const std::uint32_t i) {
+    seen[i].fetch_add(1);
+  });
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << i;
+  }
+}
+
+TEST_P(ParallelTest, ParallelForEmptyRange) {
+  bool called = false;
+  parallel_for<std::uint32_t>(5, 5, [&](std::uint32_t, std::uint32_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_P(ParallelTest, ParallelSum) {
+  constexpr std::uint64_t kN = 200'000;
+  const auto total = parallel_sum<std::uint64_t>(
+      0, kN, [](const std::uint64_t i) { return static_cast<std::int64_t>(i); });
+  EXPECT_EQ(static_cast<std::uint64_t>(total), kN * (kN - 1) / 2);
+}
+
+TEST_P(ParallelTest, ParallelMax) {
+  constexpr std::uint32_t kN = 50'000;
+  const auto max = parallel_max<std::uint32_t>(0, kN, std::int64_t{-1}, [](const std::uint32_t i) {
+    return static_cast<std::int64_t>((i * 2654435761u) % 99991);
+  });
+  std::int64_t expected = -1;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    expected = std::max<std::int64_t>(expected, (i * 2654435761u) % 99991);
+  }
+  EXPECT_EQ(max, expected);
+}
+
+TEST_P(ParallelTest, StaticSchedulingPartitions) {
+  constexpr std::uint32_t kN = 12'345;
+  std::vector<std::atomic<std::uint8_t>> seen(kN);
+  parallel_for_static<std::uint32_t>(0, kN, [&](int, const std::uint32_t begin,
+                                                const std::uint32_t end) {
+    for (std::uint32_t i = begin; i < end; ++i) {
+      seen[i].fetch_add(1);
+    }
+  });
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(seen[i].load(), 1);
+  }
+}
+
+TEST_P(ParallelTest, PrefixSumMatchesSequential) {
+  for (const std::size_t n : {0u, 1u, 100u, 4096u, 100'001u}) {
+    std::vector<std::uint32_t> in(n);
+    Random rng(n);
+    for (auto &value : in) {
+      value = static_cast<std::uint32_t>(rng.next_bounded(1000));
+    }
+    std::vector<std::uint64_t> out(n);
+    const std::uint64_t total =
+        prefix_sum_exclusive<std::uint32_t, std::uint64_t>(in, out);
+
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], running) << "index " << i << " n " << n;
+      running += in[i];
+    }
+    EXPECT_EQ(total, running);
+  }
+}
+
+TEST_P(ParallelTest, PrefixSumInPlace) {
+  std::vector<std::uint64_t> data(10'000, 1);
+  const std::uint64_t total = prefix_sum_exclusive<std::uint64_t, std::uint64_t>(data, data);
+  EXPECT_EQ(total, 10'000u);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(data[i], i);
+  }
+}
+
+TEST_P(ParallelTest, ThreadLocalGivesEachThreadItsOwnInstance) {
+  ThreadLocal<std::vector<int>> storage;
+  EXPECT_EQ(storage.size(), static_cast<std::size_t>(num_threads()));
+  ThreadPool::global().run_on_all([&](const int t) {
+    storage.local().push_back(t);
+  });
+  std::set<int> owners;
+  storage.for_each([&](const std::vector<int> &values) {
+    for (const int t : values) {
+      EXPECT_TRUE(owners.insert(t).second) << "thread wrote to two slots";
+    }
+  });
+  EXPECT_EQ(owners.size(), static_cast<std::size_t>(num_threads()));
+}
+
+TEST_P(ParallelTest, AtomicAddIfLeqNeverOvershoots) {
+  std::atomic<std::int64_t> value{0};
+  constexpr std::int64_t kBound = 1000;
+  std::atomic<int> successes{0};
+  parallel_for_each<std::uint32_t>(0, 10'000, [&](std::uint32_t) {
+    if (atomic_add_if_leq(value, std::int64_t{1}, kBound)) {
+      successes.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(value.load(), kBound);
+  EXPECT_EQ(successes.load(), kBound);
+}
+
+TEST_P(ParallelTest, AtomicMax) {
+  std::atomic<std::int64_t> value{-100};
+  parallel_for_each<std::uint32_t>(0, 10'000, [&](const std::uint32_t i) {
+    atomic_max(value, static_cast<std::int64_t>((i * 7919) % 5000));
+  });
+  EXPECT_EQ(value.load(), 4999);
+}
+
+// Dual counter: the core one-pass contraction invariant — concurrent
+// reservations are pairwise disjoint and exactly tile [0, total).
+TEST_P(ParallelTest, DualCounterReservationsTile) {
+  DualCounter counter;
+  constexpr std::uint32_t kOps = 20'000;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edge_ranges(kOps);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> vertex_ranges(kOps);
+  parallel_for_each<std::uint32_t>(0, kOps, [&](const std::uint32_t i) {
+    const std::uint64_t edges = 1 + i % 7;
+    const std::uint64_t vertices = 1 + i % 3;
+    const auto reservation = counter.fetch_add(edges, vertices);
+    edge_ranges[i] = {reservation.edge_begin, reservation.edge_begin + edges};
+    vertex_ranges[i] = {reservation.vertex_begin, reservation.vertex_begin + vertices};
+  });
+
+  const auto check_tiling = [](std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges,
+                               const std::uint64_t expected_total) {
+    std::sort(ranges.begin(), ranges.end());
+    std::uint64_t position = 0;
+    for (const auto &[begin, end] : ranges) {
+      ASSERT_EQ(begin, position);
+      position = end;
+    }
+    EXPECT_EQ(position, expected_total);
+  };
+  const auto totals = counter.load();
+  check_tiling(edge_ranges, totals.edge_begin);
+  check_tiling(vertex_ranges, totals.vertex_begin);
+}
+
+TEST(DualCounter, PacksAndUnpacks) {
+  DualCounter counter;
+  const auto r0 = counter.fetch_add(10, 3);
+  EXPECT_EQ(r0.edge_begin, 0u);
+  EXPECT_EQ(r0.vertex_begin, 0u);
+  const auto r1 = counter.fetch_add(5, 1);
+  EXPECT_EQ(r1.edge_begin, 10u);
+  EXPECT_EQ(r1.vertex_begin, 3u);
+  const auto totals = counter.load();
+  EXPECT_EQ(totals.edge_begin, 15u);
+  EXPECT_EQ(totals.vertex_begin, 4u);
+  counter.reset();
+  EXPECT_EQ(counter.load().edge_begin, 0u);
+}
+
+TEST(ThreadPool, ResizeChangesThreadCount) {
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  set_num_threads(1);
+  EXPECT_EQ(num_threads(), 1);
+}
+
+TEST(ThreadPool, ResizeAfterUseIsSafe) {
+  // Regression: workers created by resize() must adopt the pool's current
+  // job generation; otherwise they dereference a stale null job pointer.
+  set_num_threads(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    ThreadPool::global().run_on_all([&](int) { counter.fetch_add(1); });
+  }
+  set_num_threads(4); // grow *after* the generation counter advanced
+  ThreadPool::global().run_on_all([&](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3 * 2 + 4);
+  set_num_threads(8);
+  ThreadPool::global().run_on_all([&](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3 * 2 + 4 + 8);
+  set_num_threads(1);
+}
+
+} // namespace
+} // namespace terapart::par

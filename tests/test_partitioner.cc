@@ -1,0 +1,173 @@
+// End-to-end tests of the multilevel partitioner: every preset on every
+// graph class, uncompressed and compressed inputs, many k values.
+#include <gtest/gtest.h>
+
+#include "compression/encoder.h"
+#include "generators/generators.h"
+#include "parallel/thread_pool.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+
+namespace terapart {
+namespace {
+
+void expect_valid_result(const CsrGraph &graph, const Context &ctx,
+                         const PartitionResult &result) {
+  ASSERT_EQ(result.partition.size(), graph.n());
+  for (const BlockID b : result.partition) {
+    ASSERT_LT(b, ctx.k);
+  }
+  EXPECT_EQ(result.cut, metrics::edge_cut(graph, result.partition));
+  const auto weights = metrics::block_weights(graph, result.partition, ctx.k);
+  EXPECT_EQ(result.balanced,
+            metrics::is_balanced(weights, graph.total_node_weight(), ctx.k, ctx.epsilon));
+  EXPECT_TRUE(result.balanced) << "imbalance " << result.imbalance;
+}
+
+struct EndToEndCase {
+  std::string name;
+  std::string spec;
+  BlockID k;
+  int threads;
+};
+
+class PartitionerEndToEnd : public ::testing::TestWithParam<EndToEndCase> {
+protected:
+  void SetUp() override { par::set_num_threads(GetParam().threads); }
+  void TearDown() override { par::set_num_threads(1); }
+};
+
+std::vector<EndToEndCase> end_to_end_cases() {
+  std::vector<EndToEndCase> cases;
+  const std::pair<const char *, const char *> specs[] = {
+      {"grid", "grid2d:rows=50,cols=50"},     {"rgg", "rgg2d:n=3000,deg=12"},
+      {"rhg", "rhg:n=3000,deg=14,gamma=2.8"}, {"web", "weblike:n=2500,deg=16"},
+      {"gnm", "gnm:n=1500,m=9000"},
+  };
+  for (const auto &[name, spec] : specs) {
+    for (const BlockID k : {2, 8, 37}) {
+      for (const int threads : {1, 4}) {
+        cases.push_back({std::string(name) + "_k" + std::to_string(k) + "_p" +
+                             std::to_string(threads),
+                         spec, k, threads});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, PartitionerEndToEnd, ::testing::ValuesIn(end_to_end_cases()),
+                         [](const auto &info) { return info.param.name; });
+
+TEST_P(PartitionerEndToEnd, KaminparPresetIsValid) {
+  const CsrGraph graph = gen::by_spec(GetParam().spec, 3);
+  const Context ctx = kaminpar_context(GetParam().k, 7);
+  expect_valid_result(graph, ctx, partition_graph(graph, ctx));
+}
+
+TEST_P(PartitionerEndToEnd, TerapartPresetIsValid) {
+  const CsrGraph graph = gen::by_spec(GetParam().spec, 3);
+  const Context ctx = terapart_context(GetParam().k, 7);
+  expect_valid_result(graph, ctx, partition_graph(graph, ctx));
+}
+
+TEST_P(PartitionerEndToEnd, TerapartOnCompressedInputIsValid) {
+  const CsrGraph graph = gen::by_spec(GetParam().spec, 3);
+  const CompressedGraph compressed = compress_graph(graph);
+  const Context ctx = terapart_context(GetParam().k, 7);
+  const PartitionResult result = partition_graph(compressed, ctx);
+  ASSERT_EQ(result.partition.size(), graph.n());
+  EXPECT_EQ(result.cut, metrics::edge_cut(graph, result.partition));
+  EXPECT_TRUE(result.balanced);
+}
+
+TEST_P(PartitionerEndToEnd, TerapartFmPresetIsValidAndAtLeastAsGoodOnAverage) {
+  const CsrGraph graph = gen::by_spec(GetParam().spec, 3);
+  const Context lp_ctx = terapart_context(GetParam().k, 7);
+  const Context fm_ctx = terapart_fm_context(GetParam().k, 7);
+  const PartitionResult lp = partition_graph(graph, lp_ctx);
+  const PartitionResult fm = partition_graph(graph, fm_ctx);
+  expect_valid_result(graph, fm_ctx, fm);
+  // FM may not win on every instance/seed, but must never be far worse.
+  EXPECT_LE(fm.cut, lp.cut + lp.cut / 4 + 50);
+}
+
+TEST(Partitioner, QualityLandsInASaneRangeOnStructuredGraphs) {
+  // rgg2d with k=8: the paper's world has cuts around ~1% of edges; accept a
+  // generous band to keep the test robust.
+  const CsrGraph graph = gen::rgg2d(10'000, 12, 5);
+  const PartitionResult result = partition_graph(graph, terapart_context(8, 1));
+  const double fraction =
+      static_cast<double>(result.cut) / static_cast<double>(graph.m() / 2);
+  EXPECT_LT(fraction, 0.10);
+  EXPECT_GT(result.cut, 0);
+}
+
+TEST(Partitioner, KaminparAndTerapartHaveComparableQuality) {
+  // Figure 4 (right): the optimization ladder does not change cut quality.
+  double ratio_sum = 0;
+  int instances = 0;
+  for (const auto &spec : {"rgg2d:n=4000,deg=12", "rhg:n=4000,deg=12,gamma=3.0",
+                           "grid2d:rows=60,cols=60"}) {
+    const CsrGraph graph = gen::by_spec(spec, 11);
+    for (const std::uint64_t seed : {1, 2, 3}) {
+      const auto kaminpar = partition_graph(graph, kaminpar_context(8, seed));
+      const auto terapart = partition_graph(graph, terapart_context(8, seed));
+      ratio_sum += static_cast<double>(terapart.cut) /
+                   std::max<EdgeWeight>(1, kaminpar.cut);
+      ++instances;
+    }
+  }
+  const double mean_ratio = ratio_sum / instances;
+  EXPECT_GT(mean_ratio, 0.8);
+  EXPECT_LT(mean_ratio, 1.25);
+}
+
+TEST(Partitioner, DeterministicSingleThreaded) {
+  par::set_num_threads(1);
+  const CsrGraph graph = gen::rgg2d(2000, 10, 13);
+  const PartitionResult a = partition_graph(graph, terapart_context(8, 42));
+  const PartitionResult b = partition_graph(graph, terapart_context(8, 42));
+  EXPECT_EQ(a.partition, b.partition);
+  EXPECT_EQ(a.cut, b.cut);
+}
+
+TEST(Partitioner, TrivialCases) {
+  const CsrGraph graph = gen::grid2d(6, 6);
+  // k = 1.
+  const PartitionResult one = partition_graph(graph, terapart_context(1, 1));
+  EXPECT_EQ(one.cut, 0);
+  EXPECT_TRUE(one.balanced);
+  // Empty graph.
+  const CsrGraph empty;
+  const PartitionResult none = partition_graph(empty, terapart_context(4, 1));
+  EXPECT_TRUE(none.partition.empty());
+}
+
+TEST(Partitioner, LargeKOnSmallGraph) {
+  const CsrGraph graph = gen::rgg2d(1200, 10, 17);
+  Context ctx = terapart_context(100, 5);
+  const PartitionResult result = partition_graph(graph, ctx);
+  ASSERT_EQ(result.partition.size(), graph.n());
+  EXPECT_TRUE(result.balanced);
+}
+
+TEST(Partitioner, WeightedGraphsStayBalancedByWeight) {
+  const CsrGraph graph =
+      gen::with_random_edge_weights(gen::rhg(2000, 12, 3.0, 3), 50, 4);
+  Context ctx = terapart_context(8, 9);
+  const PartitionResult result = partition_graph(graph, ctx);
+  expect_valid_result(graph, ctx, result);
+}
+
+TEST(Partitioner, ReportsTimersAndLevels) {
+  const CsrGraph graph = gen::rgg2d(5000, 12, 21);
+  const PartitionResult result = partition_graph(graph, terapart_context(4, 3));
+  EXPECT_GT(result.num_levels, 0);
+  EXPECT_GT(result.timers.total("coarsening"), 0.0);
+  EXPECT_GT(result.timers.total("initial_partitioning"), 0.0);
+  EXPECT_GT(result.timers.total("refinement"), 0.0);
+}
+
+} // namespace
+} // namespace terapart

@@ -1,0 +1,147 @@
+// Tests for the rating-map structures of Section IV-A: the classic sparse
+// per-thread map and the shared atomic aggregator of the two-phase scheme
+// (buffered flushing, first-setter uniqueness, concurrent correctness).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "coarsening/rating_map.h"
+#include "common/random.h"
+#include "parallel/parallel_for.h"
+
+namespace terapart {
+namespace {
+
+TEST(SparseRatingMap, AggregatesAndClears) {
+  SparseRatingMap map(100, "test");
+  map.add(5, 10);
+  map.add(5, 3);
+  map.add(42, 7);
+  EXPECT_EQ(map.get(5), 13);
+  EXPECT_EQ(map.get(42), 7);
+  EXPECT_EQ(map.get(0), 0);
+  EXPECT_EQ(map.touched().size(), 2u);
+
+  std::map<ClusterID, EdgeWeight> seen;
+  map.for_each([&](const ClusterID c, const EdgeWeight w) { seen[c] = w; });
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[5], 13);
+
+  map.clear();
+  EXPECT_EQ(map.get(5), 0);
+  EXPECT_TRUE(map.touched().empty());
+}
+
+TEST(SparseRatingMap, TracksMemory) {
+  MemoryTracker::global().reset();
+  {
+    SparseRatingMap map(1000, "test/ratings");
+    EXPECT_EQ(MemoryTracker::global().current("test/ratings"), 1000 * sizeof(EdgeWeight));
+  }
+  EXPECT_EQ(MemoryTracker::global().current("test/ratings"), 0u);
+}
+
+TEST(SharedSparseAggregator, SingleThreadedMatchesReference) {
+  par::set_num_threads(1);
+  SharedSparseAggregator aggregator(500, 16, "test");
+  std::map<ClusterID, EdgeWeight> reference;
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto cluster = static_cast<ClusterID>(rng.next_bounded(500));
+    const auto weight = static_cast<EdgeWeight>(1 + rng.next_bounded(9));
+    aggregator.add(cluster, weight);
+    reference[cluster] += weight;
+  }
+  aggregator.flush_all();
+
+  std::map<ClusterID, EdgeWeight> seen;
+  std::set<ClusterID> visited;
+  aggregator.for_each([&](const ClusterID c, const EdgeWeight w) {
+    // First-setter lists must not contain duplicates.
+    EXPECT_TRUE(visited.insert(c).second) << "duplicate cluster " << c;
+    seen[c] = w;
+  });
+  EXPECT_EQ(seen, reference);
+
+  aggregator.clear();
+  bool any = false;
+  aggregator.for_each([&](ClusterID, EdgeWeight) { any = true; });
+  EXPECT_FALSE(any);
+}
+
+class AggregatorConcurrency : public ::testing::TestWithParam<int> {
+protected:
+  void SetUp() override { par::set_num_threads(GetParam()); }
+  void TearDown() override { par::set_num_threads(1); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Threads, AggregatorConcurrency, ::testing::Values(1, 2, 4, 8));
+
+TEST_P(AggregatorConcurrency, ConcurrentAddsAggregateExactly) {
+  // This is exactly the second-phase pattern: many threads funnel edge-weight
+  // contributions for a single bumped vertex through tiny buffers into the
+  // shared array. Totals must be exact and first-setters unique.
+  constexpr ClusterID kClusters = 1000;
+  constexpr std::uint32_t kContributions = 200'000;
+  SharedSparseAggregator aggregator(kClusters, 8, "test"); // tiny buffers: many flushes
+
+  std::vector<EdgeWeight> expected(kClusters, 0);
+  for (std::uint32_t i = 0; i < kContributions; ++i) {
+    expected[(i * 2654435761u) % kClusters] += 1 + static_cast<EdgeWeight>(i % 5);
+  }
+
+  par::parallel_for_each<std::uint32_t>(0, kContributions, [&](const std::uint32_t i) {
+    aggregator.add((i * 2654435761u) % kClusters, 1 + static_cast<EdgeWeight>(i % 5));
+  });
+  aggregator.flush_all();
+
+  std::set<ClusterID> visited;
+  std::vector<EdgeWeight> actual(kClusters, 0);
+  aggregator.for_each([&](const ClusterID c, const EdgeWeight w) {
+    ASSERT_TRUE(visited.insert(c).second) << "duplicate first-setter entry for " << c;
+    actual[c] = w;
+  });
+  for (ClusterID c = 0; c < kClusters; ++c) {
+    ASSERT_EQ(actual[c], expected[c]) << "cluster " << c;
+  }
+}
+
+TEST_P(AggregatorConcurrency, ReusableAcrossRounds) {
+  // The second phase clears and reuses the aggregator per bumped vertex.
+  SharedSparseAggregator aggregator(100, 4, "test");
+  for (int round = 0; round < 10; ++round) {
+    par::parallel_for_each<std::uint32_t>(0, 5000, [&](const std::uint32_t i) {
+      aggregator.add(i % 100, 1);
+    });
+    aggregator.flush_all();
+    EdgeWeight total = 0;
+    NodeID entries = 0;
+    aggregator.for_each([&](ClusterID, const EdgeWeight w) {
+      total += w;
+      ++entries;
+    });
+    ASSERT_EQ(total, 5000) << "round " << round;
+    ASSERT_EQ(entries, 100u);
+    aggregator.clear();
+  }
+}
+
+TEST(SharedSparseAggregator, BufferingReducesToSameTotals) {
+  // Same stream through different buffer capacities => same aggregate.
+  par::set_num_threads(4);
+  for (const std::size_t capacity : {2u, 16u, 256u}) {
+    SharedSparseAggregator aggregator(50, capacity, "test");
+    par::parallel_for_each<std::uint32_t>(0, 10'000, [&](const std::uint32_t i) {
+      aggregator.add(i % 50, 2);
+    });
+    aggregator.flush_all();
+    EdgeWeight total = 0;
+    aggregator.for_each([&](ClusterID, const EdgeWeight w) { total += w; });
+    EXPECT_EQ(total, 20'000) << "capacity " << capacity;
+  }
+  par::set_num_threads(1);
+}
+
+} // namespace
+} // namespace terapart

@@ -1,0 +1,235 @@
+// Tests for the refiners: size-constrained LP, parallel localized k-way FM
+// (all three gain-table modes), and the rebalancer.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "generators/generators.h"
+#include "graph/graph_builder.h"
+#include "partition/metrics.h"
+#include "partition/partitioned_graph.h"
+#include "refinement/fm_refiner.h"
+#include "refinement/lp_refiner.h"
+#include "refinement/rebalancer.h"
+#include "parallel/thread_pool.h"
+
+namespace terapart {
+namespace {
+
+std::vector<BlockID> random_partition(const NodeID n, const BlockID k, const std::uint64_t seed) {
+  std::vector<BlockID> partition(n);
+  Random rng(seed);
+  for (auto &b : partition) {
+    b = static_cast<BlockID>(rng.next_bounded(k));
+  }
+  return partition;
+}
+
+bool within_bound(const CsrGraph &graph, const PartitionedGraph &partitioned,
+                  const BlockWeight bound) {
+  const auto weights = metrics::block_weights(graph, partitioned.partition(), partitioned.k());
+  for (const BlockWeight weight : weights) {
+    if (weight > bound) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(PartitionedGraph, MoveSemantics) {
+  const CsrGraph graph = gen::grid2d(4, 4);
+  PartitionedGraph partitioned(graph, 2, std::vector<BlockID>(16, 0));
+  EXPECT_EQ(partitioned.block_weight(0), 16);
+  EXPECT_EQ(partitioned.block_weight(1), 0);
+
+  EXPECT_TRUE(partitioned.try_move(3, 1, 1, 100));
+  EXPECT_EQ(partitioned.block(3), 1u);
+  EXPECT_EQ(partitioned.block_weight(0), 15);
+  EXPECT_EQ(partitioned.block_weight(1), 1);
+
+  // Bound blocks the move.
+  EXPECT_FALSE(partitioned.try_move(4, 1, 1, 1));
+  EXPECT_EQ(partitioned.block(4), 0u);
+
+  // force_move ignores the bound.
+  partitioned.force_move(4, 1, 1);
+  EXPECT_EQ(partitioned.block(4), 1u);
+
+  // Moving to the same block is a no-op.
+  EXPECT_FALSE(partitioned.try_move(4, 1, 1, 100));
+}
+
+class RefinerThreadTest : public ::testing::TestWithParam<int> {
+protected:
+  void SetUp() override { par::set_num_threads(GetParam()); }
+  void TearDown() override { par::set_num_threads(1); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Threads, RefinerThreadTest, ::testing::Values(1, 4));
+
+TEST_P(RefinerThreadTest, LpRefinerImprovesRandomPartitions) {
+  for (const auto &spec : {"grid2d:rows=30,cols=30", "rgg2d:n=1000,deg=10"}) {
+    const CsrGraph graph = gen::by_spec(spec, 3);
+    const BlockID k = 4;
+    const BlockWeight bound =
+        metrics::max_block_weight(graph.total_node_weight(), k, 0.10);
+    PartitionedGraph partitioned(graph, k, random_partition(graph.n(), k, 5));
+    const EdgeWeight before = metrics::edge_cut(graph, partitioned.partition());
+    const auto moves = lp_refine(graph, partitioned, bound, LpRefinementConfig{}, 7);
+    const EdgeWeight after = metrics::edge_cut(graph, partitioned.partition());
+    EXPECT_GT(moves, 0u) << spec;
+    EXPECT_LT(after, before) << spec;
+    EXPECT_TRUE(within_bound(graph, partitioned, bound)) << spec;
+  }
+}
+
+TEST_P(RefinerThreadTest, LpRefinerKeepsBalancedInputBalanced) {
+  const CsrGraph graph = gen::rhg(800, 12, 3.0, 9);
+  const BlockID k = 8;
+  const BlockWeight bound = metrics::max_block_weight(graph.total_node_weight(), k, 0.03);
+  // Round-robin start: balanced.
+  std::vector<BlockID> partition(graph.n());
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    partition[u] = static_cast<BlockID>(u % k);
+  }
+  PartitionedGraph partitioned(graph, k, std::move(partition));
+  lp_refine(graph, partitioned, bound, LpRefinementConfig{}, 11);
+  EXPECT_TRUE(within_bound(graph, partitioned, bound));
+}
+
+struct FmCase {
+  std::string name;
+  GainTableKind kind;
+};
+
+class FmRefinerTest : public ::testing::TestWithParam<FmCase> {};
+
+INSTANTIATE_TEST_SUITE_P(Tables, FmRefinerTest,
+                         ::testing::Values(FmCase{"none", GainTableKind::kNone},
+                                           FmCase{"dense", GainTableKind::kDense},
+                                           FmCase{"sparse", GainTableKind::kSparse}),
+                         [](const auto &info) { return info.param.name; });
+
+TEST_P(FmRefinerTest, ImprovesTheCutSingleThreaded) {
+  par::set_num_threads(1);
+  const CsrGraph graph = gen::grid2d(24, 24);
+  const BlockID k = 4;
+  const BlockWeight bound = metrics::max_block_weight(graph.total_node_weight(), k, 0.10);
+  // Striped start: terrible cut, balanced.
+  std::vector<BlockID> partition(graph.n());
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    partition[u] = static_cast<BlockID>(u % k);
+  }
+  PartitionedGraph partitioned(graph, k, std::move(partition));
+  const EdgeWeight before = metrics::edge_cut(graph, partitioned.partition());
+
+  FmConfig config;
+  config.gain_table = GetParam().kind;
+  const FmStats stats = fm_refine(graph, partitioned, bound, config, 13);
+  const EdgeWeight after = metrics::edge_cut(graph, partitioned.partition());
+
+  EXPECT_LT(after, before);
+  EXPECT_EQ(before - after, stats.improvement);
+  EXPECT_GT(stats.moves, 0u);
+  EXPECT_GT(stats.gain_queries, stats.moves); // gains inspected >> moves (Section V)
+}
+
+TEST_P(FmRefinerTest, ParallelRunStaysConsistent) {
+  par::set_num_threads(4);
+  const CsrGraph graph = gen::rgg2d(1500, 12, 3);
+  const BlockID k = 8;
+  const BlockWeight bound = metrics::max_block_weight(graph.total_node_weight(), k, 0.10);
+  PartitionedGraph partitioned(graph, k, random_partition(graph.n(), k, 7));
+  lp_refine(graph, partitioned, bound, LpRefinementConfig{}, 3); // plausible start
+  const EdgeWeight before = metrics::edge_cut(graph, partitioned.partition());
+
+  FmConfig config;
+  config.gain_table = GetParam().kind;
+  fm_refine(graph, partitioned, bound, config, 17);
+  rebalance(graph, partitioned, bound);
+  const EdgeWeight after = metrics::edge_cut(graph, partitioned.partition());
+
+  // Block weights bookkeeping must match a recount.
+  const auto recount = metrics::block_weights(graph, partitioned.partition(), k);
+  for (BlockID b = 0; b < k; ++b) {
+    ASSERT_EQ(recount[b], partitioned.block_weight(b));
+  }
+  EXPECT_TRUE(within_bound(graph, partitioned, bound));
+  EXPECT_LE(after, before + before / 10); // no catastrophic regression
+  par::set_num_threads(1);
+}
+
+TEST(FmRefiner, AllTableKindsReachSimilarQuality) {
+  par::set_num_threads(1);
+  const CsrGraph graph = gen::rgg2d(800, 10, 23);
+  const BlockID k = 4;
+  const BlockWeight bound = metrics::max_block_weight(graph.total_node_weight(), k, 0.10);
+
+  std::vector<EdgeWeight> cuts;
+  for (const GainTableKind kind :
+       {GainTableKind::kNone, GainTableKind::kDense, GainTableKind::kSparse}) {
+    PartitionedGraph partitioned(graph, k, random_partition(graph.n(), k, 29));
+    lp_refine(graph, partitioned, bound, LpRefinementConfig{}, 3);
+    FmConfig config;
+    config.gain_table = kind;
+    fm_refine(graph, partitioned, bound, config, 31);
+    cuts.push_back(metrics::edge_cut(graph, partitioned.partition()));
+  }
+  // Identical seeds + identical algorithm => identical decisions regardless
+  // of how gains are *stored*.
+  EXPECT_EQ(cuts[0], cuts[1]);
+  EXPECT_EQ(cuts[1], cuts[2]);
+}
+
+TEST(Rebalancer, RepairsAnOverloadedBlock) {
+  const CsrGraph graph = gen::grid2d(20, 20);
+  const BlockID k = 4;
+  // Everything in block 0: maximally imbalanced.
+  PartitionedGraph partitioned(graph, k, std::vector<BlockID>(graph.n(), 0));
+  const BlockWeight bound = metrics::max_block_weight(graph.total_node_weight(), k, 0.03);
+  EXPECT_FALSE(within_bound(graph, partitioned, bound));
+  const auto moves = rebalance(graph, partitioned, bound);
+  EXPECT_GT(moves, 0u);
+  EXPECT_TRUE(within_bound(graph, partitioned, bound));
+}
+
+TEST(Rebalancer, NoOpOnBalancedPartition) {
+  const CsrGraph graph = gen::grid2d(10, 10);
+  const BlockID k = 2;
+  std::vector<BlockID> partition(graph.n());
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    partition[u] = u < graph.n() / 2 ? 0 : 1;
+  }
+  PartitionedGraph partitioned(graph, k, std::move(partition));
+  const BlockWeight bound = metrics::max_block_weight(graph.total_node_weight(), k, 0.03);
+  EXPECT_EQ(rebalance(graph, partitioned, bound), 0u);
+}
+
+TEST(Rebalancer, PrefersLowLossMoves) {
+  // Two cliques joined by one edge, everything in block 0. Rebalancing to 2
+  // blocks should split along the bridge (cut 1), not through a clique.
+  std::vector<std::vector<NodeID>> adjacency(8);
+  for (NodeID a = 0; a < 4; ++a) {
+    for (NodeID b = a + 1; b < 4; ++b) {
+      adjacency[a].push_back(b);
+      adjacency[b].push_back(a);
+    }
+  }
+  for (NodeID a = 4; a < 8; ++a) {
+    for (NodeID b = a + 1; b < 8; ++b) {
+      adjacency[a].push_back(b);
+      adjacency[b].push_back(a);
+    }
+  }
+  adjacency[3].push_back(4);
+  adjacency[4].push_back(3);
+  const CsrGraph graph = graph_from_adjacency_unweighted(adjacency);
+  PartitionedGraph partitioned(graph, 2, std::vector<BlockID>(8, 0));
+  rebalance(graph, partitioned, 4);
+  EXPECT_LE(partitioned.block_weight(0), 4);
+  // One-shot greedy cannot guarantee the optimal bridge split (cut 1), but
+  // it must stay well below a clique-shredding random split (cut ~8-10).
+  EXPECT_LE(metrics::edge_cut(graph, partitioned.partition()), 8);
+}
+
+} // namespace
+} // namespace terapart

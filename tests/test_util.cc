@@ -1,0 +1,83 @@
+// Tests for the small utilities: timers, phase timer accumulation, logging
+// levels, and the assertion machinery's availability.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace terapart {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.elapsed_s();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_NEAR(timer.elapsed_ms(), timer.elapsed_s() * 1e3, 50.0);
+}
+
+TEST(Timer, RestartResets) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.restart();
+  EXPECT_LT(timer.elapsed_s(), 0.015);
+}
+
+TEST(PhaseTimer, AccumulatesByName) {
+  PhaseTimer timer;
+  timer.add("coarsening", 1.0);
+  timer.add("refinement", 0.5);
+  timer.add("coarsening", 0.25);
+  EXPECT_DOUBLE_EQ(timer.total("coarsening"), 1.25);
+  EXPECT_DOUBLE_EQ(timer.total("refinement"), 0.5);
+  EXPECT_DOUBLE_EQ(timer.total("missing"), 0.0);
+}
+
+TEST(PhaseTimer, PreservesFirstRecordedOrder) {
+  PhaseTimer timer;
+  timer.add("b", 1.0);
+  timer.add("a", 1.0);
+  timer.add("b", 1.0);
+  const auto &entries = timer.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, "b");
+  EXPECT_EQ(entries[1].first, "a");
+  EXPECT_DOUBLE_EQ(entries[0].second, 2.0);
+}
+
+TEST(PhaseTimer, ScopeRecordsOnDestruction) {
+  PhaseTimer timer;
+  {
+    auto scope = timer.scope("phase");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(timer.total("phase"), 0.005);
+}
+
+TEST(PhaseTimer, ClearEmpties) {
+  PhaseTimer timer;
+  timer.add("x", 1.0);
+  timer.clear();
+  EXPECT_TRUE(timer.entries().empty());
+  EXPECT_DOUBLE_EQ(timer.total("x"), 0.0);
+}
+
+TEST(Logging, LevelGatesOutput) {
+  const LogLevel saved = log_level();
+  log_level() = LogLevel::kQuiet;
+  // Quiet: the statement must be a no-op (we can at least verify it does not
+  // crash and the stream expression compiles for arbitrary types).
+  LOG_INFO << "hidden " << 42 << " " << 3.14;
+  LOG_DEBUG << "also hidden";
+  log_level() = LogLevel::kInfo;
+  LOG_DEBUG << "still hidden at info level";
+  log_level() = saved;
+  SUCCEED();
+}
+
+} // namespace
+} // namespace terapart
