@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_memory_stack.dir/bench_fig1_memory_stack.cc.o"
+  "CMakeFiles/bench_fig1_memory_stack.dir/bench_fig1_memory_stack.cc.o.d"
+  "bench_fig1_memory_stack"
+  "bench_fig1_memory_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_memory_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

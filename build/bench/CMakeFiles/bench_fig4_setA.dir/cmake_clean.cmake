@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_setA.dir/bench_fig4_setA.cc.o"
+  "CMakeFiles/bench_fig4_setA.dir/bench_fig4_setA.cc.o.d"
+  "bench_fig4_setA"
+  "bench_fig4_setA.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_setA.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_setB.dir/bench_fig6_setB.cc.o"
+  "CMakeFiles/bench_fig6_setB.dir/bench_fig6_setB.cc.o.d"
+  "bench_fig6_setB"
+  "bench_fig6_setB.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_setB.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_io_single_pass.dir/bench_io_single_pass.cc.o"
+  "CMakeFiles/bench_io_single_pass.dir/bench_io_single_pass.cc.o.d"
+  "bench_io_single_pass"
+  "bench_io_single_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_single_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_fm_webgraphs.dir/bench_table2_fm_webgraphs.cc.o"
+  "CMakeFiles/bench_table2_fm_webgraphs.dir/bench_table2_fm_webgraphs.cc.o.d"
+  "bench_table2_fm_webgraphs"
+  "bench_table2_fm_webgraphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_fm_webgraphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

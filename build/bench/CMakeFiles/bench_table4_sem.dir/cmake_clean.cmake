@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_sem.dir/bench_table4_sem.cc.o"
+  "CMakeFiles/bench_table4_sem.dir/bench_table4_sem.cc.o.d"
+  "bench_table4_sem"
+  "bench_table4_sem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_epsilon_sweep.dir/mesh_epsilon_sweep.cpp.o"
+  "CMakeFiles/mesh_epsilon_sweep.dir/mesh_epsilon_sweep.cpp.o.d"
+  "mesh_epsilon_sweep"
+  "mesh_epsilon_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_epsilon_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_network_kway.dir/social_network_kway.cpp.o"
+  "CMakeFiles/social_network_kway.dir/social_network_kway.cpp.o.d"
+  "social_network_kway"
+  "social_network_kway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_network_kway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terapart_cli.dir/terapart_cli.cpp.o"
+  "CMakeFiles/terapart_cli.dir/terapart_cli.cpp.o.d"
+  "terapart_cli"
+  "terapart_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terapart_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webgraph_compression.dir/webgraph_compression.cpp.o"
+  "CMakeFiles/webgraph_compression.dir/webgraph_compression.cpp.o.d"
+  "webgraph_compression"
+  "webgraph_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webgraph_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terapart_baselines.dir/baselines/heistream_like.cc.o"
+  "CMakeFiles/terapart_baselines.dir/baselines/heistream_like.cc.o.d"
+  "CMakeFiles/terapart_baselines.dir/baselines/metis_like.cc.o"
+  "CMakeFiles/terapart_baselines.dir/baselines/metis_like.cc.o.d"
+  "CMakeFiles/terapart_baselines.dir/baselines/semi_external.cc.o"
+  "CMakeFiles/terapart_baselines.dir/baselines/semi_external.cc.o.d"
+  "CMakeFiles/terapart_baselines.dir/baselines/xtrapulp_like.cc.o"
+  "CMakeFiles/terapart_baselines.dir/baselines/xtrapulp_like.cc.o.d"
+  "libterapart_baselines.a"
+  "libterapart_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terapart_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

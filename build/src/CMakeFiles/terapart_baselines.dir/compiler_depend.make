@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for terapart_baselines.
+# This may be replaced when dependencies are built.

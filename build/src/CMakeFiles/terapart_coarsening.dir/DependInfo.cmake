@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coarsening/coarsener.cc" "src/CMakeFiles/terapart_coarsening.dir/coarsening/coarsener.cc.o" "gcc" "src/CMakeFiles/terapart_coarsening.dir/coarsening/coarsener.cc.o.d"
+  "/root/repo/src/coarsening/contraction.cc" "src/CMakeFiles/terapart_coarsening.dir/coarsening/contraction.cc.o" "gcc" "src/CMakeFiles/terapart_coarsening.dir/coarsening/contraction.cc.o.d"
+  "/root/repo/src/coarsening/lp_clustering.cc" "src/CMakeFiles/terapart_coarsening.dir/coarsening/lp_clustering.cc.o" "gcc" "src/CMakeFiles/terapart_coarsening.dir/coarsening/lp_clustering.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/terapart_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

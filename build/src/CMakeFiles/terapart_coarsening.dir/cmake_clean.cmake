@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terapart_coarsening.dir/coarsening/coarsener.cc.o"
+  "CMakeFiles/terapart_coarsening.dir/coarsening/coarsener.cc.o.d"
+  "CMakeFiles/terapart_coarsening.dir/coarsening/contraction.cc.o"
+  "CMakeFiles/terapart_coarsening.dir/coarsening/contraction.cc.o.d"
+  "CMakeFiles/terapart_coarsening.dir/coarsening/lp_clustering.cc.o"
+  "CMakeFiles/terapart_coarsening.dir/coarsening/lp_clustering.cc.o.d"
+  "libterapart_coarsening.a"
+  "libterapart_coarsening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terapart_coarsening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

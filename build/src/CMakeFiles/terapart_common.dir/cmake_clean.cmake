@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terapart_common.dir/common/logging.cc.o"
+  "CMakeFiles/terapart_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/terapart_common.dir/common/memory_tracker.cc.o"
+  "CMakeFiles/terapart_common.dir/common/memory_tracker.cc.o.d"
+  "CMakeFiles/terapart_common.dir/common/overcommit.cc.o"
+  "CMakeFiles/terapart_common.dir/common/overcommit.cc.o.d"
+  "libterapart_common.a"
+  "libterapart_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terapart_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compression/compressed_graph.cc" "src/CMakeFiles/terapart_compression.dir/compression/compressed_graph.cc.o" "gcc" "src/CMakeFiles/terapart_compression.dir/compression/compressed_graph.cc.o.d"
+  "/root/repo/src/compression/encoder.cc" "src/CMakeFiles/terapart_compression.dir/compression/encoder.cc.o" "gcc" "src/CMakeFiles/terapart_compression.dir/compression/encoder.cc.o.d"
+  "/root/repo/src/compression/parallel_compressor.cc" "src/CMakeFiles/terapart_compression.dir/compression/parallel_compressor.cc.o" "gcc" "src/CMakeFiles/terapart_compression.dir/compression/parallel_compressor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/terapart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terapart_compression.dir/compression/compressed_graph.cc.o"
+  "CMakeFiles/terapart_compression.dir/compression/compressed_graph.cc.o.d"
+  "CMakeFiles/terapart_compression.dir/compression/encoder.cc.o"
+  "CMakeFiles/terapart_compression.dir/compression/encoder.cc.o.d"
+  "CMakeFiles/terapart_compression.dir/compression/parallel_compressor.cc.o"
+  "CMakeFiles/terapart_compression.dir/compression/parallel_compressor.cc.o.d"
+  "libterapart_compression.a"
+  "libterapart_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terapart_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libterapart_compression.a"
+)

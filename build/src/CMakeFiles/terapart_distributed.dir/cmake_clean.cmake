@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terapart_distributed.dir/distributed/comm.cc.o"
+  "CMakeFiles/terapart_distributed.dir/distributed/comm.cc.o.d"
+  "CMakeFiles/terapart_distributed.dir/distributed/dist_contraction.cc.o"
+  "CMakeFiles/terapart_distributed.dir/distributed/dist_contraction.cc.o.d"
+  "CMakeFiles/terapart_distributed.dir/distributed/dist_graph.cc.o"
+  "CMakeFiles/terapart_distributed.dir/distributed/dist_graph.cc.o.d"
+  "CMakeFiles/terapart_distributed.dir/distributed/dist_lp.cc.o"
+  "CMakeFiles/terapart_distributed.dir/distributed/dist_lp.cc.o.d"
+  "CMakeFiles/terapart_distributed.dir/distributed/dist_partitioner.cc.o"
+  "CMakeFiles/terapart_distributed.dir/distributed/dist_partitioner.cc.o.d"
+  "libterapart_distributed.a"
+  "libterapart_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terapart_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

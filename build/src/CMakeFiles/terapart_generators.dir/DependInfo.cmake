@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/generators/benchmark_sets.cc" "src/CMakeFiles/terapart_generators.dir/generators/benchmark_sets.cc.o" "gcc" "src/CMakeFiles/terapart_generators.dir/generators/benchmark_sets.cc.o.d"
+  "/root/repo/src/generators/generators.cc" "src/CMakeFiles/terapart_generators.dir/generators/generators.cc.o" "gcc" "src/CMakeFiles/terapart_generators.dir/generators/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/terapart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terapart_generators.dir/generators/benchmark_sets.cc.o"
+  "CMakeFiles/terapart_generators.dir/generators/benchmark_sets.cc.o.d"
+  "CMakeFiles/terapart_generators.dir/generators/generators.cc.o"
+  "CMakeFiles/terapart_generators.dir/generators/generators.cc.o.d"
+  "libterapart_generators.a"
+  "libterapart_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terapart_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr_graph.cc" "src/CMakeFiles/terapart_graph.dir/graph/csr_graph.cc.o" "gcc" "src/CMakeFiles/terapart_graph.dir/graph/csr_graph.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/CMakeFiles/terapart_graph.dir/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/terapart_graph.dir/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/terapart_graph.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/terapart_graph.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/graph_utils.cc" "src/CMakeFiles/terapart_graph.dir/graph/graph_utils.cc.o" "gcc" "src/CMakeFiles/terapart_graph.dir/graph/graph_utils.cc.o.d"
+  "/root/repo/src/graph/validation.cc" "src/CMakeFiles/terapart_graph.dir/graph/validation.cc.o" "gcc" "src/CMakeFiles/terapart_graph.dir/graph/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/terapart_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

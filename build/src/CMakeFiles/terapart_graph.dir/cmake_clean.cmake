@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terapart_graph.dir/graph/csr_graph.cc.o"
+  "CMakeFiles/terapart_graph.dir/graph/csr_graph.cc.o.d"
+  "CMakeFiles/terapart_graph.dir/graph/graph_builder.cc.o"
+  "CMakeFiles/terapart_graph.dir/graph/graph_builder.cc.o.d"
+  "CMakeFiles/terapart_graph.dir/graph/graph_io.cc.o"
+  "CMakeFiles/terapart_graph.dir/graph/graph_io.cc.o.d"
+  "CMakeFiles/terapart_graph.dir/graph/graph_utils.cc.o"
+  "CMakeFiles/terapart_graph.dir/graph/graph_utils.cc.o.d"
+  "CMakeFiles/terapart_graph.dir/graph/validation.cc.o"
+  "CMakeFiles/terapart_graph.dir/graph/validation.cc.o.d"
+  "libterapart_graph.a"
+  "libterapart_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terapart_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/initial/bipartitioner.cc" "src/CMakeFiles/terapart_initial.dir/initial/bipartitioner.cc.o" "gcc" "src/CMakeFiles/terapart_initial.dir/initial/bipartitioner.cc.o.d"
+  "/root/repo/src/initial/fm2way.cc" "src/CMakeFiles/terapart_initial.dir/initial/fm2way.cc.o" "gcc" "src/CMakeFiles/terapart_initial.dir/initial/fm2way.cc.o.d"
+  "/root/repo/src/initial/initial_partitioner.cc" "src/CMakeFiles/terapart_initial.dir/initial/initial_partitioner.cc.o" "gcc" "src/CMakeFiles/terapart_initial.dir/initial/initial_partitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/terapart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

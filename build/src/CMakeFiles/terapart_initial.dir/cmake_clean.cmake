@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terapart_initial.dir/initial/bipartitioner.cc.o"
+  "CMakeFiles/terapart_initial.dir/initial/bipartitioner.cc.o.d"
+  "CMakeFiles/terapart_initial.dir/initial/fm2way.cc.o"
+  "CMakeFiles/terapart_initial.dir/initial/fm2way.cc.o.d"
+  "CMakeFiles/terapart_initial.dir/initial/initial_partitioner.cc.o"
+  "CMakeFiles/terapart_initial.dir/initial/initial_partitioner.cc.o.d"
+  "libterapart_initial.a"
+  "libterapart_initial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terapart_initial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terapart_parallel.dir/parallel/thread_pool.cc.o"
+  "CMakeFiles/terapart_parallel.dir/parallel/thread_pool.cc.o.d"
+  "libterapart_parallel.a"
+  "libterapart_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terapart_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terapart_partition.dir/partition/context.cc.o"
+  "CMakeFiles/terapart_partition.dir/partition/context.cc.o.d"
+  "CMakeFiles/terapart_partition.dir/partition/metrics.cc.o"
+  "CMakeFiles/terapart_partition.dir/partition/metrics.cc.o.d"
+  "CMakeFiles/terapart_partition.dir/partition/partitioned_graph.cc.o"
+  "CMakeFiles/terapart_partition.dir/partition/partitioned_graph.cc.o.d"
+  "CMakeFiles/terapart_partition.dir/partition/partitioner.cc.o"
+  "CMakeFiles/terapart_partition.dir/partition/partitioner.cc.o.d"
+  "libterapart_partition.a"
+  "libterapart_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terapart_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/refinement/dense_gain_table.cc" "src/CMakeFiles/terapart_refinement.dir/refinement/dense_gain_table.cc.o" "gcc" "src/CMakeFiles/terapart_refinement.dir/refinement/dense_gain_table.cc.o.d"
+  "/root/repo/src/refinement/fm_refiner.cc" "src/CMakeFiles/terapart_refinement.dir/refinement/fm_refiner.cc.o" "gcc" "src/CMakeFiles/terapart_refinement.dir/refinement/fm_refiner.cc.o.d"
+  "/root/repo/src/refinement/lp_refiner.cc" "src/CMakeFiles/terapart_refinement.dir/refinement/lp_refiner.cc.o" "gcc" "src/CMakeFiles/terapart_refinement.dir/refinement/lp_refiner.cc.o.d"
+  "/root/repo/src/refinement/on_the_fly_gains.cc" "src/CMakeFiles/terapart_refinement.dir/refinement/on_the_fly_gains.cc.o" "gcc" "src/CMakeFiles/terapart_refinement.dir/refinement/on_the_fly_gains.cc.o.d"
+  "/root/repo/src/refinement/rebalancer.cc" "src/CMakeFiles/terapart_refinement.dir/refinement/rebalancer.cc.o" "gcc" "src/CMakeFiles/terapart_refinement.dir/refinement/rebalancer.cc.o.d"
+  "/root/repo/src/refinement/sparse_gain_table.cc" "src/CMakeFiles/terapart_refinement.dir/refinement/sparse_gain_table.cc.o" "gcc" "src/CMakeFiles/terapart_refinement.dir/refinement/sparse_gain_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/terapart_coarsening.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

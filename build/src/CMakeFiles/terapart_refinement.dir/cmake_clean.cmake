@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terapart_refinement.dir/refinement/dense_gain_table.cc.o"
+  "CMakeFiles/terapart_refinement.dir/refinement/dense_gain_table.cc.o.d"
+  "CMakeFiles/terapart_refinement.dir/refinement/fm_refiner.cc.o"
+  "CMakeFiles/terapart_refinement.dir/refinement/fm_refiner.cc.o.d"
+  "CMakeFiles/terapart_refinement.dir/refinement/lp_refiner.cc.o"
+  "CMakeFiles/terapart_refinement.dir/refinement/lp_refiner.cc.o.d"
+  "CMakeFiles/terapart_refinement.dir/refinement/on_the_fly_gains.cc.o"
+  "CMakeFiles/terapart_refinement.dir/refinement/on_the_fly_gains.cc.o.d"
+  "CMakeFiles/terapart_refinement.dir/refinement/rebalancer.cc.o"
+  "CMakeFiles/terapart_refinement.dir/refinement/rebalancer.cc.o.d"
+  "CMakeFiles/terapart_refinement.dir/refinement/sparse_gain_table.cc.o"
+  "CMakeFiles/terapart_refinement.dir/refinement/sparse_gain_table.cc.o.d"
+  "libterapart_refinement.a"
+  "libterapart_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terapart_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

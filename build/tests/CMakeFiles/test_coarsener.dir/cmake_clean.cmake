@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coarsener.dir/test_coarsener.cc.o"
+  "CMakeFiles/test_coarsener.dir/test_coarsener.cc.o.d"
+  "test_coarsener"
+  "test_coarsener.pdb"
+  "test_coarsener[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coarsener.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

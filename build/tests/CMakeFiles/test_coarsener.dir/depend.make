@@ -1,0 +1,2 @@
+# Empty dependencies file for test_coarsener.
+# This may be replaced when dependencies are built.

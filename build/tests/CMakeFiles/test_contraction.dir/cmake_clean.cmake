@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contraction.dir/test_contraction.cc.o"
+  "CMakeFiles/test_contraction.dir/test_contraction.cc.o.d"
+  "test_contraction"
+  "test_contraction.pdb"
+  "test_contraction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

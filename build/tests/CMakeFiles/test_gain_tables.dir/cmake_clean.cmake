@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gain_tables.dir/test_gain_tables.cc.o"
+  "CMakeFiles/test_gain_tables.dir/test_gain_tables.cc.o.d"
+  "test_gain_tables"
+  "test_gain_tables.pdb"
+  "test_gain_tables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gain_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

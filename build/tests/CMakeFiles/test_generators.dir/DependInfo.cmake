@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_generators.cc" "tests/CMakeFiles/test_generators.dir/test_generators.cc.o" "gcc" "tests/CMakeFiles/test_generators.dir/test_generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/terapart_distributed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_initial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_refinement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_coarsening.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_generators.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/terapart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

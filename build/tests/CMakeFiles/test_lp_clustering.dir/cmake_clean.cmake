@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp_clustering.dir/test_lp_clustering.cc.o"
+  "CMakeFiles/test_lp_clustering.dir/test_lp_clustering.cc.o.d"
+  "test_lp_clustering"
+  "test_lp_clustering.pdb"
+  "test_lp_clustering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

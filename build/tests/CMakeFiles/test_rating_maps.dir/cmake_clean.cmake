@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rating_maps.dir/test_rating_maps.cc.o"
+  "CMakeFiles/test_rating_maps.dir/test_rating_maps.cc.o.d"
+  "test_rating_maps"
+  "test_rating_maps.pdb"
+  "test_rating_maps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rating_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

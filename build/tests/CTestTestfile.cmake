@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_io[1]_include.cmake")
+include("/root/repo/build/tests/test_compression[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_rating_maps[1]_include.cmake")
+include("/root/repo/build/tests/test_lp_clustering[1]_include.cmake")
+include("/root/repo/build/tests/test_contraction[1]_include.cmake")
+include("/root/repo/build/tests/test_coarsener[1]_include.cmake")
+include("/root/repo/build/tests/test_initial[1]_include.cmake")
+include("/root/repo/build/tests/test_gain_tables[1]_include.cmake")
+include("/root/repo/build/tests/test_refinement[1]_include.cmake")
+include("/root/repo/build/tests/test_partitioner[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_distributed[1]_include.cmake")
+include("/root/repo/build/tests/test_distributed_multilevel[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
