@@ -6,7 +6,12 @@
 /// rating maps on the top level (84.5 GiB aux), (2) FM gain table
 /// (55.1 GiB), (3) contraction buffers (6 GiB); the optimizations cut them
 /// to 2.8 / 5.6 / 1.4 GiB.
+///
+/// `--json <path>` additionally writes the raw byte counts as JSON (e.g.
+/// BENCH_fig2.json) for machine-readable tracking across PRs.
 #include "bench_common.h"
+
+#include <string_view>
 
 #include "coarsening/lp_clustering.h"
 #include "coarsening/contraction.h"
@@ -70,7 +75,14 @@ PhasePeaks run_config(const CsrGraph &source, const bool optimized, const BlockI
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  const char *json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
   par::set_num_threads(bench_threads());
   MemoryTracker::global().reset();
 
@@ -102,5 +114,35 @@ int main() {
               format_bytes(optimized.graph_bytes).c_str());
   std::printf("\npaper shape: clustering 84.5->2.8 GiB, FM 55.1->5.6 GiB, contraction\n"
               "6.0->1.4 GiB on webbase2001; the ordering and direction must match.\n");
+
+  if (json_path != nullptr) {
+    std::FILE *out = std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", json_path);
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"benchmark\": \"fig2_phase_breakdown\",\n"
+                 "  \"graph\": {\"class\": \"weblike\", \"n\": %u, \"m\": %llu},\n"
+                 "  \"k\": %u,\n"
+                 "  \"threads\": %d,\n"
+                 "  \"bytes\": {\n"
+                 "    \"kaminpar\": {\"clustering\": %llu, \"contraction\": %llu, \"fm\": %llu},\n"
+                 "    \"terapart\": {\"clustering\": %llu, \"contraction\": %llu, \"fm\": %llu},\n"
+                 "    \"input_graph_csr\": %llu\n"
+                 "  }\n"
+                 "}\n",
+                 source.n(), static_cast<unsigned long long>(source.m()), k, par::num_threads(),
+                 static_cast<unsigned long long>(baseline.clustering),
+                 static_cast<unsigned long long>(baseline.contraction),
+                 static_cast<unsigned long long>(baseline.fm),
+                 static_cast<unsigned long long>(optimized.clustering),
+                 static_cast<unsigned long long>(optimized.contraction),
+                 static_cast<unsigned long long>(optimized.fm),
+                 static_cast<unsigned long long>(baseline.graph_bytes));
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path);
+  }
   return 0;
 }

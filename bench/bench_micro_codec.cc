@@ -1,7 +1,15 @@
 /// Microbenchmarks (google-benchmark) for the compression codec: VarInt
-/// encode/decode, neighborhood encode/decode across graph classes and
-/// configurations, and decode throughput relative to raw CSR iteration.
+/// encode/decode (scalar, fast, and bulk kernels), neighborhood decode across
+/// graph classes and configurations — per-edge visitor vs the block-decode
+/// API — and decode throughput relative to raw CSR iteration.
+///
+/// `--json <path>` writes the google-benchmark JSON report to `path` (e.g.
+/// BENCH_codec.json) so the perf trajectory is machine-trackable across PRs.
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/random.h"
 #include "common/varint.h"
@@ -12,12 +20,17 @@ namespace {
 
 using namespace terapart;
 
-void BM_VarIntEncode(benchmark::State &state) {
+std::vector<std::uint64_t> varint_test_values() {
   Random rng(1);
   std::vector<std::uint64_t> values(4096);
   for (auto &value : values) {
     value = rng() >> rng.next_bounded(56);
   }
+  return values;
+}
+
+void BM_VarIntEncode(benchmark::State &state) {
+  const std::vector<std::uint64_t> values = varint_test_values();
   std::vector<std::uint8_t> buffer(values.size() * 10);
   for (auto _ : state) {
     std::size_t pos = 0;
@@ -31,12 +44,8 @@ void BM_VarIntEncode(benchmark::State &state) {
 BENCHMARK(BM_VarIntEncode);
 
 void BM_VarIntDecode(benchmark::State &state) {
-  Random rng(1);
-  std::vector<std::uint64_t> values(4096);
-  for (auto &value : values) {
-    value = rng() >> rng.next_bounded(56);
-  }
-  std::vector<std::uint8_t> buffer(values.size() * 10);
+  const std::vector<std::uint64_t> values = varint_test_values();
+  std::vector<std::uint8_t> buffer(values.size() * 10 + kVarIntDecodePadding);
   std::size_t bytes = 0;
   for (const std::uint64_t value : values) {
     bytes += varint_encode(value, buffer.data() + bytes);
@@ -53,18 +62,68 @@ void BM_VarIntDecode(benchmark::State &state) {
 }
 BENCHMARK(BM_VarIntDecode);
 
+void BM_VarIntDecodeFast(benchmark::State &state) {
+  const std::vector<std::uint64_t> values = varint_test_values();
+  std::vector<std::uint8_t> buffer(values.size() * 10 + kVarIntDecodePadding);
+  std::size_t bytes = 0;
+  for (const std::uint64_t value : values) {
+    bytes += varint_encode(value, buffer.data() + bytes);
+  }
+  for (auto _ : state) {
+    const std::uint8_t *ptr = buffer.data();
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      sum += varint_decode_fast<std::uint64_t>(ptr);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * values.size());
+}
+BENCHMARK(BM_VarIntDecodeFast);
+
+void BM_VarIntDecodeRun(benchmark::State &state) {
+  const std::vector<std::uint64_t> values = varint_test_values();
+  std::vector<std::uint8_t> buffer(values.size() * 10 + kVarIntDecodePadding);
+  std::size_t bytes = 0;
+  for (const std::uint64_t value : values) {
+    bytes += varint_encode(value, buffer.data() + bytes);
+  }
+  std::vector<std::uint64_t> out(values.size());
+  for (auto _ : state) {
+    const std::uint8_t *end = varint_decode_run(buffer.data(), values.size(), out.data());
+    benchmark::DoNotOptimize(end);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * values.size());
+}
+BENCHMARK(BM_VarIntDecodeRun);
+
 const CsrGraph &codec_graph(const int kind) {
   static const CsrGraph web = gen::weblike(20'000, 20, 1);
   static const CsrGraph mesh = gen::rgg2d(20'000, 16, 1);
   static const CsrGraph kmer = gen::kmer_like(20'000, 8, 1);
+  static const CsrGraph mesh64 = gen::rgg2d(20'000, 64, 1); // dense gap streams
   switch (kind) {
   case 0:
     return web;
   case 1:
     return mesh;
-  default:
+  case 2:
     return kmer;
+  default:
+    return mesh64;
   }
+}
+
+const CompressedGraph &codec_graph_compressed(const int kind, const bool intervals) {
+  static CompressedGraph cache[4][2];
+  CompressedGraph &slot = cache[kind][intervals ? 1 : 0];
+  if (slot.n() == 0) {
+    CompressionConfig config;
+    config.intervals = intervals;
+    slot = compress_graph(codec_graph(kind), config);
+  }
+  return slot;
 }
 
 void BM_CompressGraph(benchmark::State &state) {
@@ -82,12 +141,13 @@ void BM_CompressGraph(benchmark::State &state) {
       static_cast<double>(compressed.used_bytes()) / static_cast<double>(graph.m());
 }
 BENCHMARK(BM_CompressGraph)
-    ->ArgsProduct({{0, 1, 2}, {0, 1}})
-    ->ArgNames({"class(0=web,1=mesh,2=kmer)", "intervals"});
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->ArgNames({"class(0=web,1=mesh,2=kmer,3=mesh64)", "intervals"});
 
+/// Per-edge visitor baseline: one lambda call + scalar varint decode per edge.
 void BM_DecodeNeighborhoods(benchmark::State &state) {
-  const CsrGraph &graph = codec_graph(static_cast<int>(state.range(0)));
-  const CompressedGraph compressed = compress_graph(graph);
+  const CompressedGraph &compressed =
+      codec_graph_compressed(static_cast<int>(state.range(0)), state.range(1) != 0);
   for (auto _ : state) {
     std::uint64_t sum = 0;
     for (NodeID u = 0; u < compressed.n(); ++u) {
@@ -98,9 +158,69 @@ void BM_DecodeNeighborhoods(benchmark::State &state) {
     benchmark::DoNotOptimize(sum);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(graph.m()));
+                          static_cast<std::int64_t>(compressed.m()));
 }
-BENCHMARK(BM_DecodeNeighborhoods)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_DecodeNeighborhoods)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->ArgNames({"class(0=web,1=mesh,2=kmer,3=mesh64)", "intervals"});
+
+/// Block API: bulk varint kernels into stack arrays, one lambda per block.
+void BM_DecodeNeighborhoodsBlock(benchmark::State &state) {
+  const CompressedGraph &compressed =
+      codec_graph_compressed(static_cast<int>(state.range(0)), state.range(1) != 0);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (NodeID u = 0; u < compressed.n(); ++u) {
+      compressed.for_each_neighbor_block(
+          u, [&](const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+            if (ws == nullptr) {
+              for (std::size_t i = 0; i < count; ++i) {
+                sum += ids[i] + 1u;
+              }
+            } else {
+              for (std::size_t i = 0; i < count; ++i) {
+                sum += ids[i] + static_cast<std::uint64_t>(ws[i]);
+              }
+            }
+          });
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(compressed.m()));
+}
+BENCHMARK(BM_DecodeNeighborhoodsBlock)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->ArgNames({"class(0=web,1=mesh,2=kmer,3=mesh64)", "intervals"});
+
+/// Ranged block sweep: rolling header decode + one scratch for the whole
+/// graph — the traversal used by whole-graph consumers (edge cut, clustering).
+void BM_DecodeNeighborhoodsBlockSweep(benchmark::State &state) {
+  const CompressedGraph &compressed =
+      codec_graph_compressed(static_cast<int>(state.range(0)), state.range(1) != 0);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    compressed.for_each_neighborhood_block(
+        0, compressed.n(),
+        [&](const NodeID, const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+          if (ws == nullptr) {
+            for (std::size_t i = 0; i < count; ++i) {
+              sum += ids[i] + 1u;
+            }
+          } else {
+            for (std::size_t i = 0; i < count; ++i) {
+              sum += ids[i] + static_cast<std::uint64_t>(ws[i]);
+            }
+          }
+        });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(compressed.m()));
+}
+BENCHMARK(BM_DecodeNeighborhoodsBlockSweep)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->ArgNames({"class(0=web,1=mesh,2=kmer,3=mesh64)", "intervals"});
 
 void BM_IterateCsrReference(benchmark::State &state) {
   const CsrGraph &graph = codec_graph(static_cast<int>(state.range(0)));
@@ -116,8 +236,62 @@ void BM_IterateCsrReference(benchmark::State &state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(graph.m()));
 }
-BENCHMARK(BM_IterateCsrReference)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_IterateCsrReference)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+/// CSR block API (zero-copy spans): the upper bound for decode throughput.
+void BM_IterateCsrBlock(benchmark::State &state) {
+  const CsrGraph &graph = codec_graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (NodeID u = 0; u < graph.n(); ++u) {
+      graph.for_each_neighbor_block(
+          u, [&](const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+            if (ws == nullptr) {
+              for (std::size_t i = 0; i < count; ++i) {
+                sum += ids[i] + 1u;
+              }
+            } else {
+              for (std::size_t i = 0; i < count; ++i) {
+                sum += ids[i] + static_cast<std::uint64_t>(ws[i]);
+              }
+            }
+          });
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.m()));
+}
+BENCHMARK(BM_IterateCsrBlock)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  // Translate `--json <path>` into google-benchmark's reporter flags so every
+  // bench binary in the repo shares the same machine-readable interface.
+  std::vector<char *> args;
+  std::string json_path;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string out_flag;
+  std::string format_flag;
+  if (!json_path.empty()) {
+    out_flag = "--benchmark_out=" + json_path;
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

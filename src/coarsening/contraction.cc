@@ -128,12 +128,15 @@ ContractionResult contract_buffered(const Graph &graph, std::span<const ClusterI
     NodeWeight weight = 0;
     for (const NodeID u : buckets.of(leader)) {
       weight += graph.node_weight(u);
-      graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
-        const NodeID cv = mapping[v];
-        if (cv != cu) {
-          map.add(cv, w);
-        }
-      });
+      graph.for_each_neighbor_block(
+          u, [&](const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+            for (std::size_t e = 0; e < count; ++e) {
+              const NodeID cv = mapping[ids[e]];
+              if (cv != cu) {
+                map.add(cv, ws == nullptr ? 1 : ws[e]);
+              }
+            }
+          });
     }
     coarse_weights[cu] = weight;
     degrees[cu] = map.touched().size();
@@ -265,12 +268,19 @@ ContractionResult contract_one_pass(const Graph &graph, std::span<const ClusterI
       if (bumped) {
         continue; // weight still accumulates; edges re-done in phase two
       }
-      graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
-        const ClusterID cv = clustering[v];
-        if (!bumped && cv != leader && !map.add(cv, w)) {
-          bumped = true;
-        }
-      });
+      graph.for_each_neighbor_block(
+          u, [&](const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+            if (bumped) {
+              return;
+            }
+            for (std::size_t e = 0; e < count; ++e) {
+              const ClusterID cv = clustering[ids[e]];
+              if (cv != leader && !map.add(cv, ws == nullptr ? 1 : ws[e])) {
+                bumped = true;
+                return;
+              }
+            }
+          });
     }
     if (bumped) {
       bumped_lists.local().push_back(leader);
@@ -306,12 +316,15 @@ ContractionResult contract_one_pass(const Graph &graph, std::span<const ClusterI
       }
       par::parallel_for_each<std::size_t>(0, members.size(), [&](const std::size_t i) {
         const NodeID u = members[i];
-        graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
-          const ClusterID cv = clustering[v];
-          if (cv != leader) {
-            aggregator.add(cv, w);
-          }
-        });
+        graph.for_each_neighbor_block(
+            u, [&](const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+              for (std::size_t e = 0; e < count; ++e) {
+                const ClusterID cv = clustering[ids[e]];
+                if (cv != leader) {
+                  aggregator.add(cv, ws == nullptr ? 1 : ws[e]);
+                }
+              }
+            });
       });
       aggregator.flush_all();
 

@@ -86,8 +86,18 @@ void classic_round(const Graph &graph, LpState &state, std::span<const NodeID> o
       return;
     }
     SparseRatingMap &map = *maps.local();
-    graph.for_each_neighbor(
-        u, [&](const NodeID v, const EdgeWeight w) { map.add(load_cluster(state, v), w); });
+    graph.for_each_neighbor_block(
+        u, [&](const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+          if (ws == nullptr) {
+            for (std::size_t e = 0; e < count; ++e) {
+              map.add(load_cluster(state, ids[e]), 1);
+            }
+          } else {
+            for (std::size_t e = 0; e < count; ++e) {
+              map.add(load_cluster(state, ids[e]), ws[e]);
+            }
+          }
+        });
     select_and_move(state, u, graph.node_weight(u), map, rngs.local());
     map.clear();
   });
@@ -110,14 +120,29 @@ void two_phase_round(const Graph &graph, const LpClusteringConfig &config, LpSta
     FixedHashMap<ClusterID, EdgeWeight> &map = small_maps.local();
     map.clear();
     bool bumped = false;
-    graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
-      // Once bumped we skip the remaining neighbors cheaply; the vertex is
-      // fully re-aggregated in the second phase. (The graph visitors have no
-      // early exit; the flag keeps the residual cost at one branch per edge.)
-      if (!bumped && !map.add(load_cluster(state, v), w)) {
-        bumped = true;
-      }
-    });
+    // Once bumped, the remaining blocks are skipped with one branch each; the
+    // vertex is fully re-aggregated in the second phase anyway.
+    graph.for_each_neighbor_block(
+        u, [&](const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+          if (bumped) {
+            return;
+          }
+          if (ws == nullptr) {
+            for (std::size_t e = 0; e < count; ++e) {
+              if (!map.add(load_cluster(state, ids[e]), 1)) {
+                bumped = true;
+                return;
+              }
+            }
+          } else {
+            for (std::size_t e = 0; e < count; ++e) {
+              if (!map.add(load_cluster(state, ids[e]), ws[e])) {
+                bumped = true;
+                return;
+              }
+            }
+          }
+        });
     if (bumped) {
       bumped_lists.local().push_back(u);
       return;
@@ -142,8 +167,18 @@ void two_phase_round(const Graph &graph, const LpClusteringConfig &config, LpSta
     aggregator = std::make_unique<SharedSparseAggregator>(graph.n(), config.bump_threshold);
   }
   for (const NodeID u : bumped) {
-    graph.for_each_neighbor_parallel(
-        u, [&](const NodeID v, const EdgeWeight w) { aggregator->add(load_cluster(state, v), w); });
+    graph.for_each_neighbor_parallel_block(
+        u, [&](const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+          if (ws == nullptr) {
+            for (std::size_t e = 0; e < count; ++e) {
+              aggregator->add(load_cluster(state, ids[e]), 1);
+            }
+          } else {
+            for (std::size_t e = 0; e < count; ++e) {
+              aggregator->add(load_cluster(state, ids[e]), ws[e]);
+            }
+          }
+        });
     aggregator->flush_all();
     select_and_move(state, u, graph.node_weight(u), *aggregator, rngs.get(0));
     aggregator->clear();
@@ -173,9 +208,13 @@ void two_hop_matching(const Graph &graph, const LpClusteringConfig &config, LpSt
     // bound (that bound is exactly why the vertex is still singleton).
     FixedHashMap<ClusterID, EdgeWeight> &map = small_maps.local();
     map.clear();
-    graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
-      (void)map.add(load_cluster(state, v), w); // capped at T_bump candidates
-    });
+    graph.for_each_neighbor_block(
+        u, [&](const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+          // Capped at T_bump candidates; overflowing adds are dropped.
+          for (std::size_t e = 0; e < count; ++e) {
+            (void)map.add(load_cluster(state, ids[e]), ws == nullptr ? 1 : ws[e]);
+          }
+        });
     ClusterID favored = kInvalidClusterID;
     EdgeWeight favored_rating = 0;
     map.for_each([&](const ClusterID cluster, const EdgeWeight rating) {
@@ -285,15 +324,14 @@ std::vector<ClusterID> lp_cluster(const Graph &graph, const LpClusteringConfig &
   if (stats != nullptr) {
     stats->bumped_vertices = state.bumped_total.load(std::memory_order_relaxed);
     stats->moves = state.moves.load(std::memory_order_relaxed);
+    // Distinct labels, counted in parallel: mark every used label, then sum
+    // the marks — no sequential O(n) scan serializing large runs.
     std::vector<std::uint8_t> seen(n, 0);
-    NodeID count = 0;
-    for (NodeID u = 0; u < n; ++u) {
-      if (seen[state.clusters[u]] == 0) {
-        seen[state.clusters[u]] = 1;
-        ++count;
-      }
-    }
-    stats->num_clusters = count;
+    par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
+      std::atomic_ref(seen[state.clusters[u]]).store(1, std::memory_order_relaxed);
+    });
+    stats->num_clusters = par::parallel_sum<NodeID>(
+        0, n, [&](const NodeID c) { return static_cast<NodeID>(seen[c]); });
   }
 
   return std::move(state.clusters);

@@ -5,8 +5,14 @@
 /// high bit is the continuation bit.
 #pragma once
 
+#include <bit>
 #include <concepts>
 #include <cstdint>
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "common/assert.h"
 
@@ -53,6 +59,221 @@ template <std::unsigned_integral T> [[nodiscard]] inline T varint_decode(const s
   }
 }
 
+/// Readable padding the fast decode kernels require beyond the last encoded
+/// byte: they issue one unaligned 64-bit load at the current position, so up
+/// to 7 bytes past the final varint may be touched (never interpreted).
+inline constexpr std::size_t kVarIntDecodePadding = 8;
+
+/// Branchless decode of one varint via a single unaligned 64-bit load.
+///
+/// Requires `kVarIntDecodePadding` readable bytes at `src` (the compressed
+/// graph guarantees this by keeping padding past its byte stream). Varints
+/// that terminate within 8 bytes — everything except 64-bit values above
+/// 2^56 — take the load-and-compact fast path; longer encodings fall back to
+/// the byte-at-a-time loop.
+template <std::unsigned_integral T>
+[[nodiscard]] inline T varint_decode_fast(const std::uint8_t *&src) {
+  // Single-byte early-out: gap streams are dominated by values < 128, and a
+  // predictable branch beats the multi-step compaction's dependency chain.
+  const std::uint8_t first = *src;
+  if ((first & 0x80) == 0) [[likely]] {
+    ++src;
+    return first;
+  }
+  std::uint64_t word;
+  std::memcpy(&word, src, sizeof(word));
+  // 2- and 3-byte peels: first-edge headers and sparse gap streams are
+  // dominated by short multi-byte encodings, which don't amortize the full
+  // compaction chain below.
+  if constexpr (kMaxVarIntLength<T> >= 3) {
+    if ((word & 0x8000) == 0) {
+      src += 2;
+      return static_cast<T>((word & 0x7f) | ((word >> 1) & 0x3f80));
+    }
+    if ((word & 0x80'0000) == 0) {
+      src += 3;
+      return static_cast<T>((word & 0x7f) | ((word >> 1) & 0x3f80) | ((word >> 2) & 0x1f'c000));
+    }
+  }
+  // A clear bit 7 marks the terminating byte; `stops` has bit 8k+7 set for
+  // every candidate terminator k.
+  const std::uint64_t stops = ~word & 0x8080'8080'8080'8080ULL;
+  if (stops != 0) [[likely]] {
+    const int stop_bit = std::countr_zero(stops); // == 8 * (length - 1) + 7
+    const std::size_t length = static_cast<std::size_t>(stop_bit >> 3) + 1;
+    TP_ASSERT_MSG(length <= kMaxVarIntLength<T>, "varint overlong for type");
+    // Keep the encoded bytes, strip the continuation bits, then compact the
+    // eight 7-bit payload groups: 8x7 -> 4x14 -> 2x28 -> 1x56 bits.
+    word &= ~std::uint64_t{0} >> (63 - stop_bit);
+    word &= 0x7f7f'7f7f'7f7f'7f7fULL;
+    word = ((word & 0x7f00'7f00'7f00'7f00ULL) >> 1) | (word & 0x007f'007f'007f'007fULL);
+    word = ((word & 0x3fff'0000'3fff'0000ULL) >> 2) | (word & 0x0000'3fff'0000'3fffULL);
+    word = ((word & 0x0fff'ffff'0000'0000ULL) >> 4) | (word & 0x0000'0000'0fff'ffffULL);
+    src += length;
+    return static_cast<T>(word);
+  }
+  // >= 9 encoded bytes: only reachable for 64-bit values; rare by design
+  // (gaps and headers are small), so the scalar loop is fine here.
+  return varint_decode<T>(src);
+}
+
+/// Bulk kernel: decodes `count` consecutive varints starting at `src` into
+/// the caller-provided `out` buffer; returns the position past the run.
+/// Requires `kVarIntDecodePadding` readable bytes after the run.
+///
+/// This is the workhorse of block-based neighborhood decoding and the reason
+/// the block API beats per-edge visitors: whenever the next 8 encoded bytes
+/// carry no continuation bit (8 single-byte varints — the dominant case for
+/// gap streams of locality-rich graphs), one 64-bit load emits 8 values with
+/// no serial decode chain between them. Mixed streams fall back to the
+/// branchless single-value kernel element by element.
+inline const std::uint8_t *varint_decode_run(const std::uint8_t *src, const std::size_t count,
+                                             std::uint64_t *out) {
+  std::size_t i = 0;
+  while (i < count) {
+    if (i + 8 <= count) {
+      std::uint64_t word;
+      std::memcpy(&word, src, sizeof(word));
+      const std::uint64_t cont = word & 0x8080'8080'8080'8080ULL;
+      if (cont == 0) {
+        for (int b = 0; b < 8; ++b) {
+          out[i + b] = word & 0xff;
+          word >>= 8;
+        }
+        src += 8;
+        i += 8;
+        continue;
+      }
+      // Emit the leading single-byte values of this word, then exactly one
+      // multi-byte varint — every loaded word makes progress, so mixed
+      // streams never pay for a probe that yields nothing.
+      const auto singles = static_cast<std::size_t>(std::countr_zero(cont)) >> 3;
+      for (std::size_t s = 0; s < singles; ++s) {
+        out[i + s] = word & 0xff;
+        word >>= 8;
+      }
+      src += singles;
+      i += singles;
+      out[i++] = varint_decode_fast<std::uint64_t>(src);
+      continue;
+    }
+    out[i++] = varint_decode_fast<std::uint64_t>(src);
+  }
+  return src;
+}
+
+/// Gap-chain kernel: expands a 64-bit word holding 8 single-byte varint gaps
+/// into 8 absolute 32-bit targets, `out[k] = prev + sum_{j<=k} (gap_j + 1)`
+/// (the `+1` is the strictly-increasing-target offset of the residual
+/// encoding). Returns the last target, i.e. the new `prev`. The SSE2 path
+/// replaces the 8-deep serial add chain with an in-register log-step prefix
+/// sum — this is what lets block decode outrun the per-edge visitor on
+/// locality-rich gap streams.
+inline std::uint32_t varint_gap8_prefix_expand(const std::uint64_t word, const std::uint32_t prev,
+                                               std::uint32_t *out) {
+#if defined(__SSE2__)
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i bytes = _mm_cvtsi64_si128(static_cast<long long>(word));
+  // 8 gaps as u16 lanes, each bumped by 1; lane sums stay <= 8 * 128 < 2^16.
+  __m128i g = _mm_add_epi16(_mm_unpacklo_epi8(bytes, zero), _mm_set1_epi16(1));
+  g = _mm_add_epi16(g, _mm_slli_si128(g, 2));
+  g = _mm_add_epi16(g, _mm_slli_si128(g, 4));
+  g = _mm_add_epi16(g, _mm_slli_si128(g, 8));
+  const __m128i base = _mm_set1_epi32(static_cast<int>(prev));
+  _mm_storeu_si128(reinterpret_cast<__m128i *>(out),
+                   _mm_add_epi32(base, _mm_unpacklo_epi16(g, zero)));
+  _mm_storeu_si128(reinterpret_cast<__m128i *>(out + 4),
+                   _mm_add_epi32(base, _mm_unpackhi_epi16(g, zero)));
+  return out[7];
+#else
+  std::uint32_t running = prev;
+  std::uint64_t w = word;
+  for (int b = 0; b < 8; ++b) {
+    running += 1 + static_cast<std::uint32_t>(w & 0xff);
+    w >>= 8;
+    out[b] = running;
+  }
+  return running;
+#endif
+}
+
+/// Fused gap-run decoder: decodes `count` residual gap varints starting at
+/// `src` into absolute 32-bit targets, `out[k] = prev + sum_{j<=k} (gap_j+1)`,
+/// advancing `prev` to the last target. Contract: `out` must have room for
+/// `count + 7` entries — the prefix kernel always writes full groups of 8 and
+/// the callers keep slack — and `src` needs `kVarIntDecodePadding` readable
+/// bytes past the run. Each loaded word is consumed completely: its leading
+/// single-byte gaps go through the SIMD prefix kernel (also for runs shorter
+/// than 8, using the slack), and a multi-byte varint is compacted directly
+/// from the word already in register — no reload, no per-element probing.
+inline const std::uint8_t *varint_gap_run_decode(const std::uint8_t *src, const std::size_t count,
+                                                 std::uint32_t &prev, std::uint32_t *out) {
+  std::size_t i = 0;
+  while (i < count) {
+    std::uint64_t word;
+    std::memcpy(&word, src, sizeof(word));
+    if ((word & 0x80) == 0) {
+      const std::uint64_t cont = word & 0x8080'8080'8080'8080ULL;
+      if (cont == 0 && count - i >= 8) [[likely]] {
+        // Full group of eight 1-byte gaps. The next group's carry is the byte
+        // sum of this word plus the eight implicit +1s — keeping the
+        // cross-group dependency off the SIMD store. psadbw gives the exact
+        // horizontal sum; a multiply-shift SWAR sum would truncate mod 256
+        // (eight gap bytes can sum up to 1016).
+        varint_gap8_prefix_expand(word, prev, out + i); // writes 8; slack-backed
+        prev += static_cast<std::uint32_t>(_mm_cvtsi128_si32(_mm_sad_epu8(
+                    _mm_cvtsi64_si128(static_cast<long long>(word)), _mm_setzero_si128()))) +
+                8;
+        src += 8;
+        i += 8;
+        continue;
+      }
+      const std::size_t avail =
+          cont == 0 ? 8 : static_cast<std::size_t>(std::countr_zero(cont)) >> 3;
+      varint_gap8_prefix_expand(word, prev, out + i); // writes 8; slack-backed
+      const std::size_t use = avail < count - i ? avail : count - i;
+      prev = out[i + use - 1];
+      src += use;
+      i += use;
+      continue;
+    }
+    // The word starts with a multi-byte varint. Gap streams are dominated by
+    // short encodings, so peel the 2- and 3-byte cases straight out of the
+    // already-loaded word; anything longer goes through the scalar loop.
+    if ((word & 0x8080'8080'8080'8080ULL) == 0x0080'0080'0080'0080ULL && count - i >= 4) {
+      // Four back-to-back 2-byte varints: one load feeds four gaps, so the
+      // serial src -> load -> src chain advances 8 bytes per iteration.
+      prev += 1 + (static_cast<std::uint32_t>(word & 0x7f) |
+                   static_cast<std::uint32_t>((word >> 1) & 0x3f80));
+      out[i] = prev;
+      prev += 1 + (static_cast<std::uint32_t>((word >> 16) & 0x7f) |
+                   static_cast<std::uint32_t>((word >> 17) & 0x3f80));
+      out[i + 1] = prev;
+      prev += 1 + (static_cast<std::uint32_t>((word >> 32) & 0x7f) |
+                   static_cast<std::uint32_t>((word >> 33) & 0x3f80));
+      out[i + 2] = prev;
+      prev += 1 + (static_cast<std::uint32_t>((word >> 48) & 0x7f) |
+                   static_cast<std::uint32_t>((word >> 49) & 0x3f80));
+      out[i + 3] = prev;
+      src += 8;
+      i += 4;
+      continue;
+    }
+    if ((word & 0x8000) == 0) [[likely]] {
+      prev += 1 + static_cast<std::uint32_t>((word & 0x7f) | ((word >> 1) & 0x3f80));
+      src += 2;
+    } else if ((word & 0x80'0000) == 0) {
+      prev += 1 + static_cast<std::uint32_t>((word & 0x7f) | ((word >> 1) & 0x3f80) |
+                                             ((word >> 2) & 0x1f'c000));
+      src += 3;
+    } else {
+      prev += 1 + static_cast<std::uint32_t>(varint_decode<std::uint64_t>(src));
+    }
+    out[i++] = prev;
+  }
+  return src;
+}
+
 /// Zigzag mapping: interleaves negative and non-negative values so that small
 /// magnitudes encode to few bytes. Used for (signed) edge weight gaps; this is
 /// the "additional sign bit" of the paper.
@@ -80,6 +301,12 @@ template <std::signed_integral S>
 [[nodiscard]] inline S signed_varint_decode(const std::uint8_t *&src) {
   using U = std::make_unsigned_t<S>;
   return zigzag_decode(varint_decode<U>(src));
+}
+
+template <std::signed_integral S>
+[[nodiscard]] inline S signed_varint_decode_fast(const std::uint8_t *&src) {
+  using U = std::make_unsigned_t<S>;
+  return zigzag_decode(varint_decode_fast<U>(src));
 }
 
 } // namespace terapart

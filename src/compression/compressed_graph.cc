@@ -21,8 +21,10 @@ CompressedGraph::CompressedGraph(const NodeID n, const EdgeID m, const Compressi
   TP_ASSERT(_node_weights.empty() || _node_weights.size() == _n);
 
   // Return the untouched tail of the overcommitted reservation to the OS: the
-  // physically backed size is now `used_bytes` rounded up to one page.
-  _bytes.shrink_to(_used_bytes);
+  // physically backed size is now `used_bytes` rounded up to one page. The
+  // fast decode kernels read one unaligned 64-bit word at a time, so keep
+  // their padding readable past the last encoded byte.
+  _bytes.shrink_to(_used_bytes + kVarIntDecodePadding);
 
   if (_node_weights.empty()) {
     _total_node_weight = static_cast<NodeWeight>(_n);

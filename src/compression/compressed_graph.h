@@ -38,6 +38,21 @@
 
 namespace terapart {
 
+/// Targets per block delivered by the block visitors. Sized so that the
+/// decode scratch (ids + weights + gap buffer, ~5 KiB) stays L1-resident
+/// while still amortizing the per-block lambda call over many edges.
+inline constexpr std::size_t kDecodeBlockSize = 256;
+
+/// Caller-owned scratch for the block decoders. Neighborhoods decode into
+/// `ids`/`ws` before each block is handed to the consumer; the 8 slack
+/// entries behind `ids` back the full-group-of-8 SIMD stores of the gap-run
+/// kernel (flush never emits past the block fill, so the slack is write-only
+/// scratch). One instance can serve any number of decode calls.
+struct DecodeBlockScratch {
+  NodeID ids[kDecodeBlockSize + 8];
+  EdgeWeight ws[kDecodeBlockSize];
+};
+
 /// Parameters of the compression scheme. The decoder needs the same values
 /// as the encoder, so they are stored with the graph.
 struct CompressionConfig {
@@ -75,7 +90,7 @@ public:
   [[nodiscard]] EdgeID first_edge(const NodeID u) const {
     TP_ASSERT(u < _n);
     const std::uint8_t *ptr = _bytes.data() + _node_offsets[u];
-    return varint_decode<EdgeID>(ptr);
+    return varint_decode_fast<EdgeID>(ptr);
   }
 
   [[nodiscard]] NodeWeight node_weight(const NodeID u) const {
@@ -148,6 +163,165 @@ public:
     });
   }
 
+  /// Block visitor: invokes fn(const NodeID *ids, const EdgeWeight *ws,
+  /// std::size_t count) over blocks of up to kDecodeBlockSize decoded
+  /// neighbors; `ws == nullptr` signals unit edge weights. Neighborhoods are
+  /// decoded through the bulk varint kernels into stack-resident arrays, so
+  /// the consumer aggregates over plain arrays instead of paying a lambda
+  /// call per edge. Emission order matches for_each_neighbor.
+  template <typename Fn> void for_each_neighbor_block(const NodeID u, Fn &&fn) const {
+    TP_ASSERT(u < _n);
+    const std::uint8_t *ptr = _bytes.data() + _node_offsets[u];
+    if (u + 1 < _n) {
+      // Hide the header fetch of the next neighborhood behind this decode.
+      __builtin_prefetch(_bytes.data() + _node_offsets[u + 1]);
+    }
+    const EdgeID first_id = varint_decode_fast<EdgeID>(ptr);
+    const auto deg = static_cast<NodeID>(next_first_edge(u) - first_id);
+    if (deg == 0) {
+      return;
+    }
+    DecodeBlockScratch scratch;
+
+    if (deg >= _config.high_degree_threshold) {
+      const NodeID num_chunks = (deg + _config.chunk_size - 1) / _config.chunk_size;
+      const auto *chunk_offsets = reinterpret_cast<const std::uint32_t *>(ptr);
+      const std::uint8_t *chunk_data = ptr + num_chunks * sizeof(std::uint32_t);
+      for (NodeID c = 0; c < num_chunks; ++c) {
+        std::uint32_t offset;
+        std::memcpy(&offset, &chunk_offsets[c], sizeof(offset));
+        if (c + 1 < num_chunks) {
+          std::uint32_t next_offset;
+          std::memcpy(&next_offset, &chunk_offsets[c + 1], sizeof(next_offset));
+          __builtin_prefetch(chunk_data + next_offset);
+        }
+        const NodeID chunk_deg =
+            c + 1 < num_chunks ? _config.chunk_size : deg - c * _config.chunk_size;
+        decode_subneighborhood_block(u, chunk_deg, chunk_data + offset, scratch, fn);
+      }
+      return;
+    }
+    decode_subneighborhood_block(u, deg, ptr, scratch, fn);
+  }
+
+  /// Ranged block sweep: decodes the neighborhoods of u in [begin, end) in
+  /// ascending order, invoking fn(u, ids, ws, count) per block (`ws ==
+  /// nullptr` signals unit weights, as in for_each_neighbor_block). Each
+  /// neighborhood header is decoded exactly once — the next node's first edge
+  /// ID doubles as this node's degree bound — and a single scratch serves the
+  /// whole range, so this is the cheapest way to traverse many consecutive
+  /// nodes. Emission order per node matches for_each_neighbor.
+  template <typename Fn>
+  void for_each_neighborhood_block(const NodeID begin, const NodeID end, Fn &&fn) const {
+    TP_ASSERT(begin <= end && end <= _n);
+    if (begin == end) {
+      return;
+    }
+    DecodeBlockScratch scratch;
+    // Fast-shape neighborhoods (unweighted pure gap streams that fit the
+    // remaining batch space) are decoded back to back into one shared batch
+    // buffer and only then delivered node by node: by the time a slice is
+    // consumed, its stores have left the store buffer, so the consumer's
+    // (vector) re-reads don't stall on store-to-load forwarding. One decode
+    // block is the sweet spot: larger batches spill the L1 working set.
+    constexpr std::size_t kSweepBatchSize = kDecodeBlockSize;
+    NodeID batch_ids[kSweepBatchSize + 8];
+    NodeID batch_u[kSweepBatchSize];
+    std::uint32_t batch_begin[kSweepBatchSize + 1];
+    std::size_t batch_nodes = 0;
+    std::size_t fill = 0;
+    const auto flush_batch = [&] {
+      batch_begin[batch_nodes] = static_cast<std::uint32_t>(fill);
+      for (std::size_t k = 0; k < batch_nodes; ++k) {
+        fn(batch_u[k], static_cast<const NodeID *>(batch_ids) + batch_begin[k], nullptr,
+           static_cast<std::size_t>(batch_begin[k + 1] - batch_begin[k]));
+      }
+      batch_nodes = 0;
+      fill = 0;
+    };
+    const std::uint8_t *ptr = _bytes.data() + _node_offsets[begin];
+    EdgeID first = varint_decode_fast<EdgeID>(ptr);
+    for (NodeID u = begin; u < end; ++u) {
+      const std::uint8_t *next_ptr = nullptr;
+      EdgeID next_first;
+      if (u + 1 < _n) {
+        next_ptr = _bytes.data() + _node_offsets[u + 1];
+        if (u + 2 < _n) {
+          __builtin_prefetch(_bytes.data() + _node_offsets[u + 2]);
+        }
+        next_first = varint_decode_fast<EdgeID>(next_ptr);
+      } else {
+        next_first = _m;
+      }
+      const auto deg = static_cast<NodeID>(next_first - first);
+      if (deg == 0) {
+        // fall through to the rolling-header update
+      } else if (!_has_edge_weights && !_config.intervals && deg <= kSweepBatchSize) {
+        if (deg > kSweepBatchSize - fill) {
+          flush_batch();
+        }
+        const std::uint8_t *p = ptr;
+        const auto first_target = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(u) + signed_varint_decode_fast<std::int64_t>(p));
+        batch_u[batch_nodes] = u;
+        batch_begin[batch_nodes] = static_cast<std::uint32_t>(fill);
+        ++batch_nodes;
+        batch_ids[fill] = static_cast<NodeID>(first_target);
+        auto prev32 = static_cast<std::uint32_t>(first_target);
+        varint_gap_run_decode(p, deg - 1, prev32, batch_ids + fill + 1);
+        fill += deg;
+      } else {
+        flush_batch();
+        const auto node_fn = [&](const NodeID *ids, const EdgeWeight *ws,
+                                 const std::size_t count) { fn(u, ids, ws, count); };
+        if (deg >= _config.high_degree_threshold) {
+          const NodeID num_chunks = (deg + _config.chunk_size - 1) / _config.chunk_size;
+          const auto *chunk_offsets = reinterpret_cast<const std::uint32_t *>(ptr);
+          const std::uint8_t *chunk_data = ptr + num_chunks * sizeof(std::uint32_t);
+          for (NodeID c = 0; c < num_chunks; ++c) {
+            std::uint32_t offset;
+            std::memcpy(&offset, &chunk_offsets[c], sizeof(offset));
+            const NodeID chunk_deg =
+                c + 1 < num_chunks ? _config.chunk_size : deg - c * _config.chunk_size;
+            decode_subneighborhood_block(u, chunk_deg, chunk_data + offset, scratch, node_fn);
+          }
+        } else {
+          decode_subneighborhood_block(u, deg, ptr, scratch, node_fn);
+        }
+      }
+      ptr = next_ptr;
+      first = next_first;
+    }
+    flush_batch();
+  }
+
+  /// Parallel block iteration over one neighborhood: the chunks of a
+  /// high-degree vertex decode concurrently, each delivering blocks to fn
+  /// (possibly from multiple pool threads). Small neighborhoods fall back to
+  /// the sequential block visitor.
+  template <typename Fn> void for_each_neighbor_parallel_block(const NodeID u, Fn &&fn) const {
+    const EdgeID first_id = first_edge(u);
+    const auto deg = static_cast<NodeID>(next_first_edge(u) - first_id);
+    if (deg < _config.high_degree_threshold) {
+      for_each_neighbor_block(u, std::forward<Fn>(fn));
+      return;
+    }
+    const NodeID num_chunks = (deg + _config.chunk_size - 1) / _config.chunk_size;
+    const std::uint8_t *base = _bytes.data() + _node_offsets[u];
+    (void)varint_decode_fast<EdgeID>(base); // skip header
+    const auto *chunk_offsets = reinterpret_cast<const std::uint32_t *>(base);
+    const std::uint8_t *chunk_data = base + num_chunks * sizeof(std::uint32_t);
+
+    par::parallel_for_each<NodeID>(0, num_chunks, [&](const NodeID c) {
+      std::uint32_t offset;
+      std::memcpy(&offset, &chunk_offsets[c], sizeof(offset));
+      const NodeID chunk_deg =
+          c + 1 < num_chunks ? _config.chunk_size : deg - c * _config.chunk_size;
+      DecodeBlockScratch scratch;
+      decode_subneighborhood_block(u, chunk_deg, chunk_data + offset, scratch, fn);
+    });
+  }
+
   /// Test helper: fully decodes u's neighborhood, sorted by target.
   [[nodiscard]] std::vector<std::pair<NodeID, EdgeWeight>> decode_sorted(NodeID u) const;
 
@@ -162,7 +336,109 @@ private:
       return _m;
     }
     const std::uint8_t *ptr = _bytes.data() + _node_offsets[u + 1];
-    return varint_decode<EdgeID>(ptr);
+    return varint_decode_fast<EdgeID>(ptr);
+  }
+
+  /// Block-decodes `count` targets of a (sub)neighborhood of u starting at
+  /// `ptr` into the caller's scratch, handing each full (or final partial)
+  /// block to fn(ids, ws, count). Interval runs materialize without
+  /// per-element branching; unweighted residual gaps go through the bulk
+  /// varint kernel.
+  template <typename Fn>
+  void decode_subneighborhood_block(const NodeID u, const NodeID count, const std::uint8_t *ptr,
+                                    DecodeBlockScratch &scratch, Fn &&fn) const {
+    NodeID *const ids = scratch.ids;
+    EdgeWeight *const ws = scratch.ws;
+    const bool weighted = _has_edge_weights;
+    std::size_t fill = 0;
+    EdgeWeight prev_weight = 0;
+    NodeID emitted = 0;
+
+    const auto flush = [&] {
+      if (fill != 0) {
+        fn(static_cast<const NodeID *>(ids),
+           weighted ? static_cast<const EdgeWeight *>(ws) : nullptr, fill);
+        fill = 0;
+      }
+    };
+
+    if (_config.intervals) {
+      const auto num_intervals = varint_decode_fast<NodeID>(ptr);
+      std::uint64_t prev_right = 0;
+      for (NodeID i = 0; i < num_intervals; ++i) {
+        std::uint64_t left;
+        if (i == 0) {
+          left = static_cast<std::uint64_t>(static_cast<std::int64_t>(u) +
+                                            signed_varint_decode_fast<std::int64_t>(ptr));
+        } else {
+          left = prev_right + 2 + varint_decode_fast<std::uint64_t>(ptr);
+        }
+        const NodeID length = _config.min_interval_length + varint_decode_fast<NodeID>(ptr);
+        NodeID j = 0;
+        while (j < length) {
+          const std::size_t take =
+              std::min<std::size_t>(length - j, kDecodeBlockSize - fill);
+          if (weighted) {
+            for (std::size_t t = 0; t < take; ++t) {
+              ids[fill + t] = static_cast<NodeID>(left + j + t);
+              prev_weight += signed_varint_decode_fast<EdgeWeight>(ptr);
+              ws[fill + t] = prev_weight;
+            }
+          } else {
+            for (std::size_t t = 0; t < take; ++t) {
+              ids[fill + t] = static_cast<NodeID>(left + j + t);
+            }
+          }
+          fill += take;
+          j += static_cast<NodeID>(take);
+          if (fill == kDecodeBlockSize) {
+            flush();
+          }
+        }
+        emitted += length;
+        prev_right = left + length - 1;
+      }
+    }
+
+    const NodeID residuals = count - emitted;
+    if (residuals != 0) {
+      auto prev_target = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(u) + signed_varint_decode_fast<std::int64_t>(ptr));
+      if (weighted) {
+        prev_weight += signed_varint_decode_fast<EdgeWeight>(ptr);
+        ws[fill] = prev_weight;
+      }
+      ids[fill++] = static_cast<NodeID>(prev_target);
+      if (fill == kDecodeBlockSize) {
+        flush();
+      }
+      if (weighted) {
+        for (NodeID r = 1; r < residuals; ++r) {
+          prev_target += 1 + varint_decode_fast<std::uint64_t>(ptr);
+          prev_weight += signed_varint_decode_fast<EdgeWeight>(ptr);
+          ids[fill] = static_cast<NodeID>(prev_target);
+          ws[fill] = prev_weight;
+          ++fill;
+          if (fill == kDecodeBlockSize) {
+            flush();
+          }
+        }
+      } else {
+        auto prev32 = static_cast<std::uint32_t>(prev_target);
+        NodeID r = 1;
+        while (r < residuals) {
+          const std::size_t take =
+              std::min<std::size_t>(residuals - r, kDecodeBlockSize - fill);
+          ptr = varint_gap_run_decode(ptr, take, prev32, ids + fill);
+          fill += take;
+          r += static_cast<NodeID>(take);
+          if (fill == kDecodeBlockSize) {
+            flush();
+          }
+        }
+      }
+    }
+    flush();
   }
 
   /// Decodes the full neighborhood of u, dispatching on the chunked layout.

@@ -17,6 +17,10 @@
 ///   - `for_each_neighbor_with_id(u, fn(e, v, w))`
 ///   - `for_each_neighbor_parallel(u, fn(v, w))`  (parallelism over the edges
 ///     of a single high-degree vertex; used by the second "bumped" phase)
+///   - `for_each_neighbor_block(u, fn(ids, ws, count))` and
+///     `for_each_neighbor_parallel_block(u, fn(ids, ws, count))` — the block
+///     API of the hot paths: neighbors arrive as plain arrays (`ws == nullptr`
+///     for unit weights), zero copy on CSR, bulk-decoded on CompressedGraph.
 #pragma once
 
 #include <span>
@@ -91,6 +95,54 @@ public:
         fn(_edges[e], _edge_weights[e]);
       }
     }
+  }
+
+  /// Block visitor: invokes fn(const NodeID *ids, const EdgeWeight *ws,
+  /// std::size_t count) once with the whole neighborhood — CSR hands its
+  /// arrays straight through, zero copy. `ws == nullptr` signals unit edge
+  /// weights. Same contract as CompressedGraph::for_each_neighbor_block, so
+  /// algorithms templated on the graph type aggregate over plain arrays on
+  /// both representations.
+  template <typename Fn> void for_each_neighbor_block(const NodeID u, Fn &&fn) const {
+    const EdgeID begin = _nodes[u];
+    const EdgeID end = _nodes[u + 1];
+    if (begin == end) {
+      return;
+    }
+    fn(_edges.data() + begin,
+       _edge_weights.empty() ? nullptr : _edge_weights.data() + begin,
+       static_cast<std::size_t>(end - begin));
+  }
+
+  /// Ranged block sweep: invokes fn(u, ids, ws, count) for every u in
+  /// [begin, end) in ascending order, zero copy. Same contract as
+  /// CompressedGraph::for_each_neighborhood_block — the fastest whole-range
+  /// traversal on both representations.
+  template <typename Fn>
+  void for_each_neighborhood_block(const NodeID begin, const NodeID end, Fn &&fn) const {
+    const bool weighted = !_edge_weights.empty();
+    for (NodeID u = begin; u < end; ++u) {
+      const EdgeID first = _nodes[u];
+      const EdgeID last = _nodes[u + 1];
+      if (first == last) {
+        continue;
+      }
+      fn(u, _edges.data() + first, weighted ? _edge_weights.data() + first : nullptr,
+         static_cast<std::size_t>(last - first));
+    }
+  }
+
+  /// Parallel block iteration over the neighborhood of one (high-degree)
+  /// vertex: fn(ids, ws, count) may run concurrently from multiple pool
+  /// threads, each receiving a disjoint slice of the edge arrays.
+  template <typename Fn> void for_each_neighbor_parallel_block(const NodeID u, Fn &&fn) const {
+    const EdgeID begin = _nodes[u];
+    const EdgeID end = _nodes[u + 1];
+    par::parallel_for(begin, end, [&](const EdgeID chunk_begin, const EdgeID chunk_end) {
+      fn(_edges.data() + chunk_begin,
+         _edge_weights.empty() ? nullptr : _edge_weights.data() + chunk_begin,
+         static_cast<std::size_t>(chunk_end - chunk_begin));
+    });
   }
 
   /// Invokes fn(e, v, w) with the global edge ID e.

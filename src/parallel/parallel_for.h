@@ -27,15 +27,19 @@ void parallel_for_chunked(const Index begin, const Index end, const Index grain,
     return;
   }
 
+  // Chunks are claimed with a CAS on the pre-add value instead of a blind
+  // fetch_add: the counter never advances past `end`, so ranges ending near
+  // std::numeric_limits<Index>::max() cannot wrap the counter back into the
+  // range (which would hand out duplicate chunks forever).
   std::atomic<Index> next{begin};
   ThreadPool::global().run_on_all([&](int) {
-    while (true) {
-      const Index chunk_begin = next.fetch_add(grain, std::memory_order_relaxed);
-      if (chunk_begin >= end) {
-        return;
+    Index chunk_begin = next.load(std::memory_order_relaxed);
+    while (chunk_begin < end) {
+      const Index chunk_end = end - chunk_begin > grain ? chunk_begin + grain : end;
+      if (next.compare_exchange_weak(chunk_begin, chunk_end, std::memory_order_relaxed)) {
+        fn(chunk_begin, chunk_end);
+        chunk_begin = next.load(std::memory_order_relaxed);
       }
-      const Index chunk_end = chunk_begin + grain < end ? chunk_begin + grain : end;
-      fn(chunk_begin, chunk_end);
     }
   });
 }

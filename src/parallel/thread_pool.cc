@@ -7,6 +7,16 @@ namespace terapart::par {
 namespace {
 thread_local int t_thread_id = 0;
 thread_local bool t_in_parallel = false;
+
+/// Polite busy-wait hint: keeps the spinning hyperthread from starving its
+/// sibling and lowers the cost of the eventual cache-line invalidation.
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
 } // namespace
 
 ThreadPool &ThreadPool::global() {
@@ -30,21 +40,21 @@ void ThreadPool::start_workers() {
 void ThreadPool::stop_workers() {
   {
     std::lock_guard lock(_mutex);
-    _shutdown = true;
+    _shutdown.store(true, std::memory_order_release);
   }
   _work_ready.notify_all();
   for (auto &worker : _workers) {
     worker.join();
   }
   _workers.clear();
-  _shutdown = false;
+  _shutdown.store(false, std::memory_order_relaxed);
   // All workers are joined: safe to rewind the generation counter so that
   // freshly spawned workers (which start at seen == 0) cannot race with a
   // run_on_all that fires before their first wait. (A worker that reads the
   // generation itself at startup could instead observe a *bumped* value and
   // sleep through its first job.)
-  _generation = 0;
-  _pending = 0;
+  _generation.store(0, std::memory_order_relaxed);
+  _pending.store(0, std::memory_order_relaxed);
 }
 
 void ThreadPool::resize(const int num_threads) {
@@ -59,24 +69,43 @@ void ThreadPool::worker_loop(const int id) {
   // Generation 0 is the freshly-(re)started pool state; see stop_workers().
   std::uint64_t seen_generation = 0;
   while (true) {
-    const std::function<void(int)> *job = nullptr;
-    {
-      std::unique_lock lock(_mutex);
-      _work_ready.wait(lock, [&] { return _shutdown || _generation != seen_generation; });
-      if (_shutdown) {
-        return;
+    // Spin-then-sleep: poll the generation counter lock-free for a bounded
+    // number of iterations, then park on the condition variable. Back-to-back
+    // dispatches (the common case in the second LP phase) are picked up
+    // without any kernel round trip.
+    bool ready = false;
+    for (int spin = 0; spin < kSpinIterations; ++spin) {
+      if (_shutdown.load(std::memory_order_acquire) ||
+          _generation.load(std::memory_order_acquire) != seen_generation) {
+        ready = true;
+        break;
       }
-      seen_generation = _generation;
-      job = _job;
+      cpu_pause();
     }
+    if (!ready) {
+      std::unique_lock lock(_mutex);
+      _work_ready.wait(lock, [&] {
+        return _shutdown.load(std::memory_order_relaxed) ||
+               _generation.load(std::memory_order_relaxed) != seen_generation;
+      });
+    }
+    if (_shutdown.load(std::memory_order_acquire)) {
+      return;
+    }
+    seen_generation = _generation.load(std::memory_order_acquire);
+    // _job is published before the generation bump (release); the acquire
+    // loads above make it visible without taking the mutex.
+    const std::function<void(int)> *job = _job;
+
     t_in_parallel = true;
     (*job)(id);
     t_in_parallel = false;
-    {
+
+    if (_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last finisher: the caller may already be parked on _work_done, so
+      // synchronize the notification through the mutex (no lost wakeup).
       std::lock_guard lock(_mutex);
-      if (--_pending == 0) {
-        _work_done.notify_all();
-      }
+      _work_done.notify_all();
     }
   }
 }
@@ -96,8 +125,8 @@ void ThreadPool::run_on_all(const std::function<void(int)> &job) {
     TP_ASSERT_MSG(!_in_parallel, "concurrent run_on_all from multiple external threads");
     _in_parallel = true;
     _job = &job;
-    _pending = _num_threads - 1;
-    ++_generation;
+    _pending.store(_num_threads - 1, std::memory_order_relaxed);
+    _generation.fetch_add(1, std::memory_order_release);
   }
   _work_ready.notify_all();
 
@@ -107,9 +136,23 @@ void ThreadPool::run_on_all(const std::function<void(int)> &job) {
   job(0);
   t_in_parallel = false;
 
-  {
+  // Completion wait mirrors the workers' dispatch wait: spin briefly (the
+  // workers usually finish within the spin window for fine-grained jobs),
+  // then fall back to the condition variable.
+  bool done = false;
+  for (int spin = 0; spin < kSpinIterations; ++spin) {
+    if (_pending.load(std::memory_order_acquire) == 0) {
+      done = true;
+      break;
+    }
+    cpu_pause();
+  }
+  if (!done) {
     std::unique_lock lock(_mutex);
-    _work_done.wait(lock, [&] { return _pending == 0; });
+    _work_done.wait(lock, [&] { return _pending.load(std::memory_order_relaxed) == 0; });
+  }
+  {
+    std::lock_guard lock(_mutex);
     _job = nullptr;
     _in_parallel = false;
   }

@@ -10,7 +10,9 @@
 /// higher-level loops (see parallel_for.h) distribute iterations on top.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -45,6 +47,13 @@ public:
   [[nodiscard]] static int this_thread_id();
 
 private:
+  /// Bounded spin before a worker (or the dispatching caller) falls back to
+  /// its condition variable. Dispatch latency drops from a condvar
+  /// wake/sleep round trip to a cache-line transfer when jobs arrive back to
+  /// back (e.g. the per-bumped-vertex parallel loops of the second LP phase),
+  /// while idle pools still end up sleeping in the kernel.
+  static constexpr int kSpinIterations = 2048;
+
   void worker_loop(int id);
   void stop_workers();
   void start_workers();
@@ -56,9 +65,11 @@ private:
   std::condition_variable _work_ready;
   std::condition_variable _work_done;
   const std::function<void(int)> *_job = nullptr;
-  std::uint64_t _generation = 0;
-  int _pending = 0;
-  bool _shutdown = false;
+  /// Bumped once per run_on_all (with release order, after publishing _job);
+  /// workers spin on it lock-free before touching the mutex.
+  std::atomic<std::uint64_t> _generation{0};
+  std::atomic<int> _pending{0};
+  std::atomic<bool> _shutdown{false};
   bool _in_parallel = false;
 };
 

@@ -3,10 +3,12 @@
 /// maximum block weight L_max = (1 + eps) * ceil(W / k).
 #pragma once
 
+#include <atomic>
 #include <span>
 
 #include "common/types.h"
 #include "graph/csr_graph.h"
+#include "parallel/parallel_for.h"
 
 namespace terapart::metrics {
 
@@ -15,16 +17,28 @@ namespace terapart::metrics {
 template <typename Graph>
 [[nodiscard]] EdgeWeight edge_cut(const Graph &graph, std::span<const BlockID> partition) {
   TP_ASSERT(partition.size() == graph.n());
-  EdgeWeight doubled = par::parallel_sum<NodeID>(0, graph.n(), [&](const NodeID u) {
+  std::atomic<EdgeWeight> doubled{0};
+  par::parallel_for<NodeID>(0, graph.n(), [&](const NodeID chunk_begin, const NodeID chunk_end) {
     EdgeWeight local = 0;
-    graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
-      if (partition[u] != partition[v]) {
-        local += w;
-      }
-    });
-    return local;
+    graph.for_each_neighborhood_block(
+        chunk_begin, chunk_end,
+        [&](const NodeID u, const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+          const BlockID bu = partition[u];
+          if (ws == nullptr) {
+            for (std::size_t i = 0; i < count; ++i) {
+              local += static_cast<EdgeWeight>(partition[ids[i]] != bu);
+            }
+          } else {
+            for (std::size_t i = 0; i < count; ++i) {
+              if (partition[ids[i]] != bu) {
+                local += ws[i];
+              }
+            }
+          }
+        });
+    doubled.fetch_add(local, std::memory_order_relaxed);
   });
-  return doubled / 2;
+  return doubled.load(std::memory_order_relaxed) / 2;
 }
 
 /// L_max as defined by the balance constraint.

@@ -59,21 +59,25 @@ template <typename Graph, typename Table> struct LocalSearch {
     // cost a redundant (cached) connection query.
     BlockID recent[4] = {from, from, from, from};
     int recent_pos = 0;
-    graph.for_each_neighbor(u, [&](const NodeID v, EdgeWeight) {
-      const BlockID b = partitioned.block(v);
-      if (b == from || b == recent[0] || b == recent[1] || b == recent[2] || b == recent[3]) {
-        return;
-      }
-      recent[recent_pos] = b;
-      recent_pos = (recent_pos + 1) % 4;
-      const EdgeWeight gain = table.connection(graph, u, b) - internal;
-      gain_queries.fetch_add(1, std::memory_order_relaxed);
-      if (first || gain > best_gain) {
-        best = b;
-        best_gain = gain;
-        first = false;
-      }
-    });
+    graph.for_each_neighbor_block(
+        u, [&](const NodeID *ids, const EdgeWeight *, const std::size_t count) {
+          for (std::size_t e = 0; e < count; ++e) {
+            const BlockID b = partitioned.block(ids[e]);
+            if (b == from || b == recent[0] || b == recent[1] || b == recent[2] ||
+                b == recent[3]) {
+              continue;
+            }
+            recent[recent_pos] = b;
+            recent_pos = (recent_pos + 1) % 4;
+            const EdgeWeight gain = table.connection(graph, u, b) - internal;
+            gain_queries.fetch_add(1, std::memory_order_relaxed);
+            if (first || gain > best_gain) {
+              best = b;
+              best_gain = gain;
+              first = false;
+            }
+          }
+        });
     return {best, first ? EdgeWeight{0} : best_gain};
   }
 
@@ -136,15 +140,19 @@ template <typename Graph, typename Table> struct LocalSearch {
       }
 
       // Expand: pull unclaimed neighbors into this search.
-      graph.for_each_neighbor(u, [&](const NodeID v, EdgeWeight) {
-        if (claimed[v].load(std::memory_order_relaxed) != 0 || !claim(v)) {
-          return;
-        }
-        const auto [vto, vgain] = best_move(v);
-        if (vto != partitioned.block(v)) {
-          queue.push({vgain, v});
-        }
-      });
+      graph.for_each_neighbor_block(
+          u, [&](const NodeID *ids, const EdgeWeight *, const std::size_t count) {
+            for (std::size_t e = 0; e < count; ++e) {
+              const NodeID v = ids[e];
+              if (claimed[v].load(std::memory_order_relaxed) != 0 || !claim(v)) {
+                continue;
+              }
+              const auto [vto, vgain] = best_move(v);
+              if (vto != partitioned.block(v)) {
+                queue.push({vgain, v});
+              }
+            }
+          });
     }
 
     // Roll back the non-improving suffix (reverse order).
@@ -182,9 +190,18 @@ FmStats run_fm(const Graph &graph, PartitionedGraph &partitioned,
       claimed[u].store(0, std::memory_order_relaxed);
       const BlockID b = partitioned.block(u);
       bool is_boundary = false;
-      graph.for_each_neighbor(u, [&](const NodeID v, EdgeWeight) {
-        is_boundary = is_boundary || partitioned.block(v) != b;
-      });
+      graph.for_each_neighbor_block(
+          u, [&](const NodeID *ids, const EdgeWeight *, const std::size_t count) {
+            if (is_boundary) {
+              return;
+            }
+            for (std::size_t e = 0; e < count; ++e) {
+              if (partitioned.block(ids[e]) != b) {
+                is_boundary = true;
+                return;
+              }
+            }
+          });
       if (is_boundary) {
         boundary_lists.local().push_back(u);
       }

@@ -30,8 +30,18 @@ std::uint64_t lp_refine(const Graph &graph, PartitionedGraph &partitioned,
         return;
       }
       SparseRatingMap &map = maps.local();
-      graph.for_each_neighbor(
-          u, [&](const NodeID v, const EdgeWeight w) { map.add(partitioned.block(v), w); });
+      graph.for_each_neighbor_block(
+          u, [&](const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+            if (ws == nullptr) {
+              for (std::size_t e = 0; e < count; ++e) {
+                map.add(partitioned.block(ids[e]), 1);
+              }
+            } else {
+              for (std::size_t e = 0; e < count; ++e) {
+                map.add(partitioned.block(ids[e]), ws[e]);
+              }
+            }
+          });
 
       const BlockID current = partitioned.block(u);
       Random &rng = rngs.local();

@@ -6,6 +6,7 @@
 #include <map>
 #include <numeric>
 #include <set>
+#include <vector>
 
 #include "common/buffer.h"
 #include "common/fixed_hash_map.h"
@@ -51,6 +52,148 @@ TEST(VarInt, LengthMatchesSevenBitGroups) {
   EXPECT_EQ(varint_length<std::uint64_t>(16383), 2u);
   EXPECT_EQ(varint_length<std::uint64_t>(16384), 3u);
   EXPECT_EQ(varint_length<std::uint64_t>(~0ULL), 10u);
+}
+
+TEST(VarInt, FastDecodeMatchesScalarOnBoundaryValues) {
+  // Every encoded length 1..10 bytes, including the maximum-length encodings
+  // of uint32 (5 bytes) and uint64 (10 bytes, scalar fallback path).
+  std::uint8_t buffer[16 + kVarIntDecodePadding] = {};
+  const std::uint64_t boundaries[] = {0,
+                                      127,
+                                      128,
+                                      16383,
+                                      16384,
+                                      (1ULL << 21) - 1,
+                                      1ULL << 21,
+                                      (1ULL << 28) - 1,
+                                      1ULL << 28,
+                                      (1ULL << 35) - 1,
+                                      1ULL << 35,
+                                      (1ULL << 42) - 1,
+                                      (1ULL << 49) - 1,
+                                      (1ULL << 56) - 1, // longest 8-byte encoding: fast path
+                                      1ULL << 56,       // 9 bytes: scalar fallback
+                                      1ULL << 63,
+                                      std::numeric_limits<std::uint32_t>::max(),
+                                      ~0ULL};
+  for (const std::uint64_t value : boundaries) {
+    const std::size_t written = varint_encode(value, buffer);
+    const std::uint8_t *ptr = buffer;
+    EXPECT_EQ(varint_decode_fast<std::uint64_t>(ptr), value) << value;
+    EXPECT_EQ(ptr, buffer + written) << value;
+    if (value <= std::numeric_limits<std::uint32_t>::max()) {
+      ptr = buffer;
+      EXPECT_EQ(varint_decode_fast<std::uint32_t>(ptr),
+                static_cast<std::uint32_t>(value))
+          << value;
+    }
+  }
+}
+
+TEST(VarInt, FastDecodeMatchesScalarOnRandomValues) {
+  Random rng(42);
+  std::uint8_t buffer[16 + kVarIntDecodePadding] = {};
+  for (int trial = 0; trial < 20'000; ++trial) {
+    const std::uint64_t value = rng() >> rng.next_bounded(64);
+    varint_encode(value, buffer);
+    const std::uint8_t *scalar_ptr = buffer;
+    const std::uint8_t *fast_ptr = buffer;
+    ASSERT_EQ(varint_decode_fast<std::uint64_t>(fast_ptr),
+              varint_decode<std::uint64_t>(scalar_ptr));
+    ASSERT_EQ(fast_ptr, scalar_ptr);
+  }
+}
+
+TEST(VarInt, DecodeRunMatchesElementWiseDecode) {
+  Random rng(7);
+  std::vector<std::uint64_t> values(1000);
+  for (auto &value : values) {
+    value = rng() >> rng.next_bounded(64);
+  }
+  std::vector<std::uint8_t> buffer(values.size() * 10 + kVarIntDecodePadding);
+  std::size_t bytes = 0;
+  for (const std::uint64_t value : values) {
+    bytes += varint_encode(value, buffer.data() + bytes);
+  }
+  std::vector<std::uint64_t> decoded(values.size());
+  const std::uint8_t *end = varint_decode_run(buffer.data(), values.size(), decoded.data());
+  EXPECT_EQ(end, buffer.data() + bytes);
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(VarInt, GapRunDecodeMatchesElementWiseDecode) {
+  // Mixed-length gap streams against the scalar reference, including the
+  // full-group carry regression: eight consecutive 1-byte gaps summing past
+  // 255 (a mod-256 byte-sum carry corrupts every later target).
+  Random rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t count = 1 + rng.next_bounded(64);
+    std::vector<std::uint32_t> gaps(count);
+    for (auto &gap : gaps) {
+      switch (rng.next_bounded(4)) {
+      case 0: gap = static_cast<std::uint32_t>(64 + rng.next_bounded(64)); break;
+      case 1: gap = static_cast<std::uint32_t>(rng.next_bounded(1u << 14)); break;
+      case 2: gap = static_cast<std::uint32_t>(rng.next_bounded(1u << 21)); break;
+      default: gap = static_cast<std::uint32_t>(rng()); break;
+      }
+    }
+    if (trial == 0) {
+      // Deterministic regression shape: nine 1-byte gaps, first eight sum 461.
+      gaps.assign({126, 42, 17, 84, 15, 84, 55, 38, 91});
+    }
+    std::vector<std::uint8_t> buffer(gaps.size() * 5 + kVarIntDecodePadding);
+    std::size_t bytes = 0;
+    for (const std::uint32_t gap : gaps) {
+      bytes += varint_encode(gap, buffer.data() + bytes);
+    }
+    std::uint32_t prev_ref = static_cast<std::uint32_t>(rng());
+    std::uint32_t prev_fast = prev_ref;
+    std::vector<std::uint32_t> expected(gaps.size());
+    const std::uint8_t *ref_ptr = buffer.data();
+    for (std::size_t i = 0; i < gaps.size(); ++i) {
+      prev_ref += 1 + static_cast<std::uint32_t>(varint_decode<std::uint64_t>(ref_ptr));
+      expected[i] = prev_ref;
+    }
+    std::vector<std::uint32_t> decoded(gaps.size() + 8);
+    const std::uint8_t *end =
+        varint_gap_run_decode(buffer.data(), gaps.size(), prev_fast, decoded.data());
+    decoded.resize(gaps.size());
+    EXPECT_EQ(decoded, expected) << "trial " << trial;
+    EXPECT_EQ(end, buffer.data() + bytes) << "trial " << trial;
+    EXPECT_EQ(prev_fast, prev_ref) << "trial " << trial;
+  }
+}
+
+TEST(VarInt, SignedFastDecodeRoundTrip) {
+  std::uint8_t buffer[16 + kVarIntDecodePadding] = {};
+  for (const std::int64_t value : {0L, 5L, -5L, 123456L, -123456L,
+                                   std::numeric_limits<std::int64_t>::max(),
+                                   std::numeric_limits<std::int64_t>::min()}) {
+    signed_varint_encode(value, buffer);
+    const std::uint8_t *ptr = buffer;
+    EXPECT_EQ(signed_varint_decode_fast<std::int64_t>(ptr), value) << value;
+  }
+}
+
+TEST(VarIntDeathTest, OverlongVarIntIsRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // An 8-byte encoding far exceeds kMaxVarIntLength<uint32_t> == 5: both
+  // decoders must trip the contract check rather than silently wrap.
+  std::uint8_t overlong[16] = {0x81, 0x81, 0x81, 0x81, 0x81, 0x81, 0x81, 0x01};
+  EXPECT_DEATH(
+      {
+        const std::uint8_t *ptr = overlong;
+        volatile std::uint32_t value = varint_decode<std::uint32_t>(ptr);
+        (void)value;
+      },
+      "overlong");
+  EXPECT_DEATH(
+      {
+        const std::uint8_t *ptr = overlong;
+        volatile std::uint32_t value = varint_decode_fast<std::uint32_t>(ptr);
+        (void)value;
+      },
+      "overlong");
 }
 
 TEST(VarInt, ZigzagRoundTrip) {

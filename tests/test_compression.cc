@@ -35,6 +35,72 @@ void expect_decodes_to(const CsrGraph &source, const CompressedGraph &compressed
   }
 }
 
+/// Collects a neighborhood through the block API as (target, weight) pairs,
+/// expanding the `ws == nullptr` unit-weight convention.
+template <typename Graph>
+std::vector<std::pair<NodeID, EdgeWeight>> collect_blocks(const Graph &graph, const NodeID u) {
+  std::vector<std::pair<NodeID, EdgeWeight>> result;
+  graph.for_each_neighbor_block(
+      u, [&](const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+        EXPECT_GT(count, 0u) << "empty blocks must not be emitted";
+        for (std::size_t i = 0; i < count; ++i) {
+          result.emplace_back(ids[i], ws == nullptr ? 1 : ws[i]);
+        }
+      });
+  return result;
+}
+
+/// Collects every neighborhood delivered by the ranged block sweep over
+/// [begin, end), checking that vertices arrive in ascending order, stay in
+/// range, and that no empty block is emitted. A vertex may be delivered in
+/// several consecutive calls (large or chunked neighborhoods).
+template <typename Graph>
+std::vector<std::vector<std::pair<NodeID, EdgeWeight>>>
+collect_sweep(const Graph &graph, const NodeID begin, const NodeID end) {
+  std::vector<std::vector<std::pair<NodeID, EdgeWeight>>> result(graph.n());
+  NodeID prev = begin;
+  graph.for_each_neighborhood_block(
+      begin, end,
+      [&](const NodeID u, const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+        EXPECT_GT(count, 0u) << "empty blocks must not be emitted";
+        EXPECT_GE(u, prev) << "sweep must deliver vertices in ascending order";
+        EXPECT_LT(u, end) << "sweep left its range";
+        prev = u;
+        for (std::size_t i = 0; i < count; ++i) {
+          result[u].emplace_back(ids[i], ws == nullptr ? 1 : ws[i]);
+        }
+      });
+  return result;
+}
+
+/// Checks that on each representation the block API emits exactly the
+/// per-edge visitor sequence in the same order, and that the two
+/// representations agree as sorted sequences (the compressed emission order —
+/// intervals before residuals — may differ from CSR order).
+void expect_block_parity(const CsrGraph &source, const CompressedGraph &compressed) {
+  const auto sweep_compressed = collect_sweep(compressed, 0, compressed.n());
+  const auto sweep_csr = collect_sweep(source, 0, source.n());
+  for (NodeID u = 0; u < source.n(); ++u) {
+    std::vector<std::pair<NodeID, EdgeWeight>> per_edge;
+    compressed.for_each_neighbor(
+        u, [&](const NodeID v, const EdgeWeight w) { per_edge.emplace_back(v, w); });
+    ASSERT_EQ(collect_blocks(compressed, u), per_edge) << "vertex " << u;
+
+    std::vector<std::pair<NodeID, EdgeWeight>> csr_blocks = collect_blocks(source, u);
+    std::vector<std::pair<NodeID, EdgeWeight>> csr_per_edge;
+    source.for_each_neighbor(
+        u, [&](const NodeID v, const EdgeWeight w) { csr_per_edge.emplace_back(v, w); });
+    ASSERT_EQ(csr_blocks, csr_per_edge) << "vertex " << u;
+
+    ASSERT_EQ(sweep_compressed[u], per_edge) << "sweep vertex " << u;
+    ASSERT_EQ(sweep_csr[u], csr_blocks) << "sweep vertex " << u;
+
+    std::sort(per_edge.begin(), per_edge.end());
+    std::sort(csr_blocks.begin(), csr_blocks.end());
+    ASSERT_EQ(per_edge, csr_blocks) << "vertex " << u;
+  }
+}
+
 struct CompressionCase {
   std::string name;
   std::string spec;
@@ -95,6 +161,19 @@ TEST_P(CompressionRoundTrip, WeightedRoundTrip) {
   expect_decodes_to(graph, compressed);
 }
 
+TEST_P(CompressionRoundTrip, BlockApiMatchesPerEdgeUnweighted) {
+  const CsrGraph graph = gen::by_spec(GetParam().spec, 4242);
+  const CompressedGraph compressed = compress_graph(graph, GetParam().config);
+  expect_block_parity(graph, compressed);
+}
+
+TEST_P(CompressionRoundTrip, BlockApiMatchesPerEdgeWeighted) {
+  const CsrGraph graph =
+      gen::with_random_edge_weights(gen::by_spec(GetParam().spec, 515), 1000, 4);
+  const CompressedGraph compressed = compress_graph(graph, GetParam().config);
+  expect_block_parity(graph, compressed);
+}
+
 TEST_P(CompressionRoundTrip, ParallelCompressorIsByteIdentical) {
   const CsrGraph graph = gen::by_spec(GetParam().spec, 777);
   const CompressedGraph sequential = compress_graph(graph, GetParam().config);
@@ -126,6 +205,113 @@ TEST(Compression, EmptyAndTinyGraphs) {
 
   const CsrGraph pair = graph_from_adjacency_unweighted({{1}, {0}});
   expect_decodes_to(pair, compress_graph(pair));
+}
+
+TEST(Compression, BlockApiOnEmptyNeighborhoods) {
+  // Isolated vertices: the block callback must never fire, on either
+  // representation.
+  const CsrGraph graph = graph_from_adjacency_unweighted({{}, {2}, {1}, {}});
+  const CompressedGraph compressed = compress_graph(graph);
+  for (const NodeID u : {0u, 3u}) {
+    graph.for_each_neighbor_block(u, [&](const NodeID *, const EdgeWeight *, std::size_t) {
+      FAIL() << "block emitted for isolated vertex " << u;
+    });
+    compressed.for_each_neighbor_block(u, [&](const NodeID *, const EdgeWeight *, std::size_t) {
+      FAIL() << "block emitted for isolated vertex " << u;
+    });
+    compressed.for_each_neighbor_parallel_block(
+        u, [&](const NodeID *, const EdgeWeight *, std::size_t) {
+          FAIL() << "parallel block emitted for isolated vertex " << u;
+        });
+  }
+  expect_block_parity(graph, compressed);
+}
+
+TEST(Compression, IntervalRunOfLengthExactlyThree) {
+  // min_interval_length defaults to 3: a run of exactly 3 is the shortest
+  // neighborhood segment stored as an interval (its length is encoded as 0).
+  // Both decode paths must reproduce it, with and without surrounding
+  // residuals.
+  std::vector<std::vector<NodeID>> adjacency(30);
+  adjacency[0] = {10, 11, 12};            // exactly one interval, no residuals
+  adjacency[1] = {5, 10, 11, 12, 20};     // interval between two residuals
+  adjacency[2] = {10, 11, 12, 14, 15, 16}; // two back-to-back length-3 runs
+  for (const NodeID u : {0u, 1u, 2u}) {
+    for (const NodeID v : adjacency[u]) {
+      adjacency[v].push_back(u);
+    }
+  }
+  const CsrGraph graph = graph_from_adjacency_unweighted(adjacency);
+  CompressionConfig config;
+  ASSERT_EQ(config.min_interval_length, 3u);
+  const CompressedGraph compressed = compress_graph(graph, config);
+  expect_decodes_to(graph, compressed);
+  expect_block_parity(graph, compressed);
+
+  // A run of length 2 must stay in the residual encoding.
+  const CsrGraph two_run = graph_from_adjacency_unweighted({{1, 2}, {0}, {0}});
+  expect_block_parity(two_run, compress_graph(two_run, config));
+}
+
+TEST(Compression, BlockApiSplitsLargeNeighborhoodsAtBlockSize) {
+  // A flat neighborhood larger than kDecodeBlockSize must arrive as multiple
+  // full blocks plus a remainder, in order.
+  const NodeID degree = static_cast<NodeID>(2 * kDecodeBlockSize + 17);
+  std::vector<std::vector<NodeID>> adjacency(degree + 1);
+  for (NodeID v = 1; v <= degree; ++v) {
+    adjacency[0].push_back(v);
+    adjacency[v].push_back(0);
+  }
+  const CsrGraph graph = graph_from_adjacency_unweighted(adjacency);
+  CompressionConfig config;
+  config.intervals = false; // force the pure gap+varint residual path
+  config.high_degree_threshold = 100'000;
+  const CompressedGraph compressed = compress_graph(graph, config);
+
+  std::vector<std::size_t> block_sizes;
+  std::vector<NodeID> targets;
+  compressed.for_each_neighbor_block(
+      0, [&](const NodeID *ids, const EdgeWeight *, const std::size_t count) {
+        block_sizes.push_back(count);
+        targets.insert(targets.end(), ids, ids + count);
+      });
+  ASSERT_EQ(block_sizes.size(), 3u);
+  EXPECT_EQ(block_sizes[0], kDecodeBlockSize);
+  EXPECT_EQ(block_sizes[1], kDecodeBlockSize);
+  EXPECT_EQ(block_sizes[2], 17u);
+  ASSERT_EQ(targets.size(), degree);
+  for (NodeID i = 0; i < degree; ++i) {
+    ASSERT_EQ(targets[i], i + 1);
+  }
+}
+
+TEST(Compression, NeighborhoodSweepSubranges) {
+  // The ranged sweep must agree with the per-node block visitor on arbitrary
+  // subranges, including ranges that start/end mid-batch and the empty range.
+  // weblike neighborhoods are unweighted pure gap streams, so with intervals
+  // disabled this exercises the batched fast path across flush boundaries.
+  const CsrGraph graph = gen::weblike(500, 20, 1);
+  CompressionConfig config;
+  config.intervals = false;
+  const CompressedGraph compressed = compress_graph(graph, config);
+
+  const NodeID n = graph.n();
+  const std::pair<NodeID, NodeID> ranges[] = {
+      {0, n}, {0, 1}, {1, n}, {n / 3, 2 * n / 3}, {n - 1, n}, {7, 7}};
+  for (const auto &[begin, end] : ranges) {
+    const auto sweep = collect_sweep(compressed, begin, end);
+    const auto csr_sweep = collect_sweep(graph, begin, end);
+    for (NodeID u = 0; u < n; ++u) {
+      if (u < begin || u >= end) {
+        ASSERT_TRUE(sweep[u].empty()) << "range [" << begin << ", " << end << ") vertex " << u;
+        ASSERT_TRUE(csr_sweep[u].empty());
+      } else {
+        ASSERT_EQ(sweep[u], collect_blocks(compressed, u))
+            << "range [" << begin << ", " << end << ") vertex " << u;
+        ASSERT_EQ(csr_sweep[u], collect_blocks(graph, u));
+      }
+    }
+  }
 }
 
 TEST(Compression, StarGraphUsesChunkedLayout) {

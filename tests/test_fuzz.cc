@@ -5,6 +5,8 @@
 // no-assumption inputs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/random.h"
 #include "coarsening/contraction.h"
 #include "compression/encoder.h"
@@ -60,6 +62,83 @@ TEST(Fuzz, CompressionRoundTripOnRandomGraphs) {
           u, [&](const NodeID v, const EdgeWeight w) { expected.emplace_back(v, w); });
       ASSERT_EQ(decoded, expected) << "trial " << trial << " vertex " << u;
     }
+  }
+}
+
+TEST(Fuzz, BlockApiTraversalParityOnRandomGraphs) {
+  // Acceptance: block-API traversal must be bit-identical to the per-edge
+  // visitor on each representation, and the two representations must agree as
+  // sorted (target, weight) sequences, across random graphs and random codec
+  // configurations.
+  Random rng(0xb10c);
+  for (int trial = 0; trial < 40; ++trial) {
+    const CsrGraph graph = random_graph(rng, 300);
+    CompressionConfig config;
+    config.high_degree_threshold = static_cast<NodeID>(4 + rng.next_bounded(64));
+    config.chunk_size = static_cast<NodeID>(2 + rng.next_bounded(16));
+    config.intervals = rng.next_bool();
+    const CompressedGraph compressed = compress_graph(graph, config);
+
+    for (NodeID u = 0; u < graph.n(); ++u) {
+      std::vector<std::pair<NodeID, EdgeWeight>> compressed_edges;
+      compressed.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+        compressed_edges.emplace_back(v, w);
+      });
+      std::vector<std::pair<NodeID, EdgeWeight>> compressed_blocks;
+      compressed.for_each_neighbor_block(
+          u, [&](const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+            for (std::size_t i = 0; i < count; ++i) {
+              compressed_blocks.emplace_back(ids[i], ws == nullptr ? 1 : ws[i]);
+            }
+          });
+      ASSERT_EQ(compressed_blocks, compressed_edges) << "trial " << trial << " vertex " << u;
+
+      std::vector<std::pair<NodeID, EdgeWeight>> csr_edges;
+      graph.for_each_neighbor(
+          u, [&](const NodeID v, const EdgeWeight w) { csr_edges.emplace_back(v, w); });
+      std::vector<std::pair<NodeID, EdgeWeight>> csr_blocks;
+      graph.for_each_neighbor_block(
+          u, [&](const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+            for (std::size_t i = 0; i < count; ++i) {
+              csr_blocks.emplace_back(ids[i], ws == nullptr ? 1 : ws[i]);
+            }
+          });
+      ASSERT_EQ(csr_blocks, csr_edges) << "trial " << trial << " vertex " << u;
+
+      std::sort(compressed_blocks.begin(), compressed_blocks.end());
+      std::sort(csr_blocks.begin(), csr_blocks.end());
+      ASSERT_EQ(compressed_blocks, csr_blocks) << "trial " << trial << " vertex " << u;
+    }
+
+    // The ranged sweep over a random subrange must deliver, per vertex, the
+    // same (target, weight) sequence as the per-edge visitor, in ascending
+    // vertex order, on both representations.
+    const auto sweep_begin = static_cast<NodeID>(rng.next_bounded(graph.n() + 1));
+    const auto sweep_end =
+        sweep_begin + static_cast<NodeID>(rng.next_bounded(graph.n() + 1 - sweep_begin));
+    const auto check_sweep = [&](const auto &g) {
+      std::vector<std::vector<std::pair<NodeID, EdgeWeight>>> per_node(g.n());
+      NodeID prev = sweep_begin;
+      g.for_each_neighborhood_block(
+          sweep_begin, sweep_end,
+          [&](const NodeID u, const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+            ASSERT_GT(count, 0u) << "trial " << trial;
+            ASSERT_GE(u, prev) << "trial " << trial;
+            ASSERT_LT(u, sweep_end) << "trial " << trial;
+            prev = u;
+            for (std::size_t i = 0; i < count; ++i) {
+              per_node[u].emplace_back(ids[i], ws == nullptr ? 1 : ws[i]);
+            }
+          });
+      for (NodeID u = sweep_begin; u < sweep_end; ++u) {
+        std::vector<std::pair<NodeID, EdgeWeight>> expected;
+        g.for_each_neighbor(
+            u, [&](const NodeID v, const EdgeWeight w) { expected.emplace_back(v, w); });
+        ASSERT_EQ(per_node[u], expected) << "trial " << trial << " vertex " << u;
+      }
+    };
+    check_sweep(compressed);
+    check_sweep(graph);
   }
 }
 

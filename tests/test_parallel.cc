@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <numeric>
 #include <set>
 
@@ -225,6 +226,45 @@ TEST(ThreadPool, ResizeAfterUseIsSafe) {
   set_num_threads(8);
   ThreadPool::global().run_on_all([&](int) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 3 * 2 + 4 + 8);
+  set_num_threads(1);
+}
+
+TEST(ThreadPool, BackToBackDispatchesAreLossless) {
+  // Stresses the spin-then-sleep dispatch: thousands of tiny jobs in a row
+  // mostly hit the lock-free spin path; none may be dropped or double-run.
+  set_num_threads(4);
+  std::atomic<std::uint64_t> counter{0};
+  constexpr int kRounds = 5000;
+  for (int round = 0; round < kRounds; ++round) {
+    ThreadPool::global().run_on_all([&](int) {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(counter.load(), static_cast<std::uint64_t>(kRounds) * 4);
+  set_num_threads(1);
+}
+
+TEST(ThreadPool, ChunkedLoopNearIndexMax) {
+  // Regression: a dynamic loop whose range ends near the maximum Index value
+  // must not wrap the shared chunk counter (duplicate or lost chunks).
+  set_num_threads(4);
+  const std::uint32_t end = std::numeric_limits<std::uint32_t>::max();
+  const std::uint32_t begin = end - 10'000;
+  std::atomic<std::uint64_t> iterations{0};
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for_chunked<std::uint32_t>(
+      begin, end, 7, [&](const std::uint32_t chunk_begin, const std::uint32_t chunk_end) {
+        ASSERT_LE(chunk_begin, chunk_end);
+        ASSERT_LE(chunk_end, end);
+        iterations.fetch_add(chunk_end - chunk_begin, std::memory_order_relaxed);
+        std::uint64_t local = 0;
+        for (std::uint32_t i = chunk_begin; i < chunk_end; ++i) {
+          local += i - begin;
+        }
+        sum.fetch_add(local, std::memory_order_relaxed);
+      });
+  EXPECT_EQ(iterations.load(), 10'000u);
+  EXPECT_EQ(sum.load(), 10'000ULL * 9'999ULL / 2);
   set_num_threads(1);
 }
 
