@@ -7,14 +7,18 @@
 /// (55.1 GiB), (3) contraction buffers (6 GiB); the optimizations cut them
 /// to 2.8 / 5.6 / 1.4 GiB.
 ///
-/// `--json <path>` additionally writes the raw byte counts as JSON (e.g.
-/// BENCH_fig2.json) for machine-readable tracking across PRs.
+/// `--json <path>` additionally writes the raw byte counts as a
+/// terapart.run_report/v1 document (e.g. BENCH_fig2.json) for
+/// machine-readable tracking across PRs; `--smoke` shrinks the graph for CI
+/// smoke runs.
 #include "bench_common.h"
 
 #include <string_view>
 
 #include "coarsening/lp_clustering.h"
 #include "coarsening/contraction.h"
+#include "common/metrics_registry.h"
+#include "common/run_report.h"
 #include "partition/metrics.h"
 #include "partition/partitioned_graph.h"
 #include "refinement/fm_refiner.h"
@@ -77,9 +81,12 @@ PhasePeaks run_config(const CsrGraph &source, const bool optimized, const BlockI
 
 int main(int argc, char **argv) {
   const char *json_path = nullptr;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
     }
   }
 
@@ -91,8 +98,9 @@ int main(int argc, char **argv) {
                "auxiliary memory of top-level clustering / contraction / FM, baseline vs "
                "optimized; expect clustering and FM to dominate the baseline");
 
-  const BlockID k = 64;
-  const CsrGraph source = gen::weblike(50'000, 20, 1, 0.7, 64);
+  const BlockID k = smoke ? 8 : 64;
+  const CsrGraph source =
+      smoke ? gen::weblike(5'000, 8, 1, 0.7, 64) : gen::weblike(50'000, 20, 1, 0.7, 64);
   std::printf("graph: weblike n=%u m=%llu (webbase2001 analog), k=%u, p=%d\n\n", source.n(),
               static_cast<unsigned long long>(source.m()), k, par::num_threads());
 
@@ -116,32 +124,32 @@ int main(int argc, char **argv) {
               "6.0->1.4 GiB on webbase2001; the ordering and direction must match.\n");
 
   if (json_path != nullptr) {
-    std::FILE *out = std::fopen(json_path, "w");
-    if (out == nullptr) {
+    RunReport report("bench_fig2_phase_breakdown");
+    report.set_graph("gen:weblike", source.n(), source.m(), source.max_degree(),
+                     source.memory_bytes());
+    report.set_config(json::Object{
+        {"k", static_cast<std::uint64_t>(k)},
+        {"threads", par::num_threads()},
+        {"smoke", smoke},
+    });
+    const auto peaks_to_json = [](const PhasePeaks &peaks) {
+      return json::Object{
+          {"clustering", peaks.clustering},
+          {"contraction", peaks.contraction},
+          {"fm", peaks.fm},
+      };
+    };
+    report.add_section("bytes", json::Object{
+                                    {"kaminpar", peaks_to_json(baseline)},
+                                    {"terapart", peaks_to_json(optimized)},
+                                    {"input_graph_csr", baseline.graph_bytes},
+                                });
+    report.capture_metrics(MetricsRegistry::global());
+    report.capture_memory(MemoryTracker::global());
+    if (!report.write(json_path)) {
       std::fprintf(stderr, "error: cannot open %s for writing\n", json_path);
       return 1;
     }
-    std::fprintf(out,
-                 "{\n"
-                 "  \"benchmark\": \"fig2_phase_breakdown\",\n"
-                 "  \"graph\": {\"class\": \"weblike\", \"n\": %u, \"m\": %llu},\n"
-                 "  \"k\": %u,\n"
-                 "  \"threads\": %d,\n"
-                 "  \"bytes\": {\n"
-                 "    \"kaminpar\": {\"clustering\": %llu, \"contraction\": %llu, \"fm\": %llu},\n"
-                 "    \"terapart\": {\"clustering\": %llu, \"contraction\": %llu, \"fm\": %llu},\n"
-                 "    \"input_graph_csr\": %llu\n"
-                 "  }\n"
-                 "}\n",
-                 source.n(), static_cast<unsigned long long>(source.m()), k, par::num_threads(),
-                 static_cast<unsigned long long>(baseline.clustering),
-                 static_cast<unsigned long long>(baseline.contraction),
-                 static_cast<unsigned long long>(baseline.fm),
-                 static_cast<unsigned long long>(optimized.clustering),
-                 static_cast<unsigned long long>(optimized.contraction),
-                 static_cast<unsigned long long>(optimized.fm),
-                 static_cast<unsigned long long>(baseline.graph_bytes));
-    std::fclose(out);
     std::printf("wrote %s\n", json_path);
   }
   return 0;

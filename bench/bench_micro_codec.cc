@@ -3,15 +3,21 @@
 /// graph classes and configurations — per-edge visitor vs the block-decode
 /// API — and decode throughput relative to raw CSR iteration.
 ///
-/// `--json <path>` writes the google-benchmark JSON report to `path` (e.g.
-/// BENCH_codec.json) so the perf trajectory is machine-trackable across PRs.
+/// `--json <path>` writes a terapart.run_report/v1 document with a
+/// "benchmarks" section (one entry per benchmark run) to `path` (e.g.
+/// BENCH_codec.json) so the perf trajectory is machine-trackable across PRs
+/// with the same schema as terapart_cli --report.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/memory_tracker.h"
+#include "common/metrics_registry.h"
 #include "common/random.h"
+#include "common/run_report.h"
 #include "common/varint.h"
 #include "compression/parallel_compressor.h"
 #include "generators/generators.h"
@@ -264,11 +270,38 @@ void BM_IterateCsrBlock(benchmark::State &state) {
 }
 BENCHMARK(BM_IterateCsrBlock)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
+/// Console reporter that additionally collects every run into a JSON array
+/// conforming to the "benchmarks" section of terapart.run_report/v1.
+class CollectingReporter : public benchmark::ConsoleReporter {
+public:
+  void ReportRuns(const std::vector<Run> &runs) override {
+    for (const Run &run : runs) {
+      json::Object entry{
+          {"name", run.benchmark_name()},
+          {"iterations", static_cast<std::int64_t>(run.iterations)},
+          {"real_time", run.GetAdjustedRealTime()},
+          {"cpu_time", run.GetAdjustedCPUTime()},
+          {"time_unit", benchmark::GetTimeUnitString(run.time_unit)},
+      };
+      for (const auto &[name, counter] : run.counters) {
+        entry.emplace_back(name, static_cast<double>(counter.value));
+      }
+      _benchmarks.push_back(std::move(entry));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] json::Array take_benchmarks() { return std::move(_benchmarks); }
+
+private:
+  json::Array _benchmarks;
+};
+
 } // namespace
 
 int main(int argc, char **argv) {
-  // Translate `--json <path>` into google-benchmark's reporter flags so every
-  // bench binary in the repo shares the same machine-readable interface.
+  // `--json <path>` is this repo's shared machine-readable interface: all
+  // bench binaries emit the same terapart.run_report/v1 schema.
   std::vector<char *> args;
   std::string json_path;
   for (int i = 0; i < argc; ++i) {
@@ -278,20 +311,25 @@ int main(int argc, char **argv) {
       args.push_back(argv[i]);
     }
   }
-  std::string out_flag;
-  std::string format_flag;
-  if (!json_path.empty()) {
-    out_flag = "--benchmark_out=" + json_path;
-    format_flag = "--benchmark_out_format=json";
-    args.push_back(out_flag.data());
-    args.push_back(format_flag.data());
-  }
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
     return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    RunReport report("bench_micro_codec");
+    report.add_section("benchmarks", reporter.take_benchmarks());
+    report.capture_metrics(MetricsRegistry::global());
+    report.capture_memory(MemoryTracker::global());
+    if (!report.write(json_path)) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -31,7 +31,7 @@ int main(int argc, char **argv) {
   for (const double epsilon : {0.001, 0.01, 0.03, 0.10, 0.30}) {
     Context ctx = terapart_fm_context(k, 1);
     ctx.epsilon = epsilon;
-    const PartitionResult result = partition_graph(mesh, ctx);
+    PartitionResult result = partition_graph(mesh, ctx);
     const auto weights = metrics::block_weights(mesh, result.partition, k);
     BlockWeight max_load = 0;
     for (const BlockWeight w : weights) {

@@ -6,6 +6,7 @@
 ///                [--epsilon 0.03] [--threads 4] [--seed 1]
 ///                [--preset kaminpar|terapart|terapart-fm]
 ///                [--no-compress] [--output partition.txt]
+///                [--report report.json]
 ///
 /// Examples:
 ///   terapart_cli --graph mygraph.metis --k 32
@@ -23,6 +24,7 @@
 #include "common/memory_tracker.h"
 #include "parallel/thread_pool.h"
 #include "partition/partitioner.h"
+#include "partition/reporting.h"
 
 namespace {
 
@@ -31,7 +33,7 @@ void usage() {
                "usage: terapart_cli --graph <file.metis|file.tpg|gen:SPEC> --k K\n"
                "  [--epsilon E] [--threads P] [--seed S]\n"
                "  [--preset kaminpar|terapart|terapart-fm] [--no-compress]\n"
-               "  [--output FILE]\n");
+               "  [--output FILE] [--report FILE.json]\n");
 }
 
 } // namespace
@@ -42,6 +44,7 @@ int main(int argc, char **argv) {
   std::string graph_arg;
   std::string preset = "terapart";
   std::string output;
+  std::string report_path;
   BlockID k = 0;
   double epsilon = 0.03;
   int threads = 4;
@@ -73,6 +76,8 @@ int main(int argc, char **argv) {
       compress = false;
     } else if (arg == "--output") {
       output = next();
+    } else if (arg == "--report") {
+      report_path = next();
     } else {
       usage();
       return 1;
@@ -111,6 +116,7 @@ int main(int argc, char **argv) {
   // --- Partition ---
   Timer timer;
   PartitionResult result;
+  RunReport report("terapart_cli");
   if (compress && preset != "kaminpar") {
     const CompressedGraph input = compress_graph_parallel(graph);
     std::printf("compressed input: %.2f bytes/edge (ratio %.1fx)\n",
@@ -118,8 +124,10 @@ int main(int argc, char **argv) {
                 static_cast<double>(input.uncompressed_csr_bytes()) /
                     static_cast<double>(input.memory_bytes()));
     result = partition_graph(input, ctx);
+    fill_run_report(report, input, graph_arg, ctx, result);
   } else {
     result = partition_graph(graph, ctx);
+    fill_run_report(report, graph, graph_arg, ctx, result);
   }
 
   std::printf("cut=%lld (%.3f%% of edges)  imbalance=%.4f  %s  time=%.2fs  peak=%.1f MiB\n",
@@ -129,6 +137,15 @@ int main(int argc, char **argv) {
               result.imbalance, result.balanced ? "balanced" : "IMBALANCED",
               timer.elapsed_s(),
               static_cast<double>(MemoryTracker::global().peak()) / (1024.0 * 1024.0));
+
+  if (!report_path.empty()) {
+    report.add_section("total_wall_s", timer.elapsed_s());
+    if (!report.write(report_path)) {
+      std::fprintf(stderr, "failed to write report to %s\n", report_path.c_str());
+      return 1;
+    }
+    std::printf("run report written to %s\n", report_path.c_str());
+  }
 
   if (!output.empty()) {
     std::ofstream out(output);

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/math.h"
+#include "common/scoped_phase.h"
 #include "compression/compressed_graph.h"
 
 namespace terapart {
@@ -34,6 +35,10 @@ GraphHierarchy coarsen(const Graph &finest, const CoarseningConfig &config, cons
     if (graph.n() <= target_n || level >= config.max_levels) {
       return false;
     }
+    // Telemetry: levels are 1-based here so that the phase names line up
+    // with refinement's level_1..level_L (level_0 is the finest graph, which
+    // is never coarsened "at" — it is the input of level_1).
+    ScopedPhase phase("level_" + std::to_string(level + 1));
     LpClusteringStats stats;
     const NodeWeight max_cluster_weight =
         max_cluster_weight_for(graph.total_node_weight(), k, config.epsilon);

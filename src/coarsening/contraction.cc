@@ -5,7 +5,9 @@
 #include <memory>
 
 #include "coarsening/rating_map.h"
+#include "common/metrics_registry.h"
 #include "common/overcommit.h"
+#include "common/scoped_phase.h"
 #include "compression/compressed_graph.h"
 #include "parallel/dual_counter.h"
 #include "parallel/parallel_for.h"
@@ -377,8 +379,12 @@ template <typename Graph>
 ContractionResult contract_clustering(const Graph &graph, std::span<const ClusterID> clustering,
                                       const ContractionConfig &config) {
   TP_ASSERT(clustering.size() == graph.n());
-  return config.one_pass ? contract_one_pass(graph, clustering, config)
-                         : contract_buffered(graph, clustering, config);
+  ScopedPhase phase("contraction");
+  ContractionResult result = config.one_pass ? contract_one_pass(graph, clustering, config)
+                                             : contract_buffered(graph, clustering, config);
+  MetricsRegistry::global().add_counter("coarsening.contraction.coarse_nodes", result.graph.n());
+  MetricsRegistry::global().add_counter("coarsening.contraction.coarse_edges", result.graph.m());
+  return result;
 }
 
 template ContractionResult contract_clustering<CsrGraph>(const CsrGraph &,

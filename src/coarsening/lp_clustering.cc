@@ -5,7 +5,9 @@
 #include <numeric>
 
 #include "coarsening/rating_map.h"
+#include "common/metrics_registry.h"
 #include "common/random.h"
+#include "common/scoped_phase.h"
 #include "compression/compressed_graph.h"
 #include "parallel/atomic_utils.h"
 #include "parallel/parallel_for.h"
@@ -280,6 +282,7 @@ template <typename Graph>
 std::vector<ClusterID> lp_cluster(const Graph &graph, const LpClusteringConfig &config,
                                   const NodeWeight max_cluster_weight, const std::uint64_t seed,
                                   LpClusteringStats *stats) {
+  ScopedPhase phase("lp_clustering");
   const NodeID n = graph.n();
 
   LpState state;
@@ -309,6 +312,7 @@ std::vector<ClusterID> lp_cluster(const Graph &graph, const LpClusteringConfig &
   std::unique_ptr<SharedSparseAggregator> aggregator;
 
   for (int round = 0; round < config.num_rounds; ++round) {
+    ScopedPhase round_phase("round_" + std::to_string(round));
     order_rng.shuffle(order);
     if (config.two_phase) {
       two_phase_round(graph, config, state, order, small_maps, rngs, aggregator, bumped_lists);
@@ -318,8 +322,14 @@ std::vector<ClusterID> lp_cluster(const Graph &graph, const LpClusteringConfig &
   }
 
   if (config.two_hop) {
+    ScopedPhase two_hop_phase("two_hop");
     two_hop_matching(graph, config, state, small_maps);
   }
+
+  MetricsRegistry::global().add_counter("coarsening.lp.moves",
+                                        state.moves.load(std::memory_order_relaxed));
+  MetricsRegistry::global().add_counter("coarsening.lp.bumped_vertices",
+                                        state.bumped_total.load(std::memory_order_relaxed));
 
   if (stats != nullptr) {
     stats->bumped_vertices = state.bumped_total.load(std::memory_order_relaxed);

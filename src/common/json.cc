@@ -1,0 +1,497 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace terapart::json {
+
+double Value::as_double() const {
+  if (const auto *i = std::get_if<std::int64_t>(&_data)) {
+    return static_cast<double>(*i);
+  }
+  if (const auto *u = std::get_if<std::uint64_t>(&_data)) {
+    return static_cast<double>(*u);
+  }
+  return std::get<double>(_data);
+}
+
+std::uint64_t Value::as_uint64() const {
+  if (const auto *u = std::get_if<std::uint64_t>(&_data)) {
+    return *u;
+  }
+  if (const auto *i = std::get_if<std::int64_t>(&_data)) {
+    TP_ASSERT(*i >= 0);
+    return static_cast<std::uint64_t>(*i);
+  }
+  const double value = std::get<double>(_data);
+  TP_ASSERT(value >= 0);
+  return static_cast<std::uint64_t>(value);
+}
+
+std::int64_t Value::as_int64() const {
+  if (const auto *i = std::get_if<std::int64_t>(&_data)) {
+    return *i;
+  }
+  if (const auto *u = std::get_if<std::uint64_t>(&_data)) {
+    return static_cast<std::int64_t>(*u);
+  }
+  return static_cast<std::int64_t>(std::get<double>(_data));
+}
+
+const Value *Value::find(const std::string_view key) const {
+  const auto *object = std::get_if<Object>(&_data);
+  if (object == nullptr) {
+    return nullptr;
+  }
+  for (const auto &[name, value] : *object) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+Value &Value::operator[](const std::string_view key) {
+  if (is_null()) {
+    _data = Object{};
+  }
+  Object &object = std::get<Object>(_data);
+  for (auto &[name, value] : object) {
+    if (name == key) {
+      return value;
+    }
+  }
+  return object.emplace_back(std::string(key), Value()).second;
+}
+
+void Value::push_back(Value element) {
+  if (is_null()) {
+    _data = Array{};
+  }
+  std::get<Array>(_data).push_back(std::move(element));
+}
+
+std::size_t Value::size() const {
+  if (const auto *array = std::get_if<Array>(&_data)) {
+    return array->size();
+  }
+  if (const auto *object = std::get_if<Object>(&_data)) {
+    return object->size();
+  }
+  return 0;
+}
+
+void escape_to(std::string &out, const std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+    case '"':
+      out += "\\\"";
+      break;
+    case '\\':
+      out += "\\\\";
+      break;
+    case '\n':
+      out += "\\n";
+      break;
+    case '\r':
+      out += "\\r";
+      break;
+    case '\t':
+      out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buffer[8];
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+        out += buffer;
+      } else {
+        out += c;
+      }
+    }
+  }
+}
+
+namespace {
+
+void write_double(std::string &out, const double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Infinity/NaN; null is the conventional substitute.
+    out += "null";
+    return;
+  }
+  char buffer[32];
+  const auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  TP_ASSERT(ec == std::errc());
+  out.append(buffer, end);
+  // Bare shortest-round-trip integers ("3") would parse back as int64; keep
+  // the double-ness explicit so round-trips are type-stable.
+  if (std::string_view(buffer, static_cast<std::size_t>(end - buffer)).find_first_of(".eE") ==
+      std::string_view::npos) {
+    out += ".0";
+  }
+}
+
+void write_newline_indent(std::string &out, const int indent, const int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+} // namespace
+
+void Value::write(std::string &out, const int indent, const int depth) const {
+  const bool pretty = indent >= 0;
+  if (const auto *object = std::get_if<Object>(&_data)) {
+    if (object->empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto &[name, value] : *object) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      if (pretty) {
+        write_newline_indent(out, indent, depth + 1);
+      }
+      out += '"';
+      escape_to(out, name);
+      out += pretty ? "\": " : "\":";
+      value.write(out, indent, depth + 1);
+    }
+    if (pretty) {
+      write_newline_indent(out, indent, depth);
+    }
+    out += '}';
+  } else if (const auto *array = std::get_if<Array>(&_data)) {
+    if (array->empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    bool first = true;
+    for (const Value &value : *array) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      if (pretty) {
+        write_newline_indent(out, indent, depth + 1);
+      }
+      value.write(out, indent, depth + 1);
+    }
+    if (pretty) {
+      write_newline_indent(out, indent, depth);
+    }
+    out += ']';
+  } else if (const auto *text = std::get_if<std::string>(&_data)) {
+    out += '"';
+    escape_to(out, *text);
+    out += '"';
+  } else if (const auto *boolean = std::get_if<bool>(&_data)) {
+    out += *boolean ? "true" : "false";
+  } else if (const auto *signed_int = std::get_if<std::int64_t>(&_data)) {
+    out += std::to_string(*signed_int);
+  } else if (const auto *unsigned_int = std::get_if<std::uint64_t>(&_data)) {
+    out += std::to_string(*unsigned_int);
+  } else if (const auto *real = std::get_if<double>(&_data)) {
+    write_double(out, *real);
+  } else {
+    out += "null";
+  }
+}
+
+std::string Value::dump(const int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+// ------------------------------------------------------------------- parser
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string_view text, std::string *error) : _text(text), _error(error) {}
+
+  bool run(Value &out) {
+    skip_whitespace();
+    if (!parse_value(out)) {
+      return false;
+    }
+    skip_whitespace();
+    if (_pos != _text.size()) {
+      return fail("trailing characters after document");
+    }
+    return true;
+  }
+
+private:
+  bool fail(const char *message) {
+    if (_error != nullptr) {
+      *_error = std::string(message) + " at offset " + std::to_string(_pos);
+    }
+    return false;
+  }
+
+  void skip_whitespace() {
+    while (_pos < _text.size() && (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                                   _text[_pos] == '\n' || _text[_pos] == '\r')) {
+      ++_pos;
+    }
+  }
+
+  [[nodiscard]] char peek() const { return _pos < _text.size() ? _text[_pos] : '\0'; }
+
+  bool consume(const char expected) {
+    if (peek() != expected) {
+      return false;
+    }
+    ++_pos;
+    return true;
+  }
+
+  bool consume_literal(const std::string_view literal) {
+    if (_text.substr(_pos, literal.size()) != literal) {
+      return fail("invalid literal");
+    }
+    _pos += literal.size();
+    return true;
+  }
+
+  bool parse_string(std::string &out) {
+    if (!consume('"')) {
+      return fail("expected '\"'");
+    }
+    while (_pos < _text.size()) {
+      const char c = _text[_pos++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (_pos >= _text.size()) {
+        break;
+      }
+      const char escape = _text[_pos++];
+      switch (escape) {
+      case '"':
+        out += '"';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      case '/':
+        out += '/';
+        break;
+      case 'b':
+        out += '\b';
+        break;
+      case 'f':
+        out += '\f';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'u': {
+        if (_pos + 4 > _text.size()) {
+          return fail("truncated \\u escape");
+        }
+        unsigned code = 0;
+        const auto [ptr, ec] =
+            std::from_chars(_text.data() + _pos, _text.data() + _pos + 4, code, 16);
+        if (ec != std::errc() || ptr != _text.data() + _pos + 4) {
+          return fail("invalid \\u escape");
+        }
+        _pos += 4;
+        // The telemetry writer only emits \u00xx control escapes; encode the
+        // code point as UTF-8 for completeness.
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xc0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+          out += static_cast<char>(0xe0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+          out += static_cast<char>(0x80 | (code & 0x3f));
+        }
+        break;
+      }
+      default:
+        return fail("invalid escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value &out) {
+    const std::size_t start = _pos;
+    const bool negative = peek() == '-';
+    if (negative) {
+      ++_pos;
+    }
+    bool is_integer = true;
+    while (_pos < _text.size()) {
+      const char c = _text[_pos];
+      if (c >= '0' && c <= '9') {
+        ++_pos;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_integer = false;
+        ++_pos;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = _text.substr(start, _pos - start);
+    if (is_integer && !negative) {
+      std::uint64_t value = 0;
+      const auto [ptr, ec] = std::from_chars(token.begin(), token.end(), value);
+      if (ec == std::errc() && ptr == token.end()) {
+        out = Value(value);
+        return true;
+      }
+    } else if (is_integer) {
+      std::int64_t value = 0;
+      const auto [ptr, ec] = std::from_chars(token.begin(), token.end(), value);
+      if (ec == std::errc() && ptr == token.end()) {
+        out = Value(value);
+        return true;
+      }
+    }
+    double value = 0;
+    const auto [ptr, ec] = std::from_chars(token.begin(), token.end(), value);
+    if (ec != std::errc() || ptr != token.end()) {
+      return fail("invalid number");
+    }
+    out = Value(value);
+    return true;
+  }
+
+  bool parse_value(Value &out) {
+    if (++_depth > kMaxDepth) {
+      return fail("nesting too deep");
+    }
+    skip_whitespace();
+    bool ok = false;
+    switch (peek()) {
+    case '{': {
+      ++_pos;
+      Object object;
+      skip_whitespace();
+      if (consume('}')) {
+        ok = true;
+        out = Value(std::move(object));
+        break;
+      }
+      while (true) {
+        skip_whitespace();
+        std::string key;
+        if (!parse_string(key)) {
+          return false;
+        }
+        skip_whitespace();
+        if (!consume(':')) {
+          return fail("expected ':'");
+        }
+        Value value;
+        if (!parse_value(value)) {
+          return false;
+        }
+        object.emplace_back(std::move(key), std::move(value));
+        skip_whitespace();
+        if (consume(',')) {
+          continue;
+        }
+        if (consume('}')) {
+          ok = true;
+          out = Value(std::move(object));
+          break;
+        }
+        return fail("expected ',' or '}'");
+      }
+      break;
+    }
+    case '[': {
+      ++_pos;
+      Array array;
+      skip_whitespace();
+      if (consume(']')) {
+        ok = true;
+        out = Value(std::move(array));
+        break;
+      }
+      while (true) {
+        Value value;
+        if (!parse_value(value)) {
+          return false;
+        }
+        array.push_back(std::move(value));
+        skip_whitespace();
+        if (consume(',')) {
+          continue;
+        }
+        if (consume(']')) {
+          ok = true;
+          out = Value(std::move(array));
+          break;
+        }
+        return fail("expected ',' or ']'");
+      }
+      break;
+    }
+    case '"': {
+      std::string text;
+      ok = parse_string(text);
+      if (ok) {
+        out = Value(std::move(text));
+      }
+      break;
+    }
+    case 't':
+      ok = consume_literal("true");
+      out = Value(true);
+      break;
+    case 'f':
+      ok = consume_literal("false");
+      out = Value(false);
+      break;
+    case 'n':
+      ok = consume_literal("null");
+      out = Value(nullptr);
+      break;
+    default:
+      ok = parse_number(out);
+    }
+    --_depth;
+    return ok;
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view _text;
+  std::string *_error;
+  std::size_t _pos = 0;
+  int _depth = 0;
+};
+
+} // namespace
+
+bool parse(const std::string_view text, Value &out, std::string *error) {
+  return Parser(text, error).run(out);
+}
+
+} // namespace terapart::json

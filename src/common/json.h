@@ -1,0 +1,102 @@
+/// @file json.h
+/// @brief Minimal JSON document model used by the telemetry subsystem
+/// (MetricsRegistry, PhaseTree, RunReport) and the benches' `--json` output.
+///
+/// Deliberately small: a value tree (null / bool / integer / double / string
+/// / array / object), a serializer (pretty and compact single-line, the
+/// latter NDJSON-friendly), and a strict recursive-descent parser used by
+/// tests to round-trip and schema-check reports. Objects preserve insertion
+/// order so that reports are stable and diffable across runs.
+///
+/// Integers are kept separate from doubles (signed and unsigned 64-bit) so
+/// byte counts and edge counts never lose precision.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace terapart::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Key/value entries in insertion order (no duplicate-key detection; the
+/// builders in this codebase never produce duplicates).
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+public:
+  Value() : _data(nullptr) {}
+  Value(std::nullptr_t) : _data(nullptr) {}
+  Value(const bool value) : _data(value) {}
+  Value(const double value) : _data(value) {}
+  Value(const std::int64_t value) : _data(value) {}
+  Value(const std::uint64_t value) : _data(value) {}
+  Value(const int value) : _data(static_cast<std::int64_t>(value)) {}
+  Value(const unsigned value) : _data(static_cast<std::uint64_t>(value)) {}
+  Value(std::string value) : _data(std::move(value)) {}
+  Value(const char *value) : _data(std::string(value)) {}
+  Value(std::string_view value) : _data(std::string(value)) {}
+  Value(Array value) : _data(std::move(value)) {}
+  Value(Object value) : _data(std::move(value)) {}
+
+  [[nodiscard]] static Value object() { return Value(Object{}); }
+  [[nodiscard]] static Value array() { return Value(Array{}); }
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(_data); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(_data); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(_data); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(_data); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(_data); }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<std::int64_t>(_data) ||
+           std::holds_alternative<std::uint64_t>(_data) || std::holds_alternative<double>(_data);
+  }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(_data); }
+  [[nodiscard]] const std::string &as_string() const { return std::get<std::string>(_data); }
+  /// Any numeric alternative, widened to double.
+  [[nodiscard]] double as_double() const;
+  /// Any numeric alternative, narrowed to uint64 (asserts non-negative).
+  [[nodiscard]] std::uint64_t as_uint64() const;
+  [[nodiscard]] std::int64_t as_int64() const;
+
+  [[nodiscard]] const Array &as_array() const { return std::get<Array>(_data); }
+  [[nodiscard]] Array &as_array() { return std::get<Array>(_data); }
+  [[nodiscard]] const Object &as_object() const { return std::get<Object>(_data); }
+  [[nodiscard]] Object &as_object() { return std::get<Object>(_data); }
+
+  /// Object lookup; returns nullptr when absent (or not an object).
+  [[nodiscard]] const Value *find(std::string_view key) const;
+  /// Object find-or-insert. The value must be an object (a fresh null value
+  /// is promoted to an empty object first).
+  Value &operator[](std::string_view key);
+  /// Appends to an array (a fresh null value is promoted first).
+  void push_back(Value element);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serializes the tree. `indent < 0` produces one compact line (NDJSON);
+  /// `indent >= 0` pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+private:
+  void write(std::string &out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double, std::string, Array,
+               Object>
+      _data;
+};
+
+/// Strict parser (no comments, no trailing commas). Returns false and fills
+/// `error` (when non-null) with a position-annotated message on failure.
+[[nodiscard]] bool parse(std::string_view text, Value &out, std::string *error = nullptr);
+
+/// Escapes `text` as the contents of a JSON string literal (no quotes).
+void escape_to(std::string &out, std::string_view text);
+
+} // namespace terapart::json

@@ -1,5 +1,7 @@
 #include "common/memory_tracker.h"
 
+#include <bit>
+
 namespace terapart {
 
 MemoryTracker &MemoryTracker::global() {
@@ -19,6 +21,41 @@ void MemoryTracker::acquire(const std::string &category, const std::uint64_t byt
   while (now > prev_peak &&
          !_peak.compare_exchange_weak(prev_peak, now, std::memory_order_relaxed)) {
   }
+  observe_watermarks(now);
+}
+
+void MemoryTracker::observe_watermarks(const std::uint64_t total) {
+  std::uint32_t mask = _watermark_mask.load(std::memory_order_acquire);
+  while (mask != 0) {
+    const int slot = std::countr_zero(mask);
+    mask &= mask - 1;
+    std::atomic<std::uint64_t> &watermark = _watermarks[slot];
+    std::uint64_t seen = watermark.load(std::memory_order_relaxed);
+    while (total > seen &&
+           !watermark.compare_exchange_weak(seen, total, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+int MemoryTracker::push_watermark() {
+  std::lock_guard lock(_mutex);
+  const std::uint32_t mask = _watermark_mask.load(std::memory_order_relaxed);
+  if (mask == ~std::uint32_t{0}) {
+    return -1;
+  }
+  const int slot = std::countr_one(mask);
+  _watermarks[slot].store(_current.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  _watermark_mask.store(mask | (std::uint32_t{1} << slot), std::memory_order_release);
+  return slot;
+}
+
+std::uint64_t MemoryTracker::pop_watermark(const int slot) {
+  if (slot < 0 || slot >= kMaxWatermarks) {
+    return _current.load(std::memory_order_relaxed);
+  }
+  std::lock_guard lock(_mutex);
+  _watermark_mask.fetch_and(~(std::uint32_t{1} << slot), std::memory_order_release);
+  return _watermarks[slot].load(std::memory_order_relaxed);
 }
 
 void MemoryTracker::release(const std::string &category, const std::uint64_t bytes) {
@@ -40,6 +77,16 @@ std::uint64_t MemoryTracker::peak(const std::string &category) const {
   std::lock_guard lock(_mutex);
   const auto it = _categories.find(category);
   return it == _categories.end() ? 0 : it->second.peak;
+}
+
+std::vector<MemoryTracker::CategorySnapshot> MemoryTracker::snapshot_with_peaks() const {
+  std::lock_guard lock(_mutex);
+  std::vector<CategorySnapshot> result;
+  result.reserve(_categories.size());
+  for (const auto &[name, entry] : _categories) {
+    result.push_back({name, entry.current, entry.peak});
+  }
+  return result;
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> MemoryTracker::snapshot() const {

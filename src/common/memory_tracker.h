@@ -43,6 +43,14 @@ public:
   /// Snapshot of (category, current bytes), sorted by name.
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
 
+  /// Snapshot with peaks, sorted by name (RunReport's memory section).
+  struct CategorySnapshot {
+    std::string name;
+    std::uint64_t current = 0;
+    std::uint64_t peak = 0;
+  };
+  [[nodiscard]] std::vector<CategorySnapshot> snapshot_with_peaks() const;
+
   /// Resets all counters (peaks included).
   void reset();
 
@@ -50,16 +58,31 @@ public:
   /// peaks as in Fig. 2).
   void reset_peak();
 
+  /// Non-destructive high-water observation, used by ScopedPhase to measure
+  /// per-phase peaks without disturbing the global peak (which benches read
+  /// across whole runs). push_watermark() starts observing the total from
+  /// the current value and returns a slot handle; pop_watermark() returns
+  /// the highest total seen since the push and frees the slot. Up to
+  /// kMaxWatermarks may be active (phase-nesting depth); beyond that push
+  /// returns -1 and pop(-1) degrades to the current total.
+  static constexpr int kMaxWatermarks = 32;
+  [[nodiscard]] int push_watermark();
+  std::uint64_t pop_watermark(int slot);
+
 private:
   struct Category {
     std::uint64_t current = 0;
     std::uint64_t peak = 0;
   };
 
+  void observe_watermarks(std::uint64_t total);
+
   mutable std::mutex _mutex;
   std::map<std::string, Category> _categories;
   std::atomic<std::uint64_t> _current{0};
   std::atomic<std::uint64_t> _peak{0};
+  std::atomic<std::uint32_t> _watermark_mask{0};
+  std::atomic<std::uint64_t> _watermarks[kMaxWatermarks] = {};
 };
 
 /// RAII registration: accounts `bytes` under `category` for its lifetime.

@@ -1,0 +1,113 @@
+#include "common/metrics_registry.h"
+
+namespace terapart {
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::add_counter(const std::string_view name, const std::uint64_t delta) {
+  std::lock_guard lock(_mutex);
+  auto it = _counters.find(name);
+  if (it == _counters.end()) {
+    it = _counters.emplace(std::string(name), 0).first;
+  }
+  it->second += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string_view name, const double value) {
+  std::lock_guard lock(_mutex);
+  auto it = _gauges.find(name);
+  if (it == _gauges.end()) {
+    _gauges.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::record(const std::string_view name, const double value) {
+  std::lock_guard lock(_mutex);
+  auto it = _stats.find(name);
+  if (it == _stats.end()) {
+    it = _stats.emplace(std::string(name), MetricStat{}).first;
+  }
+  it->second.record(value);
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string_view name) const {
+  std::lock_guard lock(_mutex);
+  const auto it = _counters.find(name);
+  return it == _counters.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string_view name) const {
+  std::lock_guard lock(_mutex);
+  const auto it = _gauges.find(name);
+  return it == _gauges.end() ? 0.0 : it->second;
+}
+
+MetricStat MetricsRegistry::stat(const std::string_view name) const {
+  std::lock_guard lock(_mutex);
+  const auto it = _stats.find(name);
+  return it == _stats.end() ? MetricStat{} : it->second;
+}
+
+json::Value MetricsRegistry::to_json() const {
+  std::lock_guard lock(_mutex);
+  json::Value out = json::Value::object();
+  json::Value &counters = out["counters"] = json::Value::object();
+  for (const auto &[name, value] : _counters) {
+    counters[name] = value;
+  }
+  json::Value &gauges = out["gauges"] = json::Value::object();
+  for (const auto &[name, value] : _gauges) {
+    gauges[name] = value;
+  }
+  json::Value &stats = out["stats"] = json::Value::object();
+  for (const auto &[name, stat] : _stats) {
+    json::Value &entry = stats[name] = json::Value::object();
+    entry["count"] = stat.count;
+    entry["sum"] = stat.sum;
+    // An empty stat has inverted infinite extrema; serialize as null (the
+    // writer maps non-finite doubles to null).
+    entry["min"] = stat.min;
+    entry["max"] = stat.max;
+    entry["mean"] = stat.mean();
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(_mutex);
+  _counters.clear();
+  _gauges.clear();
+  _stats.clear();
+}
+
+void MetricsRegistry::Shard::flush() {
+  if (_counters.empty() && _stats.empty()) {
+    return;
+  }
+  {
+    std::lock_guard lock(_registry->_mutex);
+    for (const auto &[name, delta] : _counters) {
+      auto it = _registry->_counters.find(name);
+      if (it == _registry->_counters.end()) {
+        it = _registry->_counters.emplace(name, 0).first;
+      }
+      it->second += delta;
+    }
+    for (const auto &[name, stat] : _stats) {
+      auto it = _registry->_stats.find(name);
+      if (it == _registry->_stats.end()) {
+        it = _registry->_stats.emplace(name, MetricStat{}).first;
+      }
+      it->second.merge(stat);
+    }
+  }
+  _counters.clear();
+  _stats.clear();
+}
+
+} // namespace terapart

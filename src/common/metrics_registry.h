@@ -1,0 +1,133 @@
+/// @file metrics_registry.h
+/// @brief Thread-safe named metrics: counters, gauges, and min/max/sum
+/// summaries ("stats"), the machine-readable half of the telemetry
+/// subsystem (the other half is the phase tree in scoped_phase.h).
+///
+/// Cost model: the registry itself is mutex-protected — fine for per-call or
+/// per-round updates. Hot paths (per-packet, per-chunk) accumulate into a
+/// `MetricsRegistry::Shard` instead: a plain local map without any locking,
+/// merged into the registry with a single lock acquisition when the shard
+/// goes out of scope. Per-edge code should keep a local integer and feed the
+/// shard once per chunk, as the existing per-thread reduction idiom does.
+///
+/// Naming convention: dot-separated lowercase paths, subsystem first
+/// ("coarsening.lp.moves", "threadpool.dispatches").
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+
+namespace terapart {
+
+/// Order-insensitive summary of recorded samples (count/sum/min/max). This
+/// is what the paper-figure benches need from "histograms": extrema and
+/// totals per phase; full bucketed distributions are not reproduced.
+struct MetricStat {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void record(const double value) {
+    ++count;
+    sum += value;
+    min = value < min ? value : min;
+    max = value > max ? value : max;
+  }
+
+  void merge(const MetricStat &other) {
+    count += other.count;
+    sum += other.sum;
+    min = other.min < min ? other.min : min;
+    max = other.max > max ? other.max : max;
+  }
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+class MetricsRegistry {
+public:
+  /// Global registry captured into every RunReport.
+  static MetricsRegistry &global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  void add_counter(std::string_view name, std::uint64_t delta = 1);
+  void set_gauge(std::string_view name, double value);
+  void record(std::string_view name, double value);
+
+  /// Reads; missing names yield zero / empty.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] double gauge(std::string_view name) const;
+  [[nodiscard]] MetricStat stat(std::string_view name) const;
+
+  /// {"counters": {...}, "gauges": {...}, "stats": {name: {count, sum, min,
+  /// max}}}, names sorted (std::map order) for stable diffs.
+  [[nodiscard]] json::Value to_json() const;
+
+  void reset();
+
+  /// Lock-free thread-local accumulator; merges into the registry on
+  /// destruction (or explicit flush). One Shard per thread — a Shard itself
+  /// is not thread-safe.
+  class Shard {
+  public:
+    explicit Shard(MetricsRegistry &registry = MetricsRegistry::global())
+        : _registry(&registry) {}
+    Shard(const Shard &) = delete;
+    Shard &operator=(const Shard &) = delete;
+    Shard(Shard &&other) noexcept
+        : _registry(other._registry), _counters(std::move(other._counters)),
+          _stats(std::move(other._stats)) {
+      other._counters.clear();
+      other._stats.clear();
+    }
+    Shard &operator=(Shard &&) = delete;
+    ~Shard() { flush(); }
+
+    void add(const std::string_view name, const std::uint64_t delta = 1) {
+      auto it = _counters.find(name);
+      if (it == _counters.end()) {
+        it = _counters.emplace(std::string(name), 0).first;
+      }
+      it->second += delta;
+    }
+
+    void record(const std::string_view name, const double value) {
+      auto it = _stats.find(name);
+      if (it == _stats.end()) {
+        it = _stats.emplace(std::string(name), MetricStat{}).first;
+      }
+      it->second.record(value);
+    }
+
+    /// Merges everything accumulated so far under one registry lock and
+    /// clears the shard.
+    void flush();
+
+  private:
+    MetricsRegistry *_registry;
+    std::map<std::string, std::uint64_t, std::less<>> _counters;
+    std::map<std::string, MetricStat, std::less<>> _stats;
+  };
+
+private:
+  friend class Shard;
+
+  mutable std::mutex _mutex;
+  std::map<std::string, std::uint64_t, std::less<>> _counters;
+  std::map<std::string, double, std::less<>> _gauges;
+  std::map<std::string, MetricStat, std::less<>> _stats;
+};
+
+} // namespace terapart

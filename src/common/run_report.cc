@@ -1,0 +1,72 @@
+#include "common/run_report.h"
+
+#include <fstream>
+
+#include "common/memory_tracker.h"
+#include "common/metrics_registry.h"
+#include "common/scoped_phase.h"
+
+namespace terapart {
+
+RunReport::RunReport(const std::string_view tool) : _doc(json::Value::object()) {
+  _doc["schema"] = kRunReportSchema;
+  _doc["tool"] = tool;
+}
+
+void RunReport::set_graph(const std::string_view source, const std::uint64_t n,
+                          const std::uint64_t m, const std::uint64_t max_degree,
+                          const std::uint64_t memory_bytes) {
+  json::Value &graph = _doc["graph"] = json::Value::object();
+  graph["source"] = source;
+  graph["n"] = n;
+  graph["m"] = m;
+  graph["max_degree"] = max_degree;
+  graph["memory_bytes"] = memory_bytes;
+}
+
+void RunReport::set_config(json::Value config) { _doc["config"] = std::move(config); }
+
+void RunReport::set_quality(const std::int64_t cut, const double imbalance,
+                            const bool balanced) {
+  json::Value &quality = _doc["quality"] = json::Value::object();
+  quality["cut"] = cut;
+  quality["imbalance"] = imbalance;
+  quality["balanced"] = balanced;
+}
+
+void RunReport::set_phases(const PhaseTree &phases) { _doc["phases"] = phases.to_json(); }
+
+void RunReport::capture_metrics(const MetricsRegistry &registry) {
+  _doc["metrics"] = registry.to_json();
+}
+
+void RunReport::capture_memory(const MemoryTracker &tracker) {
+  json::Value &memory = _doc["memory"] = json::Value::object();
+  memory["current_bytes"] = tracker.current();
+  memory["peak_bytes"] = tracker.peak();
+  json::Value &categories = memory["categories"] = json::Value::object();
+  for (const MemoryTracker::CategorySnapshot &category : tracker.snapshot_with_peaks()) {
+    json::Value &entry = categories[category.name] = json::Value::object();
+    entry["current_bytes"] = category.current;
+    entry["peak_bytes"] = category.peak;
+  }
+}
+
+void RunReport::add_section(const std::string_view name, json::Value value) {
+  _doc[name] = std::move(value);
+}
+
+std::string RunReport::to_json(const bool pretty) const { return _doc.dump(pretty ? 2 : -1); }
+
+std::string RunReport::to_ndjson_line() const { return _doc.dump(-1) + "\n"; }
+
+bool RunReport::write(const std::filesystem::path &path, const bool pretty) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << to_json(pretty) << '\n';
+  return static_cast<bool>(out);
+}
+
+} // namespace terapart

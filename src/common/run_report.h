@@ -1,0 +1,56 @@
+/// @file run_report.h
+/// @brief The machine-readable record of one run: graph stats, config,
+/// phase tree (wall time + per-phase memory high-water deltas), metrics
+/// registry contents, memory-tracker categories, and final quality, all in
+/// one JSON document with a versioned schema.
+///
+/// Producers: `terapart_cli --report out.json` and every bench `--json`
+/// flag. The single schema is what makes `BENCH_*.json` trajectories
+/// comparable across PRs — see DESIGN.md §7 for the schema reference.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+
+namespace terapart {
+
+class MemoryTracker;
+class MetricsRegistry;
+class PhaseTree;
+
+inline constexpr std::string_view kRunReportSchema = "terapart.run_report/v1";
+
+class RunReport {
+public:
+  /// `tool` names the producing binary ("terapart_cli", "bench_fig2_...").
+  explicit RunReport(std::string_view tool);
+
+  void set_graph(std::string_view source, std::uint64_t n, std::uint64_t m,
+                 std::uint64_t max_degree, std::uint64_t memory_bytes);
+  /// Arbitrary configuration object (the partition layer provides
+  /// context_to_json; benches record their own knobs).
+  void set_config(json::Value config);
+  void set_quality(std::int64_t cut, double imbalance, bool balanced);
+  void set_phases(const PhaseTree &phases);
+  void capture_metrics(const MetricsRegistry &registry);
+  void capture_memory(const MemoryTracker &tracker);
+  /// Adds/overwrites a top-level section ("levels", "bench", ...).
+  void add_section(std::string_view name, json::Value value);
+
+  [[nodiscard]] json::Value &doc() { return _doc; }
+  [[nodiscard]] const json::Value &doc() const { return _doc; }
+
+  [[nodiscard]] std::string to_json(bool pretty = true) const;
+  /// One compact line, newline-terminated (NDJSON record).
+  [[nodiscard]] std::string to_ndjson_line() const;
+  /// Writes the pretty document; returns false on I/O failure.
+  [[nodiscard]] bool write(const std::filesystem::path &path, bool pretty = true) const;
+
+private:
+  json::Value _doc;
+};
+
+} // namespace terapart

@@ -1,0 +1,91 @@
+#include "common/scoped_phase.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/memory_tracker.h"
+
+namespace terapart {
+
+namespace {
+thread_local PhaseTree *t_active_tree = nullptr;
+} // namespace
+
+PhaseNode *PhaseNode::find_or_add_child(const std::string_view child_name) {
+  for (const auto &existing : children) {
+    if (existing->name == child_name) {
+      return existing.get();
+    }
+  }
+  auto &node = children.emplace_back(std::make_unique<PhaseNode>());
+  node->name = child_name;
+  return node.get();
+}
+
+const PhaseNode *PhaseNode::child(const std::string_view child_name) const {
+  for (const auto &existing : children) {
+    if (existing->name == child_name) {
+      return existing.get();
+    }
+  }
+  return nullptr;
+}
+
+json::Value PhaseNode::to_json() const {
+  json::Value out = json::Value::object();
+  out["name"] = name;
+  out["calls"] = calls;
+  out["wall_s"] = wall_s;
+  out["peak_mem_delta_bytes"] = peak_mem_delta_bytes;
+  out["mem_enter_bytes"] = mem_enter_bytes;
+  if (!children.empty()) {
+    json::Value &list = out["children"] = json::Value::array();
+    for (const auto &node : children) {
+      list.push_back(node->to_json());
+    }
+  }
+  return out;
+}
+
+double PhaseTree::total_s(const std::string_view name) const {
+  const PhaseNode *node = _root->child(name);
+  return node == nullptr ? 0.0 : node->wall_s;
+}
+
+ActivePhaseScope::ActivePhaseScope(PhaseTree &tree) : _previous(t_active_tree) {
+  t_active_tree = &tree;
+}
+
+ActivePhaseScope::~ActivePhaseScope() { t_active_tree = _previous; }
+
+PhaseTree *active_phase_tree() { return t_active_tree; }
+
+ScopedPhase::ScopedPhase(PhaseTree *tree, const std::string_view name) : _tree(tree) {
+  if (_tree == nullptr) {
+    return;
+  }
+  _parent = _tree->_cursor;
+  _node = _parent->find_or_add_child(name);
+  _tree->_cursor = _node;
+  ++_node->calls;
+  _enter_bytes = MemoryTracker::global().current();
+  _node->mem_enter_bytes = _enter_bytes;
+  _watermark = MemoryTracker::global().push_watermark();
+  _watch.restart();
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (_tree == nullptr) {
+    return;
+  }
+  _node->wall_s += _watch.elapsed_s();
+  const std::uint64_t high_water = MemoryTracker::global().pop_watermark(_watermark);
+  const std::uint64_t delta = high_water > _enter_bytes ? high_water - _enter_bytes : 0;
+  _node->peak_mem_delta_bytes = std::max(_node->peak_mem_delta_bytes, delta);
+  // Phases are strictly nested RAII scopes on one thread, so the innermost
+  // open phase at destruction time must be this one.
+  TP_ASSERT_MSG(_tree->_cursor == _node, "ScopedPhase scopes must nest");
+  _tree->_cursor = _parent;
+}
+
+} // namespace terapart

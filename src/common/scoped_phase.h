@@ -1,0 +1,122 @@
+/// @file scoped_phase.h
+/// @brief Hierarchical phase instrumentation: every `ScopedPhase` records
+/// wall time *and* the MemoryTracker high-water delta of its dynamic extent
+/// into a `PhaseTree` — the per-phase {time, peak memory} pairs behind the
+/// paper's Fig. 2 breakdowns, serialized into every RunReport.
+///
+/// Threading contract (same as the multilevel driver itself): phases are
+/// opened and closed on the *driver thread* only. A `PhaseTree` is bound to
+/// the current thread with `ActivePhaseScope`; `ScopedPhase` instances
+/// created on that thread while the binding is live attach to the bound
+/// tree, and `ScopedPhase` on any other thread (or with no binding) is a
+/// no-op. This is what lets leaf modules (lp_clustering, contraction,
+/// refiners, compressor) instrument themselves unconditionally: they record
+/// when called from an instrumented driver and cost two thread-local loads
+/// otherwise.
+///
+/// Memory accounting uses MemoryTracker watermarks (push/pop), which observe
+/// the high-water total without resetting the global peak — benches that
+/// measure whole-run peaks keep working with instrumented code in between.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "common/timer.h"
+
+namespace terapart {
+
+/// One node of the phase hierarchy. Re-entering a phase with the same name
+/// under the same parent accumulates into the same node (wall time sums,
+/// memory deltas take the max, calls count).
+struct PhaseNode {
+  std::string name;
+  std::uint64_t calls = 0;
+  double wall_s = 0.0;
+  /// max over calls of (high-water total during the call - total at entry).
+  std::uint64_t peak_mem_delta_bytes = 0;
+  /// Tracked total at the most recent entry (diagnostic context for the
+  /// delta).
+  std::uint64_t mem_enter_bytes = 0;
+  std::vector<std::unique_ptr<PhaseNode>> children;
+
+  PhaseNode *find_or_add_child(std::string_view child_name);
+  [[nodiscard]] const PhaseNode *child(std::string_view child_name) const;
+
+  /// {"name", "calls", "wall_s", "peak_mem_delta_bytes", "mem_enter_bytes",
+  /// "children": [...]} — children omitted when empty.
+  [[nodiscard]] json::Value to_json() const;
+};
+
+class PhaseTree {
+public:
+  PhaseTree() : _root(std::make_unique<PhaseNode>()) {
+    _root->name = "run";
+    _cursor = _root.get();
+  }
+
+  PhaseTree(PhaseTree &&) noexcept = default;
+  PhaseTree &operator=(PhaseTree &&) noexcept = default;
+
+  [[nodiscard]] PhaseNode &root() { return *_root; }
+  [[nodiscard]] const PhaseNode &root() const { return *_root; }
+
+  /// Total wall seconds recorded under the top-level phase `name` (0 when
+  /// the phase never ran).
+  [[nodiscard]] double total_s(std::string_view name) const;
+
+  [[nodiscard]] json::Value to_json() const { return _root->to_json(); }
+
+private:
+  friend class ScopedPhase;
+
+  std::unique_ptr<PhaseNode> _root;
+  /// Innermost open phase; the root when no phase is open. Points into the
+  /// heap-allocated node graph, so moves keep it valid.
+  PhaseNode *_cursor = nullptr;
+};
+
+/// Binds `tree` as the destination of implicitly-constructed ScopedPhase
+/// instances on the calling thread; restores the previous binding on
+/// destruction (bindings nest).
+class ActivePhaseScope {
+public:
+  explicit ActivePhaseScope(PhaseTree &tree);
+  ActivePhaseScope(const ActivePhaseScope &) = delete;
+  ActivePhaseScope &operator=(const ActivePhaseScope &) = delete;
+  ~ActivePhaseScope();
+
+private:
+  PhaseTree *_previous;
+};
+
+/// The tree bound to the calling thread, or nullptr.
+[[nodiscard]] PhaseTree *active_phase_tree();
+
+/// RAII phase record. The string forms accept names built on the fly
+/// ("level_" + std::to_string(i)).
+class ScopedPhase {
+public:
+  /// Attaches to the calling thread's bound tree; inert when none is bound.
+  explicit ScopedPhase(std::string_view name) : ScopedPhase(active_phase_tree(), name) {}
+  ScopedPhase(PhaseTree &tree, std::string_view name) : ScopedPhase(&tree, name) {}
+  ScopedPhase(const ScopedPhase &) = delete;
+  ScopedPhase &operator=(const ScopedPhase &) = delete;
+  ~ScopedPhase();
+
+private:
+  ScopedPhase(PhaseTree *tree, std::string_view name);
+
+  PhaseTree *_tree = nullptr;
+  PhaseNode *_node = nullptr;
+  PhaseNode *_parent = nullptr;
+  Timer _watch;
+  std::uint64_t _enter_bytes = 0;
+  int _watermark = -1;
+};
+
+} // namespace terapart

@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,8 +31,13 @@ private:
   clock::time_point _start;
 };
 
-/// Accumulates named timings, e.g. per multilevel phase. Not thread-safe by
-/// design: only the driver thread records phases.
+/// Accumulates named timings, e.g. per multilevel phase. Thread-safe: every
+/// operation takes an internal mutex, so benches and the semi-external /
+/// distributed drivers may record phases from worker threads concurrently.
+/// (It was previously documented "not thread-safe by design" while being
+/// called off the driver thread — the mutex is cold, one lock per phase
+/// scope, so safety costs nothing measurable.) For hierarchical phases with
+/// memory accounting, use PhaseTree / ScopedPhase (scoped_phase.h) instead.
 class PhaseTimer {
 public:
   /// RAII scope that adds its lifetime to the named phase.
@@ -48,7 +54,23 @@ public:
     Timer _watch;
   };
 
+  PhaseTimer() = default;
+  PhaseTimer(PhaseTimer &&other) noexcept {
+    std::lock_guard lock(other._mutex);
+    _index = std::move(other._index);
+    _entries = std::move(other._entries);
+  }
+  PhaseTimer &operator=(PhaseTimer &&other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lock(_mutex, other._mutex);
+      _index = std::move(other._index);
+      _entries = std::move(other._entries);
+    }
+    return *this;
+  }
+
   void add(const std::string &name, const double seconds) {
+    std::lock_guard lock(_mutex);
     auto [it, inserted] = _index.try_emplace(name, _entries.size());
     if (inserted) {
       _entries.emplace_back(name, seconds);
@@ -60,21 +82,26 @@ public:
   [[nodiscard]] Scope scope(std::string name) { return Scope(*this, std::move(name)); }
 
   [[nodiscard]] double total(const std::string &name) const {
+    std::lock_guard lock(_mutex);
     const auto it = _index.find(name);
     return it == _index.end() ? 0.0 : _entries[it->second].second;
   }
 
-  /// Phases in first-recorded order.
-  [[nodiscard]] const std::vector<std::pair<std::string, double>> &entries() const {
+  /// Phases in first-recorded order (a snapshot — safe to iterate while
+  /// other threads keep recording).
+  [[nodiscard]] std::vector<std::pair<std::string, double>> entries() const {
+    std::lock_guard lock(_mutex);
     return _entries;
   }
 
   void clear() {
+    std::lock_guard lock(_mutex);
     _index.clear();
     _entries.clear();
   }
 
 private:
+  mutable std::mutex _mutex;
   std::map<std::string, std::size_t> _index;
   std::vector<std::pair<std::string, double>> _entries;
 };

@@ -50,12 +50,13 @@ template <std::unsigned_integral T> [[nodiscard]] inline T varint_decode(const s
   int shift = 0;
   while (true) {
     const std::uint8_t byte = *src++;
+    // Reject before shifting: a shift >= bit-width is undefined behavior.
+    TP_ASSERT_MSG(shift < static_cast<int>(sizeof(T) * 8), "varint overlong for type");
     value |= static_cast<T>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) {
       return value;
     }
     shift += 7;
-    TP_ASSERT_MSG(shift < static_cast<int>(sizeof(T) * 8 + 7), "varint overlong for type");
   }
 }
 

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "common/metrics_registry.h"
+#include "common/scoped_phase.h"
 #include "parallel/atomic_utils.h"
 #include "parallel/parallel_for.h"
 
@@ -57,6 +59,7 @@ private:
 CompressedGraph compress_graph_parallel(const CsrGraph &graph,
                                         const ParallelCompressionConfig &config,
                                         std::string memory_category) {
+  ScopedPhase phase("compression");
   const NodeID n = graph.n();
   const EdgeID m = graph.m();
   const bool weighted = graph.is_edge_weighted();
@@ -83,6 +86,8 @@ CompressedGraph compress_graph_parallel(const CsrGraph &graph,
 
   std::atomic<std::size_t> next_packet{0};
   par::ThreadPool::global().run_on_all([&](int) {
+    // Per-worker metric shard: lock-free accumulation, one merge at exit.
+    MetricsRegistry::Shard metrics;
     std::vector<std::uint8_t> buffer;
     std::vector<std::uint64_t> local_offsets;
     while (true) {
@@ -105,6 +110,9 @@ CompressedGraph compress_graph_parallel(const CsrGraph &graph,
       }
       const std::uint64_t base = committer.commit(packet, begin, local_offsets, buffer.size());
       std::memcpy(bytes.data() + base, buffer.data(), buffer.size());
+      metrics.add("compression.packets");
+      metrics.add("compression.bytes_written", buffer.size());
+      metrics.record("compression.packet_bytes", static_cast<double>(buffer.size()));
     }
   });
 
@@ -121,6 +129,7 @@ CompressedGraph compress_graph_parallel(const CsrGraph &graph,
 CompressedGraph compress_tpg_single_pass(const std::filesystem::path &path,
                                          const ParallelCompressionConfig &config,
                                          std::string memory_category) {
+  ScopedPhase phase("compression_io");
   io::TpgStreamReader reader(path, config.packet_edges);
   const io::TpgHeader &header = reader.header();
   const auto n = static_cast<NodeID>(header.n);
@@ -144,6 +153,7 @@ CompressedGraph compress_tpg_single_pass(const std::filesystem::path &path,
   std::atomic<NodeID> max_degree{0};
 
   par::ThreadPool::global().run_on_all([&](int) {
+    MetricsRegistry::Shard metrics;
     std::vector<std::uint8_t> buffer;
     std::vector<std::uint64_t> local_offsets;
     // Thread-local copies of the reader's packet views (the reader reuses its
@@ -209,6 +219,9 @@ CompressedGraph compress_tpg_single_pass(const std::filesystem::path &path,
       const std::uint64_t base =
           committer.commit(packet_index, first_node, local_offsets, buffer.size());
       std::memcpy(bytes.data() + base, buffer.data(), buffer.size());
+      metrics.add("compression.packets");
+      metrics.add("compression.bytes_written", buffer.size());
+      metrics.record("compression.packet_bytes", static_cast<double>(buffer.size()));
     }
   });
 

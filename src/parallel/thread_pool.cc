@@ -88,6 +88,9 @@ void ThreadPool::worker_loop(const int id) {
         return _shutdown.load(std::memory_order_relaxed) ||
                _generation.load(std::memory_order_relaxed) != seen_generation;
       });
+      _stat_sleep_wakeups.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      _stat_spin_wakeups.fetch_add(1, std::memory_order_relaxed);
     }
     if (_shutdown.load(std::memory_order_acquire)) {
       return;
@@ -97,6 +100,7 @@ void ThreadPool::worker_loop(const int id) {
     // loads above make it visible without taking the mutex.
     const std::function<void(int)> *job = _job;
 
+    _stat_jobs_executed.fetch_add(1, std::memory_order_relaxed);
     t_in_parallel = true;
     (*job)(id);
     t_in_parallel = false;
@@ -113,6 +117,7 @@ void ThreadPool::worker_loop(const int id) {
 void ThreadPool::run_on_all(const std::function<void(int)> &job) {
   if (t_in_parallel || _num_threads == 1) {
     // Nested (or single-threaded) region: run sequentially on this thread.
+    _stat_jobs_executed.fetch_add(1, std::memory_order_relaxed);
     const bool was_nested = t_in_parallel;
     t_in_parallel = true;
     job(t_thread_id);
@@ -129,6 +134,8 @@ void ThreadPool::run_on_all(const std::function<void(int)> &job) {
     _generation.fetch_add(1, std::memory_order_release);
   }
   _work_ready.notify_all();
+  _stat_dispatches.fetch_add(1, std::memory_order_relaxed);
+  _stat_jobs_executed.fetch_add(1, std::memory_order_relaxed);
 
   // The caller participates as thread 0.
   t_thread_id = 0;
@@ -159,6 +166,20 @@ void ThreadPool::run_on_all(const std::function<void(int)> &job) {
 }
 
 int ThreadPool::this_thread_id() { return t_thread_id; }
+
+ThreadPoolStats ThreadPool::stats() const {
+  return {_stat_dispatches.load(std::memory_order_relaxed),
+          _stat_jobs_executed.load(std::memory_order_relaxed),
+          _stat_spin_wakeups.load(std::memory_order_relaxed),
+          _stat_sleep_wakeups.load(std::memory_order_relaxed)};
+}
+
+void ThreadPool::reset_stats() {
+  _stat_dispatches.store(0, std::memory_order_relaxed);
+  _stat_jobs_executed.store(0, std::memory_order_relaxed);
+  _stat_spin_wakeups.store(0, std::memory_order_relaxed);
+  _stat_sleep_wakeups.store(0, std::memory_order_relaxed);
+}
 
 void set_num_threads(const int p) { ThreadPool::global().resize(p); }
 

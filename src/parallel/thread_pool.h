@@ -20,6 +20,18 @@
 
 namespace terapart::par {
 
+/// Lifetime counters of a pool (telemetry; see MetricsRegistry /
+/// RunReport). There is no work stealing in this pool — the dispatch-side
+/// equivalents are recorded instead: how often jobs were fanned out, how
+/// often workers picked them up within the lock-free spin window vs. after
+/// a kernel park.
+struct ThreadPoolStats {
+  std::uint64_t dispatches = 0;    ///< parallel run_on_all fan-outs
+  std::uint64_t jobs_executed = 0; ///< per-thread job invocations (caller included)
+  std::uint64_t spin_wakeups = 0;  ///< pickups within the spin window (no syscall)
+  std::uint64_t sleep_wakeups = 0; ///< pickups after parking on the condvar
+};
+
 class ThreadPool {
 public:
   /// Global pool used by the free functions in parallel_for.h.
@@ -46,6 +58,10 @@ public:
   /// Id of the calling thread inside a parallel region ([0, p)); 0 outside.
   [[nodiscard]] static int this_thread_id();
 
+  /// Snapshot of the lifetime counters (relaxed reads; exact once quiescent).
+  [[nodiscard]] ThreadPoolStats stats() const;
+  void reset_stats();
+
 private:
   /// Bounded spin before a worker (or the dispatching caller) falls back to
   /// its condition variable. Dispatch latency drops from a condvar
@@ -71,6 +87,13 @@ private:
   std::atomic<int> _pending{0};
   std::atomic<bool> _shutdown{false};
   bool _in_parallel = false;
+
+  /// Telemetry (relaxed increments; dispatch- and park-frequency counters,
+  /// never touched inside job bodies).
+  std::atomic<std::uint64_t> _stat_dispatches{0};
+  std::atomic<std::uint64_t> _stat_jobs_executed{0};
+  std::atomic<std::uint64_t> _stat_spin_wakeups{0};
+  std::atomic<std::uint64_t> _stat_sleep_wakeups{0};
 };
 
 /// Convenience: resize the global pool.

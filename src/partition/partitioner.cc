@@ -1,8 +1,11 @@
 #include "partition/partitioner.h"
 
+#include "common/assert.h"
 #include "common/logging.h"
+#include "common/scoped_phase.h"
 #include "partition/metrics.h"
 #include "partition/partitioned_graph.h"
+#include "partition/validation.h"
 #include "refinement/fm_refiner.h"
 #include "refinement/lp_refiner.h"
 #include "refinement/rebalancer.h"
@@ -12,13 +15,17 @@ namespace terapart {
 namespace {
 
 /// Refinement applied at every level: size-constrained LP, then (optionally)
-/// FM + rebalancing, mirroring KaMinPar's stage order.
+/// FM + rebalancing, mirroring KaMinPar's stage order. `level` indexes the
+/// telemetry phase: 0 = finest (input) graph, hierarchy depth = coarsest.
 template <typename Graph>
 void refine_level(const Graph &graph, PartitionedGraph &partitioned, const Context &ctx,
-                  const BlockWeight level_max_block_weight, const std::uint64_t seed) {
+                  const BlockWeight level_max_block_weight, const std::uint64_t seed,
+                  const std::size_t level) {
+  ScopedPhase phase("level_" + std::to_string(level));
   lp_refine(graph, partitioned, level_max_block_weight, ctx.lp_refinement, seed);
   if (ctx.use_fm) {
     fm_refine(graph, partitioned, level_max_block_weight, ctx.fm, seed + 1);
+    ScopedPhase rebalance_phase("rebalance");
     rebalance(graph, partitioned, level_max_block_weight);
   }
 }
@@ -35,6 +42,11 @@ BlockWeight level_bound(const Graph &graph, const BlockWeight max_block_weight) 
 template <typename Graph>
 PartitionResult partition_graph(const Graph &graph, const Context &ctx) {
   PartitionResult result;
+  // Route every ScopedPhase opened below (including those inside
+  // lp_cluster, contract_clustering, and the refiners) into this run's
+  // phase tree. The binding is per-thread, so concurrent partition_graph
+  // calls from different external threads keep separate trees.
+  ActivePhaseScope telemetry(result.phases);
   const BlockID k = std::max<BlockID>(1, ctx.k);
 
   if (graph.n() == 0 || k == 1) {
@@ -50,6 +62,7 @@ PartitionResult partition_graph(const Graph &graph, const Context &ctx) {
   GraphHierarchy hierarchy;
   {
     auto scope = result.timers.scope("coarsening");
+    ScopedPhase phase("coarsening");
     hierarchy = coarsen(graph, ctx.coarsening, k, ctx.seed);
   }
   result.num_levels = static_cast<int>(hierarchy.num_levels());
@@ -62,6 +75,7 @@ PartitionResult partition_graph(const Graph &graph, const Context &ctx) {
   std::vector<BlockID> coarse_partition;
   {
     auto scope = result.timers.scope("initial_partitioning");
+    ScopedPhase phase("initial_partitioning");
     if (!hierarchy.empty()) {
       coarse_partition =
           initial_partition(hierarchy.coarsest(), k, ctx.epsilon, ctx.initial, ctx.seed);
@@ -79,10 +93,12 @@ PartitionResult partition_graph(const Graph &graph, const Context &ctx) {
   // --- Uncoarsening: refine, project, repeat ---
   {
     auto scope = result.timers.scope("refinement");
+    ScopedPhase phase("refinement");
     if (!hierarchy.empty()) {
       PartitionedGraph partitioned(hierarchy.coarsest(), k, std::move(coarse_partition));
       refine_level(hierarchy.coarsest(), partitioned, ctx,
-                   level_bound(hierarchy.coarsest(), max_block_weight), ctx.seed + 13);
+                   level_bound(hierarchy.coarsest(), max_block_weight), ctx.seed + 13,
+                   hierarchy.num_levels());
       coarse_partition = partitioned.take_partition();
 
       for (std::size_t level = hierarchy.num_levels(); level-- > 1;) {
@@ -95,7 +111,7 @@ PartitionResult partition_graph(const Graph &graph, const Context &ctx) {
         });
         PartitionedGraph level_partitioned(finer, k, std::move(finer_partition));
         refine_level(finer, level_partitioned, ctx, level_bound(finer, max_block_weight),
-                     ctx.seed + 13 + level);
+                     ctx.seed + 13 + level, level);
         coarse_partition = level_partitioned.take_partition();
       }
 
@@ -109,7 +125,7 @@ PartitionResult partition_graph(const Graph &graph, const Context &ctx) {
     }
 
     PartitionedGraph partitioned(graph, k, std::move(coarse_partition));
-    refine_level(graph, partitioned, ctx, max_block_weight, ctx.seed + 99);
+    refine_level(graph, partitioned, ctx, max_block_weight, ctx.seed + 99, 0);
     // Balance is mandatory on the finest level: repair any residue before
     // reporting.
     rebalance(graph, partitioned, max_block_weight);
@@ -120,6 +136,16 @@ PartitionResult partition_graph(const Graph &graph, const Context &ctx) {
   const auto weights = metrics::block_weights(graph, result.partition, k);
   result.imbalance = metrics::imbalance(weights, graph.total_node_weight());
   result.balanced = metrics::is_balanced(weights, graph.total_node_weight(), k, ctx.epsilon);
+
+#if defined(TP_ENABLE_HEAVY_ASSERTIONS) || !defined(NDEBUG)
+  // Debug builds re-derive the partition invariants from scratch (block ids
+  // in range, block weights sum to the total node weight, reported cut
+  // equals a recomputation).
+  const PartitionValidationResult validation =
+      validate_partition(graph, result.partition, k, result.cut);
+  TP_ASSERT_MSG(validation.ok, validation.message.c_str());
+#endif
+
   LOG_INFO << "partitioned n=" << graph.n() << " into k=" << k << ": cut=" << result.cut
            << " imbalance=" << result.imbalance << " levels=" << result.num_levels;
   return result;

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "common/scoped_phase.h"
 #include "common/timer.h"
 #include "compression/compressed_graph.h"
 #include "graph/csr_graph.h"
@@ -28,6 +29,12 @@ struct PartitionResult {
   bool balanced = false;          ///< imbalance within epsilon
   int num_levels = 0;             ///< hierarchy depth used
   PhaseTimer timers;              ///< coarsening / initial / refinement
+  /// Hierarchical telemetry: per-phase wall time and memory high-water
+  /// deltas down to individual coarsening levels and refinement rounds
+  /// (coarsening/level_i/{lp_clustering/round_r, contraction}, refinement/
+  /// level_i/{lp_refinement/round_r, fm_refinement, rebalance}). Serialized
+  /// into RunReport JSON; see DESIGN.md §7.
+  PhaseTree phases;
   /// Input graph followed by every coarse level, coarsest last.
   std::vector<LevelStats> levels;
 };

@@ -1,0 +1,91 @@
+#include "partition/reporting.h"
+
+#include "refinement/gain_table.h"
+
+namespace terapart {
+
+json::Value context_to_json(const Context &ctx) {
+  json::Object coarsening{
+      {"lp",
+       json::Object{
+           {"num_rounds", static_cast<std::int64_t>(ctx.coarsening.lp.num_rounds)},
+           {"bump_threshold", static_cast<std::uint64_t>(ctx.coarsening.lp.bump_threshold)},
+           {"two_phase", ctx.coarsening.lp.two_phase},
+           {"two_hop", ctx.coarsening.lp.two_hop},
+       }},
+      {"contraction",
+       json::Object{
+           {"one_pass", ctx.coarsening.contraction.one_pass},
+           {"bump_threshold",
+            static_cast<std::uint64_t>(ctx.coarsening.contraction.bump_threshold)},
+           {"batch_edges", static_cast<std::uint64_t>(ctx.coarsening.contraction.batch_edges)},
+       }},
+      {"contraction_limit_factor",
+       static_cast<std::uint64_t>(ctx.coarsening.contraction_limit_factor)},
+      {"min_coarsest_n", static_cast<std::uint64_t>(ctx.coarsening.min_coarsest_n)},
+      {"epsilon", ctx.coarsening.epsilon},
+      {"max_levels", static_cast<std::int64_t>(ctx.coarsening.max_levels)},
+      {"convergence_threshold", ctx.coarsening.convergence_threshold},
+  };
+
+  json::Object initial{
+      {"repetitions", static_cast<std::int64_t>(ctx.initial.repetitions)},
+      {"use_fm", ctx.initial.use_fm},
+      {"fm",
+       json::Object{
+           {"max_passes", static_cast<std::int64_t>(ctx.initial.fm.max_passes)},
+           {"stop_after", static_cast<std::uint64_t>(ctx.initial.fm.stop_after)},
+       }},
+  };
+
+  json::Object refinement{
+      {"lp", json::Object{{"rounds", static_cast<std::int64_t>(ctx.lp_refinement.rounds)}}},
+      {"use_fm", ctx.use_fm},
+      {"fm",
+       json::Object{
+           {"gain_table", std::string(gain_table_name(ctx.fm.gain_table))},
+           {"rounds", static_cast<std::int64_t>(ctx.fm.rounds)},
+           {"max_moves_per_search", static_cast<std::uint64_t>(ctx.fm.max_moves_per_search)},
+           {"stop_after", static_cast<std::uint64_t>(ctx.fm.stop_after)},
+       }},
+  };
+
+  return json::Object{
+      {"preset", ctx.name},
+      {"k", static_cast<std::uint64_t>(ctx.k)},
+      {"epsilon", ctx.epsilon},
+      {"seed", static_cast<std::uint64_t>(ctx.seed)},
+      {"coarsening", std::move(coarsening)},
+      {"initial", std::move(initial)},
+      {"refinement", std::move(refinement)},
+  };
+}
+
+json::Value levels_to_json(const std::span<const LevelStats> levels) {
+  json::Array out;
+  out.reserve(levels.size());
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    out.push_back(json::Object{
+        {"level", static_cast<std::uint64_t>(i)},
+        {"n", static_cast<std::uint64_t>(levels[i].n)},
+        {"m", static_cast<std::uint64_t>(levels[i].m)},
+        {"max_degree", static_cast<std::uint64_t>(levels[i].max_degree)},
+        {"memory_bytes", levels[i].memory_bytes},
+    });
+  }
+  return out;
+}
+
+json::Value thread_pool_to_json() {
+  par::ThreadPool &pool = par::ThreadPool::global();
+  const par::ThreadPoolStats stats = pool.stats();
+  return json::Object{
+      {"threads", static_cast<std::uint64_t>(pool.num_threads())},
+      {"dispatches", stats.dispatches},
+      {"jobs_executed", stats.jobs_executed},
+      {"spin_wakeups", stats.spin_wakeups},
+      {"sleep_wakeups", stats.sleep_wakeups},
+  };
+}
+
+} // namespace terapart

@@ -1,0 +1,47 @@
+/// @file reporting.h
+/// @brief Fills RunReport documents from partitioning runs: Context
+/// serialization, per-level hierarchy stats, thread-pool counters, and the
+/// one-call `fill_run_report` used by terapart_cli --report and the benches'
+/// --json outputs. (RunReport itself lives in common/ and knows nothing
+/// about partitioning; this header is the partition-layer adapter.)
+#pragma once
+
+#include "common/memory_tracker.h"
+#include "common/metrics_registry.h"
+#include "common/run_report.h"
+#include "parallel/thread_pool.h"
+#include "partition/partitioner.h"
+
+namespace terapart {
+
+/// Full Context as a JSON object (preset name, k, epsilon, seed, and the
+/// coarsening / initial / refinement knobs).
+[[nodiscard]] json::Value context_to_json(const Context &ctx);
+
+/// The hierarchy shape: [{level, n, m, max_degree, memory_bytes}], finest
+/// (input) graph first.
+[[nodiscard]] json::Value levels_to_json(std::span<const LevelStats> levels);
+
+/// {"threads", "dispatches", "jobs_executed", "spin_wakeups",
+/// "sleep_wakeups"} of the global pool.
+[[nodiscard]] json::Value thread_pool_to_json();
+
+/// Fills the standard report sections from a finished run: graph stats,
+/// config, phase tree, levels, quality, global metrics registry, memory
+/// tracker, and thread-pool counters. `graph_source` describes where the
+/// input came from (file path or generator spec).
+template <typename Graph>
+void fill_run_report(RunReport &report, const Graph &graph, std::string_view graph_source,
+                     const Context &ctx, const PartitionResult &result) {
+  report.set_graph(graph_source, graph.n(), graph.m(), graph.max_degree(),
+                   graph.memory_bytes());
+  report.set_config(context_to_json(ctx));
+  report.set_phases(result.phases);
+  report.add_section("levels", levels_to_json(result.levels));
+  report.set_quality(result.cut, result.imbalance, result.balanced);
+  report.capture_metrics(MetricsRegistry::global());
+  report.capture_memory(MemoryTracker::global());
+  report.add_section("thread_pool", thread_pool_to_json());
+}
+
+} // namespace terapart

@@ -1,0 +1,81 @@
+#include "partition/validation.h"
+
+#include <vector>
+
+#include "common/assert.h"
+#include "compression/compressed_graph.h"
+#include "graph/csr_graph.h"
+#include "partition/metrics.h"
+
+namespace terapart {
+
+template <typename Graph>
+PartitionValidationResult validate_partition(const Graph &graph,
+                                             const std::span<const BlockID> partition,
+                                             const BlockID k,
+                                             const std::optional<EdgeWeight> expected_cut) {
+  const auto fail = [](std::string message) {
+    return PartitionValidationResult{false, std::move(message)};
+  };
+
+  if (partition.size() != graph.n()) {
+    return fail("partition size " + std::to_string(partition.size()) + " != n " +
+                std::to_string(graph.n()));
+  }
+  if (k == 0) {
+    return fail("k must be positive");
+  }
+
+  std::vector<BlockWeight> weights(k, 0);
+  for (NodeID u = 0; u < graph.n(); ++u) {
+    const BlockID b = partition[u];
+    if (b >= k) {
+      return fail("vertex " + std::to_string(u) + " assigned to block " + std::to_string(b) +
+                  " >= k " + std::to_string(k));
+    }
+    weights[b] += graph.node_weight(u);
+  }
+
+  BlockWeight weight_sum = 0;
+  for (const BlockWeight weight : weights) {
+    if (weight < 0) {
+      return fail("negative block weight");
+    }
+    weight_sum += weight;
+  }
+  if (weight_sum != graph.total_node_weight()) {
+    return fail("block weights sum to " + std::to_string(weight_sum) +
+                " != total node weight " + std::to_string(graph.total_node_weight()));
+  }
+
+  if (expected_cut.has_value()) {
+    const EdgeWeight recomputed = metrics::edge_cut(graph, partition);
+    if (recomputed != *expected_cut) {
+      return fail("reported cut " + std::to_string(*expected_cut) +
+                  " != recomputed cut " + std::to_string(recomputed));
+    }
+  }
+
+  return {};
+}
+
+template <typename Graph>
+void expect_valid_partition(const Graph &graph, const std::span<const BlockID> partition,
+                            const BlockID k, const std::optional<EdgeWeight> expected_cut) {
+  const PartitionValidationResult result = validate_partition(graph, partition, k, expected_cut);
+  TP_ASSERT_MSG(result.ok, result.message.c_str());
+}
+
+template PartitionValidationResult validate_partition<CsrGraph>(const CsrGraph &,
+                                                                std::span<const BlockID>, BlockID,
+                                                                std::optional<EdgeWeight>);
+template PartitionValidationResult
+validate_partition<CompressedGraph>(const CompressedGraph &, std::span<const BlockID>, BlockID,
+                                    std::optional<EdgeWeight>);
+template void expect_valid_partition<CsrGraph>(const CsrGraph &, std::span<const BlockID>,
+                                               BlockID, std::optional<EdgeWeight>);
+template void expect_valid_partition<CompressedGraph>(const CompressedGraph &,
+                                                      std::span<const BlockID>, BlockID,
+                                                      std::optional<EdgeWeight>);
+
+} // namespace terapart

@@ -1,0 +1,39 @@
+/// @file validation.h
+/// @brief Partition invariant checks, the counterpart of graph/validation.h
+/// for partitions: block ids in range, block weights consistent with node
+/// weights, and (optionally) the reported edge cut equal to a from-scratch
+/// recomputation. Used by test_partitioner and by debug builds of the
+/// multilevel driver; O(n + m), never on hot paths.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "common/types.h"
+
+namespace terapart {
+
+struct PartitionValidationResult {
+  bool ok = true;
+  std::string message;
+};
+
+/// Checks the partition invariants:
+///  - one block id per vertex, every id < k,
+///  - per-block weights sum to the graph's total node weight,
+///  - when `expected_cut` is given: a from-scratch cut recomputation equals
+///    it.
+/// Works on CsrGraph and CompressedGraph.
+template <typename Graph>
+[[nodiscard]] PartitionValidationResult
+validate_partition(const Graph &graph, std::span<const BlockID> partition, BlockID k,
+                   std::optional<EdgeWeight> expected_cut = std::nullopt);
+
+/// Like validate_partition but aborts with the message on failure (test
+/// helper, mirrors expect_valid_graph).
+template <typename Graph>
+void expect_valid_partition(const Graph &graph, std::span<const BlockID> partition, BlockID k,
+                            std::optional<EdgeWeight> expected_cut = std::nullopt);
+
+} // namespace terapart

@@ -4,7 +4,9 @@
 #include <queue>
 
 #include "common/memory_tracker.h"
+#include "common/metrics_registry.h"
 #include "common/random.h"
+#include "common/scoped_phase.h"
 #include "compression/compressed_graph.h"
 #include "graph/csr_graph.h"
 #include "parallel/parallel_for.h"
@@ -184,6 +186,7 @@ FmStats run_fm(const Graph &graph, PartitionedGraph &partitioned,
   std::atomic<std::uint64_t> rollbacks{0};
 
   for (int round = 0; round < config.rounds; ++round) {
+    ScopedPhase round_phase("round_" + std::to_string(round));
     // Boundary vertices are the seeds.
     par::ThreadLocal<std::vector<NodeID>> boundary_lists;
     par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
@@ -246,6 +249,11 @@ FmStats run_fm(const Graph &graph, PartitionedGraph &partitioned,
   stats.moves = kept_moves.load(std::memory_order_relaxed);
   stats.rollbacks = rollbacks.load(std::memory_order_relaxed);
   stats.gain_queries = gain_queries.load(std::memory_order_relaxed);
+
+  MetricsRegistry &registry = MetricsRegistry::global();
+  registry.add_counter("refinement.fm.moves", stats.moves);
+  registry.add_counter("refinement.fm.rollbacks", stats.rollbacks);
+  registry.add_counter("refinement.fm.gain_queries", stats.gain_queries);
   return stats;
 }
 
@@ -255,6 +263,7 @@ template <typename Graph>
 FmStats fm_refine(const Graph &graph, PartitionedGraph &partitioned,
                   const BlockWeight max_block_weight, const FmConfig &config,
                   const std::uint64_t seed) {
+  ScopedPhase phase("fm_refinement");
   switch (config.gain_table) {
   case GainTableKind::kNone: {
     OnTheFlyGains table(graph.n(), partitioned.k());

@@ -3,7 +3,9 @@
 #include <atomic>
 
 #include "coarsening/rating_map.h"
+#include "common/metrics_registry.h"
 #include "common/random.h"
+#include "common/scoped_phase.h"
 #include "compression/compressed_graph.h"
 #include "graph/csr_graph.h"
 #include "parallel/parallel_for.h"
@@ -15,6 +17,7 @@ template <typename Graph>
 std::uint64_t lp_refine(const Graph &graph, PartitionedGraph &partitioned,
                         const BlockWeight max_block_weight, const LpRefinementConfig &config,
                         const std::uint64_t seed) {
+  ScopedPhase phase("lp_refinement");
   const NodeID n = graph.n();
   const BlockID k = partitioned.k();
 
@@ -24,6 +27,7 @@ std::uint64_t lp_refine(const Graph &graph, PartitionedGraph &partitioned,
 
   std::atomic<std::uint64_t> total_moves{0};
   for (int round = 0; round < config.rounds; ++round) {
+    ScopedPhase round_phase("round_" + std::to_string(round));
     std::atomic<std::uint64_t> round_moves{0};
     par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
       if (graph.degree(u) == 0) {
@@ -74,7 +78,9 @@ std::uint64_t lp_refine(const Graph &graph, PartitionedGraph &partitioned,
       break;
     }
   }
-  return total_moves.load(std::memory_order_relaxed);
+  const std::uint64_t moves = total_moves.load(std::memory_order_relaxed);
+  MetricsRegistry::global().add_counter("refinement.lp.moves", moves);
+  return moves;
 }
 
 template std::uint64_t lp_refine<CsrGraph>(const CsrGraph &, PartitionedGraph &, BlockWeight,

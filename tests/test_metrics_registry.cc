@@ -1,0 +1,310 @@
+/// Tests for the telemetry subsystem: MetricsRegistry (concurrent counter
+/// increments, shard merge determinism), the JSON layer (round-trips through
+/// the strict parser), ScopedPhase/PhaseTree (hierarchy shape, re-entry
+/// accumulation, memory watermarks not disturbing global peaks), and
+/// RunReport (schema fields present and round-trippable).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/memory_tracker.h"
+#include "common/metrics_registry.h"
+#include "common/run_report.h"
+#include "common/scoped_phase.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+
+namespace terapart {
+namespace {
+
+TEST(Json, RoundTripsScalarsAndContainers) {
+  json::Value doc = json::Object{
+      {"null", nullptr},
+      {"bool", true},
+      {"int", std::int64_t{-42}},
+      {"uint", std::uint64_t{18'446'744'073'709'551'615ull}},
+      {"double", 2.5},
+      {"string", "hello \"world\"\n\tunicode: é"},
+      {"array", json::Array{1, 2, 3}},
+      {"object", json::Object{{"nested", "yes"}}},
+  };
+
+  for (const int indent : {-1, 0, 2}) {
+    const std::string text = doc.dump(indent);
+    json::Value parsed;
+    std::string error;
+    ASSERT_TRUE(json::parse(text, parsed, &error)) << error << "\n" << text;
+    // Second dump must be byte-identical: type-stable round-trip.
+    EXPECT_EQ(parsed.dump(indent), text);
+  }
+
+  EXPECT_EQ(doc.find("uint")->as_uint64(), 18'446'744'073'709'551'615ull);
+  EXPECT_EQ(doc.find("int")->as_int64(), -42);
+  EXPECT_DOUBLE_EQ(doc.find("double")->as_double(), 2.5);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  json::Value out;
+  EXPECT_FALSE(json::parse("", out));
+  EXPECT_FALSE(json::parse("{", out));
+  EXPECT_FALSE(json::parse("[1,]", out));
+  EXPECT_FALSE(json::parse("{\"a\": 1,}", out));
+  EXPECT_FALSE(json::parse("nul", out));
+  EXPECT_FALSE(json::parse("\"unterminated", out));
+  EXPECT_FALSE(json::parse("1 2", out));
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  const json::Value doc =
+      json::Array{std::nan(""), std::numeric_limits<double>::infinity()};
+  EXPECT_EQ(doc.dump(-1), "[null,null]");
+}
+
+TEST(MetricsRegistry, CountersGaugesAndStats) {
+  MetricsRegistry registry;
+  registry.add_counter("a.b");
+  registry.add_counter("a.b", 9);
+  registry.set_gauge("g", 1.5);
+  registry.set_gauge("g", 2.5);
+  registry.record("s", 1.0);
+  registry.record("s", 3.0);
+
+  EXPECT_EQ(registry.counter("a.b"), 10u);
+  EXPECT_EQ(registry.counter("missing"), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge("g"), 2.5);
+  const MetricStat stat = registry.stat("s");
+  EXPECT_EQ(stat.count, 2u);
+  EXPECT_DOUBLE_EQ(stat.sum, 4.0);
+  EXPECT_DOUBLE_EQ(stat.min, 1.0);
+  EXPECT_DOUBLE_EQ(stat.max, 3.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 2.0);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  constexpr std::uint64_t kPerThread = 20'000;
+  par::set_num_threads(4);
+  par::ThreadPool::global().run_on_all([&](int) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      registry.add_counter("concurrent.hits");
+    }
+  });
+  EXPECT_EQ(registry.counter("concurrent.hits"),
+            kPerThread * static_cast<std::uint64_t>(par::num_threads()));
+}
+
+TEST(MetricsRegistry, ShardMergeIsDeterministic) {
+  // Two registries fed the same per-thread values through shards must agree
+  // exactly, regardless of merge order (sum/min/max are order-insensitive).
+  MetricsRegistry first;
+  MetricsRegistry second;
+  par::set_num_threads(4);
+  for (MetricsRegistry *registry : {&first, &second}) {
+    par::ThreadPool::global().run_on_all([&](const int t) {
+      MetricsRegistry::Shard shard(*registry);
+      for (int i = 0; i < 1000; ++i) {
+        shard.add("packets");
+        shard.add("bytes", static_cast<std::uint64_t>(t + 1));
+        shard.record("packet_size", static_cast<double>((t * 1000 + i) % 97));
+      }
+    });
+  }
+  EXPECT_EQ(first.counter("packets"), second.counter("packets"));
+  EXPECT_EQ(first.counter("bytes"), second.counter("bytes"));
+  const MetricStat a = first.stat("packet_size");
+  const MetricStat b = second.stat("packet_size");
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.sum, b.sum);
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+}
+
+TEST(MetricsRegistry, JsonRoundTrip) {
+  MetricsRegistry registry;
+  registry.add_counter("c.one", 7);
+  registry.set_gauge("g.two", 0.5);
+  registry.record("s.three", 11.0);
+
+  const std::string text = registry.to_json().dump();
+  json::Value parsed;
+  std::string error;
+  ASSERT_TRUE(json::parse(text, parsed, &error)) << error;
+  EXPECT_EQ(parsed.find("counters")->find("c.one")->as_uint64(), 7u);
+  EXPECT_DOUBLE_EQ(parsed.find("gauges")->find("g.two")->as_double(), 0.5);
+  EXPECT_EQ(parsed.find("stats")->find("s.three")->find("count")->as_uint64(), 1u);
+  EXPECT_DOUBLE_EQ(parsed.find("stats")->find("s.three")->find("mean")->as_double(), 11.0);
+}
+
+TEST(ScopedPhase, BuildsHierarchyAndAccumulatesReentries) {
+  PhaseTree tree;
+  {
+    ActivePhaseScope bind(tree);
+    for (int round = 0; round < 3; ++round) {
+      ScopedPhase outer("coarsening");
+      ScopedPhase inner("lp_clustering");
+    }
+    ScopedPhase other("refinement");
+  }
+
+  const PhaseNode *coarsening = tree.root().child("coarsening");
+  ASSERT_NE(coarsening, nullptr);
+  EXPECT_EQ(coarsening->calls, 3u);
+  const PhaseNode *lp = coarsening->child("lp_clustering");
+  ASSERT_NE(lp, nullptr);
+  EXPECT_EQ(lp->calls, 3u);
+  ASSERT_NE(tree.root().child("refinement"), nullptr);
+  EXPECT_GE(coarsening->wall_s, lp->wall_s);
+  EXPECT_GT(tree.total_s("coarsening"), 0.0);
+}
+
+TEST(ScopedPhase, NoOpWithoutBindingAndOnWorkerThreads) {
+  // Unbound: must not crash and must not create nodes anywhere.
+  { ScopedPhase phase("orphan"); }
+
+  PhaseTree tree;
+  ActivePhaseScope bind(tree);
+  par::set_num_threads(4);
+  par::ThreadPool::global().run_on_all([&](const int t) {
+    if (t != 0) {
+      // Worker threads have no binding: inert by the driver-thread contract.
+      ScopedPhase phase("worker_phase");
+    }
+  });
+  EXPECT_EQ(tree.root().child("worker_phase"), nullptr);
+  EXPECT_EQ(tree.root().child("orphan"), nullptr);
+}
+
+TEST(ScopedPhase, RecordsMemoryDeltaWithoutDisturbingGlobalPeak) {
+  MemoryTracker &tracker = MemoryTracker::global();
+  tracker.reset();
+  {
+    TrackedAlloc baseline("test/baseline", 1 << 20);
+    tracker.reset_peak();
+    const std::uint64_t peak_before = tracker.peak();
+
+    PhaseTree tree;
+    {
+      ActivePhaseScope bind(tree);
+      ScopedPhase phase("allocating");
+      TrackedAlloc spike("test/spike", 4 << 20);
+    }
+    const PhaseNode *phase = tree.root().child("allocating");
+    ASSERT_NE(phase, nullptr);
+    EXPECT_EQ(phase->peak_mem_delta_bytes, static_cast<std::uint64_t>(4 << 20));
+    EXPECT_EQ(phase->mem_enter_bytes, static_cast<std::uint64_t>(1 << 20));
+
+    // The watermark API must not reset the global peak (benches read it
+    // across whole runs).
+    EXPECT_GE(tracker.peak(), peak_before + (4 << 20));
+  }
+  tracker.reset();
+}
+
+TEST(MemoryTracker, WatermarksNestAndExhaustGracefully) {
+  MemoryTracker &tracker = MemoryTracker::global();
+  tracker.reset();
+
+  const int outer = tracker.push_watermark();
+  ASSERT_GE(outer, 0);
+  {
+    TrackedAlloc a("test/wm", 1000);
+    const int inner = tracker.push_watermark();
+    ASSERT_GE(inner, 0);
+    {
+      TrackedAlloc b("test/wm", 500);
+      EXPECT_EQ(tracker.pop_watermark(inner), 1500u);
+    }
+  }
+  EXPECT_EQ(tracker.pop_watermark(outer), 1500u);
+
+  // Exhaust all slots: further pushes return -1 and pop(-1) degrades to the
+  // current total instead of crashing.
+  std::vector<int> slots;
+  for (int i = 0; i < MemoryTracker::kMaxWatermarks + 4; ++i) {
+    slots.push_back(tracker.push_watermark());
+  }
+  EXPECT_EQ(slots.back(), -1);
+  EXPECT_EQ(tracker.pop_watermark(-1), tracker.current());
+  for (const int slot : slots) {
+    if (slot >= 0) {
+      (void)tracker.pop_watermark(slot);
+    }
+  }
+  tracker.reset();
+}
+
+TEST(RunReport, ContainsSchemaAndAllStandardSections) {
+  MetricsRegistry registry;
+  registry.add_counter("x", 3);
+  MemoryTracker &tracker = MemoryTracker::global();
+
+  PhaseTree phases;
+  {
+    ActivePhaseScope bind(phases);
+    ScopedPhase phase("coarsening");
+  }
+
+  RunReport report("test_tool");
+  report.set_graph("gen:test", 100, 400, 7, 12345);
+  report.set_config(json::Object{{"k", 4}});
+  report.set_phases(phases);
+  report.set_quality(42, 0.01, true);
+  report.capture_metrics(registry);
+  report.capture_memory(tracker);
+  report.add_section("extra", json::Array{1, 2});
+
+  json::Value parsed;
+  std::string error;
+  ASSERT_TRUE(json::parse(report.to_json(), parsed, &error)) << error;
+  EXPECT_EQ(parsed.find("schema")->as_string(), kRunReportSchema);
+  EXPECT_EQ(parsed.find("tool")->as_string(), "test_tool");
+  EXPECT_EQ(parsed.find("graph")->find("n")->as_uint64(), 100u);
+  EXPECT_EQ(parsed.find("config")->find("k")->as_int64(), 4);
+  EXPECT_NE(parsed.find("phases")->find("children"), nullptr);
+  EXPECT_EQ(parsed.find("quality")->find("cut")->as_int64(), 42);
+  EXPECT_TRUE(parsed.find("quality")->find("balanced")->as_bool());
+  EXPECT_EQ(parsed.find("metrics")->find("counters")->find("x")->as_uint64(), 3u);
+  EXPECT_NE(parsed.find("memory")->find("peak_bytes"), nullptr);
+  EXPECT_EQ(parsed.find("extra")->size(), 2u);
+
+  // NDJSON form: exactly one line, same document.
+  const std::string line = report.to_ndjson_line();
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+  json::Value reparsed;
+  ASSERT_TRUE(json::parse(line, reparsed, &error)) << error;
+  EXPECT_EQ(reparsed.find("schema")->as_string(), kRunReportSchema);
+}
+
+TEST(ThreadPool, CountsDispatchesAndJobs) {
+  par::set_num_threads(4);
+  par::ThreadPool &pool = par::ThreadPool::global();
+  pool.reset_stats();
+
+  std::atomic<int> ran{0};
+  pool.run_on_all([&](int) { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.run_on_all([&](int) { ran.fetch_add(1, std::memory_order_relaxed); });
+
+  const par::ThreadPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.dispatches, 2u);
+  EXPECT_EQ(stats.jobs_executed, static_cast<std::uint64_t>(ran.load()));
+  EXPECT_EQ(stats.jobs_executed, 2u * static_cast<std::uint64_t>(pool.num_threads()));
+  // Every non-caller job was picked up either within the spin window or
+  // after a condvar park.
+  EXPECT_GE(stats.spin_wakeups + stats.sleep_wakeups,
+            2u * static_cast<std::uint64_t>(pool.num_threads() - 1));
+
+  pool.reset_stats();
+  EXPECT_EQ(pool.stats().dispatches, 0u);
+  EXPECT_EQ(pool.stats().jobs_executed, 0u);
+}
+
+} // namespace
+} // namespace terapart

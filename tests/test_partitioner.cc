@@ -7,6 +7,8 @@
 #include "parallel/thread_pool.h"
 #include "partition/metrics.h"
 #include "partition/partitioner.h"
+#include "partition/reporting.h"
+#include "partition/validation.h"
 
 namespace terapart {
 namespace {
@@ -17,6 +19,9 @@ void expect_valid_result(const CsrGraph &graph, const Context &ctx,
   for (const BlockID b : result.partition) {
     ASSERT_LT(b, ctx.k);
   }
+  const PartitionValidationResult validation =
+      validate_partition(graph, result.partition, ctx.k, result.cut);
+  EXPECT_TRUE(validation.ok) << validation.message;
   EXPECT_EQ(result.cut, metrics::edge_cut(graph, result.partition));
   const auto weights = metrics::block_weights(graph, result.partition, ctx.k);
   EXPECT_EQ(result.balanced,
@@ -167,6 +172,69 @@ TEST(Partitioner, ReportsTimersAndLevels) {
   EXPECT_GT(result.timers.total("coarsening"), 0.0);
   EXPECT_GT(result.timers.total("initial_partitioning"), 0.0);
   EXPECT_GT(result.timers.total("refinement"), 0.0);
+}
+
+TEST(Partitioner, PhaseTreeCoversEveryLevelAndRound) {
+  const CsrGraph graph = gen::rgg2d(5000, 12, 21);
+  const Context ctx = terapart_fm_context(4, 3);
+  const PartitionResult result = partition_graph(graph, ctx);
+  ASSERT_GT(result.num_levels, 0);
+
+  // Top-level phases mirror the PhaseTimer entries.
+  const PhaseNode &root = result.phases.root();
+  const PhaseNode *coarsening = root.child("coarsening");
+  const PhaseNode *initial = root.child("initial_partitioning");
+  const PhaseNode *refinement = root.child("refinement");
+  ASSERT_NE(coarsening, nullptr);
+  ASSERT_NE(initial, nullptr);
+  ASSERT_NE(refinement, nullptr);
+  EXPECT_GT(result.phases.total_s("coarsening"), 0.0);
+
+  // Every coarsening level: coarsening/level_i with lp_clustering (with
+  // per-round children) and contraction below it.
+  for (int level = 1; level <= result.num_levels; ++level) {
+    const PhaseNode *level_node = coarsening->child("level_" + std::to_string(level));
+    ASSERT_NE(level_node, nullptr) << "missing coarsening level " << level;
+    const PhaseNode *lp = level_node->child("lp_clustering");
+    ASSERT_NE(lp, nullptr);
+    ASSERT_NE(lp->child("round_0"), nullptr);
+    ASSERT_NE(level_node->child("contraction"), nullptr);
+  }
+
+  // Every refinement level: level_0 (finest) .. level_L (coarsest), each with
+  // per-round LP refinement and (for the FM preset) FM below it.
+  for (int level = 0; level <= result.num_levels; ++level) {
+    const PhaseNode *level_node = refinement->child("level_" + std::to_string(level));
+    ASSERT_NE(level_node, nullptr) << "missing refinement level " << level;
+    const PhaseNode *lp = level_node->child("lp_refinement");
+    ASSERT_NE(lp, nullptr);
+    ASSERT_NE(lp->child("round_0"), nullptr);
+    ASSERT_NE(level_node->child("fm_refinement"), nullptr);
+    EXPECT_GT(level_node->wall_s, 0.0);
+  }
+}
+
+TEST(Partitioner, FillRunReportProducesParseableDocument) {
+  const CsrGraph graph = gen::rgg2d(3000, 10, 5);
+  const Context ctx = terapart_context(4, 2);
+  const PartitionResult result = partition_graph(graph, ctx);
+
+  RunReport report("test_partitioner");
+  fill_run_report(report, graph, "gen:rgg2d", ctx, result);
+
+  json::Value parsed;
+  std::string error;
+  ASSERT_TRUE(json::parse(report.to_json(), parsed, &error)) << error;
+  EXPECT_EQ(parsed.find("schema")->as_string(), kRunReportSchema);
+  EXPECT_EQ(parsed.find("graph")->find("n")->as_uint64(), graph.n());
+  EXPECT_EQ(parsed.find("config")->find("k")->as_uint64(), 4u);
+  EXPECT_EQ(parsed.find("quality")->find("cut")->as_int64(), result.cut);
+  EXPECT_EQ(parsed.find("levels")->size(), result.levels.size());
+  ASSERT_NE(parsed.find("phases"), nullptr);
+  ASSERT_NE(parsed.find("thread_pool"), nullptr);
+  // Metrics wired from the leaf modules must show up in the global registry.
+  EXPECT_GT(MetricsRegistry::global().counter("coarsening.lp.moves"), 0u);
+  EXPECT_GT(MetricsRegistry::global().counter("refinement.lp.moves"), 0u);
 }
 
 } // namespace

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -64,6 +66,35 @@ TEST(PhaseTimer, ClearEmpties) {
   timer.clear();
   EXPECT_TRUE(timer.entries().empty());
   EXPECT_DOUBLE_EQ(timer.total("x"), 0.0);
+}
+
+// Regression test: PhaseTimer used to document itself as "not thread-safe by
+// design" while being reachable from worker threads; it is now internally
+// locked, and concurrent adds must neither lose time nor corrupt the entry
+// list.
+TEST(PhaseTimer, ConcurrentAddsAreLossless) {
+  PhaseTimer timer;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&timer, t] {
+      const std::string own = "phase_" + std::to_string(t % 2);
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        timer.add(own, 1.0);
+        timer.add("shared", 0.5);
+      }
+    });
+  }
+  for (auto &thread : threads) {
+    thread.join();
+  }
+
+  EXPECT_DOUBLE_EQ(timer.total("shared"), 0.5 * kThreads * kAddsPerThread);
+  EXPECT_DOUBLE_EQ(timer.total("phase_0") + timer.total("phase_1"),
+                   1.0 * kThreads * kAddsPerThread);
+  EXPECT_EQ(timer.entries().size(), 3u);
 }
 
 TEST(Logging, LevelGatesOutput) {
