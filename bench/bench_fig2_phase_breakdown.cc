@@ -104,8 +104,24 @@ int main(int argc, char **argv) {
   std::printf("graph: weblike n=%u m=%llu (webbase2001 analog), k=%u, p=%d\n\n", source.n(),
               static_cast<unsigned long long>(source.m()), k, par::num_threads());
 
-  const PhasePeaks baseline = run_config(source, /*optimized=*/false, k);
-  const PhasePeaks optimized = run_config(source, /*optimized=*/true, k);
+  // Bind a phase tree for the whole benchmark: every work-stealing loop
+  // inside clustering / contraction / FM adds its scheduler/{tasks,steals,
+  // max_worker_imbalance} counters to the innermost phase, so the RunReport
+  // carries per-phase load-balance telemetry alongside the byte counts.
+  PhaseTree phases;
+  PhasePeaks baseline;
+  PhasePeaks optimized;
+  {
+    ActivePhaseScope telemetry(phases);
+    {
+      ScopedPhase phase("kaminpar");
+      baseline = run_config(source, /*optimized=*/false, k);
+    }
+    {
+      ScopedPhase phase("terapart");
+      optimized = run_config(source, /*optimized=*/true, k);
+    }
+  }
 
   std::printf("%-28s %14s %14s %9s\n", "phase (auxiliary memory)", "KaMinPar", "TeraPart",
               "factor");
@@ -144,6 +160,7 @@ int main(int argc, char **argv) {
                                     {"terapart", peaks_to_json(optimized)},
                                     {"input_graph_csr", baseline.graph_bytes},
                                 });
+    report.set_phases(phases);
     report.capture_metrics(MetricsRegistry::global());
     report.capture_memory(MemoryTracker::global());
     if (!report.write(json_path)) {

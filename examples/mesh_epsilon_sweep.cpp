@@ -17,7 +17,7 @@ int main(int argc, char **argv) {
 
   const NodeID side = argc > 1 ? static_cast<NodeID>(std::atol(argv[1])) : 300;
   const BlockID k = argc > 2 ? static_cast<BlockID>(std::atoi(argv[2])) : 16;
-  par::set_num_threads(argc > 3 ? std::atoi(argv[3]) : 4);
+  const int threads = argc > 3 ? std::atoi(argv[3]) : 4;
 
   // A 2D mesh with mildly non-uniform edge weights (heterogeneous element
   // coupling, as in adaptive FEM).
@@ -29,9 +29,17 @@ int main(int argc, char **argv) {
   std::printf("%8s %12s %12s %14s %14s\n", "epsilon", "cut", "cut %", "max load", "est. step cost");
   PartitionResult last;
   for (const double epsilon : {0.001, 0.01, 0.03, 0.10, 0.30}) {
-    Context ctx = terapart_fm_context(k, 1);
-    ctx.epsilon = epsilon;
-    PartitionResult result = partition_graph(mesh, ctx);
+    auto built = ContextBuilder(Preset::kTeraPartFm)
+                     .k(k)
+                     .epsilon(epsilon)
+                     .seed(1)
+                     .threads(threads)
+                     .build();
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.error().to_string().c_str());
+      return 1;
+    }
+    PartitionResult result = Partitioner(std::move(built).value()).partition(mesh);
     const auto weights = metrics::block_weights(mesh, result.partition, k);
     BlockWeight max_load = 0;
     for (const BlockWeight w : weights) {

@@ -9,17 +9,16 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <utility>
+
 #include "generators/generators.h"
-#include "parallel/thread_pool.h"
-#include "partition/metrics.h"
-#include "partition/partitioner.h"
+#include "terapart/core.h"
 
 int main(int argc, char **argv) {
   using namespace terapart;
 
   const BlockID k = argc > 1 ? static_cast<BlockID>(std::atoi(argv[1])) : 8;
   const int threads = argc > 2 ? std::atoi(argv[2]) : 4;
-  par::set_num_threads(threads);
 
   // 1. A graph. Any CsrGraph works; here: a random geometric graph, the
   //    mesh-like family from the paper's evaluation. Load your own with
@@ -28,15 +27,24 @@ int main(int argc, char **argv) {
   std::printf("graph: n=%u, m=%llu undirected edges\n", graph.n(),
               static_cast<unsigned long long>(graph.m() / 2));
 
-  // 2. A configuration. terapart_context enables the paper's memory
+  // 2. A configuration. Preset::kTeraPart enables the paper's memory
   //    optimizations (two-phase label propagation + one-pass contraction);
-  //    terapart_fm_context additionally turns on k-way FM refinement with
-  //    the space-efficient gain table.
-  Context ctx = terapart_fm_context(k, /*seed=*/1);
-  ctx.epsilon = 0.03; // balance constraint: |V_i| <= 1.03 * ceil(n/k)
+  //    Preset::kTeraPartFm additionally turns on k-way FM refinement with
+  //    the space-efficient gain table. build() validates every field and
+  //    returns an error that says what to fix.
+  auto built = ContextBuilder(Preset::kTeraPartFm)
+                   .k(k)
+                   .epsilon(0.03) // balance constraint: |V_i| <= 1.03 * ceil(n/k)
+                   .seed(1)
+                   .threads(threads)
+                   .build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.error().to_string().c_str());
+    return 1;
+  }
 
   // 3. Partition.
-  const PartitionResult result = partition_graph(graph, ctx);
+  const PartitionResult result = Partitioner(std::move(built).value()).partition(graph);
 
   // 4. Inspect.
   std::printf("k=%u: edge cut = %lld (%.2f%% of edges), imbalance = %.3f, %s\n", k,

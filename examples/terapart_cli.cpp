@@ -17,14 +17,12 @@
 #include <iostream>
 #include <string>
 
-#include "compression/parallel_compressor.h"
-#include "generators/generators.h"
-#include "graph/graph_io.h"
 #include "common/logging.h"
 #include "common/memory_tracker.h"
-#include "parallel/thread_pool.h"
-#include "partition/partitioner.h"
 #include "partition/reporting.h"
+#include "terapart/compression.h"
+#include "terapart/core.h"
+#include "terapart/experimental.h"
 
 namespace {
 
@@ -88,7 +86,6 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  par::set_num_threads(threads);
   log_level() = LogLevel::kInfo;
 
   // --- Load or generate the graph ---
@@ -108,10 +105,24 @@ int main(int argc, char **argv) {
   std::printf("graph: n=%u m=%llu (%s)\n", graph.n(),
               static_cast<unsigned long long>(graph.m() / 2), graph_arg.c_str());
 
-  Context ctx = preset == "kaminpar"      ? kaminpar_context(k, seed)
-                : preset == "terapart-fm" ? terapart_fm_context(k, seed)
-                                          : terapart_context(k, seed);
-  ctx.epsilon = epsilon;
+  // Validated configuration through the facade: bad values (k < 2, negative
+  // epsilon, ...) are rejected here with an actionable message instead of
+  // failing somewhere inside the run.
+  const Preset preset_kind = preset == "kaminpar"      ? Preset::kKaMinPar
+                             : preset == "terapart-fm" ? Preset::kTeraPartFm
+                                                       : Preset::kTeraPart;
+  auto built = ContextBuilder(preset_kind)
+                   .k(k)
+                   .epsilon(epsilon)
+                   .seed(seed)
+                   .threads(threads)
+                   .build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.error().to_string().c_str());
+    return 1;
+  }
+  const Partitioner partitioner(std::move(built).value());
+  const Context &ctx = partitioner.context();
 
   // --- Partition ---
   Timer timer;
@@ -123,10 +134,10 @@ int main(int argc, char **argv) {
                 static_cast<double>(input.used_bytes()) / static_cast<double>(graph.m()),
                 static_cast<double>(input.uncompressed_csr_bytes()) /
                     static_cast<double>(input.memory_bytes()));
-    result = partition_graph(input, ctx);
+    result = partitioner.partition(input);
     fill_run_report(report, input, graph_arg, ctx, result);
   } else {
-    result = partition_graph(graph, ctx);
+    result = partitioner.partition(graph);
     fill_run_report(report, graph, graph_arg, ctx, result);
   }
 

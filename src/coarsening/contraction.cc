@@ -10,8 +10,7 @@
 #include "common/scoped_phase.h"
 #include "compression/compressed_graph.h"
 #include "parallel/dual_counter.h"
-#include "parallel/parallel_for.h"
-#include "parallel/prefix_sum.h"
+#include "parallel/primitives.h"
 
 namespace terapart {
 
@@ -32,16 +31,19 @@ struct ClusterBuckets {
 };
 
 ClusterBuckets build_buckets(const NodeID n, std::span<const ClusterID> clustering) {
+  // This is a counting sort of the vertices by cluster label — done by the
+  // shared primitive (histogram, scan, cursor scatter).
   ClusterBuckets buckets;
-  buckets.sizes.assign(n, 0);
-  par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
-    std::atomic_ref(buckets.sizes[clustering[u]]).fetch_add(1, std::memory_order_relaxed);
-  });
-
   buckets.offsets.resize(static_cast<std::size_t>(n) + 1);
-  par::prefix_sum_exclusive<NodeID, EdgeID>(buckets.sizes,
-                                            std::span(buckets.offsets).first(n));
-  buckets.offsets[n] = n;
+  buckets.members.resize(n);
+  par::counting_sort<NodeID, EdgeID>(
+      n, n, buckets.offsets, [&](const NodeID u) { return clustering[u]; },
+      [&](const NodeID u, const EdgeID pos) { buckets.members[pos] = u; });
+
+  buckets.sizes.resize(n);
+  par::for_each_dynamic<NodeID>(0, n, [&](const NodeID c) {
+    buckets.sizes[c] = static_cast<NodeID>(buckets.offsets[c + 1] - buckets.offsets[c]);
+  });
 
   buckets.leaders.reserve(n / 2);
   for (ClusterID c = 0; c < n; ++c) {
@@ -49,15 +51,18 @@ ClusterBuckets build_buckets(const NodeID n, std::span<const ClusterID> clusteri
       buckets.leaders.push_back(c);
     }
   }
-
-  buckets.members.resize(n);
-  std::vector<EdgeID> cursor(buckets.offsets.begin(), buckets.offsets.end() - 1);
-  par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
-    const EdgeID pos =
-        std::atomic_ref(cursor[clustering[u]]).fetch_add(1, std::memory_order_relaxed);
-    buckets.members[pos] = u;
-  });
   return buckets;
+}
+
+/// Edge-mass-style prefix over the *member counts* of the non-empty
+/// clusters, so coarse-vertex loops split by how many fine vertices each
+/// chunk aggregates (the dominant cost term) rather than by cluster count.
+std::vector<std::uint64_t> leader_work_prefix(const ClusterBuckets &buckets) {
+  std::vector<std::uint64_t> prefix(buckets.leaders.size() + 1, 0);
+  for (std::size_t i = 0; i < buckets.leaders.size(); ++i) {
+    prefix[i + 1] = prefix[i] + buckets.sizes[buckets.leaders[i]];
+  }
+  return prefix;
 }
 
 /// Sorts each coarse neighborhood by target (canonical form). Targets and
@@ -65,20 +70,25 @@ ClusterBuckets build_buckets(const NodeID n, std::span<const ClusterID> clusteri
 void sort_neighborhoods(std::span<const EdgeID> nodes, std::span<NodeID> targets,
                         std::span<EdgeWeight> weights) {
   const auto n = static_cast<NodeID>(nodes.size() - 1);
-  par::parallel_for_each<NodeID>(0, n, [&](const NodeID v) {
-    const EdgeID begin = nodes[v];
-    const EdgeID end = nodes[v + 1];
-    thread_local std::vector<std::pair<NodeID, EdgeWeight>> scratch;
-    scratch.clear();
-    for (EdgeID e = begin; e < end; ++e) {
-      scratch.emplace_back(targets[e], weights[e]);
-    }
-    std::sort(scratch.begin(), scratch.end());
-    for (EdgeID e = begin; e < end; ++e) {
-      targets[e] = scratch[e - begin].first;
-      weights[e] = scratch[e - begin].second;
-    }
-  });
+  // Sorting cost is proportional to neighborhood length, so chunks are split
+  // by the coarse edge mass (`nodes` is already the required prefix).
+  par::for_dynamic_weighted<NodeID>(
+      0, n, nodes, [&](const NodeID chunk_begin, const NodeID chunk_end) {
+        thread_local std::vector<std::pair<NodeID, EdgeWeight>> scratch;
+        for (NodeID v = chunk_begin; v < chunk_end; ++v) {
+          const EdgeID begin = nodes[v];
+          const EdgeID end = nodes[v + 1];
+          scratch.clear();
+          for (EdgeID e = begin; e < end; ++e) {
+            scratch.emplace_back(targets[e], weights[e]);
+          }
+          std::sort(scratch.begin(), scratch.end());
+          for (EdgeID e = begin; e < end; ++e) {
+            targets[e] = scratch[e - begin].first;
+            weights[e] = scratch[e - begin].second;
+          }
+        }
+      });
 }
 
 // --------------------------------------------------------------------------
@@ -100,7 +110,7 @@ ContractionResult contract_buffered(const Graph &graph, std::span<const ClusterI
     coarse_id[buckets.leaders[i]] = i;
   }
   std::vector<NodeID> mapping(n);
-  par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
+  par::for_each_dynamic<NodeID>(0, n, [&](const NodeID u) {
     mapping[u] = coarse_id[clustering[u]];
   });
 
@@ -123,7 +133,7 @@ ContractionResult contract_buffered(const Graph &graph, std::span<const ClusterI
     return buffer;
   });
 
-  par::parallel_for_each<NodeID>(0, num_coarse, [&](const NodeID cu) {
+  const auto process_coarse_vertex = [&](const NodeID cu) {
     const ClusterID leader = buckets.leaders[cu];
     ThreadBuffer &buffer = thread_buffers.local();
     SparseRatingMap &map = *buffer.map;
@@ -149,7 +159,16 @@ ContractionResult contract_buffered(const Graph &graph, std::span<const ClusterI
       buffer.weights.push_back(w);
     });
     map.clear();
-  });
+  };
+  // Chunks weighted by member count: a chunk of few huge clusters costs as
+  // much as one of many singletons, so both stay equally steal-able.
+  const std::vector<std::uint64_t> work_prefix = leader_work_prefix(buckets);
+  par::for_dynamic_weighted<NodeID>(
+      0, num_coarse, work_prefix, [&](const NodeID chunk_begin, const NodeID chunk_end) {
+        for (NodeID cu = chunk_begin; cu < chunk_end; ++cu) {
+          process_coarse_vertex(cu);
+        }
+      });
 
   // Account the buffered copy of the coarse edges.
   thread_buffers.for_each([](ThreadBuffer &buffer) {
@@ -258,8 +277,9 @@ ContractionResult contract_one_pass(const Graph &graph, std::span<const ClusterI
     batch.vertices.clear();
   };
 
-  // --- First phase: coarse vertices in parallel, small hash tables. ---
-  par::parallel_for_each<NodeID>(0, num_coarse, [&](const NodeID index) {
+  // --- First phase: coarse vertices in parallel, small hash tables. Chunks
+  // are weighted by cluster member count (see leader_work_prefix).
+  const auto process_coarse_vertex = [&](const NodeID index) {
     const ClusterID leader = buckets.leaders[index];
     FixedHashMap<ClusterID, EdgeWeight> &map = maps.local();
     map.clear();
@@ -298,7 +318,14 @@ ContractionResult contract_one_pass(const Graph &graph, std::span<const ClusterI
     if (batch.targets.size() >= config.batch_edges) {
       flush_batch(batch);
     }
-  });
+  };
+  const std::vector<std::uint64_t> work_prefix = leader_work_prefix(buckets);
+  par::for_dynamic_weighted<NodeID>(
+      0, num_coarse, work_prefix, [&](const NodeID chunk_begin, const NodeID chunk_end) {
+        for (NodeID index = chunk_begin; index < chunk_end; ++index) {
+          process_coarse_vertex(index);
+        }
+      });
   batches.for_each(flush_batch);
 
   // --- Second phase: bumped (high-degree) coarse vertices, one at a time,
@@ -316,7 +343,7 @@ ContractionResult contract_one_pass(const Graph &graph, std::span<const ClusterI
       for (const NodeID u : members) {
         weight += graph.node_weight(u);
       }
-      par::parallel_for_each<std::size_t>(0, members.size(), [&](const std::size_t i) {
+      par::for_each_dynamic<std::size_t>(0, members.size(), [&](const std::size_t i) {
         const NodeID u = members[i];
         graph.for_each_neighbor_block(
             u, [&](const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
@@ -356,14 +383,14 @@ ContractionResult contract_one_pass(const Graph &graph, std::span<const ClusterI
 
   // Remap coarse edge endpoints from cluster labels to coarse IDs; the
   // neighborhoods themselves stay where they were appended.
-  par::parallel_for_each<EdgeID>(0, coarse_m, [&](const EdgeID e) {
+  par::for_each_dynamic<EdgeID>(0, coarse_m, [&](const EdgeID e) {
     targets[e] = new_id[targets[e]];
   });
 
   sort_neighborhoods(offsets, {targets.data(), coarse_m}, {weights.data(), coarse_m});
 
   std::vector<NodeID> mapping(n);
-  par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
+  par::for_each_dynamic<NodeID>(0, n, [&](const NodeID u) {
     mapping[u] = new_id[clustering[u]];
   });
 

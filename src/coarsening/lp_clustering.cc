@@ -10,7 +10,7 @@
 #include "common/scoped_phase.h"
 #include "compression/compressed_graph.h"
 #include "parallel/atomic_utils.h"
-#include "parallel/parallel_for.h"
+#include "parallel/primitives.h"
 
 namespace terapart {
 
@@ -82,7 +82,7 @@ template <typename Graph>
 void classic_round(const Graph &graph, LpState &state, std::span<const NodeID> order,
                    par::ThreadLocal<std::unique_ptr<SparseRatingMap>> &maps,
                    par::ThreadLocal<Random> &rngs) {
-  par::parallel_for_each<NodeID>(0, graph.n(), [&](const NodeID i) {
+  par::for_each_dynamic<NodeID>(0, graph.n(), [&](const NodeID i) {
     const NodeID u = order[i];
     if (graph.degree(u) == 0) {
       return;
@@ -114,7 +114,7 @@ void two_phase_round(const Graph &graph, const LpClusteringConfig &config, LpSta
                      std::unique_ptr<SharedSparseAggregator> &aggregator,
                      par::ThreadLocal<std::vector<NodeID>> &bumped_lists) {
   // --- First phase: all vertices, small fixed-capacity hash tables. ---
-  par::parallel_for_each<NodeID>(0, graph.n(), [&](const NodeID i) {
+  par::for_each_dynamic<NodeID>(0, graph.n(), [&](const NodeID i) {
     const NodeID u = order[i];
     if (graph.degree(u) == 0) {
       return;
@@ -202,7 +202,7 @@ void two_hop_matching(const Graph &graph, const LpClusteringConfig &config, LpSt
            state.cluster_weights[u].load(std::memory_order_relaxed) == graph.node_weight(u);
   };
 
-  par::parallel_for_each<NodeID>(0, graph.n(), [&](const NodeID u) {
+  par::for_each_dynamic<NodeID>(0, graph.n(), [&](const NodeID u) {
     if (!is_singleton(u) || graph.degree(u) == 0) {
       return;
     }
@@ -290,7 +290,7 @@ std::vector<ClusterID> lp_cluster(const Graph &graph, const LpClusteringConfig &
   state.max_cluster_weight = std::max<NodeWeight>(max_cluster_weight, graph.max_node_weight());
   std::vector<std::atomic<NodeWeight>> weights(n);
   state.cluster_weights = std::move(weights);
-  par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
+  par::for_each_dynamic<NodeID>(0, n, [&](const NodeID u) {
     state.clusters[u] = u;
     state.cluster_weights[u].store(graph.node_weight(u), std::memory_order_relaxed);
   });
@@ -337,10 +337,10 @@ std::vector<ClusterID> lp_cluster(const Graph &graph, const LpClusteringConfig &
     // Distinct labels, counted in parallel: mark every used label, then sum
     // the marks — no sequential O(n) scan serializing large runs.
     std::vector<std::uint8_t> seen(n, 0);
-    par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
+    par::for_each_dynamic<NodeID>(0, n, [&](const NodeID u) {
       std::atomic_ref(seen[state.clusters[u]]).store(1, std::memory_order_relaxed);
     });
-    stats->num_clusters = par::parallel_sum<NodeID>(
+    stats->num_clusters = par::sum_dynamic<NodeID>(
         0, n, [&](const NodeID c) { return static_cast<NodeID>(seen[c]); });
   }
 

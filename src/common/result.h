@@ -1,0 +1,59 @@
+/// @file result.h
+/// @brief Minimal `Result<T, E>` — a tagged union for fallible operations,
+/// used by the public configuration API (`ContextBuilder::build`) so that
+/// invalid configurations are reported as values instead of exceptions or
+/// aborts. Hand-rolled because the toolchain baseline predates
+/// `std::expected`.
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "common/assert.h"
+
+namespace terapart {
+
+template <typename T, typename E> class [[nodiscard]] Result {
+public:
+  /// Implicit from both alternatives: `return ctx;` / `return error;` both
+  /// work in a function returning Result. The two types must differ.
+  Result(T value) : _storage(std::in_place_index<0>, std::move(value)) {}
+  Result(E error) : _storage(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] bool ok() const { return _storage.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  /// The success value; asserts ok().
+  [[nodiscard]] T &value() & {
+    TP_ASSERT_MSG(ok(), "Result::value() on an error");
+    return std::get<0>(_storage);
+  }
+  [[nodiscard]] const T &value() const & {
+    TP_ASSERT_MSG(ok(), "Result::value() on an error");
+    return std::get<0>(_storage);
+  }
+  [[nodiscard]] T &&value() && {
+    TP_ASSERT_MSG(ok(), "Result::value() on an error");
+    return std::get<0>(std::move(_storage));
+  }
+
+  /// The error; asserts !ok().
+  [[nodiscard]] E &error() & {
+    TP_ASSERT_MSG(!ok(), "Result::error() on a success");
+    return std::get<1>(_storage);
+  }
+  [[nodiscard]] const E &error() const & {
+    TP_ASSERT_MSG(!ok(), "Result::error() on a success");
+    return std::get<1>(_storage);
+  }
+
+  /// The value, or `fallback` when this holds an error.
+  [[nodiscard]] T value_or(T fallback) const & {
+    return ok() ? std::get<0>(_storage) : std::move(fallback);
+  }
+
+private:
+  std::variant<T, E> _storage;
+};
+
+} // namespace terapart

@@ -31,6 +31,27 @@ const PhaseNode *PhaseNode::child(const std::string_view child_name) const {
   return nullptr;
 }
 
+void PhaseNode::add_counter(const std::string_view counter_name, const std::uint64_t delta) {
+  auto it = counters.find(counter_name);
+  if (it == counters.end()) {
+    it = counters.emplace(std::string(counter_name), 0).first;
+  }
+  it->second += delta;
+}
+
+void PhaseNode::max_counter(const std::string_view counter_name, const std::uint64_t value) {
+  auto it = counters.find(counter_name);
+  if (it == counters.end()) {
+    it = counters.emplace(std::string(counter_name), 0).first;
+  }
+  it->second = std::max(it->second, value);
+}
+
+std::uint64_t PhaseNode::counter(const std::string_view counter_name) const {
+  const auto it = counters.find(counter_name);
+  return it == counters.end() ? 0 : it->second;
+}
+
 json::Value PhaseNode::to_json() const {
   json::Value out = json::Value::object();
   out["name"] = name;
@@ -38,6 +59,12 @@ json::Value PhaseNode::to_json() const {
   out["wall_s"] = wall_s;
   out["peak_mem_delta_bytes"] = peak_mem_delta_bytes;
   out["mem_enter_bytes"] = mem_enter_bytes;
+  if (!counters.empty()) {
+    json::Value &object = out["counters"] = json::Value::object();
+    for (const auto &[counter_name, value] : counters) {
+      object[counter_name] = value;
+    }
+  }
   if (!children.empty()) {
     json::Value &list = out["children"] = json::Value::array();
     for (const auto &node : children) {
@@ -59,6 +86,18 @@ ActivePhaseScope::ActivePhaseScope(PhaseTree &tree) : _previous(t_active_tree) {
 ActivePhaseScope::~ActivePhaseScope() { t_active_tree = _previous; }
 
 PhaseTree *active_phase_tree() { return t_active_tree; }
+
+void phase_add_counter(const std::string_view name, const std::uint64_t delta) {
+  if (t_active_tree != nullptr) {
+    t_active_tree->current().add_counter(name, delta);
+  }
+}
+
+void phase_max_counter(const std::string_view name, const std::uint64_t value) {
+  if (t_active_tree != nullptr) {
+    t_active_tree->current().max_counter(name, value);
+  }
+}
 
 ScopedPhase::ScopedPhase(PhaseTree *tree, const std::string_view name) : _tree(tree) {
   if (_tree == nullptr) {

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -42,13 +43,25 @@ struct PhaseNode {
   /// Tracked total at the most recent entry (diagnostic context for the
   /// delta).
   std::uint64_t mem_enter_bytes = 0;
+  /// Named integer counters attached by instrumented code while this phase
+  /// was the innermost open one — e.g. the work-stealing scheduler's
+  /// "scheduler/{tasks,steals,max_worker_imbalance}". Slash-separated names
+  /// to keep them visually distinct from the dot-separated registry paths.
+  std::map<std::string, std::uint64_t, std::less<>> counters;
   std::vector<std::unique_ptr<PhaseNode>> children;
 
   PhaseNode *find_or_add_child(std::string_view child_name);
   [[nodiscard]] const PhaseNode *child(std::string_view child_name) const;
 
+  void add_counter(std::string_view counter_name, std::uint64_t delta);
+  /// Keeps the maximum of the stored and the given value (e.g. the worst
+  /// per-loop imbalance observed anywhere in the phase).
+  void max_counter(std::string_view counter_name, std::uint64_t value);
+  [[nodiscard]] std::uint64_t counter(std::string_view counter_name) const;
+
   /// {"name", "calls", "wall_s", "peak_mem_delta_bytes", "mem_enter_bytes",
-  /// "children": [...]} — children omitted when empty.
+  /// "counters": {...}, "children": [...]} — counters/children omitted when
+  /// empty.
   [[nodiscard]] json::Value to_json() const;
 };
 
@@ -68,6 +81,11 @@ public:
   /// Total wall seconds recorded under the top-level phase `name` (0 when
   /// the phase never ran).
   [[nodiscard]] double total_s(std::string_view name) const;
+
+  /// Innermost open phase (the root when none is open) — the attribution
+  /// target of phase_add_counter/phase_max_counter.
+  [[nodiscard]] PhaseNode &current() { return *_cursor; }
+  [[nodiscard]] const PhaseNode &current() const { return *_cursor; }
 
   [[nodiscard]] json::Value to_json() const { return _root->to_json(); }
 
@@ -96,6 +114,16 @@ private:
 
 /// The tree bound to the calling thread, or nullptr.
 [[nodiscard]] PhaseTree *active_phase_tree();
+
+/// Adds `delta` to counter `name` of the innermost open phase of the calling
+/// thread's bound tree; no-op without a binding. This is how leaf code
+/// (notably the scheduler's loop epilogue, which runs on the driver thread
+/// that holds the binding) attributes per-loop counters to whatever phase is
+/// currently being timed.
+void phase_add_counter(std::string_view name, std::uint64_t delta);
+
+/// Same attribution rule with max semantics.
+void phase_max_counter(std::string_view name, std::uint64_t value);
 
 /// RAII phase record. The string forms accept names built on the fly
 /// ("level_" + std::to_string(i)).

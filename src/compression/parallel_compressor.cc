@@ -8,7 +8,8 @@
 #include "common/metrics_registry.h"
 #include "common/scoped_phase.h"
 #include "parallel/atomic_utils.h"
-#include "parallel/parallel_for.h"
+#include "parallel/primitives.h"
+#include "parallel/thread_local_storage.h"
 
 namespace terapart {
 
@@ -84,36 +85,37 @@ CompressedGraph compress_graph_parallel(const CsrGraph &graph,
   std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
   PacketCommitter committer(bytes, offsets);
 
-  std::atomic<std::size_t> next_packet{0};
-  par::ThreadPool::global().run_on_all([&](int) {
-    // Per-worker metric shard: lock-free accumulation, one merge at exit.
-    MetricsRegistry::Shard metrics;
+  // FIFO dynamic loop: the committer requires packets to be claimed in
+  // increasing order (LIFO stealing would deadlock on the ordered commit),
+  // so this is the one hot loop on the ordered-claim primitive.
+  struct Scratch {
+    MetricsRegistry::Shard metrics; ///< lock-free shard, merged on destruction
     std::vector<std::uint8_t> buffer;
     std::vector<std::uint64_t> local_offsets;
-    while (true) {
-      const std::size_t packet = next_packet.fetch_add(1, std::memory_order_relaxed);
-      if (packet >= num_packets) {
-        return;
-      }
-      const NodeID begin = packet_start[packet];
-      const NodeID end = packet_start[packet + 1];
-      buffer.clear();
-      local_offsets.clear();
-      for (NodeID u = begin; u < end; ++u) {
-        local_offsets.push_back(buffer.size());
-        const EdgeID first = graph.raw_nodes()[u];
-        const EdgeID last = graph.raw_nodes()[u + 1];
-        encode_neighborhood(u, first, graph.raw_edges().subspan(first, last - first),
-                            weighted ? graph.raw_edge_weights().subspan(first, last - first)
-                                     : std::span<const EdgeWeight>{},
-                            config.compression, buffer);
-      }
-      const std::uint64_t base = committer.commit(packet, begin, local_offsets, buffer.size());
-      std::memcpy(bytes.data() + base, buffer.data(), buffer.size());
-      metrics.add("compression.packets");
-      metrics.add("compression.bytes_written", buffer.size());
-      metrics.record("compression.packet_bytes", static_cast<double>(buffer.size()));
+  };
+  par::ThreadLocal<Scratch> scratch_tls;
+  par::for_each_index_fifo<std::size_t>(0, num_packets, [&](const std::size_t packet) {
+    Scratch &scratch = scratch_tls.local();
+    const NodeID begin = packet_start[packet];
+    const NodeID end = packet_start[packet + 1];
+    scratch.buffer.clear();
+    scratch.local_offsets.clear();
+    for (NodeID u = begin; u < end; ++u) {
+      scratch.local_offsets.push_back(scratch.buffer.size());
+      const EdgeID first = graph.raw_nodes()[u];
+      const EdgeID last = graph.raw_nodes()[u + 1];
+      encode_neighborhood(u, first, graph.raw_edges().subspan(first, last - first),
+                          weighted ? graph.raw_edge_weights().subspan(first, last - first)
+                                   : std::span<const EdgeWeight>{},
+                          config.compression, scratch.buffer);
     }
+    const std::uint64_t base =
+        committer.commit(packet, begin, scratch.local_offsets, scratch.buffer.size());
+    std::memcpy(bytes.data() + base, scratch.buffer.data(), scratch.buffer.size());
+    scratch.metrics.add("compression.packets");
+    scratch.metrics.add("compression.bytes_written", scratch.buffer.size());
+    scratch.metrics.record("compression.packet_bytes",
+                           static_cast<double>(scratch.buffer.size()));
   });
 
   offsets[n] = committer.total_bytes();

@@ -1,0 +1,157 @@
+#include "parallel/numa.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace terapart::par::numa {
+
+int Topology::num_cpus() const {
+  int total = 0;
+  for (const NumaNode &node : nodes) {
+    total += static_cast<int>(node.cpus.size());
+  }
+  return total;
+}
+
+std::vector<int> parse_cpulist(const std::string &cpulist) {
+  std::vector<int> cpus;
+  std::stringstream stream(cpulist);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    // Trim whitespace (the sysfs file ends in '\n').
+    while (!token.empty() && (token.back() == '\n' || token.back() == ' ')) {
+      token.pop_back();
+    }
+    if (token.empty()) {
+      continue;
+    }
+    const std::size_t dash = token.find('-');
+    try {
+      if (dash == std::string::npos) {
+        cpus.push_back(std::stoi(token));
+      } else {
+        const int first = std::stoi(token.substr(0, dash));
+        const int last = std::stoi(token.substr(dash + 1));
+        if (first > last || last - first > 4096) {
+          return {};
+        }
+        for (int cpu = first; cpu <= last; ++cpu) {
+          cpus.push_back(cpu);
+        }
+      }
+    } catch (...) {
+      return {};
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+namespace {
+
+Topology discover_topology() {
+  Topology topo;
+#if defined(__linux__)
+  for (int id = 0; id < 1024; ++id) {
+    std::ifstream file("/sys/devices/system/node/node" + std::to_string(id) + "/cpulist");
+    if (!file.is_open()) {
+      break; // node ids are contiguous
+    }
+    std::string cpulist;
+    std::getline(file, cpulist);
+    NumaNode node;
+    node.id = id;
+    node.cpus = parse_cpulist(cpulist);
+    if (!node.cpus.empty()) {
+      topo.nodes.push_back(std::move(node));
+    }
+  }
+#endif
+  return topo;
+}
+
+} // namespace
+
+const Topology &topology() {
+  static const Topology topo = discover_topology();
+  return topo;
+}
+
+bool pinning_enabled() {
+  static const bool enabled = [] {
+    if (const char *env = std::getenv("TP_NUMA_PIN")) {
+      return env[0] == '1';
+    }
+    return topology().num_nodes() > 1;
+  }();
+  return enabled;
+}
+
+int node_of_worker(const int worker_id, const int num_workers) {
+  const Topology &topo = topology();
+  if (topo.nodes.empty() || num_workers <= 0 || worker_id < 0) {
+    return -1;
+  }
+  // Compact fill: distribute workers over nodes proportionally to each
+  // node's CPU count, keeping consecutive worker ids on the same node so
+  // neighbors in the pool share a last-level cache.
+  const int total_cpus = topo.num_cpus();
+  if (total_cpus == 0) {
+    return -1;
+  }
+  int boundary = 0;
+  for (const NumaNode &node : topo.nodes) {
+    boundary += static_cast<int>(node.cpus.size());
+    // Worker w belongs to the first node whose cumulative CPU share covers
+    // w * total_cpus / num_workers (scaled compact fill).
+    const std::int64_t scaled =
+        static_cast<std::int64_t>(worker_id) * total_cpus / std::max(num_workers, 1);
+    if (scaled < boundary) {
+      return node.id;
+    }
+  }
+  return topo.nodes.back().id;
+}
+
+int pin_worker_thread(const int worker_id, const int num_workers) {
+#if defined(__linux__)
+  if (!pinning_enabled()) {
+    return -1;
+  }
+  const int node_id = node_of_worker(worker_id, num_workers);
+  if (node_id < 0) {
+    return -1;
+  }
+  const Topology &topo = topology();
+  const auto it = std::find_if(topo.nodes.begin(), topo.nodes.end(),
+                               [&](const NumaNode &node) { return node.id == node_id; });
+  if (it == topo.nodes.end() || it->cpus.empty()) {
+    return -1;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int cpu : it->cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) {
+      CPU_SET(cpu, &set);
+    }
+  }
+  if (sched_setaffinity(0, sizeof(set), &set) != 0) {
+    return -1; // insufficient privileges (cgroup-restricted container): no-op
+  }
+  return node_id;
+#else
+  (void)worker_id;
+  (void)num_workers;
+  return -1;
+#endif
+}
+
+} // namespace terapart::par::numa

@@ -1,12 +1,20 @@
 /// @file parallel_for.h
 /// @brief Data-parallel loop primitives built on the thread pool, mirroring
 /// OpenMP's `parallel for` with static and dynamic scheduling.
+///
+/// The dynamic-scheduled entry points (`parallel_for`, `parallel_for_each`,
+/// `parallel_sum`, `parallel_max`) route through the work-stealing scheduler
+/// (scheduler.h), so every existing call site load-balances adaptively.
+/// `parallel_for_chunked` keeps the original shared-counter implementation:
+/// it is the static-chunking baseline the scheduler microbench compares
+/// against, and the right tool when the caller has already sized chunks.
 #pragma once
 
 #include <atomic>
 #include <concepts>
 
 #include "common/math.h"
+#include "parallel/scheduler.h"
 #include "parallel/thread_pool.h"
 
 namespace terapart::par {
@@ -44,26 +52,18 @@ void parallel_for_chunked(const Index begin, const Index end, const Index grain,
   });
 }
 
-/// Dynamic scheduling with a default grain that yields ~8 chunks per thread.
+/// Dynamic scheduling with an automatic grain — now work-stealing: ranges
+/// are seeded per worker and lazily split, so skewed per-iteration costs
+/// rebalance instead of serializing on the unlucky thread.
 template <std::unsigned_integral Index, typename Fn>
 void parallel_for(const Index begin, const Index end, Fn &&fn) {
-  if (begin >= end) {
-    return;
-  }
-  const Index n = end - begin;
-  const auto p = static_cast<Index>(num_threads());
-  const Index grain = std::max<Index>(1, n / (8 * p));
-  parallel_for_chunked(begin, end, grain, std::forward<Fn>(fn));
+  for_dynamic(begin, end, std::forward<Fn>(fn));
 }
 
 /// Per-element convenience wrapper: `fn(i)` for i in [begin, end).
 template <std::unsigned_integral Index, typename Fn>
 void parallel_for_each(const Index begin, const Index end, Fn &&fn) {
-  parallel_for(begin, end, [&](const Index chunk_begin, const Index chunk_end) {
-    for (Index i = chunk_begin; i < chunk_end; ++i) {
-      fn(i);
-    }
-  });
+  for_each_dynamic(begin, end, std::forward<Fn>(fn));
 }
 
 /// Static scheduling: the range is split into exactly p equal chunks and

@@ -1,70 +1,7 @@
 /// @file prefix_sum.h
-/// @brief Parallel exclusive prefix sum (two-pass blocked scan).
-///
-/// Used to turn per-vertex degrees into CSR offsets in the *buffered*
-/// contraction baseline and in graph construction. (The one-pass contraction
-/// of Section IV-B exists precisely to avoid this scan over the input.)
+/// @brief Compatibility shim: the prefix sums moved into the parallel
+/// primitives library (primitives.h) alongside reductions, counting sort
+/// and batched appends. Include that header in new code.
 #pragma once
 
-#include <span>
-#include <vector>
-
-#include "parallel/parallel_for.h"
-
-namespace terapart::par {
-
-/// Computes out[i] = sum of in[0..i) (exclusive scan) and returns the total.
-/// `in` and `out` may alias. Out must have the same length as in.
-template <typename In, typename Out>
-Out prefix_sum_exclusive(std::span<const In> in, std::span<Out> out) {
-  TP_ASSERT(in.size() == out.size());
-  const std::size_t n = in.size();
-  if (n == 0) {
-    return Out{};
-  }
-
-  const int p = num_threads();
-  if (p == 1 || n < 4096) {
-    Out running{};
-    for (std::size_t i = 0; i < n; ++i) {
-      const Out value = static_cast<Out>(in[i]);
-      out[i] = running;
-      running += value;
-    }
-    return running;
-  }
-
-  // Pass 1: per-block sums.
-  const auto blocks = static_cast<std::size_t>(p);
-  std::vector<Out> block_sum(blocks, Out{});
-  parallel_for_static<std::size_t>(0, n, [&](const int t, const std::size_t begin,
-                                             const std::size_t end) {
-    Out sum{};
-    for (std::size_t i = begin; i < end; ++i) {
-      sum += static_cast<Out>(in[i]);
-    }
-    block_sum[static_cast<std::size_t>(t)] = sum;
-  });
-
-  // Sequential scan over the (tiny) per-block sums.
-  Out total{};
-  for (std::size_t b = 0; b < blocks; ++b) {
-    const Out sum = block_sum[b];
-    block_sum[b] = total;
-    total += sum;
-  }
-
-  // Pass 2: local scan with the block offset.
-  parallel_for_static<std::size_t>(0, n, [&](const int t, const std::size_t begin,
-                                             const std::size_t end) {
-    Out running = block_sum[static_cast<std::size_t>(t)];
-    for (std::size_t i = begin; i < end; ++i) {
-      const Out value = static_cast<Out>(in[i]);
-      out[i] = running;
-      running += value;
-    }
-  });
-  return total;
-}
-
-} // namespace terapart::par
+#include "parallel/primitives.h" // IWYU pragma: export

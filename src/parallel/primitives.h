@@ -1,0 +1,317 @@
+/// @file primitives.h
+/// @brief Parallel primitives on top of the work-stealing scheduler:
+/// prefix sums, chunked reductions, counting sort, batched appends, and an
+/// ordered (FIFO) dynamic loop.
+///
+/// These are the building blocks the paper's phases keep re-deriving ad hoc
+/// — per-degree histograms (contraction's buckets), offset scans (buffered
+/// contraction, graph building), per-thread buffer concatenation (FM
+/// boundary collection), the contraction batcher's amortized space
+/// reservation — gathered behind one small API so every subsystem shares
+/// the same tuned implementations.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+#include "parallel/parallel_for.h"
+#include "parallel/scheduler.h"
+#include "parallel/thread_local_storage.h"
+
+namespace terapart::par {
+
+/// Computes out[i] = sum of in[0..i) (exclusive scan) and returns the total.
+/// `in` and `out` may alias. Out must have the same length as in.
+template <typename In, typename Out>
+Out prefix_sum_exclusive(std::span<const In> in, std::span<Out> out) {
+  TP_ASSERT(in.size() == out.size());
+  const std::size_t n = in.size();
+  if (n == 0) {
+    return Out{};
+  }
+
+  const int p = num_threads();
+  if (p == 1 || n < 4096) {
+    Out running{};
+    for (std::size_t i = 0; i < n; ++i) {
+      const Out value = static_cast<Out>(in[i]);
+      out[i] = running;
+      running += value;
+    }
+    return running;
+  }
+
+  // Pass 1: per-block sums. The scan needs a stable iteration->thread
+  // mapping (block t's offset feeds pass 2), so this is one of the few
+  // places that stay on static scheduling by design.
+  const auto blocks = static_cast<std::size_t>(p);
+  std::vector<Out> block_sum(blocks, Out{});
+  parallel_for_static<std::size_t>(0, n, [&](const int t, const std::size_t begin,
+                                             const std::size_t end) {
+    Out sum{};
+    for (std::size_t i = begin; i < end; ++i) {
+      sum += static_cast<Out>(in[i]);
+    }
+    block_sum[static_cast<std::size_t>(t)] = sum;
+  });
+
+  // Sequential scan over the (tiny) per-block sums.
+  Out total{};
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const Out sum = block_sum[b];
+    block_sum[b] = total;
+    total += sum;
+  }
+
+  // Pass 2: local scan with the block offset.
+  parallel_for_static<std::size_t>(0, n, [&](const int t, const std::size_t begin,
+                                             const std::size_t end) {
+    Out running = block_sum[static_cast<std::size_t>(t)];
+    for (std::size_t i = begin; i < end; ++i) {
+      const Out value = static_cast<Out>(in[i]);
+      out[i] = running;
+      running += value;
+    }
+  });
+  return total;
+}
+
+/// Computes out[i] = sum of in[0..i] (inclusive scan) and returns the total.
+/// `in` and `out` may alias.
+template <typename In, typename Out>
+Out prefix_sum_inclusive(std::span<const In> in, std::span<Out> out) {
+  TP_ASSERT(in.size() == out.size());
+  const std::size_t n = in.size();
+  if (n == 0) {
+    return Out{};
+  }
+
+  const int p = num_threads();
+  if (p == 1 || n < 4096) {
+    Out running{};
+    for (std::size_t i = 0; i < n; ++i) {
+      running += static_cast<Out>(in[i]);
+      out[i] = running;
+    }
+    return running;
+  }
+
+  const auto blocks = static_cast<std::size_t>(p);
+  std::vector<Out> block_sum(blocks, Out{});
+  parallel_for_static<std::size_t>(0, n, [&](const int t, const std::size_t begin,
+                                             const std::size_t end) {
+    Out sum{};
+    for (std::size_t i = begin; i < end; ++i) {
+      sum += static_cast<Out>(in[i]);
+    }
+    block_sum[static_cast<std::size_t>(t)] = sum;
+  });
+
+  Out total{};
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const Out sum = block_sum[b];
+    block_sum[b] = total;
+    total += sum;
+  }
+
+  parallel_for_static<std::size_t>(0, n, [&](const int t, const std::size_t begin,
+                                             const std::size_t end) {
+    Out running = block_sum[static_cast<std::size_t>(t)];
+    for (std::size_t i = begin; i < end; ++i) {
+      running += static_cast<Out>(in[i]);
+      out[i] = running;
+    }
+  });
+  return total;
+}
+
+/// Chunked reduction over [begin, end): `chunk_fn(chunk_begin, chunk_end)`
+/// produces a partial value per work-stealing chunk, `combine` folds partials
+/// (must be associative and commutative — chunk-to-thread assignment is
+/// nondeterministic). Integer sums/maxima therefore stay bit-identical
+/// across thread counts and runs.
+template <std::unsigned_integral Index, typename Value, typename ChunkFn, typename CombineFn>
+[[nodiscard]] Value reduce_chunked(const Index begin, const Index end, const Value identity,
+                                   ChunkFn &&chunk_fn, CombineFn &&combine,
+                                   const DynamicOptions &options = {}) {
+  if (begin >= end) {
+    return identity;
+  }
+  struct alignas(64) Slot {
+    Value value;
+  };
+  std::vector<Slot> partial(static_cast<std::size_t>(num_threads()), Slot{identity});
+  for_dynamic(begin, end, options, [&](const Index chunk_begin, const Index chunk_end) {
+    Slot &slot = partial[static_cast<std::size_t>(ThreadPool::this_thread_id())];
+    slot.value = combine(slot.value, chunk_fn(chunk_begin, chunk_end));
+  });
+  Value result = identity;
+  for (const Slot &slot : partial) {
+    result = combine(result, slot.value);
+  }
+  return result;
+}
+
+/// Element-wise sum reduction (work-stealing version of parallel_sum).
+template <std::unsigned_integral Index, typename Fn>
+[[nodiscard]] auto sum_dynamic(const Index begin, const Index end, Fn &&fn,
+                               const DynamicOptions &options = {}) {
+  using Value = decltype(fn(begin));
+  return reduce_chunked(
+      begin, end, Value{},
+      [&](const Index chunk_begin, const Index chunk_end) {
+        Value local{};
+        for (Index i = chunk_begin; i < chunk_end; ++i) {
+          local += fn(i);
+        }
+        return local;
+      },
+      [](const Value a, const Value b) { return a + b; }, options);
+}
+
+/// Parallel counting sort of the indices [0, n) by `key(i)` in
+/// [0, num_buckets): fills `offsets` (size num_buckets + 1, offsets[0] = 0)
+/// with the bucket boundaries and calls `scatter(i, position)` for every i,
+/// where positions of bucket b are offsets[b]..offsets[b+1]) — the caller
+/// owns the output array(s). Order inside a bucket is nondeterministic at
+/// p > 1 (this is what contraction's bucket build already tolerated).
+template <std::unsigned_integral Index, std::unsigned_integral Offset, typename KeyFn,
+          typename ScatterFn>
+void counting_sort(const Index n, const std::size_t num_buckets, std::span<Offset> offsets,
+                   KeyFn &&key, ScatterFn &&scatter) {
+  TP_ASSERT(offsets.size() == num_buckets + 1);
+  for (Offset &offset : offsets) {
+    offset = 0;
+  }
+  if (n == 0) {
+    return;
+  }
+
+  // Pass 1: histogram (relaxed atomic increments; counts only).
+  for_each_dynamic<Index>(0, n, [&](const Index i) {
+    const std::size_t bucket = key(i);
+    TP_ASSERT(bucket < num_buckets);
+    std::atomic_ref<Offset>(offsets[bucket + 1]).fetch_add(1, std::memory_order_relaxed);
+  });
+
+  // Pass 2: boundaries.
+  prefix_sum_inclusive<Offset, Offset>(offsets, offsets);
+
+  // Pass 3: scatter through per-bucket cursors.
+  std::vector<Offset> cursor(offsets.begin(), offsets.end() - 1);
+  for_each_dynamic<Index>(0, n, [&](const Index i) {
+    const std::size_t bucket = key(i);
+    const Offset position =
+        std::atomic_ref<Offset>(cursor[bucket]).fetch_add(1, std::memory_order_relaxed);
+    scatter(i, position);
+  });
+}
+
+/// Batched parallel append into a shared output span — the generalized
+/// one-pass-contraction batcher: each thread stages up to `batch` items
+/// locally, then reserves exactly that many slots with one fetch-add and
+/// copies them as a contiguous run. The shared counter is touched once per
+/// batch instead of once per item, and at p = 1 the output order equals the
+/// append order (determinism of the sequential path is preserved).
+///
+/// Usage: push() from inside parallel loops, then finish() once (outside)
+/// to flush the tails; size() is the committed element count. The output
+/// span must have room for every append.
+template <typename T> class BatchedAppender {
+public:
+  explicit BatchedAppender(const std::span<T> out, const std::size_t batch = 1024)
+      : _out(out), _batch(std::max<std::size_t>(1, batch)),
+        _staging([this] {
+          std::vector<T> buffer;
+          buffer.reserve(_batch);
+          return buffer;
+        }) {}
+
+  BatchedAppender(const BatchedAppender &) = delete;
+  BatchedAppender &operator=(const BatchedAppender &) = delete;
+
+  void push(const T &value) {
+    std::vector<T> &buffer = _staging.local();
+    buffer.push_back(value);
+    if (buffer.size() >= _batch) {
+      flush(buffer);
+    }
+  }
+
+  /// Flushes every thread's tail (call once, outside the parallel loop).
+  void finish() {
+    _staging.for_each([this](std::vector<T> &buffer) { flush(buffer); });
+  }
+
+  [[nodiscard]] std::size_t size() const { return _size.load(std::memory_order_acquire); }
+
+  /// The committed prefix of the output span.
+  [[nodiscard]] std::span<T> committed() const { return _out.subspan(0, size()); }
+
+private:
+  void flush(std::vector<T> &buffer) {
+    if (buffer.empty()) {
+      return;
+    }
+    const std::size_t begin = _size.fetch_add(buffer.size(), std::memory_order_acq_rel);
+    TP_ASSERT_MSG(begin + buffer.size() <= _out.size(), "BatchedAppender output overflow");
+    std::copy(buffer.begin(), buffer.end(), _out.begin() + static_cast<std::ptrdiff_t>(begin));
+    buffer.clear();
+  }
+
+  std::span<T> _out;
+  std::size_t _batch;
+  std::atomic<std::size_t> _size{0};
+  ThreadLocal<std::vector<T>> _staging;
+};
+
+/// Ordered dynamic loop: indices are claimed *one at a time, in increasing
+/// order* from a shared counter. This exists for consumers whose commit
+/// protocol requires index order — the single-pass compressor's
+/// PacketCommitter spins until packet k-1 is committed before k, and LIFO
+/// work stealing would hand out late indices while early ones are still
+/// unclaimed, deadlocking at small p. Dynamic balancing is retained (a slow
+/// index delays only its successors' commits, not their compression).
+template <std::unsigned_integral Index, typename Fn>
+void for_each_index_fifo(const Index begin, const Index end, Fn &&fn) {
+  if (begin >= end) {
+    return;
+  }
+  const int p = num_threads();
+  if (p == 1 || ThreadPool::in_parallel_region()) {
+    for (Index i = begin; i < end; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<std::uint64_t> next{begin};
+  ThreadPool::global().run_on_all([&](int) {
+    while (true) {
+      const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) {
+        break;
+      }
+      fn(static_cast<Index>(i));
+    }
+  });
+}
+
+/// The per-vertex edge-mass prefix of a graph, as consumed by
+/// `for_dynamic_weighted`: CSR edge offsets for CsrGraph, byte offsets for
+/// CompressedGraph (decoded bytes are proportional to edges — close enough
+/// for load balancing). Zero-copy in both cases.
+template <typename Graph>
+[[nodiscard]] std::span<const std::uint64_t> edge_mass_prefix(const Graph &graph) {
+  if constexpr (Graph::is_compressed()) {
+    return graph.raw_node_offsets();
+  } else {
+    return graph.raw_nodes();
+  }
+}
+
+} // namespace terapart::par

@@ -1,0 +1,324 @@
+#include "parallel/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/math.h"
+#include "common/metrics_registry.h"
+#include "common/scoped_phase.h"
+#include "parallel/work_stealing_deque.h"
+
+namespace terapart::par {
+
+namespace {
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+/// xorshift64* — cheap per-worker victim selection; quality is irrelevant,
+/// independence between workers is what matters.
+inline std::uint64_t next_random(std::uint64_t &state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1DULL;
+}
+
+/// Per-worker scheduling state. The counters are owner-written during a loop
+/// and read by the dispatching thread after the run_on_all barrier, which
+/// orders the accesses — no atomics needed on the hot path.
+struct alignas(64) WorkerSlot {
+  WorkStealingDeque deque;
+  std::uint64_t processed = 0; ///< weight units executed this loop
+  std::uint64_t tasks = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t rng = 0;
+};
+
+/// Deques and counters live across loops (sized to the pool on demand) so a
+/// dispatch costs no allocation. Only the dispatching thread grows it, and
+/// only outside parallel regions.
+struct Arena {
+  std::vector<std::unique_ptr<WorkerSlot>> slots;
+
+  void ensure(const int p) {
+    while (static_cast<int>(slots.size()) < p) {
+      auto slot = std::make_unique<WorkerSlot>();
+      slot->rng = 0x9E3779B97F4A7C15ULL * (slots.size() + 1);
+      slots.push_back(std::move(slot));
+    }
+  }
+};
+
+Arena &arena() {
+  static Arena instance;
+  return instance;
+}
+
+std::atomic<std::uint64_t> g_loops{0};
+std::atomic<std::uint64_t> g_tasks{0};
+std::atomic<std::uint64_t> g_splits{0};
+std::atomic<std::uint64_t> g_steals{0};
+std::atomic<std::uint64_t> g_steal_attempts{0};
+
+/// Shared per-loop state (lives on the dispatcher's stack for the duration
+/// of the run_on_all).
+struct LoopContext {
+  detail::LoopBody body;
+  std::span<const std::uint64_t> prefix; ///< empty = unit weights
+  std::uint64_t grain = 1;
+  int p = 1;
+  /// Unexecuted weight; the termination signal for thieves. Zero-weight
+  /// ranges are invisible here, but they can only be drained by their
+  /// owner's LIFO pops, which happen before the owner ever consults this.
+  std::atomic<std::uint64_t> remaining{0};
+};
+
+inline std::uint64_t weight_of(const LoopContext &ctx, const Range range) {
+  return ctx.prefix.empty() ? range.size() : ctx.prefix[range.end] - ctx.prefix[range.begin];
+}
+
+/// Split index that balances the two halves by weight (midpoint for unit
+/// weights); always strictly inside the range.
+inline std::uint64_t split_point(const LoopContext &ctx, const Range range) {
+  if (ctx.prefix.empty()) {
+    return range.begin + range.size() / 2;
+  }
+  const std::uint64_t low = ctx.prefix[range.begin];
+  const std::uint64_t high = ctx.prefix[range.end];
+  const std::uint64_t target = low + (high - low) / 2;
+  const auto first = ctx.prefix.begin() + static_cast<std::ptrdiff_t>(range.begin) + 1;
+  const auto last = ctx.prefix.begin() + static_cast<std::ptrdiff_t>(range.end);
+  const auto mid = static_cast<std::uint64_t>(
+      std::upper_bound(first, last, target) - ctx.prefix.begin());
+  return std::clamp<std::uint64_t>(mid, range.begin + 1, range.end - 1);
+}
+
+/// Lazy binary splitting: halve the range (pushing the upper part for
+/// thieves) while it exceeds the grain, then execute the remaining leaf.
+/// When the deque is full the range simply runs unsplit — correct, just
+/// temporarily less steal-able.
+void process_range(LoopContext &ctx, WorkerSlot &slot, Range range) {
+  while (range.size() > 1 && weight_of(ctx, range) > ctx.grain) {
+    const std::uint64_t mid = split_point(ctx, range);
+    if (!slot.deque.push_bottom(Range{mid, range.end})) {
+      break;
+    }
+    ++slot.splits;
+    range.end = mid;
+  }
+  ctx.body.invoke(ctx.body.context, range.begin, range.end);
+  ++slot.tasks;
+  const std::uint64_t weight = weight_of(ctx, range);
+  slot.processed += weight;
+  if (weight != 0) {
+    ctx.remaining.fetch_sub(weight, std::memory_order_acq_rel);
+  }
+}
+
+void backoff_wait(const int level) {
+  if (level < 4) {
+    const int spins = 16 << level;
+    for (int i = 0; i < spins; ++i) {
+      cpu_pause();
+    }
+  } else if (level < 16) {
+    std::this_thread::yield();
+  } else {
+    // Deep backoff: the remaining work is a few long leaves — park briefly
+    // instead of burning the core (the pool's own sleep path takes over
+    // after the loop's barrier).
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+/// Randomized stealing with exponential backoff. Returns false only when
+/// all weighted work is done (the loop-wide termination condition).
+bool steal_range(LoopContext &ctx, WorkerSlot &slot, const int self, Range &out) {
+  int empty_probes = 0;
+  int backoff_level = 0;
+  while (ctx.remaining.load(std::memory_order_acquire) != 0) {
+    const auto victim =
+        static_cast<int>(next_random(slot.rng) % static_cast<std::uint64_t>(ctx.p));
+    if (victim == self) {
+      continue;
+    }
+    ++slot.steal_attempts;
+    switch (arena().slots[static_cast<std::size_t>(victim)]->deque.steal_top(out)) {
+    case WorkStealingDeque::Steal::kSuccess:
+      return true;
+    case WorkStealingDeque::Steal::kLost:
+      continue; // somebody else raced us there — the deque is live, retry now
+    case WorkStealingDeque::Steal::kEmpty:
+      break;
+    }
+    if (++empty_probes >= ctx.p) {
+      empty_probes = 0;
+      backoff_wait(backoff_level++);
+    }
+  }
+  return false;
+}
+
+void worker_main(LoopContext &ctx, const int t) {
+  WorkerSlot &slot = *arena().slots[static_cast<std::size_t>(t)];
+  Range range;
+  while (true) {
+    while (slot.deque.pop_bottom(range)) {
+      process_range(ctx, slot, range);
+    }
+    if (!steal_range(ctx, slot, t, range)) {
+      return;
+    }
+    ++slot.steals;
+    process_range(ctx, slot, range);
+  }
+}
+
+} // namespace
+
+namespace detail {
+
+void run_dynamic(const std::uint64_t begin, const std::uint64_t end,
+                 const DynamicOptions &options, const LoopBody body) {
+  if (begin >= end) {
+    return;
+  }
+  const bool weighted = !options.weight_prefix.empty();
+  TP_ASSERT_MSG(!weighted || options.weight_prefix.size() >= end + 1,
+                "weight_prefix must cover [begin, end]");
+  const std::span<const std::uint64_t> prefix = options.weight_prefix;
+
+  const int p = num_threads();
+  const std::uint64_t total = weighted ? prefix[end] - prefix[begin] : end - begin;
+  const std::uint64_t grain =
+      options.grain != 0
+          ? options.grain
+          : std::max<std::uint64_t>(1, total / (64 * static_cast<std::uint64_t>(p)));
+
+  if (p == 1 || ThreadPool::in_parallel_region() || end - begin == 1 || total <= grain) {
+    body.invoke(body.context, begin, end);
+    return;
+  }
+
+  Arena &state = arena();
+  state.ensure(p);
+
+  LoopContext ctx;
+  ctx.body = body;
+  ctx.prefix = prefix;
+  ctx.grain = grain;
+  ctx.p = p;
+  ctx.remaining.store(total, std::memory_order_relaxed);
+
+  // Seed one contiguous slice per worker — equal weight (quantiles of the
+  // prefix) when weighted, equal size otherwise. The deques are quiescent
+  // between loops, so the dispatcher may push on the workers' behalf; the
+  // run_on_all handoff orders these writes before any worker access.
+  std::uint64_t slice_begin = begin;
+  for (int t = 0; t < p; ++t) {
+    WorkerSlot &slot = *state.slots[static_cast<std::size_t>(t)];
+    slot.deque.reset();
+    slot.processed = 0;
+    slot.tasks = 0;
+    slot.splits = 0;
+    slot.steals = 0;
+    slot.steal_attempts = 0;
+
+    std::uint64_t slice_end;
+    if (t + 1 == p) {
+      slice_end = end;
+    } else if (weighted) {
+      const auto share = static_cast<std::uint64_t>(
+          static_cast<unsigned __int128>(total) * (t + 1) / p);
+      const std::uint64_t target = prefix[begin] + share;
+      const auto first = prefix.begin() + static_cast<std::ptrdiff_t>(slice_begin);
+      const auto last = prefix.begin() + static_cast<std::ptrdiff_t>(end);
+      slice_end =
+          static_cast<std::uint64_t>(std::lower_bound(first, last, target) - prefix.begin());
+    } else {
+      const auto [rel_begin, rel_end] = math::chunk_bounds<std::uint64_t>(
+          end - begin, static_cast<std::uint64_t>(p), static_cast<std::uint64_t>(t));
+      (void)rel_begin;
+      slice_end = begin + rel_end;
+    }
+    slice_end = std::clamp(slice_end, slice_begin, end);
+    if (slice_begin < slice_end) {
+      slot.deque.push_bottom(Range{slice_begin, slice_end});
+    }
+    slice_begin = slice_end;
+  }
+
+  ThreadPool::global().run_on_all([&ctx](const int t) { worker_main(ctx, t); });
+
+  // Epilogue (dispatcher thread, which holds any ActivePhaseScope binding):
+  // aggregate the per-worker counters into the phase tree and the registry.
+  std::uint64_t tasks = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t max_processed = 0;
+  for (int t = 0; t < p; ++t) {
+    const WorkerSlot &slot = *state.slots[static_cast<std::size_t>(t)];
+    tasks += slot.tasks;
+    splits += slot.splits;
+    steals += slot.steals;
+    steal_attempts += slot.steal_attempts;
+    max_processed = std::max(max_processed, slot.processed);
+  }
+  TP_ASSERT_MSG(ctx.remaining.load(std::memory_order_relaxed) == 0,
+                "work-stealing loop lost iterations");
+
+  g_loops.fetch_add(1, std::memory_order_relaxed);
+  g_tasks.fetch_add(tasks, std::memory_order_relaxed);
+  g_splits.fetch_add(splits, std::memory_order_relaxed);
+  g_steals.fetch_add(steals, std::memory_order_relaxed);
+  g_steal_attempts.fetch_add(steal_attempts, std::memory_order_relaxed);
+
+  // Imbalance: largest per-worker weight share relative to a perfect split,
+  // in permille (1000 = perfectly balanced, p*1000 = one worker did it all).
+  const std::uint64_t imbalance_permille =
+      total == 0 ? 1000
+                 : static_cast<std::uint64_t>(static_cast<unsigned __int128>(max_processed) *
+                                              1000 * static_cast<unsigned>(p) / total);
+  phase_add_counter("scheduler/tasks", tasks);
+  phase_add_counter("scheduler/steals", steals);
+  phase_max_counter("scheduler/max_worker_imbalance", imbalance_permille);
+
+  MetricsRegistry &registry = MetricsRegistry::global();
+  registry.add_counter("scheduler.loops");
+  registry.add_counter("scheduler.tasks", tasks);
+  registry.add_counter("scheduler.splits", splits);
+  registry.add_counter("scheduler.steals", steals);
+  registry.add_counter("scheduler.steal_attempts", steal_attempts);
+}
+
+} // namespace detail
+
+SchedulerStats scheduler_stats() {
+  return {g_loops.load(std::memory_order_relaxed), g_tasks.load(std::memory_order_relaxed),
+          g_splits.load(std::memory_order_relaxed), g_steals.load(std::memory_order_relaxed),
+          g_steal_attempts.load(std::memory_order_relaxed)};
+}
+
+void reset_scheduler_stats() {
+  g_loops.store(0, std::memory_order_relaxed);
+  g_tasks.store(0, std::memory_order_relaxed);
+  g_splits.store(0, std::memory_order_relaxed);
+  g_steals.store(0, std::memory_order_relaxed);
+  g_steal_attempts.store(0, std::memory_order_relaxed);
+}
+
+} // namespace terapart::par

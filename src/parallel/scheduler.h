@@ -1,0 +1,132 @@
+/// @file scheduler.h
+/// @brief Work-stealing loop scheduler: `par::for_dynamic` and friends.
+///
+/// Replaces shared-counter chunking (`parallel_for_chunked`, kept as the
+/// static baseline) for the skew-sensitive hot loops. Each of the pool's p
+/// threads owns a Chase–Lev deque (work_stealing_deque.h); a loop is seeded
+/// as p contiguous slices, and every worker *lazily binary-splits* its
+/// current range — pushing the upper half, keeping the lower — until the
+/// piece is at most one grain. Idle workers steal the oldest (largest)
+/// range from a uniformly random victim, backing off exponentially
+/// (pause → yield → sleep, mirroring the pool's spin-then-sleep dispatch)
+/// when every probe comes back empty.
+///
+/// Why this beats fixed-grain chunking on TeraPart's graphs: with a shared
+/// counter the grain must be chosen before the loop runs, and on power-law
+/// degree distributions any fixed grain is wrong somewhere — too coarse and
+/// the thread that drew the hub vertices finishes last, too fine and the
+/// counter becomes a contended hot spot. Lazy splitting adapts: ranges split
+/// only while somebody is hungry, so the steady state is p coarse private
+/// ranges with near-zero synchronization, degrading gracefully to
+/// fine-grained redistribution exactly where the cost surface is uneven.
+///
+/// Degree-weighted splitting: passing a monotone weight prefix array (e.g.
+/// CSR offsets — see `edge_mass_prefix` in primitives.h) makes seeding,
+/// splitting and the grain operate on *weight units* (edge mass) instead of
+/// iteration counts, so `for_each_neighborhood_block`-style sweeps split by
+/// edges even before any steal happens.
+///
+/// Telemetry: every dispatched loop adds `scheduler/{tasks,steals,
+/// max_worker_imbalance}` to the innermost open phase of the calling
+/// thread's bound PhaseTree (scoped_phase.h) and to the global
+/// MetricsRegistry (`scheduler.*`), making load balance observable per
+/// phase in every RunReport.
+///
+/// Nesting: a `for_dynamic` issued from inside any parallel region runs
+/// sequentially inline on the calling thread (matching run_on_all's
+/// nested-parallelism-off contract).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+#include "parallel/thread_pool.h"
+
+namespace terapart::par {
+
+/// Lifetime counters of the scheduler (all loops since start/reset).
+struct SchedulerStats {
+  std::uint64_t loops = 0;          ///< loops dispatched to the pool (not inlined)
+  std::uint64_t tasks = 0;          ///< leaf ranges executed
+  std::uint64_t splits = 0;         ///< ranges halved by owners
+  std::uint64_t steals = 0;         ///< successful steals
+  std::uint64_t steal_attempts = 0; ///< probes incl. empty/lost ones
+};
+
+[[nodiscard]] SchedulerStats scheduler_stats();
+void reset_scheduler_stats();
+
+/// Tuning knobs of one dynamic loop.
+struct DynamicOptions {
+  /// Minimum weight per executed leaf (iterations, or weight units when
+  /// `weight_prefix` is given). 0 = auto: total/(64·p), i.e. up to ~64
+  /// leaves per thread — fine enough to balance, coarse enough that leaf
+  /// dispatch is noise.
+  std::uint64_t grain = 0;
+  /// Optional monotone prefix array with at least `end + 1` entries;
+  /// `weight_prefix[i+1] - weight_prefix[i]` is the cost of iteration i.
+  /// Pass CSR node offsets (or compressed byte offsets) to split vertex
+  /// ranges by edge mass.
+  std::span<const std::uint64_t> weight_prefix{};
+};
+
+namespace detail {
+
+/// Type-erased loop body: one non-template scheduling core in scheduler.cc
+/// serves every instantiation.
+struct LoopBody {
+  void *context;
+  void (*invoke)(void *context, std::uint64_t begin, std::uint64_t end);
+};
+
+void run_dynamic(std::uint64_t begin, std::uint64_t end, const DynamicOptions &options,
+                 LoopBody body);
+
+} // namespace detail
+
+/// Work-stealing loop over [begin, end): `fn(chunk_begin, chunk_end)` with
+/// disjoint chunks covering the range exactly once. Chunk boundaries are
+/// nondeterministic under stealing — bodies must not depend on them (the
+/// same contract as parallel_for_chunked).
+template <std::unsigned_integral Index, typename Fn>
+void for_dynamic(const Index begin, const Index end, const DynamicOptions &options, Fn &&fn) {
+  if (begin >= end) {
+    return;
+  }
+  detail::LoopBody body{
+      std::addressof(fn), [](void *context, const std::uint64_t chunk_begin,
+                             const std::uint64_t chunk_end) {
+        (*static_cast<std::remove_reference_t<Fn> *>(context))(
+            static_cast<Index>(chunk_begin), static_cast<Index>(chunk_end));
+      }};
+  detail::run_dynamic(begin, end, options, body);
+}
+
+template <std::unsigned_integral Index, typename Fn>
+void for_dynamic(const Index begin, const Index end, Fn &&fn) {
+  for_dynamic(begin, end, DynamicOptions{}, std::forward<Fn>(fn));
+}
+
+/// Per-element convenience wrapper: `fn(i)` for i in [begin, end).
+template <std::unsigned_integral Index, typename Fn>
+void for_each_dynamic(const Index begin, const Index end, Fn &&fn) {
+  for_dynamic(begin, end, [&](const Index chunk_begin, const Index chunk_end) {
+    for (Index i = chunk_begin; i < chunk_end; ++i) {
+      fn(i);
+    }
+  });
+}
+
+/// Degree-weighted variant: chunks carry roughly equal weight according to
+/// the prefix array (see DynamicOptions::weight_prefix).
+template <std::unsigned_integral Index, typename Fn>
+void for_dynamic_weighted(const Index begin, const Index end,
+                          const std::span<const std::uint64_t> weight_prefix, Fn &&fn) {
+  DynamicOptions options;
+  options.weight_prefix = weight_prefix;
+  for_dynamic(begin, end, options, std::forward<Fn>(fn));
+}
+
+} // namespace terapart::par

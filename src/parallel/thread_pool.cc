@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.h"
 
 #include "common/assert.h"
+#include "parallel/numa.h"
 
 namespace terapart::par {
 
@@ -66,6 +67,10 @@ void ThreadPool::resize(const int num_threads) {
 
 void ThreadPool::worker_loop(const int id) {
   t_thread_id = id;
+  // Bind the worker to its NUMA node's CPU set (no-op on single-node
+  // machines and in restricted containers; see numa.h). The caller thread
+  // (id 0) is deliberately left unpinned — it belongs to the application.
+  numa::pin_worker_thread(id, _num_threads);
   // Generation 0 is the freshly-(re)started pool state; see stop_workers().
   std::uint64_t seen_generation = 0;
   while (true) {
@@ -166,6 +171,8 @@ void ThreadPool::run_on_all(const std::function<void(int)> &job) {
 }
 
 int ThreadPool::this_thread_id() { return t_thread_id; }
+
+bool ThreadPool::in_parallel_region() { return t_in_parallel; }
 
 ThreadPoolStats ThreadPool::stats() const {
   return {_stat_dispatches.load(std::memory_order_relaxed),

@@ -58,6 +58,12 @@ public:
   /// Id of the calling thread inside a parallel region ([0, p)); 0 outside.
   [[nodiscard]] static int this_thread_id();
 
+  /// Whether the calling thread is currently executing inside a run_on_all
+  /// job. Used by the work-stealing scheduler (and other dispatchers) to
+  /// degrade nested parallel loops to sequential execution instead of
+  /// touching shared dispatch state.
+  [[nodiscard]] static bool in_parallel_region();
+
   /// Snapshot of the lifetime counters (relaxed reads; exact once quiescent).
   [[nodiscard]] ThreadPoolStats stats() const;
   void reset_stats();

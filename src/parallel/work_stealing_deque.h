@@ -1,0 +1,135 @@
+/// @file work_stealing_deque.h
+/// @brief Bounded Chase–Lev work-stealing deque of iteration ranges.
+///
+/// One deque per worker: the owner pushes/pops split-off loop ranges at the
+/// bottom (LIFO, cache-hot), idle workers steal from the top (FIFO, the
+/// largest remaining pieces). The memory orderings follow Lê/Pop/Cohen/
+/// Nardelli, "Correct and Efficient Work-Stealing for Weak Memory Models"
+/// (PPoPP'13); capacity is fixed because lazy binary splitting bounds the
+/// outstanding ranges per owner to the seed slice plus one entry per split
+/// level, i.e. O(log n) — when the deque is ever full the owner simply runs
+/// its range unsplit instead of growing the buffer.
+///
+/// Slots hold [begin, end) packed into one 16-byte atomic (same
+/// `unsigned __int128` technique as the contraction DualCounter, see
+/// dual_counter.h); `-mcx16` turns the accesses into cmpxchg16b-backed
+/// loads/stores, and a thief that reads a slot concurrently with an owner
+/// overwrite discards the value when its top-CAS fails, so no torn or stale
+/// range is ever executed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/assert.h"
+
+namespace terapart::par {
+
+/// Half-open iteration range [begin, end); the unit of scheduling.
+struct Range {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] std::uint64_t size() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return begin >= end; }
+};
+
+class WorkStealingDeque {
+public:
+  /// Binary splitting of a 2^64 range needs at most 64 live entries; 128
+  /// leaves slack for the seed slice and keeps the buffer at 2 KiB.
+  static constexpr std::size_t kCapacity = 128;
+
+  WorkStealingDeque() = default;
+  WorkStealingDeque(const WorkStealingDeque &) = delete;
+  WorkStealingDeque &operator=(const WorkStealingDeque &) = delete;
+
+  /// Owner only. Returns false when the deque is full (caller keeps the
+  /// range and processes it unsplit).
+  bool push_bottom(const Range range) {
+    const std::int64_t bottom = _bottom.load(std::memory_order_relaxed);
+    const std::int64_t top = _top.load(std::memory_order_acquire);
+    if (bottom - top >= static_cast<std::int64_t>(kCapacity)) {
+      return false;
+    }
+    slot(bottom).store(pack(range), std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    _bottom.store(bottom + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Owner only. Returns false when the deque is empty (or the last entry
+  /// was lost to a concurrent thief).
+  bool pop_bottom(Range &out) {
+    const std::int64_t bottom = _bottom.load(std::memory_order_relaxed) - 1;
+    _bottom.store(bottom, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t top = _top.load(std::memory_order_relaxed);
+
+    if (top > bottom) {
+      // Already empty; restore the canonical empty state.
+      _bottom.store(bottom + 1, std::memory_order_relaxed);
+      return false;
+    }
+
+    const Packed packed = slot(bottom).load(std::memory_order_relaxed);
+    if (top == bottom) {
+      // Last entry: race against thieves via the top counter.
+      const bool won = _top.compare_exchange_strong(
+          top, top + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      _bottom.store(bottom + 1, std::memory_order_relaxed);
+      if (!won) {
+        return false;
+      }
+    }
+    out = unpack(packed);
+    return true;
+  }
+
+  enum class Steal { kSuccess, kEmpty, kLost };
+
+  /// Thief side: takes the oldest (largest) range. `kLost` means another
+  /// thief (or the owner draining the last entry) won the race — worth an
+  /// immediate retry, unlike `kEmpty`.
+  Steal steal_top(Range &out) {
+    std::int64_t top = _top.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t bottom = _bottom.load(std::memory_order_acquire);
+    if (top >= bottom) {
+      return Steal::kEmpty;
+    }
+    const Packed packed = slot(top).load(std::memory_order_relaxed);
+    if (!_top.compare_exchange_strong(top, top + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return Steal::kLost;
+    }
+    out = unpack(packed);
+    return Steal::kSuccess;
+  }
+
+  /// Quiescent-state only (between loops): drop everything.
+  void reset() {
+    _top.store(0, std::memory_order_relaxed);
+    _bottom.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  using Packed = unsigned __int128;
+
+  static Packed pack(const Range range) {
+    return (static_cast<Packed>(range.begin) << 64) | range.end;
+  }
+  static Range unpack(const Packed packed) {
+    return Range{static_cast<std::uint64_t>(packed >> 64), static_cast<std::uint64_t>(packed)};
+  }
+
+  std::atomic<Packed> &slot(const std::int64_t index) {
+    return _slots[static_cast<std::size_t>(index) & (kCapacity - 1)];
+  }
+
+  alignas(64) std::atomic<std::int64_t> _top{0};
+  alignas(64) std::atomic<std::int64_t> _bottom{0};
+  alignas(64) std::atomic<Packed> _slots[kCapacity];
+};
+
+} // namespace terapart::par

@@ -16,6 +16,7 @@
 
 #include "coarsening/coarsener.h"
 #include "initial/initial_partitioner.h"
+#include "partition/progress.h"
 #include "refinement/fm_refiner.h"
 #include "refinement/lp_refiner.h"
 
@@ -36,6 +37,17 @@ struct Context {
   /// Optional FM refinement stage (Section VI-B).
   bool use_fm = false;
   FmConfig fm;
+
+  /// Worker threads for this run; 0 = keep the global pool as it is. Applied
+  /// by the `Partitioner` facade (the raw `partition_graph` driver never
+  /// touches the pool).
+  int threads = 0;
+
+  /// Optional heartbeat, invoked at level boundaries (see progress.h).
+  ProgressCallback progress;
+  /// Optional cooperative cancellation; checked at level boundaries. A
+  /// default-constructed token never fires.
+  CancellationToken cancel;
 };
 
 /// Baseline KaMinPar: classic label propagation (per-thread O(n) rating

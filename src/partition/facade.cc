@@ -1,0 +1,118 @@
+#include "partition/facade.h"
+
+#include <cmath>
+#include <thread>
+
+#include "parallel/thread_pool.h"
+
+namespace terapart {
+
+namespace {
+
+Context preset_context(const Preset preset) {
+  switch (preset) {
+  case Preset::kKaMinPar:
+    return kaminpar_context(2);
+  case Preset::kTeraPart:
+    return terapart_context(2);
+  case Preset::kTeraPartFm:
+    return terapart_fm_context(2);
+  }
+  return terapart_context(2);
+}
+
+} // namespace
+
+ContextBuilder::ContextBuilder(const Preset preset) : _ctx(preset_context(preset)) {}
+
+ContextBuilder &ContextBuilder::k(const BlockID k) {
+  _ctx.k = k;
+  return *this;
+}
+
+ContextBuilder &ContextBuilder::epsilon(const double epsilon) {
+  _ctx.epsilon = epsilon;
+  _ctx.coarsening.epsilon = epsilon;
+  return *this;
+}
+
+ContextBuilder &ContextBuilder::seed(const std::uint64_t seed) {
+  _ctx.seed = seed;
+  return *this;
+}
+
+ContextBuilder &ContextBuilder::threads(const int threads) {
+  _ctx.threads = threads;
+  return *this;
+}
+
+ContextBuilder &ContextBuilder::bump_threshold(const NodeID threshold) {
+  _ctx.coarsening.lp.bump_threshold = threshold;
+  _ctx.coarsening.contraction.bump_threshold = threshold;
+  return *this;
+}
+
+ContextBuilder &ContextBuilder::use_fm(const bool enabled) {
+  _ctx.use_fm = enabled;
+  return *this;
+}
+
+ContextBuilder &ContextBuilder::progress(ProgressCallback callback) {
+  _ctx.progress = std::move(callback);
+  return *this;
+}
+
+ContextBuilder &ContextBuilder::cancel(CancellationToken token) {
+  _ctx.cancel = std::move(token);
+  return *this;
+}
+
+Result<Context, ConfigError> ContextBuilder::build() const {
+  if (_ctx.k < 2) {
+    return ConfigError{"k", "got " + std::to_string(_ctx.k) +
+                                "; a partition needs at least 2 blocks (use k >= 2)"};
+  }
+  if (!std::isfinite(_ctx.epsilon) || _ctx.epsilon < 0.0) {
+    return ConfigError{"epsilon", "got " + std::to_string(_ctx.epsilon) +
+                                      "; the balance slack must be a finite value >= 0 "
+                                      "(0.03 is the common default)"};
+  }
+  if (_ctx.coarsening.lp.bump_threshold == 0 ||
+      _ctx.coarsening.contraction.bump_threshold == 0) {
+    return ConfigError{"bump_threshold",
+                       "got 0; the high-degree bump threshold must be > 0 "
+                       "(vertices with more neighbors than this take the "
+                       "second-phase path)"};
+  }
+  if (_ctx.threads < 0) {
+    return ConfigError{"threads", "got " + std::to_string(_ctx.threads) +
+                                      "; use a positive worker count, or 0 to keep "
+                                      "the current global pool"};
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw != 0 && _ctx.threads > static_cast<int>(8 * hw)) {
+    return ConfigError{"threads",
+                       "got " + std::to_string(_ctx.threads) + " on a machine with " +
+                           std::to_string(hw) +
+                           " hardware threads; oversubscribing by more than 8x only "
+                           "adds scheduling noise"};
+  }
+  return _ctx;
+}
+
+Partitioner::Partitioner(Context ctx) : _ctx(std::move(ctx)) {}
+
+template <typename Graph> PartitionResult Partitioner::run(const Graph &graph) const {
+  if (_ctx.threads > 0 && _ctx.threads != par::num_threads()) {
+    par::set_num_threads(_ctx.threads);
+  }
+  return partition_graph(graph, _ctx);
+}
+
+PartitionResult Partitioner::partition(const CsrGraph &graph) const { return run(graph); }
+
+PartitionResult Partitioner::partition(const CompressedGraph &graph) const {
+  return run(graph);
+}
+
+} // namespace terapart

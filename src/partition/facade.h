@@ -1,0 +1,98 @@
+/// @file facade.h
+/// @brief The stable public API: `ContextBuilder` (validated configuration)
+/// and `Partitioner` (the run handle).
+///
+/// Typical use:
+/// @code
+///   auto ctx = terapart::ContextBuilder(terapart::Preset::kTeraPart)
+///                  .k(32)
+///                  .epsilon(0.03)
+///                  .threads(8)
+///                  .build();
+///   if (!ctx.ok()) {
+///     std::cerr << ctx.error().to_string() << "\n";
+///     return 1;
+///   }
+///   terapart::Partitioner partitioner(std::move(ctx).value());
+///   terapart::PartitionResult result = partitioner.partition(graph);
+/// @endcode
+///
+/// Invalid configurations are rejected *eagerly* at build() with messages
+/// that name the offending field and the accepted range — not deep inside a
+/// run as an assertion. The older free function `partition_graph(graph, ctx)`
+/// remains as a thin shim over the same driver and produces bit-identical
+/// partitions for the same context and seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "partition/context.h"
+#include "partition/partitioner.h"
+
+namespace terapart {
+
+/// Named configuration baseline; see context.h for what each toggles.
+enum class Preset : std::uint8_t {
+  kKaMinPar, ///< classic LP + buffered contraction
+  kTeraPart, ///< two-phase LP + one-pass contraction (the paper's default)
+  kTeraPartFm, ///< TeraPart + parallel k-way FM (sparse gain table)
+};
+
+/// Why a configuration was rejected.
+struct ConfigError {
+  std::string field;   ///< offending builder field, e.g. "k"
+  std::string message; ///< actionable description incl. the accepted range
+
+  [[nodiscard]] std::string to_string() const {
+    return "invalid configuration: " + field + ": " + message;
+  }
+};
+
+/// Fluent, validated construction of a Context. Setters never abort;
+/// `build()` checks every constraint and returns either the finished
+/// Context or the first violation.
+class ContextBuilder {
+public:
+  explicit ContextBuilder(Preset preset = Preset::kTeraPart);
+
+  ContextBuilder &k(BlockID k);
+  ContextBuilder &epsilon(double epsilon);
+  ContextBuilder &seed(std::uint64_t seed);
+  /// Worker threads for runs with this context; 0 = keep the global pool.
+  ContextBuilder &threads(int threads);
+  /// Degree threshold for the two-phase LP / contraction bump mechanism.
+  ContextBuilder &bump_threshold(NodeID threshold);
+  /// Force the FM stage on or off (presets choose a default).
+  ContextBuilder &use_fm(bool enabled);
+  ContextBuilder &progress(ProgressCallback callback);
+  ContextBuilder &cancel(CancellationToken token);
+
+  /// Validates and returns the Context, or the first ConfigError. The
+  /// builder can be reused after build().
+  [[nodiscard]] Result<Context, ConfigError> build() const;
+
+private:
+  Context _ctx;
+};
+
+/// A validated, reusable partitioning run handle. Holds the Context by
+/// value; partition() may be called any number of times (each run re-seeds
+/// from ctx.seed, so repeated runs on the same graph are identical).
+class Partitioner {
+public:
+  explicit Partitioner(Context ctx);
+
+  [[nodiscard]] PartitionResult partition(const CsrGraph &graph) const;
+  [[nodiscard]] PartitionResult partition(const CompressedGraph &graph) const;
+
+  [[nodiscard]] const Context &context() const { return _ctx; }
+
+private:
+  template <typename Graph> [[nodiscard]] PartitionResult run(const Graph &graph) const;
+
+  Context _ctx;
+};
+
+} // namespace terapart

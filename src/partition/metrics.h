@@ -3,42 +3,47 @@
 /// maximum block weight L_max = (1 + eps) * ceil(W / k).
 #pragma once
 
-#include <atomic>
 #include <span>
 
 #include "common/types.h"
 #include "graph/csr_graph.h"
-#include "parallel/parallel_for.h"
+#include "parallel/primitives.h"
 
 namespace terapart::metrics {
 
 /// Sum of weights of edges crossing blocks (each undirected edge counted
-/// once).
+/// once). The vertex range is split by *edge mass* (degree-weighted
+/// work-stealing chunks), so hub vertices of power-law graphs no longer
+/// serialize the sweep on one unlucky thread.
 template <typename Graph>
 [[nodiscard]] EdgeWeight edge_cut(const Graph &graph, std::span<const BlockID> partition) {
   TP_ASSERT(partition.size() == graph.n());
-  std::atomic<EdgeWeight> doubled{0};
-  par::parallel_for<NodeID>(0, graph.n(), [&](const NodeID chunk_begin, const NodeID chunk_end) {
-    EdgeWeight local = 0;
-    graph.for_each_neighborhood_block(
-        chunk_begin, chunk_end,
-        [&](const NodeID u, const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
-          const BlockID bu = partition[u];
-          if (ws == nullptr) {
-            for (std::size_t i = 0; i < count; ++i) {
-              local += static_cast<EdgeWeight>(partition[ids[i]] != bu);
-            }
-          } else {
-            for (std::size_t i = 0; i < count; ++i) {
-              if (partition[ids[i]] != bu) {
-                local += ws[i];
+  par::DynamicOptions options;
+  options.weight_prefix = par::edge_mass_prefix(graph);
+  const EdgeWeight doubled = par::reduce_chunked<NodeID, EdgeWeight>(
+      0, graph.n(), 0,
+      [&](const NodeID chunk_begin, const NodeID chunk_end) {
+        EdgeWeight local = 0;
+        graph.for_each_neighborhood_block(
+            chunk_begin, chunk_end,
+            [&](const NodeID u, const NodeID *ids, const EdgeWeight *ws, const std::size_t count) {
+              const BlockID bu = partition[u];
+              if (ws == nullptr) {
+                for (std::size_t i = 0; i < count; ++i) {
+                  local += static_cast<EdgeWeight>(partition[ids[i]] != bu);
+                }
+              } else {
+                for (std::size_t i = 0; i < count; ++i) {
+                  if (partition[ids[i]] != bu) {
+                    local += ws[i];
+                  }
+                }
               }
-            }
-          }
-        });
-    doubled.fetch_add(local, std::memory_order_relaxed);
-  });
-  return doubled.load(std::memory_order_relaxed) / 2;
+            });
+        return local;
+      },
+      [](const EdgeWeight a, const EdgeWeight b) { return a + b; }, options);
+  return doubled / 2;
 }
 
 /// L_max as defined by the balance constraint.

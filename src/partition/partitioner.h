@@ -27,13 +27,17 @@ struct PartitionResult {
   EdgeWeight cut = 0;             ///< achieved edge cut
   double imbalance = 0.0;         ///< max block weight / perfect weight - 1
   bool balanced = false;          ///< imbalance within epsilon
+  /// True when the run was stopped via Context::cancel: `partition` is the
+  /// current coarse partition projected to the input graph, with the
+  /// remaining refinement skipped (valid, but of reduced quality).
+  bool cancelled = false;
   int num_levels = 0;             ///< hierarchy depth used
   PhaseTimer timers;              ///< coarsening / initial / refinement
   /// Hierarchical telemetry: per-phase wall time and memory high-water
   /// deltas down to individual coarsening levels and refinement rounds
   /// (coarsening/level_i/{lp_clustering/round_r, contraction}, refinement/
   /// level_i/{lp_refinement/round_r, fm_refinement, rebalance}). Serialized
-  /// into RunReport JSON; see DESIGN.md §7.
+  /// into RunReport JSON; see DESIGN.md §9.
   PhaseTree phases;
   /// Input graph followed by every coarse level, coarsest last.
   std::vector<LevelStats> levels;
@@ -41,6 +45,12 @@ struct PartitionResult {
 
 /// Partitions `graph` into ctx.k blocks. Works on CsrGraph and
 /// CompressedGraph inputs; all coarse levels are CSR.
+///
+/// @deprecated Prefer the validated facade (`ContextBuilder` + `Partitioner`
+/// in partition/facade.h): it rejects bad configurations before the run and
+/// applies Context::threads. This free function is kept as a thin shim over
+/// the same driver — same context and seed produce an identical partition —
+/// but it does not validate and ignores Context::threads.
 template <typename Graph>
 [[nodiscard]] PartitionResult partition_graph(const Graph &graph, const Context &ctx);
 

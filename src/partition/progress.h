@@ -1,0 +1,70 @@
+/// @file progress.h
+/// @brief Progress reporting and cooperative cancellation for long
+/// partitioning runs (tera-scale inputs partition for minutes — callers need
+/// a heartbeat and an off switch).
+///
+/// Both hooks are *cooperative*: the driver polls them at level boundaries
+/// (between coarsening levels and between uncoarsening/refinement levels),
+/// never inside hot loops, so they cost nothing when unused and a
+/// cancellation takes effect within one level's worth of work. A cancelled
+/// run still returns a usable `PartitionResult`: the current coarse
+/// partition is projected down to the input graph, skipping the remaining
+/// refinement, and the result is flagged `cancelled`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+namespace terapart {
+
+/// Shared cancellation flag. Copies refer to the same flag; a
+/// default-constructed token is *inert* (never cancelled, cheap to carry in
+/// every Context). Request from any thread; the driver observes it at the
+/// next level boundary.
+class CancellationToken {
+public:
+  CancellationToken() = default;
+
+  /// A token that can actually be triggered (allocates the shared flag).
+  [[nodiscard]] static CancellationToken create() {
+    CancellationToken token;
+    token._flag = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  void request_stop() const {
+    if (_flag != nullptr) {
+      _flag->store(true, std::memory_order_release);
+    }
+  }
+
+  [[nodiscard]] bool stop_requested() const {
+    return _flag != nullptr && _flag->load(std::memory_order_acquire);
+  }
+
+private:
+  std::shared_ptr<std::atomic<bool>> _flag;
+};
+
+/// One driver milestone. `completed / total` is a monotone step counter over
+/// the whole run (coarsening levels + initial partitioning + refinement
+/// levels); `stage` names the step just finished.
+struct ProgressEvent {
+  std::string_view stage; ///< "coarsening", "initial_partitioning", "refinement"
+  std::size_t level = 0;  ///< hierarchy level of the step (0 = finest)
+  std::size_t completed = 0;
+  std::size_t total = 0;
+
+  [[nodiscard]] double fraction() const {
+    return total == 0 ? 1.0 : static_cast<double>(completed) / static_cast<double>(total);
+  }
+};
+
+/// Invoked synchronously on the driver thread between phases — keep it
+/// cheap, and do not call back into the partitioner from inside.
+using ProgressCallback = std::function<void(const ProgressEvent &)>;
+
+} // namespace terapart

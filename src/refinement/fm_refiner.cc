@@ -1,6 +1,7 @@
 #include "refinement/fm_refiner.h"
 
 #include <atomic>
+#include <memory>
 #include <queue>
 
 #include "common/memory_tracker.h"
@@ -9,7 +10,7 @@
 #include "common/scoped_phase.h"
 #include "compression/compressed_graph.h"
 #include "graph/csr_graph.h"
-#include "parallel/parallel_for.h"
+#include "parallel/primitives.h"
 #include "parallel/thread_local_storage.h"
 #include "refinement/dense_gain_table.h"
 #include "refinement/on_the_fly_gains.h"
@@ -185,58 +186,73 @@ FmStats run_fm(const Graph &graph, PartitionedGraph &partitioned,
   std::atomic<std::uint64_t> kept_moves{0};
   std::atomic<std::uint64_t> rollbacks{0};
 
+  // The boundary sweep touches every edge, so its chunks are split by edge
+  // mass (hub vertices don't pin a chunk to one thread).
+  par::DynamicOptions boundary_schedule;
+  boundary_schedule.weight_prefix = par::edge_mass_prefix(graph);
+
   for (int round = 0; round < config.rounds; ++round) {
     ScopedPhase round_phase("round_" + std::to_string(round));
-    // Boundary vertices are the seeds.
-    par::ThreadLocal<std::vector<NodeID>> boundary_lists;
-    par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
-      claimed[u].store(0, std::memory_order_relaxed);
-      const BlockID b = partitioned.block(u);
-      bool is_boundary = false;
-      graph.for_each_neighbor_block(
-          u, [&](const NodeID *ids, const EdgeWeight *, const std::size_t count) {
+    // Boundary vertices are the seeds; batched appends replace the old
+    // per-thread-list + sequential-concat idiom (one fetch-add per batch,
+    // and the p = 1 order is still the vertex order).
+    std::vector<NodeID> boundary(n);
+    par::BatchedAppender<NodeID> boundary_appender(boundary);
+    par::for_dynamic<NodeID>(
+        0, n, boundary_schedule, [&](const NodeID chunk_begin, const NodeID chunk_end) {
+          for (NodeID u = chunk_begin; u < chunk_end; ++u) {
+            claimed[u].store(0, std::memory_order_relaxed);
+            const BlockID b = partitioned.block(u);
+            bool is_boundary = false;
+            graph.for_each_neighbor_block(
+                u, [&](const NodeID *ids, const EdgeWeight *, const std::size_t count) {
+                  if (is_boundary) {
+                    return;
+                  }
+                  for (std::size_t e = 0; e < count; ++e) {
+                    if (partitioned.block(ids[e]) != b) {
+                      is_boundary = true;
+                      return;
+                    }
+                  }
+                });
             if (is_boundary) {
-              return;
+              boundary_appender.push(u);
             }
-            for (std::size_t e = 0; e < count; ++e) {
-              if (partitioned.block(ids[e]) != b) {
-                is_boundary = true;
-                return;
-              }
-            }
-          });
-      if (is_boundary) {
-        boundary_lists.local().push_back(u);
-      }
-    });
-    std::vector<NodeID> boundary;
-    boundary_lists.for_each([&](std::vector<NodeID> &list) {
-      boundary.insert(boundary.end(), list.begin(), list.end());
-    });
+          }
+        });
+    boundary_appender.finish();
+    boundary.resize(boundary_appender.size());
     if (boundary.empty()) {
       break;
     }
     Random::stream(seed, static_cast<std::uint64_t>(round)).shuffle(boundary);
 
-    std::atomic<std::size_t> next_seed{0};
+    // Seed loop: grain 1 — searches are expensive and wildly uneven, so
+    // every seed stays individually steal-able.
+    par::ThreadLocal<std::unique_ptr<LocalSearch<Graph, Table>>> searches([&] {
+      return std::make_unique<LocalSearch<Graph, Table>>(graph, partitioned, table, config,
+                                                         max_block_weight, claimed, gain_queries);
+    });
+    par::DynamicOptions seed_schedule;
+    seed_schedule.grain = 1;
     std::atomic<EdgeWeight> round_gain{0};
-    par::ThreadPool::global().run_on_all([&](int) {
-      LocalSearch<Graph, Table> search(graph, partitioned, table, config, max_block_weight,
-                                       claimed, gain_queries);
-      while (true) {
-        const std::size_t i = next_seed.fetch_add(1, std::memory_order_relaxed);
-        if (i >= boundary.size()) {
-          break;
-        }
-        const NodeID u = boundary[i];
-        if (!search.claim(u)) {
-          continue;
-        }
-        const EdgeWeight gain = search.run(u);
-        round_gain.fetch_add(gain, std::memory_order_relaxed);
-        kept_moves.fetch_add(search.log.size(), std::memory_order_relaxed);
-      }
-      rollbacks.fetch_add(search.total_rollbacks, std::memory_order_relaxed);
+    par::for_dynamic<std::size_t>(
+        0, boundary.size(), seed_schedule,
+        [&](const std::size_t chunk_begin, const std::size_t chunk_end) {
+          LocalSearch<Graph, Table> &search = *searches.local();
+          for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+            const NodeID u = boundary[i];
+            if (!search.claim(u)) {
+              continue;
+            }
+            const EdgeWeight gain = search.run(u);
+            round_gain.fetch_add(gain, std::memory_order_relaxed);
+            kept_moves.fetch_add(search.log.size(), std::memory_order_relaxed);
+          }
+        });
+    searches.for_each([&](std::unique_ptr<LocalSearch<Graph, Table>> &search) {
+      rollbacks.fetch_add(search->total_rollbacks, std::memory_order_relaxed);
     });
     improvement.fetch_add(round_gain.load(std::memory_order_relaxed),
                           std::memory_order_relaxed);

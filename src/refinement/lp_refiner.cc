@@ -8,7 +8,7 @@
 #include "common/scoped_phase.h"
 #include "compression/compressed_graph.h"
 #include "graph/csr_graph.h"
-#include "parallel/parallel_for.h"
+#include "parallel/primitives.h"
 #include "parallel/thread_local_storage.h"
 
 namespace terapart {
@@ -25,11 +25,17 @@ std::uint64_t lp_refine(const Graph &graph, PartitionedGraph &partitioned,
   par::ThreadLocal<SparseRatingMap> maps([&] { return SparseRatingMap(k, "refinement/aux"); });
   par::ThreadLocal<Random> rngs([&, t = 0]() mutable { return Random::stream(seed, 77 + t++); });
 
+  // Chunks carry equal *edge mass*: per-vertex cost here is the
+  // neighborhood scan, so degree-weighted splitting keeps hub-heavy chunks
+  // as steal-able as the long tail of low-degree vertices.
+  par::DynamicOptions schedule;
+  schedule.weight_prefix = par::edge_mass_prefix(graph);
+
   std::atomic<std::uint64_t> total_moves{0};
   for (int round = 0; round < config.rounds; ++round) {
     ScopedPhase round_phase("round_" + std::to_string(round));
     std::atomic<std::uint64_t> round_moves{0};
-    par::parallel_for_each<NodeID>(0, n, [&](const NodeID u) {
+    const auto process_vertex = [&](const NodeID u) {
       if (graph.degree(u) == 0) {
         return;
       }
@@ -71,7 +77,13 @@ std::uint64_t lp_refine(const Graph &graph, PartitionedGraph &partitioned,
       if (best != current && partitioned.try_move(u, u_weight, best, max_block_weight)) {
         round_moves.fetch_add(1, std::memory_order_relaxed);
       }
-    });
+    };
+    par::for_dynamic<NodeID>(0, n, schedule,
+                             [&](const NodeID chunk_begin, const NodeID chunk_end) {
+                               for (NodeID u = chunk_begin; u < chunk_end; ++u) {
+                                 process_vertex(u);
+                               }
+                             });
     total_moves.fetch_add(round_moves.load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
     if (round_moves.load(std::memory_order_relaxed) == 0) {

@@ -1,50 +1,23 @@
 /// @file terapart.h
-/// @brief Umbrella header: everything a library user needs.
+/// @brief Umbrella header (compatibility shim): includes the whole split
+/// surface. New code should include what it uses —
+///   terapart/core.h          graph types, facade, metrics, thread pool
+///   terapart/compression.h   compressed graphs + parallel compressor
+///   terapart/experimental.h  baselines, distributed prototype, generators
 ///
 /// Typical use:
 /// @code
-///   #include "terapart.h"
+///   #include "terapart/core.h"
+///   #include "terapart/compression.h"
 ///   using namespace terapart;
 ///
 ///   CsrGraph graph = io::read_metis("graph.metis");        // or gen::..., io::read_tpg
 ///   CompressedGraph input = compress_graph_parallel(graph); // optional
-///   PartitionResult result = partition_graph(input, terapart_fm_context(/*k=*/32));
+///   auto ctx = ContextBuilder(Preset::kTeraPartFm).k(32).build();
+///   PartitionResult result = Partitioner(std::move(ctx).value()).partition(input);
 /// @endcode
 #pragma once
 
-#include "common/types.h"
-
-#include "graph/csr_graph.h"
-#include "graph/graph_builder.h"
-#include "graph/graph_io.h"
-#include "graph/graph_utils.h"
-#include "graph/validation.h"
-
-#include "compression/compressed_graph.h"
-#include "compression/encoder.h"
-#include "compression/parallel_compressor.h"
-
-#include "generators/benchmark_sets.h"
-#include "generators/generators.h"
-
-#include "partition/context.h"
-#include "partition/metrics.h"
-#include "partition/partitioned_graph.h"
-#include "partition/partitioner.h"
-
-#include "distributed/dist_graph.h"
-#include "distributed/dist_partitioner.h"
-
-#include "baselines/heistream_like.h"
-#include "baselines/metis_like.h"
-#include "baselines/semi_external.h"
-#include "baselines/xtrapulp_like.h"
-
-#include "refinement/dense_gain_table.h"
-#include "refinement/fm_refiner.h"
-#include "refinement/lp_refiner.h"
-#include "refinement/on_the_fly_gains.h"
-#include "refinement/rebalancer.h"
-#include "refinement/sparse_gain_table.h"
-
-#include "parallel/thread_pool.h"
+#include "terapart/compression.h"  // IWYU pragma: export
+#include "terapart/core.h"         // IWYU pragma: export
+#include "terapart/experimental.h" // IWYU pragma: export

@@ -1,0 +1,9 @@
+/// @file terapart/compression.h
+/// @brief The compressed-graph subsystem: the O(n)-memory representation
+/// (Section IV), its encoder, and the parallel compressor. Include on top of
+/// terapart/core.h when partitioning compressed inputs.
+#pragma once
+
+#include "compression/compressed_graph.h"
+#include "compression/encoder.h"
+#include "compression/parallel_compressor.h"

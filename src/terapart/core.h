@@ -1,0 +1,42 @@
+/// @file terapart/core.h
+/// @brief The stable core of the library: graph types, configuration, the
+/// partitioning facade, metrics, and the thread pool.
+///
+/// Typical use:
+/// @code
+///   #include "terapart/core.h"
+///
+///   terapart::CsrGraph graph = terapart::io::read_metis("graph.metis");
+///   auto ctx = terapart::ContextBuilder(terapart::Preset::kTeraPart).k(32).build();
+///   terapart::Partitioner partitioner(std::move(ctx).value());
+///   terapart::PartitionResult result = partitioner.partition(graph);
+/// @endcode
+///
+/// Compressed inputs live in terapart/compression.h; baselines, distributed
+/// partitioning, and synthetic generators in terapart/experimental.h.
+#pragma once
+
+#include "common/result.h"
+#include "common/types.h"
+
+#include "graph/csr_graph.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/graph_utils.h"
+#include "graph/validation.h"
+
+#include "partition/context.h"
+#include "partition/facade.h"
+#include "partition/metrics.h"
+#include "partition/partitioned_graph.h"
+#include "partition/partitioner.h"
+#include "partition/progress.h"
+
+#include "refinement/dense_gain_table.h"
+#include "refinement/fm_refiner.h"
+#include "refinement/lp_refiner.h"
+#include "refinement/on_the_fly_gains.h"
+#include "refinement/rebalancer.h"
+#include "refinement/sparse_gain_table.h"
+
+#include "parallel/thread_pool.h"

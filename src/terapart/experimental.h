@@ -1,0 +1,17 @@
+/// @file terapart/experimental.h
+/// @brief Research surface with no stability promise: the comparison
+/// baselines of the paper's experiments, the distributed-memory prototype,
+/// and the synthetic graph generators. APIs here may change between
+/// releases without notice.
+#pragma once
+
+#include "baselines/heistream_like.h"
+#include "baselines/metis_like.h"
+#include "baselines/semi_external.h"
+#include "baselines/xtrapulp_like.h"
+
+#include "distributed/dist_graph.h"
+#include "distributed/dist_partitioner.h"
+
+#include "generators/benchmark_sets.h"
+#include "generators/generators.h"

@@ -1,0 +1,215 @@
+// Tests for the public API facade: ContextBuilder validation, Partitioner /
+// partition_graph parity, progress reporting, and cooperative cancellation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "generators/generators.h"
+#include "parallel/thread_pool.h"
+#include "partition/facade.h"
+#include "partition/metrics.h"
+#include "terapart.h" // the umbrella shim must keep compiling
+
+namespace terapart {
+namespace {
+
+TEST(ContextBuilder, AcceptsTheDefaults) {
+  const auto result = ContextBuilder().k(4).build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().k, 4u);
+  EXPECT_EQ(result.value().name, "terapart");
+}
+
+TEST(ContextBuilder, PresetsMatchTheFreeFunctions) {
+  const auto kaminpar = ContextBuilder(Preset::kKaMinPar).k(8).seed(3).build();
+  ASSERT_TRUE(kaminpar.ok());
+  EXPECT_FALSE(kaminpar.value().coarsening.lp.two_phase);
+  EXPECT_FALSE(kaminpar.value().coarsening.contraction.one_pass);
+
+  const auto fm = ContextBuilder(Preset::kTeraPartFm).k(8).build();
+  ASSERT_TRUE(fm.ok());
+  EXPECT_TRUE(fm.value().use_fm);
+  EXPECT_TRUE(fm.value().coarsening.contraction.one_pass);
+}
+
+TEST(ContextBuilder, RejectsTooFewBlocks) {
+  const auto result = ContextBuilder().k(1).build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().field, "k");
+  // The message must be actionable: it names the bad value and the bound.
+  EXPECT_NE(result.error().message.find("got 1"), std::string::npos);
+  EXPECT_NE(result.error().message.find("k >= 2"), std::string::npos);
+}
+
+TEST(ContextBuilder, RejectsNegativeAndNonFiniteEpsilon) {
+  const auto negative = ContextBuilder().k(4).epsilon(-0.1).build();
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.error().field, "epsilon");
+
+  const auto nan = ContextBuilder().k(4).epsilon(std::nan("")).build();
+  ASSERT_FALSE(nan.ok());
+  EXPECT_EQ(nan.error().field, "epsilon");
+}
+
+TEST(ContextBuilder, RejectsZeroBumpThreshold) {
+  const auto result = ContextBuilder().k(4).bump_threshold(0).build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().field, "bump_threshold");
+  EXPECT_NE(result.error().message.find("> 0"), std::string::npos);
+}
+
+TEST(ContextBuilder, RejectsNegativeThreads) {
+  const auto result = ContextBuilder().k(4).threads(-2).build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().field, "threads");
+}
+
+TEST(ContextBuilder, ErrorToStringNamesTheField) {
+  const auto result = ContextBuilder().k(0).build();
+  ASSERT_FALSE(result.ok());
+  const std::string text = result.error().to_string();
+  EXPECT_NE(text.find("invalid configuration"), std::string::npos);
+  EXPECT_NE(text.find("k"), std::string::npos);
+}
+
+TEST(ContextBuilder, IsReusableAfterBuild) {
+  ContextBuilder builder;
+  ASSERT_FALSE(builder.k(1).build().ok());
+  ASSERT_TRUE(builder.k(4).build().ok());
+}
+
+// The old free function and the new facade must be interchangeable: same
+// graph, same context, same seed => identical partition. Run at one thread,
+// where the pipeline is deterministic.
+TEST(FacadeParity, PartitionerMatchesPartitionGraph) {
+  par::set_num_threads(1);
+  const CsrGraph graph = gen::rgg2d(2'000, 16, /*seed=*/5);
+
+  auto built = ContextBuilder(Preset::kTeraPart).k(8).seed(7).build();
+  ASSERT_TRUE(built.ok());
+  const Context ctx = std::move(built).value();
+
+  const PartitionResult via_shim = partition_graph(graph, ctx);
+  const PartitionResult via_facade = Partitioner(ctx).partition(graph);
+
+  EXPECT_EQ(via_shim.cut, via_facade.cut);
+  ASSERT_EQ(via_shim.partition.size(), via_facade.partition.size());
+  EXPECT_EQ(via_shim.partition, via_facade.partition);
+}
+
+TEST(FacadeParity, CompressedInputMatchesToo) {
+  par::set_num_threads(1);
+  const CsrGraph graph = gen::rgg2d(1'500, 12, /*seed=*/9);
+  const CompressedGraph compressed = compress_graph_parallel(graph);
+
+  auto built = ContextBuilder(Preset::kTeraPart).k(4).seed(3).build();
+  ASSERT_TRUE(built.ok());
+  const Context ctx = std::move(built).value();
+
+  const PartitionResult via_shim = partition_graph(compressed, ctx);
+  const PartitionResult via_facade = Partitioner(ctx).partition(compressed);
+  EXPECT_EQ(via_shim.partition, via_facade.partition);
+}
+
+TEST(FacadeThreads, PartitionerAppliesContextThreads) {
+  par::set_num_threads(1);
+  auto built = ContextBuilder().k(4).threads(3).build();
+  ASSERT_TRUE(built.ok());
+  const Partitioner partitioner(std::move(built).value());
+  const CsrGraph graph = gen::grid2d(40, 40);
+  (void)partitioner.partition(graph);
+  EXPECT_EQ(par::num_threads(), 3);
+  par::set_num_threads(1);
+}
+
+TEST(Progress, CallbackSeesMonotoneCompletionUpToOne) {
+  par::set_num_threads(1);
+  std::vector<ProgressEvent> events;
+  auto built = ContextBuilder()
+                   .k(4)
+                   .progress([&](const ProgressEvent &event) { events.push_back(event); })
+                   .build();
+  ASSERT_TRUE(built.ok());
+  const CsrGraph graph = gen::grid2d(60, 60);
+  const PartitionResult result = Partitioner(std::move(built).value()).partition(graph);
+  ASSERT_FALSE(result.cancelled);
+
+  ASSERT_GE(events.size(), 3u) << "coarsening, initial partitioning, >=1 refinement";
+  EXPECT_EQ(events.front().stage, "coarsening");
+  std::size_t previous = 0;
+  for (const ProgressEvent &event : events) {
+    EXPECT_GT(event.completed, previous);
+    EXPECT_LE(event.completed, event.total);
+    previous = event.completed;
+  }
+  EXPECT_EQ(events.back().completed, events.back().total);
+  EXPECT_DOUBLE_EQ(events.back().fraction(), 1.0);
+}
+
+TEST(Cancellation, InertTokenNeverFires) {
+  const CancellationToken token;
+  EXPECT_FALSE(token.stop_requested());
+  token.request_stop(); // no-op on an inert token
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(Cancellation, TokenSharedStateFires) {
+  const CancellationToken token = CancellationToken::create();
+  const CancellationToken copy = token;
+  EXPECT_FALSE(copy.stop_requested());
+  token.request_stop();
+  EXPECT_TRUE(copy.stop_requested());
+}
+
+TEST(Cancellation, PreCancelledRunReturnsFlaggedPartialResult) {
+  par::set_num_threads(1);
+  const CancellationToken token = CancellationToken::create();
+  token.request_stop();
+  auto built = ContextBuilder().k(4).cancel(token).build();
+  ASSERT_TRUE(built.ok());
+
+  const CsrGraph graph = gen::grid2d(50, 50);
+  const PartitionResult result = Partitioner(std::move(built).value()).partition(graph);
+  EXPECT_TRUE(result.cancelled);
+  // Partial but valid: every vertex has a block id in range.
+  ASSERT_EQ(result.partition.size(), graph.n());
+  for (const BlockID block : result.partition) {
+    EXPECT_LT(block, 4u);
+  }
+}
+
+TEST(Cancellation, MidRunCancelStillProjectsToInputGraph) {
+  par::set_num_threads(1);
+  const CancellationToken token = CancellationToken::create();
+  // Cancel from inside the progress callback once refinement begins — the
+  // driver must notice at the next level boundary and fold the current
+  // coarse partition down to the input graph.
+  auto built = ContextBuilder()
+                   .k(4)
+                   .cancel(token)
+                   .progress([&](const ProgressEvent &event) {
+                     if (event.stage == "refinement") {
+                       token.request_stop();
+                     }
+                   })
+                   .build();
+  ASSERT_TRUE(built.ok());
+
+  const CsrGraph graph = gen::rgg2d(4'000, 16, /*seed=*/2);
+  const PartitionResult result = Partitioner(std::move(built).value()).partition(graph);
+  ASSERT_EQ(result.partition.size(), graph.n());
+  for (const BlockID block : result.partition) {
+    EXPECT_LT(block, 4u);
+  }
+  if (result.num_levels > 1) {
+    EXPECT_TRUE(result.cancelled);
+  }
+  // The reported metrics describe the partial partition faithfully.
+  EXPECT_EQ(result.cut, metrics::edge_cut(graph, result.partition));
+}
+
+} // namespace
+} // namespace terapart

@@ -1,0 +1,456 @@
+// Tests for the work-stealing runtime: the Chase–Lev deque, the dynamic
+// loop scheduler (uniform, weighted, nested, torture), the parallel
+// primitives built on top of it, and the NUMA cpulist parser.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/scoped_phase.h"
+#include "parallel/numa.h"
+#include "parallel/primitives.h"
+#include "parallel/scheduler.h"
+#include "parallel/thread_pool.h"
+#include "parallel/work_stealing_deque.h"
+
+namespace terapart::par {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WorkStealingDeque
+// ---------------------------------------------------------------------------
+
+TEST(WorkStealingDeque, OwnerPopsInLifoOrder) {
+  WorkStealingDeque deque;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(deque.push_bottom({i, i + 1}));
+  }
+  for (std::uint64_t i = 10; i-- > 0;) {
+    Range range;
+    ASSERT_TRUE(deque.pop_bottom(range));
+    EXPECT_EQ(range.begin, i);
+    EXPECT_EQ(range.end, i + 1);
+  }
+  Range range;
+  EXPECT_FALSE(deque.pop_bottom(range));
+}
+
+TEST(WorkStealingDeque, ThiefStealsOldestFirst) {
+  WorkStealingDeque deque;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(deque.push_bottom({i, i + 1}));
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Range range;
+    ASSERT_EQ(deque.steal_top(range), WorkStealingDeque::Steal::kSuccess);
+    EXPECT_EQ(range.begin, i);
+  }
+  Range range;
+  EXPECT_EQ(deque.steal_top(range), WorkStealingDeque::Steal::kEmpty);
+}
+
+TEST(WorkStealingDeque, PushFailsWhenFull) {
+  WorkStealingDeque deque;
+  for (std::size_t i = 0; i < WorkStealingDeque::kCapacity; ++i) {
+    ASSERT_TRUE(deque.push_bottom({i, i + 1}));
+  }
+  EXPECT_FALSE(deque.push_bottom({999, 1000}));
+  Range range;
+  ASSERT_TRUE(deque.pop_bottom(range));
+  EXPECT_TRUE(deque.push_bottom({999, 1000}));
+}
+
+TEST(WorkStealingDeque, ResetEmptiesTheDeque) {
+  WorkStealingDeque deque;
+  ASSERT_TRUE(deque.push_bottom({1, 2}));
+  deque.reset();
+  Range range;
+  EXPECT_FALSE(deque.pop_bottom(range));
+  EXPECT_EQ(deque.steal_top(range), WorkStealingDeque::Steal::kEmpty);
+}
+
+// Owner pops while raw std::threads steal: every pushed unit-range must be
+// executed exactly once, across both sides.
+TEST(WorkStealingDeque, ConcurrentStealLosesNothing) {
+  constexpr std::uint64_t kRanges = 20'000;
+  constexpr int kThieves = 3;
+  WorkStealingDeque deque;
+  std::vector<std::atomic<std::uint32_t>> seen(kRanges);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      Range range;
+      while (!done.load(std::memory_order_acquire)) {
+        if (deque.steal_top(range) == WorkStealingDeque::Steal::kSuccess) {
+          for (std::uint64_t i = range.begin; i < range.end; ++i) {
+            seen[i].fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  std::uint64_t next = 0;
+  while (next < kRanges) {
+    // Keep a few entries in flight so thieves have something to race for.
+    while (next < kRanges && deque.push_bottom({next, next + 1})) {
+      ++next;
+    }
+    Range range;
+    if (deque.pop_bottom(range)) {
+      for (std::uint64_t i = range.begin; i < range.end; ++i) {
+        seen[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  // Drain what the thieves have not taken yet.
+  Range range;
+  while (deque.pop_bottom(range)) {
+    for (std::uint64_t i = range.begin; i < range.end; ++i) {
+      seen[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread &thief : thieves) {
+    thief.join();
+  }
+
+  for (std::uint64_t i = 0; i < kRanges; ++i) {
+    ASSERT_EQ(seen[i].load(), 1u) << "range " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// for_dynamic and friends
+// ---------------------------------------------------------------------------
+
+class SchedulerTest : public ::testing::TestWithParam<int> {
+protected:
+  void SetUp() override { set_num_threads(GetParam()); }
+  void TearDown() override { set_num_threads(1); }
+};
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, SchedulerTest, ::testing::Values(1, 2, 4, 8));
+
+TEST_P(SchedulerTest, ForDynamicCoversRangeExactlyOnce) {
+  constexpr std::uint32_t kN = 100'000;
+  std::vector<std::atomic<std::uint8_t>> seen(kN);
+  for_dynamic<std::uint32_t>(0, kN, [&](const std::uint32_t begin, const std::uint32_t end) {
+    for (std::uint32_t i = begin; i < end; ++i) {
+      seen[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(SchedulerTest, ForEachDynamicHandlesEmptyAndSingleton) {
+  std::atomic<int> calls{0};
+  for_each_dynamic<std::uint32_t>(5, 5, [&](std::uint32_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  for_each_dynamic<std::uint32_t>(5, 6, [&](const std::uint32_t i) {
+    EXPECT_EQ(i, 5u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST_P(SchedulerTest, WeightedSplitCoversSkewedRangeExactlyOnce) {
+  // Power-law-ish weights: one huge element among many tiny ones, plus a
+  // run of zero-weight elements (isolated vertices) that must still be
+  // visited exactly once.
+  constexpr std::uint32_t kN = 10'000;
+  std::vector<std::uint64_t> prefix(kN + 1, 0);
+  Random rng = Random::stream(42, 0);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    std::uint64_t weight = rng.next_bounded(4); // ~25% zero-weight
+    if (i == kN / 3) {
+      weight = 1'000'000; // the hub
+    }
+    prefix[i + 1] = prefix[i] + weight;
+  }
+
+  std::vector<std::atomic<std::uint8_t>> seen(kN);
+  for_dynamic_weighted<std::uint32_t>(
+      0, kN, prefix, [&](const std::uint32_t begin, const std::uint32_t end) {
+        for (std::uint32_t i = begin; i < end; ++i) {
+          seen[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(SchedulerTest, AllZeroWeightsStillCoverTheRange) {
+  constexpr std::uint32_t kN = 1'000;
+  const std::vector<std::uint64_t> prefix(kN + 1, 0); // every weight is zero
+  std::vector<std::atomic<std::uint8_t>> seen(kN);
+  for_dynamic_weighted<std::uint32_t>(
+      0, kN, prefix, [&](const std::uint32_t begin, const std::uint32_t end) {
+        for (std::uint32_t i = begin; i < end; ++i) {
+          seen[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(SchedulerTest, NestedForDynamicRunsInline) {
+  constexpr std::uint32_t kOuter = 64;
+  constexpr std::uint32_t kInner = 64;
+  std::atomic<std::uint64_t> total{0};
+  for_each_dynamic<std::uint32_t>(0, kOuter, [&](std::uint32_t) {
+    // Inside a parallel region: must degrade to sequential inline execution
+    // (and not deadlock on the shared arena).
+    for_each_dynamic<std::uint32_t>(0, kInner, [&](std::uint32_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), static_cast<std::uint64_t>(kOuter) * kInner);
+}
+
+// Torture: wildly uneven leaf costs plus nested submits from every leaf,
+// repeated to shake out rare interleavings. (The nightly TSan job runs this
+// binary; see .github/workflows/ci.yml.)
+TEST_P(SchedulerTest, TortureUnevenNestedLoops) {
+  constexpr std::uint32_t kN = 2'000;
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    std::atomic<std::uint64_t> work{0};
+    DynamicOptions options;
+    options.grain = 1; // maximize scheduling traffic
+    for_dynamic<std::uint32_t>(
+        0, kN, options, [&](const std::uint32_t begin, const std::uint32_t end) {
+          for (std::uint32_t i = begin; i < end; ++i) {
+            // Cost varies by ~3 orders of magnitude.
+            const std::uint32_t spin = (i % 97 == 0) ? 1000 : (i % 7 == 0) ? 50 : 1;
+            std::uint64_t x = i;
+            for (std::uint32_t s = 0; s < spin; ++s) {
+              x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+            }
+            // Nested submit from a stolen leaf.
+            if (i % 131 == 0) {
+              for_each_dynamic<std::uint32_t>(0, 16, [&](std::uint32_t) {
+                work.fetch_add(1, std::memory_order_relaxed);
+              });
+            }
+            work.fetch_add(1 + (x & 0), std::memory_order_relaxed);
+          }
+        });
+    const std::uint64_t expected =
+        kN + 16ull * ((kN + 130) / 131); // every i, plus the nested loops
+    EXPECT_EQ(work.load(), expected);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of reductions
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerDeterminism, SumDynamicIsIdenticalAcrossThreadCounts) {
+  constexpr std::uint32_t kN = 50'000;
+  std::vector<std::uint64_t> values(kN);
+  Random rng = Random::stream(7, 0);
+  for (std::uint64_t &v : values) {
+    v = rng.next_bounded(1'000);
+  }
+  const std::uint64_t expected = std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+
+  for (const int p : {1, 2, 4, 8}) {
+    set_num_threads(p);
+    const std::uint64_t sum =
+        sum_dynamic<std::uint32_t>(0, kN, [&](const std::uint32_t i) { return values[i]; });
+    EXPECT_EQ(sum, expected) << "p = " << p;
+  }
+  set_num_threads(1);
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+TEST_P(SchedulerTest, PrefixSumInclusiveMatchesSequential) {
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::uint32_t> in(kN);
+  Random rng = Random::stream(3, 0);
+  for (std::uint32_t &v : in) {
+    v = static_cast<std::uint32_t>(rng.next_bounded(10));
+  }
+  std::vector<std::uint64_t> out(kN);
+  const std::uint64_t total = prefix_sum_inclusive<std::uint32_t, std::uint64_t>(in, out);
+
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    running += in[i];
+    ASSERT_EQ(out[i], running) << "index " << i;
+  }
+  EXPECT_EQ(total, running);
+}
+
+TEST_P(SchedulerTest, CountingSortGroupsByKey) {
+  constexpr std::uint32_t kN = 20'000;
+  constexpr std::size_t kBuckets = 37;
+  std::vector<std::uint32_t> keys(kN);
+  Random rng = Random::stream(11, 0);
+  for (std::uint32_t &key : keys) {
+    key = static_cast<std::uint32_t>(rng.next_bounded(kBuckets));
+  }
+
+  std::vector<std::uint64_t> offsets(kBuckets + 1);
+  std::vector<std::uint32_t> sorted(kN, 0xFFFFFFFFu);
+  counting_sort<std::uint32_t, std::uint64_t>(
+      kN, kBuckets, offsets, [&](const std::uint32_t i) { return keys[i]; },
+      [&](const std::uint32_t i, const std::uint64_t pos) { sorted[pos] = i; });
+
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[kBuckets], kN);
+  std::vector<std::uint8_t> seen(kN, 0);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    for (std::uint64_t pos = offsets[b]; pos < offsets[b + 1]; ++pos) {
+      const std::uint32_t i = sorted[pos];
+      ASSERT_LT(i, kN);
+      ASSERT_EQ(keys[i], b) << "element " << i << " in bucket " << b;
+      ASSERT_EQ(seen[i], 0) << "element " << i << " scattered twice";
+      seen[i] = 1;
+    }
+  }
+}
+
+TEST_P(SchedulerTest, BatchedAppenderCommitsEveryPush) {
+  constexpr std::uint32_t kN = 30'000;
+  std::vector<std::uint32_t> out(kN);
+  BatchedAppender<std::uint32_t> appender(out, 64);
+  for_each_dynamic<std::uint32_t>(0, kN, [&](const std::uint32_t i) {
+    if (i % 3 == 0) {
+      appender.push(i);
+    }
+  });
+  appender.finish();
+
+  const std::size_t expected = (kN + 2) / 3;
+  ASSERT_EQ(appender.size(), expected);
+  std::vector<std::uint32_t> committed(out.begin(),
+                                       out.begin() + static_cast<std::ptrdiff_t>(expected));
+  std::sort(committed.begin(), committed.end());
+  for (std::size_t j = 0; j < expected; ++j) {
+    ASSERT_EQ(committed[j], 3 * j);
+  }
+}
+
+TEST(BatchedAppenderSequential, PreservesAppendOrderAtOneThread) {
+  set_num_threads(1);
+  std::vector<int> out(100);
+  BatchedAppender<int> appender(out, 8);
+  for (int i = 0; i < 100; ++i) {
+    appender.push(i);
+  }
+  appender.finish();
+  ASSERT_EQ(appender.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST_P(SchedulerTest, FifoLoopSupportsOrderedCommit) {
+  // Replicates the PacketCommitter protocol: iteration i spins until i-1 has
+  // committed. Deadlock-free only if indices are claimed in increasing order
+  // — which is exactly the contract of for_each_index_fifo.
+  constexpr std::uint32_t kN = 2'000;
+  std::atomic<std::uint32_t> committed{0};
+  std::vector<std::uint8_t> order_ok(kN, 0);
+  for_each_index_fifo<std::uint32_t>(0, kN, [&](const std::uint32_t i) {
+    while (committed.load(std::memory_order_acquire) != i) {
+      std::this_thread::yield();
+    }
+    order_ok[i] = 1;
+    committed.store(i + 1, std::memory_order_release);
+  });
+  EXPECT_EQ(committed.load(), kN);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(order_ok[i], 1) << "index " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTelemetry, CountersFlowIntoTheActivePhase) {
+  set_num_threads(4);
+  PhaseTree tree;
+  {
+    ActivePhaseScope bind(tree);
+    ScopedPhase phase("loop_phase");
+    for_each_dynamic<std::uint32_t>(0, 100'000, [](std::uint32_t) {});
+  }
+  set_num_threads(1);
+
+  const PhaseNode *node = nullptr;
+  for (const auto &child : tree.root().children) {
+    if (child->name == "loop_phase") {
+      node = child.get();
+    }
+  }
+  ASSERT_NE(node, nullptr);
+  EXPECT_GT(node->counter("scheduler/tasks"), 0u);
+  EXPECT_GE(node->counter("scheduler/max_worker_imbalance"), 0u);
+  // steals may legitimately be zero on an idle machine, but the key exists.
+  EXPECT_NE(node->counters.find("scheduler/steals"), node->counters.end());
+}
+
+TEST(SchedulerTelemetry, GlobalStatsCountLoopsAndTasks) {
+  set_num_threads(2);
+  const SchedulerStats before = scheduler_stats();
+  for_each_dynamic<std::uint32_t>(0, 10'000, [](std::uint32_t) {});
+  const SchedulerStats after = scheduler_stats();
+  set_num_threads(1);
+  EXPECT_EQ(after.loops, before.loops + 1);
+  EXPECT_GT(after.tasks, before.tasks);
+}
+
+// ---------------------------------------------------------------------------
+// NUMA cpulist parsing
+// ---------------------------------------------------------------------------
+
+TEST(NumaCpulist, ParsesSingletonsRangesAndMixes) {
+  EXPECT_EQ(numa::parse_cpulist("0"), (std::vector<int>{0}));
+  EXPECT_EQ(numa::parse_cpulist("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(numa::parse_cpulist("0-2,8,10-11"), (std::vector<int>{0, 1, 2, 8, 10, 11}));
+  EXPECT_EQ(numa::parse_cpulist(" 4-5 \n"), (std::vector<int>{4, 5}));
+}
+
+TEST(NumaCpulist, RejectsMalformedInput) {
+  EXPECT_TRUE(numa::parse_cpulist("").empty());
+  EXPECT_TRUE(numa::parse_cpulist("abc").empty());
+  EXPECT_TRUE(numa::parse_cpulist("3-1").empty());
+  // Stray separators are tolerated (the kernel never emits them, but being
+  // lenient here costs nothing).
+  EXPECT_EQ(numa::parse_cpulist("1,,2"), (std::vector<int>{1, 2}));
+}
+
+TEST(NumaTopology, WorkerAssignmentIsTotalAndMonotone) {
+  const int nodes = numa::topology().num_nodes();
+  if (nodes == 0) {
+    GTEST_SKIP() << "no NUMA topology exposed (container or non-Linux)";
+  }
+  constexpr int kWorkers = 16;
+  int previous = 0;
+  for (int w = 0; w < kWorkers; ++w) {
+    const int node = numa::node_of_worker(w, kWorkers);
+    ASSERT_GE(node, 0);
+    ASSERT_LT(node, nodes);
+    ASSERT_GE(node, previous) << "compact fill must be monotone";
+    previous = node;
+  }
+}
+
+} // namespace
+} // namespace terapart::par
