@@ -49,6 +49,7 @@ GraphHierarchy coarsen(const Graph &finest, const CoarseningConfig &config, cons
     hierarchy.clustering_stats.moves += stats.moves;
 
     ContractionResult result = contract_clustering(graph, clustering, config.contraction);
+    hierarchy.degraded_contraction |= result.degraded_buffered_fallback;
     const NodeID coarse_n = result.graph.n();
     LOG_DEBUG << "coarsening level " << level << ": " << graph.n() << " -> " << coarse_n
               << " vertices, " << result.graph.m() << " edges";

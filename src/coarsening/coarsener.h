@@ -40,6 +40,9 @@ struct GraphHierarchy {
   std::vector<CsrGraph> graphs;
   std::vector<std::vector<NodeID>> mappings;
   LpClusteringStats clustering_stats; ///< accumulated over all levels
+  /// True when any level's one-pass contraction fell back to the buffered
+  /// algorithm (overcommit reservation refused); surfaced in RunReport.
+  bool degraded_contraction = false;
 
   [[nodiscard]] std::size_t num_levels() const { return graphs.size(); }
   [[nodiscard]] bool empty() const { return graphs.empty(); }

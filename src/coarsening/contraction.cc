@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "coarsening/rating_map.h"
+#include "common/fault_injection.h"
 #include "common/metrics_registry.h"
 #include "common/overcommit.h"
 #include "common/scoped_phase.h"
@@ -221,9 +222,18 @@ ContractionResult contract_one_pass(const Graph &graph, std::span<const ClusterI
 
   // Overcommitted coarse edge arrays: capacity m (the coarse graph can never
   // have more directed edges than the fine one); only the used pages are
-  // physically backed.
-  OvercommitArray<NodeID> targets(m);
-  OvercommitArray<EdgeWeight> weights(m);
+  // physically backed. When the kernel refuses the reservation — or the
+  // kBatchAlloc fault point simulates batch-buffer exhaustion — degrade to
+  // the buffered baseline, which needs no overcommit and no batches.
+  OvercommitArray<NodeID> targets;
+  OvercommitArray<EdgeWeight> weights;
+  if (TP_FAULT_HIT(fault::Point::kBatchAlloc) || !targets.try_reserve(m) ||
+      !weights.try_reserve(m)) {
+    MetricsRegistry::global().add_counter("degraded/contraction_buffered_fallback");
+    ContractionResult result = contract_buffered(graph, clustering, config);
+    result.degraded_buffered_fallback = true;
+    return result;
+  }
 
   std::vector<EdgeID> offsets(static_cast<std::size_t>(num_coarse) + 1, 0);
   std::vector<NodeWeight> coarse_weights(num_coarse, 0);

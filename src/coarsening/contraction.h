@@ -44,6 +44,11 @@ struct ContractionConfig {
 struct ContractionResult {
   CsrGraph graph;              ///< coarse graph (node- and edge-weighted)
   std::vector<NodeID> mapping; ///< fine vertex -> coarse vertex
+  /// True when one-pass contraction was requested but its overcommit
+  /// reservation (or batch allocation) failed, so the buffered algorithm ran
+  /// instead. The coarse graph is equivalent; only the memory profile and
+  /// speed differ (DESIGN.md §9).
+  bool degraded_buffered_fallback = false;
 };
 
 /// Contracts `clustering` (labels as produced by lp_cluster: arbitrary values

@@ -1,0 +1,126 @@
+#include "common/fault_injection.h"
+
+#ifdef TP_FAULT_INJECTION
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/assert.h"
+
+namespace terapart::fault {
+namespace {
+
+/// Per-point armed state. `armed` gates everything: when false the other
+/// fields are not read, so arming/disarming only needs release ordering on
+/// the flag itself.
+struct PointState {
+  std::atomic<bool> armed{false};
+  FaultSpec spec;
+  std::atomic<std::uint64_t> evaluations{0};
+  std::atomic<std::uint64_t> fires{0};
+};
+
+std::array<PointState, kNumPoints> g_points;
+
+PointState &state_of(const Point point) {
+  const auto index = static_cast<std::size_t>(point);
+  TP_ASSERT(index < kNumPoints);
+  return g_points[index];
+}
+
+/// splitmix64 — cheap, stateless, and good enough to turn (seed, index)
+/// into an unbiased coin for `probability`.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Core decision: claim one evaluation index and test it against the spec.
+/// Deterministic in the *set* of firing indices; under concurrency, which
+/// thread observes a firing index can vary, but the total fire count and
+/// the index pattern cannot.
+bool evaluate(PointState &state) {
+  if (!state.armed.load(std::memory_order_acquire)) {
+    return false;
+  }
+  const std::uint64_t index = state.evaluations.fetch_add(1, std::memory_order_relaxed);
+  const FaultSpec &spec = state.spec;
+  if (index < spec.skip_first) {
+    return false;
+  }
+  if (spec.probability < 1.0) {
+    const std::uint64_t hash = mix64(spec.seed ^ mix64(index));
+    const double unit = static_cast<double>(hash >> 11) * 0x1.0p-53;
+    if (unit >= spec.probability) {
+      return false;
+    }
+  }
+  if (spec.max_fires > 0) {
+    // Claim a fire slot; back out if the budget is exhausted.
+    std::uint64_t fired = state.fires.load(std::memory_order_relaxed);
+    while (fired < spec.max_fires) {
+      if (state.fires.compare_exchange_weak(fired, fired + 1, std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  state.fires.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+} // namespace
+
+bool should_fail(const Point point) noexcept { return evaluate(state_of(point)); }
+
+void maybe_stall(const Point point) noexcept {
+  if (evaluate(state_of(point))) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+std::uint64_t fire_count(const Point point) noexcept {
+  return state_of(point).fires.load(std::memory_order_relaxed);
+}
+
+std::uint64_t evaluation_count(const Point point) noexcept {
+  return state_of(point).evaluations.load(std::memory_order_relaxed);
+}
+
+ScopedFault::ScopedFault(const Point point, const FaultSpec spec) : _point(point) {
+  PointState &state = state_of(point);
+  TP_ASSERT_MSG(!state.armed.load(std::memory_order_relaxed),
+                "fault injection point armed twice");
+  state.spec = spec;
+  state.evaluations.store(0, std::memory_order_relaxed);
+  state.fires.store(0, std::memory_order_relaxed);
+  state.armed.store(true, std::memory_order_release);
+}
+
+ScopedFault::ScopedFault(const Point point, const std::uint64_t skip_first,
+                         const std::uint64_t max_fires)
+    : ScopedFault(point, FaultSpec{.skip_first = skip_first, .max_fires = max_fires}) {}
+
+ScopedFault::~ScopedFault() {
+  // Disarm but keep the counters readable until the next arming, so tests
+  // can assert fire_count() after the scope ends.
+  state_of(_point).armed.store(false, std::memory_order_release);
+}
+
+} // namespace terapart::fault
+
+#else
+
+// Translation unit intentionally empty when TP_FAULT_INJECTION is off; kept
+// in the build unconditionally so the CMake source list does not fork.
+namespace terapart::fault {
+namespace {
+[[maybe_unused]] constexpr int kFaultInjectionCompiledOut = 0;
+} // namespace
+} // namespace terapart::fault
+
+#endif // TP_FAULT_INJECTION

@@ -1,0 +1,113 @@
+/// @file fault_injection.h
+/// @brief Deterministic, seeded fault injection for the ingestion & memory
+/// layer (see DESIGN.md §9).
+///
+/// Production code marks its fallible spots with named *injection points*
+/// (`TP_FAULT_HIT(point)` for failures, `fault::maybe_stall(point)` for
+/// worker-thread delays). Tests arm a point through the RAII `ScopedFault`,
+/// which specifies how many evaluations to skip before firing, how many
+/// times to fire, and an optional seeded firing probability — so a test can
+/// fail "the third read" or "every mmap" reproducibly across runs and thread
+/// counts.
+///
+/// The whole subsystem is compiled under the `TP_FAULT_INJECTION` CMake
+/// option. When the option is OFF (the default, and every release build),
+/// `TP_FAULT_HIT` expands to the constant `false` and `maybe_stall` to an
+/// empty inline function: the hooks cost nothing and cannot fire.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace terapart::fault {
+
+/// Named injection points. Each maps to one fallible piece of OS machinery
+/// the paper's memory optimizations rely on.
+enum class Point : std::uint8_t {
+  kMmapReserve = 0, ///< overcommit reservation (OvercommitStorage::try_reserve)
+  kShortRead,       ///< graph_io read path (read_exact / TpgStreamReader)
+  kShortWrite,      ///< graph_io write path (write_exact)
+  kBatchAlloc,      ///< batching buffers (contraction batches, compressor output)
+  kWorkerStall,     ///< worker-thread stall in the parallel compressor
+};
+
+inline constexpr std::size_t kNumPoints = 5;
+
+/// How an armed point fires. Deterministic: the decision for the i-th
+/// evaluation depends only on (spec, i), never on wall time or scheduling.
+struct FaultSpec {
+  /// Evaluations that pass before the point becomes eligible to fire.
+  std::uint64_t skip_first = 0;
+  /// Maximum number of fires; 0 = unlimited ("the resource stays broken").
+  std::uint64_t max_fires = 1;
+  /// Chance that an eligible evaluation fires; decided by hashing
+  /// (seed, evaluation index), so the pattern is reproducible.
+  double probability = 1.0;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+};
+
+#ifdef TP_FAULT_INJECTION
+
+inline constexpr bool kEnabled = true;
+
+/// Evaluates `point` once: returns true when the armed spec says this
+/// evaluation fails. Unarmed points return false at the cost of one relaxed
+/// atomic load. Thread-safe.
+[[nodiscard]] bool should_fail(Point point) noexcept;
+
+/// Sleeps ~1 ms when `point` is armed and its spec fires; no-op otherwise.
+/// Used to perturb worker interleavings around ordered-commit sections.
+void maybe_stall(Point point) noexcept;
+
+/// Number of times `point` actually fired since it was last armed.
+[[nodiscard]] std::uint64_t fire_count(Point point) noexcept;
+
+/// Number of evaluations of `point` since it was last armed.
+[[nodiscard]] std::uint64_t evaluation_count(Point point) noexcept;
+
+/// RAII arming of one injection point: resets the counters and arms at
+/// construction, disarms at destruction (counters stay readable until the
+/// point is armed again). Scopes must not be nested on the same point
+/// (asserted); different points nest freely.
+class ScopedFault {
+public:
+  explicit ScopedFault(Point point, FaultSpec spec = {});
+  ScopedFault(Point point, std::uint64_t skip_first, std::uint64_t max_fires);
+  ~ScopedFault();
+
+  ScopedFault(const ScopedFault &) = delete;
+  ScopedFault &operator=(const ScopedFault &) = delete;
+
+private:
+  Point _point;
+};
+
+#define TP_FAULT_HIT(point) (::terapart::fault::should_fail(point))
+
+#else // !TP_FAULT_INJECTION
+
+inline constexpr bool kEnabled = false;
+
+[[nodiscard]] constexpr bool should_fail(Point /*point*/) noexcept { return false; }
+constexpr void maybe_stall(Point /*point*/) noexcept {}
+[[nodiscard]] constexpr std::uint64_t fire_count(Point /*point*/) noexcept { return 0; }
+[[nodiscard]] constexpr std::uint64_t evaluation_count(Point /*point*/) noexcept { return 0; }
+
+/// No-op stand-in so tests compile in both configurations (arming tests
+/// GTEST_SKIP when `kEnabled` is false).
+class ScopedFault {
+public:
+  explicit ScopedFault(Point /*point*/, FaultSpec /*spec*/ = {}) {}
+  ScopedFault(Point /*point*/, std::uint64_t /*skip_first*/, std::uint64_t /*max_fires*/) {}
+
+  ScopedFault(const ScopedFault &) = delete;
+  ScopedFault &operator=(const ScopedFault &) = delete;
+};
+
+/// Expands to a constant so the branch (and the whole error path behind it,
+/// where possible) folds away in release builds.
+#define TP_FAULT_HIT(point) (false)
+
+#endif // TP_FAULT_INJECTION
+
+} // namespace terapart::fault

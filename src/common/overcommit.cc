@@ -3,13 +3,27 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <new>
+
+#include "common/fault_injection.h"
 
 namespace terapart {
 
 OvercommitStorage::OvercommitStorage(const std::size_t capacity_bytes) {
+  if (!try_reserve(capacity_bytes)) {
+    throw std::bad_alloc();
+  }
+}
+
+bool OvercommitStorage::try_reserve(const std::size_t capacity_bytes) {
+  release();
   if (capacity_bytes == 0) {
-    return;
+    return true;
+  }
+  if (TP_FAULT_HIT(fault::Point::kMmapReserve)) {
+    errno = ENOMEM;
+    return false;
   }
   // MAP_NORESERVE: do not reserve swap; pages are physically backed only when
   // first touched. Anonymous mappings are zero-filled, so integral element
@@ -17,10 +31,11 @@ OvercommitStorage::OvercommitStorage(const std::size_t capacity_bytes) {
   void *ptr = ::mmap(nullptr, capacity_bytes, PROT_READ | PROT_WRITE,
                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
   if (ptr == MAP_FAILED) {
-    throw std::bad_alloc();
+    return false;
   }
   _data = ptr;
   _capacity = capacity_bytes;
+  return true;
 }
 
 OvercommitStorage::~OvercommitStorage() { release(); }
@@ -37,6 +52,12 @@ void OvercommitStorage::shrink_to(const std::size_t used_bytes) {
   TP_ASSERT(used_bytes <= _capacity);
   const std::size_t page = page_size();
   const std::size_t keep = ((used_bytes + page - 1) / page) * page;
+  if (keep == 0) {
+    // Keeping zero pages means unmapping everything; release() so _data does
+    // not dangle and the destructor does not munmap a stale range.
+    release();
+    return;
+  }
   if (keep < _capacity && _data != nullptr) {
     ::munmap(static_cast<char *>(_data) + keep, _capacity - keep);
     _capacity = keep;

@@ -21,6 +21,8 @@ namespace terapart {
 class OvercommitStorage {
 public:
   OvercommitStorage() = default;
+  /// Throws std::bad_alloc when the reservation fails; callers that can
+  /// degrade instead should use `try_reserve`.
   explicit OvercommitStorage(std::size_t capacity_bytes);
   ~OvercommitStorage();
 
@@ -44,8 +46,16 @@ public:
   [[nodiscard]] std::size_t capacity_bytes() const { return _capacity; }
   [[nodiscard]] bool valid() const { return _data != nullptr; }
 
+  /// Replaces the current reservation (if any) with a fresh one of
+  /// `capacity_bytes`. Returns false — leaving the storage empty and errno
+  /// intact — when the kernel refuses the mapping, so callers can fall back
+  /// to exact-sized chunked growth instead of dying. Also the hook for the
+  /// `fault::Point::kMmapReserve` injection point.
+  [[nodiscard]] bool try_reserve(std::size_t capacity_bytes);
+
   /// Rounds down the reservation to `used_bytes` (page granularity), returning
   /// the unused virtual range to the OS. Called once the true size is known.
+  /// Shrinking to zero releases the mapping entirely (data() becomes null).
   void shrink_to(std::size_t used_bytes);
 
   void release();
@@ -83,6 +93,21 @@ public:
 
   [[nodiscard]] std::size_t capacity() const { return _capacity; }
   [[nodiscard]] bool valid() const { return _storage.valid(); }
+
+  /// Fallible variant of the sizing constructor: returns false (leaving the
+  /// array empty) when the byte count overflows std::size_t or the kernel
+  /// refuses the reservation.
+  [[nodiscard]] bool try_reserve(const std::size_t capacity) {
+    if (capacity > static_cast<std::size_t>(-1) / sizeof(T)) {
+      return false;
+    }
+    if (!_storage.try_reserve(capacity * sizeof(T))) {
+      _capacity = 0;
+      return false;
+    }
+    _capacity = capacity;
+    return true;
+  }
 
   [[nodiscard]] std::span<T> span(const std::size_t begin, const std::size_t end) {
     TP_ASSERT(begin <= end && end <= _capacity);

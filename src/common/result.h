@@ -1,17 +1,196 @@
 /// @file result.h
-/// @brief Minimal `Result<T, E>` — a tagged union for fallible operations,
-/// used by the public configuration API (`ContextBuilder::build`) so that
-/// invalid configurations are reported as values instead of exceptions or
-/// aborts. Hand-rolled because the toolchain baseline predates
-/// `std::expected`.
+/// @brief Minimal `Result<T, E>` — a tagged union for fallible operations —
+/// plus the shared `Error` taxonomy used by the ingestion and memory layer.
+///
+/// `Result` is used by the public configuration API (`ContextBuilder::build`)
+/// and by the typed error paths of graph I/O, the parallel compressor, and
+/// the partitioning facade, so that failures on untrusted inputs or under
+/// memory pressure are reported as values instead of exceptions or aborts.
+/// Hand-rolled because the toolchain baseline predates `std::expected`.
+///
+/// The taxonomy groups codes into three families (see DESIGN.md §9):
+///  - **IoError** — the OS refused an operation (open/read/write/seek);
+///    carries the path, the byte offset, and the captured errno.
+///  - **FormatError** — the bytes were read fine but do not form a valid
+///    graph file (bad magic, header inconsistent with the file size,
+///    malformed METIS text); carries path plus line/column for text formats.
+///  - **ResourceError** — an allocation or address-space reservation failed;
+///    carries the requested size in `offset`.
 #pragma once
 
+#include <cstring>
+#include <string>
 #include <utility>
 #include <variant>
 
 #include "common/assert.h"
 
 namespace terapart {
+
+/// Broad error families for dispatching on failures (e.g. "retryable in a
+/// degraded mode?" is a per-family question).
+enum class ErrorKind : std::uint8_t {
+  kIo,       ///< the OS refused an I/O operation
+  kFormat,   ///< the input bytes are not a valid graph file
+  kResource, ///< allocation / address-space reservation failed
+  kInternal, ///< escaped exception or broken invariant
+};
+
+enum class ErrorCode : std::uint8_t {
+  // IoError family.
+  kOpenFailed,
+  kShortRead,
+  kShortWrite,
+  kSeekFailed,
+  // FormatError family.
+  kBadMagic,
+  kCorruptHeader,
+  kCorruptData,
+  kParseError,
+  // ResourceError family.
+  kReservationFailed,
+  kAllocFailed,
+  // Everything else.
+  kInternal,
+};
+
+[[nodiscard]] constexpr ErrorKind error_kind(const ErrorCode code) {
+  switch (code) {
+  case ErrorCode::kOpenFailed:
+  case ErrorCode::kShortRead:
+  case ErrorCode::kShortWrite:
+  case ErrorCode::kSeekFailed:
+    return ErrorKind::kIo;
+  case ErrorCode::kBadMagic:
+  case ErrorCode::kCorruptHeader:
+  case ErrorCode::kCorruptData:
+  case ErrorCode::kParseError:
+    return ErrorKind::kFormat;
+  case ErrorCode::kReservationFailed:
+  case ErrorCode::kAllocFailed:
+    return ErrorKind::kResource;
+  case ErrorCode::kInternal:
+    return ErrorKind::kInternal;
+  }
+  return ErrorKind::kInternal;
+}
+
+[[nodiscard]] constexpr const char *error_code_name(const ErrorCode code) {
+  switch (code) {
+  case ErrorCode::kOpenFailed: return "open_failed";
+  case ErrorCode::kShortRead: return "short_read";
+  case ErrorCode::kShortWrite: return "short_write";
+  case ErrorCode::kSeekFailed: return "seek_failed";
+  case ErrorCode::kBadMagic: return "bad_magic";
+  case ErrorCode::kCorruptHeader: return "corrupt_header";
+  case ErrorCode::kCorruptData: return "corrupt_data";
+  case ErrorCode::kParseError: return "parse_error";
+  case ErrorCode::kReservationFailed: return "reservation_failed";
+  case ErrorCode::kAllocFailed: return "alloc_failed";
+  case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+/// One failure, as a value. Fields beyond `code` and `message` are filled
+/// when they apply: `path`/`offset`/`sys_errno` for I/O, `line`/`column`
+/// (1-based) for text formats, `offset` = requested bytes for resource
+/// failures.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+  std::string path;
+  std::uint64_t offset = 0;
+  std::uint64_t line = 0;
+  std::uint64_t column = 0;
+  int sys_errno = 0;
+
+  [[nodiscard]] ErrorKind kind() const { return error_kind(code); }
+
+  /// "short_read: g.tpg:+1024: unexpected end of file (errno 0)" style
+  /// one-liner for logs and the throwing compatibility wrappers.
+  [[nodiscard]] std::string to_string() const {
+    std::string out = error_code_name(code);
+    if (!path.empty()) {
+      out += ": ";
+      out += path;
+      if (line > 0) {
+        out += ":" + std::to_string(line);
+        if (column > 0) {
+          out += ":" + std::to_string(column);
+        }
+      } else if (offset > 0) {
+        out += ":+" + std::to_string(offset);
+      }
+    }
+    if (!message.empty()) {
+      out += ": ";
+      out += message;
+    }
+    if (sys_errno != 0) {
+      out += " (";
+      out += std::strerror(sys_errno);
+      out += ")";
+    }
+    return out;
+  }
+};
+
+/// IoError: the OS refused `path` at `offset`; `sys_errno` as captured.
+[[nodiscard]] inline Error io_error(const ErrorCode code, std::string path,
+                                    const std::uint64_t offset, const int sys_errno,
+                                    std::string message) {
+  TP_ASSERT(error_kind(code) == ErrorKind::kIo);
+  Error error;
+  error.code = code;
+  error.message = std::move(message);
+  error.path = std::move(path);
+  error.offset = offset;
+  error.sys_errno = sys_errno;
+  return error;
+}
+
+/// FormatError: the content of `path` is not a valid graph file. `line` and
+/// `column` are 1-based and 0 when they do not apply (binary formats).
+[[nodiscard]] inline Error format_error(const ErrorCode code, std::string path,
+                                        std::string message, const std::uint64_t line = 0,
+                                        const std::uint64_t column = 0) {
+  TP_ASSERT(error_kind(code) == ErrorKind::kFormat);
+  Error error;
+  error.code = code;
+  error.message = std::move(message);
+  error.path = std::move(path);
+  error.line = line;
+  error.column = column;
+  return error;
+}
+
+/// ResourceError: an allocation or reservation of `requested_bytes` failed.
+[[nodiscard]] inline Error resource_error(const ErrorCode code,
+                                          const std::uint64_t requested_bytes,
+                                          std::string message, const int sys_errno = 0) {
+  TP_ASSERT(error_kind(code) == ErrorKind::kResource);
+  Error error;
+  error.code = code;
+  error.message = std::move(message);
+  error.offset = requested_bytes;
+  error.sys_errno = sys_errno;
+  return error;
+}
+
+[[nodiscard]] inline Error internal_error(std::string message) {
+  Error error;
+  error.code = ErrorCode::kInternal;
+  error.message = std::move(message);
+  return error;
+}
+
+template <typename T, typename E> class [[nodiscard]] Result;
+
+/// Payload-free success/failure, for operations that produce no value
+/// (e.g. `try_write_tpg`). Return `kOk` on success, an `Error` on failure.
+using Status = Result<std::monostate, Error>;
+inline constexpr std::monostate kOk{};
 
 template <typename T, typename E> class [[nodiscard]] Result {
 public:

@@ -6,7 +6,7 @@
 ///
 /// Producers: `terapart_cli --report out.json` and every bench `--json`
 /// flag. The single schema is what makes `BENCH_*.json` trajectories
-/// comparable across PRs — see DESIGN.md §9 for the schema reference.
+/// comparable across PRs — see DESIGN.md §10 for the schema reference.
 #pragma once
 
 #include <filesystem>

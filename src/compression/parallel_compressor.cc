@@ -3,9 +3,14 @@
 #include <atomic>
 #include <cstring>
 #include <mutex>
+#include <new>
+#include <optional>
+#include <stdexcept>
 #include <thread>
 
+#include "common/fault_injection.h"
 #include "common/metrics_registry.h"
+#include "common/varint.h"
 #include "common/scoped_phase.h"
 #include "parallel/atomic_utils.h"
 #include "parallel/primitives.h"
@@ -15,39 +20,119 @@ namespace terapart {
 
 namespace {
 
-/// Ordered commit of compressed packets into the overcommitted byte array.
+/// Exact-sized growth fallback for the compressed byte stream, used when the
+/// overcommit reservation is refused: fixed-size chunks are appended inside
+/// the ordered commit section (so the stream stays in packet order) and
+/// copied once into an exact-sized reservation at the end. Slower than the
+/// overcommit path — the copy no longer overlaps with compression — but its
+/// peak footprint is `total bytes + one chunk`, which is the point.
+class ChunkedByteBuffer {
+public:
+  static constexpr std::size_t kChunkBytes = 4U << 20;
+
+  [[nodiscard]] Status append(const std::uint8_t *data, std::size_t bytes) {
+    while (bytes > 0) {
+      if (_chunks.empty() || _last_used == kChunkBytes) {
+        if (TP_FAULT_HIT(fault::Point::kBatchAlloc)) {
+          return resource_error(ErrorCode::kAllocFailed, kChunkBytes,
+                                "injected chunk allocation failure");
+        }
+        try {
+          _chunks.emplace_back(kChunkBytes);
+        } catch (const std::bad_alloc &) {
+          return resource_error(ErrorCode::kAllocFailed, kChunkBytes,
+                                "cannot allocate growth chunk for compressed stream");
+        }
+        _last_used = 0;
+      }
+      const std::size_t room = kChunkBytes - _last_used;
+      const std::size_t take = std::min(room, bytes);
+      std::memcpy(_chunks.back().data() + _last_used, data, take);
+      _last_used += take;
+      _size += take;
+      data += take;
+      bytes -= take;
+    }
+    return kOk;
+  }
+
+  [[nodiscard]] std::uint64_t size() const { return _size; }
+
+  void copy_into(std::uint8_t *out) const {
+    std::uint64_t copied = 0;
+    for (std::size_t c = 0; c < _chunks.size(); ++c) {
+      const std::size_t take =
+          (c + 1 == _chunks.size()) ? _last_used : kChunkBytes;
+      std::memcpy(out + copied, _chunks[c].data(), take);
+      copied += take;
+    }
+  }
+
+private:
+  std::vector<std::vector<std::uint8_t>> _chunks;
+  std::size_t _last_used = 0;
+  std::uint64_t _size = 0;
+};
+
+/// Ordered commit of compressed packets into the output byte stream.
 /// Thread-safe for any number of concurrent producers as long as packet
 /// indices are claimed in increasing order (they are: a shared fetch-add
-/// hands them out).
+/// hands them out). Every claimed index MUST be committed — on an error
+/// path, commit with an empty buffer — or later packets spin forever.
 class PacketCommitter {
 public:
-  PacketCommitter(OvercommitArray<std::uint8_t> &bytes, std::span<std::uint64_t> node_offsets)
-      : _bytes(bytes), _node_offsets(node_offsets) {}
+  explicit PacketCommitter(std::span<std::uint64_t> node_offsets)
+      : _node_offsets(node_offsets) {}
 
   /// Blocks until all packets < `packet_index` have claimed their range, then
-  /// claims [base, base + buffer.size()), publishes the byte offset of every
+  /// claims [base, base + buffer_size), publishes the byte offset of every
   /// vertex in the packet and returns `base`. The caller performs the copy
   /// *after* this returns, outside the ordered section.
   std::uint64_t commit(const std::uint64_t packet_index, const NodeID first_node,
                        std::span<const std::uint64_t> local_vertex_offsets,
                        const std::uint64_t buffer_size) {
-    while (_committed.load(std::memory_order_acquire) != packet_index) {
-      std::this_thread::yield();
-    }
-    const std::uint64_t base = _write_pos;
-    for (std::size_t i = 0; i < local_vertex_offsets.size(); ++i) {
-      _node_offsets[first_node + i] = base + local_vertex_offsets[i];
-    }
-    _write_pos = base + buffer_size;
+    wait_for_turn(packet_index);
+    const std::uint64_t base = claim(first_node, local_vertex_offsets, buffer_size);
     _committed.store(packet_index + 1, std::memory_order_release);
     return base;
+  }
+
+  /// Degraded-mode commit: appends `buffer` to `sink` *inside* the ordered
+  /// section (chunked growth has no random access, so the copy cannot be
+  /// deferred). The ticket is released even when the append fails, keeping
+  /// the commit chain alive for the remaining packets.
+  [[nodiscard]] Status commit_append(const std::uint64_t packet_index, const NodeID first_node,
+                                     std::span<const std::uint64_t> local_vertex_offsets,
+                                     ChunkedByteBuffer &sink,
+                                     std::span<const std::uint8_t> buffer) {
+    wait_for_turn(packet_index);
+    claim(first_node, local_vertex_offsets, buffer.size());
+    Status status = sink.append(buffer.data(), buffer.size());
+    _committed.store(packet_index + 1, std::memory_order_release);
+    return status;
   }
 
   /// Total bytes written; valid once all packets are committed.
   [[nodiscard]] std::uint64_t total_bytes() const { return _write_pos; }
 
 private:
-  OvercommitArray<std::uint8_t> &_bytes;
+  void wait_for_turn(const std::uint64_t packet_index) const {
+    while (_committed.load(std::memory_order_acquire) != packet_index) {
+      std::this_thread::yield();
+    }
+  }
+
+  std::uint64_t claim(const NodeID first_node,
+                      std::span<const std::uint64_t> local_vertex_offsets,
+                      const std::uint64_t buffer_size) {
+    const std::uint64_t base = _write_pos;
+    for (std::size_t i = 0; i < local_vertex_offsets.size(); ++i) {
+      _node_offsets[first_node + i] = base + local_vertex_offsets[i];
+    }
+    _write_pos = base + buffer_size;
+    return base;
+  }
+
   std::span<std::uint64_t> _node_offsets;
   std::atomic<std::uint64_t> _committed{0};
   // Mutated only by the current ticket holder; the acquire/release pair on
@@ -55,11 +140,48 @@ private:
   std::uint64_t _write_pos = 0;
 };
 
+/// First error wins; later ones (usually cascades of the first) are dropped.
+class ErrorCollector {
+public:
+  void record(Error error) {
+    std::lock_guard lock(_mutex);
+    if (!_error) {
+      _error = std::move(error);
+    }
+    _failed.store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool failed() const { return _failed.load(std::memory_order_acquire); }
+
+  [[nodiscard]] std::optional<Error> take() { return std::move(_error); }
+
+private:
+  std::mutex _mutex;
+  std::optional<Error> _error;
+  std::atomic<bool> _failed{false};
+};
+
+/// Finalizes the degraded chunked stream: one exact-sized reservation (no
+/// overcommit slack — the size is known now) plus a single copy. The decode
+/// kernels issue one unaligned 64-bit load at the stream position, so the
+/// reservation keeps kVarIntDecodePadding readable bytes past the end
+/// (CompressedGraph shrinks to exactly that).
+Result<OvercommitArray<std::uint8_t>, Error> materialize_chunked(const ChunkedByteBuffer &chunked) {
+  OvercommitArray<std::uint8_t> exact;
+  if (!exact.try_reserve(chunked.size() + kVarIntDecodePadding)) {
+    return resource_error(ErrorCode::kReservationFailed, chunked.size(),
+                          "cannot reserve exact-sized compressed stream after chunked growth",
+                          errno);
+  }
+  chunked.copy_into(exact.data());
+  return exact;
+}
+
 } // namespace
 
-CompressedGraph compress_graph_parallel(const CsrGraph &graph,
-                                        const ParallelCompressionConfig &config,
-                                        std::string memory_category) {
+Result<CompressionOutcome, Error>
+try_compress_graph_parallel(const CsrGraph &graph, const ParallelCompressionConfig &config,
+                            std::string memory_category) {
   ScopedPhase phase("compression");
   const NodeID n = graph.n();
   const EdgeID m = graph.m();
@@ -80,10 +202,17 @@ CompressedGraph compress_graph_parallel(const CsrGraph &graph,
   packet_start.push_back(n);
   const std::size_t num_packets = packet_start.size() - 1;
 
-  OvercommitArray<std::uint8_t> bytes(
-      compressed_size_upper_bound(n, m, weighted, config.compression));
+  OvercommitArray<std::uint8_t> bytes;
+  ChunkedByteBuffer chunked;
+  const std::size_t upper_bound = compressed_size_upper_bound(n, m, weighted, config.compression);
+  const bool degraded = !bytes.try_reserve(upper_bound);
+  if (degraded) {
+    MetricsRegistry::global().add_counter("degraded/compressor_chunked_growth");
+  }
+
   std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
-  PacketCommitter committer(bytes, offsets);
+  PacketCommitter committer(offsets);
+  ErrorCollector errors;
 
   // FIFO dynamic loop: the committer requires packets to be claimed in
   // increasing order (LIFO stealing would deadlock on the ordered commit),
@@ -100,49 +229,115 @@ CompressedGraph compress_graph_parallel(const CsrGraph &graph,
     const NodeID end = packet_start[packet + 1];
     scratch.buffer.clear();
     scratch.local_offsets.clear();
-    for (NodeID u = begin; u < end; ++u) {
-      scratch.local_offsets.push_back(scratch.buffer.size());
-      const EdgeID first = graph.raw_nodes()[u];
-      const EdgeID last = graph.raw_nodes()[u + 1];
-      encode_neighborhood(u, first, graph.raw_edges().subspan(first, last - first),
-                          weighted ? graph.raw_edge_weights().subspan(first, last - first)
-                                   : std::span<const EdgeWeight>{},
-                          config.compression, scratch.buffer);
+    bool ok = !errors.failed();
+    if (ok) {
+      try {
+        for (NodeID u = begin; u < end; ++u) {
+          scratch.local_offsets.push_back(scratch.buffer.size());
+          const EdgeID first = graph.raw_nodes()[u];
+          const EdgeID last = graph.raw_nodes()[u + 1];
+          encode_neighborhood(u, first, graph.raw_edges().subspan(first, last - first),
+                              weighted ? graph.raw_edge_weights().subspan(first, last - first)
+                                       : std::span<const EdgeWeight>{},
+                              config.compression, scratch.buffer);
+        }
+      } catch (const std::bad_alloc &) {
+        errors.record(resource_error(ErrorCode::kAllocFailed, 0,
+                                     "cannot grow packet compression buffer"));
+        ok = false;
+      }
     }
-    const std::uint64_t base =
-        committer.commit(packet, begin, scratch.local_offsets, scratch.buffer.size());
-    std::memcpy(bytes.data() + base, scratch.buffer.data(), scratch.buffer.size());
+    fault::maybe_stall(fault::Point::kWorkerStall);
+    if (!ok || errors.failed()) {
+      // Claimed index must still commit (empty) to keep the chain alive.
+      committer.commit(packet, begin, {}, 0);
+      return;
+    }
+    if (degraded) {
+      if (Status s = committer.commit_append(packet, begin, scratch.local_offsets, chunked,
+                                             scratch.buffer);
+          !s) {
+        errors.record(s.error());
+        return;
+      }
+    } else {
+      const std::uint64_t base =
+          committer.commit(packet, begin, scratch.local_offsets, scratch.buffer.size());
+      std::memcpy(bytes.data() + base, scratch.buffer.data(), scratch.buffer.size());
+    }
     scratch.metrics.add("compression.packets");
     scratch.metrics.add("compression.bytes_written", scratch.buffer.size());
     scratch.metrics.record("compression.packet_bytes",
                            static_cast<double>(scratch.buffer.size()));
   });
 
-  offsets[n] = committer.total_bytes();
+  if (auto error = errors.take()) {
+    return *std::move(error);
+  }
+  const std::uint64_t total_bytes = committer.total_bytes();
+  offsets[n] = total_bytes;
+
+  if (degraded) {
+    auto exact = materialize_chunked(chunked);
+    if (!exact) {
+      return exact.error();
+    }
+    bytes = std::move(exact).value();
+  }
 
   std::vector<NodeWeight> node_weights(graph.raw_node_weights().begin(),
                                        graph.raw_node_weights().end());
-  return CompressedGraph(n, m, config.compression, std::move(offsets), std::move(bytes),
-                         offsets[n], weighted, std::move(node_weights),
-                         graph.total_edge_weight(), graph.max_degree(),
-                         std::move(memory_category));
+  return CompressionOutcome{
+      CompressedGraph(n, m, config.compression, std::move(offsets), std::move(bytes),
+                      total_bytes, weighted, std::move(node_weights), graph.total_edge_weight(),
+                      graph.max_degree(), std::move(memory_category)),
+      degraded};
 }
 
-CompressedGraph compress_tpg_single_pass(const std::filesystem::path &path,
-                                         const ParallelCompressionConfig &config,
-                                         std::string memory_category) {
+CompressedGraph compress_graph_parallel(const CsrGraph &graph,
+                                        const ParallelCompressionConfig &config,
+                                        std::string memory_category) {
+  auto result = try_compress_graph_parallel(graph, config, std::move(memory_category));
+  if (!result) {
+    throw std::runtime_error(result.error().to_string());
+  }
+  return std::move(result).value().graph;
+}
+
+Result<CompressionOutcome, Error>
+try_compress_tpg_single_pass(const std::filesystem::path &path,
+                             const ParallelCompressionConfig &config,
+                             std::string memory_category) {
   ScopedPhase phase("compression_io");
-  io::TpgStreamReader reader(path, config.packet_edges);
+  auto opened = io::TpgStreamReader::open(path, config.packet_edges);
+  if (!opened) {
+    return opened.error();
+  }
+  io::TpgStreamReader reader = std::move(opened).value();
   const io::TpgHeader &header = reader.header();
   const auto n = static_cast<NodeID>(header.n);
   const auto m = static_cast<EdgeID>(header.m);
   const bool weighted = header.has_edge_weights != 0;
 
-  OvercommitArray<std::uint8_t> bytes(
-      compressed_size_upper_bound(n, m, weighted, config.compression));
-  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
-  std::vector<NodeWeight> node_weights(header.has_node_weights != 0 ? n : 0);
-  PacketCommitter committer(bytes, offsets);
+  OvercommitArray<std::uint8_t> bytes;
+  ChunkedByteBuffer chunked;
+  const std::size_t upper_bound = compressed_size_upper_bound(n, m, weighted, config.compression);
+  const bool degraded = !bytes.try_reserve(upper_bound);
+  if (degraded) {
+    MetricsRegistry::global().add_counter("degraded/compressor_chunked_growth");
+  }
+
+  std::vector<std::uint64_t> offsets;
+  std::vector<NodeWeight> node_weights;
+  try {
+    offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+    node_weights.assign(header.has_node_weights != 0 ? n : 0, 0);
+  } catch (const std::bad_alloc &) {
+    return resource_error(ErrorCode::kAllocFailed, (static_cast<std::uint64_t>(n) + 1) * 8,
+                          "cannot allocate offset array for compressed graph");
+  }
+  PacketCommitter committer(offsets);
+  ErrorCollector errors;
 
   // Workers pull packets from the shared reader under a mutex (disk I/O is
   // serial anyway) and compress + commit concurrently.
@@ -170,11 +365,17 @@ CompressedGraph compress_tpg_single_pass(const std::filesystem::path &path,
       std::uint64_t first_edge = 0;
       {
         std::lock_guard lock(reader_mutex);
-        if (exhausted) {
+        if (exhausted || errors.failed()) {
           return;
         }
         io::TpgStreamReader::Packet packet;
-        if (!reader.next_packet(packet)) {
+        auto next = reader.try_next_packet(packet);
+        if (!next) {
+          errors.record(std::move(next.error()));
+          exhausted = true;
+          return;
+        }
+        if (!next.value()) {
           exhausted = true;
           return;
         }
@@ -192,25 +393,52 @@ CompressedGraph compress_tpg_single_pass(const std::filesystem::path &path,
 
       buffer.clear();
       local_offsets.clear();
+      bool ok = true;
       EdgeWeight local_weight_sum = 0;
       NodeID local_max_degree = 0;
       std::uint64_t edge_cursor = 0;
-      for (std::size_t i = 0; i < degrees.size(); ++i) {
-        const NodeID u = first_node + static_cast<NodeID>(i);
-        const NodeID deg = degrees[i];
-        local_offsets.push_back(buffer.size());
-        const std::span<const NodeID> vertex_targets{targets.data() + edge_cursor, deg};
-        std::span<const EdgeWeight> vertex_weights;
-        if (weighted) {
-          vertex_weights = {edge_weights.data() + edge_cursor, deg};
-          for (const EdgeWeight w : vertex_weights) {
-            local_weight_sum += w;
+      try {
+        for (std::size_t i = 0; ok && i < degrees.size(); ++i) {
+          const NodeID u = first_node + static_cast<NodeID>(i);
+          const NodeID deg = degrees[i];
+          local_offsets.push_back(buffer.size());
+          const std::span<const NodeID> vertex_targets{targets.data() + edge_cursor, deg};
+          // The encoder gap-codes strictly ascending targets and *asserts*
+          // sortedness; disk bytes must not be able to reach that assert.
+          for (NodeID j = 1; j < deg; ++j) {
+            if (vertex_targets[j] <= vertex_targets[j - 1]) {
+              errors.record(format_error(
+                  ErrorCode::kCorruptData, path.string(),
+                  "neighborhood of vertex " + std::to_string(u) +
+                      " is not strictly ascending at position " + std::to_string(j)));
+              ok = false;
+              break;
+            }
           }
+          if (!ok) {
+            break;
+          }
+          std::span<const EdgeWeight> vertex_weights;
+          if (weighted) {
+            vertex_weights = {edge_weights.data() + edge_cursor, deg};
+            for (const EdgeWeight w : vertex_weights) {
+              local_weight_sum += w;
+            }
+          }
+          encode_neighborhood(u, first_edge + edge_cursor, vertex_targets, vertex_weights,
+                              config.compression, buffer);
+          local_max_degree = std::max(local_max_degree, deg);
+          edge_cursor += deg;
         }
-        encode_neighborhood(u, first_edge + edge_cursor, vertex_targets, vertex_weights,
-                            config.compression, buffer);
-        local_max_degree = std::max(local_max_degree, deg);
-        edge_cursor += deg;
+      } catch (const std::bad_alloc &) {
+        errors.record(resource_error(ErrorCode::kAllocFailed, 0,
+                                     "cannot grow packet compression buffer"));
+        ok = false;
+      }
+      fault::maybe_stall(fault::Point::kWorkerStall);
+      if (!ok || errors.failed()) {
+        committer.commit(packet_index, first_node, {}, 0);
+        continue;
       }
       if (!weighted) {
         local_weight_sum = static_cast<EdgeWeight>(edge_cursor);
@@ -218,21 +446,54 @@ CompressedGraph compress_tpg_single_pass(const std::filesystem::path &path,
       total_edge_weight.fetch_add(local_weight_sum, std::memory_order_relaxed);
       par::atomic_max(max_degree, local_max_degree);
 
-      const std::uint64_t base =
-          committer.commit(packet_index, first_node, local_offsets, buffer.size());
-      std::memcpy(bytes.data() + base, buffer.data(), buffer.size());
+      if (degraded) {
+        if (Status s = committer.commit_append(packet_index, first_node, local_offsets, chunked,
+                                               buffer);
+            !s) {
+          errors.record(s.error());
+          continue;
+        }
+      } else {
+        const std::uint64_t base =
+            committer.commit(packet_index, first_node, local_offsets, buffer.size());
+        std::memcpy(bytes.data() + base, buffer.data(), buffer.size());
+      }
       metrics.add("compression.packets");
       metrics.add("compression.bytes_written", buffer.size());
       metrics.record("compression.packet_bytes", static_cast<double>(buffer.size()));
     }
   });
 
-  offsets[n] = committer.total_bytes();
+  if (auto error = errors.take()) {
+    return *std::move(error);
+  }
+  const std::uint64_t total_bytes = committer.total_bytes();
+  offsets[n] = total_bytes;
 
-  return CompressedGraph(n, m, config.compression, std::move(offsets), std::move(bytes),
-                         offsets[n], weighted, std::move(node_weights),
-                         total_edge_weight.load(std::memory_order_relaxed),
-                         max_degree.load(std::memory_order_relaxed), std::move(memory_category));
+  if (degraded) {
+    auto exact = materialize_chunked(chunked);
+    if (!exact) {
+      return exact.error();
+    }
+    bytes = std::move(exact).value();
+  }
+
+  return CompressionOutcome{
+      CompressedGraph(n, m, config.compression, std::move(offsets), std::move(bytes),
+                      total_bytes, weighted, std::move(node_weights),
+                      total_edge_weight.load(std::memory_order_relaxed),
+                      max_degree.load(std::memory_order_relaxed), std::move(memory_category)),
+      degraded};
+}
+
+CompressedGraph compress_tpg_single_pass(const std::filesystem::path &path,
+                                         const ParallelCompressionConfig &config,
+                                         std::string memory_category) {
+  auto result = try_compress_tpg_single_pass(path, config, std::move(memory_category));
+  if (!result) {
+    throw std::runtime_error(result.error().to_string());
+  }
+  return std::move(result).value().graph;
 }
 
 } // namespace terapart

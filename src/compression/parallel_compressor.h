@@ -16,10 +16,16 @@
 ///  - compress_tpg_single_pass: streams a TPG file from disk and compresses
 ///    during the (single) I/O pass; the uncompressed graph never exists in
 ///    memory.
+///
+/// Both exist as `try_*` variants returning `Result<CompressionOutcome,
+/// Error>`: I/O and format errors from the stream reader propagate as typed
+/// errors, and when the overcommit reservation is refused the compressor
+/// degrades to exact-sized chunked growth instead of failing (DESIGN.md §9).
 #pragma once
 
 #include <filesystem>
 
+#include "common/result.h"
 #include "compression/encoder.h"
 #include "graph/graph_io.h"
 
@@ -31,8 +37,20 @@ struct ParallelCompressionConfig {
   EdgeID packet_edges = 1 << 16;
 };
 
+/// A compressed graph plus how it was obtained: `degraded_chunked_growth` is
+/// set when the overcommit reservation failed and the byte stream was built
+/// through chunked growth + a final exact-sized copy instead. The graph
+/// itself is byte-identical either way.
+struct CompressionOutcome {
+  CompressedGraph graph;
+  bool degraded_chunked_growth = false;
+};
+
 /// Parallel compression of an in-memory CSR graph. Produces byte-identical
 /// output to the sequential compress_graph (tested for all thread counts).
+[[nodiscard]] Result<CompressionOutcome, Error>
+try_compress_graph_parallel(const CsrGraph &graph, const ParallelCompressionConfig &config = {},
+                            std::string memory_category = "graph");
 [[nodiscard]] CompressedGraph compress_graph_parallel(const CsrGraph &graph,
                                                       const ParallelCompressionConfig &config = {},
                                                       std::string memory_category = "graph");
@@ -40,6 +58,12 @@ struct ParallelCompressionConfig {
 /// Single-pass compressing load: streams the TPG file once, compressing
 /// packets in parallel while reading. Peak auxiliary memory is
 /// O(p * packet size); the uncompressed edge array is never materialized.
+/// The stream is untrusted: offsets, targets, and neighborhood sortedness
+/// are validated, and any violation yields a typed error (never an assert).
+[[nodiscard]] Result<CompressionOutcome, Error>
+try_compress_tpg_single_pass(const std::filesystem::path &path,
+                             const ParallelCompressionConfig &config = {},
+                             std::string memory_category = "graph");
 [[nodiscard]] CompressedGraph
 compress_tpg_single_pass(const std::filesystem::path &path,
                          const ParallelCompressionConfig &config = {},

@@ -1,32 +1,64 @@
 #include "graph/graph_io.h"
 
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cinttypes>
 #include <fstream>
-#include <sstream>
+#include <limits>
+#include <memory>
+#include <new>
 #include <stdexcept>
+#include <utility>
 
 #include "common/assert.h"
+#include "common/fault_injection.h"
 
 namespace terapart::io {
 
 namespace {
 
-void write_exact(std::FILE *file, const void *data, const std::size_t bytes) {
-  if (bytes > 0 && std::fwrite(data, 1, bytes, file) != bytes) {
-    throw std::runtime_error("short write");
+/// All read/write/seek primitives return `Status` and carry (path, offset,
+/// errno) so every failure in the binary paths is attributable to a byte
+/// range. The fault-injection points kShortRead/kShortWrite hook in here,
+/// which covers every binary I/O call site at once.
+
+Status try_read_exact(std::FILE *file, void *data, const std::size_t bytes,
+                      const std::string &path, const std::uint64_t offset) {
+  if (bytes == 0) {
+    return kOk;
   }
+  if (TP_FAULT_HIT(fault::Point::kShortRead)) {
+    return io_error(ErrorCode::kShortRead, path, offset, EIO, "injected short read");
+  }
+  if (std::fread(data, 1, bytes, file) != bytes) {
+    const bool hard_error = std::ferror(file) != 0;
+    return io_error(ErrorCode::kShortRead, path, offset, hard_error ? errno : 0,
+                    hard_error ? "read failed" : "unexpected end of file");
+  }
+  return kOk;
 }
 
-void read_exact(std::FILE *file, void *data, const std::size_t bytes) {
-  if (bytes > 0 && std::fread(data, 1, bytes, file) != bytes) {
-    throw std::runtime_error("short read");
+Status try_write_exact(std::FILE *file, const void *data, const std::size_t bytes,
+                       const std::string &path, const std::uint64_t offset) {
+  if (bytes == 0) {
+    return kOk;
   }
+  if (TP_FAULT_HIT(fault::Point::kShortWrite)) {
+    return io_error(ErrorCode::kShortWrite, path, offset, ENOSPC, "injected short write");
+  }
+  if (std::fwrite(data, 1, bytes, file) != bytes) {
+    return io_error(ErrorCode::kShortWrite, path, offset, errno, "write failed");
+  }
+  return kOk;
 }
 
-void seek_to(std::FILE *file, const std::uint64_t pos) {
-  if (std::fseek(file, static_cast<long>(pos), SEEK_SET) != 0) {
-    throw std::runtime_error("seek failed");
+Status try_seek_to(std::FILE *file, const std::uint64_t pos, const std::string &path) {
+  if (::fseeko(file, static_cast<off_t>(pos), SEEK_SET) != 0) {
+    return io_error(ErrorCode::kSeekFailed, path, pos, errno, "seek failed");
   }
+  return kOk;
 }
 
 struct FileCloser {
@@ -38,80 +70,267 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-FilePtr open_file(const std::filesystem::path &path, const char *mode) {
-  std::FILE *file = std::fopen(path.c_str(), mode);
-  if (file == nullptr) {
-    throw std::runtime_error("cannot open " + path.string());
+Result<std::uint64_t, Error> file_size_of(std::FILE *file, const std::string &path) {
+  struct ::stat st = {};
+  if (::fstat(::fileno(file), &st) != 0) {
+    return io_error(ErrorCode::kSeekFailed, path, 0, errno, "cannot stat file");
   }
-  return FilePtr(file);
+  return static_cast<std::uint64_t>(st.st_size);
 }
+
+/// Post-read structural check of the CSR arrays; must pass before the data
+/// reaches CsrGraph (whose constructor asserts these invariants in debug
+/// builds rather than reporting them).
+Status validate_tpg_structure(const std::vector<EdgeID> &nodes, const std::vector<NodeID> &edges,
+                              const TpgHeader &header, const std::string &path) {
+  if (nodes.front() != 0) {
+    return format_error(ErrorCode::kCorruptData, path, "offset array does not start at 0");
+  }
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    if (nodes[i + 1] < nodes[i]) {
+      return format_error(ErrorCode::kCorruptData, path,
+                          "offset array not monotone at vertex " + std::to_string(i));
+    }
+  }
+  if (nodes.back() != header.m) {
+    return format_error(ErrorCode::kCorruptData, path,
+                        "offset array ends at " + std::to_string(nodes.back()) +
+                            ", header declares m=" + std::to_string(header.m));
+  }
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (edges[e] >= header.n) {
+      return format_error(ErrorCode::kCorruptData, path,
+                          "edge " + std::to_string(e) + " targets vertex " +
+                              std::to_string(edges[e]) + " >= n=" + std::to_string(header.n));
+    }
+  }
+  return kOk;
+}
+
+[[noreturn]] void throw_error(const Error &error) { throw std::runtime_error(error.to_string()); }
 
 } // namespace
 
-void write_tpg(const std::filesystem::path &path, const CsrGraph &graph) {
-  FilePtr file = open_file(path, "wb");
+Status validate_tpg_header(const TpgHeader &header, const std::uint64_t file_size,
+                           const std::string &path) {
+  if (header.magic != kTpgMagic) {
+    return format_error(ErrorCode::kBadMagic, path, "not a TPG file (bad magic)");
+  }
+  if (header.has_node_weights > 1 || header.has_edge_weights > 1) {
+    return format_error(ErrorCode::kCorruptHeader, path,
+                        "weight flags must be 0 or 1, got node=" +
+                            std::to_string(header.has_node_weights) +
+                            " edge=" + std::to_string(header.has_edge_weights));
+  }
+  if (header.n > std::numeric_limits<NodeID>::max()) {
+    return format_error(ErrorCode::kCorruptHeader, path,
+                        "vertex count " + std::to_string(header.n) + " exceeds NodeID range");
+  }
+  // 128-bit arithmetic: n and m come straight from disk, so the implied byte
+  // counts may overflow 64 bits long before any comparison against the file
+  // size could catch them.
+  using U128 = unsigned __int128;
+  U128 expected = sizeof(TpgHeader);
+  expected += (static_cast<U128>(header.n) + 1) * sizeof(EdgeID);
+  expected += static_cast<U128>(header.m) * sizeof(NodeID);
+  if (header.has_node_weights != 0) {
+    expected += static_cast<U128>(header.n) * sizeof(NodeWeight);
+  }
+  if (header.has_edge_weights != 0) {
+    expected += static_cast<U128>(header.m) * sizeof(EdgeWeight);
+  }
+  if (expected > static_cast<U128>(std::numeric_limits<std::size_t>::max())) {
+    return format_error(ErrorCode::kCorruptHeader, path,
+                        "header implies a byte count that overflows std::size_t");
+  }
+  if (static_cast<U128>(file_size) != expected) {
+    return format_error(ErrorCode::kCorruptHeader, path,
+                        "header inconsistent with file size: expects " +
+                            std::to_string(static_cast<std::uint64_t>(expected)) +
+                            " bytes, file has " + std::to_string(file_size));
+  }
+  return kOk;
+}
+
+Status try_write_tpg(const std::filesystem::path &path, const CsrGraph &graph) {
+  const std::string path_str = path.string();
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return io_error(ErrorCode::kOpenFailed, path_str, 0, errno, "cannot open file for writing");
+  }
   const TpgHeader header{kTpgMagic, graph.n(), graph.m(),
                          graph.is_node_weighted() ? 1u : 0u,
                          graph.is_edge_weighted() ? 1u : 0u};
-  write_exact(file.get(), &header, sizeof(header));
-  write_exact(file.get(), graph.raw_nodes().data(), graph.raw_nodes().size() * sizeof(EdgeID));
-  write_exact(file.get(), graph.raw_edges().data(), graph.raw_edges().size() * sizeof(NodeID));
-  write_exact(file.get(), graph.raw_node_weights().data(),
-              graph.raw_node_weights().size() * sizeof(NodeWeight));
-  write_exact(file.get(), graph.raw_edge_weights().data(),
-              graph.raw_edge_weights().size() * sizeof(EdgeWeight));
+  std::uint64_t offset = 0;
+  const auto write_block = [&](const void *data, const std::size_t bytes) -> Status {
+    Status status = try_write_exact(file.get(), data, bytes, path_str, offset);
+    offset += bytes;
+    return status;
+  };
+  if (Status s = write_block(&header, sizeof(header)); !s) {
+    return s.error();
+  }
+  if (Status s = write_block(graph.raw_nodes().data(), graph.raw_nodes().size() * sizeof(EdgeID));
+      !s) {
+    return s.error();
+  }
+  if (Status s = write_block(graph.raw_edges().data(), graph.raw_edges().size() * sizeof(NodeID));
+      !s) {
+    return s.error();
+  }
+  if (Status s = write_block(graph.raw_node_weights().data(),
+                             graph.raw_node_weights().size() * sizeof(NodeWeight));
+      !s) {
+    return s.error();
+  }
+  if (Status s = write_block(graph.raw_edge_weights().data(),
+                             graph.raw_edge_weights().size() * sizeof(EdgeWeight));
+      !s) {
+    return s.error();
+  }
+  return kOk;
 }
 
-TpgHeader read_tpg_header(const std::filesystem::path &path) {
-  FilePtr file = open_file(path, "rb");
+void write_tpg(const std::filesystem::path &path, const CsrGraph &graph) {
+  if (Status status = try_write_tpg(path, graph); !status) {
+    throw_error(status.error());
+  }
+}
+
+Result<TpgHeader, Error> try_read_tpg_header(const std::filesystem::path &path) {
+  const std::string path_str = path.string();
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return io_error(ErrorCode::kOpenFailed, path_str, 0, errno, "cannot open file");
+  }
+  const auto size = file_size_of(file.get(), path_str);
+  if (!size) {
+    return size.error();
+  }
   TpgHeader header;
-  read_exact(file.get(), &header, sizeof(header));
-  if (header.magic != kTpgMagic) {
-    throw std::runtime_error("not a TPG file: " + path.string());
+  if (Status s = try_read_exact(file.get(), &header, sizeof(header), path_str, 0); !s) {
+    return s.error();
+  }
+  if (Status s = validate_tpg_header(header, size.value(), path_str); !s) {
+    return s.error();
   }
   return header;
 }
 
-CsrGraph read_tpg(const std::filesystem::path &path, std::string memory_category) {
-  FilePtr file = open_file(path, "rb");
+TpgHeader read_tpg_header(const std::filesystem::path &path) {
+  auto result = try_read_tpg_header(path);
+  if (!result) {
+    throw_error(result.error());
+  }
+  return result.value();
+}
+
+Result<CsrGraph, Error> try_read_tpg(const std::filesystem::path &path,
+                                     std::string memory_category) {
+  const std::string path_str = path.string();
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return io_error(ErrorCode::kOpenFailed, path_str, 0, errno, "cannot open file");
+  }
+  const auto size = file_size_of(file.get(), path_str);
+  if (!size) {
+    return size.error();
+  }
   TpgHeader header;
-  read_exact(file.get(), &header, sizeof(header));
-  if (header.magic != kTpgMagic) {
-    throw std::runtime_error("not a TPG file: " + path.string());
+  if (Status s = try_read_exact(file.get(), &header, sizeof(header), path_str, 0); !s) {
+    return s.error();
+  }
+  // Validation bounds n and m by the actual file size, so the allocations
+  // below are at most a small constant times the on-disk bytes.
+  if (Status s = validate_tpg_header(header, size.value(), path_str); !s) {
+    return s.error();
   }
 
-  std::vector<EdgeID> nodes(header.n + 1);
-  std::vector<NodeID> edges(header.m);
-  std::vector<NodeWeight> node_weights(header.has_node_weights != 0 ? header.n : 0);
-  std::vector<EdgeWeight> edge_weights(header.has_edge_weights != 0 ? header.m : 0);
+  std::vector<EdgeID> nodes;
+  std::vector<NodeID> edges;
+  std::vector<NodeWeight> node_weights;
+  std::vector<EdgeWeight> edge_weights;
+  try {
+    nodes.resize(header.n + 1);
+    edges.resize(header.m);
+    node_weights.resize(header.has_node_weights != 0 ? header.n : 0);
+    edge_weights.resize(header.has_edge_weights != 0 ? header.m : 0);
+  } catch (const std::bad_alloc &) {
+    return resource_error(ErrorCode::kAllocFailed, size.value(),
+                          "cannot allocate CSR arrays for " + path_str);
+  }
 
-  read_exact(file.get(), nodes.data(), nodes.size() * sizeof(EdgeID));
-  read_exact(file.get(), edges.data(), edges.size() * sizeof(NodeID));
-  read_exact(file.get(), node_weights.data(), node_weights.size() * sizeof(NodeWeight));
-  read_exact(file.get(), edge_weights.data(), edge_weights.size() * sizeof(EdgeWeight));
+  std::uint64_t offset = sizeof(TpgHeader);
+  const auto read_block = [&](void *data, const std::size_t bytes) -> Status {
+    Status status = try_read_exact(file.get(), data, bytes, path_str, offset);
+    offset += bytes;
+    return status;
+  };
+  if (Status s = read_block(nodes.data(), nodes.size() * sizeof(EdgeID)); !s) {
+    return s.error();
+  }
+  if (Status s = read_block(edges.data(), edges.size() * sizeof(NodeID)); !s) {
+    return s.error();
+  }
+  if (Status s = read_block(node_weights.data(), node_weights.size() * sizeof(NodeWeight)); !s) {
+    return s.error();
+  }
+  if (Status s = read_block(edge_weights.data(), edge_weights.size() * sizeof(EdgeWeight)); !s) {
+    return s.error();
+  }
+
+  if (Status s = validate_tpg_structure(nodes, edges, header, path_str); !s) {
+    return s.error();
+  }
 
   return CsrGraph(std::move(nodes), std::move(edges), std::move(node_weights),
                   std::move(edge_weights), std::move(memory_category));
 }
 
-TpgStreamReader::TpgStreamReader(const std::filesystem::path &path,
-                                 const std::size_t buffer_edges)
-    : _buffer_edges(std::max<std::size_t>(1, buffer_edges)) {
-  _file = std::fopen(path.c_str(), "rb");
-  if (_file == nullptr) {
-    throw std::runtime_error("cannot open " + path.string());
+CsrGraph read_tpg(const std::filesystem::path &path, std::string memory_category) {
+  auto result = try_read_tpg(path, std::move(memory_category));
+  if (!result) {
+    throw_error(result.error());
   }
-  read_exact(_file, &_header, sizeof(_header));
-  if (_header.magic != kTpgMagic) {
-    std::fclose(_file);
-    _file = nullptr;
-    throw std::runtime_error("not a TPG file: " + path.string());
+  return std::move(result).value();
+}
+
+Result<TpgStreamReader, Error> TpgStreamReader::open(const std::filesystem::path &path,
+                                                    const std::size_t buffer_edges) {
+  TpgStreamReader reader;
+  reader._path = path.string();
+  reader._buffer_edges = std::max<std::size_t>(1, buffer_edges);
+  reader._file = std::fopen(path.c_str(), "rb");
+  if (reader._file == nullptr) {
+    return io_error(ErrorCode::kOpenFailed, reader._path, 0, errno, "cannot open file");
   }
-  _offsets_pos = sizeof(TpgHeader);
-  _targets_pos = _offsets_pos + (_header.n + 1) * sizeof(EdgeID);
-  _node_weights_pos = _targets_pos + _header.m * sizeof(NodeID);
-  _edge_weights_pos =
-      _node_weights_pos + (_header.has_node_weights != 0 ? _header.n * sizeof(NodeWeight) : 0);
+  const auto size = file_size_of(reader._file, reader._path);
+  if (!size) {
+    return size.error();
+  }
+  if (Status s = try_read_exact(reader._file, &reader._header, sizeof(reader._header),
+                                reader._path, 0);
+      !s) {
+    return s.error();
+  }
+  if (Status s = validate_tpg_header(reader._header, size.value(), reader._path); !s) {
+    return s.error();
+  }
+  reader._offsets_pos = sizeof(TpgHeader);
+  reader._targets_pos = reader._offsets_pos + (reader._header.n + 1) * sizeof(EdgeID);
+  reader._node_weights_pos = reader._targets_pos + reader._header.m * sizeof(NodeID);
+  reader._edge_weights_pos =
+      reader._node_weights_pos +
+      (reader._header.has_node_weights != 0 ? reader._header.n * sizeof(NodeWeight) : 0);
+  return reader;
+}
+
+TpgStreamReader::TpgStreamReader(const std::filesystem::path &path, const std::size_t buffer_edges) {
+  auto result = open(path, buffer_edges);
+  if (!result) {
+    throw_error(result.error());
+  }
+  *this = std::move(result).value();
 }
 
 TpgStreamReader::~TpgStreamReader() {
@@ -120,12 +339,63 @@ TpgStreamReader::~TpgStreamReader() {
   }
 }
 
+TpgStreamReader::TpgStreamReader(TpgStreamReader &&other) noexcept
+    : _file(std::exchange(other._file, nullptr)),
+      _header(other._header),
+      _path(std::move(other._path)),
+      _next_node(other._next_node),
+      _buffer_edges(other._buffer_edges),
+      _poisoned(other._poisoned),
+      _offsets(std::move(other._offsets)),
+      _degrees(std::move(other._degrees)),
+      _node_weights(std::move(other._node_weights)),
+      _targets(std::move(other._targets)),
+      _edge_weights(std::move(other._edge_weights)),
+      _offsets_pos(other._offsets_pos),
+      _targets_pos(other._targets_pos),
+      _node_weights_pos(other._node_weights_pos),
+      _edge_weights_pos(other._edge_weights_pos) {}
+
+TpgStreamReader &TpgStreamReader::operator=(TpgStreamReader &&other) noexcept {
+  if (this != &other) {
+    if (_file != nullptr) {
+      std::fclose(_file);
+    }
+    _file = std::exchange(other._file, nullptr);
+    _header = other._header;
+    _path = std::move(other._path);
+    _next_node = other._next_node;
+    _buffer_edges = other._buffer_edges;
+    _poisoned = other._poisoned;
+    _offsets = std::move(other._offsets);
+    _degrees = std::move(other._degrees);
+    _node_weights = std::move(other._node_weights);
+    _targets = std::move(other._targets);
+    _edge_weights = std::move(other._edge_weights);
+    _offsets_pos = other._offsets_pos;
+    _targets_pos = other._targets_pos;
+    _node_weights_pos = other._node_weights_pos;
+    _edge_weights_pos = other._edge_weights_pos;
+  }
+  return *this;
+}
+
 void TpgStreamReader::rewind() { _next_node = 0; }
 
-bool TpgStreamReader::next_packet(Packet &packet) {
+Result<bool, Error> TpgStreamReader::try_next_packet(Packet &packet) {
+  if (_poisoned) {
+    return format_error(ErrorCode::kCorruptData, _path,
+                        "stream reader poisoned by an earlier error");
+  }
   if (_next_node >= _header.n) {
     return false;
   }
+  // Any early return below that carries an Error must poison the reader so
+  // callers cannot resume mid-stream with inconsistent state.
+  const auto poison = [this](Error error) {
+    _poisoned = true;
+    return error;
+  };
 
   // Stage offsets: P[first .. first + count] where count is chosen so the
   // packet holds ~buffer_edges edges (always at least one vertex).
@@ -135,14 +405,47 @@ bool TpgStreamReader::next_packet(Packet &packet) {
   std::uint64_t count = 0;
   _offsets.clear();
   _offsets.resize(1);
-  seek_to(_file, _offsets_pos + static_cast<std::uint64_t>(first) * sizeof(EdgeID));
-  read_exact(_file, _offsets.data(), sizeof(EdgeID));
+  if (Status s = try_seek_to(_file, _offsets_pos + static_cast<std::uint64_t>(first) * sizeof(EdgeID),
+                             _path);
+      !s) {
+    return poison(s.error());
+  }
+  if (Status s = try_read_exact(_file, _offsets.data(), sizeof(EdgeID), _path,
+                                _offsets_pos + static_cast<std::uint64_t>(first) * sizeof(EdgeID));
+      !s) {
+    return poison(s.error());
+  }
   const EdgeID first_edge = _offsets[0];
+  if (first_edge > _header.m) {
+    return poison(format_error(ErrorCode::kCorruptData, _path,
+                               "offset of vertex " + std::to_string(first) + " is " +
+                                   std::to_string(first_edge) + " > m=" +
+                                   std::to_string(_header.m)));
+  }
   while (count < remaining) {
     const std::uint64_t slab = std::min<std::uint64_t>(remaining - count, 4096);
     const std::size_t old_size = _offsets.size();
     _offsets.resize(old_size + slab);
-    read_exact(_file, _offsets.data() + old_size, slab * sizeof(EdgeID));
+    const std::uint64_t slab_pos =
+        _offsets_pos + (static_cast<std::uint64_t>(first) + old_size) * sizeof(EdgeID);
+    if (Status s = try_read_exact(_file, _offsets.data() + old_size, slab * sizeof(EdgeID), _path,
+                                  slab_pos);
+        !s) {
+      return poison(s.error());
+    }
+    // Untrusted offsets: enforce monotonicity and the m bound slab by slab,
+    // before the values are used to size or seek anything.
+    for (std::uint64_t i = 0; i < slab; ++i) {
+      const EdgeID prev = _offsets[old_size + i - 1];
+      const EdgeID cur = _offsets[old_size + i];
+      if (cur < prev || cur > _header.m) {
+        return poison(format_error(
+            ErrorCode::kCorruptData, _path,
+            "offset array not monotone or out of range at vertex " +
+                std::to_string(first + (old_size - 1) + i) + ": " + std::to_string(prev) +
+                " -> " + std::to_string(cur) + " (m=" + std::to_string(_header.m) + ")"));
+      }
+    }
     // Accept vertices from this slab while within budget.
     std::uint64_t accepted = 0;
     while (accepted < slab) {
@@ -168,25 +471,58 @@ bool TpgStreamReader::next_packet(Packet &packet) {
 
   _degrees.resize(count);
   for (std::uint64_t i = 0; i < count; ++i) {
-    _degrees[i] = static_cast<NodeID>(_offsets[i + 1] - _offsets[i]);
+    const EdgeID degree = _offsets[i + 1] - _offsets[i];
+    if (degree > std::numeric_limits<NodeID>::max()) {
+      return poison(format_error(ErrorCode::kCorruptData, _path,
+                                 "degree of vertex " + std::to_string(first + i) +
+                                     " exceeds NodeID range"));
+    }
+    _degrees[i] = static_cast<NodeID>(degree);
   }
 
   _targets.resize(num_edges);
-  seek_to(_file, _targets_pos + first_edge * sizeof(NodeID));
-  read_exact(_file, _targets.data(), num_edges * sizeof(NodeID));
+  if (Status s = try_seek_to(_file, _targets_pos + first_edge * sizeof(NodeID), _path); !s) {
+    return poison(s.error());
+  }
+  if (Status s = try_read_exact(_file, _targets.data(), num_edges * sizeof(NodeID), _path,
+                                _targets_pos + first_edge * sizeof(NodeID));
+      !s) {
+    return poison(s.error());
+  }
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    if (_targets[e] >= _header.n) {
+      return poison(format_error(ErrorCode::kCorruptData, _path,
+                                 "edge " + std::to_string(first_edge + e) + " targets vertex " +
+                                     std::to_string(_targets[e]) +
+                                     " >= n=" + std::to_string(_header.n)));
+    }
+  }
 
   if (_header.has_node_weights != 0) {
     _node_weights.resize(count);
-    seek_to(_file, _node_weights_pos + static_cast<std::uint64_t>(first) * sizeof(NodeWeight));
-    read_exact(_file, _node_weights.data(), count * sizeof(NodeWeight));
+    const std::uint64_t pos = _node_weights_pos + static_cast<std::uint64_t>(first) * sizeof(NodeWeight);
+    if (Status s = try_seek_to(_file, pos, _path); !s) {
+      return poison(s.error());
+    }
+    if (Status s = try_read_exact(_file, _node_weights.data(), count * sizeof(NodeWeight), _path, pos);
+        !s) {
+      return poison(s.error());
+    }
   } else {
     _node_weights.clear();
   }
 
   if (_header.has_edge_weights != 0) {
     _edge_weights.resize(num_edges);
-    seek_to(_file, _edge_weights_pos + first_edge * sizeof(EdgeWeight));
-    read_exact(_file, _edge_weights.data(), num_edges * sizeof(EdgeWeight));
+    const std::uint64_t pos = _edge_weights_pos + first_edge * sizeof(EdgeWeight);
+    if (Status s = try_seek_to(_file, pos, _path); !s) {
+      return poison(s.error());
+    }
+    if (Status s = try_read_exact(_file, _edge_weights.data(), num_edges * sizeof(EdgeWeight),
+                                  _path, pos);
+        !s) {
+      return poison(s.error());
+    }
   } else {
     _edge_weights.clear();
   }
@@ -200,6 +536,14 @@ bool TpgStreamReader::next_packet(Packet &packet) {
 
   _next_node = first + static_cast<NodeID>(count);
   return true;
+}
+
+bool TpgStreamReader::next_packet(Packet &packet) {
+  auto result = try_next_packet(packet);
+  if (!result) {
+    throw_error(result.error());
+  }
+  return result.value();
 }
 
 void write_metis(const std::filesystem::path &path, const CsrGraph &graph) {
@@ -233,61 +577,250 @@ void write_metis(const std::filesystem::path &path, const CsrGraph &graph) {
   }
 }
 
-CsrGraph read_metis(const std::filesystem::path &path, std::string memory_category) {
-  std::ifstream in(path);
-  if (!in) {
-    throw std::runtime_error("cannot open " + path.string());
-  }
-  std::string line;
-  // Skip comments.
-  while (std::getline(in, line) && !line.empty() && line[0] == '%') {
-  }
-  std::istringstream header(line);
-  std::uint64_t n = 0;
-  std::uint64_t undirected_m = 0;
-  std::string fmt = "0";
-  header >> n >> undirected_m;
-  if (!(header >> fmt)) {
-    fmt = "0";
-  }
-  const bool has_node_weights = fmt.size() >= 2 && fmt[fmt.size() - 2] == '1';
-  const bool has_edge_weights = !fmt.empty() && fmt.back() == '1';
+namespace {
 
-  std::vector<EdgeID> nodes(n + 1, 0);
-  std::vector<NodeID> edges;
-  edges.reserve(2 * undirected_m);
-  std::vector<NodeWeight> node_weights(has_node_weights ? n : 0);
-  std::vector<EdgeWeight> edge_weights;
-  if (has_edge_weights) {
-    edge_weights.reserve(2 * undirected_m);
-  }
+/// Hand-rolled token scanner over one METIS line; tracks the 1-based column
+/// so syntax errors are pinpointed exactly.
+struct LineCursor {
+  const std::string &line;
+  std::uint64_t line_no;
+  std::size_t pos = 0;
 
-  for (std::uint64_t u = 0; u < n; ++u) {
-    if (!std::getline(in, line)) {
-      throw std::runtime_error("unexpected end of METIS file");
+  void skip_ws() {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t' || line[pos] == '\r')) {
+      ++pos;
     }
-    if (!line.empty() && line[0] == '%') {
-      --u;
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos >= line.size();
+  }
+
+  [[nodiscard]] std::uint64_t column() const { return pos + 1; }
+
+  /// Parses one unsigned decimal integer; on failure fills `error` with the
+  /// exact line/column and returns false.
+  [[nodiscard]] bool parse_uint(std::uint64_t &out, Error &error, const std::string &path,
+                                const char *what) {
+    skip_ws();
+    if (pos >= line.size() || line[pos] < '0' || line[pos] > '9') {
+      error = format_error(ErrorCode::kParseError, path,
+                           std::string("expected ") + what, line_no, column());
+      return false;
+    }
+    std::uint64_t value = 0;
+    while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+      const std::uint64_t digit = static_cast<std::uint64_t>(line[pos] - '0');
+      if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+        error = format_error(ErrorCode::kParseError, path,
+                             std::string(what) + " overflows 64 bits", line_no, column());
+        return false;
+      }
+      value = value * 10 + digit;
+      ++pos;
+    }
+    // A number must end at whitespace or end of line; "12x" is an error.
+    if (pos < line.size() && line[pos] != ' ' && line[pos] != '\t' && line[pos] != '\r') {
+      error = format_error(ErrorCode::kParseError, path,
+                           std::string("invalid character in ") + what, line_no, column());
+      return false;
+    }
+    out = value;
+    return true;
+  }
+};
+
+/// A comment line has `%` as its first non-whitespace character.
+bool is_metis_comment(const std::string &line) {
+  for (const char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r') {
       continue;
     }
-    std::istringstream tokens(line);
-    if (has_node_weights) {
-      tokens >> node_weights[u];
+    return c == '%';
+  }
+  return false;
+}
+
+bool is_blank(const std::string &line) {
+  for (const char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') {
+      return false;
     }
-    std::uint64_t v = 0;
-    while (tokens >> v) {
-      edges.push_back(static_cast<NodeID>(v - 1));
-      if (has_edge_weights) {
-        EdgeWeight w = 1;
-        tokens >> w;
-        edge_weights.push_back(w);
-      }
-    }
-    nodes[u + 1] = edges.size();
+  }
+  return true;
+}
+
+} // namespace
+
+Result<CsrGraph, Error> try_read_metis(const std::filesystem::path &path,
+                                       std::string memory_category) {
+  const std::string path_str = path.string();
+  std::ifstream in(path);
+  if (!in) {
+    return io_error(ErrorCode::kOpenFailed, path_str, 0, errno, "cannot open file");
   }
 
-  return CsrGraph(std::move(nodes), std::move(edges), std::move(node_weights),
-                  std::move(edge_weights), std::move(memory_category));
+  std::string line;
+  std::uint64_t line_no = 0;
+
+  // Header: the first line that is neither a comment nor blank.
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (is_metis_comment(line) || is_blank(line)) {
+      continue;
+    }
+    have_header = true;
+    break;
+  }
+  if (!have_header) {
+    return format_error(ErrorCode::kParseError, path_str, "missing METIS header line",
+                        line_no + 1);
+  }
+
+  Error error;
+  const std::uint64_t header_line_no = line_no;
+  LineCursor header{line, line_no};
+  std::uint64_t n = 0;
+  std::uint64_t undirected_m = 0;
+  if (!header.parse_uint(n, error, path_str, "vertex count") ||
+      !header.parse_uint(undirected_m, error, path_str, "edge count")) {
+    return error;
+  }
+  bool has_node_weights = false;
+  bool has_edge_weights = false;
+  if (!header.at_end()) {
+    // fmt: up to three [01] digits — <sizes><node weights><edge weights>.
+    const std::size_t fmt_col = header.column();
+    std::uint64_t fmt_value = 0;
+    if (!header.parse_uint(fmt_value, error, path_str, "format code")) {
+      return error;
+    }
+    if (fmt_value > 111 || fmt_value % 10 > 1 || (fmt_value / 10) % 10 > 1) {
+      return format_error(ErrorCode::kParseError, path_str,
+                          "format code must be combination of digits 0/1 (got " +
+                              std::to_string(fmt_value) + ")",
+                          line_no, fmt_col);
+    }
+    if (fmt_value >= 100) {
+      return format_error(ErrorCode::kParseError, path_str,
+                          "vertex sizes (fmt=1xx) are not supported", line_no, fmt_col);
+    }
+    has_node_weights = (fmt_value / 10) % 10 == 1;
+    has_edge_weights = fmt_value % 10 == 1;
+    if (!header.at_end()) {
+      const std::size_t ncon_col = header.column();
+      std::uint64_t ncon = 0;
+      if (!header.parse_uint(ncon, error, path_str, "constraint count")) {
+        return error;
+      }
+      if (ncon != 1) {
+        return format_error(ErrorCode::kParseError, path_str,
+                            "only one vertex weight per vertex is supported (ncon=" +
+                                std::to_string(ncon) + ")",
+                            line_no, ncon_col);
+      }
+      if (!header.at_end()) {
+        return format_error(ErrorCode::kParseError, path_str,
+                            "unexpected extra token after header", line_no, header.column());
+      }
+    }
+  }
+  if (n > std::numeric_limits<NodeID>::max()) {
+    return format_error(ErrorCode::kParseError, path_str,
+                        "vertex count " + std::to_string(n) + " exceeds NodeID range",
+                        header_line_no, 1);
+  }
+
+  try {
+    std::vector<EdgeID> nodes(n + 1, 0);
+    std::vector<NodeID> edges;
+    std::vector<NodeWeight> node_weights(has_node_weights ? n : 0);
+    std::vector<EdgeWeight> edge_weights;
+    // Reserve from the (untrusted) header only when plausible; a lying m
+    // costs a few reallocations instead of a multi-TB reservation.
+    if (undirected_m <= (1ULL << 32)) {
+      edges.reserve(2 * undirected_m);
+      if (has_edge_weights) {
+        edge_weights.reserve(2 * undirected_m);
+      }
+    }
+
+    std::uint64_t u = 0;
+    while (u < n) {
+      if (!std::getline(in, line)) {
+        return format_error(ErrorCode::kParseError, path_str,
+                            "unexpected end of file: expected " + std::to_string(n) +
+                                " vertex lines, found " + std::to_string(u),
+                            line_no + 1);
+      }
+      ++line_no;
+      if (is_metis_comment(line)) {
+        continue;
+      }
+      // A blank line is a valid isolated vertex (degree 0, weight required
+      // if the format declares vertex weights).
+      LineCursor cursor{line, line_no};
+      if (has_node_weights) {
+        std::uint64_t weight = 0;
+        if (!cursor.parse_uint(weight, error, path_str, "vertex weight")) {
+          return error;
+        }
+        node_weights[u] = static_cast<NodeWeight>(weight);
+      }
+      while (!cursor.at_end()) {
+        const std::size_t neighbor_col = cursor.column();
+        std::uint64_t v = 0;
+        if (!cursor.parse_uint(v, error, path_str, "neighbor index")) {
+          return error;
+        }
+        if (v < 1 || v > n) {
+          return format_error(ErrorCode::kParseError, path_str,
+                              "neighbor index " + std::to_string(v) + " out of range [1, " +
+                                  std::to_string(n) + "]",
+                              line_no, neighbor_col);
+        }
+        edges.push_back(static_cast<NodeID>(v - 1));
+        if (has_edge_weights) {
+          std::uint64_t w = 0;
+          if (cursor.at_end()) {
+            return format_error(ErrorCode::kParseError, path_str,
+                                "expected edge weight after neighbor index", line_no,
+                                cursor.column());
+          }
+          if (!cursor.parse_uint(w, error, path_str, "edge weight")) {
+            return error;
+          }
+          edge_weights.push_back(static_cast<EdgeWeight>(w));
+        }
+      }
+      nodes[u + 1] = edges.size();
+      ++u;
+    }
+
+    if (edges.size() != 2 * undirected_m) {
+      return format_error(ErrorCode::kParseError, path_str,
+                          "header declares " + std::to_string(undirected_m) +
+                              " undirected edges (" + std::to_string(2 * undirected_m) +
+                              " directed), found " + std::to_string(edges.size()),
+                          header_line_no, 1);
+    }
+
+    return CsrGraph(std::move(nodes), std::move(edges), std::move(node_weights),
+                    std::move(edge_weights), std::move(memory_category));
+  } catch (const std::bad_alloc &) {
+    return resource_error(ErrorCode::kAllocFailed, 0,
+                          "cannot allocate CSR arrays for " + path_str);
+  }
+}
+
+CsrGraph read_metis(const std::filesystem::path &path, std::string memory_category) {
+  auto result = try_read_metis(path, std::move(memory_category));
+  if (!result) {
+    throw_error(result.error());
+  }
+  return std::move(result).value();
 }
 
 } // namespace terapart::io

@@ -9,14 +9,22 @@
 ///    (Section III-B) and the semi-external baseline (Section VII).
 ///  - **METIS text** — interoperability with the classic partitioning tools
 ///    (this is what MT-METIS parses; the paper notes the parsing overhead).
+///
+/// Disk bytes are untrusted: headers are validated against the actual file
+/// size before sizing any allocation, CSR structure is checked after reading,
+/// and METIS syntax errors carry line/column. Every operation exists in two
+/// flavors — a `try_*` function returning `Result<T, Error>` (the primary
+/// API; see DESIGN.md §9) and a throwing wrapper kept for callers that have
+/// no recovery path.
 #pragma once
 
 #include <cstdio>
 #include <filesystem>
-#include <functional>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "common/result.h"
 #include "graph/csr_graph.h"
 
 namespace terapart::io {
@@ -31,15 +39,28 @@ struct TpgHeader {
   std::uint64_t has_edge_weights = 0;
 };
 
+///// Checks an untrusted header against the actual on-disk byte count:
+/// magic, weight flags in {0, 1}, `n` within NodeID range, and the implied
+/// array sizes — computed overflow-safely — summing to exactly `file_size`.
+[[nodiscard]] Status validate_tpg_header(const TpgHeader &header, std::uint64_t file_size,
+                                         const std::string &path);
+
 /// Writes `graph` in TPG binary format.
+[[nodiscard]] Status try_write_tpg(const std::filesystem::path &path, const CsrGraph &graph);
 void write_tpg(const std::filesystem::path &path, const CsrGraph &graph);
 
+/// Reads and validates only the header (cheap; used to size overcommit
+/// buffers before streaming).
+[[nodiscard]] Result<TpgHeader, Error> try_read_tpg_header(const std::filesystem::path &path);
+[[nodiscard]] TpgHeader read_tpg_header(const std::filesystem::path &path);
+
 /// Loads a TPG binary file entirely into memory as an uncompressed CsrGraph.
+/// The header is validated against the file size before any allocation and
+/// the CSR arrays are structurally checked after reading.
+[[nodiscard]] Result<CsrGraph, Error> try_read_tpg(const std::filesystem::path &path,
+                                                   std::string memory_category = "graph");
 [[nodiscard]] CsrGraph read_tpg(const std::filesystem::path &path,
                                 std::string memory_category = "graph");
-
-/// Reads only the header (cheap; used to size overcommit buffers).
-[[nodiscard]] TpgHeader read_tpg_header(const std::filesystem::path &path);
 
 /// Streaming reader over a TPG file: yields consecutive vertices together
 /// with their neighborhoods without ever materializing the full edge array.
@@ -48,11 +69,20 @@ void write_tpg(const std::filesystem::path &path, const CsrGraph &graph);
 /// compression and the semi-external algorithms possible.
 class TpgStreamReader {
 public:
+  /// Fallible open: validates the header against the file size, so a reader
+  /// that opens successfully has trustworthy `n`/`m`. Packet payloads are
+  /// still validated incrementally by try_next_packet().
+  [[nodiscard]] static Result<TpgStreamReader, Error>
+  open(const std::filesystem::path &path, std::size_t buffer_edges = 1 << 20);
+
+  /// Throwing wrapper around open().
   explicit TpgStreamReader(const std::filesystem::path &path, std::size_t buffer_edges = 1 << 20);
   ~TpgStreamReader();
 
   TpgStreamReader(const TpgStreamReader &) = delete;
   TpgStreamReader &operator=(const TpgStreamReader &) = delete;
+  TpgStreamReader(TpgStreamReader &&other) noexcept;
+  TpgStreamReader &operator=(TpgStreamReader &&other) noexcept;
 
   [[nodiscard]] const TpgHeader &header() const { return _header; }
 
@@ -70,7 +100,13 @@ public:
   };
 
   /// Reads the next packet of consecutive vertices totalling roughly the
-  /// buffer capacity in edges. Returns false at end of file.
+  /// buffer capacity in edges. Returns true with `packet` filled, false at
+  /// end of file, or a typed error (short read, non-monotone offsets,
+  /// out-of-range targets). After an error the reader is poisoned: further
+  /// calls return the same error.
+  [[nodiscard]] Result<bool, Error> try_next_packet(Packet &packet);
+
+  /// Throwing wrapper around try_next_packet().
   [[nodiscard]] bool next_packet(Packet &packet);
 
   /// Restarts streaming from the first vertex (semi-external algorithms make
@@ -78,10 +114,14 @@ public:
   void rewind();
 
 private:
+  TpgStreamReader() = default;
+
   std::FILE *_file = nullptr;
   TpgHeader _header;
+  std::string _path;
   NodeID _next_node = 0;
-  std::size_t _buffer_edges;
+  std::size_t _buffer_edges = 1 << 20;
+  bool _poisoned = false;
 
   std::vector<EdgeID> _offsets;      // staged offsets for the current packet
   std::vector<NodeID> _degrees;
@@ -98,7 +138,11 @@ private:
 /// Writes `graph` in METIS text format (1-indexed).
 void write_metis(const std::filesystem::path &path, const CsrGraph &graph);
 
-/// Parses a METIS text file.
+/// Parses a METIS text file. Errors carry 1-based line/column; `%` comment
+/// lines are skipped anywhere, blank lines are isolated vertices, and the
+/// declared edge count is checked against the parsed one.
+[[nodiscard]] Result<CsrGraph, Error> try_read_metis(const std::filesystem::path &path,
+                                                     std::string memory_category = "graph");
 [[nodiscard]] CsrGraph read_metis(const std::filesystem::path &path,
                                   std::string memory_category = "graph");
 

@@ -1,8 +1,13 @@
 #include "partition/facade.h"
 
 #include <cmath>
+#include <exception>
+#include <new>
 #include <thread>
 
+#include "common/metrics_registry.h"
+#include "compression/parallel_compressor.h"
+#include "graph/graph_io.h"
 #include "parallel/thread_pool.h"
 
 namespace terapart {
@@ -113,6 +118,69 @@ PartitionResult Partitioner::partition(const CsrGraph &graph) const { return run
 
 PartitionResult Partitioner::partition(const CompressedGraph &graph) const {
   return run(graph);
+}
+
+template <typename Graph>
+Result<PartitionResult, Error> Partitioner::try_run(const Graph &graph) const {
+  try {
+    return run(graph);
+  } catch (const std::bad_alloc &) {
+    return resource_error(ErrorCode::kAllocFailed, 0, "allocation failed during partitioning");
+  } catch (const std::exception &e) {
+    return internal_error(std::string("exception escaped the partitioning pipeline: ") +
+                          e.what());
+  } catch (...) {
+    return internal_error("unknown exception escaped the partitioning pipeline");
+  }
+}
+
+Result<PartitionResult, Error> Partitioner::try_partition(const CsrGraph &graph) const {
+  return try_run(graph);
+}
+
+Result<PartitionResult, Error> Partitioner::try_partition(const CompressedGraph &graph) const {
+  return try_run(graph);
+}
+
+Result<PartitionResult, Error>
+Partitioner::partition_file(const std::filesystem::path &path) const {
+  const std::filesystem::path ext = path.extension();
+  if (ext == ".tpg") {
+    // Primary path: single-pass compressed load, so the uncompressed edge
+    // array never exists in memory.
+    auto compressed = try_compress_tpg_single_pass(path);
+    if (compressed) {
+      auto result = try_partition(compressed.value().graph);
+      if (result) {
+        result.value().degraded.compressor_chunked =
+            compressed.value().degraded_chunked_growth;
+      }
+      return result;
+    }
+    // Compressed construction failed mid-stream; degrade to the uncompressed
+    // CSR graph. Whole-file reading validates the same header and structure,
+    // so a genuinely corrupt file still fails — with the CSR reader's error.
+    auto csr = io::try_read_tpg(path);
+    if (!csr) {
+      return csr.error();
+    }
+    MetricsRegistry::global().add_counter("degraded/input_fallback_csr");
+    auto result = try_partition(csr.value());
+    if (result) {
+      result.value().degraded.input_fallback_csr = true;
+    }
+    return result;
+  }
+  if (ext == ".metis" || ext == ".graph") {
+    auto graph = io::try_read_metis(path);
+    if (!graph) {
+      return graph.error();
+    }
+    return try_partition(graph.value());
+  }
+  return format_error(ErrorCode::kParseError, path.string(),
+                      "unknown graph file extension '" + ext.string() +
+                          "' (expected .tpg, .metis, or .graph)");
 }
 
 } // namespace terapart

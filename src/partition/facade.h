@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <string>
 
 #include "common/result.h"
@@ -87,10 +88,29 @@ public:
   [[nodiscard]] PartitionResult partition(const CsrGraph &graph) const;
   [[nodiscard]] PartitionResult partition(const CompressedGraph &graph) const;
 
+  /// Exception-free variants: anything escaping the pipeline (allocation
+  /// failure, internal invariant) is converted into a typed Error, so public
+  /// API callers never see an exception (DESIGN.md §9).
+  [[nodiscard]] Result<PartitionResult, Error> try_partition(const CsrGraph &graph) const;
+  [[nodiscard]] Result<PartitionResult, Error> try_partition(const CompressedGraph &graph) const;
+
+  /// Partitions straight from a graph file, never throwing:
+  ///  - `.tpg` — single-pass compressed load (Section III-B). If compressed
+  ///    construction fails mid-stream, falls back to loading the uncompressed
+  ///    CSR graph, recording `degraded.input_fallback_csr` in the result and
+  ///    the RunReport "degraded_mode" section.
+  ///  - `.metis` / `.graph` — METIS text parse.
+  /// Degradations taken by lower layers (chunked compressor growth, buffered
+  /// contraction) are propagated into `PartitionResult::degraded` too.
+  [[nodiscard]] Result<PartitionResult, Error>
+  partition_file(const std::filesystem::path &path) const;
+
   [[nodiscard]] const Context &context() const { return _ctx; }
 
 private:
   template <typename Graph> [[nodiscard]] PartitionResult run(const Graph &graph) const;
+  template <typename Graph>
+  [[nodiscard]] Result<PartitionResult, Error> try_run(const Graph &graph) const;
 
   Context _ctx;
 };

@@ -67,6 +67,7 @@ PartitionResult partition_graph(const Graph &graph, const Context &ctx) {
     hierarchy = coarsen(graph, ctx.coarsening, k, ctx.seed);
   }
   result.num_levels = static_cast<int>(hierarchy.num_levels());
+  result.degraded.contraction_buffered = hierarchy.degraded_contraction;
   result.levels.push_back({graph.n(), graph.m(), graph.max_degree(), graph.memory_bytes()});
   for (const CsrGraph &level : hierarchy.graphs) {
     result.levels.push_back({level.n(), level.m(), level.max_degree(), level.memory_bytes()});

@@ -37,10 +37,28 @@ struct PartitionResult {
   /// deltas down to individual coarsening levels and refinement rounds
   /// (coarsening/level_i/{lp_clustering/round_r, contraction}, refinement/
   /// level_i/{lp_refinement/round_r, fm_refinement, rebalance}). Serialized
-  /// into RunReport JSON; see DESIGN.md §9.
+  /// into RunReport JSON; see DESIGN.md §10.
   PhaseTree phases;
   /// Input graph followed by every coarse level, coarsest last.
   std::vector<LevelStats> levels;
+  /// Which graceful-degradation fallbacks were taken during the run
+  /// (DESIGN.md §9). A degraded run is still a correct run — same partition
+  /// quality guarantees — but with a different memory/speed profile; the
+  /// flags are surfaced in the RunReport "degraded_mode" section.
+  struct DegradedModes {
+    /// One-pass contraction fell back to the buffered algorithm.
+    bool contraction_buffered = false;
+    /// The compressor's overcommit reservation failed; chunked growth used.
+    bool compressor_chunked = false;
+    /// Compressed-graph construction failed mid-stream; the partitioner ran
+    /// on the uncompressed CSR graph instead.
+    bool input_fallback_csr = false;
+
+    [[nodiscard]] bool any() const {
+      return contraction_buffered || compressor_chunked || input_fallback_csr;
+    }
+  };
+  DegradedModes degraded;
 };
 
 /// Partitions `graph` into ctx.k blocks. Works on CsrGraph and

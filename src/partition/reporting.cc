@@ -88,4 +88,13 @@ json::Value thread_pool_to_json() {
   };
 }
 
+json::Value degraded_modes_to_json(const PartitionResult::DegradedModes &modes) {
+  return json::Object{
+      {"any", modes.any()},
+      {"contraction_buffered", modes.contraction_buffered},
+      {"compressor_chunked", modes.compressor_chunked},
+      {"input_fallback_csr", modes.input_fallback_csr},
+  };
+}
+
 } // namespace terapart

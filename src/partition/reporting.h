@@ -26,6 +26,11 @@ namespace terapart {
 /// "sleep_wakeups"} of the global pool.
 [[nodiscard]] json::Value thread_pool_to_json();
 
+/// {"any", "contraction_buffered", "compressor_chunked",
+/// "input_fallback_csr"} — which graceful-degradation fallbacks the run took
+/// (DESIGN.md §9).
+[[nodiscard]] json::Value degraded_modes_to_json(const PartitionResult::DegradedModes &modes);
+
 /// Fills the standard report sections from a finished run: graph stats,
 /// config, phase tree, levels, quality, global metrics registry, memory
 /// tracker, and thread-pool counters. `graph_source` describes where the
@@ -42,6 +47,7 @@ void fill_run_report(RunReport &report, const Graph &graph, std::string_view gra
   report.capture_metrics(MetricsRegistry::global());
   report.capture_memory(MemoryTracker::global());
   report.add_section("thread_pool", thread_pool_to_json());
+  report.add_section("degraded_mode", degraded_modes_to_json(result.degraded));
 }
 
 } // namespace terapart

@@ -467,6 +467,53 @@ TEST(Overcommit, ShrinkKeepsPrefix) {
   EXPECT_EQ(array.capacity(), 1000u);
 }
 
+/// Regression: shrink_to(0) used to round the kept range down to zero pages
+/// and munmap the whole mapping *without* clearing _data, leaving a dangling
+/// pointer that the destructor (and any later shrink) would unmap again.
+TEST(Overcommit, ShrinkToZeroReleasesMapping) {
+  OvercommitStorage storage(1 << 20);
+  ASSERT_TRUE(storage.valid());
+  storage.shrink_to(0);
+  EXPECT_FALSE(storage.valid());
+  EXPECT_EQ(storage.data(), nullptr);
+  EXPECT_EQ(storage.capacity_bytes(), 0u);
+  storage.shrink_to(0); // idempotent on the released mapping
+  storage.release();    // and release() stays safe too
+  // destructor must not munmap a stale range (ASan/valgrind would flag it)
+}
+
+TEST(Overcommit, ArrayShrinkToZeroAllowsReuse) {
+  OvercommitArray<std::uint32_t> array(1 << 16);
+  array[0] = 42;
+  array.shrink_to(0);
+  EXPECT_FALSE(array.valid());
+  EXPECT_EQ(array.capacity(), 0u);
+  // The array object stays usable: a fresh reservation works afterwards.
+  ASSERT_TRUE(array.try_reserve(128));
+  EXPECT_EQ(array.capacity(), 128u);
+  array[0] = 7;
+  EXPECT_EQ(array[0], 7u);
+}
+
+TEST(Overcommit, TryReserveFailureLeavesArrayEmpty) {
+  OvercommitArray<std::uint64_t> array;
+  // Element count whose byte size overflows std::size_t: rejected before mmap.
+  EXPECT_FALSE(array.try_reserve(static_cast<std::size_t>(-1)));
+  EXPECT_FALSE(array.valid());
+  EXPECT_EQ(array.capacity(), 0u);
+  // An absurd (but non-overflowing) reservation the kernel refuses: the array
+  // must stay empty and reusable rather than half-initialized.
+  if (!array.try_reserve(static_cast<std::size_t>(1) << 58)) {
+    EXPECT_FALSE(array.valid());
+    EXPECT_EQ(array.capacity(), 0u);
+  } else {
+    array.shrink_to(0); // some kernels grant it; just clean up
+  }
+  ASSERT_TRUE(array.try_reserve(64));
+  array[63] = 9;
+  EXPECT_EQ(array[63], 9u);
+}
+
 TEST(Buffer, AdoptsVectorAndOvercommit) {
   Buffer<int> from_vector(std::vector<int>{1, 2, 3});
   EXPECT_EQ(from_vector.size(), 3u);

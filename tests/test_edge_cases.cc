@@ -98,14 +98,12 @@ TEST(BrokenFiles, TruncatedTpgStreamThrows) {
   const CsrGraph graph = gen::grid2d(20, 20);
   io::write_tpg(file.path(), graph);
   fs::resize_file(file.path(), fs::file_size(file.path()) * 2 / 3);
-  io::TpgStreamReader reader(file.path(), 64);
-  io::TpgStreamReader::Packet packet;
-  EXPECT_THROW(
-      {
-        while (reader.next_packet(packet)) {
-        }
-      },
-      std::runtime_error);
+  // The header is validated against the file size at open, so truncation is
+  // detected before the first packet is ever streamed.
+  EXPECT_THROW(io::TpgStreamReader(file.path(), 64), std::runtime_error);
+  auto opened = io::TpgStreamReader::open(file.path(), 64);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.error().code, ErrorCode::kCorruptHeader);
 }
 
 TEST(BrokenFiles, MissingFileThrows) {

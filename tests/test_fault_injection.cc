@@ -1,0 +1,331 @@
+// Drives every fault-injection point (DESIGN.md §9) through the ingestion
+// and partitioning pipeline, asserting that each armed fault yields either a
+// clean typed error or a successful degraded run — never a crash, leak, or
+// corrupted partition. The arming tests skip themselves when the library was
+// built without TP_FAULT_INJECTION; the always-on tests cover the no-op
+// behavior of the disarmed hooks.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/run_report.h"
+#include "compression/parallel_compressor.h"
+#include "generators/generators.h"
+#include "graph/graph_io.h"
+#include "partition/facade.h"
+#include "partition/metrics.h"
+#include "partition/reporting.h"
+
+namespace terapart {
+namespace {
+
+namespace fs = std::filesystem;
+using fault::Point;
+
+class TempDir {
+public:
+  TempDir() {
+    _path = fs::temp_directory_path() /
+            ("terapart_fault_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter()++));
+    fs::create_directories(_path);
+  }
+  ~TempDir() { fs::remove_all(_path); }
+  [[nodiscard]] fs::path file(const std::string &name) const { return _path / name; }
+
+private:
+  static int &counter() {
+    static int value = 0;
+    return value;
+  }
+  fs::path _path;
+};
+
+#define TP_REQUIRE_FAULT_INJECTION()                                                             \
+  if (!fault::kEnabled) {                                                                        \
+    GTEST_SKIP() << "built without TP_FAULT_INJECTION";                                          \
+  }
+
+Context small_context(const BlockID k = 4) {
+  auto ctx = ContextBuilder(Preset::kTeraPart).k(k).seed(42).build();
+  EXPECT_TRUE(ctx.ok());
+  return std::move(ctx).value();
+}
+
+void expect_valid_partition(const CsrGraph &graph, const PartitionResult &result,
+                            const BlockID k) {
+  ASSERT_EQ(result.partition.size(), graph.n());
+  for (const BlockID b : result.partition) {
+    EXPECT_LT(b, k);
+  }
+  EXPECT_EQ(result.cut, metrics::edge_cut(graph, result.partition));
+}
+
+// ------------------------------------------------------- disarmed behavior --
+
+TEST(FaultInjection, DisarmedPointsNeverFire) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fault::should_fail(Point::kShortRead));
+    EXPECT_FALSE(fault::should_fail(Point::kMmapReserve));
+  }
+  fault::maybe_stall(Point::kWorkerStall); // must be a cheap no-op
+  EXPECT_FALSE(TP_FAULT_HIT(Point::kBatchAlloc));
+}
+
+// --------------------------------------------------------- the spec itself --
+
+TEST(FaultInjection, SkipFirstAndMaxFiresAreExact) {
+  TP_REQUIRE_FAULT_INJECTION();
+  fault::ScopedFault armed(Point::kShortRead, /*skip_first=*/2, /*max_fires=*/3);
+  std::vector<bool> fired;
+  for (int i = 0; i < 10; ++i) {
+    fired.push_back(fault::should_fail(Point::kShortRead));
+  }
+  const std::vector<bool> expected = {false, false, true, true, true,
+                                      false, false, false, false, false};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(fault::fire_count(Point::kShortRead), 3u);
+  EXPECT_EQ(fault::evaluation_count(Point::kShortRead), 10u);
+}
+
+TEST(FaultInjection, SeededProbabilityIsReproducible) {
+  TP_REQUIRE_FAULT_INJECTION();
+  const fault::FaultSpec spec{.skip_first = 0, .max_fires = 0, .probability = 0.5, .seed = 7};
+  std::vector<bool> first_run;
+  {
+    fault::ScopedFault armed(Point::kBatchAlloc, spec);
+    for (int i = 0; i < 200; ++i) {
+      first_run.push_back(fault::should_fail(Point::kBatchAlloc));
+    }
+  }
+  std::vector<bool> second_run;
+  {
+    fault::ScopedFault armed(Point::kBatchAlloc, spec);
+    for (int i = 0; i < 200; ++i) {
+      second_run.push_back(fault::should_fail(Point::kBatchAlloc));
+    }
+  }
+  EXPECT_EQ(first_run, second_run);
+  // An unbiased coin over 200 draws lands well inside [40, 160].
+  const auto fires = static_cast<int>(fault::fire_count(Point::kBatchAlloc));
+  EXPECT_GT(fires, 40);
+  EXPECT_LT(fires, 160);
+}
+
+// --------------------------------------------------------------- kShortRead --
+
+TEST(FaultInjection, ShortReadInHeaderYieldsTypedError) {
+  TP_REQUIRE_FAULT_INJECTION();
+  TempDir dir;
+  io::write_tpg(dir.file("g.tpg"), gen::grid2d(10, 10));
+  fault::ScopedFault armed(Point::kShortRead, 0, 1);
+  auto result = io::try_read_tpg(dir.file("g.tpg"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kShortRead);
+  EXPECT_EQ(result.error().kind(), ErrorKind::kIo);
+  EXPECT_FALSE(result.error().path.empty());
+}
+
+TEST(FaultInjection, ShortReadMidStreamPoisonsReader) {
+  TP_REQUIRE_FAULT_INJECTION();
+  TempDir dir;
+  io::write_tpg(dir.file("g.tpg"), gen::grid2d(30, 30));
+  auto opened = io::TpgStreamReader::open(dir.file("g.tpg"), 64);
+  ASSERT_TRUE(opened.ok());
+  io::TpgStreamReader reader = std::move(opened).value();
+  io::TpgStreamReader::Packet packet;
+  // Fail the 3rd raw read after open; the reader must surface a typed error
+  // and refuse to continue afterwards.
+  fault::ScopedFault armed(Point::kShortRead, 2, 1);
+  bool saw_error = false;
+  while (true) {
+    auto next = reader.try_next_packet(packet);
+    if (!next.ok()) {
+      EXPECT_EQ(next.error().code, ErrorCode::kShortRead);
+      saw_error = true;
+      break;
+    }
+    if (!next.value()) {
+      break;
+    }
+  }
+  ASSERT_TRUE(saw_error);
+  auto after = reader.try_next_packet(packet);
+  ASSERT_FALSE(after.ok());
+}
+
+TEST(FaultInjection, TransientShortReadDegradesToCsrThroughFacade) {
+  TP_REQUIRE_FAULT_INJECTION();
+  TempDir dir;
+  const CsrGraph graph = gen::grid2d(30, 30);
+  io::write_tpg(dir.file("g.tpg"), graph);
+  const Partitioner partitioner(small_context());
+  // The compressed single-pass load dies on a mid-stream short read; the
+  // facade then reloads the file as uncompressed CSR (the fault budget is
+  // exhausted by then) and the run succeeds in degraded mode.
+  fault::ScopedFault armed(Point::kShortRead, 3, 1);
+  auto result = partitioner.partition_file(dir.file("g.tpg"));
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_TRUE(result.value().degraded.input_fallback_csr);
+  EXPECT_TRUE(result.value().degraded.any());
+  expect_valid_partition(graph, result.value(), 4);
+}
+
+TEST(FaultInjection, PersistentShortReadYieldsTypedErrorThroughFacade) {
+  TP_REQUIRE_FAULT_INJECTION();
+  TempDir dir;
+  io::write_tpg(dir.file("g.tpg"), gen::grid2d(20, 20));
+  const Partitioner partitioner(small_context());
+  // Every read fails: both the compressed path and the CSR fallback die, and
+  // the caller gets the fallback's typed error — no exception escapes.
+  fault::ScopedFault armed(Point::kShortRead, fault::FaultSpec{.max_fires = 0});
+  auto result = partitioner.partition_file(dir.file("g.tpg"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kShortRead);
+}
+
+// -------------------------------------------------------------- kShortWrite --
+
+TEST(FaultInjection, ShortWriteYieldsTypedError) {
+  TP_REQUIRE_FAULT_INJECTION();
+  TempDir dir;
+  const CsrGraph graph = gen::grid2d(10, 10);
+  fault::ScopedFault armed(Point::kShortWrite, 0, 1);
+  auto status = io::try_write_tpg(dir.file("g.tpg"), graph);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kShortWrite);
+  EXPECT_EQ(status.error().kind(), ErrorKind::kIo);
+}
+
+// ------------------------------------------------------------- kMmapReserve --
+
+TEST(FaultInjection, ReserveFailureDegradesCompressorToChunkedGrowth) {
+  TP_REQUIRE_FAULT_INJECTION();
+  TempDir dir;
+  const CsrGraph graph = gen::rgg2d(2000, 10, 1);
+  io::write_tpg(dir.file("g.tpg"), graph);
+
+  auto baseline = try_compress_tpg_single_pass(dir.file("g.tpg"));
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_FALSE(baseline.value().degraded_chunked_growth);
+
+  // Only the overcommit upper-bound reservation fails; the exact-sized final
+  // reservation succeeds, so the run completes in degraded mode with a
+  // byte-identical compressed graph.
+  fault::ScopedFault armed(Point::kMmapReserve, 0, 1);
+  auto degraded = try_compress_tpg_single_pass(dir.file("g.tpg"));
+  ASSERT_TRUE(degraded.ok()) << degraded.error().to_string();
+  EXPECT_TRUE(degraded.value().degraded_chunked_growth);
+
+  const CompressedGraph &a = baseline.value().graph;
+  const CompressedGraph &b = degraded.value().graph;
+  ASSERT_EQ(a.n(), b.n());
+  ASSERT_EQ(a.m(), b.m());
+  for (NodeID u = 0; u < a.n(); ++u) {
+    std::vector<NodeID> na;
+    std::vector<NodeID> nb;
+    a.for_each_neighbor(u, [&](const NodeID v, EdgeWeight) { na.push_back(v); });
+    b.for_each_neighbor(u, [&](const NodeID v, EdgeWeight) { nb.push_back(v); });
+    ASSERT_EQ(na, nb) << "vertex " << u;
+  }
+}
+
+TEST(FaultInjection, PersistentReserveFailureDegradesWholePipeline) {
+  TP_REQUIRE_FAULT_INJECTION();
+  TempDir dir;
+  const CsrGraph graph = gen::grid2d(40, 40);
+  io::write_tpg(dir.file("g.tpg"), graph);
+  const BlockID k = 4;
+  const Partitioner partitioner(small_context(k));
+
+  // Every overcommit reservation in the process fails: the compressor cannot
+  // even materialize its chunked stream (the exact reservation fails too), so
+  // the facade falls back to CSR; one-pass contraction falls back to buffered
+  // on every level. The run must still produce a valid partition.
+  fault::ScopedFault armed(Point::kMmapReserve, fault::FaultSpec{.max_fires = 0});
+  auto result = partitioner.partition_file(dir.file("g.tpg"));
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_TRUE(result.value().degraded.input_fallback_csr);
+  EXPECT_TRUE(result.value().degraded.contraction_buffered);
+  EXPECT_TRUE(result.value().degraded.any());
+  expect_valid_partition(graph, result.value(), k);
+
+  // The degradations must be recorded in the RunReport telemetry.
+  RunReport report("test_fault_injection");
+  fill_run_report(report, graph, dir.file("g.tpg").string(), partitioner.context(),
+                  result.value());
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"degraded_mode\""), std::string::npos);
+  EXPECT_NE(json.find("\"input_fallback_csr\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"contraction_buffered\": true"), std::string::npos);
+}
+
+// -------------------------------------------------------------- kBatchAlloc --
+
+TEST(FaultInjection, BatchAllocFailureFallsBackToBufferedContraction) {
+  TP_REQUIRE_FAULT_INJECTION();
+  const CsrGraph graph = gen::rgg2d(3000, 8, 1);
+  const BlockID k = 4;
+  const Partitioner partitioner(small_context(k));
+
+  auto baseline = partitioner.try_partition(graph);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_FALSE(baseline.value().degraded.contraction_buffered);
+
+  fault::ScopedFault armed(Point::kBatchAlloc, fault::FaultSpec{.max_fires = 0});
+  auto result = partitioner.try_partition(graph);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_TRUE(result.value().degraded.contraction_buffered);
+  expect_valid_partition(graph, result.value(), k);
+  // Buffered contraction computes the same coarse graphs: identical runs.
+  EXPECT_EQ(result.value().cut, baseline.value().cut);
+  EXPECT_EQ(result.value().partition, baseline.value().partition);
+}
+
+TEST(FaultInjection, ChunkAllocFailureInDegradedCompressorIsTypedError) {
+  TP_REQUIRE_FAULT_INJECTION();
+  TempDir dir;
+  io::write_tpg(dir.file("g.tpg"), gen::grid2d(30, 30));
+  // Reservation fails -> chunked growth; the first chunk allocation fails
+  // too -> the compressor must report a typed resource error, not crash.
+  fault::ScopedFault reserve(Point::kMmapReserve, 0, 1);
+  fault::ScopedFault chunk(Point::kBatchAlloc, 0, 1);
+  auto result = try_compress_tpg_single_pass(dir.file("g.tpg"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kAllocFailed);
+  EXPECT_EQ(result.error().kind(), ErrorKind::kResource);
+}
+
+// ------------------------------------------------------------- kWorkerStall --
+
+TEST(FaultInjection, WorkerStallsDoNotPerturbCompressedBytes) {
+  TP_REQUIRE_FAULT_INJECTION();
+  const CsrGraph graph = gen::rgg2d(2000, 10, 1);
+  // Small packets so the stall point is evaluated once per packet, many times.
+  ParallelCompressionConfig config;
+  config.packet_edges = 256;
+  const CompressedGraph baseline = compress_graph_parallel(graph, config);
+  // Randomly stall ~30% of packet commits; the ordered committer must still
+  // produce byte-identical output.
+  fault::ScopedFault armed(
+      Point::kWorkerStall,
+      fault::FaultSpec{.skip_first = 0, .max_fires = 0, .probability = 0.3, .seed = 123});
+  const CompressedGraph stalled = compress_graph_parallel(graph, config);
+  EXPECT_GT(fault::fire_count(Point::kWorkerStall), 0u);
+  ASSERT_EQ(baseline.memory_bytes(), stalled.memory_bytes());
+  ASSERT_EQ(baseline.n(), stalled.n());
+  for (NodeID u = 0; u < baseline.n(); ++u) {
+    std::vector<NodeID> na;
+    std::vector<NodeID> nb;
+    baseline.for_each_neighbor(u, [&](const NodeID v, EdgeWeight) { na.push_back(v); });
+    stalled.for_each_neighbor(u, [&](const NodeID v, EdgeWeight) { nb.push_back(v); });
+    ASSERT_EQ(na, nb) << "vertex " << u;
+  }
+}
+
+} // namespace
+} // namespace terapart

@@ -4,8 +4,10 @@
 
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "generators/generators.h"
 #include "graph/graph_builder.h"
@@ -171,6 +173,191 @@ TEST(MetisIo, GraphWithIsolatedVertices) {
   io::write_metis(dir.file("g.metis"), graph);
   const CsrGraph loaded = io::read_metis(dir.file("g.metis"));
   expect_same_graph(graph, loaded);
+}
+
+// ------------------------------------------------- METIS parser edge cases ---
+
+void write_text(const fs::path &path, const std::string &content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(MetisParser, CommentsBlankLinesAndTrailingWhitespaceAccepted) {
+  TempDir dir;
+  // Comments before the header and between vertex lines, trailing spaces and
+  // tabs after the last neighbor, CR line endings, and a blank line standing
+  // in for an isolated vertex.
+  write_text(dir.file("g.metis"), "% a triangle plus an isolated vertex\n"
+                                  "  % indented comment\n"
+                                  "4 3\n"
+                                  "2 3  \n"
+                                  "% mid-file comment\n"
+                                  "1 3\t\r\n"
+                                  "1 2 \t \n"
+                                  "\n");
+  auto result = io::try_read_metis(dir.file("g.metis"));
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  const CsrGraph &graph = result.value();
+  EXPECT_EQ(graph.n(), 4u);
+  EXPECT_EQ(graph.m(), 6u);
+  EXPECT_EQ(graph.degree(3), 0u);
+}
+
+TEST(MetisParser, ReportsLineAndColumnForBadToken) {
+  TempDir dir;
+  write_text(dir.file("g.metis"), "3 2\n"
+                                  "2\n"
+                                  "1 x\n"
+                                  "\n");
+  auto result = io::try_read_metis(dir.file("g.metis"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kParseError);
+  EXPECT_EQ(result.error().kind(), ErrorKind::kFormat);
+  EXPECT_EQ(result.error().line, 3u);
+  EXPECT_EQ(result.error().column, 3u);
+  // The rendered error pinpoints path:line:column.
+  EXPECT_NE(result.error().to_string().find(":3:3"), std::string::npos);
+}
+
+TEST(MetisParser, RejectsDigitsGluedToLetters) {
+  TempDir dir;
+  write_text(dir.file("g.metis"), "2 1\n12x\n1\n");
+  auto result = io::try_read_metis(dir.file("g.metis"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kParseError);
+  EXPECT_EQ(result.error().line, 2u);
+  EXPECT_EQ(result.error().column, 3u); // the 'x'
+}
+
+TEST(MetisParser, RejectsNeighborOutOfRange) {
+  TempDir dir;
+  write_text(dir.file("g.metis"), "2 1\n3\n1\n");
+  auto result = io::try_read_metis(dir.file("g.metis"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kParseError);
+  EXPECT_EQ(result.error().line, 2u);
+  EXPECT_EQ(result.error().column, 1u);
+  EXPECT_NE(result.error().message.find("out of range"), std::string::npos);
+}
+
+TEST(MetisParser, RejectsBadFormatCodes) {
+  TempDir dir;
+  write_text(dir.file("g.metis"), "2 1 2\n2\n1\n");
+  auto bad_digit = io::try_read_metis(dir.file("g.metis"));
+  ASSERT_FALSE(bad_digit.ok());
+  EXPECT_EQ(bad_digit.error().code, ErrorCode::kParseError);
+  EXPECT_EQ(bad_digit.error().line, 1u);
+  EXPECT_EQ(bad_digit.error().column, 5u);
+
+  write_text(dir.file("g.metis"), "2 1 100\n2\n1\n");
+  auto vertex_sizes = io::try_read_metis(dir.file("g.metis"));
+  ASSERT_FALSE(vertex_sizes.ok());
+  EXPECT_NE(vertex_sizes.error().message.find("vertex sizes"), std::string::npos);
+}
+
+TEST(MetisParser, RejectsMultipleVertexWeights) {
+  TempDir dir;
+  write_text(dir.file("g.metis"), "2 1 10 2\n5 2\n7 1\n");
+  auto result = io::try_read_metis(dir.file("g.metis"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kParseError);
+  EXPECT_NE(result.error().message.find("ncon=2"), std::string::npos);
+}
+
+TEST(MetisParser, RejectsMissingEdgeWeight) {
+  TempDir dir;
+  write_text(dir.file("g.metis"), "2 1 1\n2\n1 4\n");
+  auto result = io::try_read_metis(dir.file("g.metis"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kParseError);
+  EXPECT_EQ(result.error().line, 2u);
+  EXPECT_NE(result.error().message.find("edge weight"), std::string::npos);
+}
+
+TEST(MetisParser, RejectsEdgeCountMismatch) {
+  TempDir dir;
+  write_text(dir.file("g.metis"), "3 5\n2\n1\n\n");
+  auto result = io::try_read_metis(dir.file("g.metis"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kParseError);
+  EXPECT_EQ(result.error().line, 1u); // reported against the lying header
+  EXPECT_NE(result.error().message.find("declares 5"), std::string::npos);
+}
+
+TEST(MetisParser, RejectsCommentOnlyFile) {
+  TempDir dir;
+  write_text(dir.file("g.metis"), "% nothing\n% here\n");
+  auto result = io::try_read_metis(dir.file("g.metis"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kParseError);
+  EXPECT_NE(result.error().message.find("missing METIS header"), std::string::npos);
+}
+
+TEST(MetisParser, RejectsTruncatedVertexList) {
+  TempDir dir;
+  write_text(dir.file("g.metis"), "5 4\n2\n1\n");
+  auto result = io::try_read_metis(dir.file("g.metis"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kParseError);
+  EXPECT_NE(result.error().message.find("expected 5 vertex lines, found 2"), std::string::npos);
+}
+
+// ---------------------------------------------------- TPG typed error paths ---
+
+TEST(TpgTypedErrors, BadMagic) {
+  TempDir dir;
+  write_text(dir.file("junk.tpg"), std::string(64, 'A'));
+  auto result = io::try_read_tpg(dir.file("junk.tpg"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kBadMagic);
+  EXPECT_EQ(result.error().kind(), ErrorKind::kFormat);
+}
+
+TEST(TpgTypedErrors, MissingFile) {
+  auto result = io::try_read_tpg("/nonexistent/terapart/graph.tpg");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kOpenFailed);
+  EXPECT_EQ(result.error().kind(), ErrorKind::kIo);
+  EXPECT_EQ(result.error().sys_errno, ENOENT);
+}
+
+TEST(TpgTypedErrors, HeaderInconsistentWithFileSize) {
+  TempDir dir;
+  const CsrGraph graph = gen::grid2d(8, 8);
+  io::write_tpg(dir.file("g.tpg"), graph);
+  const auto original_size = fs::file_size(dir.file("g.tpg"));
+
+  // Truncated: fewer bytes than the header promises.
+  fs::resize_file(dir.file("g.tpg"), original_size - 8);
+  auto truncated = io::try_read_tpg(dir.file("g.tpg"));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.error().code, ErrorCode::kCorruptHeader);
+
+  // Padded: extra trailing bytes are an error too (exact size match).
+  fs::resize_file(dir.file("g.tpg"), original_size + 8);
+  auto padded = io::try_read_tpg(dir.file("g.tpg"));
+  ASSERT_FALSE(padded.ok());
+  EXPECT_EQ(padded.error().code, ErrorCode::kCorruptHeader);
+}
+
+TEST(TpgTypedErrors, CorruptOffsetArray) {
+  TempDir dir;
+  const CsrGraph graph = gen::grid2d(8, 8);
+  io::write_tpg(dir.file("g.tpg"), graph);
+  {
+    // Overwrite nodes[0] (must be 0) right after the 40-byte header; the file
+    // size is unchanged so only structural validation can catch this.
+    std::FILE *f = std::fopen(dir.file("g.tpg").c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, sizeof(io::TpgHeader), SEEK_SET), 0);
+    const EdgeID poison = 1;
+    ASSERT_EQ(std::fwrite(&poison, sizeof(poison), 1, f), 1u);
+    std::fclose(f);
+  }
+  auto result = io::try_read_tpg(dir.file("g.tpg"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kCorruptData);
+  EXPECT_NE(result.error().message.find("does not start at 0"), std::string::npos);
 }
 
 } // namespace
