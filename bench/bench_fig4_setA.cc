@@ -6,16 +6,140 @@
 /// faster; cuts are identical (curves on top of each other); MT-METIS is
 /// 3.9x slower, uses 2.7x more memory, and violates balance on 320/504
 /// instances.
+///
+/// `--presets` switches to the preset-ladder sweep: the fast / terapart /
+/// strong quality-vs-speed presets (real engine stacks from the registry)
+/// over the same suite, one RunReport JSON per preset. `--smoke` shrinks the
+/// sweep to a CI-sized instance set; `--out-dir DIR` places the reports.
 #include "bench_common.h"
 
-#include "baselines/metis_like.h"
+#include <algorithm>
+#include <filesystem>
 
-int main() {
+#include "baselines/metis_like.h"
+#include "partition/facade.h"
+#include "partition/reporting.h"
+
+namespace {
+
+/// The preset-ladder sweep (`--presets`): each preset is a full engine
+/// stack; the comparison shows what the quality ladder buys and costs.
+int run_preset_sweep(const bool smoke, const std::string &out_dir) {
   using namespace terapart;
   using namespace terapart::bench;
 
+  print_header("Figure 4 (preset ladder) — fast / terapart / strong",
+               "Fig. 4 quality ladder, engine stacks via the registry",
+               smoke ? "smoke scale (CI)" : "small scale");
+
+  const auto suite = gen::benchmark_set_a(smoke ? gen::SuiteScale::kTiny
+                                                : gen::SuiteScale::kSmall);
+  const std::size_t num_graphs = smoke ? std::min<std::size_t>(2, suite.size()) : suite.size();
+  const std::vector<BlockID> ks = smoke ? std::vector<BlockID>{8} : std::vector<BlockID>{8, 64};
+  const std::uint64_t seed = 1;
+  const char *preset_names[] = {"fast", "terapart", "strong"};
+
+  std::map<std::string, std::vector<double>> cuts;
+  int instances = 0;
+  for (const char *preset_name : preset_names) {
+    const Preset preset = *preset_from_name(preset_name);
+    std::vector<double> rel_time;
+    std::vector<double> rel_memory;
+    RunReport report("bench_fig4_setA");
+    Context report_ctx;
+    PartitionResult report_result;
+    std::string report_source;
+    const CsrGraph *report_graph = nullptr;
+    CsrGraph last_input;
+
+    instances = 0;
+    for (std::size_t gi = 0; gi < num_graphs; ++gi) {
+      for (const BlockID k : ks) {
+        const CsrGraph source_raw = suite[gi].build(seed);
+        const CsrGraph source = copy_graph(source_raw, "bench/source");
+        ++instances;
+
+        const Context baseline_ctx = context_for_preset(Preset::kTeraPart, k, seed);
+        const std::uint64_t excluded = MemoryTracker::global().current("bench/source");
+        CsrGraph baseline_input = copy_graph(source, "graph");
+        const RunMeasurement baseline =
+            measured_partition(baseline_input, baseline_ctx, excluded);
+
+        Context ctx = context_for_preset(preset, k, seed);
+        last_input = copy_graph(source, "graph");
+        MemoryTracker::global().reset_peak();
+        Timer timer;
+        PartitionResult result = partition_graph(last_input, ctx);
+        const double seconds = timer.elapsed_s();
+        const std::uint64_t peak = MemoryTracker::global().peak();
+
+        rel_time.push_back(seconds / std::max(baseline.seconds, 1e-9));
+        rel_memory.push_back(static_cast<double>(peak > excluded ? peak - excluded : 0) /
+                             std::max<double>(1, baseline.peak_bytes));
+        cuts[preset_name].push_back(static_cast<double>(result.cut));
+
+        report_ctx = std::move(ctx);
+        report_result = std::move(result);
+        report_source = suite[gi].name + ":k=" + std::to_string(k);
+        report_graph = &last_input;
+      }
+    }
+
+    std::printf("%-10s rel. time (hm) %7.3fx   rel. memory (gm) %7.3fx   vs terapart\n",
+                preset_name, harmonic_mean(rel_time), geometric_mean(rel_memory));
+
+    if (!out_dir.empty() && report_graph != nullptr) {
+      // One representative RunReport per preset (the sweep's last instance):
+      // config incl. engine names, phase tree, quality, memory.
+      fill_run_report(report, *report_graph, report_source, report_ctx, report_result);
+      const std::filesystem::path path =
+          std::filesystem::path(out_dir) / ("fig4_preset_" + std::string(preset_name) + ".json");
+      std::filesystem::create_directories(out_dir);
+      if (!report.write(path.string())) {
+        std::fprintf(stderr, "failed to write %s\n", path.string().c_str());
+        return 1;
+      }
+      std::printf("           run report: %s\n", path.string().c_str());
+    }
+  }
+
+  std::printf("\nperformance profile over %d instances "
+              "(fraction within tau of the best cut):\n",
+              instances);
+  print_performance_profile(cuts);
+  std::printf("\nexpected shape: strong <= terapart <= fast on cuts; the reverse on time.\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  using namespace terapart;
+  using namespace terapart::bench;
+
+  bool presets = false;
+  bool smoke = false;
+  std::string out_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--presets") {
+      presets = true;
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_fig4_setA [--presets [--smoke] [--out-dir DIR]]\n");
+      return 1;
+    }
+  }
+
   par::set_num_threads(bench_threads());
   MemoryTracker::global().reset();
+
+  if (presets) {
+    return run_preset_sweep(smoke, out_dir);
+  }
 
   print_header("Figure 4 — Benchmark Set A: time / memory / quality",
                "Fig. 4 (Set A, 72 graphs x 7 k-values x 5 seeds)",

@@ -59,5 +59,21 @@ int main(int argc, char **argv) {
   // The block of vertex u is result.partition[u]:
   std::printf("vertex 0 -> block %u, vertex %u -> block %u\n", result.partition[0],
               graph.n() - 1, result.partition[graph.n() - 1]);
+
+  // 5. Repeated requests? Use a PartitionSession: the multilevel hierarchy
+  //    (the expensive part) is built on the first request and reused for
+  //    every subsequent one — different k, epsilon, or seed included.
+  auto session_ctx = ContextBuilder(Preset::kTeraPart).k(k).threads(threads).build();
+  if (!session_ctx.ok()) {
+    std::fprintf(stderr, "%s\n", session_ctx.error().to_string().c_str());
+    return 1;
+  }
+  PartitionSession session(graph, std::move(session_ctx).value());
+  for (const BlockID request_k : {k, 2 * k, k / 2 > 1 ? k / 2 : 2}) {
+    const PartitionResult repeated = session.partition(request_k);
+    std::printf("session k=%-4u cut=%lld%s\n", request_k,
+                static_cast<long long>(repeated.cut),
+                repeated.hierarchy_reused ? "  (hierarchy reused)" : "");
+  }
   return 0;
 }

@@ -4,18 +4,27 @@
 /// Usage:
 ///   terapart_cli --graph <file.metis|file.tpg | gen:<spec>> --k <k>
 ///                [--epsilon 0.03] [--threads 4] [--seed 1]
-///                [--preset kaminpar|terapart|terapart-fm]
-///                [--no-compress] [--output partition.txt]
+///                [--preset fast|kaminpar|terapart|terapart-fm|strong]
+///                [--ks 8,16,32] [--no-compress] [--output partition.txt]
 ///                [--report report.json]
+///
+/// `--ks` switches to the repeated-run session mode: the multilevel
+/// hierarchy is built once (PartitionSession) and every listed k is served
+/// against it — the way a downstream service amortizes the expensive
+/// coarsening across requests.
 ///
 /// Examples:
 ///   terapart_cli --graph mygraph.metis --k 32
-///   terapart_cli --graph gen:rhg:n=100000,deg=16 --k 64 --preset terapart-fm
+///   terapart_cli --graph gen:rhg:n=100000,deg=16 --k 64 --preset strong
+///   terapart_cli --graph mygraph.metis --k 64 --ks 8,16,32,64
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/memory_tracker.h"
@@ -30,8 +39,29 @@ void usage() {
   std::fprintf(stderr,
                "usage: terapart_cli --graph <file.metis|file.tpg|gen:SPEC> --k K\n"
                "  [--epsilon E] [--threads P] [--seed S]\n"
-               "  [--preset kaminpar|terapart|terapart-fm] [--no-compress]\n"
+               "  [--preset fast|kaminpar|terapart|terapart-fm|strong]\n"
+               "  [--ks K1,K2,...] [--no-compress]\n"
                "  [--output FILE] [--report FILE.json]\n");
+}
+
+/// Parses "8,16,32" into block counts; empty on malformed input.
+std::vector<terapart::BlockID> parse_ks(const std::string &list) {
+  std::vector<terapart::BlockID> ks;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string item = list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const int value = std::atoi(item.c_str());
+    if (value < 2) {
+      return {};
+    }
+    ks.push_back(static_cast<terapart::BlockID>(value));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return ks;
 }
 
 } // namespace
@@ -43,6 +73,7 @@ int main(int argc, char **argv) {
   std::string preset = "terapart";
   std::string output;
   std::string report_path;
+  std::string ks_arg;
   BlockID k = 0;
   double epsilon = 0.03;
   int threads = 4;
@@ -70,6 +101,8 @@ int main(int argc, char **argv) {
       seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--preset") {
       preset = next();
+    } else if (arg == "--ks") {
+      ks_arg = next();
     } else if (arg == "--no-compress") {
       compress = false;
     } else if (arg == "--output") {
@@ -79,6 +112,19 @@ int main(int argc, char **argv) {
     } else {
       usage();
       return 1;
+    }
+  }
+  std::vector<BlockID> session_ks;
+  if (!ks_arg.empty()) {
+    session_ks = parse_ks(ks_arg);
+    if (session_ks.empty()) {
+      std::fprintf(stderr, "--ks expects a comma-separated list of block counts >= 2\n");
+      return 1;
+    }
+    if (k == 0) {
+      // Coarsening granularity follows the largest request (see the
+      // PartitionSession quality note).
+      k = *std::max_element(session_ks.begin(), session_ks.end());
     }
   }
   if (graph_arg.empty() || k == 0) {
@@ -106,12 +152,17 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(graph.m() / 2), graph_arg.c_str());
 
   // Validated configuration through the facade: bad values (k < 2, negative
-  // epsilon, ...) are rejected here with an actionable message instead of
-  // failing somewhere inside the run.
-  const Preset preset_kind = preset == "kaminpar"      ? Preset::kKaMinPar
-                             : preset == "terapart-fm" ? Preset::kTeraPartFm
-                                                       : Preset::kTeraPart;
-  auto built = ContextBuilder(preset_kind)
+  // epsilon, unknown engine names, ...) are rejected here with an actionable
+  // message instead of failing somewhere inside the run.
+  const auto preset_kind = preset_from_name(preset);
+  if (!preset_kind) {
+    std::fprintf(stderr,
+                 "unknown preset '%s' (expected fast, kaminpar, terapart, "
+                 "terapart-fm, or strong)\n",
+                 preset.c_str());
+    return 1;
+  }
+  auto built = ContextBuilder(*preset_kind)
                    .k(k)
                    .epsilon(epsilon)
                    .seed(seed)
@@ -128,16 +179,39 @@ int main(int argc, char **argv) {
   Timer timer;
   PartitionResult result;
   RunReport report("terapart_cli");
+  std::optional<CompressedGraph> compressed_input;
   if (compress && preset != "kaminpar") {
-    const CompressedGraph input = compress_graph_parallel(graph);
+    compressed_input.emplace(compress_graph_parallel(graph));
     std::printf("compressed input: %.2f bytes/edge (ratio %.1fx)\n",
-                static_cast<double>(input.used_bytes()) / static_cast<double>(graph.m()),
-                static_cast<double>(input.uncompressed_csr_bytes()) /
-                    static_cast<double>(input.memory_bytes()));
-    result = partitioner.partition(input);
-    fill_run_report(report, input, graph_arg, ctx, result);
+                static_cast<double>(compressed_input->used_bytes()) /
+                    static_cast<double>(graph.m()),
+                static_cast<double>(compressed_input->uncompressed_csr_bytes()) /
+                    static_cast<double>(compressed_input->memory_bytes()));
+  }
+
+  if (!session_ks.empty()) {
+    // Repeated-run mode: one hierarchy, many requests (DESIGN.md §12).
+    PartitionSession session =
+        compressed_input ? PartitionSession(*compressed_input, ctx) : PartitionSession(graph, ctx);
+    for (const BlockID request_k : session_ks) {
+      Timer request_timer;
+      result = session.partition(request_k);
+      std::printf("k=%-6u cut=%-12lld imbalance=%.4f  %s  time=%.2fs%s\n", request_k,
+                  static_cast<long long>(result.cut), result.imbalance,
+                  result.balanced ? "balanced" : "IMBALANCED", request_timer.elapsed_s(),
+                  result.hierarchy_reused ? "  (hierarchy reused)" : "");
+    }
+    std::printf("session retained %.1f MiB of hierarchy across %zu requests\n",
+                static_cast<double>(session.retained_bytes()) / (1024.0 * 1024.0),
+                session_ks.size());
+  } else if (compressed_input) {
+    result = partitioner.partition(*compressed_input);
   } else {
     result = partitioner.partition(graph);
+  }
+  if (compressed_input) {
+    fill_run_report(report, *compressed_input, graph_arg, ctx, result);
+  } else {
     fill_run_report(report, graph, graph_arg, ctx, result);
   }
 

@@ -1,0 +1,17 @@
+#include "coarsening/coarsening_engine.h"
+
+namespace terapart {
+
+MultilevelHierarchy LpCoarseningEngine::coarsen(const CsrGraph &graph,
+                                                const CoarseningConfig &config, const BlockID k,
+                                                const std::uint64_t seed) const {
+  return MultilevelHierarchy(terapart::coarsen(graph, config, k, seed));
+}
+
+MultilevelHierarchy LpCoarseningEngine::coarsen(const CompressedGraph &graph,
+                                                const CoarseningConfig &config, const BlockID k,
+                                                const std::uint64_t seed) const {
+  return MultilevelHierarchy(terapart::coarsen(graph, config, k, seed));
+}
+
+} // namespace terapart

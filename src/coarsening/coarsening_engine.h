@@ -1,0 +1,58 @@
+/// @file coarsening_engine.h
+/// @brief The coarsening seam of the stage-based multilevel engine: an
+/// abstract `CoarseningEngine` that turns an input graph into a
+/// `MultilevelHierarchy`, plus the default LP-clustering implementation.
+///
+/// Engines are stateless with respect to the graph: one engine instance may
+/// build hierarchies for many graphs. Alternative coarsenings (e.g. the
+/// Louvain-style community-detection coarsener on the ROADMAP's algorithm-
+/// portfolio item) implement this interface and register themselves in the
+/// `EngineRegistry` (partition/engine_registry.h) under a name that a
+/// `Context` — and therefore a preset — can select.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "coarsening/multilevel_hierarchy.h"
+#include "compression/compressed_graph.h"
+#include "graph/csr_graph.h"
+
+namespace terapart {
+
+class CoarseningEngine {
+public:
+  virtual ~CoarseningEngine() = default;
+
+  /// Stable identifier; recorded per run in the RunReport "engines" section.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Builds the hierarchy for a k-way partitioning call. Both input graph
+  /// representations must be supported; all coarse levels are CSR.
+  [[nodiscard]] virtual MultilevelHierarchy coarsen(const CsrGraph &graph,
+                                                    const CoarseningConfig &config, BlockID k,
+                                                    std::uint64_t seed) const = 0;
+  [[nodiscard]] virtual MultilevelHierarchy coarsen(const CompressedGraph &graph,
+                                                    const CoarseningConfig &config, BlockID k,
+                                                    std::uint64_t seed) const = 0;
+};
+
+/// The default engine: size-constrained label propagation clustering +
+/// contraction per level (classic or two-phase LP and buffered or one-pass
+/// contraction are `CoarseningConfig` knobs, not separate engines — they
+/// produce the same clustering decisions on the same seed).
+class LpCoarseningEngine final : public CoarseningEngine {
+public:
+  static constexpr std::string_view kName = "lp";
+
+  [[nodiscard]] std::string_view name() const override { return kName; }
+
+  [[nodiscard]] MultilevelHierarchy coarsen(const CsrGraph &graph,
+                                            const CoarseningConfig &config, BlockID k,
+                                            std::uint64_t seed) const override;
+  [[nodiscard]] MultilevelHierarchy coarsen(const CompressedGraph &graph,
+                                            const CoarseningConfig &config, BlockID k,
+                                            std::uint64_t seed) const override;
+};
+
+} // namespace terapart

@@ -1,0 +1,21 @@
+#include "coarsening/multilevel_hierarchy.h"
+
+namespace terapart {
+
+std::uint64_t MultilevelHierarchy::mapping_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const std::vector<NodeID> &mapping : _build.mappings) {
+    bytes += mapping.capacity() * sizeof(NodeID);
+  }
+  return bytes;
+}
+
+std::uint64_t MultilevelHierarchy::memory_bytes() const {
+  std::uint64_t bytes = mapping_bytes();
+  for (const CsrGraph &graph : _build.graphs) {
+    bytes += graph.memory_bytes();
+  }
+  return bytes;
+}
+
+} // namespace terapart

@@ -1,0 +1,64 @@
+/// @file multilevel_hierarchy.h
+/// @brief The immutable multilevel hierarchy: the coarse graphs and
+/// projection mappings produced by a coarsening engine, frozen for reuse.
+///
+/// `GraphHierarchy` (coarsener.h) is the *build product* — a mutable struct
+/// the coarsening loop pushes levels into. `MultilevelHierarchy` is the
+/// *served artifact*: once constructed it only exposes const views, so a
+/// `PartitionSession` (partition/facade.h) can retain one hierarchy and
+/// serve concurrent-in-sequence requests with different (k, epsilon, seed)
+/// against it without any request being able to perturb another. This is
+/// the "load once, serve many" substrate of the service-daemon and
+/// incremental-repartitioning roadmap items (n-Level Graph Partitioning's
+/// retained fine-grained hierarchy, PAPERS.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coarsening/coarsener.h"
+
+namespace terapart {
+
+class MultilevelHierarchy {
+public:
+  MultilevelHierarchy() = default;
+  explicit MultilevelHierarchy(GraphHierarchy build) : _build(std::move(build)) {}
+
+  /// Number of coarse levels (0 = the input graph was never coarsened).
+  [[nodiscard]] std::size_t num_levels() const { return _build.graphs.size(); }
+  [[nodiscard]] bool empty() const { return _build.graphs.empty(); }
+
+  /// Coarse graph of level `level` (0 = first coarse graph). Precondition:
+  /// level < num_levels().
+  [[nodiscard]] const CsrGraph &graph(const std::size_t level) const {
+    return _build.graphs[level];
+  }
+  [[nodiscard]] const CsrGraph &coarsest() const { return _build.graphs.back(); }
+
+  /// mapping(0) maps input-graph vertices to level-0 vertices; mapping(i)
+  /// (i > 0) maps level-(i-1) vertices to level-i vertices.
+  [[nodiscard]] const std::vector<NodeID> &mapping(const std::size_t level) const {
+    return _build.mappings[level];
+  }
+
+  [[nodiscard]] const LpClusteringStats &clustering_stats() const {
+    return _build.clustering_stats;
+  }
+
+  /// True when any level's one-pass contraction fell back to the buffered
+  /// algorithm; propagated into every result served from this hierarchy.
+  [[nodiscard]] bool degraded_contraction() const { return _build.degraded_contraction; }
+
+  /// Exact retained footprint: every coarse graph's CSR bytes plus the
+  /// projection mappings. The graphs self-account in the MemoryTracker for
+  /// their lifetime; the mappings' share is what PartitionSession registers
+  /// under "session/hierarchy" (DESIGN.md §12).
+  [[nodiscard]] std::uint64_t memory_bytes() const;
+  [[nodiscard]] std::uint64_t mapping_bytes() const;
+
+private:
+  GraphHierarchy _build;
+};
+
+} // namespace terapart

@@ -105,4 +105,58 @@ private:
   std::uint64_t _state[4];
 };
 
+/// The seed schedule of a multilevel partitioning run: every per-stage RNG
+/// seed, derived from the single user-facing `Context::seed`.
+///
+/// Historically these derivations were inline offsets scattered through the
+/// driver (`seed + 13 + level` for refinement, `+ 99` for the finest level,
+/// `+ 1` for the FM stage); this class is their single documented home. The
+/// exact constants are load-bearing: partitions are bit-identical functions
+/// of the seed schedule, so changing any offset changes every regression
+/// baseline. The determinism test in test_common.cc pins each method to the
+/// legacy formula.
+///
+/// Stage seeds are offsets (not hashes) on purpose: stages already consume
+/// their seed through `Random`/SplitMix64, which decorrelates adjacent
+/// seeds, and offsets keep the schedule auditable by eye in a debugger.
+class SeedSequence {
+public:
+  explicit constexpr SeedSequence(const std::uint64_t base) : _base(base) {}
+
+  [[nodiscard]] constexpr std::uint64_t base() const { return _base; }
+
+  /// Coarsening driver seed. The coarsener derives per-level clustering
+  /// seeds internally as `coarsening() + level`.
+  [[nodiscard]] constexpr std::uint64_t coarsening() const { return _base; }
+
+  /// Sequential initial partitioning on the coarsest graph.
+  [[nodiscard]] constexpr std::uint64_t initial_partitioning() const { return _base; }
+
+  /// Refinement pass at hierarchy level `level` (0 = finest/input graph,
+  /// `num_levels` = coarsest). Three regimes, matching the legacy inline
+  /// offsets exactly:
+  ///   - coarsest (level == num_levels): base + 13,
+  ///   - intermediate levels:            base + 13 + level,
+  ///   - finest (level == 0):            base + 99.
+  [[nodiscard]] constexpr std::uint64_t refinement(const std::size_t level,
+                                                   const std::size_t num_levels) const {
+    if (level == 0) {
+      return _base + 99;
+    }
+    if (level == num_levels) {
+      return _base + 13;
+    }
+    return _base + 13 + static_cast<std::uint64_t>(level);
+  }
+
+  /// The FM stage inside one refinement pass runs on the pass seed + 1 so
+  /// its localized searches decorrelate from the LP visit order.
+  [[nodiscard]] static constexpr std::uint64_t fm_stage(const std::uint64_t refinement_seed) {
+    return refinement_seed + 1;
+  }
+
+private:
+  std::uint64_t _base;
+};
+
 } // namespace terapart

@@ -1,0 +1,11 @@
+#include "initial/initial_engine.h"
+
+namespace terapart {
+
+std::vector<BlockID> RecursiveBisectionEngine::partition(
+    const CsrGraph &coarsest, const BlockID k, const double epsilon,
+    const InitialPartitioningConfig &config, const std::uint64_t seed) const {
+  return initial_partition(coarsest, k, epsilon, config, seed);
+}
+
+} // namespace terapart

@@ -1,0 +1,47 @@
+/// @file initial_engine.h
+/// @brief The initial-partitioning seam of the stage-based multilevel
+/// engine: an abstract `InitialPartitioningEngine` that produces a k-way
+/// partition of the coarsest graph, plus the default recursive-bisection
+/// implementation.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "initial/initial_partitioner.h"
+
+namespace terapart {
+
+class InitialPartitioningEngine {
+public:
+  virtual ~InitialPartitioningEngine() = default;
+
+  /// Stable identifier; recorded per run in the RunReport "engines" section.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Partitions the (small, always-CSR) coarsest graph into k blocks within
+  /// imbalance budget `epsilon`. Sequential by contract: the coarsest graph
+  /// is below the contraction limit, so parallelism does not pay here.
+  [[nodiscard]] virtual std::vector<BlockID>
+  partition(const CsrGraph &coarsest, BlockID k, double epsilon,
+            const InitialPartitioningConfig &config, std::uint64_t seed) const = 0;
+};
+
+/// The default engine: recursive bisection over a randomized portfolio of
+/// greedy graph growing + random splits, each polished with 2-way FM; the
+/// best feasible candidate wins (initial/initial_partitioner.h).
+class RecursiveBisectionEngine final : public InitialPartitioningEngine {
+public:
+  static constexpr std::string_view kName = "bisection";
+
+  [[nodiscard]] std::string_view name() const override { return kName; }
+
+  [[nodiscard]] std::vector<BlockID> partition(const CsrGraph &coarsest, BlockID k,
+                                               double epsilon,
+                                               const InitialPartitioningConfig &config,
+                                               std::uint64_t seed) const override;
+};
+
+} // namespace terapart

@@ -25,8 +25,26 @@ Context terapart_context(const BlockID k, const std::uint64_t seed) {
 Context terapart_fm_context(const BlockID k, const std::uint64_t seed) {
   Context ctx = terapart_context(k, seed);
   ctx.name = "terapart-fm";
+  ctx.refinement_engine = "lp+fm";
   ctx.use_fm = true;
   ctx.fm.gain_table = GainTableKind::kSparse;
+  return ctx;
+}
+
+Context fast_context(const BlockID k, const std::uint64_t seed) {
+  Context ctx = terapart_context(k, seed);
+  ctx.name = "fast";
+  ctx.coarsening.lp.num_rounds = 3;
+  ctx.lp_refinement.rounds = 3;
+  ctx.initial.repetitions = 2;
+  return ctx;
+}
+
+Context strong_context(const BlockID k, const std::uint64_t seed) {
+  Context ctx = terapart_fm_context(k, seed);
+  ctx.name = "strong";
+  ctx.fm.rounds = 3;
+  ctx.initial.repetitions = 8;
   return ctx;
 }
 

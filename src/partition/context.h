@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "coarsening/coarsener.h"
@@ -30,13 +31,34 @@ struct Context {
   double epsilon = 0.03;
   std::uint64_t seed = 1;
 
+  /// Engine selection, resolved through the EngineRegistry
+  /// (partition/engine_registry.h) when a run starts. Presets are engine
+  /// stacks: they pick names here instead of toggling driver booleans.
+  std::string coarsening_engine = "lp";
+  std::string initial_engine = "bisection";
+  std::string refinement_engine = "lp";
+
   CoarseningConfig coarsening;
   InitialPartitioningConfig initial;
   LpRefinementConfig lp_refinement;
 
-  /// Optional FM refinement stage (Section VI-B).
+  /// @deprecated Legacy FM toggle, superseded by `refinement_engine`
+  /// ("lp+fm"). Still honored: a context with use_fm = true and the default
+  /// "lp" refinement engine resolves to the "lp+fm" stack, so hand-built
+  /// contexts from before the engine registry keep their behavior.
   bool use_fm = false;
   FmConfig fm;
+
+  /// Hierarchy pinning (the PartitionSession contract, DESIGN.md §12).
+  /// When set, coarsening derives its stopping size and maximum cluster
+  /// weight from `hierarchy_k` instead of `k`, and seeds from
+  /// `hierarchy_seed` instead of `seed` — which makes the built hierarchy a
+  /// pure function of (graph, coarsening config, hierarchy_k,
+  /// hierarchy_seed), identical across requests that vary (k, epsilon,
+  /// seed). Unset (the default) reproduces classic single-shot behavior
+  /// where the hierarchy tracks the run's own k and seed.
+  BlockID hierarchy_k = 0;                     ///< 0 = use k
+  std::optional<std::uint64_t> hierarchy_seed; ///< nullopt = use seed
 
   /// Worker threads for this run; 0 = keep the global pool as it is. Applied
   /// by the `Partitioner` facade (the raw `partition_graph` driver never
@@ -60,5 +82,16 @@ struct Context {
 
 /// TeraPart-FM: TeraPart plus parallel k-way FM with the sparse gain table.
 [[nodiscard]] Context terapart_fm_context(BlockID k, std::uint64_t seed = 1);
+
+/// Fast preset: TeraPart memory optimizations with a lighter stack — fewer
+/// LP rounds on both sides and a smaller initial-partitioning portfolio.
+/// Trades a few percent of cut quality for wall time; measured (not
+/// asserted) by `bench_fig4_setA --presets`.
+[[nodiscard]] Context fast_context(BlockID k, std::uint64_t seed = 1);
+
+/// Strong preset: TeraPart plus the LP+FM refinement stack, extra FM
+/// rounds, and a larger initial-partitioning portfolio — the quality end of
+/// the fast/default/strong ladder (KaFFPa-lineage configurations).
+[[nodiscard]] Context strong_context(BlockID k, std::uint64_t seed = 1);
 
 } // namespace terapart

@@ -1,0 +1,174 @@
+#include "partition/engine_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace terapart {
+
+namespace {
+
+std::string joined(const std::vector<std::string> &names) {
+  std::string out;
+  for (const std::string &name : names) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += name;
+  }
+  return out;
+}
+
+[[noreturn]] void throw_unknown(const char *stage, const std::string_view name,
+                                const std::vector<std::string> &known) {
+  throw std::invalid_argument("unknown " + std::string(stage) + " engine '" +
+                              std::string(name) + "' (registered: " + joined(known) + ")");
+}
+
+} // namespace
+
+template <typename Factory>
+void EngineRegistry::NamedFactories<Factory>::put(std::string name, Factory factory) {
+  for (auto &[existing, existing_factory] : _entries) {
+    if (existing == name) {
+      existing_factory = std::move(factory);
+      return;
+    }
+  }
+  _entries.emplace_back(std::move(name), std::move(factory));
+}
+
+template <typename Factory>
+const Factory *EngineRegistry::NamedFactories<Factory>::find(const std::string_view name) const {
+  for (const auto &[existing, factory] : _entries) {
+    if (existing == name) {
+      return &factory;
+    }
+  }
+  return nullptr;
+}
+
+template <typename Factory>
+bool EngineRegistry::NamedFactories<Factory>::contains(const std::string_view name) const {
+  return find(name) != nullptr;
+}
+
+template <typename Factory>
+std::vector<std::string> EngineRegistry::NamedFactories<Factory>::names() const {
+  std::vector<std::string> out;
+  out.reserve(_entries.size());
+  for (const auto &[name, factory] : _entries) {
+    out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+EngineRegistry::EngineRegistry() {
+  _coarsening.put(std::string(LpCoarseningEngine::kName),
+                  [](const Context &) { return std::make_unique<LpCoarseningEngine>(); });
+  _initial.put(std::string(RecursiveBisectionEngine::kName),
+               [](const Context &) { return std::make_unique<RecursiveBisectionEngine>(); });
+  _refinement.put(std::string(LpRefinementEngine::kName), [](const Context &ctx) {
+    return std::make_unique<LpRefinementEngine>(ctx.lp_refinement);
+  });
+  _refinement.put(std::string(LpFmRefinementEngine::kName), [](const Context &ctx) {
+    return std::make_unique<LpFmRefinementEngine>(ctx.lp_refinement, ctx.fm);
+  });
+}
+
+EngineRegistry &EngineRegistry::global() {
+  static EngineRegistry registry;
+  return registry;
+}
+
+void EngineRegistry::register_coarsening(std::string name, CoarseningFactory factory) {
+  std::lock_guard lock(_mutex);
+  _coarsening.put(std::move(name), std::move(factory));
+}
+
+void EngineRegistry::register_initial(std::string name, InitialFactory factory) {
+  std::lock_guard lock(_mutex);
+  _initial.put(std::move(name), std::move(factory));
+}
+
+void EngineRegistry::register_refinement(std::string name, RefinementFactory factory) {
+  std::lock_guard lock(_mutex);
+  _refinement.put(std::move(name), std::move(factory));
+}
+
+bool EngineRegistry::has_coarsening(const std::string_view name) const {
+  std::lock_guard lock(_mutex);
+  return _coarsening.contains(name);
+}
+
+bool EngineRegistry::has_initial(const std::string_view name) const {
+  std::lock_guard lock(_mutex);
+  return _initial.contains(name);
+}
+
+bool EngineRegistry::has_refinement(const std::string_view name) const {
+  std::lock_guard lock(_mutex);
+  return _refinement.contains(name);
+}
+
+std::vector<std::string> EngineRegistry::coarsening_names() const {
+  std::lock_guard lock(_mutex);
+  return _coarsening.names();
+}
+
+std::vector<std::string> EngineRegistry::initial_names() const {
+  std::lock_guard lock(_mutex);
+  return _initial.names();
+}
+
+std::vector<std::string> EngineRegistry::refinement_names() const {
+  std::lock_guard lock(_mutex);
+  return _refinement.names();
+}
+
+std::unique_ptr<CoarseningEngine> EngineRegistry::make_coarsening(const Context &ctx) const {
+  std::lock_guard lock(_mutex);
+  const CoarseningFactory *factory = _coarsening.find(ctx.coarsening_engine);
+  if (factory == nullptr) {
+    throw_unknown("coarsening", ctx.coarsening_engine, _coarsening.names());
+  }
+  return (*factory)(ctx);
+}
+
+std::unique_ptr<InitialPartitioningEngine>
+EngineRegistry::make_initial(const Context &ctx) const {
+  std::lock_guard lock(_mutex);
+  const InitialFactory *factory = _initial.find(ctx.initial_engine);
+  if (factory == nullptr) {
+    throw_unknown("initial-partitioning", ctx.initial_engine, _initial.names());
+  }
+  return (*factory)(ctx);
+}
+
+std::unique_ptr<RefinementEngine> EngineRegistry::make_refinement(const Context &ctx) const {
+  const std::string name = resolved_refinement_engine(ctx);
+  std::lock_guard lock(_mutex);
+  const RefinementFactory *factory = _refinement.find(name);
+  if (factory == nullptr) {
+    throw_unknown("refinement", name, _refinement.names());
+  }
+  return (*factory)(ctx);
+}
+
+std::string resolved_refinement_engine(const Context &ctx) {
+  if (ctx.use_fm && ctx.refinement_engine == LpRefinementEngine::kName) {
+    return std::string(LpFmRefinementEngine::kName);
+  }
+  return ctx.refinement_engine;
+}
+
+EngineStack make_engine_stack(const Context &ctx) {
+  const EngineRegistry &registry = EngineRegistry::global();
+  EngineStack stack;
+  stack.coarsening = registry.make_coarsening(ctx);
+  stack.initial = registry.make_initial(ctx);
+  stack.refinement = registry.make_refinement(ctx);
+  return stack;
+}
+
+} // namespace terapart

@@ -1,0 +1,95 @@
+/// @file engine_registry.h
+/// @brief Name-keyed factories for the three engine seams of the multilevel
+/// pipeline. A `Context` names its engines ("lp", "bisection", "lp+fm", …);
+/// the registry turns those names into instances at run start, so presets
+/// select real engine stacks and new algorithms plug in without touching
+/// the driver (ROADMAP: algorithm portfolio & quality ladder).
+///
+/// The default engines register themselves on first use of `global()`;
+/// experiments may `register_*` additional engines at startup (registration
+/// is thread-safe, last writer wins for a name). Factories receive the full
+/// Context so an engine can read its own configuration block.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "coarsening/coarsening_engine.h"
+#include "initial/initial_engine.h"
+#include "partition/context.h"
+#include "refinement/refinement_engine.h"
+
+namespace terapart {
+
+/// The three engine instances one run partitions through. Built per run
+/// (engines are cheap: configuration by value, no per-graph state).
+struct EngineStack {
+  std::unique_ptr<CoarseningEngine> coarsening;
+  std::unique_ptr<InitialPartitioningEngine> initial;
+  std::unique_ptr<RefinementEngine> refinement;
+};
+
+class EngineRegistry {
+public:
+  using CoarseningFactory = std::function<std::unique_ptr<CoarseningEngine>(const Context &)>;
+  using InitialFactory =
+      std::function<std::unique_ptr<InitialPartitioningEngine>(const Context &)>;
+  using RefinementFactory = std::function<std::unique_ptr<RefinementEngine>(const Context &)>;
+
+  /// The process-wide registry, with the default engines pre-registered:
+  /// coarsening "lp"; initial "bisection"; refinement "lp" and "lp+fm".
+  [[nodiscard]] static EngineRegistry &global();
+
+  void register_coarsening(std::string name, CoarseningFactory factory);
+  void register_initial(std::string name, InitialFactory factory);
+  void register_refinement(std::string name, RefinementFactory factory);
+
+  [[nodiscard]] bool has_coarsening(std::string_view name) const;
+  [[nodiscard]] bool has_initial(std::string_view name) const;
+  [[nodiscard]] bool has_refinement(std::string_view name) const;
+
+  /// Registered names, sorted — used for actionable configuration errors.
+  [[nodiscard]] std::vector<std::string> coarsening_names() const;
+  [[nodiscard]] std::vector<std::string> initial_names() const;
+  [[nodiscard]] std::vector<std::string> refinement_names() const;
+
+  /// Instantiates one engine by name. Throws std::invalid_argument naming
+  /// the unknown engine and the registered alternatives; `ContextBuilder`
+  /// validates names eagerly so facade users never reach that throw.
+  [[nodiscard]] std::unique_ptr<CoarseningEngine> make_coarsening(const Context &ctx) const;
+  [[nodiscard]] std::unique_ptr<InitialPartitioningEngine> make_initial(const Context &ctx) const;
+  [[nodiscard]] std::unique_ptr<RefinementEngine> make_refinement(const Context &ctx) const;
+
+private:
+  EngineRegistry();
+
+  template <typename Factory> class NamedFactories {
+  public:
+    void put(std::string name, Factory factory);
+    [[nodiscard]] const Factory *find(std::string_view name) const;
+    [[nodiscard]] bool contains(std::string_view name) const;
+    [[nodiscard]] std::vector<std::string> names() const;
+
+  private:
+    std::vector<std::pair<std::string, Factory>> _entries;
+  };
+
+  mutable std::mutex _mutex;
+  NamedFactories<CoarseningFactory> _coarsening;
+  NamedFactories<InitialFactory> _initial;
+  NamedFactories<RefinementFactory> _refinement;
+};
+
+/// The refinement-engine name a context actually runs with: the legacy
+/// `use_fm = true` toggle upgrades the default "lp" selection to "lp+fm"
+/// (an explicit non-default `refinement_engine` always wins).
+[[nodiscard]] std::string resolved_refinement_engine(const Context &ctx);
+
+/// Resolves all three engines of `ctx` through the global registry.
+[[nodiscard]] EngineStack make_engine_stack(const Context &ctx);
+
+} // namespace terapart

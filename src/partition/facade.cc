@@ -4,31 +4,69 @@
 #include <exception>
 #include <new>
 #include <thread>
+#include <utility>
 
 #include "common/metrics_registry.h"
 #include "compression/parallel_compressor.h"
 #include "graph/graph_io.h"
 #include "parallel/thread_pool.h"
+#include "partition/engine_registry.h"
+#include "partition/stages.h"
 
 namespace terapart {
 
 namespace {
 
-Context preset_context(const Preset preset) {
-  switch (preset) {
-  case Preset::kKaMinPar:
-    return kaminpar_context(2);
-  case Preset::kTeraPart:
-    return terapart_context(2);
-  case Preset::kTeraPartFm:
-    return terapart_fm_context(2);
+/// Joins the registry's engine names for an error message.
+std::string join_names(const std::vector<std::string> &names) {
+  std::string joined;
+  for (const std::string &name : names) {
+    if (!joined.empty()) {
+      joined += ", ";
+    }
+    joined += "\"" + name + "\"";
   }
-  return terapart_context(2);
+  return joined;
 }
 
 } // namespace
 
-ContextBuilder::ContextBuilder(const Preset preset) : _ctx(preset_context(preset)) {}
+std::optional<Preset> preset_from_name(const std::string_view name) {
+  if (name == "kaminpar") {
+    return Preset::kKaMinPar;
+  }
+  if (name == "terapart") {
+    return Preset::kTeraPart;
+  }
+  if (name == "terapart-fm") {
+    return Preset::kTeraPartFm;
+  }
+  if (name == "fast") {
+    return Preset::kFast;
+  }
+  if (name == "strong") {
+    return Preset::kStrong;
+  }
+  return std::nullopt;
+}
+
+Context context_for_preset(const Preset preset, const BlockID k, const std::uint64_t seed) {
+  switch (preset) {
+  case Preset::kKaMinPar:
+    return kaminpar_context(k, seed);
+  case Preset::kTeraPart:
+    return terapart_context(k, seed);
+  case Preset::kTeraPartFm:
+    return terapart_fm_context(k, seed);
+  case Preset::kFast:
+    return fast_context(k, seed);
+  case Preset::kStrong:
+    return strong_context(k, seed);
+  }
+  return terapart_context(k, seed);
+}
+
+ContextBuilder::ContextBuilder(const Preset preset) : _ctx(context_for_preset(preset)) {}
 
 ContextBuilder &ContextBuilder::k(const BlockID k) {
   _ctx.k = k;
@@ -59,6 +97,25 @@ ContextBuilder &ContextBuilder::bump_threshold(const NodeID threshold) {
 
 ContextBuilder &ContextBuilder::use_fm(const bool enabled) {
   _ctx.use_fm = enabled;
+  _ctx.refinement_engine = enabled ? LpFmRefinementEngine::kName : LpRefinementEngine::kName;
+  return *this;
+}
+
+ContextBuilder &ContextBuilder::coarsening_engine(std::string name) {
+  _ctx.coarsening_engine = std::move(name);
+  return *this;
+}
+
+ContextBuilder &ContextBuilder::initial_engine(std::string name) {
+  _ctx.initial_engine = std::move(name);
+  return *this;
+}
+
+ContextBuilder &ContextBuilder::refinement_engine(std::string name) {
+  _ctx.refinement_engine = std::move(name);
+  // The engine name is now authoritative; keep the legacy bool in sync so
+  // code still branching on it sees a consistent context.
+  _ctx.use_fm = (_ctx.refinement_engine == LpFmRefinementEngine::kName);
   return *this;
 }
 
@@ -102,6 +159,25 @@ Result<Context, ConfigError> ContextBuilder::build() const {
                            " hardware threads; oversubscribing by more than 8x only "
                            "adds scheduling noise"};
   }
+  // Engine names are validated eagerly, so an unregistered engine is a
+  // ConfigError here instead of an exception deep inside the run.
+  EngineRegistry &registry = EngineRegistry::global();
+  if (!registry.has_coarsening(_ctx.coarsening_engine)) {
+    return ConfigError{"coarsening_engine",
+                       "unknown engine \"" + _ctx.coarsening_engine +
+                           "\"; registered: " + join_names(registry.coarsening_names())};
+  }
+  if (!registry.has_initial(_ctx.initial_engine)) {
+    return ConfigError{"initial_engine",
+                       "unknown engine \"" + _ctx.initial_engine +
+                           "\"; registered: " + join_names(registry.initial_names())};
+  }
+  const std::string refinement = resolved_refinement_engine(_ctx);
+  if (!registry.has_refinement(refinement)) {
+    return ConfigError{"refinement_engine",
+                       "unknown engine \"" + refinement +
+                           "\"; registered: " + join_names(registry.refinement_names())};
+  }
   return _ctx;
 }
 
@@ -111,7 +187,7 @@ template <typename Graph> PartitionResult Partitioner::run(const Graph &graph) c
   if (_ctx.threads > 0 && _ctx.threads != par::num_threads()) {
     par::set_num_threads(_ctx.threads);
   }
-  return partition_graph(graph, _ctx);
+  return run_multilevel_pipeline(graph, _ctx);
 }
 
 PartitionResult Partitioner::partition(const CsrGraph &graph) const { return run(graph); }
@@ -181,6 +257,57 @@ Partitioner::partition_file(const std::filesystem::path &path) const {
   return format_error(ErrorCode::kParseError, path.string(),
                       "unknown graph file extension '" + ext.string() +
                           "' (expected .tpg, .metis, or .graph)");
+}
+
+PartitionSession::PartitionSession(const CsrGraph &graph, Context base)
+    : _graph(&graph), _base(std::move(base)) {}
+
+PartitionSession::PartitionSession(const CompressedGraph &graph, Context base)
+    : _graph(&graph), _base(std::move(base)) {}
+
+Context PartitionSession::request_context(const BlockID k, const double epsilon,
+                                          const std::uint64_t seed) const {
+  Context ctx = _base;
+  ctx.k = k;
+  ctx.epsilon = epsilon;
+  ctx.seed = seed;
+  // Pin the coarsening stage to the session base so its output — and hence
+  // the retained hierarchy — is independent of this request's (k, epsilon,
+  // seed). ctx.coarsening (including its epsilon) stays at the base value
+  // for the same reason.
+  ctx.hierarchy_k = _base.hierarchy_k != 0 ? _base.hierarchy_k : std::max<BlockID>(1, _base.k);
+  ctx.hierarchy_seed = _base.hierarchy_seed.value_or(_base.seed);
+  return ctx;
+}
+
+template <typename Graph>
+PartitionResult PartitionSession::serve(const Graph &graph, const Context &request) {
+  if (request.threads > 0 && request.threads != par::num_threads()) {
+    par::set_num_threads(request.threads);
+  }
+  PipelineOptions options;
+  options.retained = _hierarchy;
+  options.hierarchy_out = &_hierarchy;
+  PartitionResult result = run_multilevel_pipeline(graph, request, options);
+  if (_hierarchy != nullptr && _retained_mappings.bytes() == 0) {
+    // The coarse graphs account for themselves; register the projection
+    // mappings' share of the retained hierarchy here.
+    _retained_mappings = TrackedAlloc("session/hierarchy", _hierarchy->mapping_bytes());
+  }
+  return result;
+}
+
+PartitionResult PartitionSession::partition(const BlockID k, const double epsilon,
+                                            const std::uint64_t seed) {
+  const Context request = request_context(k, epsilon, seed);
+  if (const auto *csr = std::get_if<const CsrGraph *>(&_graph)) {
+    return serve(**csr, request);
+  }
+  return serve(*std::get<const CompressedGraph *>(_graph), request);
+}
+
+std::uint64_t PartitionSession::retained_bytes() const {
+  return _hierarchy != nullptr ? _hierarchy->memory_bytes() : 0;
 }
 
 } // namespace terapart

@@ -1,8 +1,9 @@
 /// @file facade.h
-/// @brief The stable public API: `ContextBuilder` (validated configuration)
-/// and `Partitioner` (the run handle).
+/// @brief The stable public API: `ContextBuilder` (validated configuration),
+/// `Partitioner` (the single-shot run handle), and `PartitionSession` (the
+/// retained-hierarchy, load-once-serve-many handle).
 ///
-/// Typical use:
+/// Typical single-shot use:
 /// @code
 ///   auto ctx = terapart::ContextBuilder(terapart::Preset::kTeraPart)
 ///                  .k(32)
@@ -17,6 +18,14 @@
 ///   terapart::PartitionResult result = partitioner.partition(graph);
 /// @endcode
 ///
+/// Repeated-request use (the hierarchy is built once, then reused):
+/// @code
+///   terapart::PartitionSession session(graph, std::move(ctx).value());
+///   auto a = session.partition(8);
+///   auto b = session.partition(64);             // no re-coarsening
+///   auto c = session.partition(16, 0.01, 7);    // different epsilon/seed
+/// @endcode
+///
 /// Invalid configurations are rejected *eagerly* at build() with messages
 /// that name the offending field and the accepted range — not deep inside a
 /// run as an assertion. The older free function `partition_graph(graph, ctx)`
@@ -26,20 +35,38 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <variant>
 
+#include "coarsening/multilevel_hierarchy.h"
+#include "common/memory_tracker.h"
 #include "common/result.h"
 #include "partition/context.h"
 #include "partition/partitioner.h"
 
 namespace terapart {
 
-/// Named configuration baseline; see context.h for what each toggles.
+/// Named configuration baseline; see context.h for what each selects. The
+/// fast / kTeraPart (default) / strong triple is the quality-vs-speed
+/// ladder: each preset picks a real engine stack and tuning, measured
+/// against the others by `bench_fig4_setA --presets`.
 enum class Preset : std::uint8_t {
-  kKaMinPar, ///< classic LP + buffered contraction
-  kTeraPart, ///< two-phase LP + one-pass contraction (the paper's default)
+  kKaMinPar,   ///< classic LP + buffered contraction
+  kTeraPart,   ///< two-phase LP + one-pass contraction (the paper's default)
   kTeraPartFm, ///< TeraPart + parallel k-way FM (sparse gain table)
+  kFast,       ///< TeraPart with a lighter stack: fewer rounds, smaller portfolio
+  kStrong,     ///< TeraPart + LP+FM engine, extra rounds, larger portfolio
 };
+
+/// CLI-style preset lookup: "kaminpar", "terapart", "terapart-fm", "fast",
+/// "strong". Returns nullopt for unknown names.
+[[nodiscard]] std::optional<Preset> preset_from_name(std::string_view name);
+
+/// The Context a preset denotes (what `ContextBuilder(preset)` starts from).
+[[nodiscard]] Context context_for_preset(Preset preset, BlockID k = 2, std::uint64_t seed = 1);
 
 /// Why a configuration was rejected.
 struct ConfigError {
@@ -65,8 +92,14 @@ public:
   ContextBuilder &threads(int threads);
   /// Degree threshold for the two-phase LP / contraction bump mechanism.
   ContextBuilder &bump_threshold(NodeID threshold);
-  /// Force the FM stage on or off (presets choose a default).
+  /// Force the FM stage on or off (presets choose a default). Sugar for
+  /// refinement_engine("lp+fm") / refinement_engine("lp").
   ContextBuilder &use_fm(bool enabled);
+  /// Engine selection by registry name; build() rejects unregistered names
+  /// with the list of known engines (partition/engine_registry.h).
+  ContextBuilder &coarsening_engine(std::string name);
+  ContextBuilder &initial_engine(std::string name);
+  ContextBuilder &refinement_engine(std::string name);
   ContextBuilder &progress(ProgressCallback callback);
   ContextBuilder &cancel(CancellationToken token);
 
@@ -113,6 +146,69 @@ private:
   [[nodiscard]] Result<PartitionResult, Error> try_run(const Graph &graph) const;
 
   Context _ctx;
+};
+
+/// The load-once-serve-many handle (DESIGN.md §12): builds the multilevel
+/// hierarchy on the first request and serves every subsequent
+/// `partition(k, epsilon, seed)` against the retained, immutable hierarchy
+/// — the expensive artifact is shared, so repeated requests skip straight
+/// to initial partitioning + refinement.
+///
+/// Determinism contract: `session.partition(k, epsilon, seed)` is
+/// bit-identical to a fresh `Partitioner(session.request_context(k,
+/// epsilon, seed)).partition(graph)` — the request context pins the
+/// hierarchy to the session's base (hierarchy_k = base k, hierarchy_seed =
+/// base seed, coarsening epsilon = base epsilon), which is exactly what the
+/// session serves from. The session-reuse tests assert this over a matrix
+/// of (k, epsilon, seed, threads).
+///
+/// The input graph is captured by reference and must outlive the session.
+/// Retained-hierarchy memory is accounted in the MemoryTracker: the coarse
+/// graphs self-account for their lifetime, and the projection mappings are
+/// registered under "session/hierarchy".
+///
+/// Quality note: the hierarchy's coarsening granularity is derived from the
+/// base context's k — build the session with the largest k you expect to
+/// serve, or requests with much larger k may land on a too-coarse coarsest
+/// graph.
+///
+/// Not thread-safe: serve requests from one thread (the service daemon on
+/// the ROADMAP owns a session per worker or serializes access).
+class PartitionSession {
+public:
+  PartitionSession(const CsrGraph &graph, Context base);
+  PartitionSession(const CompressedGraph &graph, Context base);
+
+  /// Serves one request. Builds the hierarchy on the first call (that
+  /// result's phase tree contains the "coarsening" phase; later results
+  /// are flagged `hierarchy_reused` and contain none).
+  [[nodiscard]] PartitionResult partition(BlockID k, double epsilon, std::uint64_t seed);
+  [[nodiscard]] PartitionResult partition(const BlockID k) {
+    return partition(k, _base.epsilon, _base.seed);
+  }
+
+  /// The exact Context under which a fresh Partitioner reproduces
+  /// `partition(k, epsilon, seed)` bit-identically (the parity contract
+  /// above; used by tests and the service daemon's audit mode).
+  [[nodiscard]] Context request_context(BlockID k, double epsilon, std::uint64_t seed) const;
+
+  [[nodiscard]] bool hierarchy_built() const { return _hierarchy != nullptr; }
+  /// Exact bytes of the retained hierarchy (0 until built).
+  [[nodiscard]] std::uint64_t retained_bytes() const;
+  /// The retained hierarchy; nullptr until the first partition() call.
+  [[nodiscard]] const MultilevelHierarchy *hierarchy() const { return _hierarchy.get(); }
+  [[nodiscard]] const Context &base_context() const { return _base; }
+
+private:
+  template <typename Graph> [[nodiscard]] PartitionResult serve(const Graph &graph,
+                                                                const Context &request);
+
+  std::variant<const CsrGraph *, const CompressedGraph *> _graph;
+  Context _base;
+  std::shared_ptr<const MultilevelHierarchy> _hierarchy;
+  /// MemoryTracker registration of the mappings' share of the retained
+  /// hierarchy (the coarse graphs self-account; see retained_bytes()).
+  TrackedAlloc _retained_mappings;
 };
 
 } // namespace terapart

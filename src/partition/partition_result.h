@@ -1,0 +1,76 @@
+/// @file partition_result.h
+/// @brief The result document of one multilevel partitioning run: the
+/// partition itself, quality metrics, per-level shape, telemetry, and the
+/// provenance flags (degraded modes, engines used, hierarchy reuse).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/scoped_phase.h"
+#include "common/timer.h"
+#include "common/types.h"
+
+namespace terapart {
+
+/// Shape of one level of the multilevel hierarchy (diagnostics / reports).
+struct LevelStats {
+  NodeID n = 0;
+  EdgeID m = 0;
+  NodeID max_degree = 0;
+  std::uint64_t memory_bytes = 0;
+};
+
+struct PartitionResult {
+  std::vector<BlockID> partition; ///< block per vertex of the input graph
+  EdgeWeight cut = 0;             ///< achieved edge cut
+  double imbalance = 0.0;         ///< max block weight / perfect weight - 1
+  bool balanced = false;          ///< imbalance within epsilon
+  /// True when the run was stopped via Context::cancel: `partition` is the
+  /// current coarse partition projected to the input graph, with the
+  /// remaining refinement skipped (valid, but of reduced quality).
+  bool cancelled = false;
+  int num_levels = 0;             ///< hierarchy depth used
+  PhaseTimer timers;              ///< coarsening / initial / refinement
+  /// Hierarchical telemetry: per-phase wall time and memory high-water
+  /// deltas down to individual coarsening levels and refinement rounds
+  /// (coarsening/level_i/{lp_clustering/round_r, contraction}, refinement/
+  /// level_i/{lp_refinement/round_r, fm_refinement, rebalance}). Serialized
+  /// into RunReport JSON; see DESIGN.md §10.
+  PhaseTree phases;
+  /// Input graph followed by every coarse level, coarsest last.
+  std::vector<LevelStats> levels;
+  /// Which graceful-degradation fallbacks were taken during the run
+  /// (DESIGN.md §9). A degraded run is still a correct run — same partition
+  /// quality guarantees — but with a different memory/speed profile; the
+  /// flags are surfaced in the RunReport "degraded_mode" section.
+  struct DegradedModes {
+    /// One-pass contraction fell back to the buffered algorithm.
+    bool contraction_buffered = false;
+    /// The compressor's overcommit reservation failed; chunked growth used.
+    bool compressor_chunked = false;
+    /// Compressed-graph construction failed mid-stream; the partitioner ran
+    /// on the uncompressed CSR graph instead.
+    bool input_fallback_csr = false;
+
+    [[nodiscard]] bool any() const {
+      return contraction_buffered || compressor_chunked || input_fallback_csr;
+    }
+  };
+  DegradedModes degraded;
+  /// Names of the engines that actually ran each stage (RunReport "engines"
+  /// section) — resolved from the Context through the EngineRegistry, so a
+  /// legacy `use_fm = true` shows up here as "lp+fm".
+  struct EngineNames {
+    std::string coarsening;
+    std::string initial;
+    std::string refinement;
+  };
+  EngineNames engines;
+  /// True when the run served a PartitionSession request against a retained
+  /// hierarchy instead of coarsening: the phase tree and PhaseTimer then
+  /// deliberately contain no "coarsening" entry (DESIGN.md §12).
+  bool hierarchy_reused = false;
+};
+
+} // namespace terapart

@@ -1,217 +1,12 @@
 #include "partition/partitioner.h"
 
-#include "common/assert.h"
-#include "common/logging.h"
-#include "common/scoped_phase.h"
-#include "parallel/scheduler.h"
-#include "partition/metrics.h"
-#include "partition/partitioned_graph.h"
-#include "partition/validation.h"
-#include "refinement/fm_refiner.h"
-#include "refinement/lp_refiner.h"
-#include "refinement/rebalancer.h"
+#include "partition/stages.h"
 
 namespace terapart {
 
-namespace {
-
-/// Refinement applied at every level: size-constrained LP, then (optionally)
-/// FM + rebalancing, mirroring KaMinPar's stage order. `level` indexes the
-/// telemetry phase: 0 = finest (input) graph, hierarchy depth = coarsest.
-template <typename Graph>
-void refine_level(const Graph &graph, PartitionedGraph &partitioned, const Context &ctx,
-                  const BlockWeight level_max_block_weight, const std::uint64_t seed,
-                  const std::size_t level) {
-  ScopedPhase phase("level_" + std::to_string(level));
-  lp_refine(graph, partitioned, level_max_block_weight, ctx.lp_refinement, seed);
-  if (ctx.use_fm) {
-    fm_refine(graph, partitioned, level_max_block_weight, ctx.fm, seed + 1);
-    ScopedPhase rebalance_phase("rebalance");
-    rebalance(graph, partitioned, level_max_block_weight);
-  }
-}
-
-/// The balance bound at a level must admit the level's heaviest vertex,
-/// otherwise coarse-level refinement could wedge.
-template <typename Graph>
-BlockWeight level_bound(const Graph &graph, const BlockWeight max_block_weight) {
-  return std::max<BlockWeight>(max_block_weight, graph.max_node_weight());
-}
-
-} // namespace
-
 template <typename Graph>
 PartitionResult partition_graph(const Graph &graph, const Context &ctx) {
-  PartitionResult result;
-  // Route every ScopedPhase opened below (including those inside
-  // lp_cluster, contract_clustering, and the refiners) into this run's
-  // phase tree. The binding is per-thread, so concurrent partition_graph
-  // calls from different external threads keep separate trees.
-  ActivePhaseScope telemetry(result.phases);
-  const BlockID k = std::max<BlockID>(1, ctx.k);
-
-  if (graph.n() == 0 || k == 1) {
-    result.partition.assign(graph.n(), 0);
-    result.balanced = true;
-    return result;
-  }
-
-  const BlockWeight max_block_weight =
-      metrics::max_block_weight(graph.total_node_weight(), k, ctx.epsilon);
-
-  // --- Coarsening ---
-  GraphHierarchy hierarchy;
-  {
-    auto scope = result.timers.scope("coarsening");
-    ScopedPhase phase("coarsening");
-    hierarchy = coarsen(graph, ctx.coarsening, k, ctx.seed);
-  }
-  result.num_levels = static_cast<int>(hierarchy.num_levels());
-  result.degraded.contraction_buffered = hierarchy.degraded_contraction;
-  result.levels.push_back({graph.n(), graph.m(), graph.max_degree(), graph.memory_bytes()});
-  for (const CsrGraph &level : hierarchy.graphs) {
-    result.levels.push_back({level.n(), level.m(), level.max_degree(), level.memory_bytes()});
-  }
-
-  // Progress heartbeat: one step per driver milestone (coarsening, initial
-  // partitioning, and one refinement pass per level down to the input graph).
-  const std::size_t total_steps =
-      2 + (hierarchy.empty() ? 1 : hierarchy.num_levels() + 1);
-  std::size_t completed_steps = 0;
-  const auto emit_progress = [&](const std::string_view stage, const std::size_t level) {
-    ++completed_steps;
-    if (ctx.progress) {
-      ctx.progress(ProgressEvent{stage, level, completed_steps, total_steps});
-    }
-  };
-  emit_progress("coarsening", hierarchy.num_levels());
-
-  // Folds a partition of hierarchy level `level_index` down to the input
-  // graph without refining — the partial-result path of a cancelled run.
-  const auto project_to_input = [&](std::vector<BlockID> part, const std::size_t level_index) {
-    for (std::size_t li = level_index; li > 0; --li) {
-      const std::vector<NodeID> &mapping = hierarchy.mappings[li];
-      std::vector<BlockID> finer(hierarchy.graphs[li - 1].n());
-      par::for_each_dynamic<NodeID>(0, hierarchy.graphs[li - 1].n(),
-                                    [&](const NodeID u) { finer[u] = part[mapping[u]]; });
-      part = std::move(finer);
-    }
-    std::vector<BlockID> finest(graph.n());
-    par::for_each_dynamic<NodeID>(0, graph.n(), [&](const NodeID u) {
-      finest[u] = part[hierarchy.mappings[0][u]];
-    });
-    return finest;
-  };
-
-  if (ctx.cancel.stop_requested()) {
-    // Cancelled before any partition exists: the only honest partial result
-    // is the trivial one-block assignment.
-    result.partition.assign(graph.n(), 0);
-    result.cancelled = true;
-    const auto weights = metrics::block_weights(graph, result.partition, k);
-    result.imbalance = metrics::imbalance(weights, graph.total_node_weight());
-    result.balanced = metrics::is_balanced(weights, graph.total_node_weight(), k, ctx.epsilon);
-    return result;
-  }
-
-  // --- Initial partitioning (sequential, on the coarsest graph) ---
-  std::vector<BlockID> coarse_partition;
-  {
-    auto scope = result.timers.scope("initial_partitioning");
-    ScopedPhase phase("initial_partitioning");
-    if (!hierarchy.empty()) {
-      coarse_partition =
-          initial_partition(hierarchy.coarsest(), k, ctx.epsilon, ctx.initial, ctx.seed);
-    } else if constexpr (Graph::is_compressed()) {
-      // No hierarchy and a compressed input: materialize CSR once for the
-      // sequential initial partitioner (small by definition of "no
-      // hierarchy"; see DESIGN.md).
-      const CsrGraph materialized = decompress_graph(graph, "graph/initial");
-      coarse_partition = initial_partition(materialized, k, ctx.epsilon, ctx.initial, ctx.seed);
-    } else {
-      coarse_partition = initial_partition(graph, k, ctx.epsilon, ctx.initial, ctx.seed);
-    }
-  }
-  emit_progress("initial_partitioning", hierarchy.num_levels());
-
-  // --- Uncoarsening: refine, project, repeat ---
-  {
-    auto scope = result.timers.scope("refinement");
-    ScopedPhase phase("refinement");
-    if (!hierarchy.empty()) {
-      PartitionedGraph partitioned(hierarchy.coarsest(), k, std::move(coarse_partition));
-      refine_level(hierarchy.coarsest(), partitioned, ctx,
-                   level_bound(hierarchy.coarsest(), max_block_weight), ctx.seed + 13,
-                   hierarchy.num_levels());
-      coarse_partition = partitioned.take_partition();
-      emit_progress("refinement", hierarchy.num_levels());
-
-      for (std::size_t level = hierarchy.num_levels(); level-- > 1;) {
-        if (ctx.cancel.stop_requested()) {
-          // Partial result: fold what we have down to the input graph and
-          // skip the remaining refinement passes.
-          result.cancelled = true;
-          coarse_partition = project_to_input(std::move(coarse_partition), level);
-          break;
-        }
-        // Project level -> level-1.
-        const std::vector<NodeID> &mapping = hierarchy.mappings[level];
-        const CsrGraph &finer = hierarchy.graphs[level - 1];
-        std::vector<BlockID> finer_partition(finer.n());
-        par::for_each_dynamic<NodeID>(0, finer.n(), [&](const NodeID u) {
-          finer_partition[u] = coarse_partition[mapping[u]];
-        });
-        PartitionedGraph level_partitioned(finer, k, std::move(finer_partition));
-        refine_level(finer, level_partitioned, ctx, level_bound(finer, max_block_weight),
-                     ctx.seed + 13 + level, level);
-        coarse_partition = level_partitioned.take_partition();
-        emit_progress("refinement", level);
-      }
-
-      if (!result.cancelled) {
-        // Project level 0 -> finest input graph.
-        const std::vector<NodeID> &mapping = hierarchy.mappings[0];
-        std::vector<BlockID> finest_partition(graph.n());
-        par::for_each_dynamic<NodeID>(0, graph.n(), [&](const NodeID u) {
-          finest_partition[u] = coarse_partition[mapping[u]];
-        });
-        coarse_partition = std::move(finest_partition);
-      }
-    }
-
-    if (!result.cancelled && ctx.cancel.stop_requested()) {
-      result.cancelled = true; // already on the input graph; skip refinement
-    }
-    if (result.cancelled) {
-      result.partition = std::move(coarse_partition);
-    } else {
-      PartitionedGraph partitioned(graph, k, std::move(coarse_partition));
-      refine_level(graph, partitioned, ctx, max_block_weight, ctx.seed + 99, 0);
-      // Balance is mandatory on the finest level: repair any residue before
-      // reporting.
-      rebalance(graph, partitioned, max_block_weight);
-      result.partition = partitioned.take_partition();
-      emit_progress("refinement", 0);
-    }
-  }
-
-  result.cut = metrics::edge_cut(graph, result.partition);
-  const auto weights = metrics::block_weights(graph, result.partition, k);
-  result.imbalance = metrics::imbalance(weights, graph.total_node_weight());
-  result.balanced = metrics::is_balanced(weights, graph.total_node_weight(), k, ctx.epsilon);
-
-#if defined(TP_ENABLE_HEAVY_ASSERTIONS) || !defined(NDEBUG)
-  // Debug builds re-derive the partition invariants from scratch (block ids
-  // in range, block weights sum to the total node weight, reported cut
-  // equals a recomputation).
-  const PartitionValidationResult validation =
-      validate_partition(graph, result.partition, k, result.cut);
-  TP_ASSERT_MSG(validation.ok, validation.message.c_str());
-#endif
-
-  LOG_INFO << "partitioned n=" << graph.n() << " into k=" << k << ": cut=" << result.cut
-           << " imbalance=" << result.imbalance << " levels=" << result.num_levels;
-  return result;
+  return run_multilevel_pipeline(graph, ctx);
 }
 
 template PartitionResult partition_graph<CsrGraph>(const CsrGraph &, const Context &);

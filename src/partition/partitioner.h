@@ -1,65 +1,17 @@
 /// @file partitioner.h
-/// @brief The multilevel partitioning driver (the public entry point of the
-/// library): coarsening -> initial partitioning -> uncoarsening with
-/// refinement, per Section II.
+/// @brief The deprecated free-function entry point of the library, kept as a
+/// thin shim over the stage-based pipeline (partition/stages.h).
+///
+/// `PartitionResult` and `LevelStats` moved to partition/partition_result.h;
+/// this header re-exports them for source compatibility.
 #pragma once
 
-#include <vector>
-
-#include "common/scoped_phase.h"
-#include "common/timer.h"
 #include "compression/compressed_graph.h"
 #include "graph/csr_graph.h"
 #include "partition/context.h"
+#include "partition/partition_result.h"
 
 namespace terapart {
-
-/// Shape of one level of the multilevel hierarchy (diagnostics / reports).
-struct LevelStats {
-  NodeID n = 0;
-  EdgeID m = 0;
-  NodeID max_degree = 0;
-  std::uint64_t memory_bytes = 0;
-};
-
-struct PartitionResult {
-  std::vector<BlockID> partition; ///< block per vertex of the input graph
-  EdgeWeight cut = 0;             ///< achieved edge cut
-  double imbalance = 0.0;         ///< max block weight / perfect weight - 1
-  bool balanced = false;          ///< imbalance within epsilon
-  /// True when the run was stopped via Context::cancel: `partition` is the
-  /// current coarse partition projected to the input graph, with the
-  /// remaining refinement skipped (valid, but of reduced quality).
-  bool cancelled = false;
-  int num_levels = 0;             ///< hierarchy depth used
-  PhaseTimer timers;              ///< coarsening / initial / refinement
-  /// Hierarchical telemetry: per-phase wall time and memory high-water
-  /// deltas down to individual coarsening levels and refinement rounds
-  /// (coarsening/level_i/{lp_clustering/round_r, contraction}, refinement/
-  /// level_i/{lp_refinement/round_r, fm_refinement, rebalance}). Serialized
-  /// into RunReport JSON; see DESIGN.md §10.
-  PhaseTree phases;
-  /// Input graph followed by every coarse level, coarsest last.
-  std::vector<LevelStats> levels;
-  /// Which graceful-degradation fallbacks were taken during the run
-  /// (DESIGN.md §9). A degraded run is still a correct run — same partition
-  /// quality guarantees — but with a different memory/speed profile; the
-  /// flags are surfaced in the RunReport "degraded_mode" section.
-  struct DegradedModes {
-    /// One-pass contraction fell back to the buffered algorithm.
-    bool contraction_buffered = false;
-    /// The compressor's overcommit reservation failed; chunked growth used.
-    bool compressor_chunked = false;
-    /// Compressed-graph construction failed mid-stream; the partitioner ran
-    /// on the uncompressed CSR graph instead.
-    bool input_fallback_csr = false;
-
-    [[nodiscard]] bool any() const {
-      return contraction_buffered || compressor_chunked || input_fallback_csr;
-    }
-  };
-  DegradedModes degraded;
-};
 
 /// Partitions `graph` into ctx.k blocks. Works on CsrGraph and
 /// CompressedGraph inputs; all coarse levels are CSR.
@@ -67,8 +19,9 @@ struct PartitionResult {
 /// @deprecated Prefer the validated facade (`ContextBuilder` + `Partitioner`
 /// in partition/facade.h): it rejects bad configurations before the run and
 /// applies Context::threads. This free function is kept as a thin shim over
-/// the same driver — same context and seed produce an identical partition —
-/// but it does not validate and ignores Context::threads.
+/// the same stage-based pipeline — same context and seed produce an
+/// identical partition — but it does not validate and ignores
+/// Context::threads.
 template <typename Graph>
 [[nodiscard]] PartitionResult partition_graph(const Graph &graph, const Context &ctx);
 

@@ -1,5 +1,6 @@
 #include "partition/reporting.h"
 
+#include "partition/engine_registry.h"
 #include "refinement/gain_table.h"
 
 namespace terapart {
@@ -50,14 +51,30 @@ json::Value context_to_json(const Context &ctx) {
        }},
   };
 
+  json::Object engines{
+      {"coarsening", ctx.coarsening_engine},
+      {"initial", ctx.initial_engine},
+      {"refinement", resolved_refinement_engine(ctx)},
+  };
+
   return json::Object{
       {"preset", ctx.name},
       {"k", static_cast<std::uint64_t>(ctx.k)},
       {"epsilon", ctx.epsilon},
       {"seed", static_cast<std::uint64_t>(ctx.seed)},
+      {"engines", std::move(engines)},
       {"coarsening", std::move(coarsening)},
       {"initial", std::move(initial)},
       {"refinement", std::move(refinement)},
+  };
+}
+
+json::Value engines_to_json(const PartitionResult &result) {
+  return json::Object{
+      {"coarsening", result.engines.coarsening},
+      {"initial", result.engines.initial},
+      {"refinement", result.engines.refinement},
+      {"hierarchy_reused", result.hierarchy_reused},
   };
 }
 

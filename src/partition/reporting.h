@@ -31,6 +31,11 @@ namespace terapart {
 /// (DESIGN.md §9).
 [[nodiscard]] json::Value degraded_modes_to_json(const PartitionResult::DegradedModes &modes);
 
+/// {"coarsening", "initial", "refinement", "hierarchy_reused"} — the engine
+/// names the run actually partitioned through (resolved from the registry)
+/// and whether it served from a retained hierarchy (DESIGN.md §12).
+[[nodiscard]] json::Value engines_to_json(const PartitionResult &result);
+
 /// Fills the standard report sections from a finished run: graph stats,
 /// config, phase tree, levels, quality, global metrics registry, memory
 /// tracker, and thread-pool counters. `graph_source` describes where the
@@ -48,6 +53,7 @@ void fill_run_report(RunReport &report, const Graph &graph, std::string_view gra
   report.capture_memory(MemoryTracker::global());
   report.add_section("thread_pool", thread_pool_to_json());
   report.add_section("degraded_mode", degraded_modes_to_json(result.degraded));
+  report.add_section("engines", engines_to_json(result));
 }
 
 } // namespace terapart

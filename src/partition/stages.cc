@@ -1,0 +1,271 @@
+#include "partition/stages.h"
+
+#include "common/assert.h"
+#include "common/logging.h"
+#include "common/scoped_phase.h"
+#include "parallel/scheduler.h"
+#include "partition/metrics.h"
+#include "partition/partitioned_graph.h"
+#include "partition/validation.h"
+#include "refinement/rebalancer.h"
+
+namespace terapart {
+
+namespace {
+
+/// The balance bound at a level must admit the level's heaviest vertex,
+/// otherwise coarse-level refinement could wedge.
+template <typename Graph>
+BlockWeight level_bound(const Graph &graph, const BlockWeight max_block_weight) {
+  return std::max<BlockWeight>(max_block_weight, graph.max_node_weight());
+}
+
+/// One refinement pass at hierarchy level `level` (0 = finest), under the
+/// stage protocol's per-level telemetry node.
+template <typename Graph>
+void refine_level(const Graph &graph, PartitionedGraph &partitioned, StageRuntime &rt,
+                  const BlockWeight level_max_block_weight, const std::uint64_t seed,
+                  const std::size_t level) {
+  ScopedPhase phase("level_" + std::to_string(level));
+  rt.engines().refinement->refine(graph, partitioned, level_max_block_weight, seed);
+}
+
+/// Folds a partition of hierarchy level `level_index` down to the input
+/// graph without refining — the partial-result path of a cancelled run.
+template <typename Graph>
+std::vector<BlockID> project_to_input(const Graph &graph, const MultilevelHierarchy &hierarchy,
+                                      std::vector<BlockID> part, const std::size_t level_index) {
+  for (std::size_t li = level_index; li > 0; --li) {
+    const std::vector<NodeID> &mapping = hierarchy.mapping(li);
+    std::vector<BlockID> finer(hierarchy.graph(li - 1).n());
+    par::for_each_dynamic<NodeID>(0, hierarchy.graph(li - 1).n(),
+                                  [&](const NodeID u) { finer[u] = part[mapping[u]]; });
+    part = std::move(finer);
+  }
+  std::vector<BlockID> finest(graph.n());
+  par::for_each_dynamic<NodeID>(0, graph.n(), [&](const NodeID u) {
+    finest[u] = part[hierarchy.mapping(0)[u]];
+  });
+  return finest;
+}
+
+} // namespace
+
+void StageRuntime::emit_progress(const std::string_view stage, const std::size_t level) {
+  ++_completed_steps;
+  if (_ctx.progress) {
+    _ctx.progress(ProgressEvent{stage, level, _completed_steps, _total_steps});
+  }
+}
+
+template <typename Graph>
+std::shared_ptr<const MultilevelHierarchy>
+CoarsenStage::run(const Graph &graph, StageRuntime &rt,
+                  std::shared_ptr<const MultilevelHierarchy> retained) const {
+  PartitionResult &result = rt.result();
+  std::shared_ptr<const MultilevelHierarchy> hierarchy = std::move(retained);
+  if (hierarchy != nullptr) {
+    // Serving from a retained hierarchy: deliberately no "coarsening"
+    // telemetry scope — the construction cost was paid (and recorded) by
+    // the run that built it (DESIGN.md §12).
+    result.hierarchy_reused = true;
+  } else {
+    const Context &ctx = rt.ctx();
+    const BlockID pinned_k =
+        ctx.hierarchy_k != 0 ? ctx.hierarchy_k : std::max<BlockID>(1, ctx.k);
+    const SeedSequence hierarchy_seeds(ctx.hierarchy_seed.value_or(ctx.seed));
+    auto scope = result.timers.scope(std::string(kName));
+    ScopedPhase phase(kName);
+    hierarchy = std::make_shared<MultilevelHierarchy>(rt.engines().coarsening->coarsen(
+        graph, ctx.coarsening, pinned_k, hierarchy_seeds.coarsening()));
+  }
+
+  result.num_levels = static_cast<int>(hierarchy->num_levels());
+  result.degraded.contraction_buffered |= hierarchy->degraded_contraction();
+  result.levels.push_back({graph.n(), graph.m(), graph.max_degree(), graph.memory_bytes()});
+  for (std::size_t level = 0; level < hierarchy->num_levels(); ++level) {
+    const CsrGraph &coarse = hierarchy->graph(level);
+    result.levels.push_back({coarse.n(), coarse.m(), coarse.max_degree(),
+                             coarse.memory_bytes()});
+  }
+  return hierarchy;
+}
+
+template <typename Graph>
+std::vector<BlockID> InitialStage::run(const Graph &graph, const MultilevelHierarchy &hierarchy,
+                                       StageRuntime &rt) const {
+  const Context &ctx = rt.ctx();
+  const BlockID k = std::max<BlockID>(1, ctx.k);
+  const std::uint64_t seed = rt.seeds().initial_partitioning();
+  auto scope = rt.result().timers.scope(std::string(kName));
+  ScopedPhase phase(kName);
+  if (!hierarchy.empty()) {
+    return rt.engines().initial->partition(hierarchy.coarsest(), k, ctx.epsilon, ctx.initial,
+                                           seed);
+  }
+  if constexpr (Graph::is_compressed()) {
+    // No hierarchy and a compressed input: materialize CSR once for the
+    // sequential initial partitioner (small by definition of "no
+    // hierarchy"; see DESIGN.md).
+    const CsrGraph materialized = decompress_graph(graph, "graph/initial");
+    return rt.engines().initial->partition(materialized, k, ctx.epsilon, ctx.initial, seed);
+  } else {
+    return rt.engines().initial->partition(graph, k, ctx.epsilon, ctx.initial, seed);
+  }
+}
+
+template <typename Graph>
+void UncoarsenStage::run(const Graph &graph, const MultilevelHierarchy &hierarchy,
+                         std::vector<BlockID> coarse_partition,
+                         const BlockWeight max_block_weight, StageRuntime &rt) const {
+  PartitionResult &result = rt.result();
+  const BlockID k = std::max<BlockID>(1, rt.ctx().k);
+  const std::size_t num_levels = hierarchy.num_levels();
+  const SeedSequence &seeds = rt.seeds();
+
+  auto scope = result.timers.scope(std::string(kName));
+  ScopedPhase phase(kName);
+  if (!hierarchy.empty()) {
+    PartitionedGraph partitioned(hierarchy.coarsest(), k, std::move(coarse_partition));
+    refine_level(hierarchy.coarsest(), partitioned, rt,
+                 level_bound(hierarchy.coarsest(), max_block_weight),
+                 seeds.refinement(num_levels, num_levels), num_levels);
+    coarse_partition = partitioned.take_partition();
+    rt.emit_progress(kName, num_levels);
+
+    for (std::size_t level = num_levels; level-- > 1;) {
+      if (rt.cancel_requested()) {
+        // Partial result: fold what we have down to the input graph and
+        // skip the remaining refinement passes.
+        result.cancelled = true;
+        coarse_partition = project_to_input(graph, hierarchy, std::move(coarse_partition), level);
+        break;
+      }
+      // Project level -> level-1.
+      const std::vector<NodeID> &mapping = hierarchy.mapping(level);
+      const CsrGraph &finer = hierarchy.graph(level - 1);
+      std::vector<BlockID> finer_partition(finer.n());
+      par::for_each_dynamic<NodeID>(0, finer.n(), [&](const NodeID u) {
+        finer_partition[u] = coarse_partition[mapping[u]];
+      });
+      PartitionedGraph level_partitioned(finer, k, std::move(finer_partition));
+      refine_level(finer, level_partitioned, rt, level_bound(finer, max_block_weight),
+                   seeds.refinement(level, num_levels), level);
+      coarse_partition = level_partitioned.take_partition();
+      rt.emit_progress(kName, level);
+    }
+
+    if (!result.cancelled) {
+      // Project level 0 -> finest input graph.
+      const std::vector<NodeID> &mapping = hierarchy.mapping(0);
+      std::vector<BlockID> finest_partition(graph.n());
+      par::for_each_dynamic<NodeID>(0, graph.n(), [&](const NodeID u) {
+        finest_partition[u] = coarse_partition[mapping[u]];
+      });
+      coarse_partition = std::move(finest_partition);
+    }
+  }
+
+  if (!result.cancelled && rt.cancel_requested()) {
+    result.cancelled = true; // already on the input graph; skip refinement
+  }
+  if (result.cancelled) {
+    result.partition = std::move(coarse_partition);
+  } else {
+    PartitionedGraph partitioned(graph, k, std::move(coarse_partition));
+    refine_level(graph, partitioned, rt, max_block_weight, seeds.refinement(0, num_levels), 0);
+    // Balance is mandatory on the finest level: repair any residue before
+    // reporting.
+    rebalance(graph, partitioned, max_block_weight);
+    result.partition = partitioned.take_partition();
+    rt.emit_progress(kName, 0);
+  }
+}
+
+template <typename Graph>
+PartitionResult run_multilevel_pipeline(const Graph &graph, const Context &ctx,
+                                        const PipelineOptions &options) {
+  PartitionResult result;
+  // Route every ScopedPhase opened below (including those inside the
+  // engines and refiners) into this run's phase tree. The binding is
+  // per-thread, so concurrent pipeline calls from different external
+  // threads keep separate trees.
+  ActivePhaseScope telemetry(result.phases);
+  const BlockID k = std::max<BlockID>(1, ctx.k);
+
+  if (graph.n() == 0 || k == 1) {
+    result.partition.assign(graph.n(), 0);
+    result.balanced = true;
+    return result;
+  }
+
+  const EngineStack engines = make_engine_stack(ctx);
+  result.engines = {std::string(engines.coarsening->name()),
+                    std::string(engines.initial->name()),
+                    std::string(engines.refinement->name())};
+  StageRuntime rt(ctx, engines, result);
+
+  const BlockWeight max_block_weight =
+      metrics::max_block_weight(graph.total_node_weight(), k, ctx.epsilon);
+
+  // --- Coarsening ---
+  const CoarsenStage coarsen_stage;
+  std::shared_ptr<const MultilevelHierarchy> hierarchy =
+      coarsen_stage.run(graph, rt, options.retained);
+  if (options.hierarchy_out != nullptr) {
+    *options.hierarchy_out = hierarchy;
+  }
+
+  // Progress heartbeat: one step per driver milestone (coarsening, initial
+  // partitioning, and one refinement pass per level down to the input
+  // graph).
+  rt.set_total_steps(2 + (hierarchy->empty() ? 1 : hierarchy->num_levels() + 1));
+  rt.emit_progress(CoarsenStage::kName, hierarchy->num_levels());
+
+  if (rt.cancel_requested()) {
+    // Cancelled before any partition exists: the only honest partial result
+    // is the trivial one-block assignment.
+    result.partition.assign(graph.n(), 0);
+    result.cancelled = true;
+    const auto weights = metrics::block_weights(graph, result.partition, k);
+    result.imbalance = metrics::imbalance(weights, graph.total_node_weight());
+    result.balanced = metrics::is_balanced(weights, graph.total_node_weight(), k, ctx.epsilon);
+    return result;
+  }
+
+  // --- Initial partitioning (sequential, on the coarsest graph) ---
+  const InitialStage initial_stage;
+  std::vector<BlockID> coarse_partition = initial_stage.run(graph, *hierarchy, rt);
+  rt.emit_progress(InitialStage::kName, hierarchy->num_levels());
+
+  // --- Uncoarsening: refine, project, repeat ---
+  const UncoarsenStage uncoarsen_stage;
+  uncoarsen_stage.run(graph, *hierarchy, std::move(coarse_partition), max_block_weight, rt);
+
+  result.cut = metrics::edge_cut(graph, result.partition);
+  const auto weights = metrics::block_weights(graph, result.partition, k);
+  result.imbalance = metrics::imbalance(weights, graph.total_node_weight());
+  result.balanced = metrics::is_balanced(weights, graph.total_node_weight(), k, ctx.epsilon);
+
+#if defined(TP_ENABLE_HEAVY_ASSERTIONS) || !defined(NDEBUG)
+  // Debug builds re-derive the partition invariants from scratch (block ids
+  // in range, block weights sum to the total node weight, reported cut
+  // equals a recomputation).
+  const PartitionValidationResult validation =
+      validate_partition(graph, result.partition, k, result.cut);
+  TP_ASSERT_MSG(validation.ok, validation.message.c_str());
+#endif
+
+  LOG_INFO << "partitioned n=" << graph.n() << " into k=" << k << ": cut=" << result.cut
+           << " imbalance=" << result.imbalance << " levels=" << result.num_levels
+           << (result.hierarchy_reused ? " (hierarchy reused)" : "");
+  return result;
+}
+
+template PartitionResult run_multilevel_pipeline<CsrGraph>(const CsrGraph &, const Context &,
+                                                           const PipelineOptions &);
+template PartitionResult run_multilevel_pipeline<CompressedGraph>(const CompressedGraph &,
+                                                                  const Context &,
+                                                                  const PipelineOptions &);
+
+} // namespace terapart

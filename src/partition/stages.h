@@ -1,0 +1,128 @@
+/// @file stages.h
+/// @brief The stage-based multilevel driver: `CoarsenStage`, `InitialStage`
+/// and `UncoarsenStage` composed by `run_multilevel_pipeline`, with one
+/// uniform protocol for telemetry, progress, and cancellation
+/// (`StageRuntime`).
+///
+/// This replaces the former 220-line `partition_graph` monolith. Each stage
+/// owns exactly one top-level telemetry scope (a PhaseTimer entry plus a
+/// PhaseTree node of the same name), reports progress through the shared
+/// step counter, polls cancellation only at level boundaries, and runs its
+/// algorithm through the engine seam resolved from the Context
+/// (partition/engine_registry.h). The deprecated `partition_graph` shim and
+/// the `Partitioner`/`PartitionSession` facade all call into this pipeline,
+/// which is why they are bit-identical for the same context and seed.
+///
+/// Seeds follow the documented schedule in common/random.h (`SeedSequence`);
+/// the hierarchy-pinning fields of `Context` (hierarchy_k, hierarchy_seed)
+/// make the coarsening stage's output independent of the per-request
+/// (k, epsilon, seed) triple — the property `PartitionSession` relies on to
+/// retain one hierarchy across requests (DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "coarsening/multilevel_hierarchy.h"
+#include "partition/context.h"
+#include "partition/engine_registry.h"
+#include "partition/partition_result.h"
+
+namespace terapart {
+
+/// Shared services of one pipeline run: the context, the resolved engines,
+/// the result under construction, the progress step counter, and the seed
+/// schedule. Stages receive a StageRuntime instead of reaching into the
+/// Context for their cross-cutting concerns.
+class StageRuntime {
+public:
+  StageRuntime(const Context &ctx, const EngineStack &engines, PartitionResult &result)
+      : _ctx(ctx), _engines(engines), _result(result), _seeds(ctx.seed) {}
+
+  [[nodiscard]] const Context &ctx() const { return _ctx; }
+  [[nodiscard]] const EngineStack &engines() const { return _engines; }
+  [[nodiscard]] PartitionResult &result() { return _result; }
+  [[nodiscard]] const SeedSequence &seeds() const { return _seeds; }
+
+  /// Progress protocol: the driver fixes the milestone count once the
+  /// hierarchy depth is known; each stage then emits one step per milestone
+  /// (coarsening, initial partitioning, one refinement pass per level).
+  void set_total_steps(const std::size_t total) { _total_steps = total; }
+  void emit_progress(std::string_view stage, std::size_t level);
+
+  /// Cancellation protocol: polled at level boundaries only, never inside
+  /// hot loops (see partition/progress.h).
+  [[nodiscard]] bool cancel_requested() const { return _ctx.cancel.stop_requested(); }
+
+private:
+  const Context &_ctx;
+  const EngineStack &_engines;
+  PartitionResult &_result;
+  SeedSequence _seeds;
+  std::size_t _total_steps = 0;
+  std::size_t _completed_steps = 0;
+};
+
+/// Builds the multilevel hierarchy through the coarsening engine — or
+/// adopts a retained hierarchy without rebuilding, in which case the run
+/// records no "coarsening" telemetry and flags `hierarchy_reused`.
+class CoarsenStage {
+public:
+  static constexpr std::string_view kName = "coarsening";
+
+  template <typename Graph>
+  [[nodiscard]] std::shared_ptr<const MultilevelHierarchy>
+  run(const Graph &graph, StageRuntime &rt,
+      std::shared_ptr<const MultilevelHierarchy> retained) const;
+};
+
+/// Partitions the coarsest graph into k blocks through the
+/// initial-partitioning engine (sequential; the coarsest graph is small by
+/// construction).
+class InitialStage {
+public:
+  static constexpr std::string_view kName = "initial_partitioning";
+
+  template <typename Graph>
+  [[nodiscard]] std::vector<BlockID> run(const Graph &graph,
+                                         const MultilevelHierarchy &hierarchy,
+                                         StageRuntime &rt) const;
+};
+
+/// Uncoarsens: refine the coarse partition through the refinement engine,
+/// project to the next finer level, repeat down to the input graph; owns
+/// the cancelled-mid-uncoarsening partial-result path (fold the current
+/// coarse partition to the input graph, skip remaining refinement).
+class UncoarsenStage {
+public:
+  static constexpr std::string_view kName = "refinement";
+
+  template <typename Graph>
+  void run(const Graph &graph, const MultilevelHierarchy &hierarchy,
+           std::vector<BlockID> coarse_partition, BlockWeight max_block_weight,
+           StageRuntime &rt) const;
+};
+
+/// Optional inputs of a pipeline run beyond (graph, ctx).
+struct PipelineOptions {
+  /// Serve against this hierarchy instead of coarsening. The caller must
+  /// guarantee it was built from the same graph with the same pinned
+  /// coarsening parameters (hierarchy_k / hierarchy_seed / coarsening
+  /// config) — `PartitionSession` does.
+  std::shared_ptr<const MultilevelHierarchy> retained;
+  /// When non-null, receives the hierarchy the run used (freshly built or
+  /// the retained one), so the caller can keep serving from it. Left
+  /// untouched on trivial runs (k <= 1 or empty graph) that never build
+  /// one.
+  std::shared_ptr<const MultilevelHierarchy> *hierarchy_out = nullptr;
+};
+
+/// Runs the full pipeline: coarsen -> initial partition -> uncoarsen.
+/// Works on CsrGraph and CompressedGraph inputs; all coarse levels are CSR.
+template <typename Graph>
+[[nodiscard]] PartitionResult run_multilevel_pipeline(const Graph &graph, const Context &ctx,
+                                                      const PipelineOptions &options = {});
+
+} // namespace terapart

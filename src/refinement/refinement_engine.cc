@@ -1,0 +1,56 @@
+#include "refinement/refinement_engine.h"
+
+#include "common/random.h"
+#include "common/scoped_phase.h"
+#include "refinement/rebalancer.h"
+
+namespace terapart {
+
+namespace {
+
+template <typename Graph>
+void lp_only_pass(const Graph &graph, PartitionedGraph &partitioned,
+                  const BlockWeight max_block_weight, const LpRefinementConfig &lp,
+                  const std::uint64_t seed) {
+  lp_refine(graph, partitioned, max_block_weight, lp, seed);
+}
+
+template <typename Graph>
+void lp_fm_pass(const Graph &graph, PartitionedGraph &partitioned,
+                const BlockWeight max_block_weight, const LpRefinementConfig &lp,
+                const FmConfig &fm, const std::uint64_t seed) {
+  lp_refine(graph, partitioned, max_block_weight, lp, seed);
+  fm_refine(graph, partitioned, max_block_weight, fm, SeedSequence::fm_stage(seed));
+  // FM's best-prefix rollback can leave residual overweight; repair it here
+  // so the projection to the next finer level starts feasible.
+  ScopedPhase rebalance_phase("rebalance");
+  rebalance(graph, partitioned, max_block_weight);
+}
+
+} // namespace
+
+void LpRefinementEngine::refine(const CsrGraph &graph, PartitionedGraph &partitioned,
+                                const BlockWeight max_block_weight,
+                                const std::uint64_t seed) const {
+  lp_only_pass(graph, partitioned, max_block_weight, _lp, seed);
+}
+
+void LpRefinementEngine::refine(const CompressedGraph &graph, PartitionedGraph &partitioned,
+                                const BlockWeight max_block_weight,
+                                const std::uint64_t seed) const {
+  lp_only_pass(graph, partitioned, max_block_weight, _lp, seed);
+}
+
+void LpFmRefinementEngine::refine(const CsrGraph &graph, PartitionedGraph &partitioned,
+                                  const BlockWeight max_block_weight,
+                                  const std::uint64_t seed) const {
+  lp_fm_pass(graph, partitioned, max_block_weight, _lp, _fm, seed);
+}
+
+void LpFmRefinementEngine::refine(const CompressedGraph &graph, PartitionedGraph &partitioned,
+                                  const BlockWeight max_block_weight,
+                                  const std::uint64_t seed) const {
+  lp_fm_pass(graph, partitioned, max_block_weight, _lp, _fm, seed);
+}
+
+} // namespace terapart

@@ -1,0 +1,82 @@
+/// @file refinement_engine.h
+/// @brief The refinement seam of the stage-based multilevel engine: an
+/// abstract `RefinementEngine` applied once per hierarchy level during
+/// uncoarsening, plus the two default stacks (LP-only and LP + FM +
+/// rebalance).
+///
+/// One engine invocation is one *pass* over one level; the uncoarsening
+/// stage owns projection, level telemetry ("level_i" phases), the balance
+/// bound, and the per-level seed schedule (common/random.h SeedSequence).
+/// Engines hold their configuration by value and are stateless across
+/// passes, so a single instance serves every level of every run.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.h"
+#include "compression/compressed_graph.h"
+#include "graph/csr_graph.h"
+#include "partition/partitioned_graph.h"
+#include "refinement/fm_refiner.h"
+#include "refinement/lp_refiner.h"
+
+namespace terapart {
+
+class RefinementEngine {
+public:
+  virtual ~RefinementEngine() = default;
+
+  /// Stable identifier; recorded per run in the RunReport "engines" section.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Refines `partitioned` in place, subject to `max_block_weight`. The
+  /// CompressedGraph overload serves the finest (input) level, which may be
+  /// compressed; all coarse levels are CSR.
+  virtual void refine(const CsrGraph &graph, PartitionedGraph &partitioned,
+                      BlockWeight max_block_weight, std::uint64_t seed) const = 0;
+  virtual void refine(const CompressedGraph &graph, PartitionedGraph &partitioned,
+                      BlockWeight max_block_weight, std::uint64_t seed) const = 0;
+};
+
+/// TeraPart's default: size-constrained label propagation only — auxiliary
+/// memory proportional to k per thread, the paper's memory-frugal choice.
+class LpRefinementEngine final : public RefinementEngine {
+public:
+  static constexpr std::string_view kName = "lp";
+
+  explicit LpRefinementEngine(const LpRefinementConfig &lp) : _lp(lp) {}
+
+  [[nodiscard]] std::string_view name() const override { return kName; }
+
+  void refine(const CsrGraph &graph, PartitionedGraph &partitioned,
+              BlockWeight max_block_weight, std::uint64_t seed) const override;
+  void refine(const CompressedGraph &graph, PartitionedGraph &partitioned,
+              BlockWeight max_block_weight, std::uint64_t seed) const override;
+
+private:
+  LpRefinementConfig _lp;
+};
+
+/// The strong stack: LP, then parallel localized k-way FM, then greedy
+/// rebalancing (KaMinPar's stage order; Section VI-B of the paper). The FM
+/// stage runs on SeedSequence::fm_stage(seed) — the legacy `seed + 1`.
+class LpFmRefinementEngine final : public RefinementEngine {
+public:
+  static constexpr std::string_view kName = "lp+fm";
+
+  LpFmRefinementEngine(const LpRefinementConfig &lp, const FmConfig &fm) : _lp(lp), _fm(fm) {}
+
+  [[nodiscard]] std::string_view name() const override { return kName; }
+
+  void refine(const CsrGraph &graph, PartitionedGraph &partitioned,
+              BlockWeight max_block_weight, std::uint64_t seed) const override;
+  void refine(const CompressedGraph &graph, PartitionedGraph &partitioned,
+              BlockWeight max_block_weight, std::uint64_t seed) const override;
+
+private:
+  LpRefinementConfig _lp;
+  FmConfig _fm;
+};
+
+} // namespace terapart

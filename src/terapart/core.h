@@ -16,8 +16,11 @@
 /// partitioning, and synthetic generators in terapart/experimental.h.
 #pragma once
 
+#include "common/random.h"
 #include "common/result.h"
 #include "common/types.h"
+
+#include "coarsening/multilevel_hierarchy.h"
 
 #include "graph/csr_graph.h"
 #include "graph/graph_builder.h"
@@ -26,11 +29,13 @@
 #include "graph/validation.h"
 
 #include "partition/context.h"
+#include "partition/engine_registry.h"
 #include "partition/facade.h"
 #include "partition/metrics.h"
 #include "partition/partitioned_graph.h"
 #include "partition/partitioner.h"
 #include "partition/progress.h"
+#include "partition/stages.h"
 
 #include "refinement/dense_gain_table.h"
 #include "refinement/fm_refiner.h"

@@ -329,6 +329,48 @@ TEST(Random, ShuffleIsAPermutation) {
   EXPECT_NE(values[0] * 100 + values[1], 0 * 100 + 1); // moved with overwhelming probability
 }
 
+// ------------------------------------------------------------ SeedSequence ---
+
+// The documented seed schedule of the multilevel pipeline. These values are
+// frozen: they reproduce the historical driver's magic offsets (base + 13 +
+// level for intermediate refinement, base + 99 for the finest level, +1 for
+// the FM stage), so every partition produced before the SeedSequence
+// refactor stays bit-identical.
+TEST(SeedSequence, MatchesLegacySeedSchedule) {
+  const std::uint64_t base = 42;
+  const SeedSequence seeds(base);
+  EXPECT_EQ(seeds.base(), base);
+  EXPECT_EQ(seeds.coarsening(), base);
+  EXPECT_EQ(seeds.initial_partitioning(), base);
+
+  const std::size_t num_levels = 5;
+  // Coarsest level: the historical "seed + 13".
+  EXPECT_EQ(seeds.refinement(num_levels, num_levels), base + 13);
+  // Intermediate levels: "seed + 13 + level".
+  for (std::size_t level = 1; level < num_levels; ++level) {
+    EXPECT_EQ(seeds.refinement(level, num_levels), base + 13 + level);
+  }
+  // Finest (input graph) level: the historical "seed + 99".
+  EXPECT_EQ(seeds.refinement(0, num_levels), base + 99);
+  // FM runs on the refinement seed "+ 1".
+  EXPECT_EQ(SeedSequence::fm_stage(seeds.refinement(2, num_levels)), base + 13 + 2 + 1);
+}
+
+TEST(SeedSequence, SingleLevelHierarchyCoarsestIsNotFinest) {
+  // With one coarse level, level 1 is the coarsest (+13) and level 0 the
+  // finest (+99) — they must not collide.
+  const SeedSequence seeds(7);
+  EXPECT_EQ(seeds.refinement(1, 1), 7u + 13u);
+  EXPECT_EQ(seeds.refinement(0, 1), 7u + 99u);
+}
+
+TEST(SeedSequence, EmptyHierarchyUsesFinestSeed) {
+  // No coarse levels at all: the only refinement pass runs on the input
+  // graph with the finest seed.
+  const SeedSequence seeds(123);
+  EXPECT_EQ(seeds.refinement(0, 0), 123u + 99u);
+}
+
 // ----------------------------------------------------------- FixedHashMap ---
 
 TEST(FixedHashMap, AggregatesValues) {

@@ -1,0 +1,193 @@
+// Tests for the engine seam of the stage-based multilevel pipeline: the
+// registry and its defaults, Context -> engine resolution (including the
+// legacy use_fm toggle), ContextBuilder validation of engine names, preset
+// engine stacks, and custom-engine registration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "generators/generators.h"
+#include "partition/engine_registry.h"
+#include "partition/facade.h"
+#include "partition/stages.h"
+
+namespace terapart {
+namespace {
+
+TEST(EngineRegistry, DefaultsAreRegistered) {
+  EngineRegistry &registry = EngineRegistry::global();
+  EXPECT_TRUE(registry.has_coarsening("lp"));
+  EXPECT_TRUE(registry.has_initial("bisection"));
+  EXPECT_TRUE(registry.has_refinement("lp"));
+  EXPECT_TRUE(registry.has_refinement("lp+fm"));
+  EXPECT_FALSE(registry.has_coarsening("does-not-exist"));
+}
+
+TEST(EngineRegistry, NamesAreSortedAndComplete) {
+  EngineRegistry &registry = EngineRegistry::global();
+  const auto refinement = registry.refinement_names();
+  ASSERT_GE(refinement.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(refinement.begin(), refinement.end()));
+  EXPECT_NE(std::find(refinement.begin(), refinement.end(), "lp"), refinement.end());
+  EXPECT_NE(std::find(refinement.begin(), refinement.end(), "lp+fm"), refinement.end());
+}
+
+TEST(EngineRegistry, MakeUnknownEngineThrowsWithAlternatives) {
+  Context ctx = terapart_context(4, 1);
+  ctx.coarsening_engine = "nope";
+  try {
+    (void)EngineRegistry::global().make_coarsening(ctx);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument &error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("nope"), std::string::npos);
+    EXPECT_NE(message.find("lp"), std::string::npos);
+  }
+}
+
+TEST(EngineResolution, LegacyUseFmUpgradesDefaultLp) {
+  Context ctx = terapart_context(4, 1);
+  EXPECT_EQ(resolved_refinement_engine(ctx), "lp");
+  ctx.use_fm = true;
+  EXPECT_EQ(resolved_refinement_engine(ctx), "lp+fm");
+}
+
+TEST(EngineResolution, ExplicitEngineNameWins) {
+  // An explicitly selected non-default engine is not overridden by the
+  // legacy bool.
+  Context ctx = terapart_context(4, 1);
+  ctx.refinement_engine = "lp+fm";
+  ctx.use_fm = false;
+  EXPECT_EQ(resolved_refinement_engine(ctx), "lp+fm");
+}
+
+TEST(EngineResolution, PresetsSelectRealStacks) {
+  EXPECT_EQ(resolved_refinement_engine(context_for_preset(Preset::kFast, 4, 1)), "lp");
+  EXPECT_EQ(resolved_refinement_engine(context_for_preset(Preset::kTeraPart, 4, 1)), "lp");
+  EXPECT_EQ(resolved_refinement_engine(context_for_preset(Preset::kTeraPartFm, 4, 1)),
+            "lp+fm");
+  EXPECT_EQ(resolved_refinement_engine(context_for_preset(Preset::kStrong, 4, 1)), "lp+fm");
+
+  const Context fast = context_for_preset(Preset::kFast, 4, 1);
+  const Context strong = context_for_preset(Preset::kStrong, 4, 1);
+  EXPECT_EQ(fast.name, "fast");
+  EXPECT_EQ(strong.name, "strong");
+  // The ladder trades rounds/repetitions for quality.
+  EXPECT_LT(fast.initial.repetitions, strong.initial.repetitions);
+  EXPECT_GT(strong.fm.rounds, context_for_preset(Preset::kTeraPartFm, 4, 1).fm.rounds - 2);
+}
+
+TEST(EngineResolution, PresetFromNameRoundTrips) {
+  EXPECT_EQ(preset_from_name("fast"), Preset::kFast);
+  EXPECT_EQ(preset_from_name("kaminpar"), Preset::kKaMinPar);
+  EXPECT_EQ(preset_from_name("terapart"), Preset::kTeraPart);
+  EXPECT_EQ(preset_from_name("terapart-fm"), Preset::kTeraPartFm);
+  EXPECT_EQ(preset_from_name("strong"), Preset::kStrong);
+  EXPECT_EQ(preset_from_name("medium-rare"), std::nullopt);
+}
+
+TEST(ContextBuilder, RejectsUnknownEngineNamesEagerly) {
+  const auto result = ContextBuilder().k(4).refinement_engine("simulated-annealing").build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().field, "refinement_engine");
+  // The message lists the registered engines, so the fix is obvious.
+  EXPECT_NE(result.error().message.find("simulated-annealing"), std::string::npos);
+  EXPECT_NE(result.error().message.find("\"lp\""), std::string::npos);
+  EXPECT_NE(result.error().message.find("\"lp+fm\""), std::string::npos);
+
+  const auto coarsening = ContextBuilder().k(4).coarsening_engine("matching").build();
+  ASSERT_FALSE(coarsening.ok());
+  EXPECT_EQ(coarsening.error().field, "coarsening_engine");
+
+  const auto initial = ContextBuilder().k(4).initial_engine("spectral").build();
+  ASSERT_FALSE(initial.ok());
+  EXPECT_EQ(initial.error().field, "initial_engine");
+}
+
+TEST(ContextBuilder, UseFmAndEngineNameStayInSync) {
+  const auto fm_on = ContextBuilder().k(4).use_fm(true).build();
+  ASSERT_TRUE(fm_on.ok());
+  EXPECT_EQ(fm_on.value().refinement_engine, "lp+fm");
+  EXPECT_TRUE(fm_on.value().use_fm);
+
+  const auto fm_off = ContextBuilder(Preset::kTeraPartFm).k(4).use_fm(false).build();
+  ASSERT_TRUE(fm_off.ok());
+  EXPECT_EQ(fm_off.value().refinement_engine, "lp");
+  EXPECT_FALSE(fm_off.value().use_fm);
+
+  const auto by_name = ContextBuilder().k(4).refinement_engine("lp+fm").build();
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_TRUE(by_name.value().use_fm);
+}
+
+TEST(EngineStack, ResultRecordsTheResolvedEngineNames) {
+  const CsrGraph graph = gen::rgg2d(3000, 10, 7);
+
+  const PartitionResult lp = partition_graph(graph, terapart_context(4, 1));
+  EXPECT_EQ(lp.engines.coarsening, "lp");
+  EXPECT_EQ(lp.engines.initial, "bisection");
+  EXPECT_EQ(lp.engines.refinement, "lp");
+  EXPECT_FALSE(lp.hierarchy_reused);
+
+  const PartitionResult fm = partition_graph(graph, terapart_fm_context(4, 1));
+  EXPECT_EQ(fm.engines.refinement, "lp+fm");
+}
+
+TEST(EngineStack, FastAndStrongPresetsPartitionCorrectly) {
+  const CsrGraph graph = gen::rgg2d(4000, 12, 11);
+  for (const Preset preset : {Preset::kFast, Preset::kStrong}) {
+    const PartitionResult result = partition_graph(graph, context_for_preset(preset, 8, 3));
+    EXPECT_EQ(result.partition.size(), graph.n());
+    EXPECT_TRUE(result.balanced);
+    EXPECT_GT(result.cut, 0);
+  }
+}
+
+/// A test double that delegates to the default engine but reports its own
+/// name — proves third-party engines plug in through the registry without
+/// touching the driver.
+class RenamedLpEngine final : public CoarseningEngine {
+public:
+  [[nodiscard]] std::string_view name() const override { return "custom-lp"; }
+
+  [[nodiscard]] MultilevelHierarchy coarsen(const CsrGraph &graph,
+                                            const CoarseningConfig &config, const BlockID k,
+                                            const std::uint64_t seed) const override {
+    return _inner.coarsen(graph, config, k, seed);
+  }
+  [[nodiscard]] MultilevelHierarchy coarsen(const CompressedGraph &graph,
+                                            const CoarseningConfig &config, const BlockID k,
+                                            const std::uint64_t seed) const override {
+    return _inner.coarsen(graph, config, k, seed);
+  }
+
+private:
+  LpCoarseningEngine _inner;
+};
+
+TEST(EngineStack, CustomEngineRegistersAndRuns) {
+  EngineRegistry::global().register_coarsening(
+      "custom-lp", [](const Context &) { return std::make_unique<RenamedLpEngine>(); });
+
+  const auto built = ContextBuilder().k(4).coarsening_engine("custom-lp").build();
+  ASSERT_TRUE(built.ok());
+
+  const CsrGraph graph = gen::rgg2d(3000, 10, 5);
+  const PartitionResult custom = Partitioner(built.value()).partition(graph);
+  EXPECT_EQ(custom.engines.coarsening, "custom-lp");
+  EXPECT_EQ(custom.partition.size(), graph.n());
+
+  // Same algorithm under a different name: the partition is bit-identical
+  // to the default engine's.
+  Context default_ctx = built.value();
+  default_ctx.coarsening_engine = "lp";
+  const PartitionResult standard = partition_graph(graph, default_ctx);
+  EXPECT_EQ(custom.partition, standard.partition);
+  EXPECT_EQ(custom.cut, standard.cut);
+}
+
+} // namespace
+} // namespace terapart

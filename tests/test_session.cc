@@ -1,0 +1,214 @@
+// Tests for PartitionSession, the retained-hierarchy "load once, serve
+// many" handle: bit-identical parity with fresh Partitioner runs over a
+// (k, epsilon, seed, threads) matrix, hierarchy-built-exactly-once
+// telemetry, the cancelled-mid-uncoarsening partial-result path, and
+// MemoryTracker accounting of the retained hierarchy.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "compression/parallel_compressor.h"
+#include "generators/generators.h"
+#include "parallel/thread_pool.h"
+#include "partition/facade.h"
+#include "partition/metrics.h"
+
+namespace terapart {
+namespace {
+
+Context base_context(const BlockID k = 16, const int threads = 0) {
+  auto built = ContextBuilder(Preset::kTeraPart).k(k).seed(5).build();
+  Context ctx = std::move(built).value();
+  ctx.threads = threads;
+  return ctx;
+}
+
+TEST(PartitionSession, ServesRequestsBitIdenticalToFreshRunsSingleThreaded) {
+  const CsrGraph graph = gen::rgg2d(6000, 12, 17);
+
+  // Single-threaded, the partitioner is a pure function of (graph, context)
+  // — the strongest contract the library makes (parallel label propagation
+  // is nondeterministic run-to-run, see Partitioner.DeterministicSingle-
+  // Threaded). One matrix cell per (k x epsilon x seed): the session must
+  // be indistinguishable from a fresh run under the equivalent pinned
+  // context.
+  PartitionSession session(graph, base_context(16, /*threads=*/1));
+  for (const BlockID k : {4u, 16u}) {
+    for (const double epsilon : {0.03, 0.1}) {
+      for (const std::uint64_t seed : {1ULL, 9ULL}) {
+        const PartitionResult served = session.partition(k, epsilon, seed);
+        const Partitioner fresh(session.request_context(k, epsilon, seed));
+        const PartitionResult reference = fresh.partition(graph);
+        ASSERT_EQ(served.partition, reference.partition)
+            << "k=" << k << " eps=" << epsilon << " seed=" << seed;
+        EXPECT_EQ(served.cut, reference.cut);
+        EXPECT_EQ(served.imbalance, reference.imbalance);
+      }
+    }
+  }
+}
+
+TEST(PartitionSession, ServesValidPartitionsAcrossThreadCounts) {
+  const CsrGraph graph = gen::rgg2d(6000, 12, 17);
+
+  // Multithreaded runs are not bit-reproducible, so the contract weakens to
+  // validity: every served request is a complete, balanced partition, and
+  // reuse kicks in from the second request on.
+  for (const int threads : {2, 4}) {
+    PartitionSession session(graph, base_context(16, threads));
+    bool first = true;
+    for (const BlockID k : {4u, 8u, 16u}) {
+      const PartitionResult served = session.partition(k, 0.03, 7);
+      ASSERT_EQ(served.partition.size(), graph.n()) << "threads=" << threads << " k=" << k;
+      EXPECT_TRUE(served.balanced);
+      EXPECT_GT(served.cut, 0);
+      EXPECT_EQ(served.hierarchy_reused, !first);
+      first = false;
+    }
+  }
+}
+
+TEST(PartitionSession, WorksOnCompressedInputs) {
+  const CsrGraph source = gen::rgg2d(5000, 12, 23);
+  const CompressedGraph graph = compress_graph_parallel(source);
+
+  PartitionSession session(graph, base_context(8, /*threads=*/1));
+  const PartitionResult first = session.partition(8);
+  const PartitionResult second = session.partition(4);
+  EXPECT_TRUE(second.hierarchy_reused);
+
+  const PartitionResult reference =
+      Partitioner(session.request_context(4, 0.03, 5)).partition(graph);
+  EXPECT_EQ(second.partition, reference.partition);
+}
+
+TEST(PartitionSession, BuildsTheHierarchyExactlyOnce) {
+  const CsrGraph graph = gen::rgg2d(6000, 12, 31);
+  PartitionSession session(graph, base_context(16));
+  EXPECT_FALSE(session.hierarchy_built());
+
+  // Three consecutive requests with different k: the coarsening phase may
+  // appear only in the first result's telemetry.
+  const PartitionResult first = session.partition(4);
+  EXPECT_TRUE(session.hierarchy_built());
+  EXPECT_FALSE(first.hierarchy_reused);
+  EXPECT_NE(first.phases.root().child("coarsening"), nullptr);
+  EXPECT_GT(first.timers.total("coarsening"), 0.0);
+
+  const PartitionResult second = session.partition(8);
+  const PartitionResult third = session.partition(16);
+  for (const PartitionResult *result : {&second, &third}) {
+    EXPECT_TRUE(result->hierarchy_reused);
+    EXPECT_EQ(result->phases.root().child("coarsening"), nullptr);
+    EXPECT_EQ(result->timers.total("coarsening"), 0.0);
+    // The rest of the pipeline still reports normally.
+    EXPECT_NE(result->phases.root().child("initial_partitioning"), nullptr);
+    EXPECT_NE(result->phases.root().child("refinement"), nullptr);
+  }
+
+  // All three served against the same retained artifact.
+  EXPECT_EQ(first.num_levels, second.num_levels);
+  EXPECT_EQ(first.num_levels, third.num_levels);
+}
+
+TEST(PartitionSession, CancelledReusedRequestMatchesFreshCancelledRun) {
+  // Large enough to produce a multi-level hierarchy (>= 2 coarse levels),
+  // so cancellation can land between refinement passes.
+  const CsrGraph graph = gen::rgg2d(40000, 12, 13);
+
+  // Session base armed to cancel the SECOND request after its first
+  // refinement milestone: request 1 builds the hierarchy and completes;
+  // request 2 serves from the retained hierarchy and is cancelled
+  // mid-uncoarsening, exercising the partial-result path (project the
+  // current coarse partition down to the input graph). Single-threaded so
+  // the partial result is bit-comparable to the fresh run.
+  Context base = base_context(8, /*threads=*/1);
+  const CancellationToken session_token = CancellationToken::create();
+  const auto request_index = std::make_shared<int>(0);
+  base.cancel = session_token;
+  base.progress = [session_token, request_index](const ProgressEvent &event) {
+    if (event.stage == "initial_partitioning") {
+      ++*request_index; // one initial-partitioning milestone per request
+    }
+    if (*request_index == 2 && event.stage == "refinement") {
+      session_token.request_stop();
+    }
+  };
+
+  PartitionSession session(graph, base);
+  const PartitionResult warm = session.partition(8);
+  ASSERT_GT(warm.num_levels, 1) << "need a multi-level hierarchy to cancel mid-uncoarsening";
+  EXPECT_FALSE(warm.cancelled);
+
+  const PartitionResult cancelled = session.partition(8, 0.03, 77);
+  EXPECT_TRUE(cancelled.cancelled);
+  EXPECT_TRUE(cancelled.hierarchy_reused);
+  EXPECT_EQ(cancelled.partition.size(), graph.n());
+
+  // A fresh run under the equivalent pinned context, cancelled at its own
+  // first refinement milestone, must produce the identical partial result.
+  Context fresh_ctx = session.request_context(8, 0.03, 77);
+  const CancellationToken fresh_token = CancellationToken::create();
+  fresh_ctx.cancel = fresh_token;
+  fresh_ctx.progress = [fresh_token](const ProgressEvent &event) {
+    if (event.stage == "refinement") {
+      fresh_token.request_stop();
+    }
+  };
+  const PartitionResult fresh = Partitioner(fresh_ctx).partition(graph);
+  EXPECT_TRUE(fresh.cancelled);
+  EXPECT_EQ(cancelled.partition, fresh.partition);
+
+  // A cancelled partial result is still a complete assignment: every vertex
+  // placed, block weights summing to the total.
+  const auto weights = metrics::block_weights(graph, cancelled.partition, 8);
+  NodeWeight total = 0;
+  for (const NodeWeight w : weights) {
+    total += w;
+  }
+  EXPECT_EQ(total, graph.total_node_weight());
+}
+
+TEST(PartitionSession, AccountsRetainedHierarchyInMemoryTracker) {
+  const CsrGraph graph = gen::rgg2d(6000, 12, 41);
+  const std::uint64_t before = MemoryTracker::global().current("session/hierarchy");
+  {
+    PartitionSession session(graph, base_context(8));
+    EXPECT_EQ(session.retained_bytes(), 0u);
+
+    (void)session.partition(8);
+    ASSERT_TRUE(session.hierarchy_built());
+    EXPECT_GT(session.retained_bytes(), 0u);
+    // The mappings' share is registered under "session/hierarchy"; the
+    // coarse graphs self-account for their lifetime.
+    EXPECT_EQ(MemoryTracker::global().current("session/hierarchy") - before,
+              session.hierarchy()->mapping_bytes());
+    EXPECT_GE(session.retained_bytes(), session.hierarchy()->mapping_bytes());
+  }
+  // Dropping the session releases the registration.
+  EXPECT_EQ(MemoryTracker::global().current("session/hierarchy"), before);
+}
+
+TEST(PartitionSession, RequestContextPinsTheHierarchy) {
+  const Context base = base_context(16);
+  const CsrGraph graph = gen::rgg2d(3000, 10, 3);
+  PartitionSession session(graph, base);
+
+  const Context request = session.request_context(4, 0.1, 99);
+  EXPECT_EQ(request.k, 4u);
+  EXPECT_EQ(request.epsilon, 0.1);
+  EXPECT_EQ(request.seed, 99u);
+  // Coarsening stays pinned to the session base: granularity from the base
+  // k, seed from the base seed, base coarsening epsilon untouched.
+  EXPECT_EQ(request.hierarchy_k, base.k);
+  ASSERT_TRUE(request.hierarchy_seed.has_value());
+  EXPECT_EQ(*request.hierarchy_seed, base.seed);
+  EXPECT_EQ(request.coarsening.epsilon, base.coarsening.epsilon);
+}
+
+} // namespace
+} // namespace terapart
