@@ -104,6 +104,37 @@ void BM_VarIntDecodeRun(benchmark::State &state) {
 }
 BENCHMARK(BM_VarIntDecodeRun);
 
+/// Gap-run decode on a small-gap stream (all gaps encode to one byte — the
+/// SIMD fast path). `scalar` pins the SSE2 baseline, `auto` goes through the
+/// CPU-feature dispatch (16-wide AVX2 expansion when the machine has it);
+/// the delta between the two is the AVX2 tier.
+template <bool kDispatch> void gap_run_decode_bench(benchmark::State &state) {
+  constexpr std::size_t kCount = 4096;
+  Random rng(9);
+  std::vector<std::uint8_t> buffer(kCount + kVarIntDecodePadding);
+  std::size_t bytes = 0;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    bytes += varint_encode(1 + rng.next_bounded(100), buffer.data() + bytes);
+  }
+  std::vector<std::uint32_t> out(kCount + 8); // count + 7 out-slack
+  for (auto _ : state) {
+    std::uint32_t prev = 0;
+    const std::uint8_t *end =
+        kDispatch ? varint_gap_run_decode_auto(buffer.data(), kCount, prev, out.data())
+                  : varint_gap_run_decode(buffer.data(), kCount, prev, out.data());
+    benchmark::DoNotOptimize(end);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kCount);
+  state.counters["avx2"] = varint_have_avx2() ? 1 : 0;
+}
+
+void BM_GapRunDecodeScalar(benchmark::State &state) { gap_run_decode_bench<false>(state); }
+BENCHMARK(BM_GapRunDecodeScalar);
+
+void BM_GapRunDecodeDispatched(benchmark::State &state) { gap_run_decode_bench<true>(state); }
+BENCHMARK(BM_GapRunDecodeDispatched);
+
 const CsrGraph &codec_graph(const int kind) {
   static const CsrGraph web = gen::weblike(20'000, 20, 1);
   static const CsrGraph mesh = gen::rgg2d(20'000, 16, 1);

@@ -1,14 +1,33 @@
 /// Microbenchmarks (google-benchmark) for the core data structures: rating
-/// maps (fixed hash vs sparse array), the dual counter vs two plain atomics,
-/// and gain-table query/update throughput (dense vs sparse).
+/// maps (fixed hash vs sparse array), the shared aggregator under
+/// multi-thread contention (direct flat-atomic baseline vs buffered-flat vs
+/// sharded), the dual counter vs two plain atomics, and gain-table
+/// query/update throughput (dense vs sparse).
+///
+/// `--json <path>` writes a terapart.run_report/v1 document with a
+/// "benchmarks" section (same schema as the other bench binaries); `--smoke`
+/// shrinks measurement time for CI. The contended aggregator benchmarks run
+/// their workers on the repo's own thread pool (the aggregators key their
+/// thread-local buffers by pool thread id), so the `threads` argument
+/// re-sizes the global pool rather than using google-benchmark's threading.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "coarsening/rating_map.h"
+#include "common/memory_tracker.h"
+#include "common/metrics_registry.h"
 #include "common/random.h"
+#include "common/run_report.h"
 #include "generators/generators.h"
 #include "parallel/dual_counter.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_local_storage.h"
+#include "parallel/thread_pool.h"
 #include "partition/partitioned_graph.h"
 #include "refinement/dense_gain_table.h"
 #include "refinement/sparse_gain_table.h"
@@ -52,6 +71,136 @@ void BM_SparseRatingMapAggregate(benchmark::State &state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
 }
 BENCHMARK(BM_SparseRatingMapAggregate)->Arg(8)->Arg(64)->Arg(1024);
+
+// --- Contended shared aggregation: flat-atomic baseline vs buffered/sharded -
+//
+// The workload models the second phase of two-phase LP: every pool thread
+// streams cluster keys into a shared O(n) aggregation array. `distinct`
+// controls the key range: a small range keeps all traffic on few cache lines
+// / shards (the hot-cluster case of power-law graphs), the full range
+// scatters it. Three variants:
+//   - direct:  the naive flat-atomic baseline — one lock-prefixed RMW on the
+//     shared array per *add* (plus a first-setter claim).
+//   - flat:    per-thread contention buffers, flushed with one atomic RMW per
+//     buffered *entry* (duplicates already combined).
+//   - sharded: the same buffers, flushed shard-by-shard with plain adds under
+//     one lock acquisition per touched shard.
+
+constexpr std::size_t kAggSize = 1 << 20;
+constexpr std::size_t kAggBufferCapacity = 1024;
+constexpr std::size_t kAggOpsPerWorker = 1 << 15;
+
+/// The naive shared aggregation structure the buffered designs replace:
+/// every add is a relaxed fetch_add on the shared array; the zero->nonzero
+/// transition claims the key into a per-thread first-setter list so
+/// iteration and touched-only clear stay possible.
+class DirectAtomicAggregator {
+public:
+  DirectAtomicAggregator(const std::size_t size, const std::size_t /*buffer_capacity*/,
+                         std::string /*category*/)
+      : _values(size) {}
+
+  void add(const ClusterID cluster, const EdgeWeight delta) {
+    if (_values[cluster].fetch_add(delta, std::memory_order_relaxed) == 0) {
+      _touched.local().push_back(cluster);
+    }
+  }
+
+  void flush_local() {}
+
+  template <typename Fn> void for_each(Fn &&fn) const {
+    _touched.for_each([&](const std::vector<ClusterID> &list) {
+      for (const ClusterID cluster : list) {
+        fn(cluster, _values[cluster].load(std::memory_order_relaxed));
+      }
+    });
+  }
+
+  void clear() {
+    _touched.for_each([&](std::vector<ClusterID> &list) {
+      for (const ClusterID cluster : list) {
+        _values[cluster].store(0, std::memory_order_relaxed);
+      }
+      list.clear();
+    });
+  }
+
+private:
+  std::vector<std::atomic<EdgeWeight>> _values;
+  par::ThreadLocal<std::vector<ClusterID>> _touched;
+};
+
+const std::vector<std::uint32_t> &contended_keys(const std::size_t worker,
+                                                 const std::uint32_t distinct) {
+  // Deterministic per-(worker, distinct) key streams, generated once.
+  static std::vector<std::vector<std::uint32_t>> cache[3];
+  const int slot = distinct == kAggSize ? 2 : (distinct == 4096 ? 1 : 0);
+  auto &streams = cache[slot];
+  if (streams.size() <= worker) {
+    streams.resize(worker + 1);
+  }
+  if (streams[worker].empty()) {
+    Random rng(1000 + 7919 * worker + slot);
+    streams[worker].resize(kAggOpsPerWorker);
+    for (auto &key : streams[worker]) {
+      key = static_cast<std::uint32_t>(rng.next_bounded(distinct));
+    }
+  }
+  return streams[worker];
+}
+
+template <typename Aggregator> void contended_aggregate(benchmark::State &state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto distinct = static_cast<std::uint32_t>(state.range(1));
+  par::set_num_threads(threads);
+  for (int w = 0; w < threads; ++w) {
+    (void)contended_keys(static_cast<std::size_t>(w), distinct); // pre-generate
+  }
+  Aggregator aggregator(kAggSize, kAggBufferCapacity, "bench");
+  for (auto _ : state) {
+    par::parallel_for_each<unsigned>(0u, static_cast<unsigned>(threads), [&](const unsigned w) {
+      const std::vector<std::uint32_t> &keys =
+          contended_keys(static_cast<std::size_t>(w), distinct);
+      for (const std::uint32_t key : keys) {
+        aggregator.add(key, 1);
+      }
+      aggregator.flush_local();
+    });
+    EdgeWeight sum = 0;
+    aggregator.for_each([&](const ClusterID, const EdgeWeight rating) { sum += rating; });
+    benchmark::DoNotOptimize(sum);
+    aggregator.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * threads *
+                          static_cast<std::int64_t>(kAggOpsPerWorker));
+}
+
+void BM_DirectAtomicContended(benchmark::State &state) {
+  contended_aggregate<DirectAtomicAggregator>(state);
+}
+BENCHMARK(BM_DirectAtomicContended)
+    ->ArgsProduct({{1, 4, 8}, {512, 4096, kAggSize}})
+    ->ArgNames({"threads", "distinct"})
+    ->UseRealTime();
+
+void BM_FlatAggregatorContended(benchmark::State &state) {
+  contended_aggregate<SharedSparseAggregator>(state);
+}
+BENCHMARK(BM_FlatAggregatorContended)
+    ->ArgsProduct({{1, 4, 8}, {512, 4096, kAggSize}})
+    ->ArgNames({"threads", "distinct"})
+    ->UseRealTime();
+
+void BM_ShardedAggregatorContended(benchmark::State &state) {
+  contended_aggregate<ShardedSparseAggregator>(state);
+  ShardedSparseAggregator probe(kAggSize, kAggBufferCapacity, "bench");
+  state.counters["shards"] = static_cast<double>(probe.num_shards());
+  state.counters["shard_values"] = static_cast<double>(probe.shard_values());
+}
+BENCHMARK(BM_ShardedAggregatorContended)
+    ->ArgsProduct({{1, 4, 8}, {512, 4096, kAggSize}})
+    ->ArgNames({"threads", "distinct"})
+    ->UseRealTime();
 
 void BM_DualCounterFetchAdd(benchmark::State &state) {
   par::DualCounter counter;
@@ -149,6 +298,123 @@ void BM_SparseGainTableMoves(benchmark::State &state) {
 }
 BENCHMARK(BM_SparseGainTableMoves)->Arg(8)->Arg(256);
 
+/// Concurrent gain-table moves on the pool: stresses the striped locks
+/// (sparse) and the padded atomic rows (dense). Vertex ownership is disjoint
+/// per worker (u ≡ w mod threads), mirroring parallel FM where each vertex is
+/// moved by exactly one thread — so the `from` block read stays accurate.
+template <typename Table> void contended_moves(benchmark::State &state, Table &table,
+                                               GainBenchFixture &fixture, const int threads) {
+  par::set_num_threads(threads);
+  const auto stride = static_cast<NodeID>(threads);
+  const NodeID slots = fixture.graph.n() / stride;
+  for (auto _ : state) {
+    par::parallel_for_each<unsigned>(0u, static_cast<unsigned>(threads), [&](const unsigned w) {
+      Random rng(77 + w);
+      for (int op = 0; op < 2048; ++op) {
+        const auto u = static_cast<NodeID>(w + stride * rng.next_bounded(slots));
+        const BlockID from = fixture.partitioned.block(u);
+        const auto to = static_cast<BlockID>(rng.next_bounded(fixture.k));
+        if (from != to) {
+          fixture.partitioned.force_move(u, fixture.graph.node_weight(u), to);
+          table.notify_move(fixture.graph, u, from, to);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * threads * 2048);
+}
+
+void BM_DenseGainTableMovesContended(benchmark::State &state) {
+  GainBenchFixture fixture(static_cast<BlockID>(state.range(1)));
+  DenseGainTable table(fixture.graph.n(), fixture.k);
+  table.init(fixture.graph, fixture.partitioned);
+  contended_moves(state, table, fixture, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_DenseGainTableMovesContended)
+    ->ArgsProduct({{1, 4, 8}, {8}})
+    ->ArgNames({"threads", "k"})
+    ->UseRealTime();
+
+void BM_SparseGainTableMovesContended(benchmark::State &state) {
+  GainBenchFixture fixture(static_cast<BlockID>(state.range(1)));
+  SparseGainTable table(fixture.graph, fixture.k);
+  table.init(fixture.graph, fixture.partitioned);
+  contended_moves(state, table, fixture, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_SparseGainTableMovesContended)
+    ->ArgsProduct({{1, 4, 8}, {8}})
+    ->ArgNames({"threads", "k"})
+    ->UseRealTime();
+
+/// Console reporter that additionally collects every run into a JSON array
+/// conforming to the "benchmarks" section of terapart.run_report/v1.
+class CollectingReporter : public benchmark::ConsoleReporter {
+public:
+  void ReportRuns(const std::vector<Run> &runs) override {
+    for (const Run &run : runs) {
+      json::Object entry{
+          {"name", run.benchmark_name()},
+          {"iterations", static_cast<std::int64_t>(run.iterations)},
+          {"real_time", run.GetAdjustedRealTime()},
+          {"cpu_time", run.GetAdjustedCPUTime()},
+          {"time_unit", benchmark::GetTimeUnitString(run.time_unit)},
+      };
+      for (const auto &[name, counter] : run.counters) {
+        entry.emplace_back(name, static_cast<double>(counter.value));
+      }
+      _benchmarks.push_back(std::move(entry));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] json::Array take_benchmarks() { return std::move(_benchmarks); }
+
+private:
+  json::Array _benchmarks;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  // `--json <path>` is this repo's shared machine-readable interface: all
+  // bench binaries emit the same terapart.run_report/v1 schema. `--smoke`
+  // shrinks per-benchmark measurement time so CI exercises every benchmark
+  // (including the contended ones) in seconds.
+  std::vector<char *> args;
+  std::string json_path;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  static char min_time_flag[] = "--benchmark_min_time=0.01";
+  if (smoke) {
+    args.push_back(min_time_flag);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    RunReport report("bench_micro_structures");
+    report.add_section("benchmarks", reporter.take_benchmarks());
+    report.capture_metrics(MetricsRegistry::global());
+    report.capture_memory(MemoryTracker::global());
+    if (!report.write(json_path)) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "common/scoped_phase.h"
 #include "compression/compressed_graph.h"
 #include "parallel/atomic_utils.h"
+#include "parallel/numa_alloc.h"
 #include "parallel/primitives.h"
 
 namespace terapart {
@@ -18,8 +19,10 @@ namespace {
 
 /// Shared mutable state of one clustering run.
 struct LpState {
-  std::vector<ClusterID> clusters;                  // C (accessed via atomic_ref)
-  std::vector<std::atomic<NodeWeight>> cluster_weights;
+  std::vector<ClusterID> clusters; // C (accessed via atomic_ref)
+  // NUMA-placed (blocked): workers process steal-local vertex ranges, so
+  // binding contiguous slices keeps the hot weight CAS traffic node-local.
+  par::numa::NumaArray<std::atomic<NodeWeight>> cluster_weights;
   NodeWeight max_cluster_weight;
   std::atomic<std::uint64_t> moves{0};
   std::atomic<std::uint64_t> bumped_total{0};
@@ -111,7 +114,7 @@ void two_phase_round(const Graph &graph, const LpClusteringConfig &config, LpSta
                      std::span<const NodeID> order,
                      par::ThreadLocal<FixedHashMap<ClusterID, EdgeWeight>> &small_maps,
                      par::ThreadLocal<Random> &rngs,
-                     std::unique_ptr<SharedSparseAggregator> &aggregator,
+                     std::unique_ptr<ShardedSparseAggregator> &aggregator,
                      par::ThreadLocal<std::vector<NodeID>> &bumped_lists) {
   // --- First phase: all vertices, small fixed-capacity hash tables. ---
   par::for_each_dynamic<NodeID>(0, graph.n(), [&](const NodeID i) {
@@ -166,7 +169,10 @@ void two_phase_round(const Graph &graph, const LpClusteringConfig &config, LpSta
   if (!aggregator) {
     // Allocated lazily: the single O(n) array exists only if the graph has
     // high-nc vertices at all.
-    aggregator = std::make_unique<SharedSparseAggregator>(graph.n(), config.bump_threshold);
+    // Sharded variant: same aggregation semantics and iteration order as the
+    // flat-atomic SharedSparseAggregator, but flushes amortize one lock per
+    // touched shard instead of one lock-prefixed RMW per entry.
+    aggregator = std::make_unique<ShardedSparseAggregator>(graph.n(), config.bump_threshold);
   }
   for (const NodeID u : bumped) {
     graph.for_each_neighbor_parallel_block(
@@ -288,8 +294,8 @@ std::vector<ClusterID> lp_cluster(const Graph &graph, const LpClusteringConfig &
   LpState state;
   state.clusters.resize(n);
   state.max_cluster_weight = std::max<NodeWeight>(max_cluster_weight, graph.max_node_weight());
-  std::vector<std::atomic<NodeWeight>> weights(n);
-  state.cluster_weights = std::move(weights);
+  state.cluster_weights = par::numa::NumaArray<std::atomic<NodeWeight>>(
+      n, par::numa::placement_for("lp/aux"));
   par::for_each_dynamic<NodeID>(0, n, [&](const NodeID u) {
     state.clusters[u] = u;
     state.cluster_weights[u].store(graph.node_weight(u), std::memory_order_relaxed);
@@ -309,7 +315,7 @@ std::vector<ClusterID> lp_cluster(const Graph &graph, const LpClusteringConfig &
   par::ThreadLocal<FixedHashMap<ClusterID, EdgeWeight>> small_maps(
       [&] { return FixedHashMap<ClusterID, EdgeWeight>(config.bump_threshold); });
   par::ThreadLocal<std::vector<NodeID>> bumped_lists;
-  std::unique_ptr<SharedSparseAggregator> aggregator;
+  std::unique_ptr<ShardedSparseAggregator> aggregator;
 
   for (int round = 0; round < config.num_rounds; ++round) {
     ScopedPhase round_phase("round_" + std::to_string(round));

@@ -2,7 +2,7 @@
 /// @brief Rating-map data structures for label propagation and contraction
 /// (Section IV-A of the paper).
 ///
-/// Three flavors:
+/// Four flavors:
 ///  - FixedHashMap (common/fixed_hash_map.h): the small fixed-capacity
 ///    per-thread table of the two-phase first pass,
 ///  - SparseRatingMap: the classic O(n)-per-thread sparse array (array `A` of
@@ -12,24 +12,45 @@
 ///  - SharedSparseAggregator: the *single* shared sparse array of the second
 ///    phase, updated with atomic fetch-add, with per-thread first-setter
 ///    lists and per-thread hash tables acting as contention buffers
-///    (Algorithm 2, lines 9-16).
+///    (Algorithm 2, lines 9-16). Kept as the flat-atomic baseline that
+///    bench_micro_structures measures the sharded variant against,
+///  - ShardedSparseAggregator: the production second-phase structure. The
+///    value array is divided into cache-line-aligned shards, each guarded by
+///    a padded spinlock; a thread's buffered contributions are grouped by
+///    shard and applied with *plain* loads/stores under the shard lock, so
+///    the per-entry cost drops from one lock-prefixed RMW to an ordinary
+///    add with the synchronization amortized over the whole shard batch.
+///    Shard boundaries never share a cache line, so concurrent flushes to
+///    different shards cannot false-share.
+///
+/// Determinism contract: ShardedSparseAggregator records first-setters per
+/// thread in buffer insertion order — exactly the order the flat-atomic
+/// baseline produced — and for_each walks threads in pool order, so
+/// single-threaded runs remain bit-identical to the pre-sharding pipeline.
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <vector>
 
 #include "common/fixed_hash_map.h"
+#include "common/math.h"
 #include "common/memory_tracker.h"
+#include "common/spinlock.h"
 #include "common/types.h"
+#include "parallel/numa_alloc.h"
 #include "parallel/thread_local_storage.h"
+#include "parallel/thread_pool.h"
 
 namespace terapart {
 
-/// Classic per-thread rating map: O(n) memory per instance.
+/// Classic per-thread rating map: O(n) memory per instance. The array is
+/// NUMA-placed by category (per-thread instances default to first-touch
+/// local, so a pinned worker's map lives on its own node).
 class SparseRatingMap {
 public:
   explicit SparseRatingMap(const std::size_t size, std::string category = "lp/rating_maps")
-      : _ratings(size, 0),
+      : _ratings(size, par::numa::placement_for(category)),
         _tracked(std::move(category), size * sizeof(EdgeWeight)) {}
 
   void add(const ClusterID cluster, const EdgeWeight weight) {
@@ -49,6 +70,7 @@ public:
     }
   }
 
+  /// Touched-entries-only reset: O(|touched|), never O(n).
   void clear() {
     for (const ClusterID cluster : _touched) {
       _ratings[cluster] = 0;
@@ -57,14 +79,15 @@ public:
   }
 
 private:
-  std::vector<EdgeWeight> _ratings;
+  par::numa::NumaArray<EdgeWeight> _ratings;
   std::vector<ClusterID> _touched;
   TrackedAlloc _tracked;
 };
 
-/// The shared second-phase aggregation structure: one atomic array of size n
-/// for *all* threads plus thread-local first-setter lists. Per-thread
-/// fixed-capacity hash tables buffer updates to reduce atomic contention.
+/// The flat-atomic shared aggregator: one atomic array of size n for *all*
+/// threads plus thread-local first-setter lists. Per-thread fixed-capacity
+/// hash tables buffer updates to reduce atomic contention. This is the
+/// measured baseline for ShardedSparseAggregator below.
 class SharedSparseAggregator {
 public:
   SharedSparseAggregator(const std::size_t size, const std::size_t buffer_capacity,
@@ -135,7 +158,10 @@ public:
     });
   }
 
-  /// Resets the touched entries and the setter lists. Single-threaded.
+  /// Resets via the first-setter (touched) lists only — O(|touched|), never
+  /// O(n) — and discards any unflushed buffered contributions, so a cleared
+  /// aggregator is pristine even when a caller bails out between add() and
+  /// flush_all(). Single-threaded.
   void clear() {
     _setters.for_each([&](std::vector<ClusterID> &setters) {
       for (const ClusterID cluster : setters) {
@@ -143,12 +169,206 @@ public:
       }
       setters.clear();
     });
+    _buffers.for_each([](FixedHashMap<ClusterID, EdgeWeight> &buffer) { buffer.clear(); });
   }
 
 private:
   std::vector<std::atomic<EdgeWeight>> _ratings;
   par::ThreadLocal<FixedHashMap<ClusterID, EdgeWeight>> _buffers;
   par::ThreadLocal<std::vector<ClusterID>> _setters;
+  TrackedAlloc _tracked;
+};
+
+/// Sharded shared aggregator: the value array is split into contiguous
+/// power-of-two shards whose boundaries are cache-line aligned (the array is
+/// padded up to a whole number of shards). Each shard carries a spinlock in
+/// its own cache line. A flush groups the thread's buffered entries by shard
+/// (stable counting sort over the touched shards only) and applies each
+/// group with plain loads/stores while holding that shard's lock once —
+/// amortizing one atomic acquisition over the whole group instead of paying
+/// a lock-prefixed RMW per entry, and confining any cross-thread cache-line
+/// traffic to shard granularity.
+class ShardedSparseAggregator {
+public:
+  ShardedSparseAggregator(const std::size_t size, const std::size_t buffer_capacity,
+                          std::string category = "lp/sparse_array")
+      : _size(size), _shard_values(compute_shard_values(size)),
+        _shard_shift(std::countr_zero(_shard_values)),
+        _num_shards((std::max<std::size_t>(size, 1) + _shard_values - 1) / _shard_values),
+        _ratings(_num_shards * _shard_values, par::numa::placement_for(category)),
+        _shards(_num_shards), _threads([buffer_capacity, num_shards = _num_shards] {
+          return ThreadState(buffer_capacity, num_shards);
+        }),
+        // Accounting covers the alignment padding and the padded shard locks
+        // — the real footprint of the sharded layout, not just size * 8.
+        _tracked(std::move(category), memory_bytes()) {}
+
+  /// Exact accounted footprint: padded value array plus the shard lock table.
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(_num_shards) * _shard_values * sizeof(EdgeWeight) +
+           static_cast<std::uint64_t>(_num_shards) * sizeof(Shard);
+  }
+
+  [[nodiscard]] std::size_t num_shards() const { return _num_shards; }
+  [[nodiscard]] std::size_t shard_values() const { return _shard_values; }
+  [[nodiscard]] std::size_t shard_of(const ClusterID cluster) const {
+    return static_cast<std::size_t>(cluster) >> _shard_shift;
+  }
+
+  /// Buffered accumulation from any pool thread; flushes the thread's buffer
+  /// into the sharded array when it fills up.
+  void add(const ClusterID cluster, const EdgeWeight weight) {
+    TP_ASSERT(static_cast<std::size_t>(cluster) < _size);
+    ThreadState &state = _threads.local();
+    if (!state.buffer.add(cluster, weight)) {
+      flush_thread(state);
+      const bool ok = state.buffer.add(cluster, weight);
+      TP_ASSERT(ok);
+    }
+  }
+
+  void flush_local() { flush_thread(_threads.local()); }
+
+  /// Flushes every thread's buffer; call after the parallel edge loop
+  /// finished (single-threaded context).
+  void flush_all() {
+    for (std::size_t t = 0; t < _threads.size(); ++t) {
+      flush_thread(_threads.get(static_cast<int>(t)));
+    }
+  }
+
+  /// Iterates the union of first-setter lists (distinct clusters) with their
+  /// aggregated ratings, in pool-thread order and, per thread, in buffer
+  /// insertion order — the same order the flat-atomic baseline produces on
+  /// one thread (the determinism contract). Single-threaded context.
+  template <typename Fn> void for_each(Fn &&fn) const {
+    _threads.for_each([&](const ThreadState &state) {
+      for (const ClusterID cluster : state.setters) {
+        fn(cluster, _ratings[cluster]);
+      }
+    });
+  }
+
+  /// Resets via the first-setter lists only (the touched cache lines are
+  /// exactly the lines those entries live in) and discards unflushed
+  /// buffered contributions. Single-threaded.
+  void clear() {
+    _threads.for_each([&](ThreadState &state) {
+      for (const ClusterID cluster : state.setters) {
+        _ratings[cluster] = 0;
+      }
+      state.setters.clear();
+      state.buffer.clear();
+    });
+  }
+
+private:
+  struct alignas(kCacheLineBytes) Shard {
+    Spinlock lock;
+  };
+
+  /// Shard geometry: aim for ~8 shards per pool thread (clamped to [16, 256])
+  /// so flush batches stay large while concurrent flushes rarely collide;
+  /// each shard spans a power-of-two value range of at least one cache line.
+  [[nodiscard]] static std::size_t compute_shard_values(const std::size_t size) {
+    const std::size_t target_shards = math::ceil_pow2(std::min<std::size_t>(
+        256, std::max<std::size_t>(16, 8 * static_cast<std::size_t>(par::num_threads()))));
+    const std::size_t values_per_line = kCacheLineBytes / sizeof(EdgeWeight);
+    return math::ceil_pow2(std::max<std::size_t>(
+        values_per_line, (std::max<std::size_t>(size, 1) + target_shards - 1) / target_shards));
+  }
+
+  /// Per-thread buffered state plus the flush scratch. ThreadLocal pads each
+  /// slot to a cache line, so no two threads' scratch false-shares.
+  struct ThreadState {
+    ThreadState(const std::size_t buffer_capacity, const std::size_t num_shards)
+        : buffer(buffer_capacity), shard_count(num_shards, 0), shard_offset(num_shards, 0) {
+      const std::size_t capacity = std::max<std::size_t>(buffer_capacity, 1);
+      keys.resize(capacity);
+      weights.resize(capacity);
+      entry_shard.resize(capacity);
+      order.resize(capacity);
+      was_zero.resize(capacity);
+      touched_shards.reserve(capacity);
+    }
+
+    FixedHashMap<ClusterID, EdgeWeight> buffer;
+    std::vector<ClusterID> setters; ///< first-setter list, insertion order
+
+    // Flush scratch (counting sort over touched shards only).
+    std::vector<ClusterID> keys;
+    std::vector<EdgeWeight> weights;
+    std::vector<std::uint32_t> entry_shard;
+    std::vector<std::uint32_t> order;
+    std::vector<std::uint8_t> was_zero;
+    std::vector<std::uint32_t> shard_count;  ///< zeroed via touched_shards
+    std::vector<std::uint32_t> shard_offset; ///< zeroed via touched_shards
+    std::vector<std::uint32_t> touched_shards;
+  };
+
+  void flush_thread(ThreadState &state) {
+    const std::size_t count = state.buffer.size();
+    if (count == 0) {
+      return;
+    }
+    // Snapshot the buffer in insertion order and bucket entries by shard.
+    std::size_t i = 0;
+    state.buffer.for_each([&](const ClusterID cluster, const EdgeWeight weight) {
+      state.keys[i] = cluster;
+      state.weights[i] = weight;
+      const auto shard = static_cast<std::uint32_t>(shard_of(cluster));
+      state.entry_shard[i] = shard;
+      if (state.shard_count[shard]++ == 0) {
+        state.touched_shards.push_back(shard);
+      }
+      ++i;
+    });
+    std::uint32_t running = 0;
+    for (const std::uint32_t shard : state.touched_shards) {
+      state.shard_offset[shard] = running;
+      running += state.shard_count[shard];
+    }
+    for (std::size_t e = 0; e < count; ++e) {
+      state.order[state.shard_offset[state.entry_shard[e]]++] = static_cast<std::uint32_t>(e);
+    }
+    // Apply one shard at a time: a single lock acquisition covers the whole
+    // group; the values themselves are plain (the lock orders them).
+    std::uint32_t begin = 0;
+    for (const std::uint32_t shard : state.touched_shards) {
+      const std::uint32_t end = begin + state.shard_count[shard];
+      Spinlock &lock = _shards[shard].lock;
+      lock.lock();
+      for (std::uint32_t slot = begin; slot < end; ++slot) {
+        const std::uint32_t e = state.order[slot];
+        EdgeWeight &value = _ratings[state.keys[e]];
+        state.was_zero[e] = value == 0 ? 1 : 0;
+        value += state.weights[e];
+      }
+      lock.unlock();
+      begin = end;
+    }
+    // First-setters in buffer insertion order (determinism contract); the
+    // shard locks above guarantee exactly one flusher observed zero.
+    for (std::size_t e = 0; e < count; ++e) {
+      if (state.was_zero[e] != 0) {
+        state.setters.push_back(state.keys[e]);
+      }
+    }
+    for (const std::uint32_t shard : state.touched_shards) {
+      state.shard_count[shard] = 0;
+      state.shard_offset[shard] = 0;
+    }
+    state.touched_shards.clear();
+    state.buffer.clear();
+  }
+
+  std::size_t _size = 0;
+  std::size_t _shard_values = 0;
+  int _shard_shift = 0;
+  std::size_t _num_shards = 0;
+  par::numa::NumaArray<EdgeWeight> _ratings;
+  std::vector<Shard> _shards;
+  par::ThreadLocal<ThreadState> _threads;
   TrackedAlloc _tracked;
 };
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <atomic>
+#include <thread>
 
 namespace terapart {
 
@@ -16,8 +17,15 @@ public:
       if (!_flag.exchange(true, std::memory_order_acquire)) {
         return;
       }
+      // Spin on reads to avoid cache-line ping-pong, but yield once the wait
+      // exceeds a short bound: when threads outnumber cores a preempted lock
+      // holder otherwise costs every waiter a full timeslice.
+      int spins = 0;
       while (_flag.load(std::memory_order_relaxed)) {
-        // spin on read to avoid cache-line ping-pong
+        if (++spins >= 1024) {
+          std::this_thread::yield();
+          spins = 0;
+        }
       }
     }
   }

@@ -9,10 +9,18 @@
 /// or wrap.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
 namespace terapart {
+
+/// Cache-line size assumed by the contention-aware layouts (sharded
+/// aggregators, striped locks, padded per-thread slots). This is
+/// `std::hardware_destructive_interference_size` on every platform this
+/// builds for; the named constant is avoided because GCC warns on each use
+/// (the value is ABI-sensitive when it appears in public layouts).
+inline constexpr std::size_t kCacheLineBytes = 64;
 
 /// Identifier of a vertex (a.k.a. node) of a graph.
 using NodeID = std::uint32_t;

@@ -275,6 +275,57 @@ inline const std::uint8_t *varint_gap_run_decode(const std::uint8_t *src, const 
   return src;
 }
 
+// --- Runtime CPU dispatch (AVX2 tier, varint_avx2.cc) -----------------------
+//
+// The AVX2 kernels live in a separate TU compiled with per-function target
+// attributes (no global -mavx2), so the same binary runs on SSE2-only
+// machines. Dispatch is a single inline-variable load; the scalar/SSE2
+// kernels above stay the tested baseline and the tiers must be bit-identical.
+
+#if defined(__x86_64__) || defined(__i386__)
+namespace detail {
+[[nodiscard]] bool cpu_has_avx2();
+const std::uint8_t *varint_gap_run_decode_avx2(const std::uint8_t *src, std::size_t count,
+                                               std::uint32_t &prev, std::uint32_t *out);
+void interval_fill_avx2(std::uint32_t first, std::uint32_t count, std::uint32_t *out);
+} // namespace detail
+
+inline const bool kHaveAvx2 = detail::cpu_has_avx2();
+[[nodiscard]] inline bool varint_have_avx2() { return kHaveAvx2; }
+#else
+[[nodiscard]] inline bool varint_have_avx2() { return false; }
+#endif
+
+/// Dispatched gap-run decoder: same contract as varint_gap_run_decode
+/// (`count + 7` out slack, `kVarIntDecodePadding` readable bytes past the
+/// run), routed to the 16-wide AVX2 kernel when the CPU supports it.
+inline const std::uint8_t *varint_gap_run_decode_auto(const std::uint8_t *src,
+                                                      const std::size_t count, std::uint32_t &prev,
+                                                      std::uint32_t *out) {
+#if defined(__x86_64__) || defined(__i386__)
+  if (varint_have_avx2()) {
+    return detail::varint_gap_run_decode_avx2(src, count, prev, out);
+  }
+#endif
+  return varint_gap_run_decode(src, count, prev, out);
+}
+
+/// Dispatched interval fill: `out[k] = first + k` for `k < count` (exactly
+/// `count` writes — no slack requirement). This is the unweighted-interval
+/// decode loop of the compressed graph, wide enough to be store-bound.
+inline void interval_fill(const std::uint32_t first, const std::uint32_t count,
+                          std::uint32_t *out) {
+#if defined(__x86_64__) || defined(__i386__)
+  if (varint_have_avx2() && count >= 8) {
+    detail::interval_fill_avx2(first, count, out);
+    return;
+  }
+#endif
+  for (std::uint32_t k = 0; k < count; ++k) {
+    out[k] = first + k;
+  }
+}
+
 /// Zigzag mapping: interleaves negative and non-negative values so that small
 /// magnitudes encode to few bytes. Used for (signed) edge weight gaps; this is
 /// the "additional sign bit" of the paper.

@@ -1,0 +1,96 @@
+/// @file varint_avx2.cc
+/// @brief AVX2 tier of the decode kernels (runtime-dispatched).
+///
+/// This TU is compiled without a global -mavx2: every AVX2 function carries a
+/// per-function target attribute, so the binary still runs on SSE2-only
+/// machines and the dispatch in varint.h decides per process which tier the
+/// hot loops take. The scalar/SSE2 kernels in varint.h remain the tested
+/// baseline; this tier must be bit-identical to them (enforced by the fuzz
+/// corpus equivalence tests in test_compression).
+#include "common/varint.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace terapart::detail {
+
+bool cpu_has_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+namespace {
+
+/// Expands 16 single-byte gaps (no continuation bits) loaded in `bytes` into
+/// 16 absolute targets `out[k] = prev + sum_{j<=k} (gap_j + 1)` and returns
+/// the horizontal sum needed to advance `prev` (computed via psadbw so the
+/// next group's carry does not wait on the vector stores). Lane sums stay
+/// within u16: 16 * 127 + 16 = 2048 < 2^16.
+__attribute__((target("avx2"))) inline std::uint32_t
+gap16_prefix_expand(const __m128i bytes, const std::uint32_t prev, std::uint32_t *out) {
+  __m256i g = _mm256_add_epi16(_mm256_cvtepu8_epi16(bytes), _mm256_set1_epi16(1));
+  // In-lane log-step prefix sum over u16 lanes (slli_si256 shifts per 128-bit
+  // lane), then propagate the low lane's total into the high lane.
+  g = _mm256_add_epi16(g, _mm256_slli_si256(g, 2));
+  g = _mm256_add_epi16(g, _mm256_slli_si256(g, 4));
+  g = _mm256_add_epi16(g, _mm256_slli_si256(g, 8));
+  const __m128i lo_total =
+      _mm_shuffle_epi8(_mm256_castsi256_si128(g), _mm_set1_epi16(0x0F0E));
+  g = _mm256_add_epi16(g, _mm256_inserti128_si256(_mm256_setzero_si256(), lo_total, 1));
+  const __m256i base = _mm256_set1_epi32(static_cast<int>(prev));
+  _mm256_storeu_si256(
+      reinterpret_cast<__m256i *>(out),
+      _mm256_add_epi32(base, _mm256_cvtepu16_epi32(_mm256_castsi256_si128(g))));
+  _mm256_storeu_si256(
+      reinterpret_cast<__m256i *>(out + 8),
+      _mm256_add_epi32(base, _mm256_cvtepu16_epi32(_mm256_extracti128_si256(g, 1))));
+  const __m128i sums = _mm_sad_epu8(bytes, _mm_setzero_si128());
+  return static_cast<std::uint32_t>(_mm_cvtsi128_si32(sums)) +
+         static_cast<std::uint32_t>(_mm_extract_epi32(sums, 2)) + 16;
+}
+
+} // namespace
+
+__attribute__((target("avx2"))) const std::uint8_t *
+varint_gap_run_decode_avx2(const std::uint8_t *src, const std::size_t count, std::uint32_t &prev,
+                           std::uint32_t *out) {
+  std::size_t i = 0;
+  // 16-wide fast path: while at least 16 gaps remain, at least 16 encoded
+  // bytes remain (one byte per gap minimum), so the 16-byte load stays inside
+  // the run and the 16 stores stay inside `out[0, count)` — the caller's
+  // `count + 7` slack and 8-byte padding contracts are untouched.
+  while (i + 16 <= count) {
+    const __m128i bytes = _mm_loadu_si128(reinterpret_cast<const __m128i *>(src));
+    if (_mm_movemask_epi8(bytes) != 0) {
+      break; // a continuation bit: let the mixed-stream kernel take over
+    }
+    prev += gap16_prefix_expand(bytes, prev, out + i);
+    src += 16;
+    i += 16;
+  }
+  if (i < count) {
+    // Tail and mixed streams: the SSE2/scalar kernel is already optimal for
+    // short runs and multi-byte gaps, and sharing it keeps one source of
+    // truth for the tricky peeling logic.
+    src = varint_gap_run_decode(src, count - i, prev, out + i);
+  }
+  return src;
+}
+
+__attribute__((target("avx2"))) void interval_fill_avx2(const std::uint32_t first,
+                                                        const std::uint32_t count,
+                                                        std::uint32_t *out) {
+  const __m256i step = _mm256_set1_epi32(8);
+  __m256i iota = _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(first)),
+                                  _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+  std::uint32_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i), iota);
+    iota = _mm256_add_epi32(iota, step);
+  }
+  for (; i < count; ++i) {
+    out[i] = first + i;
+  }
+}
+
+} // namespace terapart::detail
+
+#endif // x86

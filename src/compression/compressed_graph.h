@@ -268,7 +268,7 @@ public:
         ++batch_nodes;
         batch_ids[fill] = static_cast<NodeID>(first_target);
         auto prev32 = static_cast<std::uint32_t>(first_target);
-        varint_gap_run_decode(p, deg - 1, prev32, batch_ids + fill + 1);
+        varint_gap_run_decode_auto(p, deg - 1, prev32, batch_ids + fill + 1);
         fill += deg;
       } else {
         flush_batch();
@@ -385,9 +385,8 @@ private:
               ws[fill + t] = prev_weight;
             }
           } else {
-            for (std::size_t t = 0; t < take; ++t) {
-              ids[fill + t] = static_cast<NodeID>(left + j + t);
-            }
+            interval_fill(static_cast<std::uint32_t>(left + j), static_cast<std::uint32_t>(take),
+                          ids + fill);
           }
           fill += take;
           j += static_cast<NodeID>(take);
@@ -429,7 +428,7 @@ private:
         while (r < residuals) {
           const std::size_t take =
               std::min<std::size_t>(residuals - r, kDecodeBlockSize - fill);
-          ptr = varint_gap_run_decode(ptr, take, prev32, ids + fill);
+          ptr = varint_gap_run_decode_auto(ptr, take, prev32, ids + fill);
           fill += take;
           r += static_cast<NodeID>(take);
           if (fill == kDecodeBlockSize) {

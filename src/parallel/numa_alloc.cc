@@ -1,0 +1,206 @@
+#include "parallel/numa_alloc.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "parallel/numa.h"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace terapart::par::numa {
+
+namespace {
+
+constexpr std::size_t kAlignment = 64;
+
+#if defined(__linux__) && defined(SYS_mbind)
+// <numaif.h> belongs to libnuma, which we do not depend on; the syscall ABI
+// constants are stable kernel UAPI.
+constexpr int kMpolBind = 2;
+constexpr int kMpolInterleave = 3;
+
+bool mbind_range(void *addr, const std::size_t len, const int mode,
+                 const unsigned long node_mask) {
+  const unsigned long mask[1] = {node_mask};
+  // maxnode counts bits and must exceed the highest set bit; one word covers
+  // node ids < 64, far beyond any machine this runs on.
+  return syscall(SYS_mbind, addr, len, mode, mask, sizeof(unsigned long) * 8, 0) == 0;
+}
+
+unsigned long all_nodes_mask() {
+  unsigned long mask = 0;
+  for (const NumaNode &node : topology().nodes) {
+    if (node.id >= 0 && node.id < 64) {
+      mask |= 1UL << node.id;
+    }
+  }
+  return mask;
+}
+
+void apply_placement(void *ptr, const std::size_t bytes, const Placement placement) {
+  switch (placement) {
+  case Placement::kLocal:
+    // First-touch is the kernel default; nothing to bind.
+    return;
+  case Placement::kInterleaved:
+    (void)mbind_range(ptr, bytes, kMpolInterleave, all_nodes_mask());
+    return;
+  case Placement::kBlocked: {
+    const long page = sysconf(_SC_PAGESIZE);
+    if (page <= 0) {
+      return;
+    }
+    const auto page_size = static_cast<std::size_t>(page);
+    const std::size_t num_nodes = topology().nodes.size();
+    auto *base = static_cast<std::uint8_t *>(ptr);
+    // Node i owns the i-th contiguous slice, rounded to page boundaries so
+    // adjacent slices never fight over one page.
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      std::size_t end = bytes * (i + 1) / num_nodes;
+      end = (end / page_size) * page_size;
+      if (i + 1 == num_nodes) {
+        end = bytes;
+      }
+      if (end > begin) {
+        const int id = topology().nodes[i].id;
+        if (id >= 0 && id < 64) {
+          (void)mbind_range(base + begin, end - begin, kMpolBind, 1UL << id);
+        }
+      }
+      begin = end;
+    }
+    return;
+  }
+  }
+}
+#endif
+
+} // namespace
+
+const char *placement_name(const Placement placement) {
+  switch (placement) {
+  case Placement::kLocal:
+    return "local";
+  case Placement::kInterleaved:
+    return "interleaved";
+  case Placement::kBlocked:
+    return "blocked";
+  }
+  return "?";
+}
+
+std::optional<Placement> parse_placement(const std::string_view name) {
+  if (name == "local") {
+    return Placement::kLocal;
+  }
+  if (name == "interleaved") {
+    return Placement::kInterleaved;
+  }
+  if (name == "blocked") {
+    return Placement::kBlocked;
+  }
+  return std::nullopt;
+}
+
+Placement placement_for_spec(const std::string_view category, const char *spec) {
+  // Environment override first: longest matching category prefix wins, so
+  // `fm/=interleaved,fm/gain_table=blocked` behaves as expected.
+  if (spec != nullptr) {
+    std::string_view rest(spec);
+    std::size_t best_len = 0;
+    Placement best = Placement::kLocal;
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      const std::string_view entry = rest.substr(0, comma);
+      rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+      const std::size_t eq = entry.find('=');
+      if (eq == std::string_view::npos) {
+        continue; // malformed entry: ignore
+      }
+      const std::string_view prefix = entry.substr(0, eq);
+      const std::optional<Placement> placement = parse_placement(entry.substr(eq + 1));
+      if (!placement.has_value() || !category.starts_with(prefix)) {
+        continue;
+      }
+      if (prefix.size() + 1 > best_len) { // +1: the empty prefix still wins over no match
+        best_len = prefix.size() + 1;
+        best = *placement;
+      }
+    }
+    if (best_len > 0) {
+      return best;
+    }
+  }
+
+  // Built-in table. Shared randomly-accessed aggregation structures
+  // interleave; vertex-range-indexed arrays block so pinned workers stay
+  // node-local; everything else (per-thread scratch) is first-touch local.
+  if (category.starts_with("lp/sparse_array") || category.starts_with("fm/gain_table")) {
+    return Placement::kInterleaved;
+  }
+  if (category.starts_with("lp/aux") || category.find("partition") != std::string_view::npos ||
+      category.find("mapping") != std::string_view::npos) {
+    return Placement::kBlocked;
+  }
+  return Placement::kLocal;
+}
+
+Placement placement_for(const std::string_view category) {
+  static const char *spec = std::getenv("TP_NUMA_PLACEMENT");
+  return placement_for_spec(category, spec);
+}
+
+bool placement_effective() {
+#if defined(__linux__) && defined(SYS_mbind)
+  return topology().num_nodes() > 1;
+#else
+  return false;
+#endif
+}
+
+PlacedBlock placed_alloc(const std::size_t bytes, const Placement placement) {
+  PlacedBlock block;
+  if (bytes == 0) {
+    return block;
+  }
+  block.bytes = bytes;
+#if defined(__linux__) && defined(SYS_mbind)
+  if (placement_effective()) {
+    void *ptr = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (ptr != MAP_FAILED) {
+      apply_placement(ptr, bytes, placement);
+      block.ptr = ptr; // page-aligned, kernel-zeroed
+      block.mapped = true;
+      return block;
+    }
+  }
+#endif
+  (void)placement;
+  block.ptr = ::operator new(bytes, std::align_val_t{kAlignment});
+  std::memset(block.ptr, 0, bytes);
+  return block;
+}
+
+void placed_free(PlacedBlock &block) {
+  if (block.ptr == nullptr) {
+    return;
+  }
+#if defined(__linux__)
+  if (block.mapped) {
+    ::munmap(block.ptr, block.bytes);
+    block = PlacedBlock{};
+    return;
+  }
+#endif
+  ::operator delete(block.ptr, std::align_val_t{kAlignment});
+  block = PlacedBlock{};
+}
+
+} // namespace terapart::par::numa

@@ -1,0 +1,144 @@
+/// @file numa_alloc.h
+/// @brief NUMA-aware placement for the big shared arrays (ratings, gain
+/// tables, partition/mapping scratch).
+///
+/// The paper's headline machine is multi-socket: an array that lives entirely
+/// on one memory controller serializes every remote socket's loads through
+/// one set of channels. This layer gives each allocation *category* a
+/// placement policy:
+///
+///   - `kLocal`       — first-touch (kernel default): pages land on the node
+///                      of the thread that first writes them. Right for
+///                      per-thread structures (classic rating maps).
+///   - `kInterleaved` — pages round-robin across all nodes. Right for shared
+///                      randomly-accessed structures (the shared sparse
+///                      aggregator, gain tables): every socket pays the same
+///                      average latency and no single controller saturates.
+///   - `kBlocked`     — contiguous range i of N gets bound to node i. Right
+///                      for arrays indexed by vertex ranges that the
+///                      scheduler hands out as steal-local chunks (pinned
+///                      workers touch node-local memory; see numa.h).
+///
+/// Policies are applied with the raw `mbind` syscall on mmap'd regions — no
+/// libnuma dependency. On single-node machines, non-Linux builds, or when
+/// `mbind` is unavailable/refused, every allocation degrades to a plain
+/// 64-byte-aligned zeroed heap block: same semantics, no placement. Callers
+/// keep their own MemoryTracker registration (this layer does not account).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "common/assert.h"
+
+namespace terapart::par::numa {
+
+enum class Placement {
+  kLocal,
+  kInterleaved,
+  kBlocked,
+};
+
+[[nodiscard]] const char *placement_name(Placement placement);
+
+/// Parses "local" / "interleaved" / "blocked"; nullopt on anything else.
+[[nodiscard]] std::optional<Placement> parse_placement(std::string_view name);
+
+/// Policy for an allocation category, from the built-in table (longest
+/// matching category prefix wins) overridden by the `TP_NUMA_PLACEMENT`
+/// environment variable, a comma-separated `category=policy` list, e.g.
+/// `TP_NUMA_PLACEMENT=lp/sparse_array=blocked,fm/=interleaved`. Malformed
+/// entries are ignored (the built-in table applies).
+[[nodiscard]] Placement placement_for(std::string_view category);
+
+/// Testable core of placement_for: resolves against an explicit override
+/// spec (the parsed content of TP_NUMA_PLACEMENT); pass nullptr for none.
+[[nodiscard]] Placement placement_for_spec(std::string_view category, const char *spec);
+
+/// Whether placement is more than a no-op here (Linux, >1 NUMA node).
+[[nodiscard]] bool placement_effective();
+
+/// One placed allocation. Zero-initialized in every path (mmap pages or
+/// explicit memset). `mapped` records which deallocation path to take.
+struct PlacedBlock {
+  void *ptr = nullptr;
+  std::size_t bytes = 0;
+  bool mapped = false;
+};
+
+/// Allocates `bytes` (64-byte aligned, zeroed) under `placement`. Placement
+/// failures are silent best-effort: the memory is always valid, only the
+/// page-to-node mapping may fall back to first-touch.
+[[nodiscard]] PlacedBlock placed_alloc(std::size_t bytes, Placement placement);
+void placed_free(PlacedBlock &block);
+
+/// Typed RAII array over a PlacedBlock. Value-initializes its elements
+/// (atomics start at zero), so the structures built on it stay
+/// overcommit-free: every page is touched exactly once at construction.
+template <typename T> class NumaArray {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "NumaArray elements are freed without running destructors");
+
+public:
+  NumaArray() = default;
+
+  explicit NumaArray(const std::size_t size, const Placement placement = Placement::kLocal)
+      : _size(size) {
+    if (size == 0) {
+      return;
+    }
+    _block = placed_alloc(size * sizeof(T), placement);
+    std::uninitialized_value_construct_n(data(), size);
+  }
+
+  NumaArray(const NumaArray &) = delete;
+  NumaArray &operator=(const NumaArray &) = delete;
+
+  NumaArray(NumaArray &&other) noexcept : _block(other._block), _size(other._size) {
+    other._block = PlacedBlock{};
+    other._size = 0;
+  }
+
+  NumaArray &operator=(NumaArray &&other) noexcept {
+    if (this != &other) {
+      placed_free(_block);
+      _block = other._block;
+      _size = other._size;
+      other._block = PlacedBlock{};
+      other._size = 0;
+    }
+    return *this;
+  }
+
+  ~NumaArray() { placed_free(_block); }
+
+  [[nodiscard]] T *data() { return static_cast<T *>(_block.ptr); }
+  [[nodiscard]] const T *data() const { return static_cast<const T *>(_block.ptr); }
+  [[nodiscard]] std::size_t size() const { return _size; }
+  [[nodiscard]] bool empty() const { return _size == 0; }
+
+  [[nodiscard]] T &operator[](const std::size_t i) {
+    TP_ASSERT(i < _size);
+    return data()[i];
+  }
+  [[nodiscard]] const T &operator[](const std::size_t i) const {
+    TP_ASSERT(i < _size);
+    return data()[i];
+  }
+
+  [[nodiscard]] T *begin() { return data(); }
+  [[nodiscard]] T *end() { return data() + _size; }
+  [[nodiscard]] const T *begin() const { return data(); }
+  [[nodiscard]] const T *end() const { return data() + _size; }
+
+private:
+  PlacedBlock _block;
+  std::size_t _size = 0;
+};
+
+} // namespace terapart::par::numa

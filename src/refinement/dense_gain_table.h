@@ -2,6 +2,14 @@
 /// @brief The standard gain table: k affinity entries per vertex, O(nk)
 /// memory, lock-free atomic updates. This is the baseline that Section V's
 /// sparse table replaces.
+///
+/// Rows are padded to a cache-line multiple (8 EdgeWeight entries): during
+/// refinement, concurrent `notify_move` calls hit the rows of *different*
+/// vertices, and with the unpadded layout up to 8 small rows shared one line,
+/// turning independent updates into ping-ponged RMWs. The padding is pure
+/// layout — indexing uses `_stride`, accounting reports the padded footprint,
+/// and the table is placed via the NUMA layer (interleaved: refinement
+/// threads touch arbitrary rows).
 #pragma once
 
 #include <atomic>
@@ -9,6 +17,7 @@
 
 #include "common/memory_tracker.h"
 #include "common/types.h"
+#include "parallel/numa_alloc.h"
 #include "partition/partitioned_graph.h"
 
 namespace terapart {
@@ -16,12 +25,14 @@ namespace terapart {
 class DenseGainTable {
 public:
   DenseGainTable(const NodeID n, const BlockID k)
-      : _n(n), _k(k), _table(static_cast<std::size_t>(n) * k),
-        _tracked("fm/gain_table", static_cast<std::uint64_t>(n) * k * sizeof(EdgeWeight)) {}
+      : _n(n), _k(k), _stride(padded_stride(k)),
+        _table(static_cast<std::size_t>(n) * _stride,
+               par::numa::placement_for("fm/gain_table")),
+        _tracked("fm/gain_table", static_cast<std::uint64_t>(n) * _stride * sizeof(EdgeWeight)) {}
 
   template <typename Graph> void init(const Graph &graph, const PartitionedGraph &partitioned) {
     par::parallel_for_each<NodeID>(0, _n, [&](const NodeID u) {
-      const std::size_t row = static_cast<std::size_t>(u) * _k;
+      const std::size_t row = static_cast<std::size_t>(u) * _stride;
       for (BlockID b = 0; b < _k; ++b) {
         _table[row + b].store(0, std::memory_order_relaxed);
       }
@@ -36,26 +47,36 @@ public:
 
   template <typename Graph>
   [[nodiscard]] EdgeWeight connection(const Graph &, const NodeID u, const BlockID b) const {
-    return _table[static_cast<std::size_t>(u) * _k + b].load(std::memory_order_relaxed);
+    return _table[static_cast<std::size_t>(u) * _stride + b].load(std::memory_order_relaxed);
   }
 
   template <typename Graph>
   void notify_move(const Graph &graph, const NodeID u, const BlockID from, const BlockID to) {
     graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
-      const std::size_t row = static_cast<std::size_t>(v) * _k;
+      const std::size_t row = static_cast<std::size_t>(v) * _stride;
       _table[row + from].fetch_sub(w, std::memory_order_relaxed);
       _table[row + to].fetch_add(w, std::memory_order_relaxed);
     });
   }
 
   [[nodiscard]] std::uint64_t memory_bytes() const {
-    return static_cast<std::uint64_t>(_n) * _k * sizeof(EdgeWeight);
+    return static_cast<std::uint64_t>(_n) * _stride * sizeof(EdgeWeight);
   }
 
+  [[nodiscard]] std::size_t row_stride() const { return _stride; }
+
 private:
+  /// Entries per row: k rounded up to a full cache line of EdgeWeights.
+  [[nodiscard]] static std::size_t padded_stride(const BlockID k) {
+    constexpr std::size_t kEntriesPerLine = kCacheLineBytes / sizeof(EdgeWeight);
+    return (static_cast<std::size_t>(k) + kEntriesPerLine - 1) / kEntriesPerLine *
+           kEntriesPerLine;
+  }
+
   NodeID _n;
   BlockID _k;
-  std::vector<std::atomic<EdgeWeight>> _table;
+  std::size_t _stride;
+  par::numa::NumaArray<std::atomic<EdgeWeight>> _table;
   TrackedAlloc _tracked;
 };
 

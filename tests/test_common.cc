@@ -164,6 +164,71 @@ TEST(VarInt, GapRunDecodeMatchesElementWiseDecode) {
   }
 }
 
+TEST(VarInt, DispatchedGapRunDecodeMatchesBaseline) {
+  // The dispatched kernel (AVX2 where supported, otherwise the SSE2/scalar
+  // baseline itself) must be bit-identical to the baseline on the same fuzz
+  // stream shapes, including runs long enough to hit the 16-wide path and
+  // streams that alternate between 1-byte groups and multi-byte gaps.
+  Random rng(13);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t count = 1 + rng.next_bounded(trial % 3 == 0 ? 512 : 48);
+    std::vector<std::uint32_t> gaps(count);
+    for (auto &gap : gaps) {
+      switch (rng.next_bounded(6)) {
+      case 0:
+      case 1:
+      case 2: gap = static_cast<std::uint32_t>(rng.next_bounded(128)); break; // 1-byte
+      case 3: gap = static_cast<std::uint32_t>(rng.next_bounded(1u << 14)); break;
+      case 4: gap = static_cast<std::uint32_t>(rng.next_bounded(1u << 21)); break;
+      default: gap = static_cast<std::uint32_t>(rng()); break;
+      }
+    }
+    std::vector<std::uint8_t> buffer(gaps.size() * 5 + kVarIntDecodePadding);
+    std::size_t bytes = 0;
+    for (const std::uint32_t gap : gaps) {
+      bytes += varint_encode(gap, buffer.data() + bytes);
+    }
+    std::uint32_t prev_base = static_cast<std::uint32_t>(rng());
+    std::uint32_t prev_auto = prev_base;
+    std::vector<std::uint32_t> base(gaps.size() + 8);
+    std::vector<std::uint32_t> dispatched(gaps.size() + 8);
+    const std::uint8_t *end_base =
+        varint_gap_run_decode(buffer.data(), gaps.size(), prev_base, base.data());
+    const std::uint8_t *end_auto =
+        varint_gap_run_decode_auto(buffer.data(), gaps.size(), prev_auto, dispatched.data());
+    base.resize(gaps.size());
+    dispatched.resize(gaps.size());
+    EXPECT_EQ(dispatched, base) << "trial " << trial;
+    EXPECT_EQ(end_auto, end_base) << "trial " << trial;
+    EXPECT_EQ(prev_auto, prev_base) << "trial " << trial;
+  }
+}
+
+TEST(VarInt, IntervalFillMatchesScalar) {
+  Random rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint32_t count = rng.next_bounded(200);
+    const auto first = static_cast<std::uint32_t>(rng());
+    // Canary-guarded: interval_fill must write exactly `count` entries.
+    std::vector<std::uint32_t> out(count + 2, 0xdeadbeef);
+    interval_fill(first, count, out.data());
+    for (std::uint32_t i = 0; i < count; ++i) {
+      ASSERT_EQ(out[i], first + i) << "trial " << trial << " index " << i;
+    }
+    EXPECT_EQ(out[count], 0xdeadbeefu) << "trial " << trial;
+    EXPECT_EQ(out[count + 1], 0xdeadbeefu) << "trial " << trial;
+  }
+}
+
+TEST(VarInt, Avx2DispatchIsConsistent) {
+  // Whatever the CPU reports, the dispatch must be stable across calls (a
+  // per-process constant) — flapping would mix tiers mid-decode.
+  const bool first = varint_have_avx2();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(varint_have_avx2(), first);
+  }
+}
+
 TEST(VarInt, SignedFastDecodeRoundTrip) {
   std::uint8_t buffer[16 + kVarIntDecodePadding] = {};
   for (const std::int64_t value : {0L, 5L, -5L, 123456L, -123456L,

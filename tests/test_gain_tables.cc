@@ -189,6 +189,37 @@ TEST(SparseGainTable, DenseRowsForHighDegreeVertices) {
   }
 }
 
+TEST(DenseGainTable, PaddedRowStrideAndAccounting) {
+  // Rows are padded to whole cache lines so concurrent moves on different
+  // vertices never share a line; accounting must report the padded footprint.
+  MemoryTracker::global().reset();
+  const CsrGraph graph = gen::grid2d(8, 8);
+  {
+    DenseGainTable table(graph.n(), 3);
+    EXPECT_EQ(table.row_stride() % (kCacheLineBytes / sizeof(EdgeWeight)), 0u);
+    EXPECT_GE(table.row_stride(), 3u);
+    EXPECT_EQ(table.memory_bytes(),
+              static_cast<std::uint64_t>(graph.n()) * table.row_stride() * sizeof(EdgeWeight));
+    EXPECT_EQ(MemoryTracker::global().current("fm/gain_table"), table.memory_bytes());
+  }
+  EXPECT_EQ(MemoryTracker::global().current("fm/gain_table"), 0u);
+}
+
+TEST(SparseGainTable, StripedLocksAndAccounting) {
+  MemoryTracker::global().reset();
+  const CsrGraph graph = gen::grid2d(10, 10);
+  {
+    SparseGainTable table(graph, 4);
+    // Power-of-two stripe count, bounded by the vertex count.
+    EXPECT_GE(table.num_lock_stripes(), 1u);
+    EXPECT_EQ(table.num_lock_stripes() & (table.num_lock_stripes() - 1), 0u);
+    // The tracked bytes include the padded stripes (one cache line each).
+    EXPECT_EQ(MemoryTracker::global().current("fm/gain_table"), table.memory_bytes());
+    EXPECT_GE(table.memory_bytes(), table.num_lock_stripes() * kCacheLineBytes);
+  }
+  EXPECT_EQ(MemoryTracker::global().current("fm/gain_table"), 0u);
+}
+
 TEST(GainTables, GainFormulaMatchesCutDelta) {
   // gain(u, from, to) = conn(to) - conn(from) must equal the actual cut
   // change when the move is applied.

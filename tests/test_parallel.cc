@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "parallel/atomic_utils.h"
 #include "parallel/dual_counter.h"
+#include "parallel/numa_alloc.h"
 #include "parallel/parallel_for.h"
 #include "parallel/prefix_sum.h"
 #include "parallel/thread_local_storage.h"
@@ -266,6 +267,113 @@ TEST(ThreadPool, ChunkedLoopNearIndexMax) {
   EXPECT_EQ(iterations.load(), 10'000u);
   EXPECT_EQ(sum.load(), 10'000ULL * 9'999ULL / 2);
   set_num_threads(1);
+}
+
+// ----------------------------------------------------- NUMA placement ---
+//
+// These tests must pass on any machine: on single-node or non-Linux hosts
+// every policy degrades to a plain aligned zeroed allocation, and nothing
+// below asserts actual page-to-node bindings — only policy resolution and
+// allocation semantics.
+
+TEST(NumaPlacement, ParsesPolicyNames) {
+  EXPECT_EQ(numa::parse_placement("local"), numa::Placement::kLocal);
+  EXPECT_EQ(numa::parse_placement("interleaved"), numa::Placement::kInterleaved);
+  EXPECT_EQ(numa::parse_placement("blocked"), numa::Placement::kBlocked);
+  EXPECT_FALSE(numa::parse_placement("").has_value());
+  EXPECT_FALSE(numa::parse_placement("Local").has_value());
+  EXPECT_FALSE(numa::parse_placement("firsttouch").has_value());
+}
+
+TEST(NumaPlacement, PlacementNameRoundTrips) {
+  for (const auto placement : {numa::Placement::kLocal, numa::Placement::kInterleaved,
+                               numa::Placement::kBlocked}) {
+    EXPECT_EQ(numa::parse_placement(numa::placement_name(placement)), placement);
+  }
+}
+
+TEST(NumaPlacement, BuiltInTableByCategory) {
+  EXPECT_EQ(numa::placement_for_spec("lp/sparse_array", nullptr),
+            numa::Placement::kInterleaved);
+  EXPECT_EQ(numa::placement_for_spec("fm/gain_table", nullptr),
+            numa::Placement::kInterleaved);
+  EXPECT_EQ(numa::placement_for_spec("lp/aux", nullptr), numa::Placement::kBlocked);
+  EXPECT_EQ(numa::placement_for_spec("partition/partition", nullptr),
+            numa::Placement::kBlocked);
+  EXPECT_EQ(numa::placement_for_spec("contraction/mapping", nullptr),
+            numa::Placement::kBlocked);
+  EXPECT_EQ(numa::placement_for_spec("lp/rating_maps", nullptr), numa::Placement::kLocal);
+  EXPECT_EQ(numa::placement_for_spec("anything/else", nullptr), numa::Placement::kLocal);
+}
+
+TEST(NumaPlacement, SpecOverridesWithLongestPrefix) {
+  const char *spec = "fm/=interleaved,fm/gain_table=blocked";
+  EXPECT_EQ(numa::placement_for_spec("fm/gain_table", spec), numa::Placement::kBlocked);
+  EXPECT_EQ(numa::placement_for_spec("fm/other", spec), numa::Placement::kInterleaved);
+  // No matching prefix: fall back to the built-in table.
+  EXPECT_EQ(numa::placement_for_spec("lp/sparse_array", spec),
+            numa::Placement::kInterleaved);
+  // The empty prefix matches everything.
+  EXPECT_EQ(numa::placement_for_spec("lp/sparse_array", "=local"), numa::Placement::kLocal);
+  // Malformed entries are ignored.
+  EXPECT_EQ(numa::placement_for_spec("fm/gain_table", "garbage,fm/=nope"),
+            numa::Placement::kInterleaved);
+}
+
+TEST(NumaPlacement, PlacedAllocZeroedAlignedAndFreeable) {
+  for (const auto placement : {numa::Placement::kLocal, numa::Placement::kInterleaved,
+                               numa::Placement::kBlocked}) {
+    numa::PlacedBlock block = numa::placed_alloc(10'000, placement);
+    ASSERT_NE(block.ptr, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(block.ptr) % 64, 0u);
+    const auto *bytes = static_cast<const std::uint8_t *>(block.ptr);
+    for (std::size_t i = 0; i < 10'000; i += 997) {
+      ASSERT_EQ(bytes[i], 0u);
+    }
+    numa::placed_free(block);
+    EXPECT_EQ(block.ptr, nullptr);
+  }
+  numa::PlacedBlock empty = numa::placed_alloc(0, numa::Placement::kLocal);
+  EXPECT_EQ(empty.ptr, nullptr);
+  numa::placed_free(empty); // must be a no-op
+}
+
+TEST(NumaPlacement, NumaArrayValueInitializesAndMoves) {
+  numa::NumaArray<std::uint64_t> array(1000, numa::Placement::kInterleaved);
+  ASSERT_EQ(array.size(), 1000u);
+  for (const std::uint64_t value : array) {
+    ASSERT_EQ(value, 0u);
+  }
+  array[7] = 42;
+  numa::NumaArray<std::uint64_t> moved = std::move(array);
+  EXPECT_EQ(moved.size(), 1000u);
+  EXPECT_EQ(moved[7], 42u);
+  EXPECT_TRUE(array.empty()); // NOLINT(bugprone-use-after-move): moved-from is empty
+
+  numa::NumaArray<std::uint64_t> assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.size(), 1000u);
+  EXPECT_EQ(assigned[7], 42u);
+
+  const numa::NumaArray<std::uint64_t> empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.data(), nullptr);
+}
+
+TEST(NumaPlacement, NumaArrayOfAtomicsStartsAtZero) {
+  numa::NumaArray<std::atomic<std::int64_t>> array(257, numa::Placement::kBlocked);
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    ASSERT_EQ(array[i].load(std::memory_order_relaxed), 0);
+  }
+  array[0].fetch_add(3, std::memory_order_relaxed);
+  EXPECT_EQ(array[0].load(std::memory_order_relaxed), 3);
+}
+
+TEST(NumaPlacement, EffectiveReportsWithoutCrashing) {
+  // On this machine the answer may be either way; the call itself must be
+  // valid everywhere (it feeds the mmap-vs-heap decision in placed_alloc).
+  const bool effective = numa::placement_effective();
+  EXPECT_TRUE(effective || !effective);
 }
 
 } // namespace

@@ -3,8 +3,11 @@
 // (buffered flushing, first-setter uniqueness, concurrent correctness).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <map>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "coarsening/rating_map.h"
 #include "common/random.h"
@@ -110,6 +113,163 @@ TEST_P(AggregatorConcurrency, ConcurrentAddsAggregateExactly) {
 TEST_P(AggregatorConcurrency, ReusableAcrossRounds) {
   // The second phase clears and reuses the aggregator per bumped vertex.
   SharedSparseAggregator aggregator(100, 4, "test");
+  for (int round = 0; round < 10; ++round) {
+    par::parallel_for_each<std::uint32_t>(0, 5000, [&](const std::uint32_t i) {
+      aggregator.add(i % 100, 1);
+    });
+    aggregator.flush_all();
+    EdgeWeight total = 0;
+    NodeID entries = 0;
+    aggregator.for_each([&](ClusterID, const EdgeWeight w) {
+      total += w;
+      ++entries;
+    });
+    ASSERT_EQ(total, 5000) << "round " << round;
+    ASSERT_EQ(entries, 100u);
+    aggregator.clear();
+  }
+}
+
+TEST(ShardedSparseAggregator, GeometryIsCacheLineAligned) {
+  par::set_num_threads(4);
+  for (const std::size_t size :
+       {std::size_t{1}, std::size_t{63}, std::size_t{1000}, std::size_t{1} << 20}) {
+    ShardedSparseAggregator aggregator(size, 16, "test");
+    // Power-of-two shard width, at least one cache line, covering the array.
+    EXPECT_TRUE(std::has_single_bit(aggregator.shard_values())) << size;
+    EXPECT_EQ(aggregator.shard_values() * sizeof(EdgeWeight) % kCacheLineBytes, 0u) << size;
+    EXPECT_GE(aggregator.num_shards() * aggregator.shard_values(), size) << size;
+    EXPECT_EQ(aggregator.shard_of(0), 0u);
+    if (size > 1) {
+      EXPECT_EQ(aggregator.shard_of(static_cast<ClusterID>(size - 1)),
+                aggregator.num_shards() - 1)
+          << size;
+    }
+  }
+  par::set_num_threads(1);
+}
+
+TEST(ShardedSparseAggregator, TracksPaddedMemory) {
+  MemoryTracker::global().reset();
+  {
+    // 1000 values pad up to whole shards; the lock table is one cache line
+    // per shard. The tracked bytes must match the real footprint exactly.
+    ShardedSparseAggregator aggregator(1000, 16, "test/sharded");
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(aggregator.num_shards()) * aggregator.shard_values() *
+            sizeof(EdgeWeight) +
+        static_cast<std::uint64_t>(aggregator.num_shards()) * kCacheLineBytes;
+    EXPECT_EQ(aggregator.memory_bytes(), expected);
+    EXPECT_EQ(MemoryTracker::global().current("test/sharded"), expected);
+    EXPECT_GE(aggregator.memory_bytes(), 1000 * sizeof(EdgeWeight));
+  }
+  EXPECT_EQ(MemoryTracker::global().current("test/sharded"), 0u);
+}
+
+TEST(ShardedSparseAggregator, SingleThreadedMatchesReference) {
+  par::set_num_threads(1);
+  ShardedSparseAggregator aggregator(500, 16, "test");
+  std::map<ClusterID, EdgeWeight> reference;
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto cluster = static_cast<ClusterID>(rng.next_bounded(500));
+    const auto weight = static_cast<EdgeWeight>(1 + rng.next_bounded(9));
+    aggregator.add(cluster, weight);
+    reference[cluster] += weight;
+  }
+  aggregator.flush_all();
+
+  std::map<ClusterID, EdgeWeight> seen;
+  std::set<ClusterID> visited;
+  aggregator.for_each([&](const ClusterID c, const EdgeWeight w) {
+    EXPECT_TRUE(visited.insert(c).second) << "duplicate cluster " << c;
+    seen[c] = w;
+  });
+  EXPECT_EQ(seen, reference);
+
+  aggregator.clear();
+  bool any = false;
+  aggregator.for_each([&](ClusterID, EdgeWeight) { any = true; });
+  EXPECT_FALSE(any);
+}
+
+TEST(ShardedSparseAggregator, SingleThreadedIterationOrderMatchesFlatBaseline) {
+  // The determinism contract: on one thread, the sharded aggregator must
+  // produce the exact iteration sequence of the flat-atomic baseline —
+  // select_and_move consumes tie-break randomness in iteration order, so any
+  // reordering would change single-threaded partition results.
+  par::set_num_threads(1);
+  SharedSparseAggregator flat(500, 8, "test");
+  ShardedSparseAggregator sharded(500, 8, "test");
+  Random rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const auto cluster = static_cast<ClusterID>(rng.next_bounded(500));
+    const auto weight = static_cast<EdgeWeight>(1 + rng.next_bounded(4));
+    flat.add(cluster, weight);
+    sharded.add(cluster, weight);
+  }
+  flat.flush_all();
+  sharded.flush_all();
+
+  std::vector<std::pair<ClusterID, EdgeWeight>> flat_seq;
+  std::vector<std::pair<ClusterID, EdgeWeight>> sharded_seq;
+  flat.for_each([&](const ClusterID c, const EdgeWeight w) { flat_seq.emplace_back(c, w); });
+  sharded.for_each(
+      [&](const ClusterID c, const EdgeWeight w) { sharded_seq.emplace_back(c, w); });
+  EXPECT_EQ(flat_seq, sharded_seq);
+}
+
+TEST(ShardedSparseAggregator, ClearDiscardsUnflushedBuffers) {
+  par::set_num_threads(1);
+  ShardedSparseAggregator aggregator(100, 16, "test");
+  aggregator.add(7, 5); // buffered, never flushed
+  aggregator.clear();
+  aggregator.add(7, 2);
+  aggregator.flush_all();
+  EdgeWeight value = 0;
+  aggregator.for_each([&](const ClusterID c, const EdgeWeight w) {
+    EXPECT_EQ(c, 7u);
+    value = w;
+  });
+  EXPECT_EQ(value, 2); // the pre-clear buffered 5 must not leak through
+}
+
+class ShardedAggregatorConcurrency : public ::testing::TestWithParam<int> {
+protected:
+  void SetUp() override { par::set_num_threads(GetParam()); }
+  void TearDown() override { par::set_num_threads(1); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Threads, ShardedAggregatorConcurrency, ::testing::Values(1, 2, 4, 8));
+
+TEST_P(ShardedAggregatorConcurrency, ConcurrentAddsAggregateExactly) {
+  constexpr ClusterID kClusters = 1000;
+  constexpr std::uint32_t kContributions = 200'000;
+  ShardedSparseAggregator aggregator(kClusters, 8, "test"); // tiny buffers: many flushes
+
+  std::vector<EdgeWeight> expected(kClusters, 0);
+  for (std::uint32_t i = 0; i < kContributions; ++i) {
+    expected[(i * 2654435761u) % kClusters] += 1 + static_cast<EdgeWeight>(i % 5);
+  }
+
+  par::parallel_for_each<std::uint32_t>(0, kContributions, [&](const std::uint32_t i) {
+    aggregator.add((i * 2654435761u) % kClusters, 1 + static_cast<EdgeWeight>(i % 5));
+  });
+  aggregator.flush_all();
+
+  std::set<ClusterID> visited;
+  std::vector<EdgeWeight> actual(kClusters, 0);
+  aggregator.for_each([&](const ClusterID c, const EdgeWeight w) {
+    ASSERT_TRUE(visited.insert(c).second) << "duplicate first-setter entry for " << c;
+    actual[c] = w;
+  });
+  for (ClusterID c = 0; c < kClusters; ++c) {
+    ASSERT_EQ(actual[c], expected[c]) << "cluster " << c;
+  }
+}
+
+TEST_P(ShardedAggregatorConcurrency, ReusableAcrossRounds) {
+  ShardedSparseAggregator aggregator(100, 4, "test");
   for (int round = 0; round < 10; ++round) {
     par::parallel_for_each<std::uint32_t>(0, 5000, [&](const std::uint32_t i) {
       aggregator.add(i % 100, 1);
