@@ -25,6 +25,7 @@
 #include "generators/generators.h"
 #include "parallel/thread_pool.h"
 #include "partition/partitioner.h"
+#include "partition/facade.h"
 
 namespace terapart::bench {
 
@@ -55,7 +56,7 @@ RunMeasurement measured_partition(const Graph &input, const Context &ctx,
                                   const std::uint64_t excluded_bytes) {
   MemoryTracker::global().reset_peak();
   Timer timer;
-  const PartitionResult result = partition_graph(input, ctx);
+  const PartitionResult result = Partitioner(ctx).partition(input);
   RunMeasurement out;
   out.seconds = timer.elapsed_s();
   const std::uint64_t peak = MemoryTracker::global().peak();

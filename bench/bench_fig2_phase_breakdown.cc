@@ -22,6 +22,7 @@
 #include "partition/metrics.h"
 #include "partition/partitioned_graph.h"
 #include "refinement/fm_refiner.h"
+#include "partition/facade.h"
 
 namespace {
 
@@ -62,7 +63,7 @@ PhasePeaks run_config(const CsrGraph &source, const bool optimized, const BlockI
   Context ctx = optimized ? terapart_fm_context(k, 3) : kaminpar_context(k, 3);
   ctx.use_fm = true;
   ctx.fm.gain_table = optimized ? GainTableKind::kSparse : GainTableKind::kDense;
-  const PartitionResult coarse_result = partition_graph(contracted.graph, ctx);
+  const PartitionResult coarse_result = Partitioner(ctx).partition(contracted.graph);
   std::vector<BlockID> projected(source.n());
   for (NodeID u = 0; u < source.n(); ++u) {
     projected[u] = coarse_result.partition[contracted.mapping[u]];

@@ -69,7 +69,7 @@ int run_preset_sweep(const bool smoke, const std::string &out_dir) {
         last_input = copy_graph(source, "graph");
         MemoryTracker::global().reset_peak();
         Timer timer;
-        PartitionResult result = partition_graph(last_input, ctx);
+        PartitionResult result = Partitioner(ctx).partition(last_input);
         const double seconds = timer.elapsed_s();
         const std::uint64_t peak = MemoryTracker::global().peak();
 

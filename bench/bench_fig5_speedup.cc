@@ -11,6 +11,7 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include "partition/facade.h"
 
 int main() {
   using namespace terapart;
@@ -44,13 +45,13 @@ int main() {
       par::set_num_threads(1);
       Timer timer;
       const Context ctx = terapart_context(k, 3);
-      (void)partition_graph(source, ctx);
+      (void)Partitioner(ctx).partition(source);
       instance.sequential_seconds = timer.elapsed_s();
 
       for (const int p : thread_counts) {
         par::set_num_threads(p);
         Timer parallel_timer;
-        (void)partition_graph(source, ctx);
+        (void)Partitioner(ctx).partition(source);
         instance.speedup[p] = instance.sequential_seconds / parallel_timer.elapsed_s();
       }
       instances.push_back(std::move(instance));

@@ -16,6 +16,7 @@
 #include "partition/metrics.h"
 #include "partition/partitioned_graph.h"
 #include "refinement/fm_refiner.h"
+#include "partition/facade.h"
 
 int main() {
   using namespace terapart;
@@ -67,7 +68,7 @@ int main() {
       ++instances;
 
       // Common starting point: a TeraPart-LP partition.
-      const PartitionResult lp = partition_graph(graph, terapart_context(k, 3));
+      const PartitionResult lp = Partitioner(terapart_context(k, 3)).partition(graph);
       cuts["TeraPart-LP"].push_back(static_cast<double>(lp.cut));
       const BlockWeight bound =
           metrics::max_block_weight(graph.total_node_weight(), k, 0.03);

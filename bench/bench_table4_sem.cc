@@ -13,6 +13,7 @@
 #include "baselines/heistream_like.h"
 #include "baselines/semi_external.h"
 #include "graph/graph_io.h"
+#include "partition/facade.h"
 
 int main() {
   using namespace terapart;
@@ -78,7 +79,7 @@ int main() {
   for (const auto &spec : {"rgg2d:n=60000,deg=16", "rhg:n=60000,deg=16,gamma=3.0"}) {
     const CsrGraph graph = gen::by_spec(spec, 9);
     Context ctx = terapart_context(stream_k, 3);
-    const PartitionResult multilevel = partition_graph(graph, ctx);
+    const PartitionResult multilevel = Partitioner(ctx).partition(graph);
     const PartitionResult streaming =
         baselines::heistream_like_partition(graph, stream_k, 0.03, 3);
     std::printf("%-8s %16lld %16lld %9.2fx\n",

@@ -10,6 +10,7 @@
 /// same derived metrics. The cut fractions and the aux-memory-much-smaller-
 /// than-graph relationship are the reproducible shape.
 #include "bench_common.h"
+#include "partition/facade.h"
 
 int main() {
   using namespace terapart;
@@ -48,7 +49,7 @@ int main() {
 
     MemoryTracker::global().reset_peak();
     Timer partition_timer;
-    const PartitionResult result = partition_graph(input, terapart_context(k, 3));
+    const PartitionResult result = Partitioner(terapart_context(k, 3)).partition(input);
     const double partition_seconds = partition_timer.elapsed_s();
     const std::uint64_t peak = MemoryTracker::global().peak() - excluded;
     const std::uint64_t aux = peak > input.memory_bytes() ? peak - input.memory_bytes() : 0;

@@ -10,6 +10,7 @@
 #include "distributed/dist_partitioner.h"
 #include "generators/generators.h"
 #include "parallel/thread_pool.h"
+#include "partition/facade.h"
 
 int main(int argc, char **argv) {
   using namespace terapart;
@@ -18,7 +19,12 @@ int main(int argc, char **argv) {
   par::set_num_threads(argc > 2 ? std::atoi(argv[2]) : 4);
 
   const CsrGraph graph = gen::rgg2d(n, 16, /*seed=*/3);
-  const Context ctx = terapart_context(/*k=*/64, /*seed=*/7);
+  auto built = ContextBuilder(Preset::kTeraPart).k(64).seed(7).build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.error().to_string().c_str());
+    return 1;
+  }
+  const Context ctx = std::move(built).value();
   std::printf("graph: n=%u m=%llu, k=64\n\n", graph.n(),
               static_cast<unsigned long long>(graph.m()));
 

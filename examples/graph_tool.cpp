@@ -5,10 +5,12 @@
 /// terapart_cli.
 ///
 /// Usage:
-///   graph_tool stats    <graph>                 structural summary
-///   graph_tool convert  <in> <out>              .metis <-> .tpg by extension
-///   graph_tool compress <graph>                 compression report
-///   graph_tool check    <graph> <partition> <k> validate a partition file
+///   graph_tool stats     <graph>                  structural summary
+///   graph_tool convert   <in> <out>               .metis <-> .tpg by extension
+///   graph_tool compress  <graph>                  compression report
+///   graph_tool check     <graph> <partition> <k>  validate a partition file
+///   graph_tool partition <graph> <k> [preset] [out-file]
+///                                                 partition via the facade
 ///
 /// <graph> is a .metis / .tpg file or gen:SPEC.
 #include <cstdio>
@@ -146,12 +148,50 @@ int cmd_check(const std::string &graph_arg, const std::string &partition_file,
   return 0;
 }
 
+int cmd_partition(const std::string &graph_arg, const std::string &k_arg,
+                  const std::string &preset_arg, const std::string &out_file) {
+  const auto preset = preset_from_name(preset_arg);
+  if (!preset) {
+    std::fprintf(stderr, "unknown preset '%s' (kaminpar|terapart|terapart-fm|fast|strong)\n",
+                 preset_arg.c_str());
+    return 1;
+  }
+  auto built = ContextBuilder(*preset)
+                   .k(static_cast<BlockID>(std::atoi(k_arg.c_str())))
+                   .seed(1)
+                   .build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.error().to_string().c_str());
+    return 1;
+  }
+  const CsrGraph graph = load(graph_arg);
+  const Partitioner partitioner(std::move(built).value());
+  const PartitionResult result = partitioner.partition(graph);
+  std::printf("cut        %lld\n", static_cast<long long>(result.cut));
+  std::printf("imbalance  %.4f (%s)\n", result.imbalance,
+              result.balanced ? "balanced" : "IMBALANCED");
+  std::printf("levels     %d\n", result.num_levels);
+  if (!out_file.empty()) {
+    std::ofstream out(out_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_file.c_str());
+      return 1;
+    }
+    for (const BlockID b : result.partition) {
+      out << b << '\n';
+    }
+    std::printf("wrote %s (%zu lines)\n", out_file.c_str(), result.partition.size());
+  }
+  return 0;
+}
+
 void usage() {
-  std::fprintf(stderr, "usage: graph_tool stats|convert|compress|check <args...>\n"
-                       "  stats    <graph>\n"
-                       "  convert  <in> <out>\n"
-                       "  compress <graph>\n"
-                       "  check    <graph> <partition-file> <k>\n"
+  std::fprintf(stderr, "usage: graph_tool stats|convert|compress|check|partition <args...>\n"
+                       "  stats     <graph>\n"
+                       "  convert   <in> <out>\n"
+                       "  compress  <graph>\n"
+                       "  check     <graph> <partition-file> <k>\n"
+                       "  partition <graph> <k> [preset] [out-file]\n"
                        "<graph> = file.metis | file.tpg | gen:SPEC\n");
 }
 
@@ -175,6 +215,10 @@ int main(int argc, char **argv) {
     }
     if (command == "check" && argc >= 5) {
       return cmd_check(argv[2], argv[3], static_cast<terapart::BlockID>(std::atoi(argv[4])));
+    }
+    if (command == "partition" && argc >= 4) {
+      return cmd_partition(argv[2], argv[3], argc >= 5 ? argv[4] : "terapart",
+                           argc >= 6 ? argv[5] : "");
     }
   } catch (const std::exception &error) {
     std::fprintf(stderr, "error: %s\n", error.what());

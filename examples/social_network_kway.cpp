@@ -12,6 +12,7 @@
 #include "generators/generators.h"
 #include "parallel/thread_pool.h"
 #include "partition/partitioner.h"
+#include "partition/facade.h"
 
 int main(int argc, char **argv) {
   using namespace terapart;
@@ -29,8 +30,8 @@ int main(int argc, char **argv) {
               "FM gain");
 
   for (const BlockID k : {4, 16, 64, 256}) {
-    const PartitionResult lp = partition_graph(graph, terapart_context(k, 1));
-    const PartitionResult fm = partition_graph(graph, terapart_fm_context(k, 1));
+    const PartitionResult lp = Partitioner(terapart_context(k, 1)).partition(graph);
+    const PartitionResult fm = Partitioner(terapart_fm_context(k, 1)).partition(graph);
     const double lp_frac = 100.0 * static_cast<double>(lp.cut) / undirected_m;
     const double fm_frac = 100.0 * static_cast<double>(fm.cut) / undirected_m;
     std::printf("%6u %17.2f%% %17.2f%% %11.1f%%\n", k, lp_frac, fm_frac,

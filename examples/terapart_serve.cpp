@@ -1,0 +1,132 @@
+/// terapart_serve — the partitioning daemon (DESIGN.md §14).
+///
+/// Reads NDJSON job requests from stdin (one JSON object per line), submits
+/// them to a PartitionService over a shared graph store + session cache,
+/// and streams one NDJSON run report ("terapart.run_report/v1") per job to
+/// stdout in submission order. Jobs for the same graph share one compressed
+/// graph and one retained hierarchy; overload is shed, not failed.
+///
+///   $ { echo '{"graph": "gen:rgg2d:n=20000,deg=8", "k": 8}';
+///       echo '{"graph": "gen:rgg2d:n=20000,deg=8", "k": 64, "seed": 3}';
+///     } | terapart_serve --workers 4
+///
+/// Rejected submissions (invalid JSON, unknown preset, k < 2, ...) produce
+/// one NDJSON error record in place of a report, and the daemon keeps
+/// serving: a bad request must never take the process down.
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <iostream>
+#include <string>
+
+#include "terapart.h"
+
+namespace {
+
+void usage() {
+  std::cout << "usage: terapart_serve [options] < requests.ndjson > reports.ndjson\n"
+               "  --workers N          concurrent job workers (default 4)\n"
+               "  --threads-per-job N  pool threads per job; requires --workers 1\n"
+               "  --queue N            job queue capacity (default 64)\n"
+               "  --memory-budget MB   admission-control budget in MiB (0 = unlimited)\n"
+               "  --session-budget MB  retained-hierarchy cache budget in MiB\n"
+               "  --preset NAME        default preset (fast|kaminpar|terapart|terapart-fm|strong)\n"
+               "  --hierarchy-k K      hierarchy pinning: coarsen for K blocks (default 64)\n"
+               "  --help\n"
+               "\n"
+               "request lines: {\"graph\": \"gen:rgg2d:n=20000,deg=8\", \"k\": 8,\n"
+               "                \"epsilon\": 0.03, \"seed\": 1, \"preset\": \"terapart\",\n"
+               "                \"id\": \"my-job\"}\n";
+}
+
+/// One NDJSON error record (same channel as the reports, so a consumer can
+/// correlate by line).
+void emit_rejection(const std::uint64_t line_no, const std::string &line,
+                    const terapart::Error &error) {
+  terapart::json::Value doc = terapart::json::Value::object();
+  doc["schema"] = "terapart.job_rejected/v1";
+  doc["line"] = line_no;
+  doc["request_line"] = line;
+  doc["error"] = error.to_string();
+  std::cout << doc.dump(-1) << "\n" << std::flush;
+}
+
+} // namespace
+
+int main(const int argc, char **argv) {
+  using terapart::service::PartitionService;
+
+  terapart::service::ServiceConfigBuilder builder;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char * {
+      if (i + 1 >= argc) {
+        std::cerr << "terapart_serve: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--workers") {
+      builder.workers(std::atoi(next()));
+    } else if (arg == "--threads-per-job") {
+      builder.threads_per_job(std::atoi(next()));
+    } else if (arg == "--queue") {
+      builder.queue_capacity(static_cast<std::size_t>(std::atoll(next())));
+    } else if (arg == "--memory-budget") {
+      builder.memory_budget_bytes(static_cast<std::uint64_t>(std::atoll(next())) << 20U);
+    } else if (arg == "--session-budget") {
+      builder.session_budget_bytes(static_cast<std::uint64_t>(std::atoll(next())) << 20U);
+    } else if (arg == "--preset") {
+      builder.default_preset(next());
+    } else if (arg == "--hierarchy-k") {
+      builder.hierarchy_k(static_cast<terapart::BlockID>(std::atoll(next())));
+    } else {
+      std::cerr << "terapart_serve: unknown option " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  auto config = builder.build();
+  if (!config.ok()) {
+    std::cerr << "terapart_serve: " << config.error().to_string() << "\n";
+    return 2;
+  }
+  PartitionService service(std::move(config).value());
+
+  // Reports stream in submission order: handles queue here, and every
+  // already-terminal prefix is flushed after each submit so a long stream
+  // does not accumulate unbounded state.
+  std::deque<PartitionService::JobHandle> pending;
+  const auto flush = [&](const bool wait_all) {
+    while (!pending.empty() &&
+           (wait_all || terapart::service::job_state_terminal(pending.front().state()))) {
+      const terapart::service::JobResult &result = pending.front().wait();
+      std::cout << service.job_report(result).to_ndjson_line() << std::flush;
+      pending.pop_front();
+    }
+  };
+
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue; // blank line
+    }
+    auto handle = service.submit_line(line);
+    if (!handle.ok()) {
+      emit_rejection(line_no, line, handle.error());
+    } else {
+      pending.push_back(std::move(handle).value());
+    }
+    flush(/*wait_all=*/false);
+  }
+  flush(/*wait_all=*/true);
+
+  std::cerr << "terapart_serve: " << service.stats_json().dump(-1) << "\n";
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "graph/graph_io.h"
 #include "parallel/thread_pool.h"
 #include "partition/partitioner.h"
+#include "partition/facade.h"
 
 int main(int argc, char **argv) {
   using namespace terapart;
@@ -62,7 +63,7 @@ int main(int argc, char **argv) {
 
   // --- Partition straight from the compressed graph ----------------------
   // Neighborhoods are decoded on the fly; no uncompressed copy ever exists.
-  const PartitionResult result = partition_graph(streamed, terapart_context(64, 3));
+  const PartitionResult result = Partitioner(terapart_context(64, 3)).partition(streamed);
   std::printf("partitioned compressed graph into 64 blocks: cut %.2f%% of edges, %s\n",
               100.0 * static_cast<double>(result.cut) / static_cast<double>(graph.m() / 2),
               result.balanced ? "balanced" : "IMBALANCED");

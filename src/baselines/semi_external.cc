@@ -10,6 +10,7 @@
 #include "graph/graph_io.h"
 #include "partition/context.h"
 #include "partition/metrics.h"
+#include "partition/stages.h"
 
 namespace terapart::baselines {
 
@@ -147,7 +148,7 @@ SemiExternalResult semi_external_partition(const std::filesystem::path &path, co
   // --- Internal multilevel partitioning of the coarse graph. ---
   Context ctx = terapart_context(k, seed);
   ctx.epsilon = epsilon;
-  const PartitionResult coarse_result = partition_graph(coarse, ctx);
+  const PartitionResult coarse_result = run_multilevel_pipeline(coarse, ctx);
 
   // --- Project and polish with semi-external LP refinement. ---
   std::vector<BlockID> partition(n);

@@ -8,7 +8,7 @@
 /// memory pressure are reported as values instead of exceptions or aborts.
 /// Hand-rolled because the toolchain baseline predates `std::expected`.
 ///
-/// The taxonomy groups codes into three families (see DESIGN.md §9):
+/// The taxonomy groups codes into four families (see DESIGN.md §9):
 ///  - **IoError** — the OS refused an operation (open/read/write/seek);
 ///    carries the path, the byte offset, and the captured errno.
 ///  - **FormatError** — the bytes were read fine but do not form a valid
@@ -16,6 +16,9 @@
 ///    malformed METIS text); carries path plus line/column for text formats.
 ///  - **ResourceError** — an allocation or address-space reservation failed;
 ///    carries the requested size in `offset`.
+///  - **ConfigError** — a configuration was rejected by eager validation
+///    (`ContextBuilder::build`, `ServiceConfigBuilder::build`, job-request
+///    parsing); carries the offending field name in `field`.
 #pragma once
 
 #include <cstring>
@@ -33,6 +36,7 @@ enum class ErrorKind : std::uint8_t {
   kIo,       ///< the OS refused an I/O operation
   kFormat,   ///< the input bytes are not a valid graph file
   kResource, ///< allocation / address-space reservation failed
+  kConfig,   ///< a configuration or request failed eager validation
   kInternal, ///< escaped exception or broken invariant
 };
 
@@ -47,6 +51,8 @@ enum class ErrorCode : std::uint8_t {
   kCorruptHeader,
   kCorruptData,
   kParseError,
+  // ConfigError family.
+  kInvalidConfig,
   // ResourceError family.
   kReservationFailed,
   kAllocFailed,
@@ -66,6 +72,8 @@ enum class ErrorCode : std::uint8_t {
   case ErrorCode::kCorruptData:
   case ErrorCode::kParseError:
     return ErrorKind::kFormat;
+  case ErrorCode::kInvalidConfig:
+    return ErrorKind::kConfig;
   case ErrorCode::kReservationFailed:
   case ErrorCode::kAllocFailed:
     return ErrorKind::kResource;
@@ -85,6 +93,7 @@ enum class ErrorCode : std::uint8_t {
   case ErrorCode::kCorruptHeader: return "corrupt_header";
   case ErrorCode::kCorruptData: return "corrupt_data";
   case ErrorCode::kParseError: return "parse_error";
+  case ErrorCode::kInvalidConfig: return "invalid_config";
   case ErrorCode::kReservationFailed: return "reservation_failed";
   case ErrorCode::kAllocFailed: return "alloc_failed";
   case ErrorCode::kInternal: return "internal";
@@ -95,11 +104,14 @@ enum class ErrorCode : std::uint8_t {
 /// One failure, as a value. Fields beyond `code` and `message` are filled
 /// when they apply: `path`/`offset`/`sys_errno` for I/O, `line`/`column`
 /// (1-based) for text formats, `offset` = requested bytes for resource
-/// failures.
+/// failures, `field` = the offending builder/request field for config
+/// rejections.
 struct Error {
   ErrorCode code = ErrorCode::kInternal;
   std::string message;
   std::string path;
+  /// Offending configuration field ("k", "workers", ...); kConfig only.
+  std::string field;
   std::uint64_t offset = 0;
   std::uint64_t line = 0;
   std::uint64_t column = 0;
@@ -108,8 +120,14 @@ struct Error {
   [[nodiscard]] ErrorKind kind() const { return error_kind(code); }
 
   /// "short_read: g.tpg:+1024: unexpected end of file (errno 0)" style
-  /// one-liner for logs and the throwing compatibility wrappers.
+  /// one-liner for logs and the throwing compatibility wrappers. Config
+  /// rejections keep the historic `ConfigError::to_string()` shape
+  /// ("invalid configuration: <field>: <message>") so call sites and tests
+  /// written against the old type see identical text.
   [[nodiscard]] std::string to_string() const {
+    if (code == ErrorCode::kInvalidConfig) {
+      return "invalid configuration: " + field + ": " + message;
+    }
     std::string out = error_code_name(code);
     if (!path.empty()) {
       out += ": ";
@@ -175,6 +193,16 @@ struct Error {
   error.message = std::move(message);
   error.offset = requested_bytes;
   error.sys_errno = sys_errno;
+  return error;
+}
+
+/// ConfigError: eager validation rejected `field`. The message is
+/// actionable: it names the bad value and the accepted range.
+[[nodiscard]] inline Error config_error(std::string field, std::string message) {
+  Error error;
+  error.code = ErrorCode::kInvalidConfig;
+  error.field = std::move(field);
+  error.message = std::move(message);
   return error;
 }
 

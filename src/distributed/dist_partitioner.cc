@@ -4,6 +4,7 @@
 #include "common/math.h"
 #include "distributed/dist_contraction.h"
 #include "partition/metrics.h"
+#include "partition/stages.h"
 
 namespace terapart::dist {
 
@@ -108,7 +109,7 @@ DistPartitionResult dist_partition(const CsrGraph &graph, const int num_ranks,
   for (int r = 0; r < num_ranks; ++r) {
     Context rank_ctx = ctx;
     rank_ctx.seed = ctx.seed * 31 + static_cast<std::uint64_t>(r);
-    PartitionResult candidate = partition_graph(coarsest, rank_ctx);
+    PartitionResult candidate = run_multilevel_pipeline(coarsest, rank_ctx);
     if (best_partition.empty() || (candidate.balanced && candidate.cut < best_cut)) {
       best_cut = candidate.cut;
       best_partition = std::move(candidate.partition);

@@ -129,54 +129,54 @@ ContextBuilder &ContextBuilder::cancel(CancellationToken token) {
   return *this;
 }
 
-Result<Context, ConfigError> ContextBuilder::build() const {
+Result<Context, Error> ContextBuilder::build() const {
   if (_ctx.k < 2) {
-    return ConfigError{"k", "got " + std::to_string(_ctx.k) +
-                                "; a partition needs at least 2 blocks (use k >= 2)"};
+    return config_error("k", "got " + std::to_string(_ctx.k) +
+                                 "; a partition needs at least 2 blocks (use k >= 2)");
   }
   if (!std::isfinite(_ctx.epsilon) || _ctx.epsilon < 0.0) {
-    return ConfigError{"epsilon", "got " + std::to_string(_ctx.epsilon) +
-                                      "; the balance slack must be a finite value >= 0 "
-                                      "(0.03 is the common default)"};
+    return config_error("epsilon", "got " + std::to_string(_ctx.epsilon) +
+                                       "; the balance slack must be a finite value >= 0 "
+                                       "(0.03 is the common default)");
   }
   if (_ctx.coarsening.lp.bump_threshold == 0 ||
       _ctx.coarsening.contraction.bump_threshold == 0) {
-    return ConfigError{"bump_threshold",
-                       "got 0; the high-degree bump threshold must be > 0 "
-                       "(vertices with more neighbors than this take the "
-                       "second-phase path)"};
+    return config_error("bump_threshold",
+                        "got 0; the high-degree bump threshold must be > 0 "
+                        "(vertices with more neighbors than this take the "
+                        "second-phase path)");
   }
   if (_ctx.threads < 0) {
-    return ConfigError{"threads", "got " + std::to_string(_ctx.threads) +
-                                      "; use a positive worker count, or 0 to keep "
-                                      "the current global pool"};
+    return config_error("threads", "got " + std::to_string(_ctx.threads) +
+                                       "; use a positive worker count, or 0 to keep "
+                                       "the current global pool");
   }
   const unsigned hw = std::thread::hardware_concurrency();
   if (hw != 0 && _ctx.threads > static_cast<int>(8 * hw)) {
-    return ConfigError{"threads",
-                       "got " + std::to_string(_ctx.threads) + " on a machine with " +
-                           std::to_string(hw) +
-                           " hardware threads; oversubscribing by more than 8x only "
-                           "adds scheduling noise"};
+    return config_error("threads",
+                        "got " + std::to_string(_ctx.threads) + " on a machine with " +
+                            std::to_string(hw) +
+                            " hardware threads; oversubscribing by more than 8x only "
+                            "adds scheduling noise");
   }
   // Engine names are validated eagerly, so an unregistered engine is a
-  // ConfigError here instead of an exception deep inside the run.
+  // config error here instead of an exception deep inside the run.
   EngineRegistry &registry = EngineRegistry::global();
   if (!registry.has_coarsening(_ctx.coarsening_engine)) {
-    return ConfigError{"coarsening_engine",
-                       "unknown engine \"" + _ctx.coarsening_engine +
-                           "\"; registered: " + join_names(registry.coarsening_names())};
+    return config_error("coarsening_engine",
+                        "unknown engine \"" + _ctx.coarsening_engine +
+                            "\"; registered: " + join_names(registry.coarsening_names()));
   }
   if (!registry.has_initial(_ctx.initial_engine)) {
-    return ConfigError{"initial_engine",
-                       "unknown engine \"" + _ctx.initial_engine +
-                           "\"; registered: " + join_names(registry.initial_names())};
+    return config_error("initial_engine",
+                        "unknown engine \"" + _ctx.initial_engine +
+                            "\"; registered: " + join_names(registry.initial_names()));
   }
   const std::string refinement = resolved_refinement_engine(_ctx);
   if (!registry.has_refinement(refinement)) {
-    return ConfigError{"refinement_engine",
-                       "unknown engine \"" + refinement +
-                           "\"; registered: " + join_names(registry.refinement_names())};
+    return config_error("refinement_engine",
+                        "unknown engine \"" + refinement +
+                            "\"; registered: " + join_names(registry.refinement_names()));
   }
   return _ctx;
 }
@@ -280,6 +280,23 @@ Context PartitionSession::request_context(const BlockID k, const double epsilon,
   return ctx;
 }
 
+namespace {
+
+/// Applies the per-request knobs that do not change hierarchy identity.
+void apply_overrides(Context &request, const PartitionSession::RequestOverrides &overrides) {
+  if (overrides.cancel.has_value()) {
+    request.cancel = *overrides.cancel;
+  }
+  if (overrides.progress.has_value()) {
+    request.progress = *overrides.progress;
+  }
+  if (overrides.contraction_one_pass.has_value()) {
+    request.coarsening.contraction.one_pass = *overrides.contraction_one_pass;
+  }
+}
+
+} // namespace
+
 template <typename Graph>
 PartitionResult PartitionSession::serve(const Graph &graph, const Context &request) {
   if (request.threads > 0 && request.threads != par::num_threads()) {
@@ -298,12 +315,32 @@ PartitionResult PartitionSession::serve(const Graph &graph, const Context &reque
 }
 
 PartitionResult PartitionSession::partition(const BlockID k, const double epsilon,
-                                            const std::uint64_t seed) {
-  const Context request = request_context(k, epsilon, seed);
+                                            const std::uint64_t seed,
+                                            const RequestOverrides &overrides) {
+  Context request = request_context(k, epsilon, seed);
+  apply_overrides(request, overrides);
   if (const auto *csr = std::get_if<const CsrGraph *>(&_graph)) {
     return serve(**csr, request);
   }
   return serve(*std::get<const CompressedGraph *>(_graph), request);
+}
+
+PartitionResult PartitionSession::partition_shared(const BlockID k, const double epsilon,
+                                                   const std::uint64_t seed,
+                                                   const RequestOverrides &overrides) const {
+  TP_ASSERT_MSG(_hierarchy != nullptr,
+                "partition_shared requires a built hierarchy (call partition() once first)");
+  // Read-only serve: the retained hierarchy is passed in but never written
+  // back (no hierarchy_out), no session member mutates, and the global pool
+  // is left alone — which is what makes concurrent calls safe.
+  Context request = request_context(k, epsilon, seed);
+  apply_overrides(request, overrides);
+  PipelineOptions options;
+  options.retained = _hierarchy;
+  if (const auto *csr = std::get_if<const CsrGraph *>(&_graph)) {
+    return run_multilevel_pipeline(**csr, request, options);
+  }
+  return run_multilevel_pipeline(*std::get<const CompressedGraph *>(_graph), request, options);
 }
 
 std::uint64_t PartitionSession::retained_bytes() const {

@@ -68,15 +68,13 @@ enum class Preset : std::uint8_t {
 /// The Context a preset denotes (what `ContextBuilder(preset)` starts from).
 [[nodiscard]] Context context_for_preset(Preset preset, BlockID k = 2, std::uint64_t seed = 1);
 
-/// Why a configuration was rejected.
-struct ConfigError {
-  std::string field;   ///< offending builder field, e.g. "k"
-  std::string message; ///< actionable description incl. the accepted range
-
-  [[nodiscard]] std::string to_string() const {
-    return "invalid configuration: " + field + ": " + message;
-  }
-};
+/// Why a configuration was rejected. Since the error-API consolidation this
+/// is the common `Error` taxonomy (ErrorKind::kConfig, see common/result.h):
+/// `ContextBuilder`, `ServiceConfigBuilder`, and the partition service share
+/// one `Result<T, Error>` surface. The alias and the `field` / `message` /
+/// `to_string()` members keep pre-consolidation call sites compiling and
+/// their expected text identical.
+using ConfigError = Error;
 
 /// Fluent, validated construction of a Context. Setters never abort;
 /// `build()` checks every constraint and returns either the finished
@@ -103,9 +101,9 @@ public:
   ContextBuilder &progress(ProgressCallback callback);
   ContextBuilder &cancel(CancellationToken token);
 
-  /// Validates and returns the Context, or the first ConfigError. The
-  /// builder can be reused after build().
-  [[nodiscard]] Result<Context, ConfigError> build() const;
+  /// Validates and returns the Context, or the first violation as a typed
+  /// `Error` (ErrorKind::kConfig). The builder can be reused after build().
+  [[nodiscard]] Result<Context, Error> build() const;
 
 private:
   Context _ctx;
@@ -172,20 +170,47 @@ private:
 /// serve, or requests with much larger k may land on a too-coarse coarsest
 /// graph.
 ///
-/// Not thread-safe: serve requests from one thread (the service daemon on
-/// the ROADMAP owns a session per worker or serializes access).
+/// Thread safety: the mutating `partition()` entry points must be called
+/// from one thread at a time. Once the hierarchy is built,
+/// `partition_shared()` serves read-only against the retained artifact and
+/// may be called from multiple threads concurrently — the serving mode the
+/// partition service (src/service/) uses, with its workers keeping the
+/// global pool un-shared (see DESIGN.md §14).
 class PartitionSession {
 public:
+  /// Per-request knobs that may differ from the session base without
+  /// affecting the retained hierarchy's identity: cancellation, progress,
+  /// and the contraction profile (the buffered fallback produces the same
+  /// hierarchy as one-pass — the contraction-parity tests assert it — with
+  /// a lower peak, which is what degraded admission in the service wants).
+  /// Unset fields keep the base context's value.
+  struct RequestOverrides {
+    std::optional<CancellationToken> cancel;
+    std::optional<ProgressCallback> progress;
+    std::optional<bool> contraction_one_pass;
+  };
+
   PartitionSession(const CsrGraph &graph, Context base);
   PartitionSession(const CompressedGraph &graph, Context base);
 
   /// Serves one request. Builds the hierarchy on the first call (that
   /// result's phase tree contains the "coarsening" phase; later results
   /// are flagged `hierarchy_reused` and contain none).
-  [[nodiscard]] PartitionResult partition(BlockID k, double epsilon, std::uint64_t seed);
+  [[nodiscard]] PartitionResult partition(BlockID k, double epsilon, std::uint64_t seed,
+                                          const RequestOverrides &overrides = {});
   [[nodiscard]] PartitionResult partition(const BlockID k) {
     return partition(k, _base.epsilon, _base.seed);
   }
+
+  /// Read-only serving for concurrent callers (the partition service): runs
+  /// one request against the already-built hierarchy without mutating any
+  /// session state and without touching the global pool size. Requires
+  /// `hierarchy_built()` (asserted). Safe from multiple threads concurrently
+  /// provided the runs do not share the global pool's parallel regions —
+  /// i.e. the pool is sized 1 (loops run inline on each calling thread) or
+  /// callers serialize externally.
+  [[nodiscard]] PartitionResult partition_shared(BlockID k, double epsilon, std::uint64_t seed,
+                                                 const RequestOverrides &overrides = {}) const;
 
   /// The exact Context under which a fresh Partitioner reproduces
   /// `partition(k, epsilon, seed)` bit-identically (the parity contract

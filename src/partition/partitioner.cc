@@ -4,6 +4,11 @@
 
 namespace terapart {
 
+// Defining (and explicitly instantiating) the deprecated shim is not a use
+// we want diagnosed — only external callers are.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 template <typename Graph>
 PartitionResult partition_graph(const Graph &graph, const Context &ctx) {
   return run_multilevel_pipeline(graph, ctx);
@@ -12,5 +17,7 @@ PartitionResult partition_graph(const Graph &graph, const Context &ctx) {
 template PartitionResult partition_graph<CsrGraph>(const CsrGraph &, const Context &);
 template PartitionResult partition_graph<CompressedGraph>(const CompressedGraph &,
                                                           const Context &);
+
+#pragma GCC diagnostic pop
 
 } // namespace terapart

@@ -23,6 +23,9 @@ namespace terapart {
 /// identical partition — but it does not validate and ignores
 /// Context::threads.
 template <typename Graph>
-[[nodiscard]] PartitionResult partition_graph(const Graph &graph, const Context &ctx);
+[[deprecated("use Partitioner / PartitionSession (partition/facade.h): validated "
+             "configuration, Context::threads applied, typed errors; this shim "
+             "skips validation and ignores Context::threads")]] [[nodiscard]] PartitionResult
+partition_graph(const Graph &graph, const Context &ctx);
 
 } // namespace terapart

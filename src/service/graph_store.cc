@@ -1,0 +1,128 @@
+#include "service/graph_store.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "compression/parallel_compressor.h"
+#include "generators/generators.h"
+#include "graph/graph_io.h"
+
+namespace terapart::service {
+
+namespace {
+
+[[nodiscard]] Result<std::shared_ptr<const CompressedGraph>, Error>
+compress(const CsrGraph &csr) {
+  auto outcome = try_compress_graph_parallel(csr);
+  if (!outcome) {
+    return outcome.error();
+  }
+  return std::make_shared<const CompressedGraph>(std::move(outcome.value().graph));
+}
+
+} // namespace
+
+Result<std::shared_ptr<const CompressedGraph>, Error>
+GraphStore::load(const std::string &key) {
+  if (key.rfind("gen:", 0) == 0) {
+    try {
+      const CsrGraph csr = gen::by_spec(key.substr(4), kGeneratorSeed);
+      return compress(csr);
+    } catch (const std::exception &e) {
+      return config_error("graph", "bad generator spec \"" + key +
+                                       "\": " + e.what());
+    }
+  }
+  const std::filesystem::path path(key);
+  const std::filesystem::path ext = path.extension();
+  if (ext == ".tpg") {
+    // Primary path: single-pass compressed load — the uncompressed edge
+    // array never exists in memory (Partitioner::partition_file idiom).
+    auto outcome = try_compress_tpg_single_pass(path);
+    if (outcome) {
+      return std::make_shared<const CompressedGraph>(std::move(outcome.value().graph));
+    }
+    auto csr = io::try_read_tpg(path);
+    if (!csr) {
+      return csr.error();
+    }
+    return compress(csr.value());
+  }
+  if (ext == ".metis" || ext == ".graph") {
+    auto csr = io::try_read_metis(path);
+    if (!csr) {
+      return csr.error();
+    }
+    return compress(csr.value());
+  }
+  return format_error(ErrorCode::kParseError, key,
+                      "unknown graph key (expected a .tpg/.metis/.graph path "
+                      "or gen:SPEC)");
+}
+
+Result<std::shared_ptr<const CompressedGraph>, Error>
+GraphStore::acquire(const std::string &key) {
+  std::shared_ptr<Entry> entry;
+  bool loader = false;
+  {
+    std::unique_lock lock(_mutex);
+    auto [it, inserted] = _entries.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_shared<Entry>();
+      ++_loads;
+      loader = true;
+    }
+    entry = it->second;
+    if (!loader) {
+      _loaded.wait(lock, [&] { return entry->state != Entry::State::kLoading; });
+      if (entry->state == Entry::State::kReady) {
+        ++_hits;
+        return entry->graph;
+      }
+      return entry->error;
+    }
+  }
+
+  // This thread is the designated loader; do the expensive work unlocked so
+  // other keys load concurrently, then publish under the lock.
+  auto loaded = load(key);
+  {
+    std::lock_guard lock(_mutex);
+    if (loaded) {
+      entry->graph = std::move(loaded.value());
+      entry->state = Entry::State::kReady;
+    } else {
+      entry->error = loaded.error();
+      entry->state = Entry::State::kFailed;
+      ++_load_failures;
+    }
+  }
+  _loaded.notify_all();
+  if (entry->state == Entry::State::kFailed) {
+    return entry->error;
+  }
+  return entry->graph;
+}
+
+bool GraphStore::resident(const std::string &key) const {
+  std::lock_guard lock(_mutex);
+  const auto it = _entries.find(key);
+  return it != _entries.end() && it->second->state == Entry::State::kReady;
+}
+
+GraphStore::Stats GraphStore::stats() const {
+  std::lock_guard lock(_mutex);
+  Stats stats;
+  stats.loads = _loads;
+  stats.hits = _hits;
+  stats.load_failures = _load_failures;
+  for (const auto &[key, entry] : _entries) {
+    if (entry->state == Entry::State::kReady) {
+      ++stats.entries;
+      stats.resident_bytes += entry->graph->memory_bytes();
+    }
+  }
+  return stats;
+}
+
+} // namespace terapart::service

@@ -1,0 +1,80 @@
+/// @file graph_store.h
+/// @brief The shared compressed-graph store: load + compress each graph
+/// exactly once, hand out `shared_ptr<const CompressedGraph>` references to
+/// every job that names the same key.
+///
+/// This is the paper's serving economics in one class: the expensive
+/// artifact (the compressed graph) is immutable and shared, so the marginal
+/// cost of a request against a resident graph is just the partition call.
+/// Keys are graph sources — a `.tpg` / `.metis` / `.graph` path or a
+/// `gen:SPEC` generator spec. Loads deduplicate: concurrent jobs for the
+/// same not-yet-resident key block on one loader instead of loading twice.
+///
+/// Memory: CompressedGraph self-accounts in the MemoryTracker (category
+/// "graph"), so resident graphs are visible to the service's admission
+/// control without extra bookkeeping. The store itself never evicts — the
+/// compressed inputs are the cheapest artifacts per byte served; eviction
+/// pressure is taken by the SessionCache first (DESIGN.md §14).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "compression/compressed_graph.h"
+
+namespace terapart::service {
+
+class GraphStore {
+public:
+  /// Seed used for `gen:` keys: the generated graph is part of the key's
+  /// identity, so it must not vary per request (requests vary the
+  /// *partition* seed instead).
+  static constexpr std::uint64_t kGeneratorSeed = 1;
+
+  /// Snapshot counters (also mirrored into the service metrics).
+  struct Stats {
+    std::uint64_t loads = 0;         ///< keys loaded (including failed ones)
+    std::uint64_t hits = 0;          ///< acquires served from residency
+    std::uint64_t load_failures = 0; ///< loads that produced an Error
+    std::uint64_t resident_bytes = 0;
+    std::size_t entries = 0;
+  };
+
+  /// Returns the resident graph for `key`, loading and compressing it on
+  /// first use. Blocks while another thread loads the same key. A failed
+  /// load is remembered and re-returned (no retry storm); distinct keys
+  /// load independently and concurrently.
+  [[nodiscard]] Result<std::shared_ptr<const CompressedGraph>, Error>
+  acquire(const std::string &key);
+
+  /// True when `key` is resident (ready, not loading/failed).
+  [[nodiscard]] bool resident(const std::string &key) const;
+
+  [[nodiscard]] Stats stats() const;
+
+private:
+  struct Entry {
+    enum class State : std::uint8_t { kLoading, kReady, kFailed };
+    State state = State::kLoading;
+    std::shared_ptr<const CompressedGraph> graph;
+    Error error;
+  };
+
+  /// Loads + compresses outside the store lock.
+  [[nodiscard]] static Result<std::shared_ptr<const CompressedGraph>, Error>
+  load(const std::string &key);
+
+  mutable std::mutex _mutex;
+  std::condition_variable _loaded;
+  std::map<std::string, std::shared_ptr<Entry>> _entries;
+  std::uint64_t _loads = 0;
+  std::uint64_t _hits = 0;
+  std::uint64_t _load_failures = 0;
+};
+
+} // namespace terapart::service

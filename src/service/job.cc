@@ -1,0 +1,90 @@
+#include "service/job.h"
+
+#include <cmath>
+
+namespace terapart::service {
+
+namespace {
+
+[[nodiscard]] bool is_integer(const json::Value &value) {
+  if (!value.is_number()) {
+    return false;
+  }
+  const double d = value.as_double();
+  return std::isfinite(d) && d == std::floor(d);
+}
+
+} // namespace
+
+Result<JobRequest, Error> parse_job_request(const json::Value &doc) {
+  if (!doc.is_object()) {
+    return config_error("request", "a job request must be a JSON object");
+  }
+  JobRequest request;
+  for (const auto &[key, value] : doc.as_object()) {
+    if (key == "id") {
+      if (!value.is_string()) {
+        return config_error("id", "must be a string");
+      }
+      request.id = value.as_string();
+    } else if (key == "graph") {
+      if (!value.is_string() || value.as_string().empty()) {
+        return config_error("graph", "must be a non-empty string "
+                                     "(a .tpg/.metis/.graph path or gen:SPEC)");
+      }
+      request.graph = value.as_string();
+    } else if (key == "k") {
+      if (!is_integer(value) || value.as_double() < 0) {
+        return config_error("k", "must be a non-negative integer");
+      }
+      request.k = static_cast<BlockID>(value.as_uint64());
+    } else if (key == "epsilon") {
+      if (!value.is_number()) {
+        return config_error("epsilon", "must be a number");
+      }
+      request.epsilon = value.as_double();
+    } else if (key == "seed") {
+      if (!is_integer(value) || value.as_double() < 0) {
+        return config_error("seed", "must be a non-negative integer");
+      }
+      request.seed = value.as_uint64();
+    } else if (key == "preset") {
+      if (!value.is_string()) {
+        return config_error("preset", "must be a string");
+      }
+      request.preset = value.as_string();
+    } else {
+      return config_error(key, "unknown request key (expected graph, k, epsilon, "
+                               "seed, preset, id)");
+    }
+  }
+  if (request.graph.empty()) {
+    return config_error("graph", "missing; every job must name its graph "
+                                 "(a .tpg/.metis/.graph path or gen:SPEC)");
+  }
+  return request;
+}
+
+Result<JobRequest, Error> parse_job_request_line(const std::string_view line) {
+  json::Value doc;
+  std::string parse_message;
+  if (!json::parse(line, doc, &parse_message)) {
+    return config_error("request", "not valid JSON: " + parse_message);
+  }
+  return parse_job_request(doc);
+}
+
+json::Value job_request_to_json(const JobRequest &request) {
+  json::Value doc = json::Value::object();
+  if (!request.id.empty()) {
+    doc["id"] = request.id;
+  }
+  doc["graph"] = request.graph;
+  doc["k"] = static_cast<std::uint64_t>(request.k);
+  doc["epsilon"] = request.epsilon;
+  doc["seed"] = request.seed;
+  doc["preset"] = request.preset;
+  return doc;
+}
+
+} // namespace terapart::service

@@ -1,0 +1,150 @@
+/// @file job.h
+/// @brief The request/result vocabulary of the partition service: one
+/// `JobRequest` names a graph (the shared artifact) and a (k, epsilon, seed,
+/// preset) quadruple; one `JobResult` records the full lifecycle outcome.
+///
+/// Job lifecycle (DESIGN.md §14):
+///
+///     queued ──▶ admitted ──▶ running ──▶ done
+///        │          │                 ├─▶ degraded   (ran, with fallbacks)
+///        │          └─▶ shed          └─▶ cancelled  (partial result)
+///        └─▶ cancelled (before running)
+///
+/// Shed, queued, and degraded are *first-class job states*, not errors: a
+/// shed job carries its reason ("memory_budget", "queue_full"), a degraded
+/// job carries a fully valid partition plus the fallback flags, and both
+/// are reported through the same NDJSON run-report channel as successes.
+/// `kFailed` is reserved for genuine faults (unreadable graph, escaped
+/// exception) and carries a typed `Error` from the common taxonomy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "partition/partition_result.h"
+
+namespace terapart::service {
+
+/// Where a job currently is in its lifecycle. States are terminal from
+/// kDone onward; JobHandle::wait() returns once one of them is reached.
+enum class JobState : std::uint8_t {
+  kQueued,    ///< accepted into the bounded queue, not yet picked up
+  kAdmitted,  ///< a worker holds it and admission control let it through
+  kRunning,   ///< the partition pipeline is executing
+  kDone,      ///< finished cleanly; `partition` is the full-quality result
+  kDegraded,  ///< finished with graceful-degradation fallbacks (still valid)
+  kShed,      ///< dropped by overload control before running; see shed_reason
+  kCancelled, ///< stopped via cancel(); may carry a partial valid partition
+  kFailed,    ///< genuine fault; see `error`
+};
+
+[[nodiscard]] constexpr const char *job_state_name(const JobState state) {
+  switch (state) {
+  case JobState::kQueued: return "queued";
+  case JobState::kAdmitted: return "admitted";
+  case JobState::kRunning: return "running";
+  case JobState::kDone: return "done";
+  case JobState::kDegraded: return "degraded";
+  case JobState::kShed: return "shed";
+  case JobState::kCancelled: return "cancelled";
+  case JobState::kFailed: return "failed";
+  }
+  return "failed";
+}
+
+[[nodiscard]] constexpr bool job_state_terminal(const JobState state) {
+  return state == JobState::kDone || state == JobState::kDegraded ||
+         state == JobState::kShed || state == JobState::kCancelled ||
+         state == JobState::kFailed;
+}
+
+/// The admission decision a worker took for the job (RunReport "job"
+/// section; the service also counts them under "admission/...").
+enum class Admission : std::uint8_t {
+  kPending,          ///< not yet evaluated (queued / shed at submit)
+  kAdmitted,         ///< under the watermark — full-quality profile
+  kAdmittedDegraded, ///< between watermark and budget — degraded profile
+  kShed,             ///< over budget — dropped without running
+};
+
+[[nodiscard]] constexpr const char *admission_name(const Admission admission) {
+  switch (admission) {
+  case Admission::kPending: return "pending";
+  case Admission::kAdmitted: return "admitted";
+  case Admission::kAdmittedDegraded: return "admitted_degraded";
+  case Admission::kShed: return "shed";
+  }
+  return "pending";
+}
+
+/// One partition request against the shared graph store. `graph` is the
+/// store key: a `.tpg` / `.metis` / `.graph` path or a `gen:SPEC`
+/// generator spec — the expensive artifact behind it (the compressed graph
+/// and the session hierarchy) is loaded once and shared across every job
+/// that names the same key.
+struct JobRequest {
+  std::string id;      ///< caller-assigned; empty = service assigns "job-N"
+  std::string graph;   ///< graph-store key (file path or gen:SPEC)
+  BlockID k = 2;
+  double epsilon = 0.03;
+  std::uint64_t seed = 1;
+  std::string preset = "terapart"; ///< fast | kaminpar | terapart | terapart-fm | strong
+};
+
+/// Parses one NDJSON request object:
+///   {"graph": "gen:rgg2d:n=10000,deg=16", "k": 8, "epsilon": 0.03,
+///    "seed": 1, "preset": "fast", "id": "my-job"}
+/// Only "graph" and "k" are required. Unknown keys are rejected (they are
+/// almost always typos of the known ones) with a config error naming the
+/// key; so are wrongly-typed values. Range validation (k >= 2, finite
+/// epsilon, registered preset) happens at submit() through ContextBuilder.
+[[nodiscard]] Result<JobRequest, Error> parse_job_request(const json::Value &doc);
+
+/// Parses one NDJSON line (strict JSON, one object).
+[[nodiscard]] Result<JobRequest, Error> parse_job_request_line(std::string_view line);
+
+/// The request as a JSON object (round-trips through parse_job_request).
+[[nodiscard]] json::Value job_request_to_json(const JobRequest &request);
+
+/// Everything known about a finished (or shed / failed) job. Returned by
+/// JobHandle::wait() and serialized into the per-job run report.
+struct JobResult {
+  JobRequest request;
+  JobState state = JobState::kQueued;
+  Admission admission = Admission::kPending;
+  std::string shed_reason; ///< "queue_full" | "memory_budget"; kShed only
+  Error error;             ///< kFailed only
+
+  /// The partition document (kDone / kDegraded / kCancelled). For kDegraded
+  /// the `partition.degraded` flags say which fallbacks were taken.
+  PartitionResult partition;
+
+  /// Serving provenance: did the session cache already hold an entry for
+  /// (graph, pinning), and did the run reuse a retained hierarchy (i.e.
+  /// skipped coarsening entirely)?
+  bool session_cache_hit = false;
+  bool hierarchy_reused = false;
+
+  /// Graph shape captured at serve time (the report does not retain the
+  /// graph itself).
+  std::uint64_t graph_n = 0;
+  std::uint64_t graph_m = 0;
+  std::uint64_t graph_max_degree = 0;
+  std::uint64_t graph_memory_bytes = 0;
+
+  double queue_ms = 0.0; ///< submit -> worker pickup
+  double run_ms = 0.0;   ///< pipeline wall time (0 for shed/failed jobs)
+
+  [[nodiscard]] bool has_partition() const {
+    // A job cancelled while still queued never ran, so it has no partition;
+    // one cancelled mid-run carries the projected partial result.
+    return state == JobState::kDone || state == JobState::kDegraded ||
+           (state == JobState::kCancelled && !partition.partition.empty());
+  }
+};
+
+} // namespace terapart::service

@@ -1,0 +1,385 @@
+#include "service/partition_service.h"
+
+#include <exception>
+#include <utility>
+
+#include "common/memory_tracker.h"
+#include "parallel/thread_pool.h"
+#include "partition/reporting.h"
+
+namespace terapart::service {
+
+namespace {
+
+[[nodiscard]] double
+ms_since(const std::chrono::steady_clock::time_point start,
+         const std::chrono::steady_clock::time_point end = std::chrono::steady_clock::now()) {
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+} // namespace
+
+PartitionService::PartitionService(ServiceConfig config)
+    : _config(std::move(config)), _sessions(_config.session_budget_bytes) {
+  // One axis of parallelism (see the class comment): with several workers
+  // the pool is pinned to a single thread so every parallel loop runs
+  // inline on its worker; with one worker the job owns the pool.
+  const int pool_threads = _config.workers > 1 ? 1 : _config.threads_per_job;
+  if (pool_threads != par::num_threads()) {
+    par::set_num_threads(pool_threads);
+  }
+  _workers.reserve(static_cast<std::size_t>(_config.workers));
+  for (int i = 0; i < _config.workers; ++i) {
+    _workers.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PartitionService::~PartitionService() {
+  {
+    std::lock_guard lock(_queue_mutex);
+    _stopping = true;
+  }
+  _queue_cv.notify_all();
+  for (std::thread &worker : _workers) {
+    worker.join();
+  }
+}
+
+const std::string &PartitionService::JobHandle::id() const { return _record->request.id; }
+
+JobState PartitionService::JobHandle::state() const { return _record->current_state(); }
+
+const JobResult &PartitionService::JobHandle::wait() const {
+  std::unique_lock lock(_record->mutex);
+  _record->cv.wait(lock, [this] { return job_state_terminal(_record->state); });
+  return _record->result;
+}
+
+void PartitionService::JobHandle::cancel() const { _record->cancel.request_stop(); }
+
+void PartitionService::set_state(JobHandle::Record &record, const JobState state) {
+  {
+    std::lock_guard lock(record.mutex);
+    record.state = state;
+    record.result.state = state;
+  }
+  record.cv.notify_all();
+}
+
+Result<Context, Error> PartitionService::base_context(const std::string &preset) const {
+  const std::optional<Preset> parsed = preset_from_name(preset);
+  if (!parsed.has_value()) {
+    return config_error("preset", "unknown preset \"" + preset +
+                                      "\"; expected fast, kaminpar, terapart, "
+                                      "terapart-fm, or strong");
+  }
+  auto built = ContextBuilder(*parsed)
+                   .k(_config.hierarchy_k)
+                   .seed(_config.hierarchy_seed)
+                   .threads(0)
+                   .build();
+  if (!built) {
+    return built.error();
+  }
+  Context base = std::move(built).value();
+  // Pin explicitly so the hierarchy's identity is (graph, preset,
+  // hierarchy_k, hierarchy_seed) — the SessionCache key — independent of
+  // any request's (k, epsilon, seed).
+  base.hierarchy_k = _config.hierarchy_k;
+  base.hierarchy_seed = _config.hierarchy_seed;
+  return base;
+}
+
+Result<PartitionService::JobHandle, Error> PartitionService::submit(JobRequest request,
+                                                                    ProgressCallback progress) {
+  if (request.graph.empty()) {
+    return config_error("graph", "missing; every job must name its graph "
+                                 "(a .tpg/.metis/.graph path or gen:SPEC)");
+  }
+  const std::string &preset = request.preset.empty() ? _config.default_preset : request.preset;
+  request.preset = preset;
+  // Same validation surface as the library API: the request's (preset, k,
+  // epsilon, seed) must form a buildable Context.
+  {
+    const std::optional<Preset> parsed = preset_from_name(preset);
+    if (!parsed.has_value()) {
+      return config_error("preset", "unknown preset \"" + preset +
+                                        "\"; expected fast, kaminpar, terapart, "
+                                        "terapart-fm, or strong");
+    }
+    auto ctx = ContextBuilder(*parsed)
+                   .k(request.k)
+                   .epsilon(request.epsilon)
+                   .seed(request.seed)
+                   .build();
+    if (!ctx) {
+      return ctx.error();
+    }
+  }
+  if (request.id.empty()) {
+    request.id = "job-" + std::to_string(_next_id.fetch_add(1, std::memory_order_relaxed));
+  }
+
+  auto record = std::make_shared<JobHandle::Record>();
+  record->request = std::move(request);
+  record->progress = std::move(progress);
+  record->submitted = std::chrono::steady_clock::now();
+  record->result.request = record->request;
+  _metrics.add_counter("service.jobs_submitted");
+
+  {
+    std::lock_guard lock(_queue_mutex);
+    if (_queue.size() >= _config.queue_capacity) {
+      // Overload is an outcome, not an error: the handle is born terminal.
+      record->result.admission = Admission::kShed;
+      record->result.shed_reason = "queue_full";
+      _metrics.add_counter("service.jobs_shed_queue_full");
+      set_state(*record, JobState::kShed);
+      return JobHandle(std::move(record));
+    }
+    _queue.push_back(record);
+    _metrics.set_gauge("service.queue_depth", static_cast<double>(_queue.size()));
+  }
+  _queue_cv.notify_one();
+  return JobHandle(std::move(record));
+}
+
+Result<PartitionService::JobHandle, Error>
+PartitionService::submit_line(const std::string_view line, ProgressCallback progress) {
+  auto request = parse_job_request_line(line);
+  if (!request) {
+    return request.error();
+  }
+  return submit(std::move(request).value(), std::move(progress));
+}
+
+std::size_t PartitionService::queue_depth() const {
+  std::lock_guard lock(_queue_mutex);
+  return _queue.size();
+}
+
+void PartitionService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<JobHandle::Record> record;
+    {
+      std::unique_lock lock(_queue_mutex);
+      _queue_cv.wait(lock, [this] { return _stopping || !_queue.empty(); });
+      if (_queue.empty()) {
+        return; // stopping and drained
+      }
+      record = std::move(_queue.front());
+      _queue.pop_front();
+      _metrics.set_gauge("service.queue_depth", static_cast<double>(_queue.size()));
+    }
+    try {
+      process(record);
+    } catch (const std::exception &e) {
+      record->result.error =
+          internal_error(std::string("exception escaped the partition service: ") + e.what());
+      _metrics.add_counter("service.jobs_failed");
+      set_state(*record, JobState::kFailed);
+    } catch (...) {
+      record->result.error = internal_error("unknown exception escaped the partition service");
+      _metrics.add_counter("service.jobs_failed");
+      set_state(*record, JobState::kFailed);
+    }
+  }
+}
+
+Admission PartitionService::admit(const bool hierarchy_built,
+                                  const std::uint64_t build_estimate_bytes) {
+  if (_config.memory_budget_bytes == 0) {
+    _metrics.add_counter("service.admission_admitted");
+    return Admission::kAdmitted;
+  }
+  // Projected footprint: everything currently accounted plus, when this job
+  // would build a hierarchy, a coarse estimate of one — the retained coarse
+  // graphs and mappings land in the same ballpark as the compressed input.
+  const std::uint64_t projected =
+      MemoryTracker::global().current() + (hierarchy_built ? 0 : build_estimate_bytes);
+  if (projected > _config.memory_budget_bytes) {
+    _metrics.add_counter("service.admission_shed");
+    return Admission::kShed;
+  }
+  const double watermark =
+      _config.degraded_watermark * static_cast<double>(_config.memory_budget_bytes);
+  if (static_cast<double>(projected) > watermark) {
+    _metrics.add_counter("service.admission_degraded");
+    return Admission::kAdmittedDegraded;
+  }
+  _metrics.add_counter("service.admission_admitted");
+  return Admission::kAdmitted;
+}
+
+void PartitionService::process(const std::shared_ptr<JobHandle::Record> &record) {
+  JobResult &result = record->result;
+  result.queue_ms = ms_since(record->submitted);
+
+  if (record->cancel.stop_requested()) {
+    _metrics.add_counter("service.jobs_cancelled");
+    set_state(*record, JobState::kCancelled);
+    return;
+  }
+
+  const JobRequest &request = record->request;
+  auto graph = _store.acquire(request.graph);
+  if (!graph) {
+    result.error = graph.error();
+    _metrics.add_counter("service.jobs_failed");
+    set_state(*record, JobState::kFailed);
+    return;
+  }
+  result.graph_n = graph.value()->n();
+  result.graph_m = graph.value()->m();
+  result.graph_max_degree = graph.value()->max_degree();
+  result.graph_memory_bytes = graph.value()->memory_bytes();
+
+  auto base = base_context(request.preset);
+  if (!base) {
+    result.error = base.error();
+    _metrics.add_counter("service.jobs_failed");
+    set_state(*record, JobState::kFailed);
+    return;
+  }
+
+  const SessionCache::Key key{request.graph, request.preset, _config.hierarchy_k,
+                              _config.hierarchy_seed};
+  SessionCache::Acquired acquired = _sessions.acquire(key, graph.value(), base.value());
+  result.session_cache_hit = acquired.hit;
+  _metrics.add_counter(acquired.hit ? "cache.session_hits" : "cache.session_misses");
+
+  const bool built_before = acquired.entry->built.load(std::memory_order_acquire);
+  result.admission = admit(built_before, result.graph_memory_bytes);
+  if (result.admission == Admission::kShed) {
+    result.shed_reason = "memory_budget";
+    _metrics.add_counter("service.jobs_shed_memory");
+    set_state(*record, JobState::kShed);
+    return;
+  }
+  set_state(*record, JobState::kAdmitted);
+
+  PartitionSession::RequestOverrides overrides;
+  overrides.cancel = record->cancel;
+  if (record->progress) {
+    overrides.progress = record->progress;
+  }
+  if (result.admission == Admission::kAdmittedDegraded) {
+    // Degraded profile: buffered contraction trades peak memory for an
+    // extra pass; the hierarchy it builds is identical (DESIGN.md §9).
+    overrides.contraction_one_pass = false;
+  }
+
+  set_state(*record, JobState::kRunning);
+  const auto run_start = std::chrono::steady_clock::now();
+  bool served = false;
+  if (!acquired.entry->built.load(std::memory_order_acquire)) {
+    std::lock_guard build_lock(acquired.entry->build_mutex);
+    if (!acquired.entry->built.load(std::memory_order_relaxed)) {
+      result.partition =
+          acquired.entry->session.partition(request.k, request.epsilon, request.seed, overrides);
+      acquired.entry->built.store(true, std::memory_order_release);
+      served = true;
+      _metrics.add_counter("cache.hierarchy_builds");
+    }
+  }
+  if (!served) {
+    result.partition = acquired.entry->session.partition_shared(request.k, request.epsilon,
+                                                               request.seed, overrides);
+  } else {
+    const std::size_t evicted = _sessions.evict_to_budget(key);
+    if (evicted > 0) {
+      _metrics.add_counter("cache.session_evictions", evicted);
+    }
+  }
+  result.run_ms = ms_since(run_start);
+  result.hierarchy_reused = result.partition.hierarchy_reused;
+
+  JobState state = JobState::kDone;
+  if (result.partition.cancelled) {
+    state = JobState::kCancelled;
+    _metrics.add_counter("service.jobs_cancelled");
+  } else if (result.admission == Admission::kAdmittedDegraded ||
+             result.partition.degraded.any()) {
+    state = JobState::kDegraded;
+    _metrics.add_counter("service.jobs_degraded");
+  } else {
+    _metrics.add_counter("service.jobs_done");
+  }
+  set_state(*record, state);
+}
+
+RunReport PartitionService::job_report(const JobResult &result) const {
+  RunReport report("terapart_serve");
+  report.set_graph(result.request.graph, result.graph_n, result.graph_m,
+                   result.graph_max_degree, result.graph_memory_bytes);
+
+  json::Value job = json::Value::object();
+  job["id"] = result.request.id;
+  job["state"] = std::string(job_state_name(result.state));
+  job["admission"] = std::string(admission_name(result.admission));
+  if (!result.shed_reason.empty()) {
+    job["shed_reason"] = result.shed_reason;
+  }
+  if (result.state == JobState::kFailed) {
+    job["error"] = result.error.to_string();
+  }
+  job["session_cache_hit"] = result.session_cache_hit;
+  job["hierarchy_reused"] = result.hierarchy_reused;
+  job["queue_ms"] = result.queue_ms;
+  job["run_ms"] = result.run_ms;
+  job["request"] = job_request_to_json(result.request);
+  report.add_section("job", job);
+
+  if (result.has_partition()) {
+    report.set_quality(result.partition.cut, result.partition.imbalance,
+                       result.partition.balanced);
+    report.set_phases(result.partition.phases);
+    report.add_section("levels", levels_to_json(result.partition.levels));
+    report.add_section("degraded_mode", degraded_modes_to_json(result.partition.degraded));
+    report.add_section("engines", engines_to_json(result.partition));
+  }
+
+  // Service-level telemetry rides along on every job report (the service
+  // owns its registry; the global one would interleave concurrent jobs).
+  report.capture_metrics(_metrics);
+  report.capture_memory(MemoryTracker::global());
+  report.add_section("service", stats_json());
+  return report;
+}
+
+json::Value PartitionService::stats_json() const {
+  json::Value stats = json::Value::object();
+  stats["queue_depth"] = static_cast<std::uint64_t>(queue_depth());
+  stats["workers"] = static_cast<std::uint64_t>(_config.workers);
+
+  const GraphStore::Stats store = _store.stats();
+  json::Value store_json = json::Value::object();
+  store_json["graphs_resident"] = static_cast<std::uint64_t>(store.entries);
+  store_json["resident_bytes"] = store.resident_bytes;
+  store_json["loads"] = store.loads;
+  store_json["hits"] = store.hits;
+  store_json["load_failures"] = store.load_failures;
+  stats["store"] = store_json;
+
+  const SessionCache::Stats sessions = _sessions.stats();
+  json::Value cache_json = json::Value::object();
+  cache_json["entries"] = static_cast<std::uint64_t>(sessions.entries);
+  cache_json["retained_bytes"] = sessions.retained_bytes;
+  cache_json["hits"] = sessions.hits;
+  cache_json["misses"] = sessions.misses;
+  cache_json["evictions"] = sessions.evictions;
+  stats["session_cache"] = cache_json;
+
+  json::Value jobs = json::Value::object();
+  jobs["submitted"] = _metrics.counter("service.jobs_submitted");
+  jobs["done"] = _metrics.counter("service.jobs_done");
+  jobs["degraded"] = _metrics.counter("service.jobs_degraded");
+  jobs["shed_queue_full"] = _metrics.counter("service.jobs_shed_queue_full");
+  jobs["shed_memory"] = _metrics.counter("service.jobs_shed_memory");
+  jobs["cancelled"] = _metrics.counter("service.jobs_cancelled");
+  jobs["failed"] = _metrics.counter("service.jobs_failed");
+  stats["jobs"] = jobs;
+  return stats;
+}
+
+} // namespace terapart::service

@@ -1,0 +1,153 @@
+/// @file partition_service.h
+/// @brief The partition daemon core: a bounded job queue drained by worker
+/// threads over the shared GraphStore + SessionCache, with admission
+/// control against the global memory budget.
+///
+/// Partitioning-as-a-service (DESIGN.md §14): the expensive artifacts — the
+/// compressed graph and the retained multilevel hierarchy — are loaded and
+/// built once, then shared immutably across every job that names the same
+/// graph, so a request against a warm cache costs only initial partitioning
+/// + refinement. Overload is handled by shedding, not failing: a full queue
+/// or a blown memory budget produces a first-class `kShed` job outcome with
+/// its reason, reported through the same NDJSON run-report channel as
+/// successes.
+///
+/// Concurrency contract: the global thread pool has a single parallel
+/// dispatcher, so the service chooses one axis of parallelism at
+/// construction — inter-job (workers > 1, pool pinned to 1 thread; parallel
+/// loops run inline on each worker thread) or intra-job (workers == 1, pool
+/// sized to threads_per_job). ServiceConfigBuilder rejects mixed settings.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "common/run_report.h"
+#include "service/graph_store.h"
+#include "service/job.h"
+#include "service/service_config.h"
+#include "service/session_cache.h"
+
+namespace terapart::service {
+
+class PartitionService {
+public:
+  /// Starts the worker threads. The config must come from
+  /// ServiceConfigBuilder::build() (its invariants are assumed here).
+  explicit PartitionService(ServiceConfig config);
+
+  /// Drains the queue (every accepted job reaches a terminal state) and
+  /// joins the workers.
+  ~PartitionService();
+
+  PartitionService(const PartitionService &) = delete;
+  PartitionService &operator=(const PartitionService &) = delete;
+
+  /// A caller's reference to one submitted job. Copyable; all copies refer
+  /// to the same job.
+  class JobHandle {
+  public:
+    [[nodiscard]] const std::string &id() const;
+    [[nodiscard]] JobState state() const;
+    /// Blocks until the job reaches a terminal state; returns the result
+    /// (valid for the life of the handle).
+    const JobResult &wait() const;
+    /// Cooperative cancel: a queued job is dropped before running, a
+    /// running job stops at the next level boundary with a valid partial
+    /// partition (kCancelled either way).
+    void cancel() const;
+
+  private:
+    friend class PartitionService;
+    struct Record;
+    explicit JobHandle(std::shared_ptr<Record> record) : _record(std::move(record)) {}
+    std::shared_ptr<Record> _record;
+  };
+
+  /// Validates the request (unknown preset / bad k / bad epsilon are config
+  /// errors — the same ContextBuilder validation as the library API) and
+  /// enqueues it. A full queue is NOT an error: the returned handle is
+  /// already terminal in kShed with reason "queue_full". An empty
+  /// request.id is replaced with a service-assigned "job-N".
+  [[nodiscard]] Result<JobHandle, Error> submit(JobRequest request,
+                                                ProgressCallback progress = {});
+
+  /// Parses one NDJSON request line and submits it.
+  [[nodiscard]] Result<JobHandle, Error> submit_line(std::string_view line,
+                                                     ProgressCallback progress = {});
+
+  /// The per-job run report ("terapart.run_report/v1"): standard sections
+  /// (graph, config, quality, phases, degraded_mode, engines) when the job
+  /// produced a partition, plus "job" (lifecycle: state, admission,
+  /// shed_reason, cache provenance, queue/run wall times) and the service
+  /// metrics. `result` must be terminal (i.e. from JobHandle::wait()).
+  [[nodiscard]] RunReport job_report(const JobResult &result) const;
+
+  /// Service-level counters: queue depth, jobs by outcome, admission
+  /// decisions, graph-store and session-cache hit/eviction counts.
+  [[nodiscard]] json::Value stats_json() const;
+
+  [[nodiscard]] const ServiceConfig &config() const { return _config; }
+  [[nodiscard]] const MetricsRegistry &metrics() const { return _metrics; }
+  [[nodiscard]] std::size_t queue_depth() const;
+
+private:
+  void worker_loop();
+  void process(const std::shared_ptr<JobHandle::Record> &record);
+  /// Evaluates the memory budget for a job about to run; returns the
+  /// admission decision and counts it.
+  [[nodiscard]] Admission admit(bool hierarchy_built, std::uint64_t build_estimate_bytes);
+  /// Base context shared by every session of `preset` (hierarchy pinning
+  /// from the service config, threads = 0 so serving never resizes the
+  /// global pool).
+  [[nodiscard]] Result<Context, Error> base_context(const std::string &preset) const;
+  static void set_state(JobHandle::Record &record, JobState state);
+
+  const ServiceConfig _config;
+  /// Service-owned registry (NOT MetricsRegistry::global(): concurrent jobs
+  /// would interleave their pipeline counters there; per-job reports carry
+  /// these service counters instead).
+  mutable MetricsRegistry _metrics;
+  GraphStore _store;
+  SessionCache _sessions;
+
+  mutable std::mutex _queue_mutex;
+  std::condition_variable _queue_cv;
+  std::deque<std::shared_ptr<JobHandle::Record>> _queue;
+  bool _stopping = false;
+
+  std::atomic<std::uint64_t> _next_id{1};
+  std::vector<std::thread> _workers;
+};
+
+/// Internal per-job state shared between the queue, the worker, and every
+/// handle copy. `result` is written by the worker before the state turns
+/// terminal; readers only look after wait() returns.
+struct PartitionService::JobHandle::Record {
+  JobRequest request;
+  ProgressCallback progress;
+  CancellationToken cancel = CancellationToken::create();
+  std::chrono::steady_clock::time_point submitted;
+
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  JobState state = JobState::kQueued;
+  JobResult result;
+
+  [[nodiscard]] JobState current_state() const {
+    std::lock_guard lock(mutex);
+    return state;
+  }
+};
+
+} // namespace terapart::service

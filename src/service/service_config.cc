@@ -1,0 +1,99 @@
+#include "service/service_config.h"
+
+#include <cmath>
+#include <utility>
+
+#include "partition/facade.h"
+
+namespace terapart::service {
+
+ServiceConfigBuilder &ServiceConfigBuilder::workers(const int workers) {
+  _config.workers = workers;
+  return *this;
+}
+
+ServiceConfigBuilder &ServiceConfigBuilder::threads_per_job(const int threads) {
+  _config.threads_per_job = threads;
+  return *this;
+}
+
+ServiceConfigBuilder &ServiceConfigBuilder::queue_capacity(const std::size_t capacity) {
+  _config.queue_capacity = capacity;
+  return *this;
+}
+
+ServiceConfigBuilder &ServiceConfigBuilder::memory_budget_bytes(const std::uint64_t bytes) {
+  _config.memory_budget_bytes = bytes;
+  return *this;
+}
+
+ServiceConfigBuilder &ServiceConfigBuilder::degraded_watermark(const double fraction) {
+  _config.degraded_watermark = fraction;
+  return *this;
+}
+
+ServiceConfigBuilder &ServiceConfigBuilder::session_budget_bytes(const std::uint64_t bytes) {
+  _config.session_budget_bytes = bytes;
+  return *this;
+}
+
+ServiceConfigBuilder &ServiceConfigBuilder::default_preset(std::string preset) {
+  _config.default_preset = std::move(preset);
+  return *this;
+}
+
+ServiceConfigBuilder &ServiceConfigBuilder::hierarchy_k(const BlockID k) {
+  _config.hierarchy_k = k;
+  return *this;
+}
+
+ServiceConfigBuilder &ServiceConfigBuilder::hierarchy_seed(const std::uint64_t seed) {
+  _config.hierarchy_seed = seed;
+  return *this;
+}
+
+Result<ServiceConfig, Error> ServiceConfigBuilder::build() const {
+  if (_config.workers < 1) {
+    return config_error("workers", "got " + std::to_string(_config.workers) +
+                                       "; the service needs at least 1 worker");
+  }
+  if (_config.threads_per_job < 1) {
+    return config_error("threads_per_job",
+                        "got " + std::to_string(_config.threads_per_job) +
+                            "; each job needs at least 1 thread");
+  }
+  if (_config.threads_per_job > 1 && _config.workers > 1) {
+    return config_error(
+        "threads_per_job",
+        "got " + std::to_string(_config.threads_per_job) + " with " +
+            std::to_string(_config.workers) +
+            " workers; the global pool has a single parallel dispatcher, so "
+            "choose inter-job parallelism (workers > 1, threads_per_job = 1) "
+            "or intra-job parallelism (workers = 1, threads_per_job > 1)");
+  }
+  if (_config.queue_capacity < 1) {
+    return config_error("queue_capacity",
+                        "got 0; the job queue needs room for at least 1 job");
+  }
+  if (!std::isfinite(_config.degraded_watermark) || _config.degraded_watermark <= 0.0 ||
+      _config.degraded_watermark > 1.0) {
+    return config_error("degraded_watermark",
+                        "got " + std::to_string(_config.degraded_watermark) +
+                            "; the watermark is a fraction of the memory "
+                            "budget in (0, 1]");
+  }
+  if (!preset_from_name(_config.default_preset).has_value()) {
+    return config_error("default_preset",
+                        "unknown preset \"" + _config.default_preset +
+                            "\"; expected fast, kaminpar, terapart, "
+                            "terapart-fm, or strong");
+  }
+  if (_config.hierarchy_k < 2) {
+    return config_error("hierarchy_k",
+                        "got " + std::to_string(_config.hierarchy_k) +
+                            "; sessions coarsen for at least 2 blocks");
+  }
+  return _config;
+}
+
+} // namespace terapart::service

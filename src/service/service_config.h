@@ -1,0 +1,83 @@
+/// @file service_config.h
+/// @brief Daemon-level configuration: worker count, queue bound, memory
+/// budgets, and the hierarchy pinning shared by all cached sessions.
+///
+/// Mirrors the ContextBuilder idiom (partition/facade.h): fluent setters
+/// that never abort, one `build()` that validates every constraint and
+/// returns `Result<ServiceConfig, Error>` with ErrorKind::kConfig errors
+/// naming the offending field — the same taxonomy, so daemon callers handle
+/// configuration and runtime failures through one surface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace terapart::service {
+
+/// Validated daemon configuration (construct via ServiceConfigBuilder).
+struct ServiceConfig {
+  /// Concurrent job workers. With workers > 1 each job runs single-threaded
+  /// (inter-job parallelism): the global thread pool stays at size 1, so
+  /// parallel loops run inline on each worker thread and never contend for
+  /// the pool's single dispatcher (parallel/thread_pool.h forbids concurrent
+  /// run_on_all from multiple external threads).
+  int workers = 4;
+
+  /// Threads per job — only meaningful with workers == 1 (intra-job
+  /// parallelism); the builder rejects threads_per_job > 1 combined with
+  /// workers > 1.
+  int threads_per_job = 1;
+
+  /// Bounded job queue; submit() sheds ("queue_full") when full.
+  std::size_t queue_capacity = 64;
+
+  /// Global memory budget for admission control, in bytes. 0 = unlimited.
+  /// A job whose projected footprint (current tracker usage + its graph +
+  /// hierarchy estimate) exceeds the budget is shed ("memory_budget");
+  /// between `degraded_watermark * budget` and the budget it is admitted
+  /// degraded (buffered contraction — the lower-peak profile).
+  std::uint64_t memory_budget_bytes = 0;
+
+  /// Fraction of the budget above which admission switches to the degraded
+  /// profile. Mirrors the MemoryTracker soft-watermark idiom.
+  double degraded_watermark = 0.85;
+
+  /// Budget for retained hierarchies in the session cache, in bytes.
+  /// 0 = unlimited. Exceeding it evicts least-recently-used sessions.
+  std::uint64_t session_budget_bytes = 0;
+
+  /// Preset for jobs that do not name one.
+  std::string default_preset = "terapart";
+
+  /// Hierarchy pinning shared by every cached session: the coarsening
+  /// granularity is derived from hierarchy_k, so build sessions for the
+  /// largest k the service expects to serve (facade.h quality note).
+  BlockID hierarchy_k = 64;
+  std::uint64_t hierarchy_seed = 1;
+};
+
+/// Fluent, validated construction of a ServiceConfig.
+class ServiceConfigBuilder {
+public:
+  ServiceConfigBuilder &workers(int workers);
+  ServiceConfigBuilder &threads_per_job(int threads);
+  ServiceConfigBuilder &queue_capacity(std::size_t capacity);
+  ServiceConfigBuilder &memory_budget_bytes(std::uint64_t bytes);
+  ServiceConfigBuilder &degraded_watermark(double fraction);
+  ServiceConfigBuilder &session_budget_bytes(std::uint64_t bytes);
+  ServiceConfigBuilder &default_preset(std::string preset);
+  ServiceConfigBuilder &hierarchy_k(BlockID k);
+  ServiceConfigBuilder &hierarchy_seed(std::uint64_t seed);
+
+  /// Validates and returns the config, or the first violation as a typed
+  /// Error (ErrorKind::kConfig), exactly like ContextBuilder::build().
+  [[nodiscard]] Result<ServiceConfig, Error> build() const;
+
+private:
+  ServiceConfig _config;
+};
+
+} // namespace terapart::service

@@ -1,0 +1,79 @@
+#include "service/session_cache.h"
+
+#include <vector>
+
+namespace terapart::service {
+
+SessionCache::Acquired SessionCache::acquire(const Key &key,
+                                             const std::shared_ptr<const CompressedGraph> &graph,
+                                             const Context &base) {
+  std::lock_guard lock(_mutex);
+  auto it = _slots.find(key);
+  if (it != _slots.end()) {
+    ++_hits;
+    _lru.splice(_lru.begin(), _lru, it->second.lru_it);
+    return {it->second.entry, true};
+  }
+  ++_misses;
+  auto entry = std::make_shared<Entry>(graph, base);
+  _lru.push_front(key);
+  _slots.emplace(key, Slot{entry, _lru.begin()});
+  return {std::move(entry), false};
+}
+
+std::size_t SessionCache::evict_to_budget(const Key &keep) {
+  std::vector<std::shared_ptr<Entry>> doomed; // destroyed outside the lock
+  std::size_t evicted = 0;
+  {
+    std::lock_guard lock(_mutex);
+    if (_budget_bytes == 0) {
+      return 0;
+    }
+    std::uint64_t retained = 0;
+    for (const auto &[key, slot] : _slots) {
+      if (slot.entry->built.load(std::memory_order_acquire)) {
+        retained += slot.entry->session.retained_bytes();
+      }
+    }
+    // Walk from least-recently-used; unbuilt entries carry no hierarchy yet
+    // and are skipped (a job is about to build into them).
+    auto lru_it = _lru.end();
+    while (retained > _budget_bytes && lru_it != _lru.begin()) {
+      --lru_it;
+      const Key &candidate = *lru_it;
+      if (!(keep < candidate) && !(candidate < keep)) {
+        continue; // never evict the entry that triggered the pass
+      }
+      auto slot_it = _slots.find(candidate);
+      if (!slot_it->second.entry->built.load(std::memory_order_acquire)) {
+        continue;
+      }
+      retained -= slot_it->second.entry->session.retained_bytes();
+      doomed.push_back(std::move(slot_it->second.entry));
+      _slots.erase(slot_it);
+      lru_it = _lru.erase(lru_it);
+      ++evicted;
+      ++_evictions;
+    }
+  }
+  // `doomed` now releases the cache's references; entries still held by
+  // in-flight jobs survive until those jobs finish.
+  return evicted;
+}
+
+SessionCache::Stats SessionCache::stats() const {
+  std::lock_guard lock(_mutex);
+  Stats stats;
+  stats.hits = _hits;
+  stats.misses = _misses;
+  stats.evictions = _evictions;
+  stats.entries = _slots.size();
+  for (const auto &[key, slot] : _slots) {
+    if (slot.entry->built.load(std::memory_order_acquire)) {
+      stats.retained_bytes += slot.entry->session.retained_bytes();
+    }
+  }
+  return stats;
+}
+
+} // namespace terapart::service

@@ -1,0 +1,110 @@
+/// @file session_cache.h
+/// @brief LRU cache of retained-hierarchy PartitionSessions, keyed by
+/// (graph key, preset, hierarchy pinning).
+///
+/// A session's hierarchy is a pure function of (graph, coarsening config,
+/// hierarchy_k, hierarchy_seed) — the session determinism contract
+/// (DESIGN.md §12) — so every job that agrees on those four shares one
+/// entry: the hierarchy is built once and all later jobs serve read-only
+/// through `PartitionSession::partition_shared`.
+///
+/// Entries are handed out as `shared_ptr`, so LRU eviction is safe while
+/// jobs are in flight: eviction drops the cache's reference, and the entry
+/// (session + its pinned graph reference) is destroyed when the last
+/// running job releases it. Retained-hierarchy memory stays accounted in
+/// the MemoryTracker ("session/hierarchy") for exactly that lifetime.
+///
+/// Eviction is charged against `budget_bytes` (0 = unlimited): after each
+/// hierarchy build the cache evicts least-recently-used *built* entries —
+/// never the one just used — until the sum of retained bytes fits.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "compression/compressed_graph.h"
+#include "partition/facade.h"
+
+namespace terapart::service {
+
+class SessionCache {
+public:
+  /// What pins a hierarchy: the graph, the preset's coarsening config, and
+  /// the (hierarchy_k, hierarchy_seed) pair baked into the base context.
+  struct Key {
+    std::string graph; ///< graph-store key
+    std::string preset;
+    BlockID hierarchy_k = 0;
+    std::uint64_t hierarchy_seed = 0;
+
+    [[nodiscard]] bool operator<(const Key &other) const {
+      return std::tie(graph, preset, hierarchy_k, hierarchy_seed) <
+             std::tie(other.graph, other.preset, other.hierarchy_k, other.hierarchy_seed);
+    }
+  };
+
+  /// One cached session. The first job through takes `build_mutex`, runs the
+  /// mutating `session.partition(...)` (building the hierarchy), and flips
+  /// `built`; everyone after serves lock-free via `partition_shared`.
+  struct Entry {
+    Entry(std::shared_ptr<const CompressedGraph> graph_in, Context base)
+        : graph(std::move(graph_in)), session(*graph, std::move(base)) {}
+
+    /// Pins the compressed graph for the session's lifetime (the session
+    /// holds it by reference).
+    std::shared_ptr<const CompressedGraph> graph;
+    PartitionSession session;
+    std::mutex build_mutex;
+    std::atomic<bool> built{false};
+  };
+
+  struct Acquired {
+    std::shared_ptr<Entry> entry;
+    bool hit = false; ///< entry existed before this acquire
+  };
+
+  explicit SessionCache(std::uint64_t budget_bytes = 0) : _budget_bytes(budget_bytes) {}
+
+  /// Returns the entry for `key`, creating it (cheap — the hierarchy is
+  /// built lazily by the first job) with the given graph and base context
+  /// if absent. Marks the entry most-recently-used.
+  [[nodiscard]] Acquired acquire(const Key &key,
+                                 const std::shared_ptr<const CompressedGraph> &graph,
+                                 const Context &base);
+
+  /// Runs the LRU eviction pass: drops least-recently-used built entries —
+  /// never `keep` — until retained hierarchy bytes fit the budget. Call
+  /// after a hierarchy build. Returns the number of entries evicted.
+  std::size_t evict_to_budget(const Key &keep);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t retained_bytes = 0; ///< built hierarchies currently cached
+    std::size_t entries = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+private:
+  struct Slot {
+    std::shared_ptr<Entry> entry;
+    std::list<Key>::iterator lru_it; ///< position in _lru (front = most recent)
+  };
+
+  const std::uint64_t _budget_bytes;
+  mutable std::mutex _mutex;
+  std::map<Key, Slot> _slots;
+  std::list<Key> _lru;
+  std::uint64_t _hits = 0;
+  std::uint64_t _misses = 0;
+  std::uint64_t _evictions = 0;
+};
+
+} // namespace terapart::service

@@ -3,6 +3,7 @@
 /// surface. New code should include what it uses —
 ///   terapart/core.h          graph types, facade, metrics, thread pool
 ///   terapart/compression.h   compressed graphs + parallel compressor
+///   terapart/service.h       the partition daemon (jobs, queue, caches)
 ///   terapart/experimental.h  baselines, distributed prototype, generators
 ///
 /// Typical use:
@@ -21,3 +22,4 @@
 #include "terapart/compression.h"  // IWYU pragma: export
 #include "terapart/core.h"         // IWYU pragma: export
 #include "terapart/experimental.h" // IWYU pragma: export
+#include "terapart/service.h"      // IWYU pragma: export

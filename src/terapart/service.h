@@ -1,0 +1,11 @@
+/// @file terapart/service.h
+/// @brief Partitioning-as-a-service surface (DESIGN.md §14): the job
+/// vocabulary, the daemon configuration, and the PartitionService itself,
+/// plus the shared-artifact stores it serves from.
+#pragma once
+
+#include "service/graph_store.h"        // IWYU pragma: export
+#include "service/job.h"                // IWYU pragma: export
+#include "service/partition_service.h"  // IWYU pragma: export
+#include "service/service_config.h"     // IWYU pragma: export
+#include "service/session_cache.h"      // IWYU pragma: export

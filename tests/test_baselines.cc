@@ -17,6 +17,7 @@
 #include "graph/graph_io.h"
 #include "partition/metrics.h"
 #include "partition/partitioner.h"
+#include "partition/facade.h"
 
 namespace terapart::baselines {
 namespace {
@@ -58,7 +59,7 @@ TEST(MetisLike, PartitionsWithReasonableQuality) {
   EXPECT_GT(result.num_levels, 2); // pairwise matching -> deep hierarchy
 
   // Multilevel quality class: within a small factor of TeraPart.
-  const PartitionResult terapart = partition_graph(graph, terapart_context(k, 3));
+  const PartitionResult terapart = Partitioner(terapart_context(k, 3)).partition(graph);
   EXPECT_LT(result.cut, 3 * terapart.cut + 100);
 }
 
@@ -80,7 +81,7 @@ TEST(XtraPulpLike, ValidButMuchWorseThanMultilevel) {
   expect_valid_partition(graph, single_level.partition, k);
   EXPECT_TRUE(single_level.balanced);
 
-  const PartitionResult multilevel = partition_graph(graph, terapart_context(k, 3));
+  const PartitionResult multilevel = Partitioner(terapart_context(k, 3)).partition(graph);
   // Table III's shape: single-level LP cuts several times more edges.
   EXPECT_GT(single_level.cut, 2 * multilevel.cut);
 }
@@ -101,7 +102,7 @@ TEST(HeiStreamLike, WorseThanMultilevelOnGeneratedFamilies) {
     const PartitionResult streaming = heistream_like_partition(graph, k, 0.05, 3);
     Context ctx = terapart_context(k, 3);
     ctx.epsilon = 0.05;
-    const PartitionResult multilevel = partition_graph(graph, ctx);
+    const PartitionResult multilevel = Partitioner(ctx).partition(graph);
     EXPECT_GT(streaming.cut, multilevel.cut) << spec;
   }
 }
@@ -121,7 +122,7 @@ TEST(SemiExternal, PartitionsFromDiskWithBoundedMemory) {
 
   // Table IV's shape: similar quality class to the in-memory method (the
   // paper's SEM is within ~1.4x of TeraPart).
-  const PartitionResult in_memory = partition_graph(graph, terapart_context(k, 5));
+  const PartitionResult in_memory = Partitioner(terapart_context(k, 5)).partition(graph);
   EXPECT_LT(sem.result.cut, 3 * in_memory.cut + 100);
   fs::remove(path);
 }

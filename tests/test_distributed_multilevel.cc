@@ -12,6 +12,7 @@
 #include "graph/validation.h"
 #include "partition/metrics.h"
 #include "partition/partitioner.h"
+#include "partition/facade.h"
 
 namespace terapart::dist {
 namespace {
@@ -63,7 +64,7 @@ TEST(DistMultiLevel, SingleRankMatchesSharedMemoryQualityClass) {
   const CsrGraph graph = gen::rgg2d(4000, 12, 7);
   const Context ctx = terapart_context(8, 3);
   const DistPartitionResult dist = dist_partition(graph, 1, ctx, false);
-  const PartitionResult shared = partition_graph(graph, ctx);
+  const PartitionResult shared = Partitioner(ctx).partition(graph);
   EXPECT_TRUE(dist.balanced);
   EXPECT_LT(dist.cut, 2 * shared.cut + 100);
   // With one rank all mailbox traffic is rank-0-to-rank-0 (owner aggregation

@@ -9,6 +9,7 @@
 #include <fstream>
 
 #include "terapart.h"
+#include "partition/facade.h"
 
 namespace terapart {
 namespace {
@@ -125,7 +126,7 @@ TEST(BrokenFiles, MetisWithTooFewLinesThrows) {
 
 TEST(LevelStats, ReportedForEveryLevel) {
   const CsrGraph graph = gen::rgg2d(6000, 12, 3);
-  const PartitionResult result = partition_graph(graph, terapart_context(4, 1));
+  const PartitionResult result = Partitioner(terapart_context(4, 1)).partition(graph);
   ASSERT_EQ(result.levels.size(), static_cast<std::size_t>(result.num_levels) + 1);
   EXPECT_EQ(result.levels.front().n, graph.n());
   EXPECT_EQ(result.levels.front().m, graph.m());
@@ -149,7 +150,7 @@ TEST_P(SuiteSweep, TerapartIsValidOnEverySetAGraph) {
   }
   const CsrGraph graph = suite[index].build(7);
   const Context ctx = terapart_context(8, 3);
-  const PartitionResult result = partition_graph(graph, ctx);
+  const PartitionResult result = Partitioner(ctx).partition(graph);
   EXPECT_TRUE(result.balanced) << suite[index].name << " imbalance " << result.imbalance;
   EXPECT_EQ(result.cut, metrics::edge_cut(graph, result.partition)) << suite[index].name;
 }

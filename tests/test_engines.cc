@@ -126,20 +126,20 @@ TEST(ContextBuilder, UseFmAndEngineNameStayInSync) {
 TEST(EngineStack, ResultRecordsTheResolvedEngineNames) {
   const CsrGraph graph = gen::rgg2d(3000, 10, 7);
 
-  const PartitionResult lp = partition_graph(graph, terapart_context(4, 1));
+  const PartitionResult lp = Partitioner(terapart_context(4, 1)).partition(graph);
   EXPECT_EQ(lp.engines.coarsening, "lp");
   EXPECT_EQ(lp.engines.initial, "bisection");
   EXPECT_EQ(lp.engines.refinement, "lp");
   EXPECT_FALSE(lp.hierarchy_reused);
 
-  const PartitionResult fm = partition_graph(graph, terapart_fm_context(4, 1));
+  const PartitionResult fm = Partitioner(terapart_fm_context(4, 1)).partition(graph);
   EXPECT_EQ(fm.engines.refinement, "lp+fm");
 }
 
 TEST(EngineStack, FastAndStrongPresetsPartitionCorrectly) {
   const CsrGraph graph = gen::rgg2d(4000, 12, 11);
   for (const Preset preset : {Preset::kFast, Preset::kStrong}) {
-    const PartitionResult result = partition_graph(graph, context_for_preset(preset, 8, 3));
+    const PartitionResult result = Partitioner(context_for_preset(preset, 8, 3)).partition(graph);
     EXPECT_EQ(result.partition.size(), graph.n());
     EXPECT_TRUE(result.balanced);
     EXPECT_GT(result.cut, 0);
@@ -184,7 +184,7 @@ TEST(EngineStack, CustomEngineRegistersAndRuns) {
   // to the default engine's.
   Context default_ctx = built.value();
   default_ctx.coarsening_engine = "lp";
-  const PartitionResult standard = partition_graph(graph, default_ctx);
+  const PartitionResult standard = Partitioner(default_ctx).partition(graph);
   EXPECT_EQ(custom.partition, standard.partition);
   EXPECT_EQ(custom.cut, standard.cut);
 }

@@ -92,7 +92,10 @@ TEST(FacadeParity, PartitionerMatchesPartitionGraph) {
   ASSERT_TRUE(built.ok());
   const Context ctx = std::move(built).value();
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const PartitionResult via_shim = partition_graph(graph, ctx);
+#pragma GCC diagnostic pop
   const PartitionResult via_facade = Partitioner(ctx).partition(graph);
 
   EXPECT_EQ(via_shim.cut, via_facade.cut);
@@ -109,7 +112,10 @@ TEST(FacadeParity, CompressedInputMatchesToo) {
   ASSERT_TRUE(built.ok());
   const Context ctx = std::move(built).value();
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const PartitionResult via_shim = partition_graph(compressed, ctx);
+#pragma GCC diagnostic pop
   const PartitionResult via_facade = Partitioner(ctx).partition(compressed);
   EXPECT_EQ(via_shim.partition, via_facade.partition);
 }

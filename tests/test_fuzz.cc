@@ -21,6 +21,7 @@
 #include "partition/partitioner.h"
 #include "parallel/thread_pool.h"
 #include "terapart.h" // umbrella header must stay self-contained
+#include "partition/facade.h"
 
 namespace terapart {
 namespace {
@@ -220,7 +221,7 @@ TEST(Fuzz, PartitionerInvariantsOnRandomGraphs) {
     const auto k = static_cast<BlockID>(2 + rng.next_bounded(12));
     Context ctx = rng.next_bool() ? terapart_context(k, rng()) : kaminpar_context(k, rng());
     ctx.use_fm = rng.next_bool(0.3);
-    const PartitionResult result = partition_graph(graph, ctx);
+    const PartitionResult result = Partitioner(ctx).partition(graph);
 
     ASSERT_EQ(result.partition.size(), graph.n()) << "trial " << trial;
     for (const BlockID b : result.partition) {

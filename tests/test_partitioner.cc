@@ -9,6 +9,7 @@
 #include "partition/partitioner.h"
 #include "partition/reporting.h"
 #include "partition/validation.h"
+#include "partition/facade.h"
 
 namespace terapart {
 namespace {
@@ -67,20 +68,20 @@ INSTANTIATE_TEST_SUITE_P(Cases, PartitionerEndToEnd, ::testing::ValuesIn(end_to_
 TEST_P(PartitionerEndToEnd, KaminparPresetIsValid) {
   const CsrGraph graph = gen::by_spec(GetParam().spec, 3);
   const Context ctx = kaminpar_context(GetParam().k, 7);
-  expect_valid_result(graph, ctx, partition_graph(graph, ctx));
+  expect_valid_result(graph, ctx, Partitioner(ctx).partition(graph));
 }
 
 TEST_P(PartitionerEndToEnd, TerapartPresetIsValid) {
   const CsrGraph graph = gen::by_spec(GetParam().spec, 3);
   const Context ctx = terapart_context(GetParam().k, 7);
-  expect_valid_result(graph, ctx, partition_graph(graph, ctx));
+  expect_valid_result(graph, ctx, Partitioner(ctx).partition(graph));
 }
 
 TEST_P(PartitionerEndToEnd, TerapartOnCompressedInputIsValid) {
   const CsrGraph graph = gen::by_spec(GetParam().spec, 3);
   const CompressedGraph compressed = compress_graph(graph);
   const Context ctx = terapart_context(GetParam().k, 7);
-  const PartitionResult result = partition_graph(compressed, ctx);
+  const PartitionResult result = Partitioner(ctx).partition(compressed);
   ASSERT_EQ(result.partition.size(), graph.n());
   EXPECT_EQ(result.cut, metrics::edge_cut(graph, result.partition));
   EXPECT_TRUE(result.balanced);
@@ -90,8 +91,8 @@ TEST_P(PartitionerEndToEnd, TerapartFmPresetIsValidAndAtLeastAsGoodOnAverage) {
   const CsrGraph graph = gen::by_spec(GetParam().spec, 3);
   const Context lp_ctx = terapart_context(GetParam().k, 7);
   const Context fm_ctx = terapart_fm_context(GetParam().k, 7);
-  const PartitionResult lp = partition_graph(graph, lp_ctx);
-  const PartitionResult fm = partition_graph(graph, fm_ctx);
+  const PartitionResult lp = Partitioner(lp_ctx).partition(graph);
+  const PartitionResult fm = Partitioner(fm_ctx).partition(graph);
   expect_valid_result(graph, fm_ctx, fm);
   // FM may not win on every instance/seed, but must never be far worse.
   EXPECT_LE(fm.cut, lp.cut + lp.cut / 4 + 50);
@@ -101,7 +102,7 @@ TEST(Partitioner, QualityLandsInASaneRangeOnStructuredGraphs) {
   // rgg2d with k=8: the paper's world has cuts around ~1% of edges; accept a
   // generous band to keep the test robust.
   const CsrGraph graph = gen::rgg2d(10'000, 12, 5);
-  const PartitionResult result = partition_graph(graph, terapart_context(8, 1));
+  const PartitionResult result = Partitioner(terapart_context(8, 1)).partition(graph);
   const double fraction =
       static_cast<double>(result.cut) / static_cast<double>(graph.m() / 2);
   EXPECT_LT(fraction, 0.10);
@@ -116,8 +117,8 @@ TEST(Partitioner, KaminparAndTerapartHaveComparableQuality) {
                            "grid2d:rows=60,cols=60"}) {
     const CsrGraph graph = gen::by_spec(spec, 11);
     for (const std::uint64_t seed : {1, 2, 3}) {
-      const auto kaminpar = partition_graph(graph, kaminpar_context(8, seed));
-      const auto terapart = partition_graph(graph, terapart_context(8, seed));
+      const auto kaminpar = Partitioner(kaminpar_context(8, seed)).partition(graph);
+      const auto terapart = Partitioner(terapart_context(8, seed)).partition(graph);
       ratio_sum += static_cast<double>(terapart.cut) /
                    std::max<EdgeWeight>(1, kaminpar.cut);
       ++instances;
@@ -131,8 +132,8 @@ TEST(Partitioner, KaminparAndTerapartHaveComparableQuality) {
 TEST(Partitioner, DeterministicSingleThreaded) {
   par::set_num_threads(1);
   const CsrGraph graph = gen::rgg2d(2000, 10, 13);
-  const PartitionResult a = partition_graph(graph, terapart_context(8, 42));
-  const PartitionResult b = partition_graph(graph, terapart_context(8, 42));
+  const PartitionResult a = Partitioner(terapart_context(8, 42)).partition(graph);
+  const PartitionResult b = Partitioner(terapart_context(8, 42)).partition(graph);
   EXPECT_EQ(a.partition, b.partition);
   EXPECT_EQ(a.cut, b.cut);
 }
@@ -140,19 +141,19 @@ TEST(Partitioner, DeterministicSingleThreaded) {
 TEST(Partitioner, TrivialCases) {
   const CsrGraph graph = gen::grid2d(6, 6);
   // k = 1.
-  const PartitionResult one = partition_graph(graph, terapart_context(1, 1));
+  const PartitionResult one = Partitioner(terapart_context(1, 1)).partition(graph);
   EXPECT_EQ(one.cut, 0);
   EXPECT_TRUE(one.balanced);
   // Empty graph.
   const CsrGraph empty;
-  const PartitionResult none = partition_graph(empty, terapart_context(4, 1));
+  const PartitionResult none = Partitioner(terapart_context(4, 1)).partition(empty);
   EXPECT_TRUE(none.partition.empty());
 }
 
 TEST(Partitioner, LargeKOnSmallGraph) {
   const CsrGraph graph = gen::rgg2d(1200, 10, 17);
   Context ctx = terapart_context(100, 5);
-  const PartitionResult result = partition_graph(graph, ctx);
+  const PartitionResult result = Partitioner(ctx).partition(graph);
   ASSERT_EQ(result.partition.size(), graph.n());
   EXPECT_TRUE(result.balanced);
 }
@@ -161,13 +162,13 @@ TEST(Partitioner, WeightedGraphsStayBalancedByWeight) {
   const CsrGraph graph =
       gen::with_random_edge_weights(gen::rhg(2000, 12, 3.0, 3), 50, 4);
   Context ctx = terapart_context(8, 9);
-  const PartitionResult result = partition_graph(graph, ctx);
+  const PartitionResult result = Partitioner(ctx).partition(graph);
   expect_valid_result(graph, ctx, result);
 }
 
 TEST(Partitioner, ReportsTimersAndLevels) {
   const CsrGraph graph = gen::rgg2d(5000, 12, 21);
-  const PartitionResult result = partition_graph(graph, terapart_context(4, 3));
+  const PartitionResult result = Partitioner(terapart_context(4, 3)).partition(graph);
   EXPECT_GT(result.num_levels, 0);
   EXPECT_GT(result.timers.total("coarsening"), 0.0);
   EXPECT_GT(result.timers.total("initial_partitioning"), 0.0);
@@ -177,7 +178,7 @@ TEST(Partitioner, ReportsTimersAndLevels) {
 TEST(Partitioner, PhaseTreeCoversEveryLevelAndRound) {
   const CsrGraph graph = gen::rgg2d(5000, 12, 21);
   const Context ctx = terapart_fm_context(4, 3);
-  const PartitionResult result = partition_graph(graph, ctx);
+  const PartitionResult result = Partitioner(ctx).partition(graph);
   ASSERT_GT(result.num_levels, 0);
 
   // Top-level phases mirror the PhaseTimer entries.
@@ -217,7 +218,7 @@ TEST(Partitioner, PhaseTreeCoversEveryLevelAndRound) {
 TEST(Partitioner, FillRunReportProducesParseableDocument) {
   const CsrGraph graph = gen::rgg2d(3000, 10, 5);
   const Context ctx = terapart_context(4, 2);
-  const PartitionResult result = partition_graph(graph, ctx);
+  const PartitionResult result = Partitioner(ctx).partition(graph);
 
   RunReport report("test_partitioner");
   fill_run_report(report, graph, "gen:rgg2d", ctx, result);

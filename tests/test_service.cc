@@ -1,0 +1,400 @@
+// Tests for the partition service (src/service/): the consolidated
+// config/error API, NDJSON request parsing, concurrent jobs sharing one
+// compressed graph + one retained hierarchy, bounded-queue and
+// memory-budget shedding as first-class outcomes, session-cache LRU
+// eviction, cooperative cancellation, and per-job run reports.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/json.h"
+#include "common/memory_tracker.h"
+#include "compression/parallel_compressor.h"
+#include "generators/generators.h"
+#include "partition/validation.h"
+#include "terapart/service.h"
+
+namespace terapart::service {
+namespace {
+
+constexpr const char *kSmallSpec = "rgg2d:n=6000,deg=8";
+constexpr const char *kSmallKey = "gen:rgg2d:n=6000,deg=8";
+
+[[nodiscard]] ServiceConfig config_or_die(ServiceConfigBuilder builder) {
+  auto built = builder.build();
+  EXPECT_TRUE(built.ok()) << (built.ok() ? "" : built.error().to_string());
+  return std::move(built).value();
+}
+
+/// The tests only vary graph / k / seed; the helper keeps every submit site
+/// fully initialized (everything else keeps the JobRequest defaults).
+JobRequest request(std::string graph, const BlockID k, const std::uint64_t seed = 1) {
+  JobRequest out;
+  out.graph = std::move(graph);
+  out.k = k;
+  out.seed = seed;
+  return out;
+}
+
+/// Blocks the worker inside the job's first progress event until release():
+/// the deterministic way to hold a job "running" while the test fills the
+/// queue behind it.
+class ProgressGate {
+public:
+  [[nodiscard]] ProgressCallback callback() {
+    return [this](const ProgressEvent & /*event*/) {
+      std::unique_lock lock(_mutex);
+      _entered = true;
+      _cv.notify_all();
+      _cv.wait(lock, [this] { return _released; });
+    };
+  }
+
+  void wait_entered() {
+    std::unique_lock lock(_mutex);
+    _cv.wait(lock, [this] { return _entered; });
+  }
+
+  void release() {
+    {
+      std::lock_guard lock(_mutex);
+      _released = true;
+    }
+    _cv.notify_all();
+  }
+
+private:
+  std::mutex _mutex;
+  std::condition_variable _cv;
+  bool _entered = false;
+  bool _released = false;
+};
+
+TEST(ServiceConfig, BuilderRejectsInvalidSettingsWithConfigErrors) {
+  {
+    auto result = ServiceConfigBuilder().workers(0).build();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().field, "workers");
+    EXPECT_EQ(error_kind(result.error().code), ErrorKind::kConfig);
+    EXPECT_NE(result.error().to_string().find("invalid configuration: workers:"),
+              std::string::npos);
+  }
+  {
+    // Mixing inter-job and intra-job parallelism is the one combination the
+    // pool's single-dispatcher design cannot serve.
+    auto result = ServiceConfigBuilder().workers(2).threads_per_job(4).build();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().field, "threads_per_job");
+  }
+  {
+    auto result = ServiceConfigBuilder().queue_capacity(0).build();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().field, "queue_capacity");
+  }
+  {
+    auto result = ServiceConfigBuilder().degraded_watermark(1.5).build();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().field, "degraded_watermark");
+  }
+  {
+    auto result = ServiceConfigBuilder().default_preset("turbo").build();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().field, "default_preset");
+  }
+  EXPECT_TRUE(ServiceConfigBuilder().workers(1).threads_per_job(4).build().ok());
+  EXPECT_TRUE(ServiceConfigBuilder().workers(8).build().ok());
+}
+
+TEST(ServiceRequest, ParsesNdjsonAndRejectsUnknownKeys) {
+  auto parsed = parse_job_request_line(
+      R"({"graph": "gen:rgg2d:n=1000,deg=8", "k": 8, "epsilon": 0.1, "seed": 7, )"
+      R"("preset": "fast", "id": "alpha"})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().graph, "gen:rgg2d:n=1000,deg=8");
+  EXPECT_EQ(parsed.value().k, 8u);
+  EXPECT_DOUBLE_EQ(parsed.value().epsilon, 0.1);
+  EXPECT_EQ(parsed.value().seed, 7u);
+  EXPECT_EQ(parsed.value().preset, "fast");
+  EXPECT_EQ(parsed.value().id, "alpha");
+
+  // Round-trip through the serializer.
+  auto round = parse_job_request(job_request_to_json(parsed.value()));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value().graph, parsed.value().graph);
+  EXPECT_EQ(round.value().seed, parsed.value().seed);
+
+  {
+    auto bad = parse_job_request_line(R"({"graph": "g.tpg", "blocks": 4})");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().field, "blocks");
+    EXPECT_EQ(error_kind(bad.error().code), ErrorKind::kConfig);
+  }
+  {
+    auto bad = parse_job_request_line(R"({"k": 4})");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().field, "graph");
+  }
+  {
+    auto bad = parse_job_request_line("not json at all");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(error_kind(bad.error().code), ErrorKind::kConfig);
+  }
+}
+
+TEST(Service, SubmitValidatesThroughTheSameContextSurface) {
+  PartitionService service(config_or_die(ServiceConfigBuilder().workers(1)));
+  {
+    auto handle = service.submit(request(kSmallKey, 1));
+    ASSERT_FALSE(handle.ok());
+    EXPECT_EQ(handle.error().field, "k");
+  }
+  {
+    JobRequest request;
+    request.graph = kSmallKey;
+    request.preset = "turbo";
+    auto handle = service.submit(std::move(request));
+    ASSERT_FALSE(handle.ok());
+    EXPECT_EQ(handle.error().field, "preset");
+  }
+  {
+    auto handle = service.submit(JobRequest{});
+    ASSERT_FALSE(handle.ok());
+    EXPECT_EQ(handle.error().field, "graph");
+  }
+}
+
+// The acceptance scenario: >= 8 concurrent jobs with mixed (k, epsilon,
+// seed) against one shared compressed graph — exactly one graph load,
+// exactly one hierarchy build, everyone else serves the retained artifact,
+// and every job emits a valid NDJSON run report.
+TEST(Service, ConcurrentMixedJobsShareOneGraphAndOneHierarchy) {
+  PartitionService service(
+      config_or_die(ServiceConfigBuilder().workers(4).queue_capacity(64)));
+
+  const BlockID ks[] = {4, 8, 16, 32, 4, 8, 16, 32, 64};
+  std::vector<PartitionService::JobHandle> handles;
+  for (std::size_t i = 0; i < std::size(ks); ++i) {
+    JobRequest request;
+    request.graph = kSmallKey;
+    request.k = ks[i];
+    request.epsilon = (i % 2 == 0) ? 0.03 : 0.1;
+    request.seed = i + 1;
+    auto handle = service.submit(std::move(request));
+    ASSERT_TRUE(handle.ok()) << handle.error().to_string();
+    handles.push_back(std::move(handle).value());
+  }
+
+  const CsrGraph reference = gen::by_spec(kSmallSpec, GraphStore::kGeneratorSeed);
+  std::size_t builds_observed = 0;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const JobResult &result = handles[i].wait();
+    ASSERT_TRUE(result.state == JobState::kDone || result.state == JobState::kDegraded)
+        << "job " << i << " ended " << job_state_name(result.state);
+    expect_valid_partition(reference, result.partition.partition, ks[i],
+                           result.partition.cut);
+    if (!result.hierarchy_reused) {
+      ++builds_observed;
+    }
+
+    // Every job's report is one parseable NDJSON line with the versioned
+    // schema and the job lifecycle section.
+    const std::string line = service.job_report(result).to_ndjson_line();
+    EXPECT_EQ(line.back(), '\n');
+    json::Value doc;
+    std::string parse_error;
+    ASSERT_TRUE(json::parse(line, doc, &parse_error)) << parse_error;
+    ASSERT_NE(doc.find("schema"), nullptr);
+    EXPECT_EQ(doc.find("schema")->as_string(), "terapart.run_report/v1");
+    const json::Value *job = doc.find("job");
+    ASSERT_NE(job, nullptr);
+    EXPECT_EQ(job->find("id")->as_string(), handles[i].id());
+    EXPECT_NE(job->find("state")->as_string(), "failed");
+  }
+
+  // One job built the hierarchy; the other eight served it read-only.
+  EXPECT_EQ(builds_observed, 1u);
+  EXPECT_EQ(service.metrics().counter("cache.hierarchy_builds"), 1u);
+  const json::Value stats = service.stats_json();
+  EXPECT_EQ(stats.find("store")->find("loads")->as_uint64(), 1u);
+  EXPECT_EQ(stats.find("store")->find("graphs_resident")->as_uint64(), 1u);
+  EXPECT_EQ(stats.find("session_cache")->find("misses")->as_uint64(), 1u);
+  EXPECT_EQ(stats.find("session_cache")->find("hits")->as_uint64(), 8u);
+}
+
+TEST(Service, FullQueueShedsAtSubmitAsAFirstClassOutcome) {
+  PartitionService service(
+      config_or_die(ServiceConfigBuilder().workers(1).queue_capacity(1)));
+
+  ProgressGate gate;
+  auto running = service.submit(request(kSmallKey, 4), gate.callback());
+  ASSERT_TRUE(running.ok());
+  gate.wait_entered(); // the worker is now pinned inside job 1
+
+  auto queued = service.submit(request(kSmallKey, 8));
+  ASSERT_TRUE(queued.ok());
+  auto shed = service.submit(request(kSmallKey, 16));
+  ASSERT_TRUE(shed.ok());
+
+  // The shed handle is terminal immediately, with its reason — no error.
+  const JobResult &shed_result = shed.value().wait();
+  EXPECT_EQ(shed_result.state, JobState::kShed);
+  EXPECT_EQ(shed_result.shed_reason, "queue_full");
+  EXPECT_FALSE(shed_result.has_partition());
+
+  const std::string line = service.job_report(shed_result).to_ndjson_line();
+  json::Value doc;
+  ASSERT_TRUE(json::parse(line, doc, nullptr));
+  EXPECT_EQ(doc.find("job")->find("state")->as_string(), "shed");
+  EXPECT_EQ(doc.find("job")->find("shed_reason")->as_string(), "queue_full");
+
+  gate.release();
+  EXPECT_TRUE(running.value().wait().state == JobState::kDone);
+  EXPECT_TRUE(queued.value().wait().state == JobState::kDone);
+  EXPECT_EQ(service.metrics().counter("service.jobs_shed_queue_full"), 1u);
+}
+
+TEST(Service, CancelBeforeRunningDropsTheJobWithoutRunningIt) {
+  PartitionService service(
+      config_or_die(ServiceConfigBuilder().workers(1).queue_capacity(4)));
+
+  ProgressGate gate;
+  auto running = service.submit(request(kSmallKey, 4), gate.callback());
+  ASSERT_TRUE(running.ok());
+  gate.wait_entered();
+
+  auto doomed = service.submit(request(kSmallKey, 8));
+  ASSERT_TRUE(doomed.ok());
+  doomed.value().cancel();
+  gate.release();
+
+  const JobResult &result = doomed.value().wait();
+  EXPECT_EQ(result.state, JobState::kCancelled);
+  EXPECT_FALSE(result.has_partition());
+  EXPECT_EQ(result.run_ms, 0.0);
+  EXPECT_EQ(running.value().wait().state, JobState::kDone);
+}
+
+TEST(Service, MemoryBudgetShedsAndRecordsTheReasonInTheRunReport) {
+  // Size the budget around the small graph: the primer job (and its cache
+  // hits) fit, the much larger graph's hierarchy build cannot.
+  const std::uint64_t before = MemoryTracker::global().current();
+  std::uint64_t small_bytes = 0;
+  {
+    const CsrGraph small = gen::by_spec(kSmallSpec, GraphStore::kGeneratorSeed);
+    auto outcome = try_compress_graph_parallel(small);
+    ASSERT_TRUE(outcome.ok());
+    small_bytes = outcome.value().graph.memory_bytes();
+  }
+  const std::uint64_t budget = before + 8 * small_bytes;
+
+  // One worker: FIFO order guarantees the warm jobs are admitted against
+  // the small-graph footprint before the big graph ever loads (admission
+  // reads the *global* tracker, so a concurrent big load would count
+  // against them).
+  PartitionService service(config_or_die(
+      ServiceConfigBuilder().workers(1).queue_capacity(16).memory_budget_bytes(budget)));
+
+  auto primer = service.submit(request(kSmallKey, 8));
+  ASSERT_TRUE(primer.ok());
+  ASSERT_EQ(primer.value().wait().state, JobState::kDone);
+
+  std::vector<PartitionService::JobHandle> warm;
+  for (int i = 0; i < 8; ++i) {
+    auto handle =
+        service.submit(request(kSmallKey, 8, static_cast<std::uint64_t>(i + 2)));
+    ASSERT_TRUE(handle.ok());
+    warm.push_back(std::move(handle).value());
+  }
+  // ~30x the small graph: loading it alone blows the budget, so admission
+  // sheds the job (after the load — the store keeps the graph resident).
+  auto big = service.submit(request("gen:rgg2d:n=200000,deg=8", 8));
+  ASSERT_TRUE(big.ok());
+
+  for (auto &handle : warm) {
+    EXPECT_EQ(handle.wait().state, JobState::kDone);
+  }
+  const JobResult &shed = big.value().wait();
+  EXPECT_EQ(shed.state, JobState::kShed);
+  EXPECT_EQ(shed.shed_reason, "memory_budget");
+  EXPECT_EQ(shed.admission, Admission::kShed);
+
+  const std::string line = service.job_report(shed).to_ndjson_line();
+  json::Value doc;
+  ASSERT_TRUE(json::parse(line, doc, nullptr));
+  EXPECT_EQ(doc.find("job")->find("state")->as_string(), "shed");
+  EXPECT_EQ(doc.find("job")->find("shed_reason")->as_string(), "memory_budget");
+  EXPECT_GE(service.metrics().counter("service.jobs_shed_memory"), 1u);
+}
+
+TEST(Service, SessionCacheEvictsLeastRecentlyUsedUnderBudget) {
+  // A 1-byte session budget forces every hierarchy build to evict all other
+  // built sessions (the just-built entry is never evicted).
+  PartitionService service(config_or_die(
+      ServiceConfigBuilder().workers(1).queue_capacity(8).session_budget_bytes(1)));
+
+  ASSERT_EQ(service.submit(request(kSmallKey, 4)).value().wait().state,
+            JobState::kDone);
+  ASSERT_EQ(
+      service.submit(request("gen:grid2d:rows=80,cols=80", 4)).value().wait().state,
+      JobState::kDone);
+
+  const json::Value stats = service.stats_json();
+  EXPECT_GE(stats.find("session_cache")->find("evictions")->as_uint64(), 1u);
+  EXPECT_EQ(stats.find("session_cache")->find("entries")->as_uint64(), 1u);
+
+  // The evicted session rebuilds on the next request for its graph.
+  ASSERT_EQ(service.submit(request(kSmallKey, 8)).value().wait().state,
+            JobState::kDone);
+  EXPECT_EQ(service.metrics().counter("cache.hierarchy_builds"), 3u);
+}
+
+TEST(Service, UnreadableGraphFailsTheJobNotTheService) {
+  PartitionService service(config_or_die(ServiceConfigBuilder().workers(1)));
+  auto missing = service.submit(request("no_such_file.tpg", 4));
+  ASSERT_TRUE(missing.ok());
+  const JobResult &result = missing.value().wait();
+  EXPECT_EQ(result.state, JobState::kFailed);
+  EXPECT_FALSE(result.error.message.empty());
+
+  const std::string line = service.job_report(result).to_ndjson_line();
+  json::Value doc;
+  ASSERT_TRUE(json::parse(line, doc, nullptr));
+  EXPECT_EQ(doc.find("job")->find("state")->as_string(), "failed");
+  ASSERT_NE(doc.find("job")->find("error"), nullptr);
+
+  // The process stays healthy: the next job on a good graph succeeds.
+  auto good = service.submit(request(kSmallKey, 4));
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value().wait().state, JobState::kDone);
+}
+
+TEST(Service, BatchAllocFaultMidRunIsRecordedAsADegradedJob) {
+  if (!fault::kEnabled) {
+    GTEST_SKIP() << "built without TP_FAULT_INJECTION";
+  }
+  PartitionService service(config_or_die(ServiceConfigBuilder().workers(1)));
+  // "The allocator stays broken": every contraction batch allocation fails,
+  // so the hierarchy build degrades to buffered contraction.
+  fault::ScopedFault armed(fault::Point::kBatchAlloc,
+                           fault::FaultSpec{.max_fires = 0});
+  auto handle = service.submit(request("gen:rgg2d:n=4000,deg=8", 8));
+  ASSERT_TRUE(handle.ok());
+  const JobResult &result = handle.value().wait();
+  EXPECT_EQ(result.state, JobState::kDegraded);
+  EXPECT_TRUE(result.partition.degraded.contraction_buffered);
+  EXPECT_TRUE(result.has_partition());
+
+  const std::string line = service.job_report(result).to_ndjson_line();
+  json::Value doc;
+  ASSERT_TRUE(json::parse(line, doc, nullptr));
+  EXPECT_EQ(doc.find("job")->find("state")->as_string(), "degraded");
+  EXPECT_TRUE(doc.find("degraded_mode")->find("contraction_buffered")->as_bool());
+}
+
+} // namespace
+} // namespace terapart::service
