@@ -7,18 +7,143 @@
 /// rank); ParMETIS/XtraPuLP fail 64x earlier, and XtraPuLP's cuts are
 /// 5.6x-68x worse. Here the graph sizes double across a feasible range and
 /// the per-rank memory model + cut ratios reproduce the ordering.
+///
+/// `--comm` switches to the message-layer comparison: the same partitions
+/// run over the synchronous superstep schedule and over the asynchronous
+/// buffered channel (varint-compressed batches, opportunistic drains), and
+/// the table reports logical vs wire volume, batching, and overlap.
+/// `--json <path>` (with `--comm`) writes a terapart.run_report/v1 document
+/// with a "comm" section.
 #include "bench_common.h"
+
+#include <string_view>
 
 #include "baselines/metis_like.h"
 #include "baselines/xtrapulp_like.h"
+#include "common/metrics_registry.h"
+#include "common/run_report.h"
 #include "distributed/dist_partitioner.h"
 
-int main() {
+namespace {
+
+using namespace terapart;
+using namespace terapart::bench;
+
+json::Value comm_to_json(const dist::CommStats &stats) {
+  json::Value out = json::Value::object();
+  out["supersteps"] = stats.supersteps;
+  out["messages"] = stats.messages;
+  out["logical_bytes"] = stats.bytes;
+  out["wire_bytes"] = stats.wire_bytes;
+  out["batches"] = stats.batches;
+  out["capacity_flushes"] = stats.capacity_flushes;
+  out["delivered"] = stats.delivered;
+  out["early_messages"] = stats.early_messages;
+  out["wire_ratio"] = stats.wire_ratio();
+  out["overlap_ratio"] = stats.overlap_ratio();
+  return out;
+}
+
+int run_comm_comparison(const char *json_path) {
+  print_header("Message layer — sync supersteps vs async buffered exchange",
+               "Section VI-C comm model (rgg2D / rhg, 8 nodes, k=64)",
+               "same partition pipeline over both transports; volume is logical "
+               "(struct) vs wire (varint) bytes");
+
+  const int num_ranks = 8;
+  const BlockID k = 64;
+  const Context ctx = terapart_context(k, 3);
+
+  dist::DistCommConfig sync_comm;   // one batch per pair, barrier delivery
+  dist::DistCommConfig async_comm;  // capacity flushes + opportunistic drains
+  async_comm.async = true;
+
+  struct Family {
+    const char *name;
+    CsrGraph (*build)(NodeID, std::uint64_t);
+  };
+  const Family families[] = {
+      {"rgg2D", [](const NodeID n, const std::uint64_t seed) { return gen::rgg2d(n, 16, seed); }},
+      {"rhg", [](const NodeID n, const std::uint64_t seed) {
+         return gen::rhg(n, 16, 3.0, seed);
+       }}};
+
+  json::Value bench_section = json::Value::array();
+  std::printf("%-8s %-7s %8s %6s %10s %10s %7s %8s %8s %8s\n", "graph", "mode", "cut", "steps",
+              "logical", "wire", "ratio", "batches", "capflush", "overlap");
+  for (const auto &family : families) {
+    const NodeID n = 16'000;
+    const CsrGraph graph = family.build(n, 5);
+
+    const auto sync_run = dist::dist_partition(graph, num_ranks, ctx, /*compress=*/true,
+                                               sync_comm);
+    const auto async_run = dist::dist_partition(graph, num_ranks, ctx, /*compress=*/true,
+                                                async_comm);
+
+    const auto row = [&](const char *mode, const dist::DistPartitionResult &run) {
+      std::printf("%-8s %-7s %8lld %6llu %10s %10s %6.2fx %8llu %8llu %7.1f%%\n", family.name,
+                  mode, static_cast<long long>(run.cut),
+                  static_cast<unsigned long long>(run.comm.supersteps),
+                  format_bytes(run.comm.bytes).c_str(),
+                  format_bytes(run.comm.wire_bytes).c_str(), run.comm.wire_ratio(),
+                  static_cast<unsigned long long>(run.comm.batches),
+                  static_cast<unsigned long long>(run.comm.capacity_flushes),
+                  100.0 * run.comm.overlap_ratio());
+    };
+    row("sync", sync_run);
+    row("async", async_run);
+
+    json::Value entry = json::Value::object();
+    entry["graph"] = family.name;
+    entry["n"] = n;
+    entry["ranks"] = num_ranks;
+    entry["k"] = k;
+    entry["sync_cut"] = static_cast<std::int64_t>(sync_run.cut);
+    entry["async_cut"] = static_cast<std::int64_t>(async_run.cut);
+    entry["sync"] = comm_to_json(sync_run.comm);
+    entry["async"] = comm_to_json(async_run.comm);
+    bench_section.push_back(std::move(entry));
+  }
+
+  std::printf("\nexpected shape: identical supersteps (the round structure is fixed); the\n"
+              "varint wire format carries >= 1.3x less volume than raw structs; only the\n"
+              "async rows batch eagerly (capacity flushes) and drain early (overlap > 0).\n");
+
+  if (json_path != nullptr) {
+    RunReport report("bench_table3_distributed");
+    report.add_section("comm", std::move(bench_section));
+    report.capture_metrics(MetricsRegistry::global());
+    if (!report.write(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path);
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
   using namespace terapart;
   using namespace terapart::bench;
 
+  bool comm_mode = false;
+  const char *json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--comm") {
+      comm_mode = true;
+    } else if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
   par::set_num_threads(bench_threads());
   MemoryTracker::global().reset();
+
+  if (comm_mode) {
+    return run_comm_comparison(json_path);
+  }
 
   print_header("Table III / Figure 8 (left, middle) — distributed comparison",
                "Table III + Fig. 8 (rgg2D / rhg, 8 nodes, k=64)",

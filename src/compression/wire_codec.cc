@@ -1,0 +1,71 @@
+#include "compression/wire_codec.h"
+
+#include "common/assert.h"
+
+namespace terapart::wire {
+
+void append_u32_delta_stream(std::vector<std::uint8_t> &out,
+                             const std::span<const std::uint32_t> keys) {
+  if (keys.empty()) {
+    return;
+  }
+  append_varint(out, keys[0]);
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    TP_ASSERT_MSG(keys[i] >= keys[i - 1], "delta stream requires sorted keys");
+    append_varint(out, keys[i] - keys[i - 1]);
+  }
+}
+
+void append_u32_gap_stream(std::vector<std::uint8_t> &out,
+                           const std::span<const std::uint32_t> keys) {
+  if (keys.empty()) {
+    return;
+  }
+  append_varint(out, keys[0]);
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    TP_ASSERT_MSG(keys[i] > keys[i - 1], "gap stream requires strictly increasing keys");
+    append_varint(out, keys[i] - keys[i - 1] - 1);
+  }
+}
+
+const std::uint8_t *decode_u32_delta_stream(const std::uint8_t *src, const std::uint32_t count,
+                                            std::uint32_t *out) {
+  if (count == 0) {
+    return src;
+  }
+  std::uint32_t prev = varint_decode_fast<std::uint32_t>(src);
+  out[0] = prev;
+  // Chunked through the bulk kernel: deltas decode 8-at-a-time where the
+  // stream is dense with single-byte values, then a scalar prefix pass turns
+  // them back into absolute keys.
+  std::uint64_t deltas[64];
+  std::uint32_t i = 1;
+  while (i < count) {
+    const std::uint32_t chunk = std::min<std::uint32_t>(64, count - i);
+    src = varint_decode_run(src, chunk, deltas);
+    for (std::uint32_t j = 0; j < chunk; ++j) {
+      prev += static_cast<std::uint32_t>(deltas[j]);
+      out[i + j] = prev;
+    }
+    i += chunk;
+  }
+  return src;
+}
+
+const std::uint8_t *decode_u32_gap_stream(const std::uint8_t *src, const std::uint32_t count,
+                                          std::uint32_t *out) {
+  if (count == 0) {
+    return src;
+  }
+  std::uint32_t prev = varint_decode_fast<std::uint32_t>(src);
+  out[0] = prev;
+  return varint_gap_run_decode_auto(src, count - 1, prev, out + 1);
+}
+
+std::size_t seal_batch(std::vector<std::uint8_t> &out) {
+  const std::size_t wire_size = out.size();
+  out.resize(wire_size + kVarIntDecodePadding, 0);
+  return wire_size;
+}
+
+} // namespace terapart::wire

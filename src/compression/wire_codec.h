@@ -1,0 +1,75 @@
+/// @file wire_codec.h
+/// @brief Varint wire primitives for the distributed message layer.
+///
+/// The asynchronous comm layer (src/distributed/comm.h) ships message batches
+/// as compressed byte streams instead of raw structs: sorted 32-bit keys are
+/// delta-encoded (the same residual-gap convention as the compressed graph,
+/// so decoding runs through the SIMD block-decode kernels of varint.h), and
+/// per-message values are packed as plain varints. This header collects the
+/// stream-building and stream-decoding primitives shared by all typed message
+/// codecs; the typed codecs themselves live in src/distributed/wire.h.
+///
+/// Contract: every finished batch must be terminated with `seal_batch`, which
+/// appends `kVarIntDecodePadding` readable bytes past the payload — the fast
+/// decode kernels issue one unaligned 64-bit load at the current position.
+/// The padding is not part of the wire size (a real transport would not ship
+/// it; the receiver provides the slack).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/varint.h"
+
+namespace terapart::wire {
+
+/// Appends one varint-encoded value.
+inline void append_varint(std::vector<std::uint8_t> &out, const std::uint64_t value) {
+  std::uint8_t scratch[kMaxVarIntLength<std::uint64_t>];
+  const std::size_t length = varint_encode(value, scratch);
+  out.insert(out.end(), scratch, scratch + length);
+}
+
+/// Appends one zigzag + varint encoded signed value.
+inline void append_signed_varint(std::vector<std::uint8_t> &out, const std::int64_t value) {
+  append_varint(out, zigzag_encode(value));
+}
+
+/// Appends `keys` (sorted ascending, duplicates allowed) as
+/// varint(keys[0]) + varint(keys[i] - keys[i-1]). Decode with
+/// `decode_u32_delta_stream`.
+void append_u32_delta_stream(std::vector<std::uint8_t> &out,
+                             std::span<const std::uint32_t> keys);
+
+/// Appends strictly increasing `keys` as varint(keys[0]) +
+/// varint(keys[i] - keys[i-1] - 1): the residual convention of the compressed
+/// graph, so `decode_u32_gap_stream` can run the SIMD gap-run kernels.
+void append_u32_gap_stream(std::vector<std::uint8_t> &out,
+                           std::span<const std::uint32_t> keys);
+
+/// Decodes `count` keys of a non-strict delta stream into `out` (exactly
+/// `count` writes). Returns the read position past the stream; requires
+/// `kVarIntDecodePadding` readable bytes beyond it.
+[[nodiscard]] const std::uint8_t *decode_u32_delta_stream(const std::uint8_t *src,
+                                                          std::uint32_t count,
+                                                          std::uint32_t *out);
+
+/// Decodes `count` keys of a strict gap stream into `out`. `out` must have
+/// room for `count + 7` entries (the gap kernels write full groups of 8);
+/// requires `kVarIntDecodePadding` readable bytes past the stream.
+[[nodiscard]] const std::uint8_t *decode_u32_gap_stream(const std::uint8_t *src,
+                                                        std::uint32_t count, std::uint32_t *out);
+
+/// Decodes `count` plain varints into `out` via the bulk block-decode kernel.
+[[nodiscard]] inline const std::uint8_t *decode_u64_run(const std::uint8_t *src,
+                                                        const std::size_t count,
+                                                        std::uint64_t *out) {
+  return varint_decode_run(src, count, out);
+}
+
+/// Terminates a batch: appends the decode padding and returns the wire size
+/// (payload bytes, excluding the padding).
+std::size_t seal_batch(std::vector<std::uint8_t> &out);
+
+} // namespace terapart::wire

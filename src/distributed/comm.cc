@@ -1,2 +1,3 @@
-// The mailbox is header-only (templated); this TU anchors the module.
+// The mailbox and the buffered channel are header-only (templated); this TU
+// anchors the module. The typed batch codecs live in wire.cc.
 #include "distributed/comm.h"

@@ -1,18 +1,35 @@
 /// @file comm.h
 /// @brief Simulated message passing for the distributed-memory experiments
-/// (Section VI-C).
+/// (Section VI-C): the legacy synchronous all-to-all mailbox and the
+/// asynchronous, overlap-capable buffered channel that replaced it in the
+/// distributed LP / contraction phases.
 ///
 /// The paper's XTeraPart runs dKaMinPar over Open MPI on an InfiniBand
-/// cluster. This reproduction executes the same synchronous-superstep
-/// algorithm structure in one process: each simulated rank owns its own data
-/// structures, communicates *only* through the mailbox below, and the driver
-/// advances ranks superstep by superstep. The mailbox mirrors MPI's
-/// all-to-all personalized exchange (MPI_Alltoallv): within a superstep every
-/// rank deposits typed messages per destination; `exchange()` is the barrier
-/// that delivers them. Communication volume is tracked so the weak-scaling
-/// bench can report it.
+/// cluster, and reaches tera-scale only because the distributed phases
+/// overlap computation with communication instead of stalling on synchronous
+/// supersteps. This reproduction executes the same algorithm structure in one
+/// process: each simulated rank owns its own data structures, communicates
+/// *only* through the channel below, and the driver advances ranks turn by
+/// turn.
+///
+/// `BufferedChannel` is the buffered remote-insert idiom: every (src, dst)
+/// pair owns an outgoing message buffer; a full buffer is cut into a wire
+/// batch (capacity-triggered flush), encoded by a typed varint codec
+/// (src/distributed/wire.h over src/compression/wire_codec.h), and placed in
+/// flight. Receivers `drain()` delivered batches opportunistically mid-sweep;
+/// the round terminator is an explicit `flush_all()` followed by draining to
+/// quiescence — replacing the old `exchange()` barrier. Communication volume
+/// is tracked both as logical bytes (what raw structs would ship, the old
+/// accounting) and as wire bytes (what the encoded batches actually occupy),
+/// so the weak-scaling bench can report honest volumes.
+///
+/// Synchronization: channels are externally synchronized, exactly like the
+/// old mailbox — the simulation driver sends from the sequential per-rank
+/// collection phases and drains at fork/join points, never from concurrent
+/// worker threads.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -20,7 +37,11 @@
 
 namespace terapart::dist {
 
-/// All-to-all mailbox for messages of type T.
+/// All-to-all mailbox for messages of type T — the synchronous-superstep
+/// baseline (mirrors MPI_Alltoallv): within a superstep every rank deposits
+/// typed messages per destination; `exchange()` is the barrier that delivers
+/// them. Kept for the contraction-style bulk exchanges in tests and as the
+/// reference the async channel is compared against.
 template <typename T> class Mailbox {
 public:
   explicit Mailbox(const int num_ranks)
@@ -35,6 +56,7 @@ public:
   }
 
   void send_bulk(const int src, const int dst, std::vector<T> messages) {
+    TP_ASSERT(src >= 0 && src < _num_ranks && dst >= 0 && dst < _num_ranks);
     auto &queue = _outbox[static_cast<std::size_t>(src) * _num_ranks + dst];
     if (queue.empty()) {
       queue = std::move(messages);
@@ -69,6 +91,8 @@ public:
 
   [[nodiscard]] int num_ranks() const { return _num_ranks; }
   [[nodiscard]] std::uint64_t messages_delivered() const { return _messages_delivered; }
+  /// The mailbox ships raw structs, so struct bytes *are* its wire bytes.
+  /// The varint-encoded channel reports encoded bytes instead (`wire_bytes`).
   [[nodiscard]] std::uint64_t bytes_delivered() const {
     return _messages_delivered * sizeof(T);
   }
@@ -80,11 +104,245 @@ private:
   std::uint64_t _messages_delivered = 0;
 };
 
-/// Accumulated communication statistics of a distributed run.
+/// Configuration of the buffered channel.
+struct DistCommConfig {
+  /// Overlap mode: flushed batches become visible to `drain()` immediately,
+  /// and full outgoing buffers are cut into batches eagerly
+  /// (capacity-triggered flush). With `async == false` the channel degrades
+  /// to the synchronous superstep schedule: one batch per (src, dst) pair,
+  /// cut and delivered only at the `flush_all()` terminator — the
+  /// MPI_Alltoallv shape of the old mailbox.
+  bool async = false;
+  /// Deterministic drain order: visible batches are delivered sorted by
+  /// (src, flush sequence), making the applied message order a function of
+  /// the send history alone — batch boundaries (which vary with the
+  /// capacity-flush schedule) cannot change it. Required by the determinism
+  /// tests on the simulated transport.
+  bool deterministic = true;
+  /// Messages buffered per (src, dst) pair before a capacity-triggered flush
+  /// (async mode only).
+  std::size_t flush_threshold = 256;
+};
+
+/// Accumulated communication statistics of a distributed run. Everything is
+/// `+=`-accumulated across phases — a phase must never assign (that clobbers
+/// the caller's running totals; see the regression test).
 struct CommStats {
   std::uint64_t supersteps = 0;
-  std::uint64_t messages = 0;
+  std::uint64_t messages = 0; ///< logical messages sent
+  /// Logical payload bytes: messages * sizeof(struct) — what an uncompressed
+  /// transport would ship, and the baseline of the wire-compression ratio.
   std::uint64_t bytes = 0;
+  std::uint64_t wire_bytes = 0;        ///< encoded bytes actually on the wire
+  std::uint64_t batches = 0;           ///< wire batches flushed
+  std::uint64_t capacity_flushes = 0;  ///< batches cut by a full buffer
+  std::uint64_t delivered = 0;         ///< messages handed to drain callbacks
+  std::uint64_t early_messages = 0;    ///< drained before the round terminator
+
+  void accumulate(const CommStats &other) {
+    supersteps += other.supersteps;
+    messages += other.messages;
+    bytes += other.bytes;
+    wire_bytes += other.wire_bytes;
+    batches += other.batches;
+    capacity_flushes += other.capacity_flushes;
+    delivered += other.delivered;
+    early_messages += other.early_messages;
+  }
+
+  /// Fraction of deliveries that happened mid-sweep instead of at the round
+  /// terminator — the compute/communication overlap the async layer buys.
+  [[nodiscard]] double overlap_ratio() const {
+    return delivered == 0 ? 0.0
+                          : static_cast<double>(early_messages) / static_cast<double>(delivered);
+  }
+
+  /// Logical bytes per wire byte (>= 1 when the codec compresses).
+  [[nodiscard]] double wire_ratio() const {
+    return wire_bytes == 0 ? 1.0 : static_cast<double>(bytes) / static_cast<double>(wire_bytes);
+  }
+};
+
+/// Asynchronous buffered message channel for messages of type `Msg`,
+/// serialized by `Codec`:
+///
+///   struct Codec {
+///     // Encodes `batch` into `out` and seals it (may reorder or coalesce
+///     // the batch — e.g. last-writer-wins dedup); returns the encoded
+///     // message count and, via `wire_size`, the payload size sans padding.
+///     static std::uint32_t encode(std::vector<Msg> &batch,
+///                                 std::vector<std::uint8_t> &out,
+///                                 std::size_t &wire_size);
+///     // Invokes fn(msg) for each of the `count` encoded messages.
+///     template <typename Fn>
+///     static void decode(const std::uint8_t *src, std::uint32_t count, Fn &&fn);
+///   };
+template <typename Msg, typename Codec> class BufferedChannel {
+public:
+  explicit BufferedChannel(const int num_ranks, const DistCommConfig &config = {})
+      : _num_ranks(num_ranks), _config(config),
+        _buffers(static_cast<std::size_t>(num_ranks) * num_ranks),
+        _next_seq(static_cast<std::size_t>(num_ranks) * num_ranks, 0),
+        _inflight(static_cast<std::size_t>(num_ranks)),
+        _visible(static_cast<std::size_t>(num_ranks), 0) {}
+
+  /// Buffered remote insert: rank `src` deposits one message for `dst`. In
+  /// async mode a full buffer is cut into a wire batch immediately.
+  void send(const int src, const int dst, Msg message) {
+    TP_ASSERT(src >= 0 && src < _num_ranks && dst >= 0 && dst < _num_ranks);
+    auto &buffer = _buffers[pair_index(src, dst)];
+    buffer.push_back(std::move(message));
+    ++_stats.messages;
+    maybe_capacity_flush(src, dst, buffer);
+  }
+
+  void send_bulk(const int src, const int dst, const std::vector<Msg> &messages) {
+    TP_ASSERT(src >= 0 && src < _num_ranks && dst >= 0 && dst < _num_ranks);
+    auto &buffer = _buffers[pair_index(src, dst)];
+    buffer.insert(buffer.end(), messages.begin(), messages.end());
+    _stats.messages += messages.size();
+    maybe_capacity_flush(src, dst, buffer);
+  }
+
+  /// Flushes every non-empty outgoing buffer of rank `src`.
+  void flush(const int src) {
+    TP_ASSERT(src >= 0 && src < _num_ranks);
+    for (int dst = 0; dst < _num_ranks; ++dst) {
+      flush_one(src, dst);
+    }
+  }
+
+  /// Round terminator, part 1: flushes all buffers and makes every in-flight
+  /// batch visible to `drain()` (in sync mode this is the only point where
+  /// batches become visible — the superstep barrier). Part 2 is draining
+  /// every rank until `quiescent()`.
+  void flush_all() {
+    for (int src = 0; src < _num_ranks; ++src) {
+      flush(src);
+    }
+    for (int dst = 0; dst < _num_ranks; ++dst) {
+      _visible[static_cast<std::size_t>(dst)] = _inflight[static_cast<std::size_t>(dst)].size();
+    }
+  }
+
+  /// Delivers every visible batch addressed to `dst`: invokes
+  /// `fn(src, message)` per decoded message and returns the number of
+  /// messages delivered. With `deterministic`, visible batches are applied
+  /// sorted by (src, flush sequence) — the concatenation per source equals
+  /// its send order, independent of where capacity flushes cut the batches.
+  template <typename Fn> std::uint64_t drain(const int dst, Fn &&fn) {
+    TP_ASSERT(dst >= 0 && dst < _num_ranks);
+    auto &queue = _inflight[static_cast<std::size_t>(dst)];
+    const std::size_t visible = _visible[static_cast<std::size_t>(dst)];
+    if (visible == 0) {
+      return 0;
+    }
+    if (_config.deterministic) {
+      std::stable_sort(queue.begin(), queue.begin() + static_cast<std::ptrdiff_t>(visible),
+                       [](const WireBatch &a, const WireBatch &b) {
+                         return a.src != b.src ? a.src < b.src : a.seq < b.seq;
+                       });
+    }
+    std::uint64_t delivered = 0;
+    for (std::size_t i = 0; i < visible; ++i) {
+      const WireBatch &batch = queue[i];
+      Codec::decode(batch.bytes.data(), batch.count,
+                    [&](const Msg &message) { fn(batch.src, message); });
+      delivered += batch.count;
+    }
+    queue.erase(queue.begin(), queue.begin() + static_cast<std::ptrdiff_t>(visible));
+    _visible[static_cast<std::size_t>(dst)] = 0;
+    _stats.delivered += delivered;
+    return delivered;
+  }
+
+  /// True once nothing is buffered and nothing is in flight: the
+  /// quiescence check of the round terminator. A straggler rank that has
+  /// sent but not flushed keeps the channel non-quiescent.
+  [[nodiscard]] bool quiescent() const {
+    for (const auto &buffer : _buffers) {
+      if (!buffer.empty()) {
+        return false;
+      }
+    }
+    for (const auto &queue : _inflight) {
+      if (!queue.empty()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] int num_ranks() const { return _num_ranks; }
+  [[nodiscard]] const DistCommConfig &config() const { return _config; }
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return _stats.messages; }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return _stats.delivered; }
+  [[nodiscard]] std::uint64_t batches_flushed() const { return _stats.batches; }
+  [[nodiscard]] std::uint64_t capacity_flushes() const { return _stats.capacity_flushes; }
+  /// Honest wire accounting: encoded batch bytes, not messages * sizeof(Msg).
+  [[nodiscard]] std::uint64_t bytes_delivered() const { return _stats.wire_bytes; }
+  [[nodiscard]] std::uint64_t logical_bytes() const { return _stats.messages * sizeof(Msg); }
+
+  /// Folds this channel's counters into a phase-level accumulator
+  /// (`+=` semantics; supersteps stay caller-owned).
+  void harvest(CommStats &stats) const {
+    stats.messages += _stats.messages;
+    stats.bytes += logical_bytes();
+    stats.wire_bytes += _stats.wire_bytes;
+    stats.batches += _stats.batches;
+    stats.capacity_flushes += _stats.capacity_flushes;
+    stats.delivered += _stats.delivered;
+  }
+
+private:
+  /// One encoded batch in flight: the wire unit of the simulated transport.
+  struct WireBatch {
+    int src = 0;
+    std::uint64_t seq = 0;     ///< per (src, dst) flush sequence number
+    std::uint32_t count = 0;   ///< encoded messages inside
+    std::vector<std::uint8_t> bytes; ///< sealed payload (+ decode padding)
+  };
+
+  [[nodiscard]] std::size_t pair_index(const int src, const int dst) const {
+    return static_cast<std::size_t>(src) * _num_ranks + dst;
+  }
+
+  void maybe_capacity_flush(const int src, const int dst, const std::vector<Msg> &buffer) {
+    if (_config.async && buffer.size() >= _config.flush_threshold) {
+      ++_stats.capacity_flushes;
+      flush_one(src, dst);
+    }
+  }
+
+  void flush_one(const int src, const int dst) {
+    auto &buffer = _buffers[pair_index(src, dst)];
+    if (buffer.empty()) {
+      return;
+    }
+    WireBatch batch;
+    batch.src = src;
+    batch.seq = _next_seq[pair_index(src, dst)]++;
+    std::size_t wire_size = 0;
+    batch.count = Codec::encode(buffer, batch.bytes, wire_size);
+    buffer.clear();
+    ++_stats.batches;
+    _stats.wire_bytes += wire_size;
+    _inflight[static_cast<std::size_t>(dst)].push_back(std::move(batch));
+    if (_config.async) {
+      // Eager visibility: the batch is deliverable as soon as it is cut.
+      _visible[static_cast<std::size_t>(dst)] =
+          _inflight[static_cast<std::size_t>(dst)].size();
+    }
+  }
+
+  int _num_ranks;
+  DistCommConfig _config;
+  std::vector<std::vector<Msg>> _buffers; ///< [src * p + dst] outgoing buffers
+  std::vector<std::uint64_t> _next_seq;   ///< [src * p + dst] flush sequences
+  std::vector<std::vector<WireBatch>> _inflight; ///< [dst] delivered-to queue
+  std::vector<std::size_t> _visible;             ///< [dst] drainable prefix
+  CommStats _stats;
 };
 
 } // namespace terapart::dist

@@ -5,30 +5,11 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "distributed/wire.h"
+
 namespace terapart::dist {
 
 namespace {
-
-struct WeightMsg {
-  NodeID leader;
-  NodeWeight weight;
-};
-
-struct QueryMsg {
-  NodeID leader;
-};
-
-struct ResolveMsg {
-  NodeID leader;
-  NodeID coarse_global;
-  NodeWeight weight;
-};
-
-struct EdgeMsg {
-  NodeID coarse_u; ///< global coarse source (owned by the destination rank)
-  NodeID coarse_v; ///< global coarse target
-  EdgeWeight weight;
-};
 
 int owner_in(const std::vector<NodeID> &offsets, const NodeID global) {
   int lo = 0;
@@ -47,12 +28,13 @@ int owner_in(const std::vector<NodeID> &offsets, const NodeID global) {
 } // namespace
 
 DistContractionResult dist_contract(const std::vector<DistGraph> &parts,
-                                    const std::vector<RankLabels> &labels, CommStats &stats) {
+                                    const std::vector<RankLabels> &labels, CommStats &stats,
+                                    const DistCommConfig &comm) {
   const auto num_ranks = static_cast<int>(parts.size());
   DistContractionResult result;
 
   // --- Step 1: ship per-label weight contributions to the leader's owner. ---
-  Mailbox<WeightMsg> weight_mail(num_ranks);
+  BufferedChannel<WeightMsg, WeightMsgCodec> weight_channel(num_ranks, comm);
   for (const DistGraph &part : parts) {
     const auto &local = labels[static_cast<std::size_t>(part.rank)];
     std::unordered_map<NodeID, NodeWeight> contribution;
@@ -60,10 +42,10 @@ DistContractionResult dist_contract(const std::vector<DistGraph> &parts,
       contribution[local[u]] += part.node_weight(u);
     }
     for (const auto &[leader, weight] : contribution) {
-      weight_mail.send(part.rank, part.owner_of_global(leader), {leader, weight});
+      weight_channel.send(part.rank, part.owner_of_global(leader), {leader, weight});
     }
   }
-  weight_mail.exchange();
+  weight_channel.flush_all();
   ++stats.supersteps;
 
   // Owners aggregate: alive leaders + authoritative cluster weights.
@@ -71,10 +53,11 @@ DistContractionResult dist_contract(const std::vector<DistGraph> &parts,
   std::vector<std::map<NodeID, NodeWeight>> alive(parts.size());
   for (const DistGraph &part : parts) {
     auto &mine = alive[static_cast<std::size_t>(part.rank)];
-    weight_mail.for_each_received(part.rank, [&](int, const WeightMsg &msg) {
+    weight_channel.drain(part.rank, [&](int, const WeightMsg &msg) {
       mine[msg.leader] += msg.weight;
     });
   }
+  TP_ASSERT(weight_channel.quiescent());
 
   // --- Step 2: contiguous coarse numbering per owner rank. ---
   auto coarse_offsets = std::make_shared<std::vector<NodeID>>();
@@ -98,41 +81,45 @@ DistContractionResult dist_contract(const std::vector<DistGraph> &parts,
   }
 
   // --- Step 3: resolve every referenced label to its coarse global ID. ---
-  Mailbox<QueryMsg> query_mail(num_ranks);
+  BufferedChannel<QueryMsg, QueryMsgCodec> query_channel(num_ranks, comm);
   for (const DistGraph &part : parts) {
     const auto &local = labels[static_cast<std::size_t>(part.rank)];
     std::unordered_set<NodeID> referenced(local.begin(), local.end());
     for (const NodeID leader : referenced) {
-      query_mail.send(part.rank, part.owner_of_global(leader), {leader});
+      query_channel.send(part.rank, part.owner_of_global(leader), {leader});
     }
   }
-  query_mail.exchange();
+  query_channel.flush_all();
   ++stats.supersteps;
 
-  Mailbox<ResolveMsg> resolve_mail(num_ranks);
+  // The query handler replies through the resolve channel — a different
+  // channel, so per-channel quiescence still holds after one drain pass.
+  BufferedChannel<ResolveMsg, ResolveMsgCodec> resolve_channel(num_ranks, comm);
   for (const DistGraph &part : parts) {
     const auto &mine = leader_to_coarse[static_cast<std::size_t>(part.rank)];
     const auto &weights = alive[static_cast<std::size_t>(part.rank)];
-    query_mail.for_each_received(part.rank, [&](const int src, const QueryMsg &query) {
+    query_channel.drain(part.rank, [&](const int src, const QueryMsg &query) {
       const auto it = mine.find(query.leader);
       TP_ASSERT_MSG(it != mine.end(), "label references an empty cluster");
-      resolve_mail.send(part.rank, src,
-                        {query.leader, it->second, weights.at(query.leader)});
+      resolve_channel.send(part.rank, src,
+                           {query.leader, it->second, weights.at(query.leader)});
     });
   }
-  resolve_mail.exchange();
+  TP_ASSERT(query_channel.quiescent());
+  resolve_channel.flush_all();
   ++stats.supersteps;
 
   std::vector<std::unordered_map<NodeID, ResolveMsg>> resolved(parts.size());
   for (const DistGraph &part : parts) {
     auto &mine = resolved[static_cast<std::size_t>(part.rank)];
-    resolve_mail.for_each_received(part.rank, [&](int, const ResolveMsg &msg) {
+    resolve_channel.drain(part.rank, [&](int, const ResolveMsg &msg) {
       mine.emplace(msg.leader, msg);
     });
   }
+  TP_ASSERT(resolve_channel.quiescent());
 
   // --- Step 4: aggregate coarse edges locally, ship to the source owner. ---
-  Mailbox<EdgeMsg> edge_mail(num_ranks);
+  BufferedChannel<EdgeMsg, EdgeMsgCodec> edge_channel(num_ranks, comm);
   result.mapping.resize(parts.size());
   for (const DistGraph &part : parts) {
     const auto &local = labels[static_cast<std::size_t>(part.rank)];
@@ -156,10 +143,10 @@ DistContractionResult dist_contract(const std::vector<DistGraph> &parts,
     for (const auto &[key, weight] : aggregated) {
       const auto cu = static_cast<NodeID>(key >> 32);
       const auto cv = static_cast<NodeID>(key);
-      edge_mail.send(part.rank, owner_in(*coarse_offsets, cu), {cu, cv, weight});
+      edge_channel.send(part.rank, owner_in(*coarse_offsets, cu), {cu, cv, weight});
     }
   }
-  edge_mail.exchange();
+  edge_channel.flush_all();
   ++stats.supersteps;
 
   // --- Step 5: owners merge and build their local coarse graph. ---
@@ -178,7 +165,7 @@ DistContractionResult dist_contract(const std::vector<DistGraph> &parts,
 
     // Merge incoming edges per owned coarse vertex.
     std::vector<std::map<NodeID, EdgeWeight>> neighborhoods(coarse.local_n);
-    edge_mail.for_each_received(r, [&](int, const EdgeMsg &msg) {
+    edge_channel.drain(r, [&](int, const EdgeMsg &msg) {
       TP_ASSERT(msg.coarse_u >= coarse.first_global &&
                 msg.coarse_u < coarse.first_global + coarse.local_n);
       neighborhoods[msg.coarse_u - coarse.first_global][msg.coarse_v] += msg.weight;
@@ -257,10 +244,11 @@ DistContractionResult dist_contract(const std::vector<DistGraph> &parts,
   }
   result.coarse_global_m = total_coarse_m;
 
-  stats.messages += weight_mail.messages_delivered() + query_mail.messages_delivered() +
-                    resolve_mail.messages_delivered() + edge_mail.messages_delivered();
-  stats.bytes += weight_mail.bytes_delivered() + query_mail.bytes_delivered() +
-                 resolve_mail.bytes_delivered() + edge_mail.bytes_delivered();
+  TP_ASSERT(edge_channel.quiescent());
+  weight_channel.harvest(stats);
+  query_channel.harvest(stats);
+  resolve_channel.harvest(stats);
+  edge_channel.harvest(stats);
   return result;
 }
 

@@ -20,8 +20,13 @@ struct DistContractionResult {
   EdgeID coarse_global_m = 0;
 };
 
+/// Contracts the distributed clustering. All four exchange rounds run over
+/// `BufferedChannel`s configured by `comm` (the request/response structure
+/// keeps them supersteps even in async mode, but payloads always ship
+/// varint-encoded and are accounted as wire bytes).
 [[nodiscard]] DistContractionResult dist_contract(const std::vector<DistGraph> &parts,
                                                   const std::vector<RankLabels> &labels,
-                                                  CommStats &stats);
+                                                  CommStats &stats,
+                                                  const DistCommConfig &comm = {});
 
 } // namespace terapart::dist

@@ -12,34 +12,53 @@ namespace terapart::dist {
 
 namespace {
 
-/// Label (or block) change of an owned vertex, broadcast to ghosting ranks.
-struct Update {
-  NodeID global;
-  std::uint32_t value;
-};
+/// Sub-sweeps per rank turn in async mode: the sweep is cut into chunks with
+/// opportunistic drains at the single-threaded chunk joins, so deliveries
+/// from ranks that already took their turn overlap with the remaining
+/// compute instead of waiting for the round terminator.
+constexpr int kAsyncSweepChunks = 4;
 
-/// Applies queued ghost updates on every rank.
+/// Applies one rank's visible ghost-update batches; returns the number of
+/// delivered messages.
 template <typename Value>
-void apply_ghost_updates(const std::vector<DistGraph> &parts, Mailbox<Update> &mailbox,
-                         std::vector<std::vector<Value>> &state) {
-  mailbox.exchange();
-  for (const DistGraph &part : parts) {
-    auto &local_state = state[static_cast<std::size_t>(part.rank)];
-    mailbox.for_each_received(part.rank, [&](int, const Update &update) {
-      const auto it = part.global_to_ghost.find(update.global);
-      TP_ASSERT(it != part.global_to_ghost.end());
-      local_state[part.local_n + it->second] = static_cast<Value>(update.value);
-    });
-  }
+std::uint64_t drain_ghost_updates(const DistGraph &part, GhostChannel &channel,
+                                  std::vector<Value> &state) {
+  return channel.drain(part.rank, [&](int, const Update &update) {
+    const auto it = part.global_to_ghost.find(update.global);
+    TP_ASSERT(it != part.global_to_ghost.end());
+    state[part.local_n + it->second] = static_cast<Value>(update.value);
+  });
+}
+
+/// Round terminator replacing the old exchange() barrier: every rank flushes
+/// its outgoing buffers, then all ranks drain until the channel is quiescent
+/// (drain handlers never send, so one pass normally suffices — the loop is
+/// the protocol's termination guarantee against stragglers).
+template <typename Value>
+void terminate_round(const std::vector<DistGraph> &parts, GhostChannel &channel,
+                     std::vector<std::vector<Value>> &state) {
+  channel.flush_all();
+  do {
+    for (const DistGraph &part : parts) {
+      (void)drain_ghost_updates(part, channel, state[static_cast<std::size_t>(part.rank)]);
+    }
+  } while (!channel.quiescent());
 }
 
 /// Sends the new value of owned vertex `u` to every rank that ghosts it.
-void notify_ghosting_ranks(const DistGraph &part, Mailbox<Update> &mailbox, const NodeID u,
+void notify_ghosting_ranks(const DistGraph &part, GhostChannel &channel, const NodeID u,
                            const std::uint32_t value) {
   const NodeID global = part.first_global + u;
   for (const std::int32_t dst : part.ghosted_by[u]) {
-    mailbox.send(part.rank, dst, {global, value});
+    channel.send(part.rank, dst, {global, value});
   }
+}
+
+/// [begin, end) of sub-sweep `chunk` out of `chunks` over [0, n).
+std::pair<NodeID, NodeID> chunk_bounds(const NodeID n, const int chunk, const int chunks) {
+  const auto lo = static_cast<NodeID>(static_cast<std::uint64_t>(n) * chunk / chunks);
+  const auto hi = static_cast<NodeID>(static_cast<std::uint64_t>(n) * (chunk + 1) / chunks);
+  return {lo, hi};
 }
 
 } // namespace
@@ -73,85 +92,107 @@ std::vector<RankLabels> dist_lp_cluster(const std::vector<DistGraph> &parts,
     }
   }
 
-  Mailbox<Update> mailbox(num_ranks);
+  GhostChannel channel(num_ranks, config.comm);
   const NodeWeight bound = max_cluster_weight;
+  const int chunks = config.comm.async ? kAsyncSweepChunks : 1;
 
   for (int round = 0; round < config.rounds; ++round) {
     for (int batch = 0; batch < config.batches_per_round; ++batch) {
       for (const DistGraph &part : parts) {
         auto &local = labels[static_cast<std::size_t>(part.rank)];
-        // Collected sequentially per rank after the parallel sweep to keep
-        // the mailbox single-writer.
+        if (config.comm.async) {
+          // Turn-start drain: pick up what earlier ranks already flushed
+          // this superstep instead of waiting for the barrier.
+          stats.early_messages += drain_ghost_updates(part, channel, local);
+        }
+        // Collected sequentially per rank after each parallel sub-sweep to
+        // keep the channel single-writer.
         par::ThreadLocal<std::vector<NodeID>> changed_lists;
         par::ThreadLocal<FixedHashMap<ClusterID, EdgeWeight>> maps(
             [&] { return FixedHashMap<ClusterID, EdgeWeight>(config.bump_threshold); });
-        par::ThreadLocal<Random> rngs([&, t = 0]() mutable {
+        // The stream index is the stable pool-thread slot handed to the
+        // factory — never a shared mutable counter, whose first-touch order
+        // is a race once construction is concurrent.
+        par::ThreadLocal<Random> rngs([&](const int t) {
           return Random::stream(seed + static_cast<std::uint64_t>(round * 131 + batch),
-                                static_cast<std::uint64_t>(part.rank * 97 + t++));
+                                static_cast<std::uint64_t>(part.rank * 97 + t));
         });
 
         part.with_local([&](const auto &graph) {
-          par::parallel_for_each<NodeID>(0, part.local_n, [&](const NodeID u) {
-            if (u % static_cast<NodeID>(config.batches_per_round) !=
-                    static_cast<NodeID>(batch) ||
-                graph.degree(u) == 0) {
-              return;
-            }
-            auto &map = maps.local();
-            map.clear();
-            bool overflow = false;
-            graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
-              if (!overflow && !map.add(local[v], w)) {
-                overflow = true; // extremely high-nc vertex: keep partial view
+          for (int chunk = 0; chunk < chunks; ++chunk) {
+            const auto [chunk_begin, chunk_end] = chunk_bounds(part.local_n, chunk, chunks);
+            par::parallel_for_each<NodeID>(chunk_begin, chunk_end, [&](const NodeID u) {
+              if (u % static_cast<NodeID>(config.batches_per_round) !=
+                      static_cast<NodeID>(batch) ||
+                  graph.degree(u) == 0) {
+                return;
               }
-            });
-
-            const ClusterID current = local[u];
-            const NodeWeight u_weight = graph.node_weight(u);
-            ClusterID best = current;
-            EdgeWeight best_rating = 0;
-            Random &rng = rngs.local();
-            map.for_each([&](const ClusterID cluster, const EdgeWeight rating) {
-              if (cluster == current) {
-                if (rating > best_rating) {
-                  best_rating = rating;
-                  best = current;
+              auto &map = maps.local();
+              map.clear();
+              bool overflow = false;
+              graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+                if (!overflow && !map.add(local[v], w)) {
+                  overflow = true; // extremely high-nc vertex: keep partial view
                 }
-                return;
+              });
+
+              const ClusterID current = local[u];
+              const NodeWeight u_weight = graph.node_weight(u);
+              ClusterID best = current;
+              EdgeWeight best_rating = 0;
+              Random &rng = rngs.local();
+              map.for_each([&](const ClusterID cluster, const EdgeWeight rating) {
+                if (cluster == current) {
+                  if (rating > best_rating) {
+                    best_rating = rating;
+                    best = current;
+                  }
+                  return;
+                }
+                if (rating < best_rating || (rating == best_rating && !rng.next_bool())) {
+                  return;
+                }
+                if (cluster_weights[cluster].load(std::memory_order_relaxed) + u_weight > bound) {
+                  return;
+                }
+                best = cluster;
+                best_rating = rating;
+              });
+
+              if (best != current &&
+                  par::atomic_add_if_leq(cluster_weights[best], u_weight, bound)) {
+                cluster_weights[current].fetch_sub(u_weight, std::memory_order_relaxed);
+                local[u] = best;
+                changed_lists.local().push_back(u);
               }
-              if (rating < best_rating || (rating == best_rating && !rng.next_bool())) {
-                return;
-              }
-              if (cluster_weights[cluster].load(std::memory_order_relaxed) + u_weight > bound) {
-                return;
-              }
-              best = cluster;
-              best_rating = rating;
             });
 
-            if (best != current &&
-                par::atomic_add_if_leq(cluster_weights[best], u_weight, bound)) {
-              cluster_weights[current].fetch_sub(u_weight, std::memory_order_relaxed);
-              local[u] = best;
-              changed_lists.local().push_back(u);
+            changed_lists.for_each([&](std::vector<NodeID> &changed) {
+              for (const NodeID u : changed) {
+                notify_ghosting_ranks(part, channel, u, local[u]);
+              }
+              changed.clear();
+            });
+            if (config.comm.async && chunk + 1 < chunks) {
+              // Mid-sweep drain at the chunk join: compute/communication
+              // overlap without touching labels from concurrent workers.
+              stats.early_messages += drain_ghost_updates(part, channel, local);
             }
-          });
-        });
-
-        changed_lists.for_each([&](const std::vector<NodeID> &changed) {
-          for (const NodeID u : changed) {
-            notify_ghosting_ranks(part, mailbox, u, local[u]);
           }
         });
+        if (config.comm.async) {
+          // Turn-end post: sends go on the wire now, so later ranks in this
+          // superstep drain them mid-sweep instead of at the barrier.
+          channel.flush(part.rank);
+        }
       }
 
-      apply_ghost_updates(parts, mailbox, labels);
+      terminate_round(parts, channel, labels);
       ++stats.supersteps;
     }
   }
 
-  stats.messages = mailbox.messages_delivered();
-  stats.bytes += mailbox.bytes_delivered();
+  channel.harvest(stats);
   return labels;
 }
 
@@ -174,82 +215,96 @@ std::uint64_t dist_lp_refine(const std::vector<DistGraph> &parts,
     }
   }
 
-  Mailbox<Update> mailbox(num_ranks);
+  GhostChannel channel(num_ranks, config.comm);
   std::atomic<std::uint64_t> moves{0};
+  const int chunks = config.comm.async ? kAsyncSweepChunks : 1;
 
   for (int round = 0; round < config.rounds; ++round) {
     for (int batch = 0; batch < config.batches_per_round; ++batch) {
       for (const DistGraph &part : parts) {
         auto &local = blocks[static_cast<std::size_t>(part.rank)];
+        if (config.comm.async) {
+          stats.early_messages += drain_ghost_updates(part, channel, local);
+        }
         par::ThreadLocal<std::vector<NodeID>> changed_lists;
         par::ThreadLocal<FixedHashMap<BlockID, EdgeWeight>> maps(
             [&] { return FixedHashMap<BlockID, EdgeWeight>(std::min<NodeID>(k, 4096)); });
-        par::ThreadLocal<Random> rngs([&, t = 0]() mutable {
+        par::ThreadLocal<Random> rngs([&](const int t) {
           return Random::stream(seed + static_cast<std::uint64_t>(round * 17 + batch),
-                                static_cast<std::uint64_t>(part.rank * 31 + t++));
+                                static_cast<std::uint64_t>(part.rank * 31 + t));
         });
 
         part.with_local([&](const auto &graph) {
-          par::parallel_for_each<NodeID>(0, part.local_n, [&](const NodeID u) {
-            if (u % static_cast<NodeID>(config.batches_per_round) !=
-                    static_cast<NodeID>(batch) ||
-                graph.degree(u) == 0) {
-              return;
-            }
-            auto &map = maps.local();
-            map.clear();
-            graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
-              (void)map.add(local[v], w);
-            });
-
-            const BlockID current = local[u];
-            const NodeWeight u_weight = graph.node_weight(u);
-            BlockID best = current;
-            EdgeWeight best_rating = map.get(current);
-            Random &rng = rngs.local();
-            map.for_each([&](const BlockID b, const EdgeWeight rating) {
-              if (b == current || rating < best_rating ||
-                  (rating == best_rating && (best != current || !rng.next_bool()))) {
+          for (int chunk = 0; chunk < chunks; ++chunk) {
+            const auto [chunk_begin, chunk_end] = chunk_bounds(part.local_n, chunk, chunks);
+            par::parallel_for_each<NodeID>(chunk_begin, chunk_end, [&](const NodeID u) {
+              if (u % static_cast<NodeID>(config.batches_per_round) !=
+                      static_cast<NodeID>(batch) ||
+                  graph.degree(u) == 0) {
                 return;
               }
-              if (block_weights[b].load(std::memory_order_relaxed) + u_weight >
-                  max_block_weight) {
-                return;
+              auto &map = maps.local();
+              map.clear();
+              graph.for_each_neighbor(u, [&](const NodeID v, const EdgeWeight w) {
+                (void)map.add(local[v], w);
+              });
+
+              const BlockID current = local[u];
+              const NodeWeight u_weight = graph.node_weight(u);
+              BlockID best = current;
+              EdgeWeight best_rating = map.get(current);
+              Random &rng = rngs.local();
+              map.for_each([&](const BlockID b, const EdgeWeight rating) {
+                if (b == current || rating < best_rating ||
+                    (rating == best_rating && (best != current || !rng.next_bool()))) {
+                  return;
+                }
+                if (block_weights[b].load(std::memory_order_relaxed) + u_weight >
+                    max_block_weight) {
+                  return;
+                }
+                best = b;
+                best_rating = rating;
+              });
+
+              if (best != current &&
+                  par::atomic_add_if_leq(block_weights[best], static_cast<BlockWeight>(u_weight),
+                                         max_block_weight)) {
+                block_weights[current].fetch_sub(u_weight, std::memory_order_relaxed);
+                local[u] = best;
+                moves.fetch_add(1, std::memory_order_relaxed);
+                changed_lists.local().push_back(u);
               }
-              best = b;
-              best_rating = rating;
             });
 
-            if (best != current &&
-                par::atomic_add_if_leq(block_weights[best], static_cast<BlockWeight>(u_weight),
-                                       max_block_weight)) {
-              block_weights[current].fetch_sub(u_weight, std::memory_order_relaxed);
-              local[u] = best;
-              moves.fetch_add(1, std::memory_order_relaxed);
-              changed_lists.local().push_back(u);
+            changed_lists.for_each([&](std::vector<NodeID> &changed) {
+              for (const NodeID u : changed) {
+                notify_ghosting_ranks(part, channel, u, local[u]);
+              }
+              changed.clear();
+            });
+            if (config.comm.async && chunk + 1 < chunks) {
+              stats.early_messages += drain_ghost_updates(part, channel, local);
             }
-          });
-        });
-
-        changed_lists.for_each([&](const std::vector<NodeID> &changed) {
-          for (const NodeID u : changed) {
-            notify_ghosting_ranks(part, mailbox, u, local[u]);
           }
         });
+        if (config.comm.async) {
+          channel.flush(part.rank);
+        }
       }
-      apply_ghost_updates(parts, mailbox, blocks);
+      terminate_round(parts, channel, blocks);
       ++stats.supersteps;
     }
   }
 
-  stats.messages += mailbox.messages_delivered();
-  stats.bytes += mailbox.bytes_delivered();
+  channel.harvest(stats);
   return moves.load(std::memory_order_relaxed);
 }
 
 std::uint64_t dist_rebalance(const std::vector<DistGraph> &parts,
                              std::vector<std::vector<BlockID>> &blocks, const BlockID k,
-                             const BlockWeight max_block_weight, CommStats &stats) {
+                             const BlockWeight max_block_weight, CommStats &stats,
+                             const DistCommConfig &comm) {
   const auto num_ranks = static_cast<int>(parts.size());
   std::vector<std::atomic<BlockWeight>> block_weights(k);
   for (auto &weight : block_weights) {
@@ -262,7 +317,7 @@ std::uint64_t dist_rebalance(const std::vector<DistGraph> &parts,
     }
   }
 
-  Mailbox<Update> mailbox(num_ranks);
+  GhostChannel channel(num_ranks, comm);
   std::uint64_t moves = 0;
 
   for (int pass = 0; pass < 8; ++pass) {
@@ -279,6 +334,9 @@ std::uint64_t dist_rebalance(const std::vector<DistGraph> &parts,
 
     for (const DistGraph &part : parts) {
       auto &local = blocks[static_cast<std::size_t>(part.rank)];
+      if (comm.async) {
+        stats.early_messages += drain_ghost_updates(part, channel, local);
+      }
       part.with_local([&](const auto &graph) {
         FixedHashMap<BlockID, EdgeWeight> ratings(std::min<NodeID>(k, 4096));
         for (NodeID u = 0; u < part.local_n; ++u) {
@@ -318,18 +376,20 @@ std::uint64_t dist_rebalance(const std::vector<DistGraph> &parts,
                                      max_block_weight)) {
             block_weights[from].fetch_sub(u_weight, std::memory_order_relaxed);
             local[u] = best;
-            notify_ghosting_ranks(part, mailbox, u, best);
+            notify_ghosting_ranks(part, channel, u, best);
             ++moves;
           }
         }
       });
+      if (comm.async) {
+        channel.flush(part.rank);
+      }
     }
-    apply_ghost_updates(parts, mailbox, blocks);
+    terminate_round(parts, channel, blocks);
     ++stats.supersteps;
   }
 
-  stats.messages += mailbox.messages_delivered();
-  stats.bytes += mailbox.bytes_delivered();
+  channel.harvest(stats);
   return moves;
 }
 

@@ -1,9 +1,13 @@
 /// @file dist_lp.h
 /// @brief Distributed label propagation (Section II-B): clustering for the
 /// coarsening phase and size-constrained refinement for the uncoarsening
-/// phase. Vertices are processed in synchronous batches; label changes of
-/// owned vertices are sent to the ranks that ghost them at every superstep
-/// boundary, and balance violations are repaired by a subsequent rebalancing
+/// phase. Vertices are processed in batches; label changes of owned vertices
+/// are sent to the ranks that ghost them through the buffered channel. In
+/// synchronous mode every batch ends with a superstep barrier; in async mode
+/// ranks cut capacity-triggered wire batches mid-sweep and drain delivered
+/// batches opportunistically, overlapping computation with communication —
+/// the round still terminates with an explicit flush_all() + drain-to-
+/// quiescence. Balance violations are repaired by a subsequent rebalancing
 /// step.
 #pragma once
 
@@ -12,8 +16,12 @@
 
 #include "distributed/comm.h"
 #include "distributed/dist_graph.h"
+#include "distributed/wire.h"
 
 namespace terapart::dist {
+
+/// The ghost-update channel shared by all distributed LP phases.
+using GhostChannel = BufferedChannel<Update, GhostUpdateCodec>;
 
 struct DistLpConfig {
   int rounds = 3;
@@ -21,6 +29,9 @@ struct DistLpConfig {
   /// information propagates within a round, like dKaMinPar's batched LP.
   int batches_per_round = 4;
   NodeID bump_threshold = 10'000; ///< rating-map capacity per vertex
+  /// Message-layer mode: synchronous supersteps (default, deterministic) or
+  /// buffered async exchange with compute/communication overlap.
+  DistCommConfig comm;
 };
 
 /// Per-rank label state: labels for owned vertices followed by ghosts, as
@@ -49,6 +60,7 @@ std::uint64_t dist_lp_refine(const std::vector<DistGraph> &parts,
 /// moves its cheapest boundary vertices out of overweight blocks.
 std::uint64_t dist_rebalance(const std::vector<DistGraph> &parts,
                              std::vector<std::vector<BlockID>> &blocks, BlockID k,
-                             BlockWeight max_block_weight, CommStats &stats);
+                             BlockWeight max_block_weight, CommStats &stats,
+                             const DistCommConfig &comm = {});
 
 } // namespace terapart::dist

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/math.h"
+#include "common/metrics_registry.h"
 #include "distributed/dist_contraction.h"
 #include "partition/metrics.h"
 #include "partition/stages.h"
@@ -53,10 +54,25 @@ std::vector<BlockID> gather_blocks(const std::vector<DistGraph> &parts,
   return global;
 }
 
+/// Publishes one phase's comm counters under `dist.comm.<phase>.*`.
+void publish_comm(const std::string &phase, const CommStats &stats) {
+  auto &registry = MetricsRegistry::global();
+  const std::string prefix = "dist.comm." + phase + ".";
+  registry.add_counter(prefix + "supersteps", stats.supersteps);
+  registry.add_counter(prefix + "messages", stats.messages);
+  registry.add_counter(prefix + "bytes", stats.bytes);
+  registry.add_counter(prefix + "wire_bytes", stats.wire_bytes);
+  registry.add_counter(prefix + "batches", stats.batches);
+  registry.add_counter(prefix + "capacity_flushes", stats.capacity_flushes);
+  registry.add_counter(prefix + "delivered", stats.delivered);
+  registry.add_counter(prefix + "early_messages", stats.early_messages);
+}
+
 } // namespace
 
 DistPartitionResult dist_partition(const CsrGraph &graph, const int num_ranks,
-                                   const Context &ctx, const bool compress) {
+                                   const Context &ctx, const bool compress,
+                                   const DistCommConfig &comm) {
   DistPartitionResult result;
   const BlockID k = std::max<BlockID>(1, ctx.k);
 
@@ -72,6 +88,7 @@ DistPartitionResult dist_partition(const CsrGraph &graph, const int num_ranks,
                        std::max<NodeID>(ctx.coarsening.min_coarsest_n, 2 * k));
   DistLpConfig lp_config;
   lp_config.bump_threshold = ctx.coarsening.lp.bump_threshold;
+  lp_config.comm = comm;
 
   NodeID current_n = graph.n();
   std::uint64_t live_rank_bytes = result.max_rank_memory;
@@ -82,9 +99,9 @@ DistPartitionResult dist_partition(const CsrGraph &graph, const int num_ranks,
                                    static_cast<double>(std::max<BlockID>(k, 2))));
     const std::vector<RankLabels> labels =
         dist_lp_cluster(levels.back().parts, lp_config, max_cluster_weight,
-                        ctx.seed + levels.size(), result.comm);
+                        ctx.seed + levels.size(), result.comm_coarsening);
     DistContractionResult contracted =
-        dist_contract(levels.back().parts, labels, result.comm);
+        dist_contract(levels.back().parts, labels, result.comm_contraction, comm);
     if (contracted.coarse_global_n >= static_cast<NodeID>(0.95 * current_n)) {
       break; // converged
     }
@@ -144,10 +161,20 @@ DistPartitionResult dist_partition(const CsrGraph &graph, const int num_ranks,
         current.parts.front().with_local(
             [](const auto &local_graph) { return local_graph.max_node_weight(); }));
     dist_lp_refine(current.parts, blocks, k, level_bound, lp_config,
-                   ctx.seed + 1000 + level, result.comm);
-    dist_rebalance(current.parts, blocks, k, level_bound, result.comm);
+                   ctx.seed + 1000 + level, result.comm_refinement);
+    dist_rebalance(current.parts, blocks, k, level_bound, result.comm_refinement, comm);
     global_blocks = gather_blocks(current.parts, blocks);
   }
+
+  result.comm.accumulate(result.comm_coarsening);
+  result.comm.accumulate(result.comm_contraction);
+  result.comm.accumulate(result.comm_refinement);
+  publish_comm("coarsening", result.comm_coarsening);
+  publish_comm("contraction", result.comm_contraction);
+  publish_comm("refinement", result.comm_refinement);
+  publish_comm("total", result.comm);
+  MetricsRegistry::global().set_gauge("dist.comm.wire_ratio", result.comm.wire_ratio());
+  MetricsRegistry::global().set_gauge("dist.comm.overlap_ratio", result.comm.overlap_ratio());
 
   result.partition = std::move(global_blocks);
   result.cut = metrics::edge_cut(graph, result.partition);

@@ -23,7 +23,12 @@ struct DistPartitionResult {
   double imbalance = 0.0;
   bool balanced = false;
   int num_levels = 0;
-  CommStats comm;
+  CommStats comm; ///< totals over all phases
+  /// Per-phase communication: LP clustering, contraction exchanges, and
+  /// refinement (LP refine + rebalance). Each sums into `comm`.
+  CommStats comm_coarsening;
+  CommStats comm_contraction;
+  CommStats comm_refinement;
   /// Maximum over ranks of (graph + ghost mapping) bytes, summed over the
   /// levels alive at the peak — the per-rank memory model of Table III.
   std::uint64_t max_rank_memory = 0;
@@ -31,8 +36,12 @@ struct DistPartitionResult {
 
 /// Partitions the (globally known) input graph using `num_ranks` simulated
 /// ranks. `compress` selects XTeraPart (compressed local graphs) vs
-/// dKaMinPar (uncompressed).
+/// dKaMinPar (uncompressed). `comm` configures the message layer (sync
+/// supersteps by default; async buffered exchange with overlap when
+/// `comm.async`). Per-phase comm counters are also published to
+/// `MetricsRegistry::global()` under `dist.comm.*` for the RunReport.
 [[nodiscard]] DistPartitionResult dist_partition(const CsrGraph &graph, int num_ranks,
-                                                 const Context &ctx, bool compress);
+                                                 const Context &ctx, bool compress,
+                                                 const DistCommConfig &comm = {});
 
 } // namespace terapart::dist

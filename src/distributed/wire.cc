@@ -1,0 +1,117 @@
+#include "distributed/wire.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace terapart::dist {
+
+namespace {
+
+thread_local std::vector<std::uint32_t> key_scratch;
+
+} // namespace
+
+std::uint32_t GhostUpdateCodec::encode(std::vector<Update> &batch,
+                                       std::vector<std::uint8_t> &out, std::size_t &wire_size) {
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const Update &a, const Update &b) { return a.global < b.global; });
+  // Last-writer-wins dedup: stable sort keeps same-key updates in send order,
+  // so the last entry of each group carries the value the synchronous mailbox
+  // would have left behind.
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (i + 1 < batch.size() && batch[i + 1].global == batch[i].global) {
+      continue;
+    }
+    batch[n++] = batch[i];
+  }
+  key_scratch.clear();
+  key_scratch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    key_scratch.push_back(batch[i].global);
+  }
+  wire::append_u32_gap_stream(out, key_scratch);
+  for (std::size_t i = 0; i < n; ++i) {
+    wire::append_varint(out, batch[i].value);
+  }
+  wire_size = wire::seal_batch(out);
+  return static_cast<std::uint32_t>(n);
+}
+
+std::uint32_t WeightMsgCodec::encode(std::vector<WeightMsg> &batch,
+                                     std::vector<std::uint8_t> &out, std::size_t &wire_size) {
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const WeightMsg &a, const WeightMsg &b) { return a.leader < b.leader; });
+  key_scratch.clear();
+  key_scratch.reserve(batch.size());
+  for (const WeightMsg &msg : batch) {
+    key_scratch.push_back(msg.leader);
+  }
+  wire::append_u32_delta_stream(out, key_scratch);
+  for (const WeightMsg &msg : batch) {
+    TP_ASSERT(msg.weight >= 0);
+    wire::append_varint(out, static_cast<std::uint64_t>(msg.weight));
+  }
+  wire_size = wire::seal_batch(out);
+  return static_cast<std::uint32_t>(batch.size());
+}
+
+std::uint32_t QueryMsgCodec::encode(std::vector<QueryMsg> &batch, std::vector<std::uint8_t> &out,
+                                    std::size_t &wire_size) {
+  std::sort(batch.begin(), batch.end(),
+            [](const QueryMsg &a, const QueryMsg &b) { return a.leader < b.leader; });
+  key_scratch.clear();
+  key_scratch.reserve(batch.size());
+  for (const QueryMsg &msg : batch) {
+    key_scratch.push_back(msg.leader);
+  }
+  wire::append_u32_delta_stream(out, key_scratch);
+  wire_size = wire::seal_batch(out);
+  return static_cast<std::uint32_t>(batch.size());
+}
+
+std::uint32_t ResolveMsgCodec::encode(std::vector<ResolveMsg> &batch,
+                                      std::vector<std::uint8_t> &out, std::size_t &wire_size) {
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const ResolveMsg &a, const ResolveMsg &b) { return a.leader < b.leader; });
+  key_scratch.clear();
+  key_scratch.reserve(batch.size());
+  for (const ResolveMsg &msg : batch) {
+    key_scratch.push_back(msg.leader);
+  }
+  wire::append_u32_delta_stream(out, key_scratch);
+  for (const ResolveMsg &msg : batch) {
+    wire::append_varint(out, msg.coarse_global);
+  }
+  for (const ResolveMsg &msg : batch) {
+    TP_ASSERT(msg.weight >= 0);
+    wire::append_varint(out, static_cast<std::uint64_t>(msg.weight));
+  }
+  wire_size = wire::seal_batch(out);
+  return static_cast<std::uint32_t>(batch.size());
+}
+
+std::uint32_t EdgeMsgCodec::encode(std::vector<EdgeMsg> &batch, std::vector<std::uint8_t> &out,
+                                   std::size_t &wire_size) {
+  std::stable_sort(batch.begin(), batch.end(), [](const EdgeMsg &a, const EdgeMsg &b) {
+    return a.coarse_u != b.coarse_u ? a.coarse_u < b.coarse_u : a.coarse_v < b.coarse_v;
+  });
+  key_scratch.clear();
+  key_scratch.reserve(batch.size());
+  for (const EdgeMsg &msg : batch) {
+    key_scratch.push_back(msg.coarse_u);
+  }
+  wire::append_u32_delta_stream(out, key_scratch);
+  for (const EdgeMsg &msg : batch) {
+    wire::append_varint(out, msg.coarse_v);
+  }
+  for (const EdgeMsg &msg : batch) {
+    TP_ASSERT(msg.weight >= 0);
+    wire::append_varint(out, static_cast<std::uint64_t>(msg.weight));
+  }
+  wire_size = wire::seal_batch(out);
+  return static_cast<std::uint32_t>(batch.size());
+}
+
+} // namespace terapart::dist

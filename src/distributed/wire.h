@@ -1,0 +1,171 @@
+/// @file wire.h
+/// @brief Typed wire codecs of the distributed message layer: the message
+/// structs exchanged by distributed LP and contraction, each paired with a
+/// varint batch codec for `BufferedChannel`.
+///
+/// Encoding convention (built on src/compression/wire_codec.h): a batch is
+/// stable-sorted by its 32-bit key, the keys are shipped as a delta stream
+/// (ghost updates dedup to strictly increasing keys and use the residual-gap
+/// convention, so decode runs the SIMD gap kernels), and the per-message
+/// values follow as packed varint runs decoded with the bulk block-decode
+/// kernel. Logical bytes (struct size) vs wire bytes (encoded size) are
+/// accounted by the channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "compression/wire_codec.h"
+
+namespace terapart::dist {
+
+/// Label (or block) change of an owned vertex, broadcast to ghosting ranks.
+struct Update {
+  NodeID global;
+  std::uint32_t value;
+};
+
+/// Per-label node weight contribution, shipped to the label's owner
+/// (contraction step 1).
+struct WeightMsg {
+  NodeID leader;
+  NodeWeight weight;
+};
+
+/// Coarse-ID lookup for a referenced label (contraction step 3).
+struct QueryMsg {
+  NodeID leader;
+};
+
+/// Owner's reply: label -> coarse global ID + authoritative cluster weight.
+struct ResolveMsg {
+  NodeID leader;
+  NodeID coarse_global;
+  NodeWeight weight;
+};
+
+/// Aggregated coarse edge, shipped to the owner of its source
+/// (contraction step 4).
+struct EdgeMsg {
+  NodeID coarse_u; ///< global coarse source (owned by the destination rank)
+  NodeID coarse_v; ///< global coarse target
+  EdgeWeight weight;
+};
+
+/// Ghost-update batches: strictly increasing global IDs (last-writer-wins
+/// dedup — within one batch window only the final value of a vertex is
+/// observable, because the receiver applies the whole batch at a drain
+/// point) as a residual gap stream, values as a varint run.
+struct GhostUpdateCodec {
+  static std::uint32_t encode(std::vector<Update> &batch, std::vector<std::uint8_t> &out,
+                              std::size_t &wire_size);
+
+  template <typename Fn>
+  static void decode(const std::uint8_t *src, const std::uint32_t count, Fn &&fn) {
+    if (count == 0) {
+      return;
+    }
+    thread_local std::vector<std::uint32_t> keys;
+    thread_local std::vector<std::uint64_t> values;
+    keys.resize(count + 7); // gap-kernel out slack
+    values.resize(count);
+    src = wire::decode_u32_gap_stream(src, count, keys.data());
+    src = wire::decode_u64_run(src, count, values.data());
+    for (std::uint32_t i = 0; i < count; ++i) {
+      fn(Update{keys[i], static_cast<std::uint32_t>(values[i])});
+    }
+  }
+};
+
+/// Weight contributions: leader delta stream + weight varint run.
+struct WeightMsgCodec {
+  static std::uint32_t encode(std::vector<WeightMsg> &batch, std::vector<std::uint8_t> &out,
+                              std::size_t &wire_size);
+
+  template <typename Fn>
+  static void decode(const std::uint8_t *src, const std::uint32_t count, Fn &&fn) {
+    if (count == 0) {
+      return;
+    }
+    thread_local std::vector<std::uint32_t> keys;
+    thread_local std::vector<std::uint64_t> values;
+    keys.resize(count);
+    values.resize(count);
+    src = wire::decode_u32_delta_stream(src, count, keys.data());
+    src = wire::decode_u64_run(src, count, values.data());
+    for (std::uint32_t i = 0; i < count; ++i) {
+      fn(WeightMsg{keys[i], static_cast<NodeWeight>(values[i])});
+    }
+  }
+};
+
+/// Lookup queries: a bare leader delta stream.
+struct QueryMsgCodec {
+  static std::uint32_t encode(std::vector<QueryMsg> &batch, std::vector<std::uint8_t> &out,
+                              std::size_t &wire_size);
+
+  template <typename Fn>
+  static void decode(const std::uint8_t *src, const std::uint32_t count, Fn &&fn) {
+    if (count == 0) {
+      return;
+    }
+    thread_local std::vector<std::uint32_t> keys;
+    keys.resize(count);
+    src = wire::decode_u32_delta_stream(src, count, keys.data());
+    for (std::uint32_t i = 0; i < count; ++i) {
+      fn(QueryMsg{keys[i]});
+    }
+  }
+};
+
+/// Resolutions: leader delta stream, then one varint run holding all coarse
+/// IDs followed by all weights (2 * count consecutive varints — one bulk
+/// decode).
+struct ResolveMsgCodec {
+  static std::uint32_t encode(std::vector<ResolveMsg> &batch, std::vector<std::uint8_t> &out,
+                              std::size_t &wire_size);
+
+  template <typename Fn>
+  static void decode(const std::uint8_t *src, const std::uint32_t count, Fn &&fn) {
+    if (count == 0) {
+      return;
+    }
+    thread_local std::vector<std::uint32_t> keys;
+    thread_local std::vector<std::uint64_t> values;
+    keys.resize(count);
+    values.resize(2 * static_cast<std::size_t>(count));
+    src = wire::decode_u32_delta_stream(src, count, keys.data());
+    src = wire::decode_u64_run(src, 2 * static_cast<std::size_t>(count), values.data());
+    for (std::uint32_t i = 0; i < count; ++i) {
+      fn(ResolveMsg{keys[i], static_cast<NodeID>(values[i]),
+                    static_cast<NodeWeight>(values[count + i])});
+    }
+  }
+};
+
+/// Coarse edges: source delta stream (sorted by (coarse_u, coarse_v)), then
+/// one varint run holding all targets followed by all weights.
+struct EdgeMsgCodec {
+  static std::uint32_t encode(std::vector<EdgeMsg> &batch, std::vector<std::uint8_t> &out,
+                              std::size_t &wire_size);
+
+  template <typename Fn>
+  static void decode(const std::uint8_t *src, const std::uint32_t count, Fn &&fn) {
+    if (count == 0) {
+      return;
+    }
+    thread_local std::vector<std::uint32_t> keys;
+    thread_local std::vector<std::uint64_t> values;
+    keys.resize(count);
+    values.resize(2 * static_cast<std::size_t>(count));
+    src = wire::decode_u32_delta_stream(src, count, keys.data());
+    src = wire::decode_u64_run(src, 2 * static_cast<std::size_t>(count), values.data());
+    for (std::uint32_t i = 0; i < count; ++i) {
+      fn(EdgeMsg{keys[i], static_cast<NodeID>(values[i]),
+                 static_cast<EdgeWeight>(values[count + i])});
+    }
+  }
+};
+
+} // namespace terapart::dist

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "common/assert.h"
@@ -19,12 +20,21 @@ namespace terapart::par {
 
 template <typename T> class ThreadLocal {
 public:
-  /// Constructs one T per pool thread via `factory()`.
+  /// Constructs one T per pool thread. A factory invocable with an `int`
+  /// receives the stable slot (= pool thread) index it is constructing for —
+  /// the race-proof way to derive per-thread RNG streams and the like.
+  /// Factories must not depend on invocation order or on shared mutable
+  /// captures (the classic `[t = 0]() mutable { ... t++ ... }` stream-index
+  /// idiom): the construction schedule is an implementation detail.
   template <typename Factory> explicit ThreadLocal(Factory &&factory) {
     const int p = num_threads();
     _slots.reserve(static_cast<std::size_t>(p));
     for (int t = 0; t < p; ++t) {
-      _slots.emplace_back(std::make_unique<Padded>(factory()));
+      if constexpr (std::is_invocable_v<Factory &, int>) {
+        _slots.emplace_back(std::make_unique<Padded>(factory(t)));
+      } else {
+        _slots.emplace_back(std::make_unique<Padded>(factory()));
+      }
     }
   }
 

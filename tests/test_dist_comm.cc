@@ -1,0 +1,410 @@
+// Tests for the asynchronous distributed message layer: the buffered channel
+// (batching, visibility, quiescence, deterministic drain), the typed varint
+// wire codecs, the mailbox contract fixes, and the regression tests of the
+// distributed-layer bug sweep (CommStats clobber, racy RNG seed factory).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "distributed/dist_lp.h"
+#include "distributed/dist_partitioner.h"
+#include "distributed/wire.h"
+#include "generators/generators.h"
+#include "parallel/thread_local_storage.h"
+#include "parallel/thread_pool.h"
+#include "partition/metrics.h"
+
+namespace terapart::dist {
+namespace {
+
+// --- Mailbox contract (satellite fixes) ---
+
+TEST(MailboxDeathTest, SendBulkRejectsOutOfRangeRanks) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mailbox<int> mailbox(2);
+  EXPECT_DEATH(mailbox.send_bulk(0, 2, {1, 2}), "");
+  EXPECT_DEATH(mailbox.send_bulk(-1, 0, {1}), "");
+  EXPECT_DEATH(mailbox.send_bulk(2, 0, {1}), "");
+}
+
+TEST(Mailbox, SendBulkAppendsToExistingQueue) {
+  Mailbox<int> mailbox(2);
+  mailbox.send(0, 1, 7);
+  mailbox.send_bulk(0, 1, {8, 9});
+  mailbox.exchange();
+  std::vector<int> got;
+  mailbox.for_each_received(1, [&](int, const int m) { got.push_back(m); });
+  EXPECT_EQ(got, (std::vector<int>{7, 8, 9}));
+  EXPECT_EQ(mailbox.messages_delivered(), 3u);
+  // The mailbox ships raw structs: its wire bytes are struct bytes.
+  EXPECT_EQ(mailbox.bytes_delivered(), 3 * sizeof(int));
+}
+
+// --- BufferedChannel semantics ---
+
+TEST(BufferedChannel, SyncModeMatchesMailboxFinalState) {
+  constexpr int kRanks = 4;
+  constexpr NodeID kKeys = 50;
+  Mailbox<Update> mailbox(kRanks);
+  GhostChannel channel(kRanks, {});
+
+  Random rng = Random::stream(123, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const int src = static_cast<int>(rng.next_bounded(kRanks));
+    const int dst = static_cast<int>(rng.next_bounded(kRanks));
+    const Update update{static_cast<NodeID>(rng.next_bounded(kKeys)),
+                        static_cast<std::uint32_t>(rng.next_bounded(1 << 20))};
+    mailbox.send(src, dst, update);
+    channel.send(src, dst, update);
+  }
+  EXPECT_EQ(channel.messages_sent(), 1000u);
+
+  mailbox.exchange();
+  channel.flush_all();
+  for (int dst = 0; dst < kRanks; ++dst) {
+    std::map<NodeID, std::uint32_t> expected;
+    mailbox.for_each_received(
+        dst, [&](int, const Update &update) { expected[update.global] = update.value; });
+    std::map<NodeID, std::uint32_t> actual;
+    channel.drain(dst, [&](int, const Update &update) { actual[update.global] = update.value; });
+    EXPECT_EQ(actual, expected) << "rank " << dst;
+  }
+  EXPECT_TRUE(channel.quiescent());
+  // The codec compresses: encoded volume stays below the struct volume.
+  EXPECT_LT(channel.bytes_delivered(), channel.logical_bytes());
+}
+
+TEST(BufferedChannel, CapacityFlushIsEagerOnlyInAsyncMode) {
+  DistCommConfig async_config;
+  async_config.async = true;
+  async_config.flush_threshold = 4;
+  GhostChannel async_channel(2, async_config);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    async_channel.send(0, 1, {i, i});
+  }
+  EXPECT_EQ(async_channel.capacity_flushes(), 2u);
+  EXPECT_EQ(async_channel.batches_flushed(), 2u);
+  // Eager visibility: both batches drainable before any terminator.
+  EXPECT_EQ(async_channel.drain(1, [](int, const Update &) {}), 8u);
+  EXPECT_TRUE(async_channel.quiescent());
+
+  DistCommConfig sync_config;
+  sync_config.flush_threshold = 4;
+  GhostChannel sync_channel(2, sync_config);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    sync_channel.send(0, 1, {i, i});
+  }
+  EXPECT_EQ(sync_channel.capacity_flushes(), 0u);
+  // Superstep schedule: nothing visible until the flush_all barrier.
+  EXPECT_EQ(sync_channel.drain(1, [](int, const Update &) {}), 0u);
+  sync_channel.flush_all();
+  EXPECT_EQ(sync_channel.batches_flushed(), 1u); // one batch per (src, dst)
+  EXPECT_EQ(sync_channel.drain(1, [](int, const Update &) {}), 8u);
+  EXPECT_TRUE(sync_channel.quiescent());
+}
+
+TEST(BufferedChannel, StragglerKeepsChannelNonQuiescent) {
+  GhostChannel channel(3, {});
+  channel.send(0, 1, {5, 1});
+  channel.send(2, 1, {6, 2});
+  EXPECT_FALSE(channel.quiescent());
+  channel.flush(0); // rank 2 is the straggler: buffered but unflushed
+  EXPECT_FALSE(channel.quiescent());
+  EXPECT_EQ(channel.drain(1, [](int, const Update &) {}), 0u); // sync: not visible yet
+  channel.flush_all();                                         // terminator catches it
+  EXPECT_EQ(channel.drain(1, [](int, const Update &) {}), 2u);
+  EXPECT_TRUE(channel.quiescent());
+}
+
+TEST(BufferedChannel, DeterministicDrainIsIndependentOfBatchBoundaries) {
+  // The same send history under wildly different capacity-flush schedules
+  // must produce the same final receiver state: deterministic drain applies
+  // batches sorted by (src, seq), so per-src order equals send order.
+  const auto run = [](const std::size_t threshold, const bool async) {
+    DistCommConfig config;
+    config.async = async;
+    config.flush_threshold = threshold;
+    GhostChannel channel(3, config);
+    Random rng = Random::stream(77, 1);
+    for (int i = 0; i < 500; ++i) {
+      const int src = static_cast<int>(rng.next_bounded(3));
+      channel.send(src, 0,
+                   {static_cast<NodeID>(rng.next_bounded(40)),
+                    static_cast<std::uint32_t>(rng.next_bounded(1 << 16))});
+    }
+    channel.flush_all();
+    std::map<NodeID, std::uint32_t> state;
+    channel.drain(0, [&](int, const Update &update) { state[update.global] = update.value; });
+    EXPECT_TRUE(channel.quiescent());
+    return state;
+  };
+  const auto reference = run(1 << 20, false); // one batch per pair: mailbox shape
+  EXPECT_EQ(run(1, true), reference);
+  EXPECT_EQ(run(3, true), reference);
+  EXPECT_EQ(run(7, true), reference);
+  EXPECT_EQ(run(256, true), reference);
+}
+
+// --- Wire codecs ---
+
+TEST(GhostUpdateCodec, RoundTripsWithLastWriterWinsDedup) {
+  std::vector<Update> batch = {{7, 1}, {3, 2}, {7, 9}, {0, 4}, {3, 5}, {7, 11}};
+  std::vector<std::uint8_t> out;
+  std::size_t wire_size = 0;
+  const std::uint32_t count = GhostUpdateCodec::encode(batch, out, wire_size);
+  ASSERT_EQ(count, 3u);
+  EXPECT_LT(wire_size, out.size()); // sealed: padding past the payload
+
+  std::vector<Update> decoded;
+  GhostUpdateCodec::decode(out.data(), count,
+                           [&](const Update &update) { decoded.push_back(update); });
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0].global, 0u);
+  EXPECT_EQ(decoded[0].value, 4u);
+  EXPECT_EQ(decoded[1].global, 3u);
+  EXPECT_EQ(decoded[1].value, 5u); // last writer of key 3
+  EXPECT_EQ(decoded[2].global, 7u);
+  EXPECT_EQ(decoded[2].value, 11u); // last writer of key 7
+}
+
+TEST(GhostUpdateCodec, HandlesExtremeKeysAndValues) {
+  // Delta/gap edge cases: adjacent keys, a 2^31 jump, and the top of the
+  // 32-bit range, with values up to UINT32_MAX.
+  const std::vector<Update> original = {{0u, 0u},
+                                        {1u, 0xFFFF'FFFFu},
+                                        {0x8000'0000u, 123u},
+                                        {0xFFFF'FFFEu, 7u},
+                                        {0xFFFF'FFFFu, 0xFFFF'FFFFu}};
+  std::vector<Update> batch = original;
+  std::vector<std::uint8_t> out;
+  std::size_t wire_size = 0;
+  const std::uint32_t count = GhostUpdateCodec::encode(batch, out, wire_size);
+  ASSERT_EQ(count, original.size());
+
+  std::vector<Update> decoded;
+  GhostUpdateCodec::decode(out.data(), count,
+                           [&](const Update &update) { decoded.push_back(update); });
+  ASSERT_EQ(decoded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(decoded[i].global, original[i].global) << i;
+    EXPECT_EQ(decoded[i].value, original[i].value) << i;
+  }
+}
+
+TEST(WireCodecs, ContractionCodecsRoundTrip) {
+  { // WeightMsg: stable sort by leader, duplicates preserved (they sum later).
+    std::vector<WeightMsg> batch = {{10, 1'000'000'007LL}, {2, 5}, {10, 3}};
+    std::vector<std::uint8_t> out;
+    std::size_t wire_size = 0;
+    const std::uint32_t count = WeightMsgCodec::encode(batch, out, wire_size);
+    ASSERT_EQ(count, 3u);
+    std::vector<WeightMsg> decoded;
+    WeightMsgCodec::decode(out.data(), count,
+                           [&](const WeightMsg &msg) { decoded.push_back(msg); });
+    ASSERT_EQ(decoded.size(), 3u);
+    EXPECT_EQ(decoded[0].leader, 2u);
+    EXPECT_EQ(decoded[0].weight, 5);
+    EXPECT_EQ(decoded[1].leader, 10u);
+    EXPECT_EQ(decoded[1].weight, 1'000'000'007LL);
+    EXPECT_EQ(decoded[2].leader, 10u);
+    EXPECT_EQ(decoded[2].weight, 3);
+  }
+  { // QueryMsg: a bare key stream.
+    std::vector<QueryMsg> batch = {{99}, {0}, {0xFFFF'FFFFu}};
+    std::vector<std::uint8_t> out;
+    std::size_t wire_size = 0;
+    const std::uint32_t count = QueryMsgCodec::encode(batch, out, wire_size);
+    std::vector<NodeID> decoded;
+    QueryMsgCodec::decode(out.data(), count,
+                          [&](const QueryMsg &msg) { decoded.push_back(msg.leader); });
+    EXPECT_EQ(decoded, (std::vector<NodeID>{0u, 99u, 0xFFFF'FFFFu}));
+  }
+  { // ResolveMsg: one packed run of 2*count values (coarse IDs then weights).
+    std::vector<ResolveMsg> batch = {{5, 1, 10}, {1, 0, 20}, {9, 2, 0x7FFF'FFFF'FFFFLL}};
+    std::vector<std::uint8_t> out;
+    std::size_t wire_size = 0;
+    const std::uint32_t count = ResolveMsgCodec::encode(batch, out, wire_size);
+    std::vector<ResolveMsg> decoded;
+    ResolveMsgCodec::decode(out.data(), count,
+                            [&](const ResolveMsg &msg) { decoded.push_back(msg); });
+    ASSERT_EQ(decoded.size(), 3u);
+    EXPECT_EQ(decoded[0].leader, 1u);
+    EXPECT_EQ(decoded[0].coarse_global, 0u);
+    EXPECT_EQ(decoded[0].weight, 20);
+    EXPECT_EQ(decoded[2].leader, 9u);
+    EXPECT_EQ(decoded[2].coarse_global, 2u);
+    EXPECT_EQ(decoded[2].weight, 0x7FFF'FFFF'FFFFLL);
+  }
+  { // EdgeMsg: sorted by (coarse_u, coarse_v).
+    std::vector<EdgeMsg> batch = {{4, 9, 2}, {1, 7, 3}, {4, 2, 5}};
+    std::vector<std::uint8_t> out;
+    std::size_t wire_size = 0;
+    const std::uint32_t count = EdgeMsgCodec::encode(batch, out, wire_size);
+    std::vector<EdgeMsg> decoded;
+    EdgeMsgCodec::decode(out.data(), count,
+                         [&](const EdgeMsg &msg) { decoded.push_back(msg); });
+    ASSERT_EQ(decoded.size(), 3u);
+    EXPECT_EQ(decoded[0].coarse_u, 1u);
+    EXPECT_EQ(decoded[0].coarse_v, 7u);
+    EXPECT_EQ(decoded[1].coarse_u, 4u);
+    EXPECT_EQ(decoded[1].coarse_v, 2u);
+    EXPECT_EQ(decoded[1].weight, 5);
+    EXPECT_EQ(decoded[2].coarse_u, 4u);
+    EXPECT_EQ(decoded[2].coarse_v, 9u);
+    EXPECT_EQ(decoded[2].weight, 2);
+  }
+}
+
+// --- Regression: CommStats clobber (dist_lp.cc used to assign `messages`) ---
+
+TEST(CommStats, AccumulateSumsEveryField) {
+  CommStats a;
+  a.supersteps = 1;
+  a.messages = 2;
+  a.bytes = 3;
+  a.wire_bytes = 4;
+  a.batches = 5;
+  a.capacity_flushes = 6;
+  a.delivered = 7;
+  a.early_messages = 8;
+  CommStats b = a;
+  b.accumulate(a);
+  EXPECT_EQ(b.supersteps, 2u);
+  EXPECT_EQ(b.messages, 4u);
+  EXPECT_EQ(b.bytes, 6u);
+  EXPECT_EQ(b.wire_bytes, 8u);
+  EXPECT_EQ(b.batches, 10u);
+  EXPECT_EQ(b.capacity_flushes, 12u);
+  EXPECT_EQ(b.delivered, 14u);
+  EXPECT_EQ(b.early_messages, 16u);
+}
+
+TEST(CommStats, ClusteringAccumulatesIntoExistingStats) {
+  // Regression: dist_lp_cluster used to *assign* mailbox counters into the
+  // caller's stats, silently discarding everything a previous phase had
+  // recorded. Pre-seed the accumulator and require monotone growth.
+  const CsrGraph graph = gen::rgg2d(800, 10, 3);
+  const auto parts = distribute_graph(graph, 4);
+  DistLpConfig config;
+  CommStats stats;
+  constexpr std::uint64_t kPreSeeded = 1'000'000'000'000ULL;
+  stats.messages = kPreSeeded;
+  stats.bytes = kPreSeeded;
+  const auto labels =
+      dist_lp_cluster(parts, config, graph.total_node_weight() / 32, 5, stats);
+  (void)labels;
+  EXPECT_GT(stats.messages, kPreSeeded) << "phase must += its message count";
+  EXPECT_GT(stats.bytes, kPreSeeded) << "phase must += its byte count";
+}
+
+// --- Regression: racy RNG seed factory (shared mutable counter capture) ---
+
+TEST(ThreadLocalStorage, IndexedFactoryReceivesStableSlotIndex) {
+  const int previous = par::num_threads();
+  par::set_num_threads(4);
+  par::ThreadLocal<int> slots([](const int t) { return 100 + t; });
+  ASSERT_EQ(slots.size(), 4u);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(slots.get(t), 100 + t);
+  }
+  // The RNG-stream use case: per-slot streams must be pairwise distinct and
+  // tied to the slot index, not to construction order.
+  par::ThreadLocal<Random> rngs([](const int t) {
+    return Random::stream(42, static_cast<std::uint64_t>(t));
+  });
+  std::vector<std::uint64_t> first_draws;
+  rngs.for_each([&](Random &rng) { first_draws.push_back(rng.next_bounded(1u << 30)); });
+  std::sort(first_draws.begin(), first_draws.end());
+  EXPECT_EQ(std::adjacent_find(first_draws.begin(), first_draws.end()), first_draws.end())
+      << "slot streams must be distinct";
+  par::set_num_threads(previous);
+}
+
+// --- Async LP: overlap, consistency, reproducibility ---
+
+TEST(DistLpAsync, AsyncClusteringKeepsGhostsConsistentAndBounded) {
+  const CsrGraph graph = gen::rgg2d(800, 10, 3);
+  const auto parts = distribute_graph(graph, 4);
+  DistLpConfig config;
+  config.comm.async = true;
+  config.comm.flush_threshold = 4;
+  CommStats stats;
+  const NodeWeight bound = graph.total_node_weight() / 32;
+  const auto labels = dist_lp_cluster(parts, config, bound, 5, stats);
+
+  // Ghost copies agree with the owner after the terminator.
+  for (const DistGraph &part : parts) {
+    const auto &local = labels[static_cast<std::size_t>(part.rank)];
+    for (NodeID g = 0; g < part.num_ghosts(); ++g) {
+      const NodeID global = part.ghost_global[g];
+      const DistGraph &owner = parts[static_cast<std::size_t>(part.owner_of_global(global))];
+      const auto &owner_labels = labels[static_cast<std::size_t>(owner.rank)];
+      ASSERT_EQ(local[part.local_n + g], owner_labels[global - owner.first_global])
+          << "stale ghost label for " << global;
+    }
+  }
+  // Cluster weights respect the bound (recomputed globally).
+  std::map<ClusterID, NodeWeight> weights;
+  for (const DistGraph &part : parts) {
+    const auto &local = labels[static_cast<std::size_t>(part.rank)];
+    for (NodeID u = 0; u < part.local_n; ++u) {
+      weights[local[u]] += part.node_weight(u);
+    }
+  }
+  for (const auto &[cluster, weight] : weights) {
+    ASSERT_LE(weight, bound) << "cluster " << cluster;
+  }
+  // The async layer actually overlapped: some deliveries happened mid-sweep.
+  EXPECT_GT(stats.early_messages, 0u);
+  EXPECT_GT(stats.capacity_flushes, 0u);
+}
+
+TEST(DistLpAsync, AsyncClusteringIsReproducible) {
+  const CsrGraph graph = gen::rhg(700, 10, 3.0, 11);
+  const auto parts = distribute_graph(graph, 4);
+  DistLpConfig config;
+  config.comm.async = true;
+  config.comm.flush_threshold = 8;
+  const NodeWeight bound = graph.total_node_weight() / 16;
+  CommStats stats_a;
+  CommStats stats_b;
+  const auto labels_a = dist_lp_cluster(parts, config, bound, 9, stats_a);
+  const auto labels_b = dist_lp_cluster(parts, config, bound, 9, stats_b);
+  EXPECT_EQ(labels_a, labels_b) << "deterministic drain must reproduce the run";
+  EXPECT_EQ(stats_a.messages, stats_b.messages);
+  EXPECT_EQ(stats_a.wire_bytes, stats_b.wire_bytes);
+}
+
+// --- End-to-end: wire-volume acceptance + cut parity band ---
+
+TEST(DistPartitionComm, AsyncCompressionAndCutParity) {
+  const CsrGraph graph = gen::rgg2d(3000, 12, 3);
+  const Context ctx = terapart_context(8, 7);
+  DistCommConfig async_comm;
+  async_comm.async = true;
+  const DistPartitionResult sync_run = dist_partition(graph, 8, ctx, false);
+  const DistPartitionResult async_run = dist_partition(graph, 8, ctx, false, async_comm);
+
+  EXPECT_TRUE(async_run.balanced) << "imbalance " << async_run.imbalance;
+  ASSERT_GT(async_run.comm.wire_bytes, 0u);
+  // Acceptance: the varint wire format carries >= 1.3x less volume than the
+  // logical struct bytes the old mailbox accounted.
+  EXPECT_GE(async_run.comm.bytes * 10, async_run.comm.wire_bytes * 13)
+      << "wire ratio " << async_run.comm.wire_ratio();
+  // Edge-cut parity band between the transports.
+  EXPECT_LT(async_run.cut, 2 * sync_run.cut + 100);
+  EXPECT_LT(sync_run.cut, 2 * async_run.cut + 100);
+  // Per-phase split sums to the totals.
+  CommStats summed;
+  summed.accumulate(async_run.comm_coarsening);
+  summed.accumulate(async_run.comm_contraction);
+  summed.accumulate(async_run.comm_refinement);
+  EXPECT_EQ(summed.messages, async_run.comm.messages);
+  EXPECT_EQ(summed.wire_bytes, async_run.comm.wire_bytes);
+}
+
+} // namespace
+} // namespace terapart::dist
